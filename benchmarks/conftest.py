@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark regenerates one of the paper's figures, printing the
+rows/series the paper plots and writing them to ``benchmarks/results/``.
+Topologies are generated once per session: the paper likewise uses one
+sampled topology per size.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.topology.generators import generate_paper_topology
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The seed of the representative topology sample used by all figure
+#: benches (the paper, too, evaluates one sample per size).
+TOPOLOGY_SEED = 8
+
+
+@pytest.fixture(scope="session")
+def paper_topologies():
+    return {
+        size: generate_paper_topology(size, seed=TOPOLOGY_SEED)
+        for size in (25, 46, 63)
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

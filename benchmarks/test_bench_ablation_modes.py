@@ -1,0 +1,93 @@
+"""Ablation — design choices of the detection pipeline.
+
+DESIGN.md §4 calls out two choices this bench quantifies:
+
+1. **Suppression vs alarm-only** — the paper's experiments assume a
+   detecting node stops the false route; alarm-only checking (the §4.2
+   off-line deployment) detects the same conflicts but leaves adoption at
+   Normal-BGP levels.
+2. **Attack timing** — the figures race valid and false announcements
+   from a cold start; hijacking an already-converged prefix is strictly
+   easier to defend because every router already holds the genuine list.
+"""
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.attack.placement import place_attackers, place_origins
+from repro.core.checker import CheckerMode
+from repro.eventsim.rng import RandomStreams
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+
+N_RUNS = 10
+ATTACKER_FRACTION = 0.20
+
+ARMS = {
+    "normal BGP": dict(deployment=DeploymentKind.NONE),
+    "alarm-only checking": dict(
+        deployment=DeploymentKind.FULL, checker_mode=CheckerMode.ALARM_ONLY
+    ),
+    "detect-and-suppress": dict(deployment=DeploymentKind.FULL),
+    "suppress, post-convergence attack": dict(
+        deployment=DeploymentKind.FULL, timing=AttackTiming.POST_CONVERGENCE
+    ),
+}
+
+
+def run_matrix(graph, seed=TOPOLOGY_SEED):
+    streams = RandomStreams(seed)
+    n_attackers = max(1, round(ATTACKER_FRACTION * len(graph)))
+    out = {}
+    for name, overrides in ARMS.items():
+        poisoned, alarms = [], []
+        for run_index in range(N_RUNS):
+            origins = place_origins(graph, 1, streams.stream(f"o/{name}/{run_index}"))
+            attackers = place_attackers(
+                graph, n_attackers,
+                streams.stream(f"a/{name}/{run_index}"), exclude=origins,
+            )
+            outcome = run_hijack_scenario(
+                HijackScenario(
+                    graph=graph, origins=origins, attackers=attackers,
+                    seed=seed + run_index, **overrides,
+                )
+            )
+            poisoned.append(outcome.poisoned_fraction)
+            alarms.append(outcome.alarms)
+        out[name] = (
+            sum(poisoned) / len(poisoned),
+            sum(alarms) / len(alarms),
+        )
+    return out
+
+
+def test_bench_ablation_modes(benchmark, paper_topologies, results_dir):
+    graph = paper_topologies[46]
+    matrix = benchmark.pedantic(run_matrix, args=(graph,), rounds=1, iterations=1)
+
+    lines = [
+        "Ablation — detection pipeline design choices "
+        f"(46-AS, {ATTACKER_FRACTION:.0%} attackers, {N_RUNS} runs)",
+        f"{'arm':38s} {'poisoned':>10s} {'alarms/run':>12s}",
+    ]
+    for name, (poisoned, alarms) in matrix.items():
+        lines.append(f"{name:38s} {poisoned * 100:>9.2f}% {alarms:>12.1f}")
+    emit(results_dir, "ablation_modes", "\n".join(lines))
+
+    # Alarm-only detects (alarms fire) but does not protect.
+    assert matrix["alarm-only checking"][1] > 0
+    assert (
+        matrix["alarm-only checking"][0]
+        > 3 * matrix["detect-and-suppress"][0]
+    )
+    # Suppression is what delivers the figure-9 gap.
+    assert matrix["detect-and-suppress"][0] < matrix["normal BGP"][0] / 3
+    # Post-convergence hijack is the easier case.
+    assert (
+        matrix["suppress, post-convergence attack"][0]
+        <= matrix["detect-and-suppress"][0]
+    )

@@ -1,0 +1,195 @@
+"""Ablation — attacker strategies against full MOAS detection.
+
+The paper analyses three attacker counter-moves (§4.1, §4.3): forging a
+superset list, copying the genuine list, and manipulating the AS path
+while keeping the correct origin.  This bench quantifies each strategy's
+success against full deployment on the 46-AS topology, confirming the
+paper's claims: list forgeries are caught; path spoofing is the scheme's
+acknowledged blind spot.
+
+For path spoofing the poisoned-AS metric is computed from the forwarding
+next hop (the route claims the genuine origin, so the origin-based metric
+would read zero even though traffic flows to the attacker).
+"""
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.attack.models import (
+    ExactListForgery,
+    NaiveFalseOrigin,
+    PathSpoofing,
+    SubPrefixHijack,
+    SupersetListForgery,
+)
+from repro.bgp.forwarding import DeliveryOutcome, delivery_census
+from repro.attack.placement import place_attackers, place_origins
+from repro.core.moas_list import MoasList, extract_moas_list
+from repro.eventsim.rng import RandomStreams
+from repro.experiments.runner import (
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+    TARGET_PREFIX,
+)
+
+N_RUNS = 10
+ATTACKER_FRACTION = 0.10
+
+
+def run_strategy_matrix(graph, seed=TOPOLOGY_SEED):
+    strategies = [
+        NaiveFalseOrigin(),
+        SupersetListForgery(),
+        ExactListForgery(),
+        PathSpoofing(),
+    ]
+    streams = RandomStreams(seed)
+    n_attackers = max(1, round(ATTACKER_FRACTION * len(graph)))
+    results = {s.name: [] for s in strategies}
+    for run_index in range(N_RUNS):
+        origins = place_origins(graph, 1, streams.stream(f"o/{run_index}"))
+        attackers = place_attackers(
+            graph, n_attackers, streams.stream(f"a/{run_index}"), exclude=origins
+        )
+        for strategy in strategies:
+            outcome = run_hijack_scenario(
+                HijackScenario(
+                    graph=graph,
+                    origins=origins,
+                    attackers=attackers,
+                    deployment=DeploymentKind.FULL,
+                    strategy=strategy,
+                    seed=seed + run_index,
+                )
+            )
+            results[strategy.name].append(outcome.poisoned_fraction)
+    return {name: sum(vals) / len(vals) for name, vals in results.items()}
+
+
+def measure_path_spoofing_hijack(graph, seed=TOPOLOGY_SEED):
+    """Fraction of ASes whose forwarding next hop leads to an attacker
+    under path spoofing (origin looks genuine, so count by peer)."""
+    streams = RandomStreams(seed)
+    n_attackers = max(1, round(ATTACKER_FRACTION * len(graph)))
+    fractions = []
+    for run_index in range(N_RUNS):
+        origins = place_origins(graph, 1, streams.stream(f"o/{run_index}"))
+        attackers = set(
+            place_attackers(
+                graph, n_attackers, streams.stream(f"a/{run_index}"),
+                exclude=origins,
+            )
+        )
+        # Re-run one scenario and inspect next hops.
+        from repro.bgp.network import Network
+        from repro.core.deployment import DeploymentPlan
+        from repro.core.origin_verification import (
+            GroundTruthOracle,
+            PrefixOriginRegistry,
+        )
+
+        registry = PrefixOriginRegistry()
+        registry.register(TARGET_PREFIX, origins)
+        net = Network(graph, seed=seed + run_index)
+        DeploymentPlan.full(graph.asns()).apply(net, GroundTruthOracle(registry))
+        net.establish_sessions()
+        for origin in origins:
+            net.originate(origin, TARGET_PREFIX)
+        for attacker in sorted(attackers):
+            PathSpoofing().launch(net, attacker, TARGET_PREFIX, frozenset(origins))
+        net.run_to_convergence()
+        poisoned = 0
+        remaining = 0
+        for asn, speaker in net.speakers.items():
+            if asn in attackers:
+                continue
+            remaining += 1
+            best = speaker.best_route(TARGET_PREFIX)
+            if best is not None and best.peer in attackers:
+                poisoned += 1
+        fractions.append(poisoned / remaining)
+    return sum(fractions) / len(fractions)
+
+
+def measure_subprefix_hijack(graph, seed=TOPOLOGY_SEED):
+    """Data-plane capture of the hijacked /24 under a sub-prefix attack
+    with full MOAS deployment (which cannot see it at all)."""
+    from repro.bgp.network import Network
+    from repro.core.deployment import DeploymentPlan
+    from repro.core.origin_verification import (
+        GroundTruthOracle,
+        PrefixOriginRegistry,
+    )
+
+    streams = RandomStreams(seed)
+    # A single attacker suffices: the more-specific wins everywhere by
+    # longest match, and one announcer means not even attacker-vs-attacker
+    # MOAS noise arises — total silence.
+    n_attackers = 1
+    strategy = SubPrefixHijack(specific_length=26)
+    fractions = []
+    alarms_total = 0
+    for run_index in range(N_RUNS):
+        origins = place_origins(graph, 1, streams.stream(f"o/{run_index}"))
+        attackers = place_attackers(
+            graph, n_attackers, streams.stream(f"a/{run_index}"),
+            exclude=origins,
+        )
+        registry = PrefixOriginRegistry()
+        registry.register(TARGET_PREFIX, origins)
+        net = Network(graph, seed=seed + run_index)
+        checkers = DeploymentPlan.full(graph.asns()).apply(
+            net, GroundTruthOracle(registry)
+        )
+        net.establish_sessions()
+        for origin in origins:
+            net.originate(origin, TARGET_PREFIX)
+        specific = strategy.more_specific_of(TARGET_PREFIX)
+        for attacker in sorted(attackers):
+            strategy.launch(net, attacker, TARGET_PREFIX, frozenset(origins))
+        net.run_to_convergence()
+        census = delivery_census(
+            net, specific, legitimate_origins=origins, exclude=attackers
+        )
+        remaining = len(graph) - len(attackers)
+        fractions.append(len(census[DeliveryOutcome.HIJACKED]) / remaining)
+        alarms_total += sum(len(c.alarms) for c in checkers.values())
+    return sum(fractions) / len(fractions), alarms_total
+
+
+def test_bench_ablation_strategies(benchmark, paper_topologies, results_dir):
+    graph = paper_topologies[46]
+    means = benchmark.pedantic(
+        run_strategy_matrix, args=(graph,), rounds=1, iterations=1
+    )
+    spoof_hijack = measure_path_spoofing_hijack(graph)
+    subprefix_hijack, subprefix_alarms = measure_subprefix_hijack(graph)
+
+    lines = [
+        "Ablation — attacker strategies vs full MOAS detection "
+        f"(46-AS, {ATTACKER_FRACTION:.0%} attackers, {N_RUNS} runs)",
+        f"{'strategy':28s} {'poisoned (origin metric)':>26s}",
+    ]
+    for name, value in means.items():
+        lines.append(f"{name:28s} {value * 100:>25.2f}%")
+    lines.append("")
+    lines.append(
+        f"path-spoofing, next-hop metric: {spoof_hijack * 100:.2f}% "
+        "(the scheme cannot see this attack — §4.3)"
+    )
+    lines.append(
+        f"sub-prefix hijack, data-plane capture of the more-specific: "
+        f"{subprefix_hijack * 100:.2f}% with {subprefix_alarms} alarms "
+        "(no MOAS conflict exists — §4.3)"
+    )
+    emit(results_dir, "ablation_strategies", "\n".join(lines))
+
+    # List forgeries are contained to low single digits...
+    assert means["naive-false-origin"] < 0.10
+    assert means["superset-list-forgery"] < 0.10
+    assert means["exact-list-forgery"] < 0.10
+    # ...while path spoofing sails through detection unnoticed.
+    assert spoof_hijack > means["naive-false-origin"]
+    # The sub-prefix hijack captures its more-specific nearly everywhere.
+    assert subprefix_hijack > 0.8
+    assert subprefix_alarms == 0

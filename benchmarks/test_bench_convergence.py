@@ -1,0 +1,52 @@
+"""Substrate validation — the MRAI convergence trade-off.
+
+Not a figure from the paper, but the property that makes the BGP substrate
+credible: RFC 4271's MinRouteAdvertisementInterval trades convergence time
+for message count, most visibly during withdrawal path-exploration.  The
+paper's simulator (SSFnet) implements the same machinery.
+"""
+
+from conftest import emit
+
+from repro.experiments.convergence import (
+    measure_announcement_convergence,
+    measure_withdrawal_convergence,
+)
+
+MRAI_GRID = (0.0, 5.0, 15.0, 30.0)
+
+
+def run_grid(graph):
+    rows = []
+    for mrai in MRAI_GRID:
+        up = measure_announcement_convergence(graph, mrai=mrai)
+        down = measure_withdrawal_convergence(graph, mrai=mrai)
+        rows.append((mrai, up, down))
+    return rows
+
+
+def test_bench_convergence(benchmark, paper_topologies, results_dir):
+    graph = paper_topologies[46]
+    rows = benchmark.pedantic(run_grid, args=(graph,), rounds=1, iterations=1)
+
+    lines = [
+        "MRAI convergence trade-off (46-AS topology, one prefix)",
+        f"{'MRAI':>6s} {'announce t':>11s} {'announce msgs':>14s} "
+        f"{'withdraw t':>11s} {'withdraw msgs':>14s}",
+    ]
+    for mrai, up, down in rows:
+        lines.append(
+            f"{mrai:>5.0f}s {up.converged_at:>10.2f}s {up.updates_sent:>14d} "
+            f"{down.converged_at:>10.2f}s {down.updates_sent:>14d}"
+        )
+    emit(results_dir, "convergence", "\n".join(lines))
+
+    no_mrai = rows[0]
+    max_mrai = rows[-1]
+    # Pacing cuts messages (or at worst matches) and slows convergence.
+    assert max_mrai[2].updates_sent <= no_mrai[2].updates_sent
+    assert max_mrai[2].converged_at >= no_mrai[2].converged_at
+    # The final state is identical regardless of pacing.
+    for _, up, down in rows:
+        assert up.ases_with_route == len(graph)
+        assert down.ases_with_route == 0

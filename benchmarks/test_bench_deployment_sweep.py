@@ -1,0 +1,94 @@
+"""Extension — the full deployment-fraction curve.
+
+Figure 11 evaluates exactly one partial-deployment point (50 %).  This
+bench sweeps the MOAS-capable fraction from 0 to 100 % on the 46-AS
+topology, showing the incremental-deployment story §6 claims: every
+increment of deployment buys protection, with no cliff.
+"""
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.attack.placement import place_attackers, place_origins
+from repro.eventsim.rng import RandomStreams
+from repro.experiments.ascii_chart import render_line_chart
+from repro.experiments.runner import (
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+
+FRACTIONS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+ATTACKER_FRACTION = 0.20
+N_RUNS = 12
+
+
+def run_curve(graph, seed=TOPOLOGY_SEED):
+    streams = RandomStreams(seed)
+    n_attackers = round(ATTACKER_FRACTION * len(graph))
+    draws = []
+    for run_index in range(N_RUNS):
+        origins = place_origins(graph, 1, streams.stream(f"o/{run_index}"))
+        attackers = place_attackers(
+            graph, n_attackers, streams.stream(f"a/{run_index}"),
+            exclude=origins,
+        )
+        draws.append((origins, attackers))
+
+    curve = []
+    for fraction in FRACTIONS:
+        if fraction == 0.0:
+            deployment = DeploymentKind.NONE
+        elif fraction == 1.0:
+            deployment = DeploymentKind.FULL
+        else:
+            deployment = DeploymentKind.PARTIAL
+        values = []
+        for run_index, (origins, attackers) in enumerate(draws):
+            outcome = run_hijack_scenario(
+                HijackScenario(
+                    graph=graph,
+                    origins=origins,
+                    attackers=attackers,
+                    deployment=deployment,
+                    partial_fraction=fraction,
+                    seed=seed + run_index,
+                )
+            )
+            values.append(outcome.poisoned_fraction)
+        curve.append((fraction, sum(values) / len(values)))
+    return curve
+
+
+def test_bench_deployment_sweep(benchmark, paper_topologies, results_dir):
+    graph = paper_topologies[46]
+    curve = benchmark.pedantic(run_curve, args=(graph,), rounds=1, iterations=1)
+
+    lines = [
+        "Extension — poisoned share vs MOAS deployment fraction "
+        f"(46-AS, {ATTACKER_FRACTION:.0%} attackers, {N_RUNS} runs/point)",
+        f"{'deployed':>9s} {'poisoned':>10s}",
+    ]
+    for fraction, poisoned in curve:
+        lines.append(f"{fraction:>8.0%} {poisoned:>9.1%}")
+    lines.append("")
+    lines.append(
+        render_line_chart(
+            {"poisoned %": [(f * 100, p * 100) for f, p in curve]},
+            title="deployment benefit curve:",
+            x_label="% of ASes MOAS-capable",
+            y_label="% poisoned",
+            height=10,
+        )
+    )
+    emit(results_dir, "deployment_sweep", "\n".join(lines))
+
+    values = dict(curve)
+    # Broad monotone decrease: each big step of deployment helps.
+    assert values[0.5] < values[0.0]
+    assert values[1.0] < values[0.5]
+    # Incremental deployability: even 25% capable removes >=20% of damage.
+    assert values[0.25] < values[0.0] * 0.8
+    # The curve never increases by more than noise between adjacent points.
+    ordered = [p for _, p in curve]
+    for left, right in zip(ordered, ordered[1:]):
+        assert right <= left + 0.10

@@ -1,0 +1,48 @@
+"""§4.3 — community dropping: false alarms, never false accepts.
+
+The paper's claim to validate: routers dropping the optional-transitive
+community attribute cause *false alarms* on valid MOAS, but "should not
+cause an invalid case to be considered valid" — and, with origin-database
+adjudication, never cost the genuine origins their reachability.
+"""
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.experiments.exp_false_alarms import run_false_alarm_experiment
+
+
+def test_bench_false_alarms(benchmark, paper_topologies, results_dir):
+    graph = paper_topologies[46]
+    points = benchmark.pedantic(
+        run_false_alarm_experiment,
+        kwargs=dict(graph=graph, n_runs=10, seed=TOPOLOGY_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "§4.3 — community stripping on a VALID two-origin MOAS "
+        "(46-AS, 10 runs per point)",
+        f"{'transit stripping':>18s} {'false-alarm rate':>17s} "
+        f"{'valid routes suppressed':>24s} {'unreachable':>12s}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.strip_fraction:>17.0%} "
+            f"{point.false_alarm_rate:>16.1%} "
+            f"{point.suppressed_valid_routes:>24d} "
+            f"{point.unreachable_fraction:>11.1%}"
+        )
+    emit(results_dir, "false_alarms", "\n".join(lines))
+
+    by_fraction = {p.strip_fraction: p for p in points}
+    # No stripping, no alarms.
+    assert by_fraction[0.0].false_alarm_rate == 0.0
+    # Stripping produces false alarms, growing with the stripping rate.
+    assert by_fraction[0.5].false_alarm_rate > by_fraction[0.1].false_alarm_rate
+    assert by_fraction[0.5].false_alarm_rate > 0.05
+    # The paper's safety property: alarms are noise, not harm — genuine
+    # origins are never suppressed and reachability is never lost.
+    for point in points:
+        assert point.suppressed_valid_routes == 0
+        assert point.unreachable_fraction == 0.0

@@ -1,0 +1,52 @@
+"""Figure 4 — daily number of observed MOAS cases, 11/1997-7/2001.
+
+Paper reference values: median 683/day in 1998 rising to 1294/day in 2001;
+spikes on 4/7/1998 (AS 8584 fault) and 4/6/2001 (AS 3561/15412, 5532 of
+6627 cases).
+"""
+
+from conftest import emit
+
+from repro.experiments.ascii_chart import render_line_chart
+from repro.experiments.measurement_repro import run_measurement_study
+from repro.experiments.reporting import format_series_table
+from repro.measurement.trace import DAY_1998_FAULT, DAY_2001_FAULT
+
+
+def test_bench_figure4(benchmark, results_dir):
+    study = benchmark.pedantic(run_measurement_study, rounds=1, iterations=1)
+    series = study.figure4_series()
+    summary = study.summary
+
+    counts = dict(series)
+    lines = [
+        "Figure 4 — daily MOAS cases (paper vs measured)",
+        f"{'metric':38s} {'paper':>10s} {'measured':>10s}",
+        f"{'days observed':38s} {'1279':>10s} {summary.days_observed:>10d}",
+        f"{'median daily count, 1998':38s} {'683':>10s} "
+        f"{summary.median_daily_first_year:>10.0f}",
+        f"{'median daily count, 2001':38s} {'1294':>10s} "
+        f"{summary.median_daily_last_year:>10.0f}",
+        f"{'count on 1998-04-07 fault day':38s} {'(spike)':>10s} "
+        f"{counts[DAY_1998_FAULT]:>10d}",
+        f"{'count on 2001-04-06 fault day':38s} {'6627':>10s} "
+        f"{counts[DAY_2001_FAULT]:>10d}",
+        "",
+        format_series_table(
+            series, headers=("day", "MOAS cases"),
+            title="series (downsampled):", max_rows=26,
+        ),
+        "",
+        render_line_chart(
+            {"daily MOAS cases": series},
+            title="Figure 4 (rendered):",
+            x_label="day since 11/8/1997",
+            y_label="# of MOAS cases",
+        ),
+    ]
+    emit(results_dir, "figure4", "\n".join(lines))
+
+    # Shape assertions: growth and the two spikes.
+    assert summary.median_daily_last_year > summary.median_daily_first_year
+    assert counts[DAY_2001_FAULT] > 4 * summary.median_daily_last_year
+    assert counts[DAY_1998_FAULT] > 2 * summary.median_daily_first_year

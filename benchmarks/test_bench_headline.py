@@ -1,0 +1,64 @@
+"""The §1/§5.2 headline numbers, side by side with the paper.
+
+"When up to 4% of the AS's are injecting false routing data, more than
+36% of the remaining AS's will adopt false routes.  With our solution, on
+average only .15% of the AS's adopt false routes in the same simulation
+setting.  Even when the number of attackers increases to 30% of the
+network, only about 9.8% of the remaining AS's adopt false routes,
+compared to 51% when without validation."
+"""
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.experiments.exp_effectiveness import figure9
+
+
+def test_bench_headline(benchmark, paper_topologies, results_dir):
+    result = benchmark.pedantic(
+        figure9,
+        kwargs=dict(
+            graph=paper_topologies[46],
+            origin_counts=(1,),
+            attacker_fractions=(0.05, 0.30),
+            seed=TOPOLOGY_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    headline = result.headline()
+
+    rows = [
+        ("poisoned, ~4-5% attackers, normal BGP", ">36%", headline["normal@4%"]),
+        ("poisoned, ~4-5% attackers, MOAS detection", "0.15%", headline["detect@4%"]),
+        ("poisoned, 30% attackers, normal BGP", "51%", headline["normal@30%"]),
+        ("poisoned, 30% attackers, MOAS detection", "9.8%", headline["detect@30%"]),
+    ]
+    lines = [
+        "Headline comparison (46-AS topology, 1 origin AS)",
+        f"{'metric':46s} {'paper':>8s} {'measured':>10s}",
+    ]
+    for label, paper, measured in rows:
+        lines.append(f"{label:46s} {paper:>8s} {measured:>9.2f}%")
+    factor_low = (
+        headline["normal@4%"] / headline["detect@4%"]
+        if headline["detect@4%"] > 0
+        else float("inf")
+    )
+    factor_high = (
+        headline["normal@30%"] / headline["detect@30%"]
+        if headline["detect@30%"] > 0
+        else float("inf")
+    )
+    lines.append("")
+    lines.append(
+        f"improvement factor: {factor_low:.0f}x at ~4% attackers "
+        f"(paper: ~240x), {factor_high:.0f}x at 30% (paper: ~5x)"
+    )
+    emit(results_dir, "headline", "\n".join(lines))
+
+    # Who-wins and by-what-factor assertions.
+    assert headline["detect@4%"] < headline["normal@4%"] / 10
+    assert headline["detect@30%"] < headline["normal@30%"] / 2
+    assert headline["normal@4%"] > 20.0
+    assert headline["detect@4%"] < 3.0
+    assert headline["detect@30%"] < 15.0

@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the simulator's hot paths.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+operations every experiment run executes millions of times: best-path
+selection, MOAS-list checking, prefix algebra and event-queue churn.
+"""
+
+import random
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.decision import DecisionProcess
+from repro.bgp.rib import RibEntry
+from repro.core.moas_list import MoasList, extract_moas_list, moas_communities
+from repro.eventsim.event import Event
+from repro.eventsim.queue import EventQueue
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+def test_bench_decision_process(benchmark):
+    rng = random.Random(0)
+    candidates = [
+        RibEntry(
+            P,
+            PathAttributes(
+                as_path=AsPath.from_asns(
+                    [100 + i] + [rng.randint(1, 500) for _ in range(rng.randint(1, 5))]
+                )
+            ),
+            peer=100 + i,
+            installed_at=float(i),
+            installed_seq=i,
+        )
+        for i in range(16)
+    ]
+    dp = DecisionProcess()
+    best = benchmark(dp.select_best, candidates)
+    assert best is not None
+
+
+def test_bench_moas_consistency_check(benchmark):
+    genuine = MoasList([1, 2])
+    observed = [MoasList([1, 2]), MoasList([2, 1]), MoasList([1, 2, 3])]
+
+    def check():
+        return [genuine.consistent_with(other) for other in observed]
+
+    results = benchmark(check)
+    assert results == [True, True, False]
+
+
+def test_bench_moas_list_extraction(benchmark):
+    attrs = PathAttributes(
+        as_path=AsPath.from_asns([7, 8]),
+        communities=moas_communities([1, 2, 3]),
+    )
+    extracted = benchmark(extract_moas_list, attrs)
+    assert extracted == MoasList([1, 2, 3])
+
+
+def test_bench_prefix_parse(benchmark):
+    parsed = benchmark(Prefix.parse, "192.168.100.0/24")
+    assert parsed.length == 24
+
+
+def test_bench_prefix_containment(benchmark):
+    parent = Prefix.parse("10.0.0.0/8")
+    children = [Prefix((10 << 24) | (i << 8), 24) for i in range(256)]
+
+    def contain_all():
+        return sum(1 for c in children if parent.contains(c))
+
+    assert benchmark(contain_all) == 256
+
+
+def test_bench_event_queue_churn(benchmark):
+    def churn():
+        queue = EventQueue()
+        for i in range(1000):
+            queue.push(Event((i * 7919) % 1000 / 10.0, lambda: None))
+        count = 0
+        while queue.pop() is not None:
+            count += 1
+        return count
+
+    assert benchmark(churn) == 1000
+
+
+def test_bench_as_path_prepend(benchmark):
+    path = AsPath.from_asns([2, 3, 4, 5])
+    out = benchmark(path.prepend, 1)
+    assert out.length == 5

@@ -1,0 +1,62 @@
+"""§4.3 — MOAS list overhead accounting.
+
+Paper reference values: fewer than 3,000 routes originate from multiple
+ASes; ~99 % of MOAS cases involve three or fewer origin ASes (96.14 % two,
+2.7 % three), so the attached MOAS list stays short and routes from a
+single AS carry no list at all.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.moas_list import MoasList
+from repro.measurement.stats import moas_list_overhead_bytes
+from repro.measurement.trace import TraceConfig, TraceGenerator
+
+
+def build_final_day_table():
+    """The last day of the calibrated trace, background included — a
+    full-table snapshot like the one the paper sizes its overhead on."""
+    config = TraceConfig(include_background=True)
+    generator = TraceGenerator(config, random.Random(42))
+    snapshot = None
+    for _, snapshot in generator.snapshots():
+        pass
+    return snapshot
+
+
+def test_bench_overhead(benchmark, results_dir):
+    snapshot = benchmark.pedantic(build_final_day_table, rounds=1, iterations=1)
+
+    moas = {p: o for p, o in snapshot.items() if len(o) > 1}
+    total_routes = len(snapshot)
+    by_size = {}
+    for origins in moas.values():
+        by_size[len(origins)] = by_size.get(len(origins), 0) + 1
+    at_most_three = sum(v for k, v in by_size.items() if k <= 3) / len(moas)
+    overhead = moas_list_overhead_bytes(snapshot)
+
+    lines = [
+        "§4.3 — MOAS list overhead (paper vs measured)",
+        f"{'metric':44s} {'paper':>9s} {'measured':>10s}",
+        f"{'prefixes in table':44s} {'~100k':>9s} {total_routes:>10d}",
+        f"{'multi-origin routes':44s} {'<3000':>9s} {len(moas):>10d}",
+        f"{'MOAS cases with <=3 origins':44s} {'~99%':>9s} "
+        f"{at_most_three * 100:>9.1f}%",
+        f"{'total community bytes added':44s} {'':>9s} {overhead:>10d}",
+        f"{'bytes per MOAS route (mean)':44s} {'8-12':>9s} "
+        f"{overhead / len(moas):>10.1f}",
+        f"{'bytes for single-origin routes':44s} {'0':>9s} "
+        f"{moas_list_overhead_bytes({p: o for p, o in snapshot.items() if len(o) == 1}):>10d}",
+    ]
+    emit(results_dir, "overhead", "\n".join(lines))
+
+    assert len(moas) < 3000
+    # The paper's ~99% figure is measured over all observed cases (fault
+    # bursts included, which are all two-origin); a single organic-day
+    # snapshot sits slightly lower.
+    assert at_most_three > 0.95
+    # Single-origin routes attach nothing.
+    singles = {p: o for p, o in snapshot.items() if len(o) == 1}
+    assert moas_list_overhead_bytes(singles) == 0

@@ -1,0 +1,58 @@
+"""Extension — robustness vs topology size beyond the paper's 63 ASes.
+
+The paper conjectures (§6) that the scheme's robustness keeps improving
+with network size and richness.  This bench measures the detection-arm
+residual at 30 % attackers on topologies up to 150 ASes, averaged over
+multiple independent samples per size.
+"""
+
+from conftest import emit
+
+from repro.experiments.ascii_chart import render_line_chart
+from repro.experiments.exp_scaling import run_scaling_experiment
+
+SIZES = (25, 46, 63, 100, 150)
+
+
+def test_bench_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs=dict(sizes=SIZES, topologies_per_size=3, runs_per_topology=6),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Scaling — detection residual vs topology size "
+        f"(30% attackers, 3 topologies x 6 runs per size)",
+        f"{'size':>6s} {'normal BGP':>12s} {'detection':>12s} "
+        f"{'protection factor':>18s}",
+    ]
+    for point in result.points:
+        factor = point.protection_factor
+        factor_text = "inf" if factor == float("inf") else f"{factor:.0f}x"
+        lines.append(
+            f"{point.size:>6d} {point.mean_poisoned_normal * 100:>11.1f}% "
+            f"{point.mean_poisoned_detect * 100:>11.1f}% {factor_text:>18s}"
+        )
+    lines.append("")
+    lines.append(
+        render_line_chart(
+            {"detection residual %": result.detection_series()},
+            title="detection residual vs size:",
+            x_label="topology size (ASes)",
+            y_label="% poisoned",
+            height=10,
+        )
+    )
+    emit(results_dir, "scaling", "\n".join(lines))
+
+    by_size = {p.size: p for p in result.points}
+    # The paper's trend, extended: the largest topology is more robust
+    # than the smallest, and detection always dominates normal BGP.
+    assert (
+        by_size[max(by_size)].mean_poisoned_detect
+        < by_size[min(by_size)].mean_poisoned_detect
+    )
+    for point in result.points:
+        assert point.mean_poisoned_detect < point.mean_poisoned_normal

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare the MOAS list against the §2 related-work baselines.
+
+One hijack scenario on the paper's 46-AS topology, defended five ways:
+
+  1. nothing (Normal BGP)
+  2. the MOAS list (detect-and-suppress, DNS on conflict only)
+  3. IRR route filtering with a perfectly maintained registry
+  4. IRR route filtering with a stale registry record
+  5. S-BGP-style origin attestation (prefix certified)
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import random
+
+from repro import MoasChecker, Network, Prefix, PrefixOriginRegistry
+from repro.attack.placement import place_attackers, place_origins
+from repro.baselines import (
+    AttestationAuthority,
+    IrrRegistry,
+    IrrValidator,
+    OriginAuthValidator,
+)
+from repro.core import GroundTruthOracle
+from repro.topology import generate_paper_topology
+
+PREFIX = Prefix.parse("10.2.0.0/16")
+
+graph = generate_paper_topology(46, seed=8)
+rng = random.Random(7)
+origins = place_origins(graph, 1, rng)
+attackers = place_attackers(graph, 5, rng, exclude=origins)
+print(f"46-AS topology; genuine origin {origins}; attackers {attackers}\n")
+
+
+def run(label, install):
+    """Run the scenario with `install(network)` wiring the defence."""
+    registry = PrefixOriginRegistry()
+    registry.register(PREFIX, origins)
+    net = Network(graph)
+    communities = install(net, registry) or ()
+    net.establish_sessions()
+    for origin in origins:
+        net.originate(origin, PREFIX, communities=communities)
+    for attacker in attackers:
+        net.speaker(attacker).originate(PREFIX)
+    net.run_to_convergence()
+
+    best = net.best_origins(PREFIX)
+    remaining = [a for a in graph.asns() if a not in attackers]
+    poisoned = sum(1 for a in remaining if best[a] in attackers)
+    unreachable = sum(1 for a in remaining if best[a] is None)
+    print(f"{label:34s} poisoned {poisoned:>2d}/{len(remaining)}   "
+          f"unreachable {unreachable:>2d}")
+
+
+run("normal BGP", lambda net, reg: None)
+
+def moas(net, reg):
+    oracle = GroundTruthOracle(reg)
+    for asn in graph.asns():
+        MoasChecker(oracle=oracle).attach(net.speaker(asn))
+run("MOAS list (detect & suppress)", moas)
+
+def irr_fresh(net, reg):
+    irr = IrrRegistry()
+    irr.register(PREFIX, origins)
+    for asn in graph.asns():
+        net.speaker(asn).add_import_validator(IrrValidator(irr))
+run("IRR filtering (fresh registry)", irr_fresh)
+
+def irr_stale(net, reg):
+    irr = IrrRegistry()
+    irr.make_stale(PREFIX, [9999])  # record points at a long-gone holder
+    for asn in graph.asns():
+        net.speaker(asn).add_import_validator(IrrValidator(irr))
+run("IRR filtering (stale record)", irr_stale)
+
+authority = AttestationAuthority()
+authority.certify(PREFIX, origins)
+
+def sbgp(net, reg):
+    for asn in graph.asns():
+        net.speaker(asn).add_import_validator(OriginAuthValidator(authority))
+    return authority.issue(PREFIX, origins[0])
+run("origin attestation (certified)", sbgp)
+
+print("\nThe stale-IRR row is the paper's point: registry-based filtering")
+print("fails closed against the *genuine* origin when records rot, while")
+print("the MOAS list needs no registry and degrades to alarms, not outages.")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The DNS circular dependency (§2), simulated end to end.
+
+The paper's critique of pure DNS-based origin verification: "DNS
+operations rely on the routing to function correctly, requiring BGP to
+interact with the DNS for correctness checking introduces a circular
+dependency."
+
+Here the MOASRR database is hosted *inside* the routed topology (at the
+same AS as the genuine origin).  Every lookup walks the querier's own
+forwarding tables to the DNS server.  When the attacker wins the
+cold-start race for the DNS service prefix at a router, that router loses
+its verification channel — it still detects MOAS conflicts but can no
+longer adjudicate them, and the victim-prefix hijack sticks there.
+
+Run:  python examples/dns_circularity.py
+"""
+
+from repro import ASGraph, Network, Prefix, PrefixOriginRegistry
+from repro.core import MoasChecker, NetworkedDnsService
+
+VICTIM_PREFIX = Prefix.parse("10.2.0.0/16")
+DNS_PREFIX = Prefix.parse("198.51.100.0/24")
+
+# Chain 1 - 2 - 3 - 4 - 5: origin & DNS server at AS 1, attacker at AS 5.
+graph = ASGraph.from_edges([(1, 2), (2, 3), (3, 4), (4, 5)], transit=[2, 3, 4])
+
+registry = PrefixOriginRegistry()
+registry.register(VICTIM_PREFIX, [1])
+registry.register(DNS_PREFIX, [1])
+
+network = Network(graph)
+service = NetworkedDnsService(
+    network, server_asn=1, service_prefix=DNS_PREFIX, registry=registry
+)
+checkers = {}
+for asn in (2, 3, 4):
+    checker = MoasChecker(oracle=service.oracle_for(asn))
+    checker.attach(network.speaker(asn))
+    checkers[asn] = checker
+network.establish_sessions()
+
+print("Cold start: the genuine DNS announcement races the attacker's...")
+service.announce()                                  # AS 1 announces the DNS prefix
+network.speaker(5).originate(DNS_PREFIX)            # ...and so does AS 5
+network.run_to_convergence()
+
+print("\nWho does each AS route DNS traffic to?")
+for asn, origin in network.best_origins(DNS_PREFIX).items():
+    note = "  <-- DNS hijacked here" if origin == 5 and asn != 5 else ""
+    print(f"  AS {asn}: DNS prefix via origin AS {origin}{note}")
+
+print("\nCan each checker still verify origins?")
+for asn in (2, 3, 4):
+    answer = service.oracle_for(asn).authorised_origins(VICTIM_PREFIX)
+    status = f"yes -> {sorted(answer)}" if answer else "NO (lookup fails)"
+    print(f"  AS {asn}: {status}")
+
+print("\nNow the attacker hijacks the victim prefix itself...")
+network.speaker(1).originate(VICTIM_PREFIX)
+network.speaker(5).originate(VICTIM_PREFIX)
+network.run_to_convergence()
+
+print("\nFinal state for the victim prefix:")
+for asn, origin in network.best_origins(VICTIM_PREFIX).items():
+    if asn == 5:
+        continue
+    hijacked = origin == 5
+    mark = "HIJACKED" if hijacked else "ok"
+    alarms = len(checkers[asn].alarms) if asn in checkers else "-"
+    print(f"  AS {asn}: origin AS {origin} [{mark}] (alarms: {alarms})")
+
+poisoned = [a for a, o in network.best_origins(VICTIM_PREFIX).items()
+            if a != 5 and o == 5]
+print(f"\nASes poisoned despite running MOAS checking: {poisoned}")
+print("Their checkers saw the conflict but their DNS path leads into the")
+print("attacker — the circular dependency the paper warns about.  The")
+print("MOAS list still detected the event (alarms fired); only the")
+print("automatic adjudication was lost.")

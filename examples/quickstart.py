@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's Figure 6 scenario, end to end.
+
+AS 1 and AS 2 both legitimately originate prefix p (multi-homing) and
+attach the MOAS list {1, 2} to their announcements.  AS Z (= AS 5) then
+falsely originates p with a forged list {1, 2, 5}.  Router AS X (= AS 4)
+observes the inconsistency, raises an alarm, verifies the origin against
+the MOASRR registry, and suppresses the bogus route.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlarmLog,
+    ASGraph,
+    DeploymentPlan,
+    GroundTruthOracle,
+    Network,
+    Prefix,
+    PrefixOriginRegistry,
+    moas_communities,
+)
+
+# The Figure 6 topology: origins 1 and 2, transit 3 and 4, attacker 5.
+graph = ASGraph.from_edges(
+    [(1, 3), (2, 3), (3, 4), (4, 5), (1, 4), (2, 5)], transit=[3, 4]
+)
+prefix = Prefix.parse("10.2.0.0/16")
+
+# Ground truth: who may originate the prefix (the §4.4 MOASRR database).
+registry = PrefixOriginRegistry()
+registry.register(prefix, [1, 2])
+
+# Build the network and deploy MOAS checking everywhere.
+network = Network(graph)
+alarms = AlarmLog()
+DeploymentPlan.full(graph.asns()).apply(
+    network, GroundTruthOracle(registry), shared_alarm_log=alarms
+)
+network.establish_sessions()
+
+# Both genuine origins announce with the agreed MOAS list {1, 2}.
+communities = moas_communities([1, 2])
+network.originate(1, prefix, communities=communities)
+network.originate(2, prefix, communities=communities)
+network.run_to_convergence()
+
+print("Before the attack — best origin per AS:")
+for asn, origin in network.best_origins(prefix).items():
+    print(f"  AS {asn}: origin AS {origin}")
+assert len(alarms) == 0, "a valid MOAS must not raise alarms"
+
+# AS 5 falsely originates p, forging a superset list {1, 2, 5} (§4.1).
+network.originate(5, prefix, communities=moas_communities([1, 2, 5]))
+network.run_to_convergence()
+
+print("\nAfter the attack — best origin per AS:")
+for asn, origin in network.best_origins(prefix).items():
+    marker = "  <-- attacker itself" if asn == 5 else ""
+    print(f"  AS {asn}: origin AS {origin}{marker}")
+
+print(f"\nAlarms raised: {len(alarms)}")
+for alarm in list(alarms)[:4]:
+    print(f"  AS {alarm.detector}: {alarm.kind.value} "
+          f"(suspect origin AS {alarm.suspect_origin})")
+
+poisoned = [
+    asn for asn, origin in network.best_origins(prefix).items()
+    if asn != 5 and origin == 5
+]
+print(f"\nNon-attacker ASes adopting the false route: {poisoned or 'none'}")
+assert not poisoned, "full deployment must suppress the forged route"
+print("The forged announcement was detected and suppressed everywhere.")

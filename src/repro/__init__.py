@@ -1,0 +1,91 @@
+"""repro — a reproduction of "Detection of Invalid Routing Announcement in
+the Internet" (Zhao et al., DSN 2002).
+
+The package implements, from scratch:
+
+* a deterministic discrete-event BGP-4 simulator (:mod:`repro.eventsim`,
+  :mod:`repro.net`, :mod:`repro.bgp`);
+* the AS-topology pipeline: RouteViews-style dumps, AS-path peering
+  inference and the paper's sampling procedure (:mod:`repro.topology`);
+* the §3 MOAS measurement study (:mod:`repro.measurement`);
+* **the paper's contribution**: the MOAS-list scheme — community-attribute
+  encoding, consistency checking, alarms, deployment models and DNS-backed
+  origin verification (:mod:`repro.core`, :mod:`repro.dnssub`);
+* attacker and fault models (:mod:`repro.attack`);
+* the §5 experiments reproducing Figures 9, 10 and 11
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import (
+        ASGraph, Network, Prefix, DeploymentPlan, GroundTruthOracle,
+        PrefixOriginRegistry, moas_communities,
+    )
+
+    graph = ASGraph.from_edges([(1, 3), (2, 3), (3, 4)], transit=[3])
+    prefix = Prefix.parse("10.0.0.0/16")
+    registry = PrefixOriginRegistry()
+    registry.register(prefix, [1, 2])
+
+    network = Network(graph)
+    DeploymentPlan.full(graph.asns()).apply(
+        network, GroundTruthOracle(registry)
+    )
+    network.establish_sessions()
+    network.originate(1, prefix, communities=moas_communities([1, 2]))
+    network.originate(2, prefix, communities=moas_communities([1, 2]))
+    network.run_to_convergence()
+"""
+
+from repro.bgp.network import Network
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.core import (
+    MLVAL,
+    Alarm,
+    AlarmKind,
+    AlarmLog,
+    CheckerMode,
+    DeploymentPlan,
+    DnsOracle,
+    GroundTruthOracle,
+    MoasChecker,
+    MoasList,
+    OfflineMonitor,
+    PrefixOriginRegistry,
+    extract_moas_list,
+    moas_communities,
+)
+from repro.eventsim import RandomStreams, Simulator
+from repro.net import ASN, Link, Prefix
+from repro.topology import ASGraph, ASRole, generate_paper_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Network",
+    "BGPSpeaker",
+    "SpeakerConfig",
+    "Simulator",
+    "RandomStreams",
+    "Prefix",
+    "ASN",
+    "Link",
+    "ASGraph",
+    "ASRole",
+    "generate_paper_topology",
+    "MLVAL",
+    "MoasList",
+    "moas_communities",
+    "extract_moas_list",
+    "MoasChecker",
+    "CheckerMode",
+    "Alarm",
+    "AlarmKind",
+    "AlarmLog",
+    "DeploymentPlan",
+    "PrefixOriginRegistry",
+    "GroundTruthOracle",
+    "DnsOracle",
+    "OfflineMonitor",
+]

@@ -1,0 +1,49 @@
+"""Attacker and fault models (§3.3, §5).
+
+The paper's threat is an AS originating a route to a prefix it cannot
+reach — from operational accidents (AS 7007-style de-aggregation, the
+April 1998 AS 8584 event) to deliberate traffic hijacking.  This package
+provides:
+
+* :mod:`repro.attack.models` — attacker strategies against the MOAS-list
+  scheme: naive false origination, forged-superset lists, exact-list
+  forgeries, AS-path spoofing (the §4.3 limitation), and community
+  stripping on transit;
+* :mod:`repro.attack.faults` — operational fault generators used by the
+  measurement-trace pipeline (mass false origination, de-aggregation
+  leaks);
+* :mod:`repro.attack.placement` — random attacker placement over a
+  topology, mirroring §5.1's "we choose the attacker ASes randomly from
+  all the ASes".
+"""
+
+from repro.attack.models import (
+    AttackStrategy,
+    Attacker,
+    ExactListForgery,
+    NaiveFalseOrigin,
+    PathSpoofing,
+    SubPrefixHijack,
+    SupersetListForgery,
+)
+from repro.attack.faults import (
+    DeaggregationFault,
+    FaultEvent,
+    MassFalseOriginationFault,
+)
+from repro.attack.placement import place_attackers, place_origins
+
+__all__ = [
+    "Attacker",
+    "AttackStrategy",
+    "NaiveFalseOrigin",
+    "SupersetListForgery",
+    "ExactListForgery",
+    "PathSpoofing",
+    "SubPrefixHijack",
+    "FaultEvent",
+    "MassFalseOriginationFault",
+    "DeaggregationFault",
+    "place_attackers",
+    "place_origins",
+]

@@ -1,0 +1,116 @@
+"""Operational fault models (§3.3).
+
+The paper's Figure 4 spikes are operational accidents, not attacks:
+
+* **April 7 1998** — AS 8584 "erroneously announced ... prefixes that
+  belonged to other organizations";
+* **April 6 2001** — AS 15412 "suddenly originated thousands of prefixes
+  due to a configuration error";
+* **April 25 1997** — AS 7007 "falsely de-aggregated its internal routing
+  table and advertised the IP address prefixes it learned externally as
+  its own".
+
+These generators produce the corresponding bursts of invalid originations
+for the synthetic measurement trace (:mod:`repro.measurement.trace`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One day's worth of faulty originations by one AS."""
+
+    day: int
+    faulty_as: ASN
+    prefixes: Tuple[Prefix, ...]
+    kind: str
+
+    @property
+    def scale(self) -> int:
+        return len(self.prefixes)
+
+
+class MassFalseOriginationFault:
+    """A config error making one AS originate many foreign prefixes.
+
+    Models the 1998 (AS 8584) and 2001 (AS 15412) events: on ``day``,
+    ``faulty_as`` falsely originates a random sample of ``count`` prefixes
+    drawn from the global table (excluding its own).
+    """
+
+    def __init__(self, day: int, faulty_as: ASN, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"fault must affect at least one prefix, got {count}")
+        self.day = int(day)
+        self.faulty_as = validate_asn(faulty_as)
+        self.count = count
+
+    def generate(
+        self, universe: Sequence[Prefix], rng: random.Random
+    ) -> FaultEvent:
+        count = min(self.count, len(universe))
+        victims = rng.sample(list(universe), count)
+        return FaultEvent(
+            day=self.day,
+            faulty_as=self.faulty_as,
+            prefixes=tuple(victims),
+            kind="mass-false-origination",
+        )
+
+
+class DeaggregationFault:
+    """An AS 7007-style leak: re-announce learned prefixes as more-specifics.
+
+    On ``day``, ``faulty_as`` de-aggregates a sample of ``count`` prefixes
+    into /``target_length`` more-specifics and originates them itself.
+    More-specifics win longest-match forwarding, which is why this class of
+    fault is so damaging.
+    """
+
+    def __init__(
+        self,
+        day: int,
+        faulty_as: ASN,
+        count: int,
+        target_length: int = 24,
+        specifics_per_prefix: int = 4,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"fault must affect at least one prefix, got {count}")
+        if not 0 < target_length <= 32:
+            raise ValueError(f"bad target length: {target_length}")
+        if specifics_per_prefix < 1:
+            raise ValueError(
+                f"need at least one specific per prefix, got {specifics_per_prefix}"
+            )
+        self.day = int(day)
+        self.faulty_as = validate_asn(faulty_as)
+        self.count = count
+        self.target_length = target_length
+        self.specifics_per_prefix = specifics_per_prefix
+
+    def generate(
+        self, universe: Sequence[Prefix], rng: random.Random
+    ) -> FaultEvent:
+        eligible = [p for p in universe if p.length < self.target_length]
+        count = min(self.count, len(eligible))
+        victims = rng.sample(eligible, count)
+        specifics: List[Prefix] = []
+        for prefix in victims:
+            children = list(prefix.deaggregate(self.target_length))
+            take = min(self.specifics_per_prefix, len(children))
+            specifics.extend(rng.sample(children, take))
+        return FaultEvent(
+            day=self.day,
+            faulty_as=self.faulty_as,
+            prefixes=tuple(specifics),
+            kind="deaggregation",
+        )

@@ -1,0 +1,189 @@
+"""Attacker strategies against the MOAS-list scheme.
+
+Each strategy is one way of announcing a route for a prefix the attacker
+cannot reach:
+
+* :class:`NaiveFalseOrigin` — plain false origination with no MOAS list
+  (the observed operational faults of §3.3 look like this);
+* :class:`SupersetListForgery` — the §4.1 counter-move: "AS 3 could attach
+  its own MOAS list that includes AS 1, AS 2, and AS 3"; still detected
+  because the superset disagrees with the genuine list;
+* :class:`ExactListForgery` — copy the genuine list verbatim; the
+  announcement's own origin is then missing from the list it carries,
+  which a checker rejects without needing a second view;
+* :class:`PathSpoofing` — forge the AS path so the route appears to lead
+  to the true origin (the §4.3 limitation: the MOAS list cannot catch
+  this).  Included so the limitation is reproducible, not because the
+  scheme claims to stop it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.network import Network
+from repro.core.moas_list import moas_communities
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class AttackStrategy(abc.ABC):
+    """How an attacker AS announces the target prefix."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        """Make ``attacker`` start announcing ``prefix``."""
+
+
+class NaiveFalseOrigin(AttackStrategy):
+    """Originate the prefix with no MOAS list (implicit {attacker})."""
+
+    name = "naive-false-origin"
+
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        network.speaker(attacker).originate(prefix)
+
+
+class SupersetListForgery(AttackStrategy):
+    """Originate with a forged list = genuine origins + attacker."""
+
+    name = "superset-list-forgery"
+
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        forged = set(victim_origins) | {attacker}
+        network.speaker(attacker).originate(
+            prefix, communities=moas_communities(forged)
+        )
+
+
+class ExactListForgery(AttackStrategy):
+    """Originate carrying the genuine list verbatim (attacker excluded).
+
+    Self-inconsistent: the route's origin (the attacker) is not in the list
+    it carries, so a single capable router rejects it outright.
+    """
+
+    name = "exact-list-forgery"
+
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        network.speaker(attacker).originate(
+            prefix, communities=moas_communities(victim_origins)
+        )
+
+
+class SubPrefixHijack(AttackStrategy):
+    """Announce a *more-specific* prefix inside the victim's block.
+
+    §4.3's other acknowledged blind spot: an AS "could falsely announce a
+    route to a prefix longer than p where p is an IP address prefix
+    belonging to another AS".  The announcement names a different prefix,
+    so no MOAS conflict ever arises — and longest-match forwarding sends
+    the covered addresses to the attacker from *everywhere*, regardless of
+    path lengths.
+    """
+
+    name = "sub-prefix-hijack"
+
+    def __init__(self, specific_length: int = 24) -> None:
+        if not 0 < specific_length <= 32:
+            raise ValueError(f"bad specific length: {specific_length}")
+        self.specific_length = specific_length
+
+    def more_specific_of(self, prefix: Prefix) -> Prefix:
+        if prefix.length >= self.specific_length:
+            raise ValueError(
+                f"{prefix} is already /{prefix.length}; cannot announce a "
+                f"/{self.specific_length} inside it"
+            )
+        return next(prefix.deaggregate(self.specific_length))
+
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        network.speaker(attacker).originate(self.more_specific_of(prefix))
+
+
+class PathSpoofing(AttackStrategy):
+    """Forge the AS path so the announcement ends at a genuine origin.
+
+    The attacker sends, to each of its peers, an UPDATE whose path is
+    ``(attacker, victim)`` carrying the genuine MOAS list — claiming to be
+    one hop from the true origin.  MOAS-list checking sees a consistent
+    list and a legitimate origin; §4.3: "an AS could make a false route
+    announcement with a correct origin AS but a manipulated AS path".
+    """
+
+    name = "path-spoofing"
+
+    def launch(
+        self,
+        network: Network,
+        attacker: ASN,
+        prefix: Prefix,
+        victim_origins: FrozenSet[ASN],
+    ) -> None:
+        if not victim_origins:
+            raise ValueError("path spoofing requires at least one victim origin")
+        victim = min(victim_origins)
+        communities = (
+            moas_communities(victim_origins) if len(victim_origins) > 1 else ()
+        )
+        speaker = network.speaker(attacker)
+        attributes = PathAttributes(
+            as_path=AsPath.from_asns([attacker, victim]),
+            next_hop=attacker,
+            communities=communities,
+        )
+        update = UpdateMessage(announced={prefix}, attributes=attributes)
+        for peer in speaker.established_peers:
+            network.link(attacker, peer).send(attacker, update)
+            speaker.updates_sent += 1
+
+
+@dataclass(frozen=True)
+class Attacker:
+    """An attacker: where it sits and how it lies."""
+
+    asn: ASN
+    strategy: AttackStrategy
+
+    def launch(
+        self, network: Network, prefix: Prefix, victim_origins: Iterable[ASN]
+    ) -> None:
+        self.strategy.launch(
+            network, self.asn, prefix, frozenset(victim_origins)
+        )

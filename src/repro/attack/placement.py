@@ -1,0 +1,48 @@
+"""Random placement of origin and attacker ASes (§5.1).
+
+"To generate MOAS, we randomly select origin ASes from the stub ASes...
+We allow any number of attacker ASes to originate invalid routes to the
+prefix and we choose the attacker ASes randomly from all the ASes."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Sequence
+
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph
+
+
+def place_origins(
+    graph: ASGraph, n_origins: int, rng: random.Random
+) -> List[ASN]:
+    """Pick ``n_origins`` distinct stub ASes to legitimately originate the
+    prefix (the paper uses 1 or 2; 96.14 % of real MOAS involve two)."""
+    stubs = graph.stub_asns()
+    if n_origins < 1:
+        raise ValueError(f"need at least one origin, got {n_origins}")
+    if n_origins > len(stubs):
+        raise ValueError(
+            f"cannot place {n_origins} origins among {len(stubs)} stub ASes"
+        )
+    return sorted(rng.sample(stubs, n_origins))
+
+
+def place_attackers(
+    graph: ASGraph,
+    n_attackers: int,
+    rng: random.Random,
+    exclude: Sequence[ASN] = (),
+) -> List[ASN]:
+    """Pick ``n_attackers`` distinct ASes from the whole topology, excluding
+    the genuine origins (an origin "attacking" its own prefix is a no-op)."""
+    excluded = set(exclude)
+    pool = [asn for asn in graph.asns() if asn not in excluded]
+    if n_attackers < 0:
+        raise ValueError(f"attacker count must be non-negative, got {n_attackers}")
+    if n_attackers > len(pool):
+        raise ValueError(
+            f"cannot place {n_attackers} attackers among {len(pool)} candidates"
+        )
+    return sorted(rng.sample(pool, n_attackers))

@@ -1,0 +1,39 @@
+"""Baselines: the related-work approaches the paper positions against (§2).
+
+* :mod:`repro.baselines.irr` — route filtering against Internet Routing
+  Registry records ([21], Yu's route-filtering model).  Its weakness, per
+  the paper: "keeping the IRR record updated is not a mandatory
+  requirement for ISPs, some IRR records are outdated or inaccurate" — the
+  registry here models both incomplete coverage and staleness.
+* :mod:`repro.baselines.origin_auth` — S-BGP-style cryptographic origin
+  attestation ([14], Kent et al.).  Strong when certificates exist and the
+  verifying router participates in the PKI, but (the paper's critique)
+  requiring "substantial modification to the current routing protocol
+  implementations" — modelled as certificate-coverage and verifier-
+  deployment parameters.
+* :mod:`repro.baselines.dns_checking` — Bates et al.'s DNS origin lookup
+  on *every* update ([3]); contrasted with the MOAS-list design where DNS
+  is consulted only on conflicts, and subject to the §2 circular
+  dependency (lookups fail where routing is broken).
+
+All three plug into the same import-validator interface the MOAS checker
+uses, so the experiment harness can run them as drop-in arms.
+"""
+
+from repro.baselines.irr import IrrRecord, IrrRegistry, IrrValidator
+from repro.baselines.origin_auth import (
+    AttestationAuthority,
+    OriginAuthValidator,
+    attestation_communities,
+)
+from repro.baselines.dns_checking import PerUpdateDnsValidator
+
+__all__ = [
+    "IrrRecord",
+    "IrrRegistry",
+    "IrrValidator",
+    "AttestationAuthority",
+    "OriginAuthValidator",
+    "attestation_communities",
+    "PerUpdateDnsValidator",
+]

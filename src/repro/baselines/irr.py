@@ -1,0 +1,133 @@
+"""IRR-based route filtering (the paper's §2 reference [21]).
+
+An Internet Routing Registry stores *route objects*: (prefix, origin AS)
+claims registered by address holders.  A filtering router rejects any
+announcement whose (prefix, origin) pair has no matching route object.
+
+The paper's critique, which this model parameterises:
+
+* **coverage** — registration is voluntary; unregistered prefixes cannot
+  be filtered at all (a filtering router must accept them or lose
+  reachability — we accept, the operationally forced choice);
+* **staleness** — records outlive reality.  A stale record for a previous
+  holder both *blocks* the legitimate new origin (false positive) and
+  *admits* an attacker who happens to match the stale claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+
+
+@dataclass(frozen=True)
+class IrrRecord:
+    """One route object: who the registry *believes* may originate."""
+
+    prefix: Prefix
+    origins: FrozenSet[ASN]
+    stale: bool = False
+
+
+class IrrRegistry:
+    """The registry: a best-effort, possibly outdated origin database."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Prefix, IrrRecord] = {}
+
+    def register(self, prefix: Prefix, origins: Iterable[ASN]) -> None:
+        origin_set = frozenset(validate_asn(a) for a in origins)
+        if not origin_set:
+            raise ValueError(f"{prefix} needs at least one origin")
+        self._records[prefix] = IrrRecord(prefix, origin_set, stale=False)
+
+    def make_stale(self, prefix: Prefix, wrong_origins: Iterable[ASN]) -> None:
+        """Replace a record with an outdated claim (previous holder)."""
+        origin_set = frozenset(validate_asn(a) for a in wrong_origins)
+        if not origin_set:
+            raise ValueError("stale record still needs origins")
+        self._records[prefix] = IrrRecord(prefix, origin_set, stale=True)
+
+    def drop(self, prefix: Prefix) -> None:
+        """Unregister (the voluntary-participation gap)."""
+        self._records.pop(prefix, None)
+
+    def lookup(self, prefix: Prefix) -> Optional[IrrRecord]:
+        return self._records.get(prefix)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._records
+
+    @classmethod
+    def from_ground_truth(
+        cls,
+        bindings: Dict[Prefix, FrozenSet[ASN]],
+        coverage: float,
+        staleness: float,
+        rng: random.Random,
+        stale_origin_pool: Iterable[ASN] = (),
+    ) -> "IrrRegistry":
+        """Degrade ground truth into a realistic registry.
+
+        ``coverage`` of the prefixes get a record at all; of those,
+        ``staleness`` carry an outdated origin drawn from
+        ``stale_origin_pool`` (or an arbitrary wrong ASN).
+        """
+        if not 0 <= coverage <= 1:
+            raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+        if not 0 <= staleness <= 1:
+            raise ValueError(f"staleness must be in [0, 1], got {staleness}")
+        registry = cls()
+        pool = sorted(set(stale_origin_pool))
+        for prefix, origins in sorted(bindings.items(), key=lambda kv: str(kv[0])):
+            if rng.random() >= coverage:
+                continue
+            if rng.random() < staleness:
+                if pool:
+                    wrong = rng.choice(pool)
+                else:
+                    wrong = (max(origins) % 64000) + 1
+                registry.make_stale(prefix, [wrong])
+            else:
+                registry.register(prefix, origins)
+        return registry
+
+
+class IrrValidator:
+    """Import validator enforcing the registry's route objects.
+
+    Returns False (reject) only when the registry has a record for the
+    prefix *and* the route's origin is not in it.  Unregistered prefixes
+    pass — dropping them would break reachability for every legitimate
+    unregistered destination, which no operator deploys.
+    """
+
+    def __init__(self, registry: IrrRegistry) -> None:
+        self.registry = registry
+        self.checks = 0
+        self.rejections = 0
+        self.unfilterable = 0  # announcements for unregistered prefixes
+
+    def __call__(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> bool:
+        self.checks += 1
+        record = self.registry.lookup(prefix)
+        if record is None:
+            self.unfilterable += 1
+            return True
+        origin = attributes.origin_asn
+        if origin is None:
+            return True  # aggregated AS_SET origin: not filterable
+        if origin not in record.origins:
+            self.rejections += 1
+            return False
+        return True

@@ -1,0 +1,123 @@
+"""S-BGP-style origin attestation (the paper's §2 reference [14]).
+
+In Secure BGP, an *address attestation* signed under the address-space
+PKI binds a prefix to the ASes authorised to originate it; a verifying
+router rejects originations lacking a valid attestation.
+
+The simulation models the attestation as a 16-bit authenticator tag
+carried in a community ``(origin : tag)``, where the tag is a truncated
+HMAC over (prefix, origin) under the authority's key.  An attacker cannot
+mint a tag for itself; it *can* replay the genuine origin's attestation
+with a spoofed AS path — precisely why S-BGP needs *route* attestations
+on top of *address* attestations, and the same §4.3 blind spot the MOAS
+list has.
+
+The paper's deployment critique is parameterised twice over:
+
+* ``cert_coverage`` — only prefixes whose holders obtained certificates
+  are protected; unattested prefixes cannot be verified and must be
+  accepted;
+* verifier deployment — routers without the PKI machinery (not running
+  this validator) accept everything, exactly like partial MOAS deployment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.core.moas_list import MLVAL
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+
+
+class AttestationAuthority:
+    """Issues and verifies address attestations.
+
+    One authority models the address-space PKI root.  ``issue`` hands the
+    legitimate origin the communities to attach; ``verify`` recomputes the
+    tag.  The key never leaves the authority, so the attacker cannot
+    forge; experiments give attackers access only to ``issue`` output they
+    could have observed on the wire (replay).
+    """
+
+    def __init__(self, secret: bytes = b"repro-sbgp-authority") -> None:
+        self._secret = secret
+        self._attested: Dict[Prefix, Set[ASN]] = {}
+
+    def _tag(self, prefix: Prefix, origin: ASN) -> int:
+        digest = hmac.new(
+            self._secret, f"{prefix}|{origin}".encode(), hashlib.sha256
+        ).digest()
+        tag = int.from_bytes(digest[:2], "big")
+        if tag == MLVAL:
+            tag ^= 0x0001  # keep the MOAS-list community value unambiguous
+        return tag
+
+    def certify(self, prefix: Prefix, origins: Iterable[ASN]) -> None:
+        """Record that ``origins`` hold certificates for ``prefix``."""
+        origin_set = {validate_asn(a) for a in origins}
+        if not origin_set:
+            raise ValueError(f"{prefix} needs at least one certified origin")
+        self._attested.setdefault(prefix, set()).update(origin_set)
+
+    def is_certified(self, prefix: Prefix) -> bool:
+        return prefix in self._attested
+
+    def issue(self, prefix: Prefix, origin: ASN) -> FrozenSet[Community]:
+        """The attestation communities a certified origin attaches."""
+        if origin not in self._attested.get(prefix, set()):
+            raise PermissionError(
+                f"AS{origin} holds no certificate for {prefix}"
+            )
+        return frozenset({Community(origin, self._tag(prefix, origin))})
+
+    def verify(
+        self, prefix: Prefix, origin: ASN, attributes: PathAttributes
+    ) -> Optional[bool]:
+        """True/False for certified prefixes; None when unattested
+        (nothing to verify against)."""
+        if prefix not in self._attested:
+            return None
+        expected = Community(origin, self._tag(prefix, origin))
+        return expected in attributes.communities
+
+
+def attestation_communities(
+    authority: AttestationAuthority, prefix: Prefix, origin: ASN
+) -> FrozenSet[Community]:
+    """Convenience wrapper mirroring :func:`repro.core.moas_communities`."""
+    return authority.issue(prefix, origin)
+
+
+class OriginAuthValidator:
+    """Import validator: reject originations that fail attestation.
+
+    Unattested prefixes (no certificate issued — the coverage gap) are
+    accepted, as a real deployment must during rollout.
+    """
+
+    def __init__(self, authority: AttestationAuthority) -> None:
+        self.authority = authority
+        self.checks = 0
+        self.rejections = 0
+        self.unverifiable = 0
+
+    def __call__(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> bool:
+        self.checks += 1
+        origin = attributes.origin_asn
+        if origin is None:
+            return True
+        verdict = self.authority.verify(prefix, origin, attributes)
+        if verdict is None:
+            self.unverifiable += 1
+            return True
+        if not verdict:
+            self.rejections += 1
+            return False
+        return True

@@ -1,0 +1,72 @@
+"""A BGP-4 simulator at AS granularity.
+
+This package is a clean-room reimplementation of the protocol machinery the
+paper's evaluation relied on (a modified SSFnet BGP): path attributes
+(including the community attribute the MOAS list rides on), the three RIBs,
+the decision process, import/export policy, per-peer MRAI timers, session
+management and UPDATE propagation over :class:`repro.net.Link` objects.
+
+One :class:`BGPSpeaker` represents one AS, exactly as in the paper's
+simulation topologies where "each node represents an Autonomous System".
+"""
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    Community,
+    Origin,
+    PathAttributes,
+    SegmentType,
+)
+from repro.bgp.errors import BgpError, PolicyError, SessionError
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    Message,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.bgp.policy import (
+    AcceptAllPolicy,
+    GaoRexfordPolicy,
+    PeerRelation,
+    Policy,
+    PolicyChain,
+    PrefixFilterPolicy,
+)
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.bgp.decision import DecisionProcess, RouteComparison
+from repro.bgp.session import SessionState
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+
+__all__ = [
+    "AsPath",
+    "AsPathSegment",
+    "SegmentType",
+    "Community",
+    "Origin",
+    "PathAttributes",
+    "BgpError",
+    "PolicyError",
+    "SessionError",
+    "Message",
+    "OpenMessage",
+    "UpdateMessage",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "Policy",
+    "PolicyChain",
+    "AcceptAllPolicy",
+    "PrefixFilterPolicy",
+    "GaoRexfordPolicy",
+    "PeerRelation",
+    "AdjRibIn",
+    "AdjRibOut",
+    "LocRib",
+    "RibEntry",
+    "DecisionProcess",
+    "RouteComparison",
+    "SessionState",
+    "BGPSpeaker",
+    "SpeakerConfig",
+]

@@ -1,0 +1,126 @@
+"""BGP route aggregation (RFC 4271 §9.2.2.2).
+
+Aggregation is why AS paths contain AS_SET segments — the paper's
+footnote 1: "in the case of route aggregation, an element in the AS path
+may include a set of ASes" — and why the MOAS observer must treat a
+trailing AS_SET as a set of origin candidates.
+
+The engine combines sibling prefixes bottom-up into maximal aggregates:
+
+* sibling routes with *identical* attributes merge losslessly;
+* sibling routes with differing paths merge into an aggregate whose path
+  is the longest common leading sequence plus a trailing AS_SET, marked
+  ``ATOMIC_AGGREGATE`` and stamped with the aggregating AS (AGGREGATOR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.rib import RibEntry
+from repro.net.addresses import Prefix, aggregate_adjacent
+from repro.net.asn import ASN, validate_asn
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one aggregation pass."""
+
+    aggregates: List[RibEntry] = field(default_factory=list)
+    untouched: List[RibEntry] = field(default_factory=list)
+    routes_absorbed: int = 0  # original routes folded into aggregates
+
+    def all_routes(self) -> List[RibEntry]:
+        return self.aggregates + self.untouched
+
+    @property
+    def table_reduction(self) -> int:
+        """How many table entries aggregation saved."""
+        return self.routes_absorbed - len(self.aggregates)
+
+
+def _merge_origin(a: Origin, b: Origin) -> Origin:
+    """RFC 4271: the aggregate's ORIGIN is the 'worst' (highest) value."""
+    return max(a, b)
+
+
+def _merge_siblings(
+    parent: Prefix, left: RibEntry, right: RibEntry, aggregator_asn: ASN
+) -> RibEntry:
+    """Combine two sibling routes into their parent aggregate."""
+    la, ra = left.attributes, right.attributes
+    if la == ra:
+        attributes = la
+    else:
+        attributes = PathAttributes(
+            origin=_merge_origin(la.origin, ra.origin),
+            as_path=AsPath.aggregate([la.as_path, ra.as_path]),
+            next_hop=None,
+            med=0,  # MED is not propagated across aggregation
+            local_pref=min(la.local_pref, ra.local_pref),
+            communities=la.communities | ra.communities,
+            atomic_aggregate=True,
+            aggregator=aggregator_asn,
+        )
+    installed_at = max(left.installed_at, right.installed_at)
+    return RibEntry(parent, attributes, peer=None, installed_at=installed_at)
+
+
+def aggregate_routes(
+    entries: Iterable[RibEntry],
+    aggregator_asn: ASN,
+    min_length: int = 8,
+) -> AggregationResult:
+    """Aggregate a route set bottom-up into maximal covering prefixes.
+
+    ``min_length`` stops aggregation from collapsing past a sane boundary
+    (aggregating to /0 would claim the whole Internet).  Routes for
+    duplicate prefixes are rejected — callers aggregate a Loc-RIB view,
+    which has one route per prefix by construction.
+    """
+    validate_asn(aggregator_asn)
+    if min_length < 0 or min_length > 32:
+        raise ValueError(f"min_length out of range: {min_length}")
+
+    by_prefix: Dict[Prefix, RibEntry] = {}
+    for entry in entries:
+        if entry.prefix in by_prefix:
+            raise ValueError(f"duplicate route for {entry.prefix}")
+        by_prefix[entry.prefix] = entry
+
+    original = set(by_prefix)
+
+    # Bottom-up: repeatedly merge the deepest sibling pairs.
+    changed = True
+    while changed:
+        changed = False
+        for prefix in sorted(by_prefix, key=lambda p: (-p.length, p.network)):
+            if prefix not in by_prefix or prefix.length <= min_length:
+                continue
+            parent = prefix.supernet()
+            low, high = parent.subnets()
+            sibling = high if prefix == low else low
+            if sibling in by_prefix and parent not in by_prefix:
+                merged = _merge_siblings(
+                    parent, by_prefix[prefix], by_prefix[sibling], aggregator_asn
+                )
+                del by_prefix[prefix]
+                del by_prefix[sibling]
+                by_prefix[parent] = merged
+                changed = True
+
+    absorbed = len(original - set(by_prefix))
+
+    aggregates = [
+        entry for prefix, entry in sorted(by_prefix.items(), key=lambda kv: str(kv[0]))
+        if prefix not in original
+    ]
+    untouched = [
+        entry for prefix, entry in sorted(by_prefix.items(), key=lambda kv: str(kv[0]))
+        if prefix in original
+    ]
+    return AggregationResult(
+        aggregates=aggregates, untouched=untouched, routes_absorbed=absorbed
+    )

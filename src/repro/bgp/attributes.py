@@ -1,0 +1,392 @@
+"""BGP path attributes.
+
+Implements the attributes the paper's mechanism touches:
+
+* ``ORIGIN`` — IGP / EGP / INCOMPLETE.
+* ``AS_PATH`` — a sequence of segments; each segment is either an ordered
+  ``AS_SEQUENCE`` or an unordered ``AS_SET`` (produced by aggregation, and
+  the reason the paper's footnote 1 says "an element in the AS path may
+  include a set of ASes").
+* ``NEXT_HOP``, ``MED``, ``LOCAL_PREF`` — used by the decision process.
+* ``COMMUNITY`` (RFC 1997) — the optional transitive attribute the MOAS
+  list is encoded in, as ``(AS << 16) | value`` four-octet values.
+* ``ATOMIC_AGGREGATE`` / ``AGGREGATOR`` — set by route aggregation.
+
+All attribute containers are immutable; updates produce new objects.  This
+keeps RIB entries safe to share between speakers in-process, which the
+simulator exploits heavily.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bgp.errors import AttributeError_
+from repro.net.asn import ASN, validate_asn
+
+
+class Origin(enum.IntEnum):
+    """ORIGIN attribute; lower is preferred by the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class SegmentType(enum.Enum):
+    AS_SEQUENCE = "sequence"
+    AS_SET = "set"
+
+
+class AsPathSegment:
+    """One AS_PATH segment.
+
+    ``AS_SEQUENCE`` preserves order; ``AS_SET`` is stored sorted so equal
+    sets compare and hash identically.
+    """
+
+    __slots__ = ("kind", "asns")
+
+    def __init__(self, kind: SegmentType, asns: Iterable[ASN]) -> None:
+        asn_list = [validate_asn(a) for a in asns]
+        if not asn_list:
+            raise AttributeError_("AS path segment cannot be empty")
+        if kind is SegmentType.AS_SET:
+            asn_list = sorted(set(asn_list))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "asns", tuple(asn_list))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AsPathSegment is immutable")
+
+    @property
+    def path_length_contribution(self) -> int:
+        """RFC 4271 semantics: an AS_SET counts as one hop, a sequence as
+        its number of ASes."""
+        return len(self.asns) if self.kind is SegmentType.AS_SEQUENCE else 1
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self.asns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AsPathSegment):
+            return NotImplemented
+        return self.kind == other.kind and self.asns == other.asns
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.asns))
+
+    def __repr__(self) -> str:
+        if self.kind is SegmentType.AS_SEQUENCE:
+            return " ".join(str(a) for a in self.asns)
+        return "{" + ",".join(str(a) for a in self.asns) + "}"
+
+
+class AsPath:
+    """An AS_PATH: a tuple of segments.
+
+    The common case — a pure sequence — has convenience constructors and
+    accessors.  ``origin_asns`` returns a *set* because, after aggregation,
+    the final element may be an AS_SET and the route has several plausible
+    origins; the MOAS observer must treat each as an origin candidate.
+    """
+
+    __slots__ = ("segments",)
+
+    def __init__(self, segments: Iterable[AsPathSegment] = ()) -> None:
+        object.__setattr__(self, "segments", tuple(segments))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AsPath is immutable")
+
+    @classmethod
+    def from_asns(cls, asns: Sequence[ASN]) -> "AsPath":
+        """Build a pure AS_SEQUENCE path (empty input → empty path)."""
+        if not asns:
+            return cls()
+        return cls([AsPathSegment(SegmentType.AS_SEQUENCE, asns)])
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.segments
+
+    @property
+    def length(self) -> int:
+        """Decision-process path length (AS_SET counts once)."""
+        return sum(seg.path_length_contribution for seg in self.segments)
+
+    def asns(self) -> Iterator[ASN]:
+        """All ASNs mentioned anywhere in the path, in segment order."""
+        for segment in self.segments:
+            yield from segment.asns
+
+    def __contains__(self, asn: ASN) -> bool:
+        return any(asn in segment for segment in self.segments)
+
+    @property
+    def first_asn(self) -> Optional[ASN]:
+        """The neighbour the route was learned from (leftmost AS)."""
+        if not self.segments:
+            return None
+        first = self.segments[0]
+        if first.kind is SegmentType.AS_SET:
+            return None  # ambiguous
+        return first.asns[0]
+
+    def origin_asns(self) -> FrozenSet[ASN]:
+        """The origin candidates.
+
+        For a path ending in an AS_SEQUENCE this is the singleton holding
+        the rightmost AS — the paper's "origin AS".  For a path ending in
+        an AS_SET (aggregation) every member of the set is a candidate.
+        """
+        if not self.segments:
+            return frozenset()
+        last = self.segments[-1]
+        if last.kind is SegmentType.AS_SEQUENCE:
+            return frozenset({last.asns[-1]})
+        return frozenset(last.asns)
+
+    @property
+    def origin_asn(self) -> Optional[ASN]:
+        """The unique origin AS, or ``None`` if aggregation made it a set."""
+        origins = self.origin_asns()
+        if len(origins) == 1:
+            return next(iter(origins))
+        return None
+
+    # -- construction -------------------------------------------------------
+
+    def prepend(self, asn: ASN) -> "AsPath":
+        """Return a new path with ``asn`` prepended (what a speaker does on
+        eBGP export)."""
+        validate_asn(asn)
+        if self.segments and self.segments[0].kind is SegmentType.AS_SEQUENCE:
+            head = self.segments[0]
+            new_head = AsPathSegment(
+                SegmentType.AS_SEQUENCE, (asn,) + head.asns
+            )
+            return AsPath((new_head,) + self.segments[1:])
+        new_head = AsPathSegment(SegmentType.AS_SEQUENCE, (asn,))
+        return AsPath((new_head,) + self.segments)
+
+    @staticmethod
+    def aggregate(paths: Sequence["AsPath"]) -> "AsPath":
+        """Aggregate several paths RFC 4271-style.
+
+        The longest common leading sequence is preserved; every other AS
+        appearing in any path is collapsed into a trailing AS_SET.
+        """
+        if not paths:
+            return AsPath()
+        if len(paths) == 1:
+            return paths[0]
+        sequences = [list(p.asns()) for p in paths]
+        common: List[ASN] = []
+        for position, asn in enumerate(sequences[0]):
+            if all(len(s) > position and s[position] == asn for s in sequences):
+                common.append(asn)
+            else:
+                break
+        leftovers = set()
+        for seq in sequences:
+            leftovers.update(seq[len(common):])
+        segments: List[AsPathSegment] = []
+        if common:
+            segments.append(AsPathSegment(SegmentType.AS_SEQUENCE, common))
+        if leftovers:
+            segments.append(AsPathSegment(SegmentType.AS_SET, sorted(leftovers)))
+        return AsPath(segments)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AsPath):
+            return NotImplemented
+        return self.segments == other.segments
+
+    def __hash__(self) -> int:
+        return hash(self.segments)
+
+    def __repr__(self) -> str:
+        return "AsPath(" + " ".join(repr(s) for s in self.segments) + ")"
+
+    def __str__(self) -> str:
+        return " ".join(repr(s) for s in self.segments) or "<empty>"
+
+
+class Community:
+    """A four-octet RFC 1997 community, conventionally ``AS:value``.
+
+    The paper reserves one well-known value of the low 16 bits (``MLVal``)
+    to mean "the AS in the high 16 bits may originate this prefix"; that
+    encoding lives in :mod:`repro.core.moas_list`, which builds on this
+    class.
+    """
+
+    __slots__ = ("asn", "value")
+
+    # RFC 1997 well-known communities.
+    NO_EXPORT = 0xFFFFFF01
+    NO_ADVERTISE = 0xFFFFFF02
+    NO_EXPORT_SUBCONFED = 0xFFFFFF03
+
+    def __init__(self, asn: int, value: int) -> None:
+        if not 0 <= asn <= 0xFFFF:
+            raise AttributeError_(f"community AS part out of range: {asn}")
+        if not 0 <= value <= 0xFFFF:
+            raise AttributeError_(f"community value part out of range: {value}")
+        object.__setattr__(self, "asn", asn)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Community is immutable")
+
+    @classmethod
+    def from_u32(cls, raw: int) -> "Community":
+        if not 0 <= raw <= 0xFFFFFFFF:
+            raise AttributeError_(f"community out of range: {raw}")
+        return cls(raw >> 16, raw & 0xFFFF)
+
+    def to_u32(self) -> int:
+        return (self.asn << 16) | self.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return self.asn == other.asn and self.value == other.value
+
+    def __lt__(self, other: "Community") -> bool:
+        return self.to_u32() < other.to_u32()
+
+    def __hash__(self) -> int:
+        return hash((self.asn, self.value))
+
+    def __repr__(self) -> str:
+        return f"Community({self.asn}:{self.value})"
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+class PathAttributes:
+    """The full attribute bundle attached to a route.
+
+    Immutable; the ``replace``/``with_*`` helpers derive modified copies.
+    """
+
+    __slots__ = (
+        "origin",
+        "as_path",
+        "next_hop",
+        "med",
+        "local_pref",
+        "communities",
+        "atomic_aggregate",
+        "aggregator",
+    )
+
+    DEFAULT_LOCAL_PREF = 100
+
+    def __init__(
+        self,
+        origin: Origin = Origin.IGP,
+        as_path: Optional[AsPath] = None,
+        next_hop: Optional[ASN] = None,
+        med: int = 0,
+        local_pref: int = DEFAULT_LOCAL_PREF,
+        communities: Iterable[Community] = (),
+        atomic_aggregate: bool = False,
+        aggregator: Optional[ASN] = None,
+    ) -> None:
+        if med < 0:
+            raise AttributeError_(f"MED must be non-negative, got {med}")
+        if local_pref < 0:
+            raise AttributeError_(f"LOCAL_PREF must be non-negative, got {local_pref}")
+        object.__setattr__(self, "origin", Origin(origin))
+        object.__setattr__(self, "as_path", as_path if as_path is not None else AsPath())
+        object.__setattr__(self, "next_hop", next_hop)
+        object.__setattr__(self, "med", int(med))
+        object.__setattr__(self, "local_pref", int(local_pref))
+        object.__setattr__(self, "communities", frozenset(communities))
+        object.__setattr__(self, "atomic_aggregate", bool(atomic_aggregate))
+        object.__setattr__(self, "aggregator", aggregator)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PathAttributes is immutable")
+
+    # -- derivation helpers ---------------------------------------------------
+
+    def replace(self, **changes: object) -> "PathAttributes":
+        """Return a copy with the named fields replaced."""
+        current = {
+            "origin": self.origin,
+            "as_path": self.as_path,
+            "next_hop": self.next_hop,
+            "med": self.med,
+            "local_pref": self.local_pref,
+            "communities": self.communities,
+            "atomic_aggregate": self.atomic_aggregate,
+            "aggregator": self.aggregator,
+        }
+        unknown = set(changes) - set(current)
+        if unknown:
+            raise AttributeError_(f"unknown attribute fields: {sorted(unknown)}")
+        current.update(changes)
+        return PathAttributes(**current)  # type: ignore[arg-type]
+
+    def with_prepended(self, asn: ASN, next_hop: ASN) -> "PathAttributes":
+        """Derive export attributes: prepend ``asn``, rewrite next hop."""
+        return self.replace(as_path=self.as_path.prepend(asn), next_hop=next_hop)
+
+    def with_communities(self, communities: Iterable[Community]) -> "PathAttributes":
+        return self.replace(communities=frozenset(communities))
+
+    def add_communities(self, communities: Iterable[Community]) -> "PathAttributes":
+        return self.replace(communities=self.communities | frozenset(communities))
+
+    def without_communities(self) -> "PathAttributes":
+        """Drop the (optional transitive) community attribute — the allowed
+        behaviour §4.3 warns about."""
+        return self.replace(communities=frozenset())
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def origin_asn(self) -> Optional[ASN]:
+        return self.as_path.origin_asn
+
+    def communities_of_value(self, value: int) -> FrozenSet[Community]:
+        return frozenset(c for c in self.communities if c.value == value)
+
+    # -- dunder -------------------------------------------------------------------
+
+    def _key(self) -> Tuple:
+        return (
+            self.origin,
+            self.as_path,
+            self.next_hop,
+            self.med,
+            self.local_pref,
+            self.communities,
+            self.atomic_aggregate,
+            self.aggregator,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathAttributes):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"PathAttributes(path={self.as_path}, origin={self.origin.name}, "
+            f"lp={self.local_pref}, med={self.med}, "
+            f"communities={sorted(self.communities)})"
+        )

@@ -1,0 +1,166 @@
+"""Route-flap damping (RFC 2439).
+
+Period-authentic BGP stability machinery: each (peer, prefix) accumulates a
+penalty on every flap (withdrawal or attribute change); once the penalty
+crosses the *suppress* threshold the route is ignored until exponential
+decay brings the penalty below the *reuse* threshold.
+
+Damping matters to this paper's setting in two ways:
+
+* an attacker that re-announces aggressively to win races gets damped,
+  limiting the blast radius of repeated false originations;
+* conversely, damping can penalise a *victim* whose announcements churn
+  because the MOAS machinery is invalidating interleaved bogus routes —
+  the classic damping-harms-the-victim effect, reproducible in tests.
+
+Implemented as an import-validator plus a speaker hook, consistent with how
+the MOAS checker integrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.speaker import BGPSpeaker
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+@dataclass
+class DampingConfig:
+    """RFC 2439 parameters (defaults follow the common vendor profile)."""
+
+    penalty_per_flap: float = 1000.0
+    suppress_threshold: float = 2000.0
+    reuse_threshold: float = 750.0
+    half_life: float = 900.0  # seconds
+    max_suppress_time: float = 3600.0
+
+    def validate(self) -> None:
+        if self.penalty_per_flap <= 0:
+            raise ValueError("penalty_per_flap must be positive")
+        if self.reuse_threshold <= 0:
+            raise ValueError("reuse_threshold must be positive")
+        if self.suppress_threshold <= self.reuse_threshold:
+            raise ValueError("suppress threshold must exceed reuse threshold")
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if self.max_suppress_time < 0:
+            raise ValueError("max_suppress_time must be non-negative")
+
+    @property
+    def max_penalty(self) -> float:
+        """Penalty ceiling implied by the maximum suppression time."""
+        return self.reuse_threshold * 2 ** (
+            self.max_suppress_time / self.half_life
+        )
+
+
+@dataclass
+class _FlapRecord:
+    penalty: float = 0.0
+    last_update: float = 0.0
+    suppressed: bool = False
+    last_attributes: Optional[PathAttributes] = None
+    flaps: int = 0
+
+
+class RouteFlapDamper:
+    """Per-router damping state, attachable to a speaker.
+
+    ``attach`` registers the damper as an import validator (suppressed
+    routes are rejected on arrival) and as a withdrawal listener, so both
+    flap flavours — withdrawal and attribute change — are tracked
+    automatically.
+    """
+
+    def __init__(self, config: Optional[DampingConfig] = None) -> None:
+        self.config = config or DampingConfig()
+        self.config.validate()
+        self._records: Dict[Tuple[ASN, Prefix], _FlapRecord] = {}
+        self._speaker: Optional[BGPSpeaker] = None
+        self.suppressions = 0
+        self.reuses = 0
+
+    def attach(self, speaker: BGPSpeaker) -> None:
+        if self._speaker is not None:
+            raise RuntimeError("damper is already attached")
+        self._speaker = speaker
+        speaker.add_import_validator(self.validate)
+        speaker.add_withdrawal_listener(self.note_withdrawal)
+
+    def _now(self) -> float:
+        assert self._speaker is not None
+        return self._speaker.sim.now
+
+    # -- penalty mechanics ----------------------------------------------------
+
+    def _decay(self, record: _FlapRecord, now: float) -> None:
+        elapsed = now - record.last_update
+        if elapsed > 0:
+            record.penalty *= math.pow(2.0, -elapsed / self.config.half_life)
+            record.last_update = now
+        if record.suppressed and record.penalty < self.config.reuse_threshold:
+            record.suppressed = False
+            self.reuses += 1
+
+    def _add_penalty(self, record: _FlapRecord, now: float) -> None:
+        self._decay(record, now)
+        record.penalty = min(
+            record.penalty + self.config.penalty_per_flap,
+            self.config.max_penalty,
+        )
+        record.flaps += 1
+        record.last_update = now
+        if (
+            not record.suppressed
+            and record.penalty >= self.config.suppress_threshold
+        ):
+            record.suppressed = True
+            self.suppressions += 1
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def validate(self, peer: ASN, prefix: Prefix, attributes: PathAttributes) -> bool:
+        """Import-validator entry point."""
+        now = self._now()
+        record = self._records.setdefault((peer, prefix), _FlapRecord(last_update=now))
+        self._decay(record, now)
+        if record.last_attributes is not None and record.last_attributes != attributes:
+            # An attribute change counts as a flap (RFC 2439 §4.4.3).
+            self._add_penalty(record, now)
+        elif record.last_attributes is None and record.flaps > 0:
+            # Re-announcement after a withdrawal is the canonical flap.
+            self._add_penalty(record, now)
+        record.last_attributes = attributes
+        return not record.suppressed
+
+    def note_withdrawal(self, peer: ASN, prefix: Prefix) -> None:
+        """Record a withdrawal flap (wired automatically by attach)."""
+        now = self._now()
+        record = self._records.setdefault((peer, prefix), _FlapRecord(last_update=now))
+        self._add_penalty(record, now)
+        record.last_attributes = None
+
+    # -- queries ---------------------------------------------------------------------
+
+    def penalty(self, peer: ASN, prefix: Prefix) -> float:
+        record = self._records.get((peer, prefix))
+        if record is None:
+            return 0.0
+        self._decay(record, self._now())
+        return record.penalty
+
+    def is_suppressed(self, peer: ASN, prefix: Prefix) -> bool:
+        record = self._records.get((peer, prefix))
+        if record is None:
+            return False
+        self._decay(record, self._now())
+        return record.suppressed
+
+    def flap_count(self, peer: ASN, prefix: Prefix) -> int:
+        record = self._records.get((peer, prefix))
+        return 0 if record is None else record.flaps

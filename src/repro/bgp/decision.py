@@ -1,0 +1,146 @@
+"""The BGP decision process.
+
+Implements the RFC 4271 route-selection ladder over Adj-RIB-In candidates:
+
+1. highest LOCAL_PREF;
+2. shortest AS_PATH (AS_SET counts as one);
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED, compared only between routes from the same neighbouring AS;
+5. prefer locally originated routes over learned ones;
+6. prefer the oldest route (the classic "prefer oldest external path"
+   stability rule of paper-era BGP implementations; disable with
+   ``prefer_oldest=False`` for strict RFC 4271 behaviour);
+7. lowest peer ASN (standing in for lowest router id — the deterministic
+   final tie-break that makes the whole simulation replayable).
+
+The comparison is exposed both as a "pick best from list" operation and as a
+pairwise comparator so tests can probe each rung of the ladder in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from repro.bgp.rib import RibEntry
+
+
+class RouteComparison(enum.Enum):
+    """Outcome of a pairwise comparison, annotated with the deciding rule."""
+
+    LEFT_BETTER = "left"
+    RIGHT_BETTER = "right"
+    EQUAL = "equal"
+
+
+class DecisionProcess:
+    """Stateless best-path selection.
+
+    ``med_across_peers`` enables "always-compare-MED" mode (a common
+    operational knob); the default is the RFC behaviour of only comparing
+    MED between routes learned from the same neighbour AS.
+    """
+
+    def __init__(
+        self, med_across_peers: bool = False, prefer_oldest: bool = True
+    ) -> None:
+        self.med_across_peers = med_across_peers
+        self.prefer_oldest = prefer_oldest
+
+    # -- pairwise --------------------------------------------------------------
+
+    def compare(self, left: RibEntry, right: RibEntry) -> RouteComparison:
+        """Compare two candidate routes for the same prefix."""
+        if left.prefix != right.prefix:
+            raise ValueError(
+                f"cannot compare routes for different prefixes "
+                f"{left.prefix} vs {right.prefix}"
+            )
+        la, ra = left.attributes, right.attributes
+
+        if la.local_pref != ra.local_pref:
+            return (
+                RouteComparison.LEFT_BETTER
+                if la.local_pref > ra.local_pref
+                else RouteComparison.RIGHT_BETTER
+            )
+        if la.as_path.length != ra.as_path.length:
+            return (
+                RouteComparison.LEFT_BETTER
+                if la.as_path.length < ra.as_path.length
+                else RouteComparison.RIGHT_BETTER
+            )
+        if la.origin != ra.origin:
+            return (
+                RouteComparison.LEFT_BETTER
+                if la.origin < ra.origin
+                else RouteComparison.RIGHT_BETTER
+            )
+        if self._med_comparable(left, right) and la.med != ra.med:
+            return (
+                RouteComparison.LEFT_BETTER
+                if la.med < ra.med
+                else RouteComparison.RIGHT_BETTER
+            )
+        if left.is_local != right.is_local:
+            return (
+                RouteComparison.LEFT_BETTER
+                if left.is_local
+                else RouteComparison.RIGHT_BETTER
+            )
+        if self.prefer_oldest and left.age_key != right.age_key:
+            return (
+                RouteComparison.LEFT_BETTER
+                if left.age_key < right.age_key
+                else RouteComparison.RIGHT_BETTER
+            )
+        if left.peer is not None and right.peer is not None and left.peer != right.peer:
+            return (
+                RouteComparison.LEFT_BETTER
+                if left.peer < right.peer
+                else RouteComparison.RIGHT_BETTER
+            )
+        return RouteComparison.EQUAL
+
+    def _med_comparable(self, left: RibEntry, right: RibEntry) -> bool:
+        if self.med_across_peers:
+            return True
+        left_neighbor = left.attributes.as_path.first_asn
+        right_neighbor = right.attributes.as_path.first_asn
+        return (
+            left_neighbor is not None
+            and left_neighbor == right_neighbor
+        )
+
+    # -- selection ----------------------------------------------------------------
+
+    def select_best(self, candidates: Sequence[RibEntry]) -> Optional[RibEntry]:
+        """Return the best route among ``candidates`` (``None`` if empty).
+
+        The result is independent of input order: the comparator is a total
+        order once the peer-ASN tie-break applies, and candidates from the
+        same peer cannot coexist for one prefix.
+        """
+        best: Optional[RibEntry] = None
+        for candidate in candidates:
+            if best is None:
+                best = candidate
+                continue
+            outcome = self.compare(candidate, best)
+            if outcome is RouteComparison.LEFT_BETTER:
+                best = candidate
+        return best
+
+    def rank(self, candidates: Sequence[RibEntry]) -> List[RibEntry]:
+        """All candidates, best first — used by diagnostics and tests."""
+        import functools
+
+        def cmp(a: RibEntry, b: RibEntry) -> int:
+            outcome = self.compare(a, b)
+            if outcome is RouteComparison.LEFT_BETTER:
+                return -1
+            if outcome is RouteComparison.RIGHT_BETTER:
+                return 1
+            return 0
+
+        return sorted(candidates, key=functools.cmp_to_key(cmp))

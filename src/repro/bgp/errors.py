@@ -1,0 +1,20 @@
+"""BGP error hierarchy."""
+
+from __future__ import annotations
+
+
+class BgpError(Exception):
+    """Base class for all BGP-layer errors."""
+
+
+class SessionError(BgpError):
+    """Session management violations (peering with self, duplicate peers…)."""
+
+
+class PolicyError(BgpError):
+    """Raised by malformed policy configuration."""
+
+
+class AttributeError_(BgpError):
+    """Malformed path attribute (named with a trailing underscore to avoid
+    shadowing the builtin)."""

@@ -1,0 +1,148 @@
+"""The forwarding plane: where do packets actually go?
+
+BGP is a control-plane protocol; the damage the paper cares about is in the
+data plane — "packets following such bogus routes will be either dropped
+or, in the case of an intentional attack, delivered to a machine of the
+attacker's choosing."  This module walks a packet hop by hop through the
+converged Loc-RIBs (longest-match at every hop) and classifies the outcome:
+
+* ``DELIVERED`` — reached an AS that legitimately originates the prefix;
+* ``HIJACKED`` — reached an AS that originates the prefix but is not a
+  legitimate origin (the attacker's machine);
+* ``BLACKHOLED`` — some AS on the way had no route;
+* ``LOOPED`` — forwarding revisited an AS (control/data-plane mismatch).
+
+This is the metric that exposes AS-path spoofing: the control plane claims
+a genuine origin, but the walk ends at the attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.network import Network
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class DeliveryOutcome(enum.Enum):
+    DELIVERED = "delivered"
+    HIJACKED = "hijacked"
+    BLACKHOLED = "blackholed"
+    LOOPED = "looped"
+
+
+@dataclass(frozen=True)
+class ForwardingTrace:
+    """The result of one data-plane walk."""
+
+    source: ASN
+    prefix: Prefix
+    hops: Tuple[ASN, ...]
+    outcome: DeliveryOutcome
+    final_as: Optional[ASN]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        path = " -> ".join(str(h) for h in self.hops)
+        return f"ForwardingTrace({path}: {self.outcome.value})"
+
+
+def _next_hop(network: Network, current: ASN, prefix: Prefix) -> Optional[ASN]:
+    """The AS the current AS forwards toward, per its Loc-RIB.
+
+    Longest-match (via the Loc-RIB's trie): a more-specific route (e.g.
+    from a de-aggregation fault) beats the covering prefix.
+    """
+    best_entry = network.speaker(current).loc_rib.longest_match(prefix)
+    if best_entry is None:
+        return None
+    return best_entry.peer  # None = locally originated (we are the end)
+
+
+def trace_packet(
+    network: Network,
+    source: ASN,
+    prefix: Prefix,
+    legitimate_origins: Iterable[ASN],
+    max_hops: int = 64,
+) -> ForwardingTrace:
+    """Walk a packet for ``prefix`` from ``source`` through the data plane."""
+    legitimate = frozenset(legitimate_origins)
+    hops: List[ASN] = [source]
+    visited: Set[ASN] = {source}
+    current = source
+
+    for _ in range(max_hops):
+        next_as = _next_hop(network, current, prefix)
+        if next_as is None:
+            speaker = network.speaker(current)
+            if speaker.loc_rib.longest_match(prefix) is not None:
+                # Locally originated: the packet terminates here.
+                outcome = (
+                    DeliveryOutcome.DELIVERED
+                    if current in legitimate
+                    else DeliveryOutcome.HIJACKED
+                )
+                return ForwardingTrace(
+                    source=source,
+                    prefix=prefix,
+                    hops=tuple(hops),
+                    outcome=outcome,
+                    final_as=current,
+                )
+            return ForwardingTrace(
+                source=source,
+                prefix=prefix,
+                hops=tuple(hops),
+                outcome=DeliveryOutcome.BLACKHOLED,
+                final_as=current,
+            )
+        if next_as in visited:
+            hops.append(next_as)
+            return ForwardingTrace(
+                source=source,
+                prefix=prefix,
+                hops=tuple(hops),
+                outcome=DeliveryOutcome.LOOPED,
+                final_as=next_as,
+            )
+        hops.append(next_as)
+        visited.add(next_as)
+        current = next_as
+
+    return ForwardingTrace(
+        source=source,
+        prefix=prefix,
+        hops=tuple(hops),
+        outcome=DeliveryOutcome.LOOPED,
+        final_as=current,
+    )
+
+
+def delivery_census(
+    network: Network,
+    prefix: Prefix,
+    legitimate_origins: Iterable[ASN],
+    exclude: Iterable[ASN] = (),
+) -> dict:
+    """Trace from every AS (minus ``exclude``); returns outcome → [ASes].
+
+    The data-plane analogue of the paper's poisoned-AS percentage: the
+    ``HIJACKED`` bucket is the set of ASes whose *traffic* the attacker
+    captures, regardless of what the control plane claims.
+    """
+    legitimate = frozenset(legitimate_origins)
+    excluded = frozenset(exclude)
+    census: dict = {outcome: [] for outcome in DeliveryOutcome}
+    for asn in network.graph.asns():
+        if asn in excluded:
+            continue
+        trace = trace_packet(network, asn, prefix, legitimate)
+        census[trace.outcome].append(asn)
+    return census

@@ -1,0 +1,136 @@
+"""Assemble a network of BGP speakers from an AS graph.
+
+:class:`Network` is the top of the simulation stack: it instantiates one
+:class:`BGPSpeaker` per AS, one :class:`Link` per peering edge, wires the
+sessions, and offers convergence helpers.  The experiment harness and the
+examples build everything through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.bgp.policy import Policy
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.eventsim.simulator import Simulator
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.net.link import Link
+from repro.topology.asgraph import ASGraph
+
+PolicyFactory = Callable[[ASN], Optional[Policy]]
+
+
+class Network:
+    """A simulated internetwork: one BGP speaker per AS in a topology."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        sim: Optional[Simulator] = None,
+        config: Optional[SpeakerConfig] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        link_delay: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.config = config or SpeakerConfig()
+        self.speakers: Dict[ASN, BGPSpeaker] = {}
+        self.links: Dict[tuple, Link] = {}
+
+        for asn in graph.asns():
+            policy = policy_factory(asn) if policy_factory is not None else None
+            self.speakers[asn] = BGPSpeaker(
+                self.sim, asn, config=self.config, policy=policy
+            )
+
+        for a, b in graph.edges():
+            link = Link(self.sim, a, b, delay=link_delay)
+            self.links[(a, b)] = link
+            self.speakers[a].add_peer(b, link)
+            self.speakers[b].add_peer(a, link)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def establish_sessions(self) -> None:
+        """Open every session (lower ASN initiates) and let them establish.
+
+        With keepalives disabled (``hold_time == 0``, the default) the event
+        queue drains completely; with keepalives on it never drains, so the
+        run is bounded to the handful of link round-trips an OPEN exchange
+        needs.
+        """
+        for a, b in self.graph.edges():
+            self.speakers[a].start_session(b)
+        if self.config.hold_time > 0:
+            max_delay = max(link.delay for link in self.links.values())
+            self.sim.run(until=self.sim.now + 4 * max_delay)
+        else:
+            self.sim.run_to_quiescence()
+        unestablished = [
+            (a, b)
+            for a, b in self.graph.edges()
+            if not self.speakers[a].sessions[b].established
+        ]
+        if unestablished:
+            raise RuntimeError(f"sessions failed to establish: {unestablished}")
+
+    def run_to_convergence(self) -> int:
+        """Drain the event queue; returns events processed.
+
+        Only terminates when keepalives are disabled (``hold_time == 0``);
+        with keepalives on, use :meth:`run_for` instead.
+        """
+        return self.sim.run_to_quiescence()
+
+    def run_for(self, duration: float) -> int:
+        """Advance the simulation by ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.sim.run(until=self.sim.now + duration)
+
+    # -- convenience -------------------------------------------------------
+
+    def speaker(self, asn: ASN) -> BGPSpeaker:
+        try:
+            return self.speakers[asn]
+        except KeyError:
+            raise KeyError(f"AS{asn} is not in this network")
+
+    def link(self, a: ASN, b: ASN) -> Link:
+        key = (min(a, b), max(a, b))
+        try:
+            return self.links[key]
+        except KeyError:
+            raise KeyError(f"no link between AS{a} and AS{b}")
+
+    def originate(
+        self, asn: ASN, prefix: Prefix, communities: Iterable = ()
+    ) -> None:
+        self.speaker(asn).originate(prefix, communities=communities)
+
+    def best_origins(self, prefix: Prefix) -> Dict[ASN, Optional[ASN]]:
+        """Map every AS to the origin of its current best route for
+        ``prefix`` (None = no route)."""
+        return {
+            asn: speaker.best_origin(prefix)
+            for asn, speaker in sorted(self.speakers.items())
+        }
+
+    def ases_preferring_origin(
+        self, prefix: Prefix, origins: Iterable[ASN]
+    ) -> List[ASN]:
+        """ASes whose best route for ``prefix`` originates in ``origins``."""
+        wanted = set(origins)
+        return [
+            asn
+            for asn, origin in self.best_origins(prefix).items()
+            if origin in wanted
+        ]
+
+    def total_updates_sent(self) -> int:
+        return sum(s.updates_sent for s in self.speakers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network({len(self.speakers)} ASes, {len(self.links)} links)"

@@ -1,0 +1,232 @@
+"""Import/export routing policy.
+
+A :class:`Policy` sees a route at a policy point (import from a peer or
+export to a peer) and can accept it unchanged, accept it with modified
+attributes, or reject it.  Policies compose into a :class:`PolicyChain`.
+
+Besides the trivial accept-all policy, the package ships:
+
+* :class:`PrefixFilterPolicy` — allow/deny lists of prefixes, the building
+  block of IRR-style filtering (the related work the paper contrasts with).
+* :class:`GaoRexfordPolicy` — the canonical customer/provider/peer export
+  rules ("valley-free" routing) plus the matching local-pref assignment, so
+  experiments can optionally run under commercial routing policy instead of
+  shortest-path.
+* :class:`CommunityStripPolicy` — drops the community attribute on export,
+  modelling the §4.3 routers that discard optional transitive attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.errors import PolicyError
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class PolicyVerdict:
+    """Result of applying a policy: rejected, or accepted with attributes."""
+
+    __slots__ = ("accepted", "attributes")
+
+    def __init__(self, accepted: bool, attributes: Optional[PathAttributes]) -> None:
+        if accepted and attributes is None:
+            raise PolicyError("accepted verdict requires attributes")
+        self.accepted = accepted
+        self.attributes = attributes
+
+    @classmethod
+    def accept(cls, attributes: PathAttributes) -> "PolicyVerdict":
+        return cls(True, attributes)
+
+    @classmethod
+    def reject(cls) -> "PolicyVerdict":
+        return cls(False, None)
+
+
+class Policy:
+    """Base policy: accept everything unchanged.  Subclass and override."""
+
+    def apply_import(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        return PolicyVerdict.accept(attributes)
+
+    def apply_export(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        return PolicyVerdict.accept(attributes)
+
+
+class AcceptAllPolicy(Policy):
+    """Explicit name for the default policy (shortest-path routing)."""
+
+
+class PolicyChain(Policy):
+    """Apply policies in order; first rejection wins, attribute changes
+    accumulate."""
+
+    def __init__(self, policies: Sequence[Policy]) -> None:
+        self.policies = list(policies)
+
+    def apply_import(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        current = attributes
+        for policy in self.policies:
+            verdict = policy.apply_import(peer, prefix, current)
+            if not verdict.accepted:
+                return verdict
+            assert verdict.attributes is not None
+            current = verdict.attributes
+        return PolicyVerdict.accept(current)
+
+    def apply_export(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        current = attributes
+        for policy in self.policies:
+            verdict = policy.apply_export(peer, prefix, current)
+            if not verdict.accepted:
+                return verdict
+            assert verdict.attributes is not None
+            current = verdict.attributes
+        return PolicyVerdict.accept(current)
+
+
+class PrefixFilterPolicy(Policy):
+    """Allow/deny prefix lists, applied on import, export, or both.
+
+    ``mode`` is ``"deny"`` (listed prefixes rejected) or ``"allow"`` (only
+    listed prefixes accepted).  ``match_specifics`` extends a rule to all
+    more-specific prefixes, which is how operators express "deny anything
+    inside 10.0.0.0/8".
+    """
+
+    def __init__(
+        self,
+        prefixes: Iterable[Prefix],
+        mode: str = "deny",
+        direction: str = "both",
+        match_specifics: bool = False,
+    ) -> None:
+        if mode not in ("deny", "allow"):
+            raise PolicyError(f"mode must be 'deny' or 'allow', got {mode!r}")
+        if direction not in ("import", "export", "both"):
+            raise PolicyError(
+                f"direction must be 'import', 'export' or 'both', got {direction!r}"
+            )
+        self.prefixes = frozenset(prefixes)
+        self.mode = mode
+        self.direction = direction
+        self.match_specifics = match_specifics
+
+    def _matches(self, prefix: Prefix) -> bool:
+        if prefix in self.prefixes:
+            return True
+        if self.match_specifics:
+            return any(listed.contains(prefix) for listed in self.prefixes)
+        return False
+
+    def _verdict(self, prefix: Prefix, attributes: PathAttributes) -> PolicyVerdict:
+        matched = self._matches(prefix)
+        if self.mode == "deny" and matched:
+            return PolicyVerdict.reject()
+        if self.mode == "allow" and not matched:
+            return PolicyVerdict.reject()
+        return PolicyVerdict.accept(attributes)
+
+    def apply_import(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        if self.direction == "export":
+            return PolicyVerdict.accept(attributes)
+        return self._verdict(prefix, attributes)
+
+    def apply_export(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        if self.direction == "import":
+            return PolicyVerdict.accept(attributes)
+        return self._verdict(prefix, attributes)
+
+
+class PeerRelation(enum.Enum):
+    """Commercial relationship with a neighbour, from our point of view."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+
+class GaoRexfordPolicy(Policy):
+    """Valley-free export rules and customer-preferred local-pref.
+
+    Export rule: routes learned from a customer are exported to everyone;
+    routes learned from a peer or provider are exported only to customers.
+    Import rule: local-pref customer(200) > peer(150) > provider(100), so the
+    decision process prefers revenue-generating routes.
+    """
+
+    LOCAL_PREF = {
+        PeerRelation.CUSTOMER: 200,
+        PeerRelation.PEER: 150,
+        PeerRelation.PROVIDER: 100,
+    }
+
+    def __init__(self, relations: Dict[ASN, PeerRelation]) -> None:
+        self.relations = dict(relations)
+        # Remember which neighbour each route came in from so the export
+        # decision can look it up.  Keyed by (prefix, as_path) — immutable
+        # and unique per learned route.
+        self._learned_from: Dict[tuple, ASN] = {}
+
+    def relation(self, peer: ASN) -> PeerRelation:
+        try:
+            return self.relations[peer]
+        except KeyError:
+            raise PolicyError(f"no relationship configured for peer {peer}")
+
+    def apply_import(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        relation = self.relation(peer)
+        self._learned_from[(prefix, attributes.as_path)] = peer
+        return PolicyVerdict.accept(
+            attributes.replace(local_pref=self.LOCAL_PREF[relation])
+        )
+
+    def apply_export(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        # Locally originated routes (empty pre-prepend path recorded) export
+        # to everyone.  The speaker calls export policy with the *pre-export*
+        # attributes, i.e. before prepending its own ASN.
+        source_peer = self._learned_from.get((prefix, attributes.as_path))
+        if source_peer is None:
+            return PolicyVerdict.accept(attributes)  # locally originated
+        source_relation = self.relation(source_peer)
+        export_relation = self.relation(peer)
+        if source_relation is PeerRelation.CUSTOMER:
+            return PolicyVerdict.accept(attributes)
+        # Peer/provider routes go only to customers.
+        if export_relation is PeerRelation.CUSTOMER:
+            return PolicyVerdict.accept(attributes)
+        return PolicyVerdict.reject()
+
+
+class CommunityStripPolicy(Policy):
+    """Drop all communities on export.
+
+    Models routers that discard optional transitive attributes — the
+    §4.3 deployment hazard that turns valid MOAS into false alarms and that
+    the attack models also exploit deliberately.
+    """
+
+    def apply_export(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> PolicyVerdict:
+        return PolicyVerdict.accept(attributes.without_communities())

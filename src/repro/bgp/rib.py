@@ -1,0 +1,203 @@
+"""Routing Information Bases.
+
+A BGP speaker keeps three RIB layers per RFC 4271:
+
+* **Adj-RIB-In** — routes learned from each peer, post-import-policy.
+* **Loc-RIB** — the best route per prefix chosen by the decision process.
+* **Adj-RIB-Out** — what has been advertised to each peer, so the speaker
+  can send withdrawals and suppress duplicate announcements.
+
+Entries record the peer the route came from and the simulation time it was
+installed, which the measurement layer uses for duration statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class RibEntry:
+    """One route: a prefix, its attributes, provenance and install time.
+
+    ``installed_seq`` is a global arrival sequence number: two routes
+    installed at the same simulated instant are still totally ordered by
+    arrival, so the prefer-oldest decision rule is exact rather than
+    tick-granular.
+    """
+
+    __slots__ = ("prefix", "attributes", "peer", "installed_at", "installed_seq")
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        attributes: PathAttributes,
+        peer: Optional[ASN],
+        installed_at: float = 0.0,
+        installed_seq: int = 0,
+    ) -> None:
+        self.prefix = prefix
+        self.attributes = attributes
+        self.peer = peer  # None for locally originated routes
+        self.installed_at = installed_at
+        self.installed_seq = installed_seq
+
+    @property
+    def age_key(self) -> Tuple[float, int]:
+        """Sort key for prefer-oldest comparisons (smaller = older)."""
+        return (self.installed_at, self.installed_seq)
+
+    @property
+    def origin_asn(self) -> Optional[ASN]:
+        return self.attributes.origin_asn
+
+    @property
+    def is_local(self) -> bool:
+        return self.peer is None
+
+    def __repr__(self) -> str:
+        source = "local" if self.is_local else f"peer {self.peer}"
+        return f"RibEntry({self.prefix}, via {source}, {self.attributes.as_path})"
+
+
+class AdjRibIn:
+    """Routes accepted from peers, keyed by (peer, prefix).
+
+    A peer contributes at most one route per prefix: a new announcement for
+    the same prefix implicitly replaces the old one (RFC 4271 §9).
+    """
+
+    def __init__(self) -> None:
+        self._routes: Dict[ASN, Dict[Prefix, RibEntry]] = {}
+
+    def insert(self, entry: RibEntry) -> Optional[RibEntry]:
+        """Install ``entry``; returns the entry it replaced, if any."""
+        if entry.peer is None:
+            raise ValueError("Adj-RIB-In entries must come from a peer")
+        per_peer = self._routes.setdefault(entry.peer, {})
+        previous = per_peer.get(entry.prefix)
+        per_peer[entry.prefix] = entry
+        return previous
+
+    def remove(self, peer: ASN, prefix: Prefix) -> Optional[RibEntry]:
+        per_peer = self._routes.get(peer)
+        if not per_peer:
+            return None
+        return per_peer.pop(prefix, None)
+
+    def remove_peer(self, peer: ASN) -> List[RibEntry]:
+        """Drop all routes from ``peer`` (session teardown); returns them."""
+        per_peer = self._routes.pop(peer, {})
+        return list(per_peer.values())
+
+    def get(self, peer: ASN, prefix: Prefix) -> Optional[RibEntry]:
+        return self._routes.get(peer, {}).get(prefix)
+
+    def routes_for_prefix(self, prefix: Prefix) -> List[RibEntry]:
+        """All candidate routes for ``prefix``, in deterministic peer order."""
+        return [
+            per_peer[prefix]
+            for peer, per_peer in sorted(self._routes.items())
+            if prefix in per_peer
+        ]
+
+    def prefixes(self) -> Iterator[Prefix]:
+        seen = set()
+        for per_peer in self._routes.values():
+            for prefix in per_peer:
+                if prefix not in seen:
+                    seen.add(prefix)
+                    yield prefix
+
+    def entries(self) -> Iterator[RibEntry]:
+        for _, per_peer in sorted(self._routes.items()):
+            yield from per_peer.values()
+
+    def __len__(self) -> int:
+        return sum(len(per_peer) for per_peer in self._routes.values())
+
+
+class LocRib:
+    """Best route per prefix, plus locally originated routes.
+
+    Maintains a prefix trie alongside the exact-match dict so the
+    forwarding plane's longest-match queries are O(address bits) rather
+    than O(table size).
+    """
+
+    def __init__(self) -> None:
+        from repro.net.trie import PrefixTrie
+
+        self._best: Dict[Prefix, RibEntry] = {}
+        self._trie: "PrefixTrie[RibEntry]" = PrefixTrie()
+
+    def install(self, entry: RibEntry) -> Optional[RibEntry]:
+        previous = self._best.get(entry.prefix)
+        self._best[entry.prefix] = entry
+        self._trie.insert(entry.prefix, entry)
+        return previous
+
+    def withdraw(self, prefix: Prefix) -> Optional[RibEntry]:
+        removed = self._best.pop(prefix, None)
+        if removed is not None:
+            self._trie.remove(prefix)
+        return removed
+
+    def get(self, prefix: Prefix) -> Optional[RibEntry]:
+        return self._best.get(prefix)
+
+    def longest_match(self, prefix: Prefix) -> Optional[RibEntry]:
+        """The most specific installed route covering ``prefix`` — what
+        the forwarding plane consults per packet."""
+        found = self._trie.covering(prefix)
+        return None if found is None else found[1]
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._best)
+
+    def entries(self) -> Iterator[RibEntry]:
+        return iter(self._best.values())
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+class AdjRibOut:
+    """Per-peer record of what has been advertised.
+
+    Storing the advertised attributes (not just the prefix) lets the speaker
+    skip no-op re-announcements, which is what keeps the simulation quiescent
+    once routing converges.
+    """
+
+    def __init__(self) -> None:
+        self._advertised: Dict[ASN, Dict[Prefix, PathAttributes]] = {}
+
+    def record_advertisement(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> None:
+        self._advertised.setdefault(peer, {})[prefix] = attributes
+
+    def record_withdrawal(self, peer: ASN, prefix: Prefix) -> None:
+        self._advertised.get(peer, {}).pop(prefix, None)
+
+    def advertised(self, peer: ASN, prefix: Prefix) -> Optional[PathAttributes]:
+        return self._advertised.get(peer, {}).get(prefix)
+
+    def has_advertised(self, peer: ASN, prefix: Prefix) -> bool:
+        return prefix in self._advertised.get(peer, {})
+
+    def prefixes_for_peer(self, peer: ASN) -> List[Prefix]:
+        return list(self._advertised.get(peer, {}))
+
+    def remove_peer(self, peer: ASN) -> None:
+        self._advertised.pop(peer, None)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._advertised.values())

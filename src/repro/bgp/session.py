@@ -1,0 +1,187 @@
+"""BGP session state machine.
+
+A compressed version of the RFC 4271 FSM appropriate for a simulator with
+reliable in-order links: Idle → OpenSent → Established, torn down on
+NOTIFICATION, hold-timer expiry or link failure.  Keepalives are exchanged
+on a timer while established so hold-timer machinery is exercised for the
+failure-injection tests, but they carry no routing information.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.bgp.errors import SessionError
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    Message,
+    NotificationMessage,
+    OpenMessage,
+)
+from repro.eventsim.simulator import Simulator
+from repro.eventsim.timers import PeriodicTimer, Timer
+from repro.net.asn import ASN
+from repro.net.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bgp.speaker import BGPSpeaker
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    OPEN_SENT = "open-sent"
+    ESTABLISHED = "established"
+
+
+class Session:
+    """One side of a BGP peering.
+
+    The owning speaker drives the session: ``start()`` sends OPEN, message
+    dispatch comes through ``handle_message``, and the session calls back
+    into the speaker on establishment (to advertise the table) and teardown
+    (to flush routes learned from the peer).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: "BGPSpeaker",
+        peer_asn: ASN,
+        link: Link,
+        hold_time: float = 90.0,
+        keepalive_interval: Optional[float] = None,
+    ) -> None:
+        if hold_time < 0:
+            raise SessionError(f"hold time must be non-negative: {hold_time}")
+        self.sim = sim
+        self.owner = owner
+        self.peer_asn = peer_asn
+        self.link = link
+        self.state = SessionState.IDLE
+        self.hold_time = float(hold_time)
+        interval = (
+            keepalive_interval if keepalive_interval is not None else hold_time / 3.0
+        )
+        self._keepalive_timer: Optional[PeriodicTimer] = None
+        self._hold_timer: Optional[Timer] = None
+        if self.hold_time > 0:
+            self._keepalive_timer = PeriodicTimer(
+                sim, interval, self._send_keepalive, label=f"ka->{peer_asn}"
+            )
+            self._hold_timer = Timer(
+                sim, self.hold_time, self._hold_expired, label=f"hold<-{peer_asn}"
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initiate the session by sending OPEN."""
+        if self.state is not SessionState.IDLE:
+            raise SessionError(f"cannot start session in state {self.state}")
+        self.state = SessionState.OPEN_SENT
+        self._send(OpenMessage(self.owner.asn, hold_time=self.hold_time))
+
+    def close(self, reason: str = "administrative") -> None:
+        """Send CEASE and drop to idle."""
+        if self.state is SessionState.IDLE:
+            return
+        self._send(NotificationMessage(NotificationMessage.CEASE, reason=reason))
+        self._teardown(reason)
+
+    # -- message handling ----------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if isinstance(message, OpenMessage):
+            self._handle_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            self._touch_hold_timer()
+        elif isinstance(message, NotificationMessage):
+            self._teardown(f"notification from peer: {message.reason}")
+        else:
+            # UPDATEs are the speaker's business; the session only gates them.
+            if self.state is not SessionState.ESTABLISHED:
+                self._teardown("UPDATE received outside established state")
+                return
+            self._touch_hold_timer()
+            self.owner.handle_update(self.peer_asn, message)  # type: ignore[arg-type]
+
+    def _handle_open(self, message: OpenMessage) -> None:
+        if message.asn != self.peer_asn:
+            self._send(
+                NotificationMessage(
+                    NotificationMessage.CEASE,
+                    reason=f"expected peer AS {self.peer_asn}, got {message.asn}",
+                )
+            )
+            self._teardown("peer AS mismatch")
+            return
+        if self.state is SessionState.IDLE:
+            # Passive side: answer with our own OPEN, then establish.
+            self.state = SessionState.OPEN_SENT
+            self._send(OpenMessage(self.owner.asn, hold_time=self.hold_time))
+            self._establish()
+        elif self.state is SessionState.OPEN_SENT:
+            self._establish()
+        # An OPEN in established state is a protocol error per RFC; with the
+        # simulator's reliable links it cannot happen, so fail loudly.
+        elif self.state is SessionState.ESTABLISHED:
+            raise SessionError(f"unexpected OPEN from {self.peer_asn} while established")
+
+    def _establish(self) -> None:
+        self.state = SessionState.ESTABLISHED
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.start()
+        if self._hold_timer is not None:
+            self._hold_timer.start()
+        self.sim.trace.record(
+            self.sim.now,
+            "session.established",
+            local=self.owner.asn,
+            peer=self.peer_asn,
+        )
+        self.owner.on_session_established(self.peer_asn)
+
+    def _teardown(self, reason: str) -> None:
+        if self.state is SessionState.IDLE:
+            return
+        self.state = SessionState.IDLE
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.stop()
+        if self._hold_timer is not None:
+            self._hold_timer.stop()
+        self.sim.trace.record(
+            self.sim.now,
+            "session.closed",
+            local=self.owner.asn,
+            peer=self.peer_asn,
+            reason=reason,
+        )
+        self.owner.on_session_closed(self.peer_asn)
+
+    # -- timers -----------------------------------------------------------------
+
+    def _send_keepalive(self) -> None:
+        if self.state is SessionState.ESTABLISHED:
+            self._send(KeepaliveMessage())
+
+    def _touch_hold_timer(self) -> None:
+        if self._hold_timer is not None and self.state is SessionState.ESTABLISHED:
+            self._hold_timer.restart()
+
+    def _hold_expired(self) -> None:
+        self._send(
+            NotificationMessage(
+                NotificationMessage.HOLD_TIMER_EXPIRED, reason="hold timer expired"
+            )
+        )
+        self._teardown("hold timer expired")
+
+    # -- transport ----------------------------------------------------------------
+
+    def _send(self, message: Message) -> bool:
+        return self.link.send(self.owner.asn, message)
+
+    @property
+    def established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED

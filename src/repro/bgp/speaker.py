@@ -1,0 +1,473 @@
+"""The BGP speaker.
+
+One :class:`BGPSpeaker` models the routing process of one AS (the paper's
+simulation granularity).  It owns the three RIBs, runs the decision process,
+applies import/export policy, paces announcements with per-peer MRAI timers
+and exchanges messages over :class:`repro.net.Link` objects.
+
+Extension points used by the MOAS-list scheme (:mod:`repro.core`):
+
+* ``add_import_validator`` — a validator sees every route that survived
+  import policy and may reject it (this is where MOAS-list checking hooks
+  in for capable routers);
+* ``add_loc_rib_listener`` — notified on every best-route change (used by
+  the experiment harness to measure false-route adoption);
+* ``invalidate_route`` — retroactively removes an accepted route when a
+  validator later learns it was bogus (a correct MOAS list arriving after
+  the attacker's announcement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.bgp.attributes import Community, Origin, PathAttributes
+from repro.bgp.decision import DecisionProcess
+from repro.bgp.errors import SessionError
+from repro.bgp.messages import Message, UpdateMessage
+from repro.bgp.policy import AcceptAllPolicy, Policy
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.bgp.session import Session, SessionState
+from repro.eventsim.simulator import Simulator
+from repro.eventsim.timers import Timer
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+from repro.net.link import Link
+
+# An import validator: (peer, prefix, attributes) -> accept?
+ImportValidator = Callable[[ASN, Prefix, PathAttributes], bool]
+# A Loc-RIB listener: (prefix, new_entry_or_None, old_entry_or_None) -> None
+LocRibListener = Callable[[Prefix, Optional[RibEntry], Optional[RibEntry]], None]
+# A withdrawal listener: (peer, prefix) -> None, fired when a peer's
+# explicit withdrawal removes a route from the Adj-RIB-In.
+WithdrawalListener = Callable[[ASN, Prefix], None]
+
+
+class SpeakerConfig:
+    """Tunables for a speaker.
+
+    ``mrai`` is the Min Route Advertisement Interval per RFC 4271 (the
+    paper-era default was 30 s for eBGP); zero disables pacing, which the
+    experiment harness uses since the figures measure converged state, not
+    convergence time.
+    """
+
+    def __init__(
+        self,
+        mrai: float = 0.0,
+        hold_time: float = 0.0,
+        med_across_peers: bool = False,
+        prefer_oldest: bool = True,
+    ) -> None:
+        if mrai < 0:
+            raise ValueError(f"MRAI must be non-negative, got {mrai}")
+        self.mrai = float(mrai)
+        self.hold_time = float(hold_time)
+        self.med_across_peers = med_across_peers
+        self.prefer_oldest = prefer_oldest
+
+
+class BGPSpeaker:
+    """The BGP routing process of one AS."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        asn: ASN,
+        config: Optional[SpeakerConfig] = None,
+        policy: Optional[Policy] = None,
+    ) -> None:
+        self.sim = sim
+        self.asn = validate_asn(asn)
+        self.config = config or SpeakerConfig()
+        self.policy = policy or AcceptAllPolicy()
+        self.decision = DecisionProcess(
+            self.config.med_across_peers, prefer_oldest=self.config.prefer_oldest
+        )
+
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self.adj_rib_out = AdjRibOut()
+
+        self.sessions: Dict[ASN, Session] = {}
+        self._links: Dict[ASN, Link] = {}
+        self._local_routes: Dict[Prefix, RibEntry] = {}
+
+        self._import_validators: List[ImportValidator] = []
+        self._loc_rib_listeners: List[LocRibListener] = []
+        self._withdrawal_listeners: List[WithdrawalListener] = []
+
+        # MRAI machinery: per-peer pending announcement sets and timers.
+        self._pending_announce: Dict[ASN, Set[Prefix]] = {}
+        self._mrai_timers: Dict[ASN, Timer] = {}
+
+        # Counters for diagnostics and benchmarks.
+        self.updates_received = 0
+        self.updates_sent = 0
+        self.routes_rejected_by_policy = 0
+        self.routes_rejected_by_validator = 0
+        self.loops_detected = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BGPSpeaker(AS{self.asn}, {len(self.loc_rib)} routes)"
+
+    # -- extension points ---------------------------------------------------
+
+    def add_import_validator(self, validator: ImportValidator) -> None:
+        self._import_validators.append(validator)
+
+    def add_loc_rib_listener(self, listener: LocRibListener) -> None:
+        self._loc_rib_listeners.append(listener)
+
+    def add_withdrawal_listener(self, listener: WithdrawalListener) -> None:
+        """Observe explicit withdrawals from peers (used by flap damping)."""
+        self._withdrawal_listeners.append(listener)
+
+    # -- peering ---------------------------------------------------------------
+
+    def add_peer(self, peer_asn: ASN, link: Link) -> Session:
+        """Register a peering over ``link``; does not start the session."""
+        validate_asn(peer_asn)
+        if peer_asn == self.asn:
+            raise SessionError(f"AS{self.asn} cannot peer with itself")
+        if peer_asn in self.sessions:
+            raise SessionError(f"AS{self.asn} already peers with AS{peer_asn}")
+        session = Session(
+            self.sim, self, peer_asn, link, hold_time=self.config.hold_time
+        )
+        self.sessions[peer_asn] = session
+        self._links[peer_asn] = link
+        link.attach(self.asn, self._receive)
+        return session
+
+    def start_session(self, peer_asn: ASN) -> None:
+        self._session_for(peer_asn).start()
+
+    def start_all_sessions(self) -> None:
+        """Actively open every configured session that is still idle.
+
+        Both endpoints may call this: the passive side's session answers the
+        incoming OPEN from idle state.
+        """
+        for session in self.sessions.values():
+            if session.state is SessionState.IDLE:
+                session.start()
+
+    def _session_for(self, peer_asn: ASN) -> Session:
+        try:
+            return self.sessions[peer_asn]
+        except KeyError:
+            raise SessionError(f"AS{self.asn} has no session with AS{peer_asn}")
+
+    def _receive(self, sender: ASN, message: Message) -> None:
+        self._session_for(sender).handle_message(message)
+
+    @property
+    def established_peers(self) -> List[ASN]:
+        return sorted(
+            asn for asn, session in self.sessions.items() if session.established
+        )
+
+    # -- origination ------------------------------------------------------------
+
+    def originate(
+        self,
+        prefix: Prefix,
+        communities: Iterable[Community] = (),
+        origin: Origin = Origin.IGP,
+    ) -> None:
+        """Start announcing ``prefix`` as locally reachable.
+
+        The local route has an empty AS path; this speaker's ASN is
+        prepended on export, so neighbours see path ``(self.asn)`` —
+        making this AS the route's origin.
+        """
+        attributes = PathAttributes(
+            origin=origin,
+            communities=communities,
+        )
+        entry = RibEntry(
+            prefix,
+            attributes,
+            peer=None,
+            installed_at=self.sim.now,
+            installed_seq=self.sim.next_sequence(),
+        )
+        self._local_routes[prefix] = entry
+        self._run_decision(prefix)
+
+    def withdraw_origination(self, prefix: Prefix) -> None:
+        """Stop announcing a locally originated prefix."""
+        if prefix not in self._local_routes:
+            raise ValueError(f"AS{self.asn} does not originate {prefix}")
+        del self._local_routes[prefix]
+        self._run_decision(prefix)
+
+    @property
+    def originated_prefixes(self) -> List[Prefix]:
+        return sorted(self._local_routes, key=str)
+
+    # -- update processing ----------------------------------------------------------
+
+    def handle_update(self, peer: ASN, message: UpdateMessage) -> None:
+        """Process an UPDATE from an established peer."""
+        self.updates_received += 1
+        touched: Set[Prefix] = set()
+
+        for prefix in message.withdrawn:
+            removed = self.adj_rib_in.remove(peer, prefix)
+            if removed is not None:
+                touched.add(prefix)
+                for listener in self._withdrawal_listeners:
+                    listener(peer, prefix)
+
+        if message.announced:
+            attributes = message.attributes
+            assert attributes is not None
+            if self.asn in attributes.as_path:
+                # Loop detection: our own ASN in the path (RFC 4271 §9.1.2).
+                # The announcement still *replaces* the peer's previous
+                # route for these prefixes — treating it as unreachable.
+                # Keeping the stale route would leave ghost paths alive
+                # after the real origin withdraws.
+                self.loops_detected += 1
+                self.sim.trace.record(
+                    self.sim.now, "bgp.loop_detected", asn=self.asn, peer=peer
+                )
+                for prefix in sorted(message.announced, key=str):
+                    if self.adj_rib_in.remove(peer, prefix) is not None:
+                        touched.add(prefix)
+            else:
+                for prefix in sorted(message.announced, key=str):
+                    if self._import_route(peer, prefix, attributes):
+                        touched.add(prefix)
+
+        for prefix in sorted(touched, key=str):
+            self._run_decision(prefix)
+
+    def _import_route(
+        self, peer: ASN, prefix: Prefix, attributes: PathAttributes
+    ) -> bool:
+        """Run import policy and validators; install into Adj-RIB-In.
+
+        Returns True if the prefix's candidate set changed.  A rejection
+        still *removes* any previous route from this peer for the prefix —
+        an announcement implicitly replaces the old route, and if the
+        replacement is rejected the old one must not linger.
+        """
+        verdict = self.policy.apply_import(peer, prefix, attributes)
+        if not verdict.accepted:
+            self.routes_rejected_by_policy += 1
+            return self.adj_rib_in.remove(peer, prefix) is not None
+        assert verdict.attributes is not None
+        imported = verdict.attributes
+
+        for validator in self._import_validators:
+            if not validator(peer, prefix, imported):
+                self.routes_rejected_by_validator += 1
+                self.sim.trace.record(
+                    self.sim.now,
+                    "bgp.validator_reject",
+                    asn=self.asn,
+                    peer=peer,
+                    prefix=str(prefix),
+                    origin=imported.origin_asn,
+                )
+                return self.adj_rib_in.remove(peer, prefix) is not None
+
+        entry = RibEntry(
+            prefix,
+            imported,
+            peer=peer,
+            installed_at=self.sim.now,
+            installed_seq=self.sim.next_sequence(),
+        )
+        self.adj_rib_in.insert(entry)
+        return True
+
+    def invalidate_route(self, peer: ASN, prefix: Prefix) -> bool:
+        """Retroactively remove an accepted route (validator callback).
+
+        Returns True if a route was actually removed.
+        """
+        removed = self.adj_rib_in.remove(peer, prefix)
+        if removed is None:
+            return False
+        self.sim.trace.record(
+            self.sim.now,
+            "bgp.route_invalidated",
+            asn=self.asn,
+            peer=peer,
+            prefix=str(prefix),
+        )
+        self._run_decision(prefix)
+        return True
+
+    # -- decision process --------------------------------------------------------------
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        """Re-select the best route for ``prefix`` and propagate changes."""
+        candidates = list(self.adj_rib_in.routes_for_prefix(prefix))
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+
+        new_best = self.decision.select_best(candidates)
+        old_best = self.loc_rib.get(prefix)
+
+        if new_best is old_best:
+            return
+        if (
+            new_best is not None
+            and old_best is not None
+            and new_best.attributes == old_best.attributes
+            and new_best.peer == old_best.peer
+        ):
+            return  # same route object semantics; nothing to re-advertise
+
+        if new_best is None:
+            self.loc_rib.withdraw(prefix)
+        else:
+            self.loc_rib.install(new_best)
+
+        self.sim.trace.record(
+            self.sim.now,
+            "bgp.best_changed",
+            asn=self.asn,
+            prefix=str(prefix),
+            origin=None if new_best is None else new_best.origin_asn,
+        )
+        for listener in self._loc_rib_listeners:
+            listener(prefix, new_best, old_best)
+
+        self._schedule_propagation(prefix)
+
+    # -- propagation --------------------------------------------------------------------
+
+    def on_session_established(self, peer: ASN) -> None:
+        """Advertise the full Loc-RIB to a newly established peer."""
+        for prefix in sorted(self.loc_rib.prefixes(), key=str):
+            self._enqueue_announcement(peer, prefix)
+        self._flush_peer(peer)
+
+    def on_session_closed(self, peer: ASN) -> None:
+        """Flush routes learned from a dead peer and re-run decisions."""
+        removed = self.adj_rib_in.remove_peer(peer)
+        self.adj_rib_out.remove_peer(peer)
+        self._pending_announce.pop(peer, None)
+        timer = self._mrai_timers.pop(peer, None)
+        if timer is not None:
+            timer.stop()
+        for entry in removed:
+            self._run_decision(entry.prefix)
+
+    def _schedule_propagation(self, prefix: Prefix) -> None:
+        for peer in self.established_peers:
+            self._enqueue_announcement(peer, prefix)
+        for peer in self.established_peers:
+            self._maybe_flush(peer)
+
+    def _enqueue_announcement(self, peer: ASN, prefix: Prefix) -> None:
+        self._pending_announce.setdefault(peer, set()).add(prefix)
+
+    def _maybe_flush(self, peer: ASN) -> None:
+        """Send pending routes to ``peer`` unless MRAI is holding them."""
+        timer = self._mrai_timers.get(peer)
+        if timer is not None and timer.running:
+            return  # MRAI in effect; timer expiry will flush
+        self._flush_peer(peer)
+
+    def _flush_peer(self, peer: ASN) -> None:
+        pending = self._pending_announce.get(peer)
+        if not pending:
+            return
+        self._pending_announce[peer] = set()
+
+        announcements: Dict[PathAttributes, Set[Prefix]] = {}
+        withdrawals: Set[Prefix] = set()
+
+        for prefix in sorted(pending, key=str):
+            best = self.loc_rib.get(prefix)
+            if best is None or best.peer == peer:
+                # Nothing to advertise (or learned from this very peer):
+                # withdraw if we had previously advertised it.
+                if self.adj_rib_out.has_advertised(peer, prefix):
+                    withdrawals.add(prefix)
+                    self.adj_rib_out.record_withdrawal(peer, prefix)
+                continue
+            export = self._export_attributes(peer, best)
+            if export is None:
+                if self.adj_rib_out.has_advertised(peer, prefix):
+                    withdrawals.add(prefix)
+                    self.adj_rib_out.record_withdrawal(peer, prefix)
+                continue
+            if self.adj_rib_out.advertised(peer, prefix) == export:
+                continue  # duplicate suppression
+            announcements.setdefault(export, set()).add(prefix)
+            self.adj_rib_out.record_advertisement(peer, prefix, export)
+
+        sent_any = False
+        link = self._links[peer]
+        if withdrawals:
+            link.send(self.asn, UpdateMessage(withdrawn=withdrawals))
+            self.updates_sent += 1
+            sent_any = True
+        for attributes, prefixes in announcements.items():
+            link.send(self.asn, UpdateMessage(announced=prefixes, attributes=attributes))
+            self.updates_sent += 1
+            sent_any = True
+
+        if sent_any and self.config.mrai > 0:
+            timer = self._mrai_timers.get(peer)
+            if timer is None:
+                timer = Timer(
+                    self.sim,
+                    self.config.mrai,
+                    lambda p=peer: self._flush_peer(p),
+                    label=f"mrai->{peer}",
+                )
+                self._mrai_timers[peer] = timer
+            timer.restart()
+
+    def _export_attributes(
+        self, peer: ASN, entry: RibEntry
+    ) -> Optional[PathAttributes]:
+        """Apply export policy and prepend our ASN; None means do-not-export.
+
+        The RFC 1997 well-known communities are honoured first: a route
+        carrying NO_ADVERTISE is never re-advertised, and — with every
+        session in this simulator an eBGP session between distinct ASes —
+        NO_EXPORT has the same effect.  Locally originated routes are
+        exempt (the originator may still announce its own prefix).
+        """
+        if not entry.is_local:
+            community_values = {c.to_u32() for c in entry.attributes.communities}
+            if community_values & {
+                Community.NO_ADVERTISE,
+                Community.NO_EXPORT,
+                Community.NO_EXPORT_SUBCONFED,
+            }:
+                return None
+        verdict = self.policy.apply_export(peer, entry.prefix, entry.attributes)
+        if not verdict.accepted:
+            return None
+        assert verdict.attributes is not None
+        exported = verdict.attributes.with_prepended(self.asn, next_hop=self.asn)
+        # LOCAL_PREF is not sent across eBGP sessions; reset to default.
+        return exported.replace(local_pref=PathAttributes.DEFAULT_LOCAL_PREF)
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def best_route(self, prefix: Prefix) -> Optional[RibEntry]:
+        return self.loc_rib.get(prefix)
+
+    def best_origin(self, prefix: Prefix) -> Optional[ASN]:
+        entry = self.loc_rib.get(prefix)
+        if entry is None:
+            return None
+        if entry.is_local and entry.attributes.as_path.is_empty:
+            return self.asn
+        return entry.origin_asn
+
+    def routing_table(self) -> Dict[Prefix, RibEntry]:
+        return {entry.prefix: entry for entry in self.loc_rib.entries()}

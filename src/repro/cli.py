@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+Exposes the reproduction's main entry points without writing any Python:
+
+* ``repro figure <id>`` — regenerate a figure (fig4/fig5/fig8/fig9/fig10/
+  fig11/headline) and print the paper-vs-measured table;
+* ``repro study`` — run the §3 measurement study and print its summary;
+* ``repro monitor <dump>`` — run the §4.2 off-line monitor over a
+  RouteViews-style dump file;
+* ``repro topology`` — generate a paper-style topology and describe it;
+* ``repro hijack`` — run one hijack scenario and report the outcome.
+
+Also runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+QUICK_FRACTIONS = (0.05, 0.20, 0.40)
+FULL_FRACTIONS = (0.05, 0.10, 0.20, 0.30, 0.40)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_series_table, format_sweep_table
+
+    fractions = QUICK_FRACTIONS if args.quick else FULL_FRACTIONS
+    figure_id = args.id.lower()
+
+    if figure_id in ("fig4", "fig5"):
+        from repro.experiments.measurement_repro import run_measurement_study
+        from repro.measurement.trace import TraceConfig
+
+        config = TraceConfig(days=200 if args.quick else 1279)
+        if args.quick:
+            # Keep the fault days inside the shortened trace.
+            from repro.measurement.trace import FaultSpike
+
+            config.faults = (
+                FaultSpike(day=60, faulty_as=8584, n_prefixes=300),
+                FaultSpike(day=150, faulty_as=15412, n_prefixes=900),
+            )
+        study = run_measurement_study(
+            config, seed=args.seed,
+            duration_cutoff=config.days if args.quick else 983,
+        )
+        if figure_id == "fig4":
+            print(format_series_table(
+                study.figure4_series(), headers=("day", "MOAS cases"),
+                title="Figure 4 — daily MOAS cases", max_rows=30,
+            ))
+        else:
+            from repro.experiments.ascii_chart import render_histogram
+
+            bins = study.tracker.binned_histogram([1, 2, 5, 10, 30, 100, 300])
+            print(render_histogram(bins, title="Figure 5 — MOAS durations"))
+        for label, value in study.summary.rows():
+            print(f"{label:28s} {value}")
+        return 0
+
+    if figure_id == "fig8":
+        from repro.topology.generators import generate_paper_topology
+
+        for size in (25, 46, 63):
+            graph = generate_paper_topology(size, seed=args.seed)
+            print(
+                f"{size}-AS: {graph.num_links()} links, "
+                f"{len(graph.transit_asns())} transit, "
+                f"{len(graph.stub_asns())} stubs, "
+                f"avg degree {graph.average_degree():.2f}"
+            )
+        return 0
+
+    if figure_id in ("fig9", "headline"):
+        from repro.experiments.exp_effectiveness import figure9
+
+        if figure_id == "headline":
+            # The headline always needs the ~4% and 30% grid points.
+            fractions = (0.05, 0.30)
+        result = figure9(attacker_fractions=fractions, seed=args.seed)
+        for n_origins, curves in sorted(result.panels.items()):
+            print(format_sweep_table(
+                curves, title=f"--- {n_origins} origin AS(es) ---"
+            ))
+        if figure_id == "headline":
+            for label, value in result.headline().items():
+                print(f"{label:12s} {value:.2f}%")
+        return 0
+
+    if figure_id == "fig10":
+        from repro.experiments.exp_topology_size import figure10
+
+        result = figure10(
+            attacker_fractions=fractions, origin_counts=(1,), seed=args.seed
+        )
+        for size, curves in sorted(result.panels[1].items()):
+            print(format_sweep_table(curves, title=f"--- {size}-AS ---"))
+        return 0
+
+    if figure_id == "fig11":
+        from repro.experiments.exp_partial import figure11
+
+        result = figure11(attacker_fractions=fractions, seed=args.seed)
+        for size, curves in sorted(result.panels.items()):
+            print(format_sweep_table(curves, title=f"--- {size}-AS ---"))
+        return 0
+
+    print(f"unknown figure id: {args.id}", file=sys.stderr)
+    return 2
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.experiments.measurement_repro import run_measurement_study
+    from repro.measurement.trace import TraceConfig
+
+    config = TraceConfig() if args.days is None else None
+    if args.days is not None:
+        config = TraceConfig(days=args.days, faults=())
+    study = run_measurement_study(
+        config, seed=args.seed,
+        duration_cutoff=(args.days if args.days is not None else 983),
+    )
+    for label, value in study.summary.rows():
+        print(f"{label:28s} {value}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.monitor import OfflineMonitor
+    from repro.topology.routeviews import parse_table_dump
+
+    with open(args.dump) as handle:
+        table = parse_table_dump(handle.read())
+    monitor = OfflineMonitor()
+    report = monitor.check_table(table)
+    print(report.summary())
+    for finding in report.conflicts:
+        print(
+            f"CONFLICT {finding.prefix}: origins "
+            f"{sorted(finding.origins_seen)}"
+        )
+    for finding in report.moas_prefixes:
+        if finding.consistent:
+            print(
+                f"moas-ok  {finding.prefix}: origins "
+                f"{sorted(finding.origins_seen)}"
+            )
+    return 1 if report.conflicts else 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topology.generators import generate_paper_topology
+
+    graph = generate_paper_topology(args.size, seed=args.seed)
+    print(
+        f"{len(graph)} ASes, {graph.num_links()} links, "
+        f"{len(graph.transit_asns())} transit, "
+        f"{len(graph.stub_asns())} stubs, "
+        f"avg degree {graph.average_degree():.2f}"
+    )
+    if args.edges:
+        for a, b in graph.edges():
+            print(f"{a} -- {b}")
+    return 0
+
+
+def _cmd_hijack(args: argparse.Namespace) -> int:
+    from repro.attack.placement import place_attackers, place_origins
+    from repro.eventsim.rng import RandomStreams
+    from repro.experiments.runner import (
+        DeploymentKind,
+        HijackScenario,
+        run_hijack_scenario,
+    )
+    from repro.topology.generators import generate_paper_topology
+
+    graph = generate_paper_topology(args.size, seed=args.seed)
+    streams = RandomStreams(args.seed)
+    origins = place_origins(graph, args.origins, streams.stream("origins"))
+    n_attackers = max(1, round(args.attackers * len(graph)))
+    attackers = place_attackers(
+        graph, n_attackers, streams.stream("attackers"), exclude=origins
+    )
+    deployment = {
+        "none": DeploymentKind.NONE,
+        "partial": DeploymentKind.PARTIAL,
+        "full": DeploymentKind.FULL,
+    }[args.deployment]
+    outcome = run_hijack_scenario(
+        HijackScenario(
+            graph=graph,
+            origins=origins,
+            attackers=attackers,
+            deployment=deployment,
+            seed=args.seed,
+        )
+    )
+    print(f"topology: {args.size} ASes; origins {origins}; "
+          f"{n_attackers} attackers")
+    print(f"deployment: {args.deployment}")
+    print(f"poisoned: {len(outcome.poisoned)}/{outcome.n_remaining} "
+          f"({outcome.poisoned_fraction:.1%})")
+    print(f"alarms: {outcome.alarms}; routes suppressed: "
+          f"{outcome.routes_suppressed}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Detection of Invalid Routing "
+        "Announcement in the Internet' (DSN 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument(
+        "id",
+        help="fig4 | fig5 | fig8 | fig9 | fig10 | fig11 | headline",
+    )
+    figure.add_argument("--quick", action="store_true",
+                        help="smaller grids for a fast look")
+    figure.add_argument("--seed", type=int, default=8)
+    figure.set_defaults(func=_cmd_figure)
+
+    study = sub.add_parser("study", help="run the §3 measurement study")
+    study.add_argument("--days", type=int, default=None)
+    study.add_argument("--seed", type=int, default=42)
+    study.set_defaults(func=_cmd_study)
+
+    monitor = sub.add_parser("monitor", help="off-line MOAS monitor over a dump")
+    monitor.add_argument("dump", help="path to a RouteViews-style dump file")
+    monitor.set_defaults(func=_cmd_monitor)
+
+    topology = sub.add_parser("topology", help="generate a paper-style topology")
+    topology.add_argument("--size", type=int, default=46)
+    topology.add_argument("--seed", type=int, default=8)
+    topology.add_argument("--edges", action="store_true", help="print edge list")
+    topology.set_defaults(func=_cmd_topology)
+
+    hijack = sub.add_parser("hijack", help="run one hijack scenario")
+    hijack.add_argument("--size", type=int, default=46)
+    hijack.add_argument("--origins", type=int, default=1)
+    hijack.add_argument("--attackers", type=float, default=0.1,
+                        help="attacker fraction of ASes")
+    hijack.add_argument("--deployment", choices=("none", "partial", "full"),
+                        default="full")
+    hijack.add_argument("--seed", type=int, default=8)
+    hijack.set_defaults(func=_cmd_hijack)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's contribution: the MOAS-list detection scheme (§4).
+
+* :mod:`repro.core.moas_list` — the MOAS list and its encoding in the BGP
+  community attribute (``AS : MLVal`` values, §4.2);
+* :mod:`repro.core.alarms` — alarm records and the alarm log raised on
+  inconsistent lists;
+* :mod:`repro.core.checker` — the per-router consistency checker that hooks
+  into the BGP import path, raises alarms, and (when an origin oracle is
+  available) suppresses routes from unauthorised origins;
+* :mod:`repro.core.origin_verification` — origin oracles: ground-truth
+  registry and the DNS MOASRR-backed resolver of §4.4;
+* :mod:`repro.core.deployment` — full / partial / no deployment plans that
+  attach checkers to a simulated network (§5.4);
+* :mod:`repro.core.monitor` — the §4.2 off-line monitoring process that
+  checks MOAS-list consistency across multi-peer table dumps.
+"""
+
+from repro.core.moas_list import (
+    MLVAL,
+    MoasList,
+    extract_moas_list,
+    moas_communities,
+)
+from repro.core.alarms import Alarm, AlarmKind, AlarmLog
+from repro.core.checker import CheckerMode, MoasChecker
+from repro.core.origin_verification import (
+    DnsOracle,
+    GroundTruthOracle,
+    OriginOracle,
+    PrefixOriginRegistry,
+    build_moas_zone,
+)
+from repro.core.deployment import DeploymentPlan
+from repro.core.monitor import MonitorReport, OfflineMonitor
+from repro.core.mib import BgpMib, MibMoasApplication
+from repro.core.networked_dns import NetworkedDnsOracle, NetworkedDnsService
+
+__all__ = [
+    "MLVAL",
+    "MoasList",
+    "moas_communities",
+    "extract_moas_list",
+    "Alarm",
+    "AlarmKind",
+    "AlarmLog",
+    "MoasChecker",
+    "CheckerMode",
+    "OriginOracle",
+    "PrefixOriginRegistry",
+    "GroundTruthOracle",
+    "DnsOracle",
+    "build_moas_zone",
+    "DeploymentPlan",
+    "OfflineMonitor",
+    "MonitorReport",
+    "NetworkedDnsService",
+    "NetworkedDnsOracle",
+    "BgpMib",
+    "MibMoasApplication",
+]

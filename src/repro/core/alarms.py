@@ -1,0 +1,102 @@
+"""MOAS alarms.
+
+"Whenever a BGP router notices any inconsistency in the MOAS Lists
+received, it should generate an alarm signal; further investigation should
+be conducted to identify the cause of the inconsistency." (§4.2)
+
+The alarm log is the audit trail of that signal: which router, which
+prefix, which conflicting lists, and what the investigation (origin-oracle
+lookup) concluded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.moas_list import MoasList
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class AlarmKind(enum.Enum):
+    #: Two announcements for the same prefix carried different MOAS lists.
+    INCONSISTENT_LISTS = "inconsistent-lists"
+    #: An announcement's own origin AS is absent from the list it carries —
+    #: malformed by construction, caught without needing a second view.
+    ORIGIN_NOT_IN_OWN_LIST = "origin-not-in-own-list"
+    #: Oracle lookup concluded an origin is unauthorised for the prefix.
+    UNAUTHORISED_ORIGIN = "unauthorised-origin"
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One alarm event."""
+
+    time: float
+    detector: ASN
+    prefix: Prefix
+    kind: AlarmKind
+    observed_list: Optional[MoasList] = None
+    conflicting_list: Optional[MoasList] = None
+    suspect_origin: Optional[ASN] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Alarm(t={self.time:.3f}, AS{self.detector}, {self.prefix}, "
+            f"{self.kind.value}, suspect={self.suspect_origin})"
+        )
+
+
+class AlarmLog:
+    """Append-only log of alarms with query helpers."""
+
+    def __init__(self) -> None:
+        self._alarms: List[Alarm] = []
+
+    def raise_alarm(self, alarm: Alarm) -> None:
+        self._alarms.append(alarm)
+
+    def __len__(self) -> int:
+        return len(self._alarms)
+
+    def __iter__(self):
+        return iter(self._alarms)
+
+    def all(self) -> List[Alarm]:
+        return list(self._alarms)
+
+    def for_prefix(self, prefix: Prefix) -> List[Alarm]:
+        return [a for a in self._alarms if a.prefix == prefix]
+
+    def by_detector(self) -> Dict[ASN, List[Alarm]]:
+        out: Dict[ASN, List[Alarm]] = {}
+        for alarm in self._alarms:
+            out.setdefault(alarm.detector, []).append(alarm)
+        return out
+
+    def detectors(self) -> FrozenSet[ASN]:
+        return frozenset(a.detector for a in self._alarms)
+
+    def count(self, kind: AlarmKind) -> int:
+        return sum(1 for a in self._alarms if a.kind is kind)
+
+    #: Alarm kinds that actually implicate an origin.  INCONSISTENT_LISTS
+    #: records the *arriving* route's origin for context, but the arriving
+    #: route may be the genuine one (conflict discovered when the valid
+    #: announcement lands after the bogus one) — it accuses no one.
+    _IMPLICATING_KINDS = frozenset(
+        {AlarmKind.UNAUTHORISED_ORIGIN, AlarmKind.ORIGIN_NOT_IN_OWN_LIST}
+    )
+
+    def suspects(self) -> FrozenSet[ASN]:
+        """Origin ASes that adjudicated alarms actually implicate."""
+        return frozenset(
+            a.suspect_origin
+            for a in self._alarms
+            if a.suspect_origin is not None and a.kind in self._IMPLICATING_KINDS
+        )
+
+    def clear(self) -> None:
+        self._alarms.clear()

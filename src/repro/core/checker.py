@@ -1,0 +1,191 @@
+"""The per-router MOAS-list consistency checker (§4.2).
+
+A :class:`MoasChecker` attaches to one :class:`~repro.bgp.speaker.BGPSpeaker`
+as an import validator.  For every route that survives import policy it:
+
+1. decodes the route's MOAS list (explicit communities, or the footnote-3
+   implicit singleton {origin});
+2. rejects announcements whose own origin is missing from the list they
+   carry (malformed by construction — no second view needed);
+3. compares the list against every distinct list previously observed for
+   the prefix; any mismatch raises an :class:`~repro.core.alarms.Alarm`;
+4. in ``DETECT_AND_SUPPRESS`` mode, a conflict triggers an origin-oracle
+   lookup (§4.4); routes whose origin is not authorised are rejected, and
+   already-accepted routes from unauthorised origins are retroactively
+   invalidated — "they stop the further propagation of a false route".
+
+``ALARM_ONLY`` mode performs steps 1-3 but never drops a route; it is the
+ablation arm measuring the value of suppression, and also models the
+off-line §4.2 deployment where checking is advisory.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.speaker import BGPSpeaker
+from repro.core.alarms import Alarm, AlarmKind, AlarmLog
+from repro.core.moas_list import MoasList, extract_moas_list
+from repro.core.origin_verification import OriginOracle
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class CheckerMode(enum.Enum):
+    ALARM_ONLY = "alarm-only"
+    DETECT_AND_SUPPRESS = "detect-and-suppress"
+
+
+class MoasChecker:
+    """MOAS-list checking for one router."""
+
+    def __init__(
+        self,
+        mode: CheckerMode = CheckerMode.DETECT_AND_SUPPRESS,
+        oracle: Optional[OriginOracle] = None,
+        alarm_log: Optional[AlarmLog] = None,
+    ) -> None:
+        if mode is CheckerMode.DETECT_AND_SUPPRESS and oracle is None:
+            raise ValueError("DETECT_AND_SUPPRESS mode requires an origin oracle")
+        self.mode = mode
+        self.oracle = oracle
+        self.alarms = alarm_log if alarm_log is not None else AlarmLog()
+        self._speaker: Optional[BGPSpeaker] = None
+        # Distinct MOAS lists observed per prefix (across accepted AND
+        # rejected routes — a rejected bogus route must still count as
+        # evidence of conflict for later arrivals).
+        self._observed: Dict[Prefix, Set[MoasList]] = {}
+        # Prefixes already adjudicated by the oracle, with the verdict.
+        self._verdicts: Dict[Prefix, Optional[frozenset]] = {}
+        self.checks = 0
+        self.conflicts_detected = 0
+        self.routes_suppressed = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, speaker: BGPSpeaker) -> None:
+        """Install this checker as the speaker's import validator."""
+        if self._speaker is not None:
+            raise RuntimeError("checker is already attached to a speaker")
+        self._speaker = speaker
+        speaker.add_import_validator(self.validate)
+
+    @property
+    def speaker(self) -> BGPSpeaker:
+        if self._speaker is None:
+            raise RuntimeError("checker is not attached to a speaker")
+        return self._speaker
+
+    def _now(self) -> float:
+        return self.speaker.sim.now if self._speaker is not None else 0.0
+
+    # -- the import validator ----------------------------------------------------
+
+    def validate(self, peer: ASN, prefix: Prefix, attributes: PathAttributes) -> bool:
+        """Import-validator entry point; False rejects the route."""
+        self.checks += 1
+        moas_list = extract_moas_list(attributes)
+        origin = attributes.origin_asn
+
+        if moas_list is None:
+            # Aggregated route with AS_SET origin and no communities: no
+            # origin claim to check.  Accept — the paper's mechanism is
+            # per-origin and has nothing to compare here.
+            return True
+
+        # Step 2: self-consistency of the announcement itself.
+        if origin is not None and not moas_list.authorises(origin):
+            self.alarms.raise_alarm(
+                Alarm(
+                    time=self._now(),
+                    detector=self.speaker.asn,
+                    prefix=prefix,
+                    kind=AlarmKind.ORIGIN_NOT_IN_OWN_LIST,
+                    observed_list=moas_list,
+                    suspect_origin=origin,
+                )
+            )
+            if self.mode is CheckerMode.DETECT_AND_SUPPRESS:
+                self.routes_suppressed += 1
+                return False
+            return True
+
+        # Step 3: compare against every distinct list seen for the prefix.
+        seen = self._observed.setdefault(prefix, set())
+        conflict = any(not moas_list.consistent_with(other) for other in seen)
+        is_new_list = moas_list not in seen
+        seen.add(moas_list)
+
+        if conflict and is_new_list:
+            self.conflicts_detected += 1
+            conflicting = next(
+                other for other in seen if not moas_list.consistent_with(other)
+            )
+            self.alarms.raise_alarm(
+                Alarm(
+                    time=self._now(),
+                    detector=self.speaker.asn,
+                    prefix=prefix,
+                    kind=AlarmKind.INCONSISTENT_LISTS,
+                    observed_list=moas_list,
+                    conflicting_list=conflicting,
+                    suspect_origin=origin,
+                )
+            )
+
+        if self.mode is CheckerMode.ALARM_ONLY:
+            return True
+
+        # Step 4: adjudicate via the oracle once a conflict exists.
+        if conflict or prefix in self._verdicts:
+            authorised = self._adjudicate(prefix)
+            if authorised is not None and origin is not None:
+                if origin not in authorised:
+                    self.alarms.raise_alarm(
+                        Alarm(
+                            time=self._now(),
+                            detector=self.speaker.asn,
+                            prefix=prefix,
+                            kind=AlarmKind.UNAUTHORISED_ORIGIN,
+                            observed_list=moas_list,
+                            suspect_origin=origin,
+                        )
+                    )
+                    self.routes_suppressed += 1
+                    return False
+        return True
+
+    def _adjudicate(self, prefix: Prefix) -> Optional[frozenset]:
+        """Oracle lookup with caching; sweeps stale accepted routes once."""
+        if prefix in self._verdicts:
+            return self._verdicts[prefix]
+        assert self.oracle is not None
+        authorised = self.oracle.authorised_origins(prefix)
+        self._verdicts[prefix] = authorised
+        if authorised is not None:
+            self._sweep_unauthorised(prefix, authorised)
+        return authorised
+
+    def _sweep_unauthorised(self, prefix: Prefix, authorised: frozenset) -> None:
+        """Retroactively invalidate accepted routes from unauthorised
+        origins — the bogus route may have arrived before the valid one."""
+        stale = [
+            entry
+            for entry in self.speaker.adj_rib_in.routes_for_prefix(prefix)
+            if entry.origin_asn is not None and entry.origin_asn not in authorised
+        ]
+        for entry in stale:
+            assert entry.peer is not None
+            self.alarms.raise_alarm(
+                Alarm(
+                    time=self._now(),
+                    detector=self.speaker.asn,
+                    prefix=prefix,
+                    kind=AlarmKind.UNAUTHORISED_ORIGIN,
+                    suspect_origin=entry.origin_asn,
+                )
+            )
+            self.routes_suppressed += 1
+            self.speaker.invalidate_route(entry.peer, prefix)

@@ -1,0 +1,90 @@
+"""Deployment plans: which routers check MOAS lists (§5.4).
+
+Experiment 3 evaluates partial deployment: "we randomly select 50% of the
+nodes to have the capability of processing MOAS List ... The other nodes
+ignore the MOAS List, which means they may accept and install a false
+route in their routing table and advertise the false route to their peers".
+
+A :class:`DeploymentPlan` names the capable ASes; :meth:`apply` builds one
+checker per capable AS and attaches it to the corresponding speaker in a
+:class:`~repro.bgp.network.Network`, returning the checkers so callers can
+inspect alarms and suppression counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmLog
+from repro.core.checker import CheckerMode, MoasChecker
+from repro.core.origin_verification import OriginOracle
+from repro.net.asn import ASN
+
+
+class DeploymentPlan:
+    """The set of MOAS-capable ASes."""
+
+    def __init__(self, capable: Iterable[ASN]) -> None:
+        self.capable: FrozenSet[ASN] = frozenset(capable)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def full(cls, asns: Iterable[ASN]) -> "DeploymentPlan":
+        """Everyone checks — the paper's "Full MOAS Detection" curves."""
+        return cls(asns)
+
+    @classmethod
+    def none(cls) -> "DeploymentPlan":
+        """No one checks — the paper's "Normal BGP" curves."""
+        return cls(())
+
+    @classmethod
+    def random_fraction(
+        cls, asns: Iterable[ASN], fraction: float, rng: random.Random
+    ) -> "DeploymentPlan":
+        """A random ``fraction`` of ASes check — "Half MOAS Detection" at
+        fraction=0.5."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        pool = sorted(asns)
+        count = round(fraction * len(pool))
+        return cls(rng.sample(pool, count))
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_capable(self, asn: ASN) -> bool:
+        return asn in self.capable
+
+    def __len__(self) -> int:
+        return len(self.capable)
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self.capable
+
+    # -- application ------------------------------------------------------------------
+
+    def apply(
+        self,
+        network: Network,
+        oracle: Optional[OriginOracle],
+        mode: CheckerMode = CheckerMode.DETECT_AND_SUPPRESS,
+        shared_alarm_log: Optional[AlarmLog] = None,
+    ) -> Dict[ASN, MoasChecker]:
+        """Attach a checker to every capable AS present in ``network``.
+
+        ``shared_alarm_log`` lets an experiment aggregate alarms across all
+        detectors into one log; omit it for per-checker logs.
+        """
+        checkers: Dict[ASN, MoasChecker] = {}
+        for asn in sorted(self.capable):
+            if asn not in network.speakers:
+                continue
+            checker = MoasChecker(
+                mode=mode, oracle=oracle, alarm_log=shared_alarm_log
+            )
+            checker.attach(network.speaker(asn))
+            checkers[asn] = checker
+        return checkers

@@ -1,0 +1,160 @@
+"""The BGP-4 MIB deployment path (§4.2).
+
+"If the router is equipped to support the new BGP MIB [10], one could also
+run a management application to get all MOAS List through the MIB
+interface and check the MOAS List consistency."
+
+Two pieces, mirroring that sentence:
+
+* :class:`BgpMib` — a read-only management view of one speaker, shaped
+  after the draft-ietf-idr-bgp4-mib tables the paper cites: the peer table
+  (``bgp4PeerTable``) and the received-path-attribute table
+  (``bgp4PathAttrTable``), each row carrying the attributes the MOAS
+  checker needs (prefix, peer, AS path, communities);
+* :class:`MibMoasApplication` — the management application: it polls the
+  MIBs of a set of routers, reconstructs every announcement's effective
+  MOAS list, and reports consistency violations per prefix — detection
+  without touching the routers' forwarding behaviour (monitoring-only,
+  like the off-line process, but live against router state rather than
+  archived dumps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.attributes import AsPath, Community
+from repro.bgp.speaker import BGPSpeaker
+from repro.core.moas_list import MoasList, extract_moas_list
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+@dataclass(frozen=True)
+class PeerTableRow:
+    """One row of the peer table: session state for one neighbour."""
+
+    local_asn: ASN
+    remote_asn: ASN
+    state: str
+
+
+@dataclass(frozen=True)
+class PathAttrRow:
+    """One row of the path-attribute table: one received route."""
+
+    prefix: Prefix
+    peer: ASN
+    as_path: AsPath
+    communities: FrozenSet[Community]
+    best: bool
+
+    @property
+    def origin_asn(self) -> Optional[ASN]:
+        return self.as_path.origin_asn
+
+
+class BgpMib:
+    """Read-only management view over one BGP speaker."""
+
+    def __init__(self, speaker: BGPSpeaker) -> None:
+        self._speaker = speaker
+
+    @property
+    def local_asn(self) -> ASN:
+        return self._speaker.asn
+
+    def peer_table(self) -> List[PeerTableRow]:
+        return [
+            PeerTableRow(
+                local_asn=self._speaker.asn,
+                remote_asn=peer,
+                state=session.state.value,
+            )
+            for peer, session in sorted(self._speaker.sessions.items())
+        ]
+
+    def path_attr_table(self) -> List[PathAttrRow]:
+        """Every received route, flagged with whether it is the best."""
+        rows: List[PathAttrRow] = []
+        for entry in self._speaker.adj_rib_in.entries():
+            assert entry.peer is not None
+            best = self._speaker.loc_rib.get(entry.prefix)
+            rows.append(
+                PathAttrRow(
+                    prefix=entry.prefix,
+                    peer=entry.peer,
+                    as_path=entry.attributes.as_path,
+                    communities=entry.attributes.communities,
+                    best=best is entry,
+                )
+            )
+        rows.sort(key=lambda r: (str(r.prefix), r.peer))
+        return rows
+
+
+@dataclass(frozen=True)
+class MibFinding:
+    """One inconsistency found by the management application."""
+
+    prefix: Prefix
+    lists_seen: FrozenSet[MoasList]
+    origins_seen: FrozenSet[ASN]
+    observed_at: FrozenSet[ASN]  # routers whose MIBs exposed the conflict
+
+
+class MibMoasApplication:
+    """Polls router MIBs and checks MOAS-list consistency across them."""
+
+    def __init__(self, mibs: Iterable[BgpMib]) -> None:
+        self._mibs = list(mibs)
+        self.polls = 0
+
+    def add_router(self, mib: BgpMib) -> None:
+        self._mibs.append(mib)
+
+    def poll(self) -> List[MibFinding]:
+        """One management sweep; returns the current inconsistencies."""
+        self.polls += 1
+        # prefix -> {moas list -> set of routers that saw it}, and origins.
+        lists: Dict[Prefix, Dict[MoasList, Set[ASN]]] = {}
+        origins: Dict[Prefix, Set[ASN]] = {}
+
+        for mib in self._mibs:
+            for row in mib.path_attr_table():
+                effective = extract_moas_list_from_row(row)
+                if effective is None:
+                    continue
+                lists.setdefault(row.prefix, {}).setdefault(
+                    effective, set()
+                ).add(mib.local_asn)
+                if row.origin_asn is not None:
+                    origins.setdefault(row.prefix, set()).add(row.origin_asn)
+
+        findings: List[MibFinding] = []
+        for prefix, per_list in sorted(lists.items(), key=lambda kv: str(kv[0])):
+            if len(per_list) > 1:
+                observers: Set[ASN] = set()
+                for watchers in per_list.values():
+                    observers.update(watchers)
+                findings.append(
+                    MibFinding(
+                        prefix=prefix,
+                        lists_seen=frozenset(per_list),
+                        origins_seen=frozenset(origins.get(prefix, set())),
+                        observed_at=frozenset(observers),
+                    )
+                )
+        return findings
+
+
+def extract_moas_list_from_row(row: PathAttrRow) -> Optional[MoasList]:
+    """The effective MOAS list of one MIB row (footnote-3 semantics)."""
+    explicit = MoasList.from_communities(row.communities)
+    if explicit is not None:
+        return explicit
+    origin = row.origin_asn
+    if origin is None:
+        return None
+    return MoasList([origin])

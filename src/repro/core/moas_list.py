@@ -1,0 +1,120 @@
+"""The MOAS list and its BGP community encoding (§4.1-4.2).
+
+The paper reserves one of the 2^16 values available in the low two octets
+of a community for "MOAS List Value" (``MLVal``).  A community
+``(X : MLVal)`` attached to a route means "AS X may originate a route to
+this prefix"; the full MOAS list for a prefix is the set of ASes appearing
+in such communities.  Consistency between two lists is *set equality* —
+"the order in the list may differ, but the set of ASes included in each
+route announcement must be identical".
+
+Footnote 3 supplies the semantics for routes without any MOAS community:
+they are treated as carrying the singleton list {origin AS}.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.bgp.attributes import Community, PathAttributes
+from repro.net.asn import ASN, validate_asn
+
+#: The reserved low-16-bit community value denoting "MOAS list member".
+#: Any value works as long as the whole network agrees; we pick 0x00FF,
+#: mnemonic for "origin FF-irmed".  The draft cited as [23] reserves the
+#: actual IANA value; the simulator only needs network-wide agreement.
+MLVAL = 0x00FF
+
+
+class MoasList:
+    """An immutable set of ASes entitled to originate a prefix."""
+
+    __slots__ = ("origins",)
+
+    def __init__(self, origins: Iterable[ASN]) -> None:
+        origin_set = frozenset(validate_asn(a) for a in origins)
+        if not origin_set:
+            raise ValueError("a MOAS list must contain at least one AS")
+        object.__setattr__(self, "origins", origin_set)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MoasList is immutable")
+
+    # -- the §4.2 consistency predicate -------------------------------------
+
+    def consistent_with(self, other: "MoasList") -> bool:
+        """Set equality — the paper's single consistency rule."""
+        return self.origins == other.origins
+
+    def authorises(self, asn: ASN) -> bool:
+        return asn in self.origins
+
+    # -- encoding -------------------------------------------------------------
+
+    def to_communities(self) -> FrozenSet[Community]:
+        """Encode as ``(AS : MLVal)`` communities (Figure 7)."""
+        return frozenset(Community(asn, MLVAL) for asn in self.origins)
+
+    @classmethod
+    def from_communities(
+        cls, communities: Iterable[Community]
+    ) -> Optional["MoasList"]:
+        """Decode from a community set; None if no MOAS communities present."""
+        members = [c.asn for c in communities if c.value == MLVAL]
+        if not members:
+            return None
+        return cls(members)
+
+    # -- sizing (the §4.3 overhead discussion) ----------------------------------
+
+    def encoded_size_bytes(self) -> int:
+        """Wire footprint: four octets per community (RFC 1997)."""
+        return 4 * len(self.origins)
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self.origins
+
+    def __len__(self) -> int:
+        return len(self.origins)
+
+    def __iter__(self):
+        return iter(sorted(self.origins))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MoasList):
+            return NotImplemented
+        return self.origins == other.origins
+
+    def __hash__(self) -> int:
+        return hash(self.origins)
+
+    def __repr__(self) -> str:
+        return "MoasList({" + ", ".join(str(a) for a in sorted(self.origins)) + "})"
+
+
+def moas_communities(origins: Iterable[ASN]) -> FrozenSet[Community]:
+    """Convenience: the community set an origin AS attaches when announcing
+    a prefix shared by ``origins`` (Figure 6/7)."""
+    return MoasList(origins).to_communities()
+
+
+def extract_moas_list(
+    attributes: PathAttributes, implicit_origin: Optional[ASN] = None
+) -> Optional[MoasList]:
+    """The MOAS list a route effectively carries.
+
+    Explicit MOAS communities win.  Otherwise footnote 3 applies: the route
+    is treated as carrying {origin AS}.  ``implicit_origin`` overrides the
+    AS-path-derived origin for locally originated routes (whose path is
+    still empty).  Returns None only when no origin can be determined
+    (aggregated path ending in an AS_SET and no communities).
+    """
+    explicit = MoasList.from_communities(attributes.communities)
+    if explicit is not None:
+        return explicit
+    origin = implicit_origin if implicit_origin is not None else attributes.origin_asn
+    if origin is None:
+        return None
+    return MoasList([origin])

@@ -1,0 +1,110 @@
+"""The off-line MOAS monitoring process (§4.2).
+
+"One could deploy the MOAS List checking quickly in the operational
+Internet via an off-line monitoring process, which periodically downloads
+the BGP routing messages and checks the MOAS List consistency from
+multiple peers."
+
+:class:`OfflineMonitor` consumes RouteViews-style table dumps (the same
+format the topology/measurement pipeline uses), reconstructs each route's
+effective MOAS list from its communities — the dump format does not carry
+communities, so the monitor accepts a side table of per-(prefix, origin)
+community claims — and reports consistency violations per prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.moas_list import MoasList
+from repro.core.origin_verification import PrefixOriginRegistry
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.topology.routeviews import RouteViewsTable
+
+
+@dataclass(frozen=True)
+class MonitorFinding:
+    """One per-prefix verdict from a monitoring pass."""
+
+    prefix: Prefix
+    origins_seen: FrozenSet[ASN]
+    lists_seen: FrozenSet[MoasList]
+    consistent: bool
+    unauthorised_origins: FrozenSet[ASN] = frozenset()
+
+
+@dataclass
+class MonitorReport:
+    """The outcome of one monitoring pass over one table dump."""
+
+    date: str
+    findings: List[MonitorFinding] = field(default_factory=list)
+
+    @property
+    def conflicts(self) -> List[MonitorFinding]:
+        return [f for f in self.findings if not f.consistent]
+
+    @property
+    def moas_prefixes(self) -> List[MonitorFinding]:
+        return [f for f in self.findings if len(f.origins_seen) > 1]
+
+    def summary(self) -> str:
+        return (
+            f"{self.date}: {len(self.findings)} prefixes, "
+            f"{len(self.moas_prefixes)} MOAS, {len(self.conflicts)} conflicts"
+        )
+
+
+# A claims table: what MOAS list each origin attaches for each prefix
+# (None = the origin attaches no list, i.e. footnote 3 applies).
+ClaimsTable = Dict[Tuple[Prefix, ASN], Optional[MoasList]]
+
+
+class OfflineMonitor:
+    """Checks MOAS-list consistency across the views in a table dump."""
+
+    def __init__(
+        self,
+        claims: Optional[ClaimsTable] = None,
+        registry: Optional[PrefixOriginRegistry] = None,
+    ) -> None:
+        self.claims = claims or {}
+        self.registry = registry
+
+    def _effective_list(self, prefix: Prefix, origin: ASN) -> MoasList:
+        claimed = self.claims.get((prefix, origin))
+        if claimed is not None:
+            return claimed
+        return MoasList([origin])  # footnote 3
+
+    def check_table(self, table: RouteViewsTable) -> MonitorReport:
+        """One monitoring pass: consistency verdict per prefix."""
+        report = MonitorReport(date=table.date)
+        for prefix, origins in sorted(
+            table.origins_by_prefix().items(), key=lambda kv: str(kv[0])
+        ):
+            lists = frozenset(
+                self._effective_list(prefix, origin) for origin in origins
+            )
+            consistent = len(lists) <= 1
+            unauthorised: FrozenSet[ASN] = frozenset()
+            if self.registry is not None:
+                authorised = self.registry.origins(prefix)
+                if authorised is not None:
+                    unauthorised = frozenset(origins - authorised)
+            report.findings.append(
+                MonitorFinding(
+                    prefix=prefix,
+                    origins_seen=frozenset(origins),
+                    lists_seen=lists,
+                    consistent=consistent,
+                    unauthorised_origins=unauthorised,
+                )
+            )
+        return report
+
+    def check_series(self, tables: List[RouteViewsTable]) -> List[MonitorReport]:
+        """Periodic monitoring over a dump series (one report per day)."""
+        return [self.check_table(table) for table in tables]

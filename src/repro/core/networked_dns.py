@@ -1,0 +1,110 @@
+"""DNS service hosted inside the simulated network.
+
+§2's critique of DNS-based origin verification: "given that DNS operations
+rely on the routing to function correctly, requiring BGP to interact with
+the DNS for correctness checking introduces a circular dependency."
+
+:class:`NetworkedDnsService` makes that dependency concrete instead of
+assumed: the MOASRR zone lives at a *server AS* that announces a *service
+prefix* into the simulated BGP network.  A router's lookup succeeds only
+if the router's own forwarding actually delivers packets to the server AS
+— verified by walking the data plane, not by consulting an oracle.  If an
+attacker hijacks the DNS service prefix itself, origin verification
+silently degrades exactly as the paper warns.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.bgp.forwarding import DeliveryOutcome, trace_packet
+from repro.bgp.network import Network
+from repro.core.origin_verification import (
+    DnsOracle,
+    PrefixOriginRegistry,
+    build_moas_zone,
+)
+from repro.dnssub.dnssec import KeyRing
+from repro.dnssub.resolver import Resolver
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class NetworkedDnsService:
+    """The MOASRR database, reachable only through the routed network."""
+
+    def __init__(
+        self,
+        network: Network,
+        server_asn: ASN,
+        service_prefix: Prefix,
+        registry: PrefixOriginRegistry,
+        keyring: Optional[KeyRing] = None,
+        secure: bool = False,
+    ) -> None:
+        if server_asn not in network.speakers:
+            raise ValueError(f"AS{server_asn} is not part of the network")
+        self.network = network
+        self.server_asn = server_asn
+        self.service_prefix = service_prefix
+        self.registry = registry
+        self._querier: Optional[ASN] = None
+
+        self.resolver = Resolver(
+            keyring=keyring,
+            secure=secure,
+            reachability=self._zone_reachable,
+        )
+        self.resolver.host_zone(build_moas_zone(registry, keyring=keyring))
+        # Reachability depends on who is asking; caching a positive answer
+        # obtained by one router must not satisfy another router whose own
+        # path to the server is broken.
+        self._cache_disabled = True
+
+    def announce(self) -> None:
+        """The server AS announces the DNS service prefix."""
+        self.network.originate(self.server_asn, self.service_prefix)
+
+    # -- reachability through the data plane -------------------------------
+
+    def _zone_reachable(self, apex: str) -> bool:
+        if self._querier is None:
+            return False
+        if self._querier == self.server_asn:
+            return True
+        trace = trace_packet(
+            self.network,
+            self._querier,
+            self.service_prefix,
+            legitimate_origins=[self.server_asn],
+        )
+        return trace.outcome is DeliveryOutcome.DELIVERED
+
+    def oracle_for(self, querier: ASN) -> "NetworkedDnsOracle":
+        """An oracle bound to the AS doing the asking."""
+        return NetworkedDnsOracle(self, querier)
+
+
+class NetworkedDnsOracle:
+    """Per-router oracle view: lookups traverse the querier's own routes."""
+
+    def __init__(self, service: NetworkedDnsService, querier: ASN) -> None:
+        self.service = service
+        self.querier = querier
+        self.lookups = 0
+        self.failures = 0
+
+    def authorised_origins(self, prefix: Prefix) -> Optional[FrozenSet[ASN]]:
+        self.lookups += 1
+        service = self.service
+        service._querier = self.querier
+        if service._cache_disabled:
+            service.resolver.invalidate_cache()
+        try:
+            inner = DnsOracle(service.resolver)
+            answer = inner.authorised_origins(prefix)
+        finally:
+            service._querier = None
+        if answer is None:
+            self.failures += 1
+        return answer

@@ -1,0 +1,146 @@
+"""Origin oracles: who may originate a prefix? (§4.4)
+
+When a MOAS alarm fires, the router must decide which of the conflicting
+announcements is bogus.  The paper proposes resolving via an enhanced DNS
+carrying MOASRR records.  We provide:
+
+* :class:`PrefixOriginRegistry` — the ground-truth database of authorised
+  (prefix → origin-AS set) bindings, maintained by the experiment scenario;
+* :class:`GroundTruthOracle` — answers directly from the registry (an
+  idealised instant verification channel);
+* :class:`DnsOracle` — answers by querying MOASRR records through the
+  :mod:`repro.dnssub` resolver, inheriting its failure modes (unreachable
+  zones, forged records under DNSSEC) so the paper's circular-dependency
+  critique of pure-DNS checking is reproducible;
+* :func:`build_moas_zone` — publishes a registry into a DNS zone, signing
+  records when a keyring is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Protocol
+
+from repro.dnssub.dnssec import KeyRing, sign_record
+from repro.dnssub.records import (
+    MoasRecordData,
+    RecordType,
+    ResourceRecord,
+    moasrr_name_for_prefix,
+)
+from repro.dnssub.resolver import Resolver
+from repro.dnssub.zone import Zone
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+
+
+class OriginOracle(Protocol):
+    """Answers "which ASes are authorised to originate ``prefix``?"."""
+
+    def authorised_origins(self, prefix: Prefix) -> Optional[FrozenSet[ASN]]:
+        """The authorised set, or None when the answer is unavailable
+        (unknown prefix, unreachable/unverifiable DNS...)."""
+        ...  # pragma: no cover - protocol
+
+
+class PrefixOriginRegistry:
+    """Ground truth: which ASes legitimately originate each prefix."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[Prefix, FrozenSet[ASN]] = {}
+
+    def register(self, prefix: Prefix, origins: Iterable[ASN]) -> None:
+        origin_set = frozenset(validate_asn(a) for a in origins)
+        if not origin_set:
+            raise ValueError(f"{prefix} needs at least one authorised origin")
+        self._bindings[prefix] = origin_set
+
+    def deregister(self, prefix: Prefix) -> None:
+        self._bindings.pop(prefix, None)
+
+    def origins(self, prefix: Prefix) -> Optional[FrozenSet[ASN]]:
+        return self._bindings.get(prefix)
+
+    def prefixes(self) -> Iterable[Prefix]:
+        return self._bindings.keys()
+
+    def is_authorised(self, prefix: Prefix, asn: ASN) -> Optional[bool]:
+        origins = self._bindings.get(prefix)
+        if origins is None:
+            return None
+        return asn in origins
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._bindings
+
+
+class GroundTruthOracle:
+    """Answers straight from the registry; never fails.
+
+    This is the oracle the paper's Experiment 1 effectively assumes: nodes
+    that detect a MOAS conflict "stop the further propagation of a false
+    route (e.g. by checking with DNS as proposed in the paper or using some
+    other mechanism)".
+    """
+
+    def __init__(self, registry: PrefixOriginRegistry) -> None:
+        self.registry = registry
+        self.lookups = 0
+
+    def authorised_origins(self, prefix: Prefix) -> Optional[FrozenSet[ASN]]:
+        self.lookups += 1
+        return self.registry.origins(prefix)
+
+
+class DnsOracle:
+    """Answers by resolving the prefix's MOASRR record (§4.4).
+
+    Failure modes are inherited from the resolver: an unreachable zone or a
+    signature failure yields None, leaving the checker unable to adjudicate
+    — exactly the degraded behaviour the paper warns about for DNS-based
+    verification without the MOAS-list first line of defence.
+    """
+
+    def __init__(self, resolver: Resolver) -> None:
+        self.resolver = resolver
+        self.lookups = 0
+
+    def authorised_origins(self, prefix: Prefix) -> Optional[FrozenSet[ASN]]:
+        self.lookups += 1
+        name = moasrr_name_for_prefix(prefix)
+        records = self.resolver.try_resolve(name, RecordType.MOASRR)
+        if not records:
+            return None
+        origins: set = set()
+        for record in records:
+            assert isinstance(record.data, MoasRecordData)
+            origins.update(record.data.origins)
+        return frozenset(origins)
+
+
+def build_moas_zone(
+    registry: PrefixOriginRegistry,
+    apex: str = "moas.arpa",
+    keyring: Optional[KeyRing] = None,
+) -> Zone:
+    """Publish a registry's bindings as MOASRR records in a zone.
+
+    With a keyring, each record is signed so a secure resolver will accept
+    it; without one the zone is unsigned (and a secure resolver rejects it,
+    modelling a deployment gap).
+    """
+    zone = Zone(apex)
+    for prefix in registry.prefixes():
+        origins = registry.origins(prefix)
+        assert origins is not None
+        record = ResourceRecord(
+            moasrr_name_for_prefix(prefix),
+            RecordType.MOASRR,
+            MoasRecordData(origins),
+        )
+        if keyring is not None:
+            record = sign_record(record, keyring, apex)
+        zone.add(record)
+    return zone

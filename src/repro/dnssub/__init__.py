@@ -1,0 +1,35 @@
+"""A small DNS substrate.
+
+§4.4 of the paper resolves MOAS alarms by looking up the authorised origin
+AS set for a prefix in the DNS, via a dedicated ``MOASRR`` resource record
+(the Bates et al. proposal), optionally protected by DNSSEC.  This package
+implements the parts of the DNS that pipeline needs: zones holding resource
+records, an iterative resolver with caching, and an HMAC-based signing
+layer standing in for DNSSEC (the trust semantics — detect tampered
+records — are what matters to the detection pipeline, not the RSA maths).
+"""
+
+from repro.dnssub.records import (
+    MoasRecordData,
+    RecordType,
+    ResourceRecord,
+    moasrr_name_for_prefix,
+)
+from repro.dnssub.zone import Zone, ZoneError
+from repro.dnssub.resolver import Resolver, ResolutionError
+from repro.dnssub.dnssec import KeyRing, SignatureError, sign_record, verify_record
+
+__all__ = [
+    "RecordType",
+    "ResourceRecord",
+    "MoasRecordData",
+    "moasrr_name_for_prefix",
+    "Zone",
+    "ZoneError",
+    "Resolver",
+    "ResolutionError",
+    "KeyRing",
+    "SignatureError",
+    "sign_record",
+    "verify_record",
+]

@@ -1,0 +1,59 @@
+"""A DNSSEC stand-in.
+
+The paper invokes DNS security ([16, 6]) to "assure the correctness of the
+DNS database" used for origin verification.  What the detection pipeline
+needs from DNSSEC is exactly one property: a consumer holding a zone's key
+can tell an authentic record from a forged or tampered one.  We provide
+that property with HMAC-SHA256 over the record's canonical bytes, keyed per
+zone.  (Public-key DNSSEC would separate signing from verification keys;
+for an in-process simulation the distinction buys nothing, and the paper's
+threat model — a forged MOASRR — is exercised identically.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+from repro.dnssub.records import ResourceRecord
+
+
+class SignatureError(Exception):
+    """Raised when verification fails or a key is missing."""
+
+
+class KeyRing:
+    """Per-zone signing keys, derived deterministically from a master secret."""
+
+    def __init__(self, master_secret: bytes = b"repro-dnssec") -> None:
+        self._master = master_secret
+        self._keys: Dict[str, bytes] = {}
+
+    def key_for_zone(self, apex: str) -> bytes:
+        apex = apex.lower().rstrip(".")
+        key = self._keys.get(apex)
+        if key is None:
+            key = hashlib.sha256(self._master + b"|" + apex.encode()).digest()
+            self._keys[apex] = key
+        return key
+
+
+def sign_record(record: ResourceRecord, keyring: KeyRing, apex: str) -> ResourceRecord:
+    """Return a copy of ``record`` carrying a valid signature for ``apex``."""
+    key = keyring.key_for_zone(apex)
+    signature = hmac.new(key, record.canonical_bytes(), hashlib.sha256).digest()
+    return record.with_signature(signature)
+
+
+def verify_record(record: ResourceRecord, keyring: KeyRing, apex: str) -> bool:
+    """True if the record carries a valid signature under ``apex``'s key.
+
+    Unsigned records verify as False — a secure consumer treats them as
+    untrustworthy, which is how forged-record injection is caught.
+    """
+    if record.signature is None:
+        return False
+    key = keyring.key_for_zone(apex)
+    expected = hmac.new(key, record.canonical_bytes(), hashlib.sha256).digest()
+    return hmac.compare_digest(expected, record.signature)

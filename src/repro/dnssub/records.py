@@ -1,0 +1,117 @@
+"""DNS resource records, including the paper's MOASRR type.
+
+Record data is kept as immutable value objects.  The ``MOASRR`` record for a
+prefix carries the set of AS numbers authorised to originate it — the
+"(prefix, origin AS) pairs stored in the originator's DNS" of Bates et al.
+that §4.4 builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+
+
+class RecordType(enum.Enum):
+    A = "A"
+    NS = "NS"
+    TXT = "TXT"
+    SOA = "SOA"
+    MOASRR = "MOASRR"  # the paper's proposed origin-AS record
+
+
+class MoasRecordData:
+    """Payload of a MOASRR record: the authorised origin AS set."""
+
+    __slots__ = ("origins",)
+
+    def __init__(self, origins: Iterable[ASN]) -> None:
+        origin_set = frozenset(validate_asn(a) for a in origins)
+        if not origin_set:
+            raise ValueError("MOASRR must list at least one origin AS")
+        object.__setattr__(self, "origins", origin_set)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MoasRecordData is immutable")
+
+    def authorises(self, asn: ASN) -> bool:
+        return asn in self.origins
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MoasRecordData):
+            return NotImplemented
+        return self.origins == other.origins
+
+    def __hash__(self) -> int:
+        return hash(self.origins)
+
+    def __repr__(self) -> str:
+        return f"MoasRecordData({sorted(self.origins)})"
+
+
+def moasrr_name_for_prefix(prefix: Prefix) -> str:
+    """The DNS name holding the MOASRR for ``prefix``.
+
+    Follows the in-addr.arpa convention: the network address octets are
+    reversed and the prefix length appended, e.g. ``10.2.0.0/16`` →
+    ``16.0.0.2.10.moas.arpa``.  This keeps names hierarchical so zones can
+    delegate along address-allocation boundaries.
+    """
+    octets = [
+        str((prefix.network >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    ]
+    return f"{prefix.length}." + ".".join(reversed(octets)) + ".moas.arpa"
+
+
+class ResourceRecord:
+    """A DNS RR: (name, type, data, ttl) plus an optional signature blob."""
+
+    __slots__ = ("name", "rtype", "data", "ttl", "signature")
+
+    def __init__(
+        self,
+        name: str,
+        rtype: RecordType,
+        data: object,
+        ttl: int = 3600,
+        signature: Optional[bytes] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("record name cannot be empty")
+        if ttl < 0:
+            raise ValueError(f"TTL must be non-negative, got {ttl}")
+        if rtype is RecordType.MOASRR and not isinstance(data, MoasRecordData):
+            raise TypeError("MOASRR data must be MoasRecordData")
+        object.__setattr__(self, "name", name.lower().rstrip("."))
+        object.__setattr__(self, "rtype", rtype)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "ttl", int(ttl))
+        object.__setattr__(self, "signature", signature)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ResourceRecord is immutable")
+
+    def with_signature(self, signature: bytes) -> "ResourceRecord":
+        return ResourceRecord(self.name, self.rtype, self.data, self.ttl, signature)
+
+    def canonical_bytes(self) -> bytes:
+        """The byte string covered by a signature."""
+        return f"{self.name}|{self.rtype.value}|{self.data!r}|{self.ttl}".encode()
+
+    def _key(self) -> Tuple:
+        return (self.name, self.rtype, self.data, self.ttl)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        signed = ", signed" if self.signature else ""
+        return f"RR({self.name} {self.rtype.value} {self.data!r}{signed})"

@@ -1,0 +1,117 @@
+"""An iterative DNS resolver over in-process zones.
+
+The resolver walks from the most specific hosted zone containing the query
+name, follows NS delegations between hosted zones, caches positive answers
+by (name, type), and optionally verifies signatures against a
+:class:`KeyRing` — refusing tampered or unsigned records in secure mode.
+
+The paper (§2) notes the circular dependency of DNS-based origin checks:
+DNS lookups themselves need routing.  The resolver surfaces that hook via
+an optional ``reachability`` predicate; when it returns False for a zone,
+resolution fails just as it would when the bogus route black-holes the DNS
+server.  The failure-injection tests use this to reproduce the paper's
+criticism of the pure-DNS approach.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dnssub.dnssec import KeyRing, verify_record
+from repro.dnssub.records import RecordType, ResourceRecord
+from repro.dnssub.zone import Zone, name_in_zone
+
+
+class ResolutionError(Exception):
+    """Raised when a name cannot be resolved."""
+
+
+class Resolver:
+    """Iterative resolver over a set of hosted zones."""
+
+    def __init__(
+        self,
+        keyring: Optional[KeyRing] = None,
+        secure: bool = False,
+        reachability: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        if secure and keyring is None:
+            raise ValueError("secure mode requires a keyring")
+        self._zones: Dict[str, Zone] = {}
+        self._cache: Dict[Tuple[str, RecordType], List[ResourceRecord]] = {}
+        self.keyring = keyring
+        self.secure = secure
+        self.reachability = reachability
+        self.queries = 0
+        self.cache_hits = 0
+
+    # -- zone management -----------------------------------------------------
+
+    def host_zone(self, zone: Zone) -> None:
+        if zone.apex in self._zones:
+            raise ValueError(f"zone {zone.apex!r} is already hosted")
+        self._zones[zone.apex] = zone
+
+    def zone(self, apex: str) -> Zone:
+        try:
+            return self._zones[apex.lower().rstrip(".")]
+        except KeyError:
+            raise KeyError(f"zone {apex!r} is not hosted")
+
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+    # -- resolution --------------------------------------------------------------
+
+    def _best_zone_for(self, name: str) -> Optional[Zone]:
+        """The hosted zone with the longest apex that contains ``name``."""
+        best: Optional[Zone] = None
+        for apex, zone in self._zones.items():
+            if name_in_zone(name, apex):
+                if best is None or len(apex) > len(best.apex):
+                    best = zone
+        return best
+
+    def resolve(self, name: str, rtype: RecordType) -> List[ResourceRecord]:
+        """Resolve (name, type); raises :class:`ResolutionError` on failure."""
+        name = name.lower().rstrip(".")
+        self.queries += 1
+        cached = self._cache.get((name, rtype))
+        if cached is not None:
+            self.cache_hits += 1
+            return list(cached)
+
+        zone = self._best_zone_for(name)
+        if zone is None:
+            raise ResolutionError(f"no hosted zone covers {name!r}")
+        if self.reachability is not None and not self.reachability(zone.apex):
+            raise ResolutionError(
+                f"zone {zone.apex!r} is unreachable (routing failure)"
+            )
+
+        records = zone.lookup(name, rtype)
+        if not records:
+            raise ResolutionError(f"no {rtype.value} records at {name!r}")
+
+        if self.secure:
+            assert self.keyring is not None
+            verified = [
+                r for r in records if verify_record(r, self.keyring, zone.apex)
+            ]
+            if not verified:
+                raise ResolutionError(
+                    f"all {rtype.value} records at {name!r} failed verification"
+                )
+            records = verified
+
+        self._cache[(name, rtype)] = list(records)
+        return list(records)
+
+    def try_resolve(
+        self, name: str, rtype: RecordType
+    ) -> Optional[List[ResourceRecord]]:
+        """Like :meth:`resolve` but returns None instead of raising."""
+        try:
+            return self.resolve(name, rtype)
+        except ResolutionError:
+            return None

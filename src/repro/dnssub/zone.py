@@ -1,0 +1,69 @@
+"""DNS zones.
+
+A zone owns a suffix of the namespace (its *apex*) and the records under
+it.  Zones support delegation via NS records, which the resolver follows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dnssub.records import RecordType, ResourceRecord
+
+
+class ZoneError(ValueError):
+    """Raised for records that do not belong in the zone."""
+
+
+def name_in_zone(name: str, apex: str) -> bool:
+    """True if ``name`` is at or below ``apex``."""
+    name = name.lower().rstrip(".")
+    apex = apex.lower().rstrip(".")
+    return name == apex or name.endswith("." + apex)
+
+
+class Zone:
+    """One DNS zone: an apex name and the records at or below it."""
+
+    def __init__(self, apex: str) -> None:
+        if not apex:
+            raise ZoneError("zone apex cannot be empty")
+        self.apex = apex.lower().rstrip(".")
+        self._records: Dict[Tuple[str, RecordType], List[ResourceRecord]] = {}
+
+    def add(self, record: ResourceRecord) -> None:
+        if not name_in_zone(record.name, self.apex):
+            raise ZoneError(
+                f"record name {record.name!r} is outside zone {self.apex!r}"
+            )
+        self._records.setdefault((record.name, record.rtype), []).append(record)
+
+    def remove(self, name: str, rtype: RecordType) -> int:
+        """Remove all records of (name, rtype); returns how many were cut."""
+        key = (name.lower().rstrip("."), rtype)
+        removed = self._records.pop(key, [])
+        return len(removed)
+
+    def replace(self, record: ResourceRecord) -> None:
+        """Replace the RRset at (name, type) with this single record."""
+        self.remove(record.name, record.rtype)
+        self.add(record)
+
+    def lookup(self, name: str, rtype: RecordType) -> List[ResourceRecord]:
+        return list(self._records.get((name.lower().rstrip("."), rtype), []))
+
+    def delegations(self) -> Iterator[ResourceRecord]:
+        """All NS records below the apex (zone cuts)."""
+        for (name, rtype), records in self._records.items():
+            if rtype is RecordType.NS and name != self.apex:
+                yield from records
+
+    def records(self) -> Iterator[ResourceRecord]:
+        for rrset in self._records.values():
+            yield from rrset
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._records.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Zone({self.apex!r}, {len(self)} records)"

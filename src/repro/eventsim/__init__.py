@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which the BGP simulator runs: a
+simulation clock, an event queue with deterministic tie-breaking, named
+seeded random streams, periodic and one-shot timers, and trace hooks.
+
+The design mirrors the scheduler at the heart of SSFnet (the simulator the
+paper used) but is a clean-room pure-Python implementation.  Determinism is
+a first-class requirement: two runs with the same seed and the same workload
+produce byte-identical event orderings, which makes every experiment in the
+paper reproducible bit-for-bit.
+"""
+
+from repro.eventsim.event import Event, EventHandle
+from repro.eventsim.queue import EventQueue
+from repro.eventsim.rng import RandomStreams
+from repro.eventsim.simulator import Simulator, SimulationError
+from repro.eventsim.timers import Timer, PeriodicTimer
+from repro.eventsim.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "RandomStreams",
+    "Simulator",
+    "SimulationError",
+    "Timer",
+    "PeriodicTimer",
+    "TraceRecorder",
+    "TraceRecord",
+]

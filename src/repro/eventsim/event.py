@@ -1,0 +1,101 @@
+"""Simulation events.
+
+An :class:`Event` couples a firing time with a callback.  Events are ordered
+by ``(time, priority, seq)``: the sequence number is assigned by the queue at
+insertion and guarantees a total, deterministic order even when many events
+share a timestamp.  This is the property that makes whole-simulation replays
+reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    action:
+        Zero-argument callable invoked when the event fires.
+    priority:
+        Secondary ordering key; lower fires first among same-time events.
+        Protocol code rarely needs this — the default of 0 is almost always
+        right — but the kernel uses it to order timer expiry after message
+        delivery at identical timestamps.
+    label:
+        Free-form description used by traces and ``repr``.
+    """
+
+    __slots__ = ("time", "action", "priority", "label", "seq", "cancelled")
+
+    _seq_counter = itertools.count()
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time!r}")
+        if not callable(action):
+            raise TypeError("event action must be callable")
+        self.time = float(time)
+        self.action = action
+        self.priority = int(priority)
+        self.label = label
+        self.seq: Optional[int] = None  # assigned by the queue
+        self.cancelled = False
+
+    def sort_key(self) -> tuple:
+        """Total-order key; valid only after the queue assigned ``seq``."""
+        if self.seq is None:
+            raise RuntimeError("event has not been scheduled")
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it at pop time (lazy deletion)."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Run the action unless the event has been cancelled."""
+        if self.cancelled:
+            return None
+        return self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, label={self.label!r}, {state})"
+
+
+class EventHandle:
+    """Opaque handle returned by the simulator's ``schedule`` methods.
+
+    Holding a handle allows the caller to cancel the underlying event without
+    being exposed to queue internals.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle({self._event!r})"

@@ -1,0 +1,80 @@
+"""Deterministic event queue.
+
+A thin wrapper over :mod:`heapq` that assigns monotonically increasing
+sequence numbers at insertion time.  Two events scheduled for the same time
+with the same priority therefore fire in insertion order, regardless of heap
+internals — the total order is well defined and replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from repro.eventsim.event import Event
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._next_seq = 0
+        self._live = 0  # number of non-cancelled events in the heap
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        """Insert an event; assigns its sequence number."""
+        if event.seq is not None:
+            raise ValueError("event is already scheduled")
+        event.seq = self._next_seq
+        self._next_seq += 1
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are dropped lazily here rather than removed from the
+        middle of the heap at cancel time (which would be O(n)).
+        """
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def note_cancelled(self) -> None:
+        """Adjust the live count after an in-heap event was cancelled.
+
+        Called by the simulator, which owns cancellation bookkeeping.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining live events in firing order, emptying the queue."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,116 @@
+"""One-shot and periodic timers built on the simulator.
+
+BGP uses several per-session timers (MRAI, KeepAlive, Hold).  These classes
+wrap the raw schedule/cancel dance so protocol code can say
+``timer.restart()`` instead of juggling event handles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.eventsim.event import EventHandle
+from repro.eventsim.simulator import Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The timer is *not* armed at construction; call :meth:`start`.  Starting a
+    running timer is an error — use :meth:`restart` to re-arm.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        action: Callable[[], Any],
+        label: str = "timer",
+    ) -> None:
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration!r}")
+        self.sim = sim
+        self.duration = float(duration)
+        self.action = action
+        self.label = label
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        if not self.running:
+            return None
+        assert self._handle is not None
+        return self._handle.time
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError(f"timer {self.label!r} is already running")
+        self._handle = self.sim.schedule_after(
+            self.duration, self._fire, priority=1, label=self.label
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self) -> None:
+        self.stop()
+        self.start()
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.action()
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself after each expiry until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        action: Callable[[], Any],
+        label: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.sim = sim
+        self.period = float(period)
+        self.action = action
+        self.label = label
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        if not self._stopped:
+            raise RuntimeError(f"periodic timer {self.label!r} is already running")
+        self._stopped = False
+        self._arm()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self) -> None:
+        self._handle = self.sim.schedule_after(
+            self.period, self._fire, priority=1, label=self.label
+        )
+
+    def _fire(self) -> None:
+        self._handle = None
+        if self._stopped:
+            return
+        self.action()
+        if not self._stopped:
+            self._arm()

@@ -1,0 +1,64 @@
+"""Simulation tracing.
+
+The trace recorder is an append-only log of ``(time, category, detail)``
+records.  Protocol modules use it to record message sends, route changes and
+alarms; tests and the experiment harness query it to assert on behaviour
+without reaching into protocol internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecord(t={self.time:.4f}, {self.category}, {self.detail})"
+
+
+class TraceRecorder:
+    """Append-only structured trace with category filtering.
+
+    Recording can be restricted to a set of categories to keep long
+    simulations cheap; an unrestricted recorder keeps everything.
+    """
+
+    def __init__(self, categories: Optional[set] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._categories = set(categories) if categories is not None else None
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, category: str, **detail: Any) -> None:
+        if self._categories is not None and category not in self._categories:
+            return
+        rec = TraceRecord(time=time, category=category, detail=detail)
+        self._records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously for each new record."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self._records if r.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self._records if r.category == category)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,45 @@
+"""The §5 simulation experiments.
+
+* :mod:`repro.experiments.runner` — one hijack simulation: topology +
+  deployment + origins + attackers → fraction of poisoned ASes;
+* :mod:`repro.experiments.sweep` — attacker-fraction sweeps with the
+  paper's 15-run averaging (3 origin draws × 5 attacker draws);
+* :mod:`repro.experiments.exp_effectiveness` — Experiment 1 (Figure 9);
+* :mod:`repro.experiments.exp_topology_size` — Experiment 2 (Figure 10);
+* :mod:`repro.experiments.exp_partial` — Experiment 3 (Figure 11);
+* :mod:`repro.experiments.measurement_repro` — the §3 study (Figures 4-5);
+* :mod:`repro.experiments.reporting` — plain-text tables and series.
+"""
+
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackOutcome,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.experiments.sweep import SweepConfig, SweepPoint, SweepResult, run_sweep
+from repro.experiments.exp_effectiveness import figure9
+from repro.experiments.exp_topology_size import figure10
+from repro.experiments.exp_partial import figure11
+from repro.experiments.measurement_repro import figure4, figure5
+from repro.experiments.reporting import format_series_table, format_sweep_table
+
+__all__ = [
+    "HijackScenario",
+    "HijackOutcome",
+    "DeploymentKind",
+    "AttackTiming",
+    "run_hijack_scenario",
+    "SweepConfig",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure4",
+    "figure5",
+    "format_sweep_table",
+    "format_series_table",
+]

@@ -1,0 +1,103 @@
+"""Plain-text chart rendering.
+
+The benchmark harness regenerates the paper's figures as text; these
+helpers draw them as terminal charts so a reproduction run can be eyeballed
+against the paper's plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII line chart.
+
+    Each series gets its own glyph; points are nearest-cell plotted.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be readable")
+    glyphs = "*o+x#@%&"
+    all_points = [pt for pts in series.values() for pt in pts]
+    if not all_points:
+        raise ValueError("series contain no points")
+
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for index, (name, points) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in points:
+            row, col = cell(x, y)
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_axis_width = max(len(f"{y_max:.0f}"), len(f"{y_min:.0f}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.0f}".rjust(y_axis_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.0f}".rjust(y_axis_width)
+        else:
+            label = " " * y_axis_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_axis_width + " +" + "-" * width)
+    x_line = (
+        f"{x_min:.0f}".ljust(width // 2)
+        + f"{x_max:.0f}".rjust(width - width // 2)
+    )
+    lines.append(" " * (y_axis_width + 2) + x_line)
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}    y: {y_label}".rstrip())
+    legend = "   " + "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence[Tuple[str, int]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labelled bins as a horizontal bar chart (log-friendly scale
+    is the caller's business; bars are linear)."""
+    if not bins:
+        raise ValueError("nothing to plot")
+    peak = max(count for _, count in bins) or 1
+    label_width = max(len(label) for label, _ in bins)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, count in bins:
+        bar = "#" * max(0, round(count / peak * width))
+        if count > 0 and not bar:
+            bar = "."  # visible trace for tiny non-zero bins
+        lines.append(f"{label.rjust(label_width)} |{bar} {count}")
+    return "\n".join(lines)

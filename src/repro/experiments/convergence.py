@@ -1,0 +1,132 @@
+"""BGP convergence measurement.
+
+The paper's figures measure converged state; this module measures the
+*path to* convergence — wall-clock (simulated) time and message cost —
+because the MRAI pacing that RFC 4271 mandates trades those two against
+each other, and the simulator must reproduce that classic trade-off to be
+a credible BGP substrate.
+
+Two workloads:
+
+* ``measure_announcement_convergence`` — a fresh prefix propagates to all;
+* ``measure_withdrawal_convergence`` — the origin withdraws; path-vector
+  protocols famously explore transient alternatives before giving up
+  (the path-exploration problem), which MRAI dampens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bgp.network import Network
+from repro.bgp.speaker import SpeakerConfig
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph
+
+DEFAULT_PREFIX = Prefix.parse("203.0.113.0/24")
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Cost of one convergence episode."""
+
+    converged_at: float
+    updates_sent: int
+    events_processed: int
+    ases_with_route: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConvergenceResult(t={self.converged_at:.3f}s, "
+            f"{self.updates_sent} updates)"
+        )
+
+
+def _last_best_change(network: Network) -> float:
+    times = [
+        record.time
+        for record in network.sim.trace.by_category("bgp.best_changed")
+    ]
+    return max(times) if times else network.sim.now
+
+
+def measure_announcement_convergence(
+    graph: ASGraph,
+    mrai: float = 0.0,
+    origin: Optional[ASN] = None,
+    prefix: Prefix = DEFAULT_PREFIX,
+    link_delay: float = 0.01,
+    seed: int = 0,
+) -> ConvergenceResult:
+    """Originate a prefix and measure until the network quiesces."""
+    network = Network(
+        graph,
+        config=SpeakerConfig(mrai=mrai),
+        link_delay=link_delay,
+        seed=seed,
+    )
+    network.establish_sessions()
+    if origin is None:
+        stubs = graph.stub_asns()
+        origin = stubs[0] if stubs else graph.asns()[0]
+
+    updates_before = network.total_updates_sent()
+    events_before = network.sim.events_processed
+    start = network.sim.now
+    network.sim.trace.clear()
+
+    network.originate(origin, prefix)
+    network.run_to_convergence()
+
+    with_route = sum(
+        1 for best in network.best_origins(prefix).values() if best is not None
+    )
+    return ConvergenceResult(
+        converged_at=_last_best_change(network) - start,
+        updates_sent=network.total_updates_sent() - updates_before,
+        events_processed=network.sim.events_processed - events_before,
+        ases_with_route=with_route,
+    )
+
+
+def measure_withdrawal_convergence(
+    graph: ASGraph,
+    mrai: float = 0.0,
+    origin: Optional[ASN] = None,
+    prefix: Prefix = DEFAULT_PREFIX,
+    link_delay: float = 0.01,
+    seed: int = 0,
+) -> ConvergenceResult:
+    """Measure the withdrawal (route-death) phase after full propagation."""
+    network = Network(
+        graph,
+        config=SpeakerConfig(mrai=mrai),
+        link_delay=link_delay,
+        seed=seed,
+    )
+    network.establish_sessions()
+    if origin is None:
+        stubs = graph.stub_asns()
+        origin = stubs[0] if stubs else graph.asns()[0]
+    network.originate(origin, prefix)
+    network.run_to_convergence()
+
+    updates_before = network.total_updates_sent()
+    events_before = network.sim.events_processed
+    start = network.sim.now
+    network.sim.trace.clear()
+
+    network.speaker(origin).withdraw_origination(prefix)
+    network.run_to_convergence()
+
+    with_route = sum(
+        1 for best in network.best_origins(prefix).values() if best is not None
+    )
+    return ConvergenceResult(
+        converged_at=_last_best_change(network) - start,
+        updates_sent=network.total_updates_sent() - updates_before,
+        events_processed=network.sim.events_processed - events_before,
+        ases_with_route=with_route,
+    )

@@ -1,0 +1,71 @@
+"""Experiment 1 — effectiveness of the MOAS list (Figure 9).
+
+46-AS topology; x-axis the percentage of attacker ASes, y-axis the
+percentage of remaining ASes adopting a false route; one panel per origin
+count (1 and 2); two curves per panel: Normal BGP vs Full MOAS Detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import DeploymentKind
+from repro.experiments.sweep import (
+    DEFAULT_ATTACKER_FRACTIONS,
+    SweepConfig,
+    SweepResult,
+    run_sweep,
+)
+from repro.topology.asgraph import ASGraph
+from repro.topology.generators import generate_paper_topology
+
+FIG9_TOPOLOGY_SIZE = 46
+
+
+@dataclass
+class Figure9Result:
+    """Both panels of Figure 9."""
+
+    topology_size: int
+    #: panel (n_origins) → [normal-BGP curve, full-detection curve]
+    panels: Dict[int, List[SweepResult]] = field(default_factory=dict)
+
+    def headline(self) -> Dict[str, float]:
+        """The §1/§5.2 headline percentages (1-origin panel)."""
+        normal, detect = self.panels[1]
+        return {
+            "normal@4%": normal.point_at(0.05).mean_poisoned_fraction * 100,
+            "detect@4%": detect.point_at(0.05).mean_poisoned_fraction * 100,
+            "normal@30%": normal.point_at(0.30).mean_poisoned_fraction * 100,
+            "detect@30%": detect.point_at(0.30).mean_poisoned_fraction * 100,
+        }
+
+
+def figure9(
+    graph: ASGraph = None,
+    origin_counts: Sequence[int] = (1, 2),
+    attacker_fractions: Sequence[float] = DEFAULT_ATTACKER_FRACTIONS,
+    seed: int = 8,
+) -> Figure9Result:
+    """Run Experiment 1.  Passing ``graph`` overrides the default 46-AS
+    topology (useful for quick tests on smaller graphs)."""
+    if graph is None:
+        graph = generate_paper_topology(FIG9_TOPOLOGY_SIZE, seed=seed)
+    result = Figure9Result(topology_size=len(graph))
+    for n_origins in origin_counts:
+        curves: List[SweepResult] = []
+        for deployment in (DeploymentKind.NONE, DeploymentKind.FULL):
+            curves.append(
+                run_sweep(
+                    SweepConfig(
+                        graph=graph,
+                        n_origins=n_origins,
+                        deployment=deployment,
+                        attacker_fractions=attacker_fractions,
+                        seed=seed,
+                    )
+                )
+            )
+        result.panels[n_origins] = curves
+    return result

@@ -1,0 +1,114 @@
+"""§4.3 hazard — dropped communities cause false alarms, never false accepts.
+
+"Given that BGP community attribute is an optional transitive value, some
+routers may drop community attribute values associated with a route
+announcement ...  When a router receives multiple route announcements to
+the same prefix p, some with MOAS list and some do not, it would raise a
+false alarm.  However ... dropping the MOAS community value from some
+route announcements should not cause an invalid case to be considered
+valid."
+
+This experiment deploys a *valid* two-origin MOAS prefix, makes a random
+fraction of transit ASes strip communities on export, and measures:
+
+* the false-alarm rate (checkers alarming with no attacker present);
+* that adjudication against the origin database never suppresses the
+  genuine routes (reachability stays total) — alarms are noise, not harm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.attack.placement import place_origins
+from repro.bgp.network import Network
+from repro.bgp.policy import CommunityStripPolicy
+from repro.core.alarms import AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.moas_list import moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.eventsim.rng import RandomStreams
+from repro.net.addresses import Prefix
+from repro.topology.asgraph import ASGraph
+
+TARGET_PREFIX = Prefix.parse("10.2.0.0/16")
+
+
+@dataclass(frozen=True)
+class FalseAlarmPoint:
+    strip_fraction: float
+    false_alarm_rate: float       # share of checkers that alarmed
+    suppressed_valid_routes: int  # must stay 0
+    unreachable_fraction: float   # share of ASes with no route (must be 0)
+    runs: int
+
+
+def run_false_alarm_experiment(
+    graph: ASGraph,
+    strip_fractions: Sequence[float] = (0.0, 0.1, 0.25, 0.5),
+    n_runs: int = 10,
+    seed: int = 0,
+) -> List[FalseAlarmPoint]:
+    streams = RandomStreams(seed)
+    points: List[FalseAlarmPoint] = []
+    transit = graph.transit_asns()
+
+    for fraction in strip_fractions:
+        alarm_rates: List[float] = []
+        suppressed_total = 0
+        unreachable: List[float] = []
+        for run_index in range(n_runs):
+            origins = place_origins(
+                graph, 2, streams.stream(f"origins/{fraction}/{run_index}")
+            )
+            strippers = set(
+                streams.sample(
+                    f"strippers/{fraction}/{run_index}",
+                    transit,
+                    round(fraction * len(transit)),
+                )
+            )
+            registry = PrefixOriginRegistry()
+            registry.register(TARGET_PREFIX, origins)
+            oracle = GroundTruthOracle(registry)
+            log = AlarmLog()
+
+            network = Network(
+                graph,
+                policy_factory=lambda asn: (
+                    CommunityStripPolicy() if asn in strippers else None
+                ),
+                seed=seed + run_index,
+            )
+            checkers = {}
+            for asn in graph.asns():
+                checker = MoasChecker(oracle=oracle, alarm_log=log)
+                checker.attach(network.speaker(asn))
+                checkers[asn] = checker
+            network.establish_sessions()
+
+            communities = moas_communities(origins)
+            for origin in origins:
+                network.originate(origin, TARGET_PREFIX, communities=communities)
+            network.run_to_convergence()
+
+            alarming = len(log.detectors())
+            alarm_rates.append(alarming / len(graph))
+            suppressed_total += sum(
+                c.routes_suppressed for c in checkers.values()
+            )
+            best = network.best_origins(TARGET_PREFIX)
+            unreachable.append(
+                sum(1 for v in best.values() if v is None) / len(graph)
+            )
+        points.append(
+            FalseAlarmPoint(
+                strip_fraction=fraction,
+                false_alarm_rate=sum(alarm_rates) / len(alarm_rates),
+                suppressed_valid_routes=suppressed_total,
+                unreachable_fraction=sum(unreachable) / len(unreachable),
+                runs=n_runs,
+            )
+        )
+    return points

@@ -1,0 +1,144 @@
+"""The April-1998 mass-origination fault, inside the live simulation.
+
+§3.3's headline incident: "AS 8584 erroneously announced ... prefixes on
+that day that belonged to other organizations.  Consequently, some routers
+selected the bogus routes in packet forwarding, causing noticeable
+disturbance to the Internet operation."
+
+This experiment replays that class of event against the BGP simulator
+itself (not just the measurement trace): every stub AS originates its own
+prefixes, a faulty AS suddenly announces a large sample of *foreign*
+prefixes, and we measure the per-prefix disturbance with and without MOAS
+checking — plus what a RouteViews-style collector attached to the network
+records, closing the loop with the §3 measurement stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.eventsim.rng import RandomStreams
+from repro.measurement.collector import RouteCollector
+from repro.measurement.moas_observer import MoasObserver
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph
+
+
+@dataclass
+class MassFaultResult:
+    """Outcome of one mass-origination fault replay."""
+
+    n_prefixes: int
+    n_hijacked_prefixes: int          # prefixes falsely originated
+    disturbed_prefixes: int           # prefixes where >=1 AS adopted the fault
+    mean_poisoned_share: float        # mean poisoned fraction over hijacked prefixes
+    alarms: int
+    collector_moas_cases: int         # MOAS cases the vantage collector saw
+
+    @property
+    def disturbance_rate(self) -> float:
+        if self.n_hijacked_prefixes == 0:
+            return 0.0
+        return self.disturbed_prefixes / self.n_hijacked_prefixes
+
+
+def run_mass_fault(
+    graph: ASGraph,
+    faulty_as: Optional[ASN] = None,
+    fault_share: float = 0.5,
+    prefixes_per_stub: int = 2,
+    detect: bool = False,
+    seed: int = 0,
+) -> MassFaultResult:
+    """Replay a mass-origination fault on ``graph``.
+
+    Every stub AS originates ``prefixes_per_stub`` prefixes; then
+    ``faulty_as`` (a random transit AS by default — the real event came
+    from a provider) falsely originates ``fault_share`` of all *foreign*
+    prefixes at once.  With ``detect=True`` every non-faulty AS runs a
+    MOAS checker backed by the origin registry.
+    """
+    if not 0 < fault_share <= 1:
+        raise ValueError(f"fault_share must be in (0, 1], got {fault_share}")
+    if prefixes_per_stub < 1:
+        raise ValueError("need at least one prefix per stub")
+
+    streams = RandomStreams(seed)
+    stubs = graph.stub_asns()
+    if not stubs:
+        raise ValueError("topology has no stub ASes to own prefixes")
+    if faulty_as is None:
+        transit = graph.transit_asns()
+        pool = transit if transit else graph.asns()
+        faulty_as = streams.choice("faulty-as", pool)
+
+    # Address plan: each stub owns a block of /24s.
+    registry = PrefixOriginRegistry()
+    ownership: Dict[Prefix, ASN] = {}
+    for stub_index, stub in enumerate(stubs):
+        for k in range(prefixes_per_stub):
+            prefix = Prefix(
+                (10 << 24) | (stub_index << 16) | (k << 8), 24
+            )
+            ownership[prefix] = stub
+            registry.register(prefix, [stub])
+
+    network = Network(graph, seed=seed)
+    alarm_log = AlarmLog()
+    checkers: Dict[ASN, MoasChecker] = {}
+    if detect:
+        oracle = GroundTruthOracle(registry)
+        for asn in graph.asns():
+            if asn == faulty_as:
+                continue
+            checker = MoasChecker(oracle=oracle, alarm_log=alarm_log)
+            checker.attach(network.speaker(asn))
+            checkers[asn] = checker
+    collector = RouteCollector(
+        network, vantages=graph.asns()[:2]
+    )
+    network.establish_sessions()
+    network.sim.run_to_quiescence()
+
+    for prefix, owner in sorted(ownership.items(), key=lambda kv: str(kv[0])):
+        network.originate(owner, prefix)
+    network.run_to_convergence()
+
+    # The fault: a burst of foreign originations from the faulty AS.
+    foreign = [p for p, owner in ownership.items() if owner != faulty_as]
+    n_fault = max(1, round(fault_share * len(foreign)))
+    victims = streams.sample("victims", sorted(foreign, key=str), n_fault)
+    for prefix in victims:
+        network.speaker(faulty_as).originate(prefix)
+    network.run_to_convergence()
+
+    # Damage assessment, per hijacked prefix.
+    disturbed = 0
+    poisoned_shares: List[float] = []
+    for prefix in victims:
+        best = network.best_origins(prefix)
+        poisoned = [
+            asn for asn, origin in best.items()
+            if asn != faulty_as and origin == faulty_as
+        ]
+        if poisoned:
+            disturbed += 1
+        poisoned_shares.append(poisoned and len(poisoned) / (len(graph) - 1) or 0.0)
+
+    observer = MoasObserver()
+    cases = observer.observe_table(0, collector.table_dump(date="fault-day"))
+
+    return MassFaultResult(
+        n_prefixes=len(ownership),
+        n_hijacked_prefixes=len(victims),
+        disturbed_prefixes=disturbed,
+        mean_poisoned_share=sum(poisoned_shares) / len(poisoned_shares),
+        alarms=len(alarm_log),
+        collector_moas_cases=len(cases),
+    )

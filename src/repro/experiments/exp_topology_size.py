@@ -1,0 +1,75 @@
+"""Experiment 2 — topology size (Figure 10).
+
+The same sweep as Experiment 1 run on 25-, 46- and 63-AS topologies, one
+panel per origin count.  The paper's observations to reproduce:
+
+1. without the scheme, attacker impact is similar across sizes (the three
+   Normal-BGP curves bunch together);
+2. with the scheme, larger topologies are markedly more robust (richer
+   connectivity lets correct announcements out-race tampering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import DeploymentKind
+from repro.experiments.sweep import (
+    DEFAULT_ATTACKER_FRACTIONS,
+    SweepConfig,
+    SweepResult,
+    run_sweep,
+)
+from repro.topology.asgraph import ASGraph
+from repro.topology.generators import generate_paper_topology
+
+FIG10_TOPOLOGY_SIZES = (25, 46, 63)
+
+
+@dataclass
+class Figure10Result:
+    """Both panels of Figure 10."""
+
+    #: panel (n_origins) → {topology size → [normal curve, detect curve]}
+    panels: Dict[int, Dict[int, List[SweepResult]]] = field(default_factory=dict)
+
+    def detection_at(
+        self, n_origins: int, size: int, attacker_fraction: float
+    ) -> float:
+        """Poisoned % under full detection at one point (for assertions)."""
+        curves = self.panels[n_origins][size]
+        return curves[1].point_at(attacker_fraction).mean_poisoned_fraction * 100
+
+
+def figure10(
+    sizes: Sequence[int] = FIG10_TOPOLOGY_SIZES,
+    origin_counts: Sequence[int] = (1, 2),
+    attacker_fractions: Sequence[float] = DEFAULT_ATTACKER_FRACTIONS,
+    seed: int = 8,
+    graphs: Dict[int, ASGraph] = None,
+) -> Figure10Result:
+    """Run Experiment 2.  ``graphs`` (size → topology) overrides generation."""
+    if graphs is None:
+        graphs = {size: generate_paper_topology(size, seed=seed) for size in sizes}
+    result = Figure10Result()
+    for n_origins in origin_counts:
+        per_size: Dict[int, List[SweepResult]] = {}
+        for size in sizes:
+            graph = graphs[size]
+            curves: List[SweepResult] = []
+            for deployment in (DeploymentKind.NONE, DeploymentKind.FULL):
+                curves.append(
+                    run_sweep(
+                        SweepConfig(
+                            graph=graph,
+                            n_origins=n_origins,
+                            deployment=deployment,
+                            attacker_fractions=attacker_fractions,
+                            seed=seed,
+                        )
+                    )
+                )
+            per_size[size] = curves
+        result.panels[n_origins] = per_size
+    return result

@@ -1,0 +1,68 @@
+"""The §3 measurement study as figure-producing entry points.
+
+* :func:`figure4` — the daily MOAS-case count series (11/1997-7/2001);
+* :func:`figure5` — the MOAS duration histogram.
+
+Both run on the calibrated synthetic trace; see
+:mod:`repro.measurement.trace` for the calibration targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.measurement.duration import DurationTracker
+from repro.measurement.moas_observer import MoasObserver
+from repro.measurement.stats import MoasStudySummary, summarise_study
+from repro.measurement.trace import DAY_2000_JULY, TraceConfig, TraceGenerator
+
+
+@dataclass
+class MeasurementStudyResult:
+    """A completed study with both figures' data."""
+
+    observer: MoasObserver
+    tracker: DurationTracker
+    summary: MoasStudySummary
+
+    def figure4_series(self) -> List[Tuple[int, int]]:
+        """(day, MOAS count) — the Figure 4 time series."""
+        return [
+            (day, self.observer.daily_counts[day])
+            for day in sorted(self.observer.daily_counts)
+        ]
+
+    def figure5_histogram(self) -> Dict[int, int]:
+        """duration (days) → number of prefixes — the Figure 5 histogram."""
+        return self.tracker.histogram()
+
+
+def run_measurement_study(
+    config: Optional[TraceConfig] = None,
+    seed: int = 42,
+    duration_cutoff: int = DAY_2000_JULY,
+) -> MeasurementStudyResult:
+    """Generate the trace and run the complete study once."""
+    generator = TraceGenerator(config or TraceConfig(), random.Random(seed))
+    observer, tracker = generator.run_study(duration_cutoff=duration_cutoff)
+    return MeasurementStudyResult(
+        observer=observer,
+        tracker=tracker,
+        summary=summarise_study(observer, tracker),
+    )
+
+
+def figure4(
+    config: Optional[TraceConfig] = None, seed: int = 42
+) -> List[Tuple[int, int]]:
+    """The Figure 4 series on a fresh study."""
+    return run_measurement_study(config, seed=seed).figure4_series()
+
+
+def figure5(
+    config: Optional[TraceConfig] = None, seed: int = 42
+) -> Dict[int, int]:
+    """The Figure 5 histogram on a fresh study."""
+    return run_measurement_study(config, seed=seed).figure5_histogram()

@@ -1,0 +1,60 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot, so a reproduction run can be compared against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.sweep import SweepResult
+
+
+def format_sweep_table(results: Sequence[SweepResult], title: str = "") -> str:
+    """Tabulate several curves (one column per deployment arm) against the
+    shared attacker-fraction x-axis."""
+    if not results:
+        raise ValueError("nothing to format")
+    fractions = [p.attacker_fraction for p in results[0].points]
+    for result in results[1:]:
+        other = [p.attacker_fraction for p in result.points]
+        if other != fractions:
+            raise ValueError("sweeps have mismatched x-axes")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = ["attackers%"] + [
+        f"{r.deployment.value}/{r.topology_size}AS" for r in results
+    ]
+    widths = [max(10, len(h)) for h in header]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for i, fraction in enumerate(fractions):
+        row = [f"{fraction * 100:.0f}%"]
+        for result in results:
+            row.append(f"{result.points[i].mean_poisoned_fraction * 100:.2f}%")
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: Sequence[Tuple[object, object]],
+    headers: Tuple[str, str],
+    title: str = "",
+    max_rows: int = 40,
+) -> str:
+    """Tabulate an (x, y) series, downsampling long series evenly."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rows = list(series)
+    if len(rows) > max_rows:
+        step = len(rows) / max_rows
+        rows = [rows[int(i * step)] for i in range(max_rows)]
+    width0 = max(len(headers[0]), max((len(str(r[0])) for r in rows), default=0))
+    width1 = max(len(headers[1]), max((len(str(r[1])) for r in rows), default=0))
+    lines.append(f"{headers[0].rjust(width0)}  {headers[1].rjust(width1)}")
+    for x, y in rows:
+        lines.append(f"{str(x).rjust(width0)}  {str(y).rjust(width1)}")
+    return "\n".join(lines)

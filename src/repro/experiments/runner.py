@@ -1,0 +1,159 @@
+"""One hijack simulation run.
+
+The paper's unit of measurement: on a given topology, a prefix is
+legitimately originated by one or two stub ASes; M attacker ASes falsely
+originate it; after convergence we measure the percentage of the remaining
+(non-attacker) ASes whose best route leads to an attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.attack.models import AttackStrategy, NaiveFalseOrigin
+from repro.bgp.network import Network
+from repro.bgp.speaker import SpeakerConfig
+from repro.core.alarms import AlarmLog
+from repro.core.checker import CheckerMode, MoasChecker
+from repro.core.deployment import DeploymentPlan
+from repro.core.moas_list import moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph
+
+
+class DeploymentKind(enum.Enum):
+    """The three arms of the paper's figures."""
+
+    NONE = "normal-bgp"
+    PARTIAL = "partial-moas-detection"
+    FULL = "full-moas-detection"
+
+
+#: The prefix under attack in every run (its identity is arbitrary).
+TARGET_PREFIX = Prefix.parse("198.51.100.0/24")
+
+
+class AttackTiming(enum.Enum):
+    """When the false origination is injected.
+
+    The paper's experiments race valid and false announcements from a cold
+    start (``SIMULTANEOUS``) — this is what leaves a residual of poisoned
+    ASes even under full deployment: nodes the valid announcement never
+    reaches see no conflict.  ``POST_CONVERGENCE`` models hijacking an
+    established prefix instead; detection is then near-perfect because
+    every AS already holds the genuine MOAS list.
+    """
+
+    SIMULTANEOUS = "simultaneous"
+    POST_CONVERGENCE = "post-convergence"
+
+
+@dataclass
+class HijackScenario:
+    """Everything one run needs."""
+
+    graph: ASGraph
+    origins: Sequence[ASN]
+    attackers: Sequence[ASN]
+    deployment: DeploymentKind = DeploymentKind.NONE
+    partial_fraction: float = 0.5
+    strategy: AttackStrategy = field(default_factory=NaiveFalseOrigin)
+    checker_mode: CheckerMode = CheckerMode.DETECT_AND_SUPPRESS
+    timing: AttackTiming = AttackTiming.SIMULTANEOUS
+    prefix: Prefix = TARGET_PREFIX
+    seed: int = 0
+
+    def validate(self) -> None:
+        overlap = set(self.origins) & set(self.attackers)
+        if overlap:
+            raise ValueError(f"origins and attackers overlap: {sorted(overlap)}")
+        for asn in list(self.origins) + list(self.attackers):
+            if asn not in self.graph:
+                raise ValueError(f"AS{asn} is not in the topology")
+        if not self.origins:
+            raise ValueError("need at least one genuine origin")
+
+
+@dataclass(frozen=True)
+class HijackOutcome:
+    """The measured result of one run."""
+
+    poisoned: FrozenSet[ASN]
+    n_remaining: int
+    alarms: int
+    routes_suppressed: int
+    capable: FrozenSet[ASN]
+
+    @property
+    def poisoned_fraction(self) -> float:
+        """Fraction of non-attacker ASes adopting a false route — the
+        y-axis of Figures 9-11."""
+        if self.n_remaining == 0:
+            return 0.0
+        return len(self.poisoned) / self.n_remaining
+
+
+def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
+    """Execute one run and measure false-route adoption."""
+    scenario.validate()
+    origins = frozenset(scenario.origins)
+    attackers = frozenset(scenario.attackers)
+    prefix = scenario.prefix
+
+    registry = PrefixOriginRegistry()
+    registry.register(prefix, origins)
+    oracle = GroundTruthOracle(registry)
+    alarm_log = AlarmLog()
+
+    network = Network(
+        scenario.graph, config=SpeakerConfig(mrai=0.0), seed=scenario.seed
+    )
+
+    if scenario.deployment is DeploymentKind.FULL:
+        plan = DeploymentPlan.full(scenario.graph.asns())
+    elif scenario.deployment is DeploymentKind.PARTIAL:
+        plan = DeploymentPlan.random_fraction(
+            scenario.graph.asns(),
+            scenario.partial_fraction,
+            random.Random(scenario.seed ^ 0x5EED),
+        )
+    else:
+        plan = DeploymentPlan.none()
+
+    checkers: Dict[ASN, MoasChecker] = plan.apply(
+        network, oracle, mode=scenario.checker_mode, shared_alarm_log=alarm_log
+    )
+
+    network.establish_sessions()
+
+    # Genuine origination: multiple origins agree on and attach the MOAS
+    # list; a single origin attaches nothing (§4.3: "routes that originate
+    # from a single AS need not attach a MOAS list").
+    communities = moas_communities(origins) if len(origins) > 1 else ()
+    for origin in sorted(origins):
+        network.originate(origin, prefix, communities=communities)
+    if scenario.timing is AttackTiming.POST_CONVERGENCE:
+        network.run_to_convergence()
+
+    for attacker in sorted(attackers):
+        scenario.strategy.launch(network, attacker, prefix, origins)
+    network.run_to_convergence()
+
+    poisoned = frozenset(
+        asn
+        for asn, best_origin in network.best_origins(prefix).items()
+        if asn not in attackers and best_origin in attackers
+    )
+    n_remaining = len(scenario.graph) - len(attackers)
+    return HijackOutcome(
+        poisoned=poisoned,
+        n_remaining=n_remaining,
+        alarms=len(alarm_log),
+        routes_suppressed=sum(c.routes_suppressed for c in checkers.values()),
+        capable=plan.capable,
+    )

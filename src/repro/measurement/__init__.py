@@ -1,0 +1,41 @@
+"""The §3 MOAS measurement study.
+
+The paper observes 1279 days of RouteViews tables (11/1997-7/2001) and
+reports the daily number of MOAS cases (Figure 4) and the distribution of
+MOAS durations (Figure 5).  This package reproduces the pipeline:
+
+* :mod:`repro.measurement.moas_observer` — find MOAS cases in a daily
+  origins snapshot;
+* :mod:`repro.measurement.duration` — accumulate per-prefix MOAS duration
+  across days ("the total number of days ... regardless of whether the
+  days were continuous");
+* :mod:`repro.measurement.trace` — a synthetic multi-year Internet trace
+  calibrated to the paper's reported statistics (daily medians 683 → 1294,
+  35.9 % one-day cases, the April-1998 and April-2001 fault spikes,
+  96.14 % / 2.7 % two-/three-origin shares);
+* :mod:`repro.measurement.stats` — summary statistics and the §4.3
+  overhead accounting.
+"""
+
+from repro.measurement.collector import RouteCollector
+from repro.measurement.moas_observer import DailySnapshot, MoasCase, MoasObserver
+from repro.measurement.duration import DurationTracker
+from repro.measurement.trace import TraceConfig, TraceGenerator
+from repro.measurement.stats import (
+    MoasStudySummary,
+    moas_list_overhead_bytes,
+    summarise_study,
+)
+
+__all__ = [
+    "RouteCollector",
+    "DailySnapshot",
+    "MoasCase",
+    "MoasObserver",
+    "DurationTracker",
+    "TraceConfig",
+    "TraceGenerator",
+    "MoasStudySummary",
+    "summarise_study",
+    "moas_list_overhead_bytes",
+]

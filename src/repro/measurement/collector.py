@@ -1,0 +1,92 @@
+"""A RouteViews-style route collector inside the simulation.
+
+The Oregon RouteViews server is simply a BGP speaker that peers with many
+ASes, never originates or forwards, and archives what it hears.  This
+module implements exactly that: :class:`RouteCollector` joins a simulated
+network as an extra AS, peers with chosen vantage ASes, and snapshots its
+Adj-RIB-In into the same :class:`~repro.topology.routeviews.RouteViewsTable`
+format the §3 measurement pipeline consumes.
+
+This closes the reproduction loop: a simulated hijack can be *measured*
+with the identical dump→observe→monitor toolchain the paper ran against
+the real archive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bgp.network import Network
+from repro.bgp.policy import Policy, PolicyVerdict
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN, validate_asn
+from repro.net.link import Link
+from repro.topology.routeviews import RouteViewsTable
+
+
+class _CollectorPolicy(Policy):
+    """Collectors listen but never re-advertise (export rejects all)."""
+
+    def apply_export(self, peer, prefix, attributes) -> PolicyVerdict:
+        return PolicyVerdict.reject()
+
+
+class RouteCollector:
+    """A passive BGP vantage point attached to a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        collector_asn: ASN = 6447,  # the real RouteViews AS number
+        vantages: Optional[Iterable[ASN]] = None,
+        link_delay: float = 0.01,
+    ) -> None:
+        validate_asn(collector_asn)
+        if collector_asn in network.speakers:
+            raise ValueError(f"AS{collector_asn} already exists in the network")
+        self.network = network
+        self.collector_asn = collector_asn
+        self.speaker = BGPSpeaker(
+            network.sim,
+            collector_asn,
+            config=SpeakerConfig(mrai=0.0),
+            policy=_CollectorPolicy(),
+        )
+        self.vantages: List[ASN] = []
+        vantage_list = (
+            sorted(vantages) if vantages is not None else network.graph.asns()[:3]
+        )
+        for vantage in vantage_list:
+            self.add_vantage(vantage, link_delay=link_delay)
+
+    def add_vantage(self, vantage: ASN, link_delay: float = 0.01) -> None:
+        """Peer with one more AS and start the session."""
+        if vantage not in self.network.speakers:
+            raise ValueError(f"AS{vantage} is not in the network")
+        if vantage in self.vantages:
+            raise ValueError(f"AS{vantage} is already a vantage")
+        link = Link(self.network.sim, self.collector_asn, vantage,
+                    delay=link_delay)
+        self.speaker.add_peer(vantage, link)
+        self.network.speaker(vantage).add_peer(self.collector_asn, link)
+        self.speaker.start_session(vantage)
+        self.vantages.append(vantage)
+
+    def table_dump(self, date: str = "") -> RouteViewsTable:
+        """Snapshot the collector's Adj-RIB-In as a table dump.
+
+        One row per (vantage, prefix), exactly like a daily RouteViews
+        archive file.
+        """
+        table = RouteViewsTable(date=date, collector=f"AS{self.collector_asn}")
+        for entry in self.speaker.adj_rib_in.entries():
+            assert entry.peer is not None
+            table.add(entry.prefix, entry.peer, entry.attributes.as_path)
+        return table
+
+    def prefixes_seen(self) -> List[Prefix]:
+        return sorted(
+            {entry.prefix for entry in self.speaker.adj_rib_in.entries()},
+            key=str,
+        )

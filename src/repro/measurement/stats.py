@@ -1,0 +1,108 @@
+"""Summary statistics for the MOAS study and the §4.3 overhead accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.moas_list import MoasList
+from repro.measurement.duration import DurationTracker
+from repro.measurement.moas_observer import MoasObserver
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class MoasStudySummary:
+    """The §3.1 headline numbers, as measured on a trace."""
+
+    days_observed: int
+    total_cases: int
+    max_daily_count: int
+    max_daily_day: int
+    median_daily_first_year: float
+    median_daily_last_year: float
+    one_day_fraction: float
+    two_origin_share: float
+    three_origin_share: float
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """Report rows (label, value) for the benchmark harness."""
+        return [
+            ("days observed", str(self.days_observed)),
+            ("distinct MOAS cases", str(self.total_cases)),
+            ("max daily count", f"{self.max_daily_count} (day {self.max_daily_day})"),
+            ("median daily, first year", f"{self.median_daily_first_year:.0f}"),
+            ("median daily, last year", f"{self.median_daily_last_year:.0f}"),
+            ("one-day cases", f"{self.one_day_fraction * 100:.1f}%"),
+            ("two-origin share", f"{self.two_origin_share * 100:.2f}%"),
+            ("three-origin share", f"{self.three_origin_share * 100:.2f}%"),
+        ]
+
+
+def summarise_study(
+    observer: MoasObserver,
+    tracker: DurationTracker,
+    first_year_days: Tuple[int, int] = (54, 419),
+    last_year_days: Tuple[int, int] = (1150, 1279),
+) -> MoasStudySummary:
+    """Compute the paper's headline statistics from a completed study.
+
+    ``first_year_days``/``last_year_days`` delimit the windows whose daily
+    medians the paper quotes (calendar 1998 and 2001, as day offsets from
+    11/8/1997).
+    """
+    series = observer.daily_series()
+    days = sorted(observer.daily_counts)
+    if not days:
+        raise ValueError("study observed no days")
+
+    def window_median(bounds: Tuple[int, int]) -> float:
+        lo, hi = bounds
+        window = [observer.daily_counts[d] for d in days if lo <= d < hi]
+        return median(window) if window else 0.0
+
+    max_count = max(series)
+    max_day = days[series.index(max_count)]
+
+    origin_dist = observer.origin_count_distribution()
+    dist_total = sum(origin_dist.values())
+    two_share = origin_dist.get(2, 0) / dist_total if dist_total else 0.0
+    three_share = origin_dist.get(3, 0) / dist_total if dist_total else 0.0
+
+    return MoasStudySummary(
+        days_observed=len(days),
+        total_cases=tracker.total_cases(),
+        max_daily_count=max_count,
+        max_daily_day=max_day,
+        median_daily_first_year=window_median(first_year_days),
+        median_daily_last_year=window_median(last_year_days),
+        one_day_fraction=tracker.one_day_fraction(),
+        two_origin_share=two_share,
+        three_origin_share=three_share,
+    )
+
+
+def moas_list_overhead_bytes(
+    origins_by_prefix: Mapping, moas_only: bool = True
+) -> int:
+    """Total community bytes MOAS lists add to a table (§4.3).
+
+    "Routes that originate from a single AS need not attach a MOAS list";
+    with ``moas_only`` (the default) single-origin prefixes cost nothing.
+    """
+    total = 0
+    for origins in origins_by_prefix.values():
+        if len(origins) > 1 or not moas_only:
+            total += MoasList(origins).encoded_size_bytes()
+    return total

@@ -1,0 +1,288 @@
+"""Synthetic multi-year Internet MOAS trace (the Figure 4/5 workload).
+
+The paper measures 1279 days of Oregon RouteViews dumps (11/8/1997 to
+7/18/2001).  We cannot ship that proprietary archive, so this module
+generates a synthetic daily origins-trace calibrated to every statistic
+the paper reports:
+
+* daily MOAS counts with medians ~683 (1998) rising to ~1294 (2001) —
+  modelled as a persistent (multi-homing) MOAS population whose active
+  size grows linearly, plus a small transient churn;
+* the April 7 1998 fault spike (AS 8584; ~1136 one-day cases — 82.7 % of
+  all one-day cases) and the April 6 2001 fault spike (AS 3561/15412
+  involved in 5532 of that day's 6627 cases);
+* 35.9 % of cases lasting exactly one day, within the duration-study
+  window (the Figure 5 histogram is computed over data up to 7/2000 — the
+  figure's x-axis — so the 2001 spike does not swamp it);
+* origin-set sizes: 96.14 % two-origin, 2.7 % three-origin, remainder 4+.
+
+Day indices are offsets from 11/8/1997; day 150 = 1998-04-07 and
+day 1245 = 2001-04-06.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.measurement.duration import DurationTracker
+from repro.measurement.moas_observer import MoasObserver
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+#: Day offsets of the notable calendar dates (from 11/8/1997).
+DAY_1998_FAULT = 150  # 1998-04-07
+DAY_2001_FAULT = 1245  # 2001-04-06
+DAY_2000_JULY = 983  # 2000-07-18, the duration-study cutoff
+
+
+@dataclass(frozen=True)
+class FaultSpike:
+    """A fault event in the trace: a burst of short-lived invalid MOAS."""
+
+    day: int
+    faulty_as: ASN
+    n_prefixes: int
+    duration_days: int = 1
+
+
+@dataclass
+class TraceConfig:
+    """Calibration knobs; defaults reproduce the paper's statistics."""
+
+    days: int = 1279
+    #: Active persistent-MOAS population, linear from start to end.  The
+    #: endpoints are fitted so the 1998 median ≈ 683 and 2001 ≈ 1294.
+    active_start: int = 540
+    active_end: int = 1334
+    #: Persistent cases born per day beyond growth (turnover).
+    persistent_birth_rate: float = 0.9
+    #: Scattered transient cases per day (non-fault noise).
+    transient_one_day_rate: float = 0.22
+    transient_multi_day_rate: float = 0.4
+    transient_multi_day_max: int = 10
+    #: Origin-set size distribution (two, three; remainder is 4-5) for the
+    #: organic (non-fault) population.  The fault spikes are all two-origin
+    #: pairs, so these are set slightly below the paper's overall 96.14 % /
+    #: 2.7 % shares so the *measured* distribution lands on the paper's.
+    share_two_origins: float = 0.89
+    share_three_origins: float = 0.075
+    #: Fault events (paper §3.3).
+    faults: Tuple[FaultSpike, ...] = (
+        FaultSpike(day=DAY_1998_FAULT, faulty_as=8584, n_prefixes=1136),
+        FaultSpike(day=DAY_2001_FAULT, faulty_as=15412, n_prefixes=5532),
+    )
+    #: Single-origin background prefixes included in each snapshot (these
+    #: also serve as fault victims).  Set to 0 to emit only MOAS prefixes.
+    n_background_prefixes: int = 8000
+    include_background: bool = False
+    #: Pool of AS numbers origins are drawn from.
+    n_origin_pool: int = 3000
+
+    def validate(self) -> None:
+        if self.days < 1:
+            raise ValueError("trace must cover at least one day")
+        if self.active_start < 0 or self.active_end < 0:
+            raise ValueError("active population must be non-negative")
+        if not 0 <= self.share_two_origins + self.share_three_origins <= 1:
+            raise ValueError("origin-share fractions must sum to <= 1")
+        needed = sum(f.n_prefixes for f in self.faults)
+        if self.n_background_prefixes < needed:
+            raise ValueError(
+                f"background pool ({self.n_background_prefixes}) smaller than "
+                f"total fault victims ({needed})"
+            )
+        for fault in self.faults:
+            if not 0 <= fault.day < self.days:
+                raise ValueError(f"fault day {fault.day} outside trace")
+
+
+class _PrefixAllocator:
+    """Deterministic stream of distinct prefixes (10.x /24s, then 172.x)."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> Prefix:
+        index = self._counter
+        self._counter += 1
+        # 2^16 /24s under 10.0.0.0/8, then continue under 100.64/10 space.
+        if index < (1 << 16):
+            network = (10 << 24) | (index << 8)
+        else:
+            network = (100 << 24) | ((index - (1 << 16)) << 8)
+        return Prefix(network, 24)
+
+
+@dataclass
+class _ActiveCase:
+    prefix: Prefix
+    origins: FrozenSet[ASN]
+    ends_on: Optional[int]  # day after which it disappears; None = open-ended
+
+
+class TraceGenerator:
+    """Generates daily origin snapshots per the configured calibration."""
+
+    def __init__(self, config: Optional[TraceConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.config = config or TraceConfig()
+        self.config.validate()
+        self.rng = rng or random.Random(0)
+        self._alloc = _PrefixAllocator()
+        self._origin_pool = [100 + i for i in range(self.config.n_origin_pool)]
+        self._background: List[Tuple[Prefix, ASN]] = [
+            (self._alloc.next(), self.rng.choice(self._origin_pool))
+            for _ in range(self.config.n_background_prefixes)
+        ]
+        # Fault victims are disjoint slices of the background pool so each
+        # victim prefix is MOAS only during its fault window.
+        self._fault_victims: Dict[int, List[Tuple[Prefix, ASN]]] = {}
+        cursor = 0
+        for fault in self.config.faults:
+            self._fault_victims[fault.day] = self._background[
+                cursor: cursor + fault.n_prefixes
+            ]
+            cursor += fault.n_prefixes
+
+    # -- population mechanics ----------------------------------------------
+
+    def _sample_origin_set(self, forced: Optional[ASN] = None) -> FrozenSet[ASN]:
+        roll = self.rng.random()
+        if roll < self.config.share_two_origins:
+            k = 2
+        elif roll < self.config.share_two_origins + self.config.share_three_origins:
+            k = 3
+        else:
+            k = self.rng.randint(4, 5)
+        chosen = set(self.rng.sample(self._origin_pool, k))
+        if forced is not None:
+            chosen.add(forced)
+        return frozenset(chosen)
+
+    def _target_active(self, day: int) -> int:
+        if self.config.days == 1:
+            return self.config.active_start
+        span = self.config.days - 1
+        frac = day / span
+        return round(
+            self.config.active_start
+            + frac * (self.config.active_end - self.config.active_start)
+        )
+
+    def _new_case(self, day: int, duration: Optional[int]) -> _ActiveCase:
+        ends_on = None if duration is None else day + duration - 1
+        return _ActiveCase(
+            prefix=self._alloc.next(),
+            origins=self._sample_origin_set(),
+            ends_on=ends_on,
+        )
+
+    # -- the trace ---------------------------------------------------------------
+
+    def snapshots(self) -> Iterator[Tuple[int, Dict[Prefix, FrozenSet[ASN]]]]:
+        """Yield ``(day, {prefix: origins})`` for every day of the trace."""
+        cfg = self.config
+        persistent: List[_ActiveCase] = [
+            self._new_case(0, None) for _ in range(self._target_active(0))
+        ]
+        transients: List[_ActiveCase] = []
+
+        for day in range(cfg.days):
+            # Persistent-population dynamics: births (turnover + growth),
+            # then trim random retirees down to the target size.
+            if day > 0:
+                births = _poisson(self.rng, cfg.persistent_birth_rate)
+                births += max(0, self._target_active(day) - self._target_active(day - 1))
+                for _ in range(births):
+                    persistent.append(self._new_case(day, None))
+                excess = len(persistent) - self._target_active(day)
+                for _ in range(max(0, excess)):
+                    victim = self.rng.randrange(len(persistent))
+                    persistent.pop(victim)
+
+            # Transient churn.
+            transients = [t for t in transients if t.ends_on is not None
+                          and t.ends_on >= day]
+            for _ in range(_poisson(self.rng, cfg.transient_one_day_rate)):
+                transients.append(self._new_case(day, 1))
+            for _ in range(_poisson(self.rng, cfg.transient_multi_day_rate)):
+                duration = self.rng.randint(2, cfg.transient_multi_day_max)
+                transients.append(self._new_case(day, duration))
+
+            snapshot: Dict[Prefix, FrozenSet[ASN]] = {}
+            if cfg.include_background:
+                for prefix, origin in self._background:
+                    snapshot[prefix] = frozenset({origin})
+            for case in persistent:
+                snapshot[case.prefix] = case.origins
+            for case in transients:
+                snapshot[case.prefix] = case.origins
+
+            # Fault spikes: the faulty AS shows up as an extra origin on
+            # each victim prefix for the fault's duration.
+            for fault in cfg.faults:
+                if fault.day <= day < fault.day + fault.duration_days:
+                    for prefix, true_origin in self._fault_victims[fault.day]:
+                        snapshot[prefix] = frozenset({true_origin, fault.faulty_as})
+
+            yield day, snapshot
+
+    def render_table(
+        self, day: int, snapshot: Dict[Prefix, FrozenSet[ASN]]
+    ) -> "RouteViewsTable":
+        """Serialise one day's snapshot as a RouteViews-style table dump.
+
+        Synthesises a plausible collector view: each origin of each prefix
+        is seen through one synthetic vantage path ``(peer, transit,
+        origin)``, so the dump exercises the same parse→infer→observe
+        pipeline the paper ran on the real archive.  Vantage and transit
+        ASNs are derived deterministically from the prefix so dumps are
+        reproducible.
+        """
+        from repro.topology.routeviews import RouteViewsTable
+        from repro.bgp.attributes import AsPath
+
+        table = RouteViewsTable(date=f"day{day}", collector="synthetic")
+        vantages = (64001, 64002)
+        for prefix in sorted(snapshot, key=str):
+            for index, origin in enumerate(sorted(snapshot[prefix])):
+                peer = vantages[index % len(vantages)]
+                transit = 64100 + (prefix.network >> 8) % 50
+                path = [peer, transit, origin] if transit != origin else [peer, origin]
+                table.add(prefix, peer, AsPath.from_asns(path))
+        return table
+
+    def run_study(
+        self,
+        duration_cutoff: int = DAY_2000_JULY,
+    ) -> Tuple[MoasObserver, DurationTracker]:
+        """Run the full §3 study: Figure 4 series + Figure 5 durations.
+
+        ``duration_cutoff`` bounds the duration statistics (the paper's
+        Figure 5 covers data up to mid-2000); the daily series always spans
+        the whole trace.
+        """
+        observer = MoasObserver()
+        tracker = DurationTracker()
+        for day, snapshot in self.snapshots():
+            cases = observer.observe_snapshot(day, snapshot)
+            if day < duration_cutoff:
+                tracker.add_cases(cases)
+        return observer, tracker
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Small-lambda Poisson draw (Knuth inversion)."""
+    if lam <= 0:
+        return 0
+    import math
+
+    threshold = math.exp(-lam)
+    k = 0
+    product = rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k

@@ -1,0 +1,27 @@
+"""Network substrate: IPv4 prefixes, AS numbers and point-to-point links."""
+
+from repro.net.addresses import Prefix, PrefixError, aggregate_adjacent, covers
+from repro.net.asn import (
+    ASN,
+    PRIVATE_AS_MAX,
+    PRIVATE_AS_MIN,
+    AsnError,
+    is_private_asn,
+    validate_asn,
+)
+from repro.net.link import Link, LinkState
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "aggregate_adjacent",
+    "covers",
+    "ASN",
+    "AsnError",
+    "PRIVATE_AS_MIN",
+    "PRIVATE_AS_MAX",
+    "is_private_asn",
+    "validate_asn",
+    "Link",
+    "LinkState",
+]

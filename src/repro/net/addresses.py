@@ -1,0 +1,200 @@
+"""IPv4 address prefixes.
+
+A :class:`Prefix` is an immutable ``network/len`` pair with the host bits
+forced to zero, comparable, hashable, and equipped with the containment and
+adjacency algebra that route de-aggregation faults and longest-match logic
+need.  The standard library's :mod:`ipaddress` is deliberately not used: the
+simulator needs exact control over normalisation and error behaviour, and
+prefixes appear on very hot paths (every routing-table key is one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefix strings or out-of-range components."""
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"expected dotted quad, got {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise PrefixError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_dotted_quad(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class Prefix:
+    """An IPv4 prefix such as ``10.2.0.0/16``.
+
+    Instances are canonical: host bits below the mask are cleared at
+    construction, so two prefixes covering the same address block always
+    compare equal and hash identically.
+    """
+
+    __slots__ = ("network", "length", "_hash")
+
+    def __init__(self, network: int, length: int) -> None:
+        if not 0 <= length <= 32:
+            raise PrefixError(f"prefix length out of range: {length}")
+        if not 0 <= network <= _MAX_IPV4:
+            raise PrefixError(f"network address out of range: {network}")
+        mask = self._mask_for(length)
+        object.__setattr__(self, "network", network & mask)
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "_hash", hash((network & mask, length)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    @staticmethod
+    def _mask_for(length: int) -> int:
+        return ((1 << length) - 1) << (32 - length) if length else 0
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` (a bare address is treated as /32)."""
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise PrefixError(f"bad prefix length in {text!r}")
+            length = int(len_text)
+        else:
+            addr_text, length = text, 32
+        return cls(_parse_dotted_quad(addr_text), length)
+
+    # -- algebra -----------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        return self._mask_for(self.length)
+
+    @property
+    def first_address(self) -> int:
+        return self.network
+
+    @property
+    def last_address(self) -> int:
+        return self.network | (~self.mask & _MAX_IPV4)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    def contains_address(self, address: int) -> bool:
+        if not 0 <= address <= _MAX_IPV4:
+            raise PrefixError(f"address out of range: {address}")
+        return (address & self.mask) == self.network
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if other.length < self.length:
+            return False
+        return (other.network & self.mask) == self.network
+
+    def is_subprefix_of(self, other: "Prefix") -> bool:
+        """True if this prefix is *strictly* more specific than ``other``."""
+        return other.length < self.length and other.contains(self)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self) -> "Prefix":
+        """The /``length-1`` prefix covering this one."""
+        if self.length == 0:
+            raise PrefixError("0.0.0.0/0 has no supernet")
+        return Prefix(self.network, self.length - 1)
+
+    def subnets(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two /``length+1`` halves."""
+        if self.length == 32:
+            raise PrefixError("/32 cannot be subdivided")
+        child_len = self.length + 1
+        low = Prefix(self.network, child_len)
+        high = Prefix(self.network | (1 << (32 - child_len)), child_len)
+        return low, high
+
+    def deaggregate(self, target_length: int) -> Iterator["Prefix"]:
+        """Yield the more-specific prefixes of ``target_length`` covering this
+        prefix — the operation at the heart of the AS 7007-style
+        de-aggregation fault the paper cites."""
+        if target_length < self.length:
+            raise PrefixError(
+                f"target length /{target_length} is shorter than /{self.length}"
+            )
+        if target_length > 32:
+            raise PrefixError(f"target length out of range: {target_length}")
+        step = 1 << (32 - target_length)
+        for network in range(self.network, self.last_address + 1, step):
+            yield Prefix(network, target_length)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.network == other.network and self.length == other.length
+
+    def __lt__(self, other: "Prefix") -> bool:
+        # Order by network address, then shorter (less specific) first.
+        return (self.network, self.length) < (other.network, other.length)
+
+    def __le__(self, other: "Prefix") -> bool:
+        return self == other or self < other
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{_format_dotted_quad(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+
+def covers(prefixes: Sequence[Prefix], address: int) -> Optional[Prefix]:
+    """Longest-match lookup of ``address`` among ``prefixes``.
+
+    Returns the most specific prefix containing the address, or ``None``.
+    Linear scan — the simulator's forwarding checks operate on small tables;
+    the routing layer itself keys RIBs by exact prefix.
+    """
+    best: Optional[Prefix] = None
+    for prefix in prefixes:
+        if prefix.contains_address(address):
+            if best is None or prefix.length > best.length:
+                best = prefix
+    return best
+
+
+def aggregate_adjacent(a: Prefix, b: Prefix) -> Optional[Prefix]:
+    """If ``a`` and ``b`` are sibling halves of a common supernet, return it.
+
+    This is the inverse of :meth:`Prefix.subnets` and the primitive that BGP
+    route aggregation is built from.  Returns ``None`` when the prefixes are
+    not aggregable.
+    """
+    if a.length != b.length or a.length == 0:
+        return None
+    if a == b:
+        return None
+    parent_a = a.supernet()
+    if parent_a == b.supernet() and parent_a.length == a.length - 1:
+        return parent_a
+    return None

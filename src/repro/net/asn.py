@@ -1,0 +1,49 @@
+"""Autonomous System numbers.
+
+At the time of the paper AS numbers were 16-bit values; the private range
+64512-65534 is significant because the paper's §3.2 discusses *AS number
+Substitution on Egress* (ASE): organisations peering with a private ASN whose
+providers strip it, producing valid MOAS.  We model ASNs as plain ints with
+validation helpers rather than a wrapper class — they key dictionaries on
+the hottest paths in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+ASN = int
+
+AS_MIN = 1
+AS_MAX = 65535
+PRIVATE_AS_MIN = 64512
+PRIVATE_AS_MAX = 65534
+AS_TRANS_RESERVED = 23456  # reserved by RFC 4893 for 4-byte AS transition
+
+
+class AsnError(ValueError):
+    """Raised for out-of-range or otherwise invalid AS numbers."""
+
+
+def validate_asn(asn: int) -> ASN:
+    """Return ``asn`` if it is a legal 16-bit AS number, else raise."""
+    if not isinstance(asn, int) or isinstance(asn, bool):
+        raise AsnError(f"AS number must be an int, got {type(asn).__name__}")
+    if not AS_MIN <= asn <= AS_MAX:
+        raise AsnError(f"AS number out of range [{AS_MIN}, {AS_MAX}]: {asn}")
+    return asn
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for ASNs in the RFC 1930 / RFC 6996 private range."""
+    return PRIVATE_AS_MIN <= asn <= PRIVATE_AS_MAX
+
+
+def strip_private_asns(path: Iterable[int]) -> List[int]:
+    """Remove private ASNs from an AS path.
+
+    This is what a provider does on egress when a customer peers with a
+    private ASN (the paper's ASE scenario): the private number disappears
+    from the announcement and the provider itself shows up as origin.
+    """
+    return [asn for asn in path if not is_private_asn(asn)]

@@ -1,0 +1,106 @@
+"""Point-to-point links between BGP speakers.
+
+A link carries messages with a fixed propagation delay and can be failed and
+restored at runtime; messages in flight on a failing link are lost, as they
+would be on a real circuit.  Delivery order on a link is FIFO by
+construction (same delay, deterministic event ordering).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Tuple
+
+from repro.eventsim.simulator import Simulator
+
+
+class LinkState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+
+
+class Link:
+    """A bidirectional link between two endpoints.
+
+    Endpoints are opaque hashable identifiers (the simulator uses ASNs).
+    The owner wires delivery by registering one receive callback per side.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Any,
+        b: Any,
+        delay: float = 0.01,
+    ) -> None:
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a!r} twice")
+        if delay <= 0:
+            raise ValueError(f"link delay must be positive, got {delay!r}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.delay = float(delay)
+        self.state = LinkState.UP
+        self._receivers: dict = {}
+        self._epoch = 0  # bumped on failure; in-flight messages check it
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    @property
+    def endpoints(self) -> Tuple[Any, Any]:
+        return (self.a, self.b)
+
+    def other_end(self, endpoint: Any) -> Any:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise ValueError(f"{endpoint!r} is not an endpoint of {self!r}")
+
+    def attach(self, endpoint: Any, receiver: Callable[[Any, Any], None]) -> None:
+        """Register ``receiver(sender, message)`` for messages arriving at
+        ``endpoint``."""
+        if endpoint not in (self.a, self.b):
+            raise ValueError(f"{endpoint!r} is not an endpoint of {self!r}")
+        self._receivers[endpoint] = receiver
+
+    def send(self, sender: Any, message: Any) -> bool:
+        """Queue ``message`` from ``sender`` toward the other end.
+
+        Returns ``False`` (and counts a drop) if the link is down.
+        """
+        destination = self.other_end(sender)
+        if self.state is LinkState.DOWN:
+            self.messages_dropped += 1
+            return False
+        epoch = self._epoch
+        self.messages_sent += 1
+
+        def deliver() -> None:
+            # A failure between send and delivery loses the message.
+            if self.state is LinkState.DOWN or self._epoch != epoch:
+                self.messages_dropped += 1
+                return
+            receiver = self._receivers.get(destination)
+            if receiver is None:
+                raise RuntimeError(
+                    f"no receiver attached at {destination!r} on {self!r}"
+                )
+            receiver(sender, message)
+
+        self.sim.schedule_after(
+            self.delay, deliver, label=f"deliver {sender}->{destination}"
+        )
+        return True
+
+    def fail(self) -> None:
+        """Take the link down, losing messages in flight."""
+        self.state = LinkState.DOWN
+        self._epoch += 1
+
+    def restore(self) -> None:
+        self.state = LinkState.UP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.a!r}<->{self.b!r}, {self.state.value})"

@@ -1,0 +1,173 @@
+"""A binary prefix trie (radix tree) for longest-match lookups.
+
+Forwarding tables answer "which installed prefix most specifically covers
+this destination?" — the operation routers do per packet.  The naive
+linear scan in :func:`repro.net.addresses.covers` is O(n); this trie does
+O(32) per lookup regardless of table size, the textbook structure behind
+real FIBs (and the reason de-aggregation faults are so effective: a
+more-specific entry always wins the descent).
+
+Values are arbitrary; the routing layer stores RIB entries.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.addresses import Prefix, PrefixError
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @staticmethod
+    def _bits(prefix: Prefix) -> Iterator[int]:
+        for position in range(prefix.length):
+            yield (prefix.network >> (31 - position)) & 1
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> Optional[V]:
+        """Set ``prefix`` → ``value``; returns the value it replaced."""
+        node = self._root
+        for bit in self._bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        previous = node.value if node.has_value else None
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+        return previous
+
+    def remove(self, prefix: Prefix) -> Optional[V]:
+        """Delete ``prefix``; returns its value, or None if absent.
+
+        Emptied branches are pruned so the trie does not leak nodes under
+        churn (route flaps insert and remove constantly).
+        """
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in self._bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return None
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune upward.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return value
+
+    def clear(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        node = self._root
+        for bit in self._bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """The most specific entry covering ``address``."""
+        if not 0 <= address <= (1 << 32) - 1:
+            raise PrefixError(f"address out of range: {address}")
+        best: Optional[Tuple[int, V]] = None  # (depth, value)
+        node = self._root
+        if node.has_value:
+            best = (0, node.value)  # the default route, if present
+        for position in range(32):
+            bit = (address >> (31 - position)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (position + 1, node.value)
+        if best is None:
+            return None
+        depth, value = best
+        mask = ((1 << depth) - 1) << (32 - depth) if depth else 0
+        return Prefix(address & mask, depth), value
+
+    def covering(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """The most specific entry covering all of ``prefix`` (itself
+        included)."""
+        best: Optional[Tuple[int, V]] = None
+        node = self._root
+        if node.has_value:
+            best = (0, node.value)
+        depth = 0
+        for bit in self._bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        found_depth, value = best
+        mask = ((1 << found_depth) - 1) << (32 - found_depth) if found_depth else 0
+        return Prefix(prefix.network & mask, found_depth), value
+
+    # -- iteration --------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """All (prefix, value) pairs in network/length order."""
+
+        def walk(node: _Node[V], network: int, depth: int) -> Iterator[Tuple[Prefix, V]]:
+            if node.has_value:
+                yield Prefix(network, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_network = network | (bit << (31 - depth))
+                    yield from walk(child, child_network, depth + 1)
+
+        yield from walk(self._root, 0, 0)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix

@@ -1,0 +1,46 @@
+"""AS-level topology pipeline.
+
+Reproduces the paper's §5.1 methodology end to end:
+
+1. obtain a routing table (we generate synthetic RouteViews-style dumps,
+   :mod:`repro.topology.routeviews`);
+2. infer BGP peering links and transit/stub roles from AS paths
+   (:mod:`repro.topology.inference`);
+3. sample x % of the stub ASes, keep their ISP peers, iteratively prune
+   transit ASes left with ≤1 peer, and verify connectivity
+   (:mod:`repro.topology.sampling`);
+4. or generate Internet-like graphs directly
+   (:mod:`repro.topology.generators`).
+"""
+
+from repro.topology.asgraph import ASGraph, ASRole
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_like,
+    generate_paper_topology,
+)
+from repro.topology.inference import InferenceResult, infer_from_paths, infer_from_table
+from repro.topology.routeviews import (
+    RouteViewsEntry,
+    RouteViewsTable,
+    parse_table_dump,
+    render_table_dump,
+)
+from repro.topology.sampling import SamplingError, sample_topology
+
+__all__ = [
+    "ASGraph",
+    "ASRole",
+    "InferenceResult",
+    "infer_from_paths",
+    "infer_from_table",
+    "sample_topology",
+    "SamplingError",
+    "InternetTopologyConfig",
+    "generate_internet_like",
+    "generate_paper_topology",
+    "RouteViewsEntry",
+    "RouteViewsTable",
+    "parse_table_dump",
+    "render_table_dump",
+]

@@ -1,0 +1,172 @@
+"""The AS-level graph.
+
+A thin, validated wrapper around an undirected :mod:`networkx` graph whose
+nodes are AS numbers and whose node attribute ``role`` marks each AS as
+transit or stub — the distinction at the centre of the paper's sampling
+procedure and attacker-placement discussion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.net.asn import ASN, validate_asn
+
+
+class ASRole(enum.Enum):
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+class ASGraph:
+    """Undirected AS-level peering graph with transit/stub roles."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[ASN, ASN]],
+        transit: Iterable[ASN] = (),
+    ) -> "ASGraph":
+        """Build a graph from an edge list; ASes in ``transit`` get the
+        transit role, everyone else is a stub."""
+        graph = cls()
+        transit_set = set(transit)
+        for a, b in edges:
+            graph.add_link(a, b)
+        for asn in graph.asns():
+            graph.set_role(
+                asn, ASRole.TRANSIT if asn in transit_set else ASRole.STUB
+            )
+        return graph
+
+    def add_as(self, asn: ASN, role: ASRole = ASRole.STUB) -> None:
+        validate_asn(asn)
+        self._graph.add_node(asn, role=role)
+
+    def add_link(self, a: ASN, b: ASN) -> None:
+        validate_asn(a)
+        validate_asn(b)
+        if a == b:
+            raise ValueError(f"self-loop at AS{a}")
+        for asn in (a, b):
+            if asn not in self._graph:
+                self._graph.add_node(asn, role=ASRole.STUB)
+        self._graph.add_edge(a, b)
+
+    def remove_as(self, asn: ASN) -> None:
+        if asn not in self._graph:
+            raise KeyError(f"AS{asn} not in graph")
+        self._graph.remove_node(asn)
+
+    def set_role(self, asn: ASN, role: ASRole) -> None:
+        if asn not in self._graph:
+            raise KeyError(f"AS{asn} not in graph")
+        self._graph.nodes[asn]["role"] = role
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def asns(self) -> List[ASN]:
+        return sorted(self._graph.nodes)
+
+    def edges(self) -> List[Tuple[ASN, ASN]]:
+        return sorted((min(a, b), max(a, b)) for a, b in self._graph.edges)
+
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    def has_link(self, a: ASN, b: ASN) -> bool:
+        return self._graph.has_edge(a, b)
+
+    def neighbors(self, asn: ASN) -> List[ASN]:
+        if asn not in self._graph:
+            raise KeyError(f"AS{asn} not in graph")
+        return sorted(self._graph.neighbors(asn))
+
+    def degree(self, asn: ASN) -> int:
+        if asn not in self._graph:
+            raise KeyError(f"AS{asn} not in graph")
+        return self._graph.degree(asn)
+
+    def role(self, asn: ASN) -> ASRole:
+        if asn not in self._graph:
+            raise KeyError(f"AS{asn} not in graph")
+        return self._graph.nodes[asn].get("role", ASRole.STUB)
+
+    def transit_asns(self) -> List[ASN]:
+        return sorted(
+            asn for asn in self._graph.nodes if self.role(asn) is ASRole.TRANSIT
+        )
+
+    def stub_asns(self) -> List[ASN]:
+        return sorted(
+            asn for asn in self._graph.nodes if self.role(asn) is ASRole.STUB
+        )
+
+    def is_connected(self) -> bool:
+        if len(self) == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def connected_components(self) -> List[FrozenSet[ASN]]:
+        return [frozenset(c) for c in nx.connected_components(self._graph)]
+
+    def largest_component(self) -> FrozenSet[ASN]:
+        components = self.connected_components()
+        if not components:
+            return frozenset()
+        return max(components, key=len)
+
+    def subgraph(self, asns: Iterable[ASN]) -> "ASGraph":
+        """A new ASGraph induced on ``asns`` (roles preserved)."""
+        keep = set(asns)
+        out = ASGraph()
+        for asn in keep:
+            if asn not in self._graph:
+                raise KeyError(f"AS{asn} not in graph")
+            out.add_as(asn, self.role(asn))
+        for a, b in self._graph.edges:
+            if a in keep and b in keep:
+                out.add_link(a, b)
+        return out
+
+    def copy(self) -> "ASGraph":
+        return self.subgraph(self.asns())
+
+    def shortest_path_length(self, a: ASN, b: ASN) -> int:
+        return nx.shortest_path_length(self._graph, a, b)
+
+    def average_degree(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return 2.0 * self.num_links() / len(self)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for asn in self._graph.nodes:
+            degree = self._graph.degree(asn)
+            hist[degree] = hist.get(degree, 0) + 1
+        return hist
+
+    def to_networkx(self) -> nx.Graph:
+        """A copy as a plain networkx graph (for analysis/plotting)."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ASGraph({len(self)} ASes, {self.num_links()} links, "
+            f"{len(self.transit_asns())} transit)"
+        )

@@ -1,0 +1,97 @@
+"""Peering inference from AS paths.
+
+§5.1 of the paper: "we infer BGP peering relations based on the AS Path
+attribute in the collected BGP routes.  For example, if a route to a prefix
+p has the AS Path 1239 6453 4621, we consider AS 6453 to have two BGP peers,
+AS 1239 and AS 4621.  We also mark AS 6453 as a transit AS ...  If an AS
+does not appear to be a transit AS in any of the routes, we consider it a
+stub AS."
+
+This module reproduces that inference exactly: consecutive ASes on a path
+are peers; any AS with a neighbour on *both* sides in some path is transit.
+AS_SET segments (from aggregation) are skipped for adjacency purposes —
+their internal order is meaningless — matching operational practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.bgp.attributes import AsPath, SegmentType
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph, ASRole
+from repro.topology.routeviews import RouteViewsTable
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of peering inference."""
+
+    graph: ASGraph
+    transit: FrozenSet[ASN]
+    stubs: FrozenSet[ASN]
+    paths_used: int = 0
+    paths_skipped: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InferenceResult({len(self.graph)} ASes, "
+            f"{len(self.transit)} transit, {len(self.stubs)} stub, "
+            f"{self.paths_used} paths)"
+        )
+
+
+def _sequence_asns(path: AsPath) -> List[ASN]:
+    """The path as a flat ASN list, dropping AS_SET segments and collapsing
+    prepending (consecutive repeats of the same ASN)."""
+    flat: List[ASN] = []
+    for segment in path.segments:
+        if segment.kind is not SegmentType.AS_SEQUENCE:
+            continue
+        for asn in segment.asns:
+            if not flat or flat[-1] != asn:
+                flat.append(asn)
+    return flat
+
+
+def infer_from_paths(paths: Iterable[AsPath]) -> InferenceResult:
+    """Infer the peering graph and transit/stub roles from AS paths."""
+    edges: Set[Tuple[ASN, ASN]] = set()
+    transit: Set[ASN] = set()
+    all_asns: Set[ASN] = set()
+    used = 0
+    skipped = 0
+
+    for path in paths:
+        flat = _sequence_asns(path)
+        if len(flat) == 0:
+            skipped += 1
+            continue
+        used += 1
+        all_asns.update(flat)
+        for left, right in zip(flat, flat[1:]):
+            edges.add((min(left, right), max(left, right)))
+        # Interior ASes of the path carry traffic between their neighbours.
+        for interior in flat[1:-1]:
+            transit.add(interior)
+
+    graph = ASGraph()
+    for asn in all_asns:
+        graph.add_as(asn, ASRole.TRANSIT if asn in transit else ASRole.STUB)
+    for a, b in edges:
+        graph.add_link(a, b)
+
+    stubs = frozenset(all_asns - transit)
+    return InferenceResult(
+        graph=graph,
+        transit=frozenset(transit),
+        stubs=stubs,
+        paths_used=used,
+        paths_skipped=skipped,
+    )
+
+
+def infer_from_table(table: RouteViewsTable) -> InferenceResult:
+    """Convenience: inference straight from a parsed table dump."""
+    return infer_from_paths(table.all_paths())

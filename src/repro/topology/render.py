@@ -1,0 +1,50 @@
+"""Topology rendering: Graphviz DOT and adjacency-list text.
+
+Figure 8 of the paper draws the simulation topologies.  ``to_dot`` emits
+standard Graphviz text (render externally with ``dot -Tpng``): transit
+ASes as boxes, stubs as circles, so the sampled structure can be eyeballed
+against the paper's drawings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.net.asn import ASN
+from repro.topology.asgraph import ASGraph, ASRole
+
+
+def to_dot(
+    graph: ASGraph,
+    name: str = "topology",
+    highlight: Iterable[ASN] = (),
+    highlight_color: str = "red",
+) -> str:
+    """Render the AS graph as Graphviz DOT text.
+
+    ``highlight`` marks chosen ASes (e.g. origins or attackers) in colour.
+    """
+    highlighted = set(highlight)
+    lines: List[str] = [f"graph {name} {{"]
+    lines.append("  node [fontsize=10];")
+    for asn in graph.asns():
+        shape = "box" if graph.role(asn) is ASRole.TRANSIT else "ellipse"
+        attrs = [f"shape={shape}"]
+        if asn in highlighted:
+            attrs.append(f"color={highlight_color}")
+            attrs.append("penwidth=2")
+        lines.append(f'  "{asn}" [{", ".join(attrs)}];')
+    for a, b in graph.edges():
+        lines.append(f'  "{a}" -- "{b}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_adjacency_text(graph: ASGraph) -> str:
+    """A compact plain-text adjacency listing (one AS per line)."""
+    lines: List[str] = []
+    for asn in graph.asns():
+        role = "T" if graph.role(asn) is ASRole.TRANSIT else "S"
+        neighbors = " ".join(str(n) for n in graph.neighbors(asn))
+        lines.append(f"{asn} [{role}]: {neighbors}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""RouteViews-style routing table dumps.
+
+The paper builds its topologies and its MOAS measurements from daily table
+dumps of the Oregon RouteViews collector.  We define a plain-text dump
+format that carries the same information a ``show ip bgp``-style dump does
+for this work: one line per (peer, prefix, AS path), e.g.::
+
+    # routeviews-dump date=1998-04-07 collector=oregon
+    192.0.2.0/24 | 6447 | 6447 1239 6453 4621
+
+i.e. ``prefix | peer-AS | AS path`` with the origin AS rightmost.  The
+parser tolerates blank lines and ``#`` comments; AS_SET elements are encoded
+as ``{1,2,3}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import AsPath, AsPathSegment, SegmentType
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+
+
+class DumpFormatError(ValueError):
+    """Raised on malformed dump text."""
+
+
+@dataclass(frozen=True)
+class RouteViewsEntry:
+    """One table row: the view one collector peer gives of one prefix."""
+
+    prefix: Prefix
+    peer: ASN
+    as_path: AsPath
+
+    @property
+    def origin_asns(self) -> FrozenSet[ASN]:
+        return self.as_path.origin_asns()
+
+
+@dataclass
+class RouteViewsTable:
+    """A full dump: metadata plus entries."""
+
+    date: str = ""
+    collector: str = "oregon"
+    entries: List[RouteViewsEntry] = field(default_factory=list)
+
+    def add(self, prefix: Prefix, peer: ASN, as_path: AsPath) -> None:
+        self.entries.append(RouteViewsEntry(prefix, peer, as_path))
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted({e.prefix for e in self.entries}, key=str)
+
+    def entries_for_prefix(self, prefix: Prefix) -> List[RouteViewsEntry]:
+        return [e for e in self.entries if e.prefix == prefix]
+
+    def origins_by_prefix(self) -> Dict[Prefix, FrozenSet[ASN]]:
+        """Map each prefix to the union of origin ASes seen across peers —
+        the raw material of MOAS detection."""
+        out: Dict[Prefix, set] = {}
+        for entry in self.entries:
+            out.setdefault(entry.prefix, set()).update(entry.origin_asns)
+        return {p: frozenset(s) for p, s in out.items()}
+
+    def all_paths(self) -> List[AsPath]:
+        return [e.as_path for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _format_as_path(path: AsPath) -> str:
+    parts = []
+    for segment in path.segments:
+        if segment.kind is SegmentType.AS_SEQUENCE:
+            parts.extend(str(a) for a in segment.asns)
+        else:
+            parts.append("{" + ",".join(str(a) for a in segment.asns) + "}")
+    return " ".join(parts)
+
+
+def _parse_as_path(text: str) -> AsPath:
+    segments: List[AsPathSegment] = []
+    sequence: List[int] = []
+    for token in text.split():
+        if token.startswith("{"):
+            if not token.endswith("}"):
+                raise DumpFormatError(f"unterminated AS_SET: {token!r}")
+            if sequence:
+                segments.append(AsPathSegment(SegmentType.AS_SEQUENCE, sequence))
+                sequence = []
+            inner = token[1:-1]
+            try:
+                asns = [int(x) for x in inner.split(",") if x]
+            except ValueError:
+                raise DumpFormatError(f"bad AS_SET contents: {token!r}")
+            segments.append(AsPathSegment(SegmentType.AS_SET, asns))
+        else:
+            if not token.isdigit():
+                raise DumpFormatError(f"bad AS number: {token!r}")
+            sequence.append(int(token))
+    if sequence:
+        segments.append(AsPathSegment(SegmentType.AS_SEQUENCE, sequence))
+    if not segments:
+        raise DumpFormatError("empty AS path")
+    return AsPath(segments)
+
+
+def render_table_dump(table: RouteViewsTable) -> str:
+    """Serialise a table to the dump text format."""
+    lines = [f"# routeviews-dump date={table.date} collector={table.collector}"]
+    for entry in table.entries:
+        lines.append(
+            f"{entry.prefix} | {entry.peer} | {_format_as_path(entry.as_path)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_table_dump(text: str) -> RouteViewsTable:
+    """Parse dump text back into a :class:`RouteViewsTable`."""
+    table = RouteViewsTable()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                if token.startswith("date="):
+                    table.date = token[len("date="):]
+                elif token.startswith("collector="):
+                    table.collector = token[len("collector="):]
+            continue
+        fields = [f.strip() for f in line.split("|")]
+        if len(fields) != 3:
+            raise DumpFormatError(f"line {lineno}: expected 3 fields, got {len(fields)}")
+        prefix_text, peer_text, path_text = fields
+        if not peer_text.isdigit():
+            raise DumpFormatError(f"line {lineno}: bad peer AS {peer_text!r}")
+        try:
+            prefix = Prefix.parse(prefix_text)
+        except ValueError as exc:
+            raise DumpFormatError(f"line {lineno}: {exc}")
+        table.add(prefix, int(peer_text), _parse_as_path(path_text))
+    return table

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.eventsim import Simulator
+from repro.net import Prefix
+from repro.topology import ASGraph
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def prefix() -> Prefix:
+    return Prefix.parse("10.0.0.0/16")
+
+
+@pytest.fixture
+def diamond_graph() -> ASGraph:
+    """A 4-AS diamond: 1 and 4 at the tips, 2 and 3 as transit sides."""
+    return ASGraph.from_edges(
+        [(1, 2), (1, 3), (2, 4), (3, 4)], transit=[2, 3]
+    )
+
+
+@pytest.fixture
+def chain_graph() -> ASGraph:
+    """A 5-AS chain: 1 - 2 - 3 - 4 - 5."""
+    return ASGraph.from_edges(
+        [(1, 2), (2, 3), (3, 4), (4, 5)], transit=[2, 3, 4]
+    )
+
+
+@pytest.fixture
+def figure6_graph() -> ASGraph:
+    """The paper's Figure 6 scenario shape: two genuine origins (1, 2)
+    multi-homed through transit 3 and 4, a would-be false origin at 5."""
+    return ASGraph.from_edges(
+        [(1, 3), (2, 3), (3, 4), (4, 5), (1, 4), (2, 5)], transit=[3, 4]
+    )
+
+
+@pytest.fixture
+def diamond_network(diamond_graph) -> Network:
+    network = Network(diamond_graph)
+    network.establish_sessions()
+    return network

@@ -1,0 +1,107 @@
+"""Tests for the disjoint-path survivability analysis."""
+
+import pytest
+
+from repro.analysis import (
+    blocking_probability,
+    disjoint_path_profile,
+    predicted_cutoff,
+    profile_topology,
+)
+from repro.topology import ASGraph
+from repro.topology.generators import generate_paper_topology
+
+
+class TestDisjointPaths:
+    def test_chain_has_one_path(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        assert profile.disjoint_paths == 1
+        assert profile.interior_lengths == (3,)  # 2, 3, 4 between
+
+    def test_diamond_has_two_paths(self, diamond_graph):
+        profile = disjoint_path_profile(diamond_graph, 1, 4)
+        assert profile.disjoint_paths == 2
+        assert profile.interior_lengths == (1, 1)
+
+    def test_direct_neighbour_unblockable(self, diamond_graph):
+        profile = disjoint_path_profile(diamond_graph, 1, 2)
+        assert 0 in profile.interior_lengths  # the direct edge
+
+    def test_origin_itself(self, diamond_graph):
+        profile = disjoint_path_profile(diamond_graph, 1, 1)
+        assert profile.disjoint_paths == 0
+
+    def test_min_cut_equals_menger(self):
+        # Three internally disjoint 1->5 paths.
+        graph = ASGraph.from_edges(
+            [(1, 2), (2, 5), (1, 3), (3, 5), (1, 4), (4, 5)]
+        )
+        profile = disjoint_path_profile(graph, 1, 5)
+        assert profile.min_cut == 3
+
+
+class TestBlockingProbability:
+    def test_direct_edge_never_blocked(self, diamond_graph):
+        profile = disjoint_path_profile(diamond_graph, 1, 2)
+        assert blocking_probability(profile, 0.9) == 0.0
+
+    def test_single_path_probability(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        # One path with 3 interior nodes: blocked unless all 3 are clean.
+        f = 0.3
+        assert blocking_probability(profile, f) == pytest.approx(
+            1 - (1 - f) ** 3
+        )
+
+    def test_more_paths_lower_probability(self, chain_graph, diamond_graph):
+        chain_p = disjoint_path_profile(chain_graph, 1, 5)
+        diamond_p = disjoint_path_profile(diamond_graph, 1, 4)
+        f = 0.3
+        assert blocking_probability(diamond_p, f) < blocking_probability(
+            chain_p, f
+        )
+
+    def test_zero_fraction(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        assert blocking_probability(profile, 0.0) == 0.0
+
+    def test_full_fraction(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        assert blocking_probability(profile, 1.0) == 1.0
+
+    def test_bad_fraction(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        with pytest.raises(ValueError):
+            blocking_probability(profile, 1.5)
+
+    def test_monotone_in_fraction(self, chain_graph):
+        profile = disjoint_path_profile(chain_graph, 1, 5)
+        values = [blocking_probability(profile, f / 10) for f in range(11)]
+        assert values == sorted(values)
+
+
+class TestTopologyPrediction:
+    def test_profile_topology_covers_all(self, diamond_graph):
+        profiles = profile_topology(diamond_graph, 1)
+        assert set(profiles) == {2, 3, 4}
+
+    def test_richer_topology_predicts_lower_cutoff(self):
+        """The paper's Experiment 2 phenomenon, analytically: the denser
+        63-AS sample has a lower predicted cut-off than the sparse 25-AS
+        one at equal attacker density."""
+        small = generate_paper_topology(25, seed=8)
+        large = generate_paper_topology(63, seed=8)
+        f = 0.3
+        small_pred = predicted_cutoff(small, small.stub_asns()[0], f)
+        large_pred = predicted_cutoff(large, large.stub_asns()[0], f)
+        assert large_pred < small_pred
+
+    def test_prediction_bounds_sim_residual_direction(self):
+        """The analytic estimate and the simulated detection residual
+        agree in direction across attacker densities."""
+        graph = generate_paper_topology(25, seed=8)
+        origin = graph.stub_asns()[0]
+        predictions = [
+            predicted_cutoff(graph, origin, f) for f in (0.1, 0.2, 0.3)
+        ]
+        assert predictions == sorted(predictions)  # grows with density

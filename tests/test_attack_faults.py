@@ -1,0 +1,70 @@
+"""Unit tests for operational fault models."""
+
+import random
+
+import pytest
+
+from repro.attack.faults import DeaggregationFault, MassFalseOriginationFault
+from repro.net.addresses import Prefix
+
+UNIVERSE = [Prefix((10 << 24) | (i << 16), 16) for i in range(100)]
+
+
+class TestMassFalseOrigination:
+    def test_generates_requested_count(self):
+        fault = MassFalseOriginationFault(day=10, faulty_as=8584, count=25)
+        event = fault.generate(UNIVERSE, random.Random(0))
+        assert event.scale == 25
+        assert event.day == 10
+        assert event.faulty_as == 8584
+        assert event.kind == "mass-false-origination"
+
+    def test_victims_from_universe(self):
+        fault = MassFalseOriginationFault(day=0, faulty_as=1, count=10)
+        event = fault.generate(UNIVERSE, random.Random(1))
+        assert all(p in UNIVERSE for p in event.prefixes)
+
+    def test_count_capped_by_universe(self):
+        fault = MassFalseOriginationFault(day=0, faulty_as=1, count=10_000)
+        event = fault.generate(UNIVERSE, random.Random(0))
+        assert event.scale == len(UNIVERSE)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            MassFalseOriginationFault(day=0, faulty_as=1, count=0)
+
+    def test_no_duplicate_victims(self):
+        fault = MassFalseOriginationFault(day=0, faulty_as=1, count=50)
+        event = fault.generate(UNIVERSE, random.Random(2))
+        assert len(set(event.prefixes)) == len(event.prefixes)
+
+
+class TestDeaggregation:
+    def test_specifics_are_more_specific(self):
+        fault = DeaggregationFault(day=0, faulty_as=7007, count=5, target_length=24)
+        event = fault.generate(UNIVERSE, random.Random(0))
+        assert event.kind == "deaggregation"
+        for specific in event.prefixes:
+            assert specific.length == 24
+            assert any(parent.contains(specific) for parent in UNIVERSE)
+
+    def test_specifics_per_prefix(self):
+        fault = DeaggregationFault(
+            day=0, faulty_as=7007, count=3, target_length=24, specifics_per_prefix=4
+        )
+        event = fault.generate(UNIVERSE, random.Random(0))
+        assert event.scale == 12
+
+    def test_only_shorter_prefixes_eligible(self):
+        longs = [Prefix((10 << 24) | (i << 8), 24) for i in range(10)]
+        fault = DeaggregationFault(day=0, faulty_as=1, count=5, target_length=24)
+        event = fault.generate(longs, random.Random(0))
+        assert event.scale == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeaggregationFault(day=0, faulty_as=1, count=0)
+        with pytest.raises(ValueError):
+            DeaggregationFault(day=0, faulty_as=1, count=1, target_length=0)
+        with pytest.raises(ValueError):
+            DeaggregationFault(day=0, faulty_as=1, count=1, specifics_per_prefix=0)

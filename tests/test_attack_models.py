@@ -1,0 +1,110 @@
+"""Behavioural tests for attacker strategies against the scheme."""
+
+import pytest
+
+from repro.attack.models import (
+    Attacker,
+    ExactListForgery,
+    NaiveFalseOrigin,
+    PathSpoofing,
+    SupersetListForgery,
+)
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.moas_list import moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+# Chain 1-2-3-4-5: origin at 1, attacker at 5; AS 4 is the contested node.
+ORIGIN, ATTACKER, CONTESTED = 1, 5, 4
+
+
+def run(chain_graph, strategy, detect):
+    registry = PrefixOriginRegistry()
+    registry.register(P, [ORIGIN])
+    oracle = GroundTruthOracle(registry)
+    log = AlarmLog()
+    net = Network(chain_graph)
+    if detect:
+        for asn in chain_graph.asns():
+            if asn != ATTACKER:
+                MoasChecker(oracle=oracle, alarm_log=log).attach(net.speaker(asn))
+    net.establish_sessions()
+    net.originate(ORIGIN, P)
+    net.run_to_convergence()
+    Attacker(ATTACKER, strategy).launch(net, P, [ORIGIN])
+    net.run_to_convergence()
+    return net, log
+
+
+class TestStrategiesWithoutDetection:
+    @pytest.mark.parametrize(
+        "strategy",
+        [NaiveFalseOrigin(), SupersetListForgery(), ExactListForgery()],
+    )
+    def test_hijack_succeeds_at_closer_node(self, chain_graph, strategy):
+        net, _ = run(chain_graph, strategy, detect=False)
+        assert net.best_origins(P)[CONTESTED] == ATTACKER
+
+
+class TestStrategiesWithDetection:
+    @pytest.mark.parametrize(
+        "strategy",
+        [NaiveFalseOrigin(), SupersetListForgery(), ExactListForgery()],
+    )
+    def test_hijack_suppressed(self, chain_graph, strategy):
+        net, log = run(chain_graph, strategy, detect=True)
+        assert net.best_origins(P)[CONTESTED] == ORIGIN
+        assert len(log) >= 1
+
+    def test_path_spoofing_evades_detection(self, chain_graph):
+        """§4.3: a manipulated AS path with a correct origin AS defeats the
+        MOAS list.  The spoofed route claims origin 1, so no alarm fires
+        and AS 4 forwards toward the attacker."""
+        net, log = run(chain_graph, PathSpoofing(), detect=True)
+        assert len(log) == 0
+        best = net.speaker(CONTESTED).best_route(P)
+        # The route's next hop is the attacker even though the AS path ends
+        # at the genuine origin: traffic is hijacked invisibly.
+        assert best.peer == ATTACKER
+        assert best.origin_asn == ORIGIN
+
+
+class TestStrategyMechanics:
+    def test_superset_includes_attacker(self, chain_graph):
+        net, _ = run(chain_graph, SupersetListForgery(), detect=False)
+        route = net.speaker(CONTESTED).best_route(P)
+        from repro.core.moas_list import extract_moas_list
+
+        forged = extract_moas_list(route.attributes)
+        assert ATTACKER in forged and ORIGIN in forged
+
+    def test_exact_forgery_excludes_attacker(self, chain_graph):
+        net, _ = run(chain_graph, ExactListForgery(), detect=False)
+        route = net.speaker(CONTESTED).best_route(P)
+        from repro.core.moas_list import extract_moas_list
+
+        forged = extract_moas_list(route.attributes)
+        assert ATTACKER not in forged
+
+    def test_path_spoofing_requires_victims(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        with pytest.raises(ValueError):
+            PathSpoofing().launch(net, ATTACKER, P, frozenset())
+
+    def test_strategy_names(self):
+        assert NaiveFalseOrigin().name == "naive-false-origin"
+        assert SupersetListForgery().name == "superset-list-forgery"
+        assert ExactListForgery().name == "exact-list-forgery"
+        assert PathSpoofing().name == "path-spoofing"
+
+    def test_attacker_dataclass(self, chain_graph):
+        attacker = Attacker(ATTACKER, NaiveFalseOrigin())
+        net = Network(chain_graph)
+        net.establish_sessions()
+        attacker.launch(net, P, [ORIGIN])
+        net.run_to_convergence()
+        assert net.speaker(ATTACKER).best_origin(P) == ATTACKER

@@ -1,0 +1,67 @@
+"""Unit tests for origin/attacker placement (§5.1)."""
+
+import random
+
+import pytest
+
+from repro.attack.placement import place_attackers, place_origins
+from repro.topology import ASGraph
+
+
+@pytest.fixture
+def graph():
+    return ASGraph.from_edges(
+        [(1, 10), (2, 10), (3, 11), (4, 11), (10, 11)], transit=[10, 11]
+    )
+
+
+class TestPlaceOrigins:
+    def test_origins_are_stubs(self, graph):
+        origins = place_origins(graph, 2, random.Random(0))
+        assert all(asn in graph.stub_asns() for asn in origins)
+        assert len(origins) == 2
+
+    def test_origins_distinct(self, graph):
+        for seed in range(10):
+            origins = place_origins(graph, 2, random.Random(seed))
+            assert len(set(origins)) == 2
+
+    def test_too_many_rejected(self, graph):
+        with pytest.raises(ValueError):
+            place_origins(graph, 5, random.Random(0))
+
+    def test_zero_rejected(self, graph):
+        with pytest.raises(ValueError):
+            place_origins(graph, 0, random.Random(0))
+
+    def test_deterministic(self, graph):
+        assert place_origins(graph, 2, random.Random(3)) == place_origins(
+            graph, 2, random.Random(3)
+        )
+
+
+class TestPlaceAttackers:
+    def test_attackers_from_all_ases(self, graph):
+        """§5.1: attackers are chosen from all ASes, transit included."""
+        seen = set()
+        for seed in range(30):
+            seen.update(place_attackers(graph, 2, random.Random(seed)))
+        assert 10 in seen or 11 in seen  # transit ASes are eligible
+
+    def test_exclusion_respected(self, graph):
+        for seed in range(10):
+            attackers = place_attackers(
+                graph, 3, random.Random(seed), exclude=[1, 2]
+            )
+            assert not set(attackers) & {1, 2}
+
+    def test_zero_attackers_allowed(self, graph):
+        assert place_attackers(graph, 0, random.Random(0)) == []
+
+    def test_negative_rejected(self, graph):
+        with pytest.raises(ValueError):
+            place_attackers(graph, -1, random.Random(0))
+
+    def test_too_many_rejected(self, graph):
+        with pytest.raises(ValueError):
+            place_attackers(graph, 6, random.Random(0), exclude=[1])

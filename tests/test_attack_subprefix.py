@@ -1,0 +1,95 @@
+"""Tests for the sub-prefix hijack — the §4.3 longest-match blind spot."""
+
+import pytest
+
+from repro.attack.models import SubPrefixHijack
+from repro.bgp.forwarding import DeliveryOutcome, delivery_census, trace_packet
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+def run(chain_graph, detect):
+    registry = PrefixOriginRegistry()
+    registry.register(P, [1])
+    log = AlarmLog()
+    net = Network(chain_graph)
+    if detect:
+        oracle = GroundTruthOracle(registry)
+        for asn in (2, 3, 4):
+            MoasChecker(oracle=oracle, alarm_log=log).attach(net.speaker(asn))
+    net.establish_sessions()
+    net.originate(1, P)
+    net.run_to_convergence()
+    strategy = SubPrefixHijack(specific_length=24)
+    strategy.launch(net, 5, P, frozenset({1}))
+    net.run_to_convergence()
+    return net, log, strategy.more_specific_of(P)
+
+
+class TestMechanics:
+    def test_more_specific_inside_victim_block(self):
+        strategy = SubPrefixHijack(specific_length=24)
+        specific = strategy.more_specific_of(P)
+        assert specific.length == 24
+        assert P.contains(specific)
+
+    def test_cannot_deaggregate_past_target(self):
+        strategy = SubPrefixHijack(specific_length=24)
+        with pytest.raises(ValueError):
+            strategy.more_specific_of(Prefix.parse("10.0.0.0/24"))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            SubPrefixHijack(specific_length=0)
+
+
+class TestBlindSpot:
+    def test_no_moas_conflict_no_alarm(self, chain_graph):
+        """The bogus announcement names a different prefix: the MOAS lists
+        for /16 and /24 never meet, so no checker alarms."""
+        net, log, specific = run(chain_graph, detect=True)
+        assert len(log) == 0
+
+    def test_control_plane_looks_clean(self, chain_graph):
+        net, log, specific = run(chain_graph, detect=True)
+        # Every AS still believes the /16 originates at AS 1...
+        assert all(
+            v == 1 for a, v in net.best_origins(P).items() if a != 5
+        )
+        # ...while the /24 spreads unopposed.
+        assert all(
+            v == 5 for v in net.best_origins(specific).values()
+        )
+
+    def test_data_plane_captured_everywhere(self, chain_graph):
+        """Longest match hands the covered addresses to the attacker from
+        every AS — worse than an equal-prefix hijack, which only wins
+        where the attacker is closer."""
+        net, _, specific = run(chain_graph, detect=True)
+        census = delivery_census(
+            net, specific, legitimate_origins=[1], exclude=[5]
+        )
+        assert census[DeliveryOutcome.HIJACKED] == [1, 2, 3, 4]
+
+    def test_uncovered_addresses_still_delivered(self, chain_graph):
+        """Only the announced /24 is captured; the rest of the /16 still
+        reaches the genuine origin."""
+        net, _, specific = run(chain_graph, detect=True)
+        unaffected = Prefix.parse("10.0.128.0/24")  # outside the hijacked /24
+        trace = trace_packet(net, 4, unaffected, legitimate_origins=[1])
+        assert trace.outcome is DeliveryOutcome.DELIVERED
+        assert trace.final_as == 1
+
+    def test_detection_changes_nothing(self, chain_graph):
+        """With and without MOAS checking, the outcome is identical —
+        the scheme has no purchase on this attack class."""
+        undefended, _, specific = run(chain_graph, detect=False)
+        defended, _, _ = run(chain_graph, detect=True)
+        assert (
+            undefended.best_origins(specific) == defended.best_origins(specific)
+        )

@@ -1,0 +1,97 @@
+"""Unit and behavioural tests for the per-update DNS checking baseline."""
+
+import pytest
+
+from repro.baselines.dns_checking import PerUpdateDnsValidator
+from repro.bgp.network import Network
+from repro.core.checker import MoasChecker
+from repro.core.origin_verification import (
+    DnsOracle,
+    GroundTruthOracle,
+    PrefixOriginRegistry,
+    build_moas_zone,
+)
+from repro.dnssub.resolver import Resolver
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+def make_dns_oracle(registry, reachable=True):
+    resolver = Resolver(reachability=(None if reachable else (lambda apex: False)))
+    resolver.host_zone(build_moas_zone(registry))
+    return DnsOracle(resolver)
+
+
+class TestPerUpdateDnsValidator:
+    def run_chain(self, chain_graph, oracle):
+        net = Network(chain_graph)
+        validators = {}
+        for asn in (2, 3, 4):
+            validator = PerUpdateDnsValidator(oracle)
+            net.speaker(asn).add_import_validator(validator)
+            validators[asn] = validator
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+        return net, validators
+
+    def test_blocks_hijack_when_dns_reachable(self, chain_graph):
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        net, validators = self.run_chain(chain_graph, make_dns_oracle(registry))
+        assert net.best_origins(P)[4] == 1
+        assert sum(v.rejections for v in validators.values()) >= 1
+
+    def test_fails_open_when_dns_unreachable(self, chain_graph):
+        """The §2 circular dependency: with DNS unreachable, per-update
+        checking degrades to no protection."""
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        oracle = make_dns_oracle(registry, reachable=False)
+        net, validators = self.run_chain(chain_graph, oracle)
+        assert net.best_origins(P)[4] == 5
+        assert sum(v.lookup_failures for v in validators.values()) >= 1
+
+    def test_query_load_exceeds_moas_triggered_checking(self, chain_graph):
+        """The §4.4 point: MOAS-list checking queries the DNS only on
+        conflicts, per-update checking queries constantly."""
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+
+        # Arm 1: per-update DNS checking.
+        per_update_oracle = GroundTruthOracle(registry)
+        net = Network(chain_graph)
+        for asn in (2, 3, 4):
+            net.speaker(asn).add_import_validator(
+                PerUpdateDnsValidator(per_update_oracle)
+            )
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+
+        # Arm 2: MOAS-list checking with DNS only on conflict.
+        moas_oracle = GroundTruthOracle(registry)
+        net2 = Network(chain_graph)
+        for asn in (2, 3, 4):
+            MoasChecker(oracle=moas_oracle).attach(net2.speaker(asn))
+        net2.establish_sessions()
+        net2.originate(1, P)
+        net2.run_to_convergence()
+        net2.originate(5, P)
+        net2.run_to_convergence()
+
+        assert moas_oracle.lookups < per_update_oracle.lookups
+        # Same protection either way in this scenario.
+        assert net.best_origins(P)[4] == net2.best_origins(P)[4] == 1
+
+    def test_unknown_prefix_accepted(self, chain_graph):
+        registry = PrefixOriginRegistry()  # empty
+        net, validators = self.run_chain(
+            chain_graph, GroundTruthOracle(registry)
+        )
+        assert net.best_origins(P)[4] == 5

@@ -1,0 +1,125 @@
+"""Unit and behavioural tests for the IRR filtering baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.irr import IrrRegistry, IrrValidator
+from repro.bgp.network import Network
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+class TestRegistry:
+    def test_register_lookup(self):
+        reg = IrrRegistry()
+        reg.register(P, [1, 2])
+        record = reg.lookup(P)
+        assert record.origins == frozenset({1, 2})
+        assert not record.stale
+
+    def test_empty_origins_rejected(self):
+        with pytest.raises(ValueError):
+            IrrRegistry().register(P, [])
+
+    def test_stale_record(self):
+        reg = IrrRegistry()
+        reg.register(P, [1])
+        reg.make_stale(P, [99])
+        record = reg.lookup(P)
+        assert record.stale
+        assert record.origins == frozenset({99})
+
+    def test_drop(self):
+        reg = IrrRegistry()
+        reg.register(P, [1])
+        reg.drop(P)
+        assert P not in reg
+
+    def test_from_ground_truth_full_coverage(self):
+        truth = {P: frozenset({1}), Q: frozenset({2})}
+        reg = IrrRegistry.from_ground_truth(
+            truth, coverage=1.0, staleness=0.0, rng=random.Random(0)
+        )
+        assert len(reg) == 2
+        assert reg.lookup(P).origins == frozenset({1})
+
+    def test_from_ground_truth_partial_coverage(self):
+        truth = {
+            Prefix((10 << 24) | (i << 16), 16): frozenset({100 + i})
+            for i in range(200)
+        }
+        reg = IrrRegistry.from_ground_truth(
+            truth, coverage=0.5, staleness=0.0, rng=random.Random(0)
+        )
+        assert 60 < len(reg) < 140
+
+    def test_from_ground_truth_staleness(self):
+        truth = {
+            Prefix((10 << 24) | (i << 16), 16): frozenset({100 + i})
+            for i in range(200)
+        }
+        reg = IrrRegistry.from_ground_truth(
+            truth, coverage=1.0, staleness=0.5, rng=random.Random(0),
+            stale_origin_pool=[9999],
+        )
+        stale = sum(1 for p in truth if reg.lookup(p).stale)
+        assert 60 < stale < 140
+        assert all(
+            reg.lookup(p).origins == frozenset({9999})
+            for p in truth if reg.lookup(p).stale
+        )
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            IrrRegistry.from_ground_truth({}, 1.5, 0.0, random.Random(0))
+        with pytest.raises(ValueError):
+            IrrRegistry.from_ground_truth({}, 1.0, -0.1, random.Random(0))
+
+
+class TestValidatorBehaviour:
+    def run_chain(self, chain_graph, registry, capable=(2, 3, 4)):
+        net = Network(chain_graph)
+        validators = {}
+        for asn in capable:
+            validator = IrrValidator(registry)
+            net.speaker(asn).add_import_validator(validator)
+            validators[asn] = validator
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)  # false origin
+        net.run_to_convergence()
+        return net, validators
+
+    def test_fresh_registry_blocks_hijack(self, chain_graph):
+        reg = IrrRegistry()
+        reg.register(P, [1])
+        net, validators = self.run_chain(chain_graph, reg)
+        assert net.best_origins(P)[4] == 1
+        assert sum(v.rejections for v in validators.values()) >= 1
+
+    def test_unregistered_prefix_unprotected(self, chain_graph):
+        reg = IrrRegistry()  # empty: the coverage gap
+        net, validators = self.run_chain(chain_graph, reg)
+        assert net.best_origins(P)[4] == 5
+        assert sum(v.unfilterable for v in validators.values()) >= 1
+
+    def test_stale_record_blocks_legitimate_origin(self, chain_graph):
+        """The worst IRR failure: an outdated record rejects the genuine
+        route while the topology still spreads the bogus one."""
+        reg = IrrRegistry()
+        reg.make_stale(P, [999])  # neither 1 nor 5 matches
+        net, validators = self.run_chain(chain_graph, reg)
+        # Both routes rejected at the checking nodes: the genuine origin
+        # is unreachable from behind them.
+        assert net.best_origins(P)[4] is None
+        assert sum(v.rejections for v in validators.values()) >= 2
+
+    def test_stale_record_matching_attacker_admits_attacker(self, chain_graph):
+        reg = IrrRegistry()
+        reg.make_stale(P, [5])  # the stale holder happens to be the attacker
+        net, _ = self.run_chain(chain_graph, reg)
+        assert net.best_origins(P)[4] == 5

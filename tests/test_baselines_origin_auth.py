@@ -1,0 +1,115 @@
+"""Unit and behavioural tests for the S-BGP-style origin-attestation baseline."""
+
+import pytest
+
+from repro.baselines.origin_auth import (
+    AttestationAuthority,
+    OriginAuthValidator,
+    attestation_communities,
+)
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.network import Network
+from repro.core.moas_list import MLVAL
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+class TestAuthority:
+    def test_issue_requires_certificate(self):
+        authority = AttestationAuthority()
+        with pytest.raises(PermissionError):
+            authority.issue(P, 1)
+        authority.certify(P, [1])
+        communities = authority.issue(P, 1)
+        assert len(communities) == 1
+
+    def test_verify_roundtrip(self):
+        authority = AttestationAuthority()
+        authority.certify(P, [1])
+        attrs = PathAttributes(
+            as_path=AsPath.from_asns([1]), communities=authority.issue(P, 1)
+        )
+        assert authority.verify(P, 1, attrs) is True
+
+    def test_verify_rejects_missing_attestation(self):
+        authority = AttestationAuthority()
+        authority.certify(P, [1])
+        attrs = PathAttributes(as_path=AsPath.from_asns([5]))
+        assert authority.verify(P, 5, attrs) is False
+
+    def test_verify_unattested_prefix_is_none(self):
+        authority = AttestationAuthority()
+        attrs = PathAttributes(as_path=AsPath.from_asns([5]))
+        assert authority.verify(Q, 5, attrs) is None
+
+    def test_attacker_cannot_reuse_origin_tag(self):
+        """The tag binds (prefix, origin): attaching the genuine origin's
+        attestation to a different origin's announcement fails."""
+        authority = AttestationAuthority()
+        authority.certify(P, [1])
+        stolen = authority.issue(P, 1)
+        attrs = PathAttributes(as_path=AsPath.from_asns([5]), communities=stolen)
+        assert authority.verify(P, 5, attrs) is False
+
+    def test_tags_never_collide_with_mlval(self):
+        authority = AttestationAuthority()
+        for i in range(1, 300):
+            prefix = Prefix((10 << 24) | (i << 16), 16)
+            authority.certify(prefix, [i])
+            (community,) = authority.issue(prefix, i)
+            assert community.value != MLVAL
+
+    def test_different_secrets_different_tags(self):
+        a = AttestationAuthority(b"a")
+        b = AttestationAuthority(b"b")
+        a.certify(P, [1])
+        b.certify(P, [1])
+        assert a.issue(P, 1) != b.issue(P, 1)
+
+    def test_empty_certification_rejected(self):
+        with pytest.raises(ValueError):
+            AttestationAuthority().certify(P, [])
+
+
+class TestValidatorBehaviour:
+    def run_chain(self, chain_graph, authority, certified=True):
+        net = Network(chain_graph)
+        validators = {}
+        for asn in (2, 3, 4):
+            validator = OriginAuthValidator(authority)
+            net.speaker(asn).add_import_validator(validator)
+            validators[asn] = validator
+        net.establish_sessions()
+        communities = (
+            attestation_communities(authority, P, 1) if certified else ()
+        )
+        net.originate(1, P, communities=communities)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+        return net, validators
+
+    def test_certified_prefix_protected(self, chain_graph):
+        authority = AttestationAuthority()
+        authority.certify(P, [1])
+        net, validators = self.run_chain(chain_graph, authority)
+        assert net.best_origins(P)[4] == 1
+        assert sum(v.rejections for v in validators.values()) >= 1
+
+    def test_uncertified_prefix_unprotected(self, chain_graph):
+        """The rollout gap: no certificate, no protection."""
+        authority = AttestationAuthority()  # nothing certified
+        net, validators = self.run_chain(chain_graph, authority, certified=False)
+        assert net.best_origins(P)[4] == 5
+        assert sum(v.unverifiable for v in validators.values()) >= 1
+
+    def test_certified_origin_without_attestation_rejected(self, chain_graph):
+        """A certified prefix announced *without* its attestation is
+        rejected — the genuine origin must actually attach it."""
+        authority = AttestationAuthority()
+        authority.certify(P, [1])
+        net, validators = self.run_chain(chain_graph, authority, certified=False)
+        # Both the unattested genuine route and the attacker are rejected.
+        assert net.best_origins(P)[4] is None

@@ -1,0 +1,150 @@
+"""Unit tests for route aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.aggregation import aggregate_routes
+from repro.bgp.attributes import AsPath, Origin, PathAttributes, SegmentType
+from repro.bgp.rib import RibEntry
+from repro.core.moas_list import extract_moas_list
+from repro.net.addresses import Prefix
+
+
+def route(prefix_text, path=(100,), origin=Origin.IGP, local_pref=100):
+    return RibEntry(
+        Prefix.parse(prefix_text),
+        PathAttributes(
+            origin=origin,
+            as_path=AsPath.from_asns(list(path)),
+            local_pref=local_pref,
+        ),
+        peer=100,
+    )
+
+
+class TestBasicAggregation:
+    def test_identical_siblings_merge_losslessly(self):
+        result = aggregate_routes(
+            [route("10.0.0.0/9"), route("10.128.0.0/9")], aggregator_asn=1
+        )
+        assert len(result.aggregates) == 1
+        aggregate = result.aggregates[0]
+        assert aggregate.prefix == Prefix.parse("10.0.0.0/8")
+        assert not aggregate.attributes.atomic_aggregate
+        assert result.routes_absorbed == 2
+        assert result.table_reduction == 1
+
+    def test_differing_paths_produce_as_set(self):
+        result = aggregate_routes(
+            [
+                route("10.0.0.0/9", path=(100, 5)),
+                route("10.128.0.0/9", path=(100, 6)),
+            ],
+            aggregator_asn=42,
+        )
+        aggregate = result.aggregates[0]
+        attrs = aggregate.attributes
+        assert attrs.atomic_aggregate
+        assert attrs.aggregator == 42
+        segments = attrs.as_path.segments
+        assert segments[0].kind is SegmentType.AS_SEQUENCE
+        assert segments[0].asns == (100,)
+        assert segments[-1].kind is SegmentType.AS_SET
+        assert set(segments[-1].asns) == {5, 6}
+
+    def test_origin_candidates_expand(self):
+        """After aggregation, the MOAS observer sees both origins as
+        candidates (footnote 1)."""
+        result = aggregate_routes(
+            [
+                route("10.0.0.0/9", path=(100, 5)),
+                route("10.128.0.0/9", path=(100, 6)),
+            ],
+            aggregator_asn=42,
+        )
+        origins = result.aggregates[0].attributes.as_path.origin_asns()
+        assert origins == frozenset({5, 6})
+
+    def test_non_siblings_untouched(self):
+        result = aggregate_routes(
+            [route("10.0.0.0/9"), route("11.0.0.0/9")], aggregator_asn=1
+        )
+        assert result.aggregates == []
+        assert len(result.untouched) == 2
+        assert result.routes_absorbed == 0
+
+    def test_recursive_aggregation(self):
+        entries = [
+            route("10.0.0.0/10"),
+            route("10.64.0.0/10"),
+            route("10.128.0.0/10"),
+            route("10.192.0.0/10"),
+        ]
+        result = aggregate_routes(entries, aggregator_asn=1)
+        assert len(result.aggregates) == 1
+        assert result.aggregates[0].prefix == Prefix.parse("10.0.0.0/8")
+        assert result.routes_absorbed == 4
+        assert result.table_reduction == 3
+
+    def test_min_length_boundary(self):
+        entries = [route("10.0.0.0/9"), route("10.128.0.0/9")]
+        result = aggregate_routes(entries, aggregator_asn=1, min_length=9)
+        assert result.aggregates == []
+
+    def test_origin_code_worsens(self):
+        result = aggregate_routes(
+            [
+                route("10.0.0.0/9", path=(5,), origin=Origin.IGP),
+                route("10.128.0.0/9", path=(6,), origin=Origin.INCOMPLETE),
+            ],
+            aggregator_asn=1,
+        )
+        assert result.aggregates[0].attributes.origin is Origin.INCOMPLETE
+
+    def test_duplicate_prefixes_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_routes(
+                [route("10.0.0.0/9"), route("10.0.0.0/9")], aggregator_asn=1
+            )
+
+    def test_bad_min_length(self):
+        with pytest.raises(ValueError):
+            aggregate_routes([], aggregator_asn=1, min_length=40)
+
+    def test_empty_input(self):
+        result = aggregate_routes([], aggregator_asn=1)
+        assert result.all_routes() == []
+
+
+class TestAggregationProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=15), min_size=1))
+    def test_coverage_preserved(self, indices):
+        """Whatever gets aggregated, the covered address space is exactly
+        the union of the inputs."""
+        entries = [
+            route(f"10.{i * 16}.0.0/12", path=(100, 200 + i)) for i in indices
+        ]
+        result = aggregate_routes(entries, aggregator_asn=1)
+        covered_before = {
+            addr
+            for e in entries
+            for addr in (e.prefix.first_address, e.prefix.last_address)
+        }
+        for addr in covered_before:
+            assert any(
+                r.prefix.contains_address(addr) for r in result.all_routes()
+            )
+        # No aggregate covers address space absent from the input.
+        input_prefixes = [e.prefix for e in entries]
+        for aggregate in result.aggregates:
+            for sub in aggregate.prefix.deaggregate(12):
+                assert sub in input_prefixes
+
+    @given(st.sets(st.integers(min_value=0, max_value=15), min_size=1))
+    def test_no_overlapping_outputs(self, indices):
+        entries = [route(f"10.{i * 16}.0.0/12") for i in indices]
+        result = aggregate_routes(entries, aggregator_asn=1)
+        outputs = [r.prefix for r in result.all_routes()]
+        for i, a in enumerate(outputs):
+            for b in outputs[i + 1:]:
+                assert not a.overlaps(b)

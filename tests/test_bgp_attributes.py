@@ -1,0 +1,215 @@
+"""Unit and property tests for BGP path attributes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    Community,
+    Origin,
+    PathAttributes,
+    SegmentType,
+)
+from repro.bgp.errors import AttributeError_
+
+asns = st.integers(min_value=1, max_value=65535)
+asn_lists = st.lists(asns, min_size=1, max_size=8)
+
+
+class TestAsPathSegment:
+    def test_empty_segment_rejected(self):
+        with pytest.raises(AttributeError_):
+            AsPathSegment(SegmentType.AS_SEQUENCE, [])
+
+    def test_as_set_is_canonical(self):
+        a = AsPathSegment(SegmentType.AS_SET, [3, 1, 2, 1])
+        b = AsPathSegment(SegmentType.AS_SET, [1, 2, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sequence_preserves_order(self):
+        seg = AsPathSegment(SegmentType.AS_SEQUENCE, [3, 1, 2])
+        assert seg.asns == (3, 1, 2)
+
+    def test_length_contribution(self):
+        seq = AsPathSegment(SegmentType.AS_SEQUENCE, [1, 2, 3])
+        as_set = AsPathSegment(SegmentType.AS_SET, [1, 2, 3])
+        assert seq.path_length_contribution == 3
+        assert as_set.path_length_contribution == 1
+
+    def test_membership(self):
+        seg = AsPathSegment(SegmentType.AS_SEQUENCE, [1, 2])
+        assert 1 in seg
+        assert 3 not in seg
+
+    def test_immutable(self):
+        seg = AsPathSegment(SegmentType.AS_SEQUENCE, [1])
+        with pytest.raises(AttributeError):
+            seg.asns = (2,)
+
+
+class TestAsPath:
+    def test_empty_path(self):
+        path = AsPath()
+        assert path.is_empty
+        assert path.length == 0
+        assert path.origin_asn is None
+        assert path.origin_asns() == frozenset()
+        assert path.first_asn is None
+
+    def test_from_asns(self):
+        path = AsPath.from_asns([1, 2, 3])
+        assert list(path.asns()) == [1, 2, 3]
+        assert path.length == 3
+
+    def test_from_empty_asns(self):
+        assert AsPath.from_asns([]).is_empty
+
+    def test_origin_is_rightmost(self):
+        # The paper's example: path (1239, 6453, 4621) originates at 4621.
+        path = AsPath.from_asns([1239, 6453, 4621])
+        assert path.origin_asn == 4621
+        assert path.first_asn == 1239
+
+    def test_origin_of_aggregated_path_is_set(self):
+        path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [1]),
+                AsPathSegment(SegmentType.AS_SET, [2, 3]),
+            ]
+        )
+        assert path.origin_asn is None
+        assert path.origin_asns() == frozenset({2, 3})
+
+    def test_prepend(self):
+        path = AsPath.from_asns([2, 3]).prepend(1)
+        assert list(path.asns()) == [1, 2, 3]
+
+    def test_prepend_onto_empty(self):
+        assert list(AsPath().prepend(7).asns()) == [7]
+
+    def test_prepend_onto_leading_set_makes_new_segment(self):
+        path = AsPath([AsPathSegment(SegmentType.AS_SET, [2, 3])]).prepend(1)
+        assert path.segments[0].kind is SegmentType.AS_SEQUENCE
+        assert path.segments[0].asns == (1,)
+        assert path.length == 2
+
+    def test_membership_spans_segments(self):
+        path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [1]),
+                AsPathSegment(SegmentType.AS_SET, [2, 3]),
+            ]
+        )
+        assert 3 in path
+        assert 4 not in path
+
+    def test_aggregate_common_head(self):
+        merged = AsPath.aggregate(
+            [AsPath.from_asns([1, 2, 3]), AsPath.from_asns([1, 2, 4])]
+        )
+        assert merged.segments[0] == AsPathSegment(SegmentType.AS_SEQUENCE, [1, 2])
+        assert merged.segments[1] == AsPathSegment(SegmentType.AS_SET, [3, 4])
+
+    def test_aggregate_identical_paths(self):
+        p = AsPath.from_asns([1, 2])
+        assert AsPath.aggregate([p, p]) == p
+
+    def test_aggregate_single(self):
+        p = AsPath.from_asns([1])
+        assert AsPath.aggregate([p]) is p
+
+    def test_aggregate_empty(self):
+        assert AsPath.aggregate([]).is_empty
+
+    @given(asn_lists)
+    def test_prepend_increases_length_by_one(self, seq):
+        path = AsPath.from_asns(seq)
+        assert path.prepend(42).length == path.length + 1
+
+    @given(asn_lists, asn_lists)
+    def test_aggregate_covers_all_asns(self, a, b):
+        merged = AsPath.aggregate([AsPath.from_asns(a), AsPath.from_asns(b)])
+        assert set(merged.asns()) == set(a) | set(b)
+
+
+class TestCommunity:
+    def test_encode_decode_roundtrip(self):
+        c = Community(65000, 0x00FF)
+        assert Community.from_u32(c.to_u32()) == c
+
+    def test_u32_layout(self):
+        assert Community(1, 2).to_u32() == (1 << 16) | 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AttributeError_):
+            Community(0x10000, 0)
+        with pytest.raises(AttributeError_):
+            Community(0, 0x10000)
+        with pytest.raises(AttributeError_):
+            Community.from_u32(1 << 32)
+
+    def test_str(self):
+        assert str(Community(65000, 255)) == "65000:255"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_u32_roundtrip(self, raw):
+        assert Community.from_u32(raw).to_u32() == raw
+
+
+class TestPathAttributes:
+    def test_defaults(self):
+        attrs = PathAttributes()
+        assert attrs.origin is Origin.IGP
+        assert attrs.local_pref == PathAttributes.DEFAULT_LOCAL_PREF
+        assert attrs.as_path.is_empty
+        assert attrs.communities == frozenset()
+
+    def test_negative_med_rejected(self):
+        with pytest.raises(AttributeError_):
+            PathAttributes(med=-1)
+
+    def test_negative_local_pref_rejected(self):
+        with pytest.raises(AttributeError_):
+            PathAttributes(local_pref=-1)
+
+    def test_replace_unknown_field_rejected(self):
+        with pytest.raises(AttributeError_):
+            PathAttributes().replace(nonsense=1)
+
+    def test_replace_produces_new_object(self):
+        a = PathAttributes(med=1)
+        b = a.replace(med=2)
+        assert a.med == 1
+        assert b.med == 2
+
+    def test_with_prepended(self):
+        attrs = PathAttributes(as_path=AsPath.from_asns([2]))
+        out = attrs.with_prepended(1, next_hop=1)
+        assert list(out.as_path.asns()) == [1, 2]
+        assert out.next_hop == 1
+
+    def test_community_manipulation(self):
+        c1, c2 = Community(1, 1), Community(2, 2)
+        attrs = PathAttributes(communities=[c1])
+        assert attrs.add_communities([c2]).communities == {c1, c2}
+        assert attrs.without_communities().communities == frozenset()
+
+    def test_communities_of_value(self):
+        attrs = PathAttributes(communities=[Community(1, 9), Community(2, 9), Community(3, 7)])
+        assert attrs.communities_of_value(9) == {Community(1, 9), Community(2, 9)}
+
+    def test_equality_and_hash(self):
+        a = PathAttributes(as_path=AsPath.from_asns([1]), med=3)
+        b = PathAttributes(as_path=AsPath.from_asns([1]), med=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_origin_asn_passthrough(self):
+        attrs = PathAttributes(as_path=AsPath.from_asns([5, 6]))
+        assert attrs.origin_asn == 6
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            PathAttributes().med = 5

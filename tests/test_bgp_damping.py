@@ -1,0 +1,142 @@
+"""Unit and behavioural tests for route-flap damping."""
+
+import pytest
+
+from repro.bgp.damping import DampingConfig, RouteFlapDamper
+from repro.bgp.network import Network
+from repro.bgp.speaker import BGPSpeaker
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+FAST = DampingConfig(
+    penalty_per_flap=1000.0,
+    suppress_threshold=1500.0,
+    reuse_threshold=750.0,
+    half_life=10.0,
+    max_suppress_time=60.0,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"penalty_per_flap": 0},
+            {"reuse_threshold": 0},
+            {"suppress_threshold": 700.0, "reuse_threshold": 750.0},
+            {"half_life": 0},
+            {"max_suppress_time": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DampingConfig(**kwargs).validate()
+
+    def test_max_penalty_growth(self):
+        config = DampingConfig(half_life=900.0, max_suppress_time=3600.0)
+        assert config.max_penalty == pytest.approx(750.0 * 16)
+
+
+class TestDamperMechanics:
+    def make(self, sim):
+        speaker = BGPSpeaker(sim, 1)
+        damper = RouteFlapDamper(FAST)
+        damper.attach(speaker)
+        return speaker, damper
+
+    def test_first_announcement_not_a_flap(self, sim):
+        _, damper = self.make(sim)
+        from repro.bgp.attributes import AsPath, PathAttributes
+
+        attrs = PathAttributes(as_path=AsPath.from_asns([2]))
+        assert damper.validate(2, P, attrs)
+        assert damper.penalty(2, P) == 0.0
+
+    def test_attribute_change_is_a_flap(self, sim):
+        _, damper = self.make(sim)
+        from repro.bgp.attributes import AsPath, PathAttributes
+
+        damper.validate(2, P, PathAttributes(as_path=AsPath.from_asns([2])))
+        damper.validate(2, P, PathAttributes(as_path=AsPath.from_asns([2, 3])))
+        assert damper.penalty(2, P) == pytest.approx(1000.0)
+        assert damper.flap_count(2, P) == 1
+
+    def test_identical_reannouncement_not_a_flap(self, sim):
+        _, damper = self.make(sim)
+        from repro.bgp.attributes import AsPath, PathAttributes
+
+        attrs = PathAttributes(as_path=AsPath.from_asns([2]))
+        damper.validate(2, P, attrs)
+        damper.validate(2, P, attrs)
+        assert damper.penalty(2, P) == 0.0
+
+    def test_withdrawal_is_a_flap(self, sim):
+        _, damper = self.make(sim)
+        damper.note_withdrawal(2, P)
+        assert damper.penalty(2, P) == pytest.approx(1000.0)
+
+    def test_suppression_after_repeated_flaps(self, sim):
+        _, damper = self.make(sim)
+        from repro.bgp.attributes import AsPath, PathAttributes
+
+        attrs_a = PathAttributes(as_path=AsPath.from_asns([2]))
+        damper.validate(2, P, attrs_a)
+        damper.note_withdrawal(2, P)  # flap 1: penalty 1000
+        # Re-announcement after the withdrawal is flap 2: penalty 2000
+        # crosses the suppress threshold, so this very route is rejected.
+        assert not damper.validate(2, P, attrs_a)
+        assert damper.penalty(2, P) >= 1500.0
+        assert damper.is_suppressed(2, P)
+        assert damper.suppressions == 1
+
+    def test_penalty_decays_exponentially(self, sim):
+        _, damper = self.make(sim)
+        damper.note_withdrawal(2, P)
+        sim.schedule_at(10.0, lambda: None)  # advance one half-life
+        sim.run()
+        assert damper.penalty(2, P) == pytest.approx(500.0, rel=0.01)
+
+    def test_reuse_after_decay(self, sim):
+        _, damper = self.make(sim)
+        damper.note_withdrawal(2, P)
+        damper.note_withdrawal(2, P)  # penalty 2000, suppressed
+        assert damper.is_suppressed(2, P)
+        sim.schedule_at(20.0, lambda: None)  # two half-lives: penalty 500
+        sim.run()
+        assert not damper.is_suppressed(2, P)
+        assert damper.reuses == 1
+
+    def test_penalty_capped(self, sim):
+        _, damper = self.make(sim)
+        for _ in range(100):
+            damper.note_withdrawal(2, P)
+        assert damper.penalty(2, P) <= FAST.max_penalty
+
+    def test_double_attach_rejected(self, sim):
+        speaker, damper = self.make(sim)
+        with pytest.raises(RuntimeError):
+            damper.attach(speaker)
+
+
+class TestDampingInNetwork:
+    def test_flapping_origin_gets_suppressed(self, chain_graph):
+        """A prefix that its origin repeatedly withdraws/re-announces is
+        eventually damped at the neighbour and stops propagating."""
+        net = Network(chain_graph)
+        damper = RouteFlapDamper(FAST)
+        damper.attach(net.speaker(2))
+        net.establish_sessions()
+
+        for _ in range(3):
+            net.speaker(1).originate(P)
+            net.run_to_convergence()
+            net.speaker(1).withdraw_origination(P)
+            # The withdrawal flap is recorded automatically: the damper is
+            # wired as AS 2's withdrawal listener.
+            net.run_to_convergence()
+
+        net.speaker(1).originate(P)
+        net.run_to_convergence()
+        assert damper.is_suppressed(1, P)
+        assert net.speaker(3).best_route(P) is None  # damped at AS 2

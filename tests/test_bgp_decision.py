@@ -1,0 +1,148 @@
+"""Unit and property tests for the BGP decision process."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.decision import DecisionProcess, RouteComparison
+from repro.bgp.rib import RibEntry
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/8")
+
+
+def route(
+    peer=100,
+    path=(100,),
+    local_pref=100,
+    origin=Origin.IGP,
+    med=0,
+    installed_at=0.0,
+    seq=0,
+):
+    attrs = PathAttributes(
+        origin=origin,
+        as_path=AsPath.from_asns(list(path)),
+        med=med,
+        local_pref=local_pref,
+    )
+    return RibEntry(P, attrs, peer=peer, installed_at=installed_at, installed_seq=seq)
+
+
+class TestLadder:
+    def setup_method(self):
+        self.dp = DecisionProcess()
+
+    def test_local_pref_dominates_path_length(self):
+        short = route(path=(1,), local_pref=50)
+        long_but_preferred = route(peer=200, path=(200, 2, 3), local_pref=200)
+        assert self.dp.select_best([short, long_but_preferred]) is long_but_preferred
+
+    def test_shorter_path_wins(self):
+        short = route(peer=100, path=(100, 9))
+        long = route(peer=200, path=(200, 5, 9))
+        assert self.dp.select_best([long, short]) is short
+
+    def test_as_set_counts_once(self):
+        from repro.bgp.attributes import AsPathSegment, SegmentType
+
+        set_path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [100]),
+                AsPathSegment(SegmentType.AS_SET, [1, 2, 3]),
+            ]
+        )
+        aggregated = RibEntry(
+            P, PathAttributes(as_path=set_path), peer=100
+        )
+        plain = route(peer=200, path=(200, 5, 9))  # length 3
+        assert self.dp.select_best([plain, aggregated]) is aggregated
+
+    def test_origin_code_breaks_path_tie(self):
+        igp = route(peer=100, path=(100,), origin=Origin.IGP)
+        egp = route(peer=200, path=(200,), origin=Origin.EGP)
+        assert self.dp.select_best([egp, igp]) is igp
+
+    def test_med_compared_same_neighbor_only(self):
+        # Same neighbouring AS (first_asn 100): MED applies.
+        low = route(peer=100, path=(100, 9), med=5)
+        high = route(peer=200, path=(100, 9), med=10)
+        assert self.dp.compare(low, high) is RouteComparison.LEFT_BETTER
+
+    def test_med_ignored_across_neighbors_by_default(self):
+        a = route(peer=100, path=(100, 9), med=50, installed_at=0.0)
+        b = route(peer=200, path=(200, 9), med=5, installed_at=0.0)
+        # Falls through MED (different neighbours) to peer-ASN tie-break.
+        assert self.dp.select_best([a, b]) is a
+
+    def test_med_across_peers_mode(self):
+        dp = DecisionProcess(med_across_peers=True)
+        a = route(peer=100, path=(100, 9), med=50)
+        b = route(peer=200, path=(200, 9), med=5)
+        assert dp.select_best([a, b]) is b
+
+    def test_local_route_beats_learned(self):
+        local = RibEntry(P, PathAttributes(), peer=None)
+        learned = route(path=(100,))
+        # Give the learned route an empty path to force the tie down to
+        # the local-vs-learned rung.
+        learned = RibEntry(P, PathAttributes(), peer=100)
+        assert self.dp.select_best([learned, local]) is local
+
+    def test_oldest_route_wins_tie(self):
+        old = route(peer=200, path=(200, 9), installed_at=1.0)
+        new = route(peer=100, path=(100, 9), installed_at=2.0)
+        assert self.dp.select_best([new, old]) is old
+
+    def test_arrival_sequence_breaks_same_instant(self):
+        first = route(peer=200, path=(200, 9), installed_at=1.0, seq=1)
+        second = route(peer=100, path=(100, 9), installed_at=1.0, seq=2)
+        assert self.dp.select_best([second, first]) is first
+
+    def test_prefer_oldest_disabled_falls_to_peer_asn(self):
+        dp = DecisionProcess(prefer_oldest=False)
+        old = route(peer=200, path=(200, 9), installed_at=1.0)
+        new = route(peer=100, path=(100, 9), installed_at=2.0)
+        assert dp.select_best([new, old]) is new
+
+    def test_peer_asn_final_tiebreak(self):
+        a = route(peer=100, path=(100, 9))
+        b = route(peer=200, path=(200, 9))
+        assert self.dp.select_best([b, a]) is a
+
+    def test_identical_routes_equal(self):
+        a = route()
+        b = route()
+        assert self.dp.compare(a, b) is RouteComparison.EQUAL
+
+
+class TestSelection:
+    def test_empty_candidates(self):
+        assert DecisionProcess().select_best([]) is None
+
+    def test_single_candidate(self):
+        r = route()
+        assert DecisionProcess().select_best([r]) is r
+
+    def test_cross_prefix_comparison_rejected(self):
+        other = RibEntry(
+            Prefix.parse("11.0.0.0/8"), PathAttributes(), peer=100
+        )
+        with pytest.raises(ValueError):
+            DecisionProcess().compare(route(), other)
+
+    def test_rank_best_first(self):
+        dp = DecisionProcess()
+        best = route(peer=100, path=(100,))
+        mid = route(peer=200, path=(200, 1))
+        worst = route(peer=300, path=(300, 1, 2))
+        assert dp.rank([worst, best, mid]) == [best, mid, worst]
+
+    @given(st.permutations(list(range(5))))
+    def test_selection_order_independent(self, order):
+        candidates = [
+            route(peer=100 + i, path=tuple([100 + i] + [9] * i), installed_at=float(i))
+            for i in range(5)
+        ]
+        shuffled = [candidates[i] for i in order]
+        assert DecisionProcess().select_best(shuffled) is candidates[0]

@@ -1,0 +1,115 @@
+"""Unit tests for the forwarding plane."""
+
+import pytest
+
+from repro.attack.models import PathSpoofing
+from repro.bgp.forwarding import (
+    DeliveryOutcome,
+    delivery_census,
+    trace_packet,
+)
+from repro.bgp.network import Network
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+class TestTracePacket:
+    def test_delivery_along_chain(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        trace = trace_packet(net, 5, P, legitimate_origins=[1])
+        assert trace.outcome is DeliveryOutcome.DELIVERED
+        assert trace.hops == (5, 4, 3, 2, 1)
+        assert trace.final_as == 1
+        assert trace.hop_count == 4
+
+    def test_source_is_origin(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        trace = trace_packet(net, 1, P, legitimate_origins=[1])
+        assert trace.outcome is DeliveryOutcome.DELIVERED
+        assert trace.hops == (1,)
+
+    def test_blackhole_without_route(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        # Nobody originates P.
+        trace = trace_packet(net, 5, P, legitimate_origins=[1])
+        assert trace.outcome is DeliveryOutcome.BLACKHOLED
+
+    def test_hijack_detected_in_data_plane(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)  # false origin
+        net.run_to_convergence()
+        trace = trace_packet(net, 4, P, legitimate_origins=[1])
+        assert trace.outcome is DeliveryOutcome.HIJACKED
+        assert trace.final_as == 5
+
+    def test_path_spoofing_visible_in_data_plane(self, chain_graph):
+        """Control plane says origin 1; the packet lands at the attacker."""
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        PathSpoofing().launch(net, 5, P, frozenset({1}))
+        net.run_to_convergence()
+        assert net.speaker(4).best_origin(P) == 1  # the control-plane lie
+        trace = trace_packet(net, 4, P, legitimate_origins=[1])
+        # AS 5 claims to forward to 1 but has no such route installed for
+        # the packet — the walk ends at the attacker or loops back.
+        assert trace.outcome in (
+            DeliveryOutcome.HIJACKED,
+            DeliveryOutcome.BLACKHOLED,
+            DeliveryOutcome.LOOPED,
+        )
+        assert trace.hops[1] == 5
+
+    def test_longest_match_prefers_more_specific(self, chain_graph):
+        specific = Prefix.parse("10.0.1.0/24")
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.originate(5, specific)  # more-specific de-aggregation capture
+        net.run_to_convergence()
+        trace = trace_packet(net, 3, specific, legitimate_origins=[1])
+        assert trace.final_as == 5
+        assert trace.outcome is DeliveryOutcome.HIJACKED
+
+
+class TestDeliveryCensus:
+    def test_census_partitions_all_ases(self, diamond_graph):
+        net = Network(diamond_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        census = delivery_census(net, P, legitimate_origins=[1])
+        total = sum(len(v) for v in census.values())
+        assert total == len(diamond_graph)
+        assert sorted(census[DeliveryOutcome.DELIVERED]) == [1, 2, 3, 4]
+
+    def test_census_exclusion(self, diamond_graph):
+        net = Network(diamond_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        census = delivery_census(net, P, legitimate_origins=[1], exclude=[4])
+        assert 4 not in census[DeliveryOutcome.DELIVERED]
+
+    def test_census_hijack_share(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+        census = delivery_census(net, P, legitimate_origins=[1], exclude=[5])
+        assert census[DeliveryOutcome.HIJACKED] == [4]
+        assert set(census[DeliveryOutcome.DELIVERED]) == {1, 2, 3}

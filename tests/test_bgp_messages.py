@@ -1,0 +1,84 @@
+"""Unit tests for BGP messages."""
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    MessageType,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.net.addresses import Prefix
+
+
+class TestOpen:
+    def test_fields(self):
+        msg = OpenMessage(1239, hold_time=90.0)
+        assert msg.asn == 1239
+        assert msg.hold_time == 90.0
+        assert msg.type is MessageType.OPEN
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(Exception):
+            OpenMessage(0)
+
+    def test_negative_hold_time_rejected(self):
+        with pytest.raises(ValueError):
+            OpenMessage(1, hold_time=-1)
+
+
+class TestUpdate:
+    def test_announcement(self):
+        p = Prefix.parse("10.0.0.0/8")
+        msg = UpdateMessage(announced=[p], attributes=PathAttributes())
+        assert msg.announced == {p}
+        assert not msg.is_withdrawal_only
+
+    def test_withdrawal_only(self):
+        p = Prefix.parse("10.0.0.0/8")
+        msg = UpdateMessage(withdrawn=[p])
+        assert msg.is_withdrawal_only
+        assert msg.attributes is None
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateMessage()
+
+    def test_announcement_without_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(announced=[Prefix.parse("10.0.0.0/8")])
+
+    def test_announce_and_withdraw_same_prefix_rejected(self):
+        p = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(ValueError):
+            UpdateMessage(announced=[p], attributes=PathAttributes(), withdrawn=[p])
+
+    def test_mixed_update(self):
+        p1 = Prefix.parse("10.0.0.0/8")
+        p2 = Prefix.parse("11.0.0.0/8")
+        msg = UpdateMessage(
+            announced=[p1], attributes=PathAttributes(), withdrawn=[p2]
+        )
+        assert msg.announced == {p1}
+        assert msg.withdrawn == {p2}
+
+    def test_immutable(self):
+        msg = UpdateMessage(withdrawn=[Prefix.parse("10.0.0.0/8")])
+        with pytest.raises(AttributeError):
+            msg.withdrawn = frozenset()
+
+
+class TestOthers:
+    def test_keepalive(self):
+        assert KeepaliveMessage().type is MessageType.KEEPALIVE
+
+    def test_notification(self):
+        msg = NotificationMessage(NotificationMessage.CEASE, reason="bye")
+        assert msg.code == NotificationMessage.CEASE
+        assert msg.reason == "bye"
+
+    def test_message_ids_unique(self):
+        ids = {KeepaliveMessage().msg_id for _ in range(10)}
+        assert len(ids) == 10

@@ -1,0 +1,140 @@
+"""Integration tests for the network assembly layer."""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.bgp.policy import GaoRexfordPolicy, PeerRelation
+from repro.bgp.speaker import SpeakerConfig
+from repro.net.addresses import Prefix
+from repro.topology import ASGraph
+from repro.topology.generators import generate_paper_topology
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+class TestAssembly:
+    def test_speaker_per_as(self, diamond_graph):
+        net = Network(diamond_graph)
+        assert set(net.speakers) == {1, 2, 3, 4}
+
+    def test_link_per_edge(self, diamond_graph):
+        net = Network(diamond_graph)
+        assert len(net.links) == diamond_graph.num_links()
+        assert net.link(1, 2) is net.link(2, 1)
+
+    def test_unknown_speaker_lookup(self, diamond_graph):
+        net = Network(diamond_graph)
+        with pytest.raises(KeyError):
+            net.speaker(99)
+        with pytest.raises(KeyError):
+            net.link(1, 99)
+
+    def test_establish_sessions(self, diamond_graph):
+        net = Network(diamond_graph)
+        net.establish_sessions()
+        for a, b in diamond_graph.edges():
+            assert net.speaker(a).sessions[b].established
+
+
+class TestConvergence:
+    def test_route_reaches_every_as(self, diamond_network):
+        diamond_network.originate(1, P)
+        diamond_network.run_to_convergence()
+        origins = diamond_network.best_origins(P)
+        assert all(origin == 1 for origin in origins.values())
+
+    def test_paths_are_shortest(self, chain_graph):
+        net = Network(chain_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        for asn in (2, 3, 4, 5):
+            best = net.speaker(asn).best_route(P)
+            assert best.attributes.as_path.length == asn - 1
+
+    def test_convergence_on_generated_topology(self):
+        graph = generate_paper_topology(25, seed=3)
+        net = Network(graph)
+        net.establish_sessions()
+        origin = graph.stub_asns()[0]
+        net.originate(origin, P)
+        net.run_to_convergence()
+        origins = net.best_origins(P)
+        assert all(value == origin for value in origins.values())
+
+    def test_ases_preferring_origin(self, diamond_network):
+        diamond_network.originate(1, P)
+        diamond_network.run_to_convergence()
+        assert diamond_network.ases_preferring_origin(P, [1]) == [1, 2, 3, 4]
+        assert diamond_network.ases_preferring_origin(P, [9]) == []
+
+
+class TestFailureRecovery:
+    def test_reroute_after_link_failure(self, diamond_graph):
+        # Hold time > 0 so the dead session is detected and torn down.
+        net = Network(diamond_graph, config=SpeakerConfig(hold_time=3.0))
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_for(5.0)
+        before = net.speaker(4).best_route(P)
+        first_hop_before = before.peer
+
+        net.link(4, first_hop_before).fail()
+        net.run_for(30.0)
+        after = net.speaker(4).best_route(P)
+        assert after is not None
+        assert after.peer != first_hop_before
+        assert after.origin_asn == 1
+
+    def test_no_route_when_partitioned(self, chain_graph):
+        net = Network(chain_graph, config=SpeakerConfig(hold_time=3.0))
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_for(5.0)
+        net.link(2, 3).fail()
+        net.run_for(30.0)
+        assert net.speaker(4).best_route(P) is None
+        assert net.speaker(2).best_route(P) is not None
+
+
+class TestPolicyFactory:
+    def test_gao_rexford_valley_free(self):
+        # 1 is customer of 2; 2 and 3 are peers; 3 is provider of 4.
+        # A route from 1 goes up to 2, across to 3, down to 4 (valley-free),
+        # but a route originated by 2 must NOT transit the 2-3 peer link and
+        # then another peer/provider edge.
+        graph = ASGraph.from_edges([(1, 2), (2, 3), (3, 4)], transit=[2, 3])
+        relations = {
+            1: {2: PeerRelation.PROVIDER},
+            2: {1: PeerRelation.CUSTOMER, 3: PeerRelation.PEER},
+            3: {2: PeerRelation.PEER, 4: PeerRelation.CUSTOMER},
+            4: {3: PeerRelation.PROVIDER},
+        }
+        net = Network(
+            graph, policy_factory=lambda asn: GaoRexfordPolicy(relations[asn])
+        )
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        # Customer route is exported everywhere: all ASes reach it.
+        assert all(v == 1 for v in net.best_origins(P).values())
+
+        p2 = Prefix.parse("11.0.0.0/16")
+        net.originate(3, p2)
+        net.run_to_convergence()
+        # 3's own route goes to its peer 2 and customer 4; 2 (peer-learned)
+        # passes it down to customer 1 but never back up.
+        assert net.best_origins(p2) == {1: 3, 2: 3, 3: 3, 4: 3}
+
+        p3 = Prefix.parse("12.0.0.0/16")
+        net.originate(4, p3)
+        net.run_to_convergence()
+        # 4 -> 3 (provider) -> 2 (peer, allowed: customer route) -> 1.
+        assert all(v == 4 for v in net.best_origins(p3).values())
+
+
+class TestCounters:
+    def test_update_counting(self, diamond_network):
+        diamond_network.originate(1, P)
+        diamond_network.run_to_convergence()
+        assert diamond_network.total_updates_sent() > 0

@@ -1,0 +1,86 @@
+"""Edge-case tests for the network layer and speaker configuration."""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.bgp.speaker import SpeakerConfig
+from repro.net.addresses import Prefix
+from repro.topology import ASGraph
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+class TestSpeakerConfig:
+    def test_negative_mrai_rejected(self):
+        with pytest.raises(ValueError):
+            SpeakerConfig(mrai=-1.0)
+
+    def test_defaults(self):
+        config = SpeakerConfig()
+        assert config.mrai == 0.0
+        assert config.hold_time == 0.0
+        assert config.prefer_oldest is True
+
+
+class TestNetworkEdges:
+    def test_run_for_negative_rejected(self, diamond_graph):
+        net = Network(diamond_graph)
+        with pytest.raises(ValueError):
+            net.run_for(-1.0)
+
+    def test_run_for_zero_is_noop(self, diamond_graph):
+        net = Network(diamond_graph)
+        assert net.run_for(0.0) == 0
+
+    def test_custom_link_delay(self, chain_graph):
+        net = Network(chain_graph, link_delay=1.0)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        # 4 hops at 1s each: convergence time reflects the delay.
+        assert net.sim.now >= 4.0
+
+    def test_establish_detects_failed_links(self, diamond_graph):
+        net = Network(diamond_graph)
+        net.link(1, 2).fail()
+        with pytest.raises(RuntimeError):
+            net.establish_sessions()
+
+    def test_single_edge_graph(self):
+        graph = ASGraph.from_edges([(1, 2)])
+        net = Network(graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        assert net.best_origins(P) == {1: 1, 2: 1}
+
+    def test_two_prefixes_independent(self, diamond_graph):
+        q = Prefix.parse("11.0.0.0/16")
+        net = Network(diamond_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.originate(4, q)
+        net.run_to_convergence()
+        assert all(v == 1 for v in net.best_origins(P).values())
+        assert all(v == 4 for v in net.best_origins(q).values())
+
+    def test_same_prefix_from_two_speakers_is_moas(self, diamond_graph):
+        net = Network(diamond_graph)
+        net.establish_sessions()
+        net.originate(1, P)
+        net.originate(4, P)
+        net.run_to_convergence()
+        origins = set(net.best_origins(P).values())
+        assert origins <= {1, 4}
+        assert len(origins) == 2  # each origin keeps its own route
+
+    def test_seed_changes_nothing_for_deterministic_workload(self, diamond_graph):
+        results = []
+        for seed in (1, 2):
+            net = Network(diamond_graph, seed=seed)
+            net.establish_sessions()
+            net.originate(1, P)
+            net.run_to_convergence()
+            results.append(net.best_origins(P))
+        # No randomness is consumed in this workload: identical outcomes.
+        assert results[0] == results[1]

@@ -1,0 +1,151 @@
+"""Unit tests for routing policy."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, Community, PathAttributes
+from repro.bgp.policy import (
+    AcceptAllPolicy,
+    CommunityStripPolicy,
+    GaoRexfordPolicy,
+    PeerRelation,
+    Policy,
+    PolicyChain,
+    PolicyVerdict,
+    PrefixFilterPolicy,
+)
+from repro.bgp.errors import PolicyError
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/8")
+SUB = Prefix.parse("10.2.0.0/16")
+OTHER = Prefix.parse("192.0.2.0/24")
+ATTRS = PathAttributes(as_path=AsPath.from_asns([5]))
+
+
+class TestVerdict:
+    def test_accept_requires_attributes(self):
+        with pytest.raises(PolicyError):
+            PolicyVerdict(True, None)
+
+    def test_reject_carries_no_attributes(self):
+        v = PolicyVerdict.reject()
+        assert not v.accepted
+        assert v.attributes is None
+
+
+class TestAcceptAll:
+    def test_passthrough(self):
+        policy = AcceptAllPolicy()
+        assert policy.apply_import(1, P, ATTRS).attributes is ATTRS
+        assert policy.apply_export(1, P, ATTRS).attributes is ATTRS
+
+
+class TestPrefixFilter:
+    def test_deny_listed(self):
+        policy = PrefixFilterPolicy([P], mode="deny")
+        assert not policy.apply_import(1, P, ATTRS).accepted
+        assert policy.apply_import(1, OTHER, ATTRS).accepted
+
+    def test_allow_only_listed(self):
+        policy = PrefixFilterPolicy([P], mode="allow")
+        assert policy.apply_import(1, P, ATTRS).accepted
+        assert not policy.apply_import(1, OTHER, ATTRS).accepted
+
+    def test_match_specifics(self):
+        policy = PrefixFilterPolicy([P], mode="deny", match_specifics=True)
+        assert not policy.apply_import(1, SUB, ATTRS).accepted
+
+    def test_no_specifics_by_default(self):
+        policy = PrefixFilterPolicy([P], mode="deny")
+        assert policy.apply_import(1, SUB, ATTRS).accepted
+
+    def test_direction_import_only(self):
+        policy = PrefixFilterPolicy([P], mode="deny", direction="import")
+        assert not policy.apply_import(1, P, ATTRS).accepted
+        assert policy.apply_export(1, P, ATTRS).accepted
+
+    def test_direction_export_only(self):
+        policy = PrefixFilterPolicy([P], mode="deny", direction="export")
+        assert policy.apply_import(1, P, ATTRS).accepted
+        assert not policy.apply_export(1, P, ATTRS).accepted
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(PolicyError):
+            PrefixFilterPolicy([P], mode="nonsense")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(PolicyError):
+            PrefixFilterPolicy([P], direction="sideways")
+
+
+class TestChain:
+    def test_first_rejection_wins(self):
+        chain = PolicyChain([PrefixFilterPolicy([P], mode="deny"), AcceptAllPolicy()])
+        assert not chain.apply_import(1, P, ATTRS).accepted
+
+    def test_attribute_changes_accumulate(self):
+        class AddMed(Policy):
+            def apply_import(self, peer, prefix, attributes):
+                return PolicyVerdict.accept(attributes.replace(med=attributes.med + 1))
+
+        chain = PolicyChain([AddMed(), AddMed()])
+        out = chain.apply_import(1, P, ATTRS)
+        assert out.attributes.med == 2
+
+    def test_export_chain(self):
+        chain = PolicyChain([CommunityStripPolicy()])
+        attrs = ATTRS.add_communities([Community(1, 2)])
+        assert chain.apply_export(1, P, attrs).attributes.communities == frozenset()
+
+
+class TestGaoRexford:
+    def setup_method(self):
+        self.policy = GaoRexfordPolicy(
+            {
+                10: PeerRelation.CUSTOMER,
+                20: PeerRelation.PEER,
+                30: PeerRelation.PROVIDER,
+            }
+        )
+
+    def test_import_sets_local_pref(self):
+        assert self.policy.apply_import(10, P, ATTRS).attributes.local_pref == 200
+        assert self.policy.apply_import(20, P, ATTRS).attributes.local_pref == 150
+        assert self.policy.apply_import(30, P, ATTRS).attributes.local_pref == 100
+
+    def test_customer_routes_export_everywhere(self):
+        imported = self.policy.apply_import(10, P, ATTRS).attributes
+        for peer in (10, 20, 30):
+            assert self.policy.apply_export(peer, P, imported).accepted
+
+    def test_peer_routes_export_to_customers_only(self):
+        imported = self.policy.apply_import(20, P, ATTRS).attributes
+        assert self.policy.apply_export(10, P, imported).accepted
+        assert not self.policy.apply_export(20, P, imported).accepted
+        assert not self.policy.apply_export(30, P, imported).accepted
+
+    def test_provider_routes_export_to_customers_only(self):
+        imported = self.policy.apply_import(30, P, ATTRS).attributes
+        assert self.policy.apply_export(10, P, imported).accepted
+        assert not self.policy.apply_export(30, P, imported).accepted
+
+    def test_locally_originated_exports_everywhere(self):
+        local = PathAttributes()
+        for peer in (10, 20, 30):
+            assert self.policy.apply_export(peer, P, local).accepted
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(PolicyError):
+            self.policy.apply_import(99, P, ATTRS)
+
+
+class TestCommunityStrip:
+    def test_strips_on_export(self):
+        policy = CommunityStripPolicy()
+        attrs = ATTRS.add_communities([Community(1, 255)])
+        assert policy.apply_export(1, P, attrs).attributes.communities == frozenset()
+
+    def test_import_untouched(self):
+        policy = CommunityStripPolicy()
+        attrs = ATTRS.add_communities([Community(1, 255)])
+        assert policy.apply_import(1, P, attrs).attributes.communities

@@ -1,0 +1,142 @@
+"""Unit tests for the three RIB layers."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
+from repro.net.addresses import Prefix
+
+P1 = Prefix.parse("10.0.0.0/8")
+P2 = Prefix.parse("11.0.0.0/8")
+
+
+def entry(prefix=P1, peer=100, path=(100,), installed_at=0.0, seq=0):
+    return RibEntry(
+        prefix,
+        PathAttributes(as_path=AsPath.from_asns(list(path))),
+        peer=peer,
+        installed_at=installed_at,
+        installed_seq=seq,
+    )
+
+
+class TestRibEntry:
+    def test_origin_asn(self):
+        assert entry(path=(1, 2, 3)).origin_asn == 3
+
+    def test_local_entry(self):
+        local = RibEntry(P1, PathAttributes(), peer=None)
+        assert local.is_local
+        assert local.origin_asn is None
+
+    def test_age_key_orders_by_time_then_seq(self):
+        older = entry(installed_at=1.0, seq=5)
+        newer = entry(installed_at=1.0, seq=6)
+        assert older.age_key < newer.age_key
+
+
+class TestAdjRibIn:
+    def test_insert_and_get(self):
+        rib = AdjRibIn()
+        e = entry()
+        assert rib.insert(e) is None
+        assert rib.get(100, P1) is e
+
+    def test_insert_replaces_same_peer_prefix(self):
+        rib = AdjRibIn()
+        first = entry(path=(100, 5))
+        second = entry(path=(100, 6))
+        rib.insert(first)
+        replaced = rib.insert(second)
+        assert replaced is first
+        assert rib.get(100, P1) is second
+        assert len(rib) == 1
+
+    def test_local_entry_rejected(self):
+        rib = AdjRibIn()
+        with pytest.raises(ValueError):
+            rib.insert(RibEntry(P1, PathAttributes(), peer=None))
+
+    def test_routes_for_prefix_in_peer_order(self):
+        rib = AdjRibIn()
+        rib.insert(entry(peer=300, path=(300,)))
+        rib.insert(entry(peer=100, path=(100,)))
+        rib.insert(entry(peer=200, path=(200,), prefix=P2))
+        candidates = rib.routes_for_prefix(P1)
+        assert [c.peer for c in candidates] == [100, 300]
+
+    def test_remove(self):
+        rib = AdjRibIn()
+        e = entry()
+        rib.insert(e)
+        assert rib.remove(100, P1) is e
+        assert rib.remove(100, P1) is None
+        assert len(rib) == 0
+
+    def test_remove_peer_returns_routes(self):
+        rib = AdjRibIn()
+        rib.insert(entry(prefix=P1))
+        rib.insert(entry(prefix=P2))
+        removed = rib.remove_peer(100)
+        assert {e.prefix for e in removed} == {P1, P2}
+        assert len(rib) == 0
+
+    def test_prefix_iteration_deduplicates(self):
+        rib = AdjRibIn()
+        rib.insert(entry(peer=100))
+        rib.insert(entry(peer=200, path=(200,)))
+        assert list(rib.prefixes()) == [P1]
+
+
+class TestLocRib:
+    def test_install_and_get(self):
+        rib = LocRib()
+        e = entry()
+        rib.install(e)
+        assert rib.get(P1) is e
+        assert P1 in rib
+
+    def test_install_returns_previous(self):
+        rib = LocRib()
+        first, second = entry(), entry(peer=200, path=(200,))
+        rib.install(first)
+        assert rib.install(second) is first
+
+    def test_withdraw(self):
+        rib = LocRib()
+        e = entry()
+        rib.install(e)
+        assert rib.withdraw(P1) is e
+        assert rib.get(P1) is None
+        assert rib.withdraw(P1) is None
+
+
+class TestAdjRibOut:
+    def test_advertisement_bookkeeping(self):
+        rib = AdjRibOut()
+        attrs = PathAttributes(as_path=AsPath.from_asns([1]))
+        rib.record_advertisement(100, P1, attrs)
+        assert rib.has_advertised(100, P1)
+        assert rib.advertised(100, P1) == attrs
+
+    def test_withdrawal_clears(self):
+        rib = AdjRibOut()
+        rib.record_advertisement(100, P1, PathAttributes())
+        rib.record_withdrawal(100, P1)
+        assert not rib.has_advertised(100, P1)
+
+    def test_withdrawal_of_unadvertised_is_noop(self):
+        AdjRibOut().record_withdrawal(100, P1)
+
+    def test_prefixes_for_peer(self):
+        rib = AdjRibOut()
+        rib.record_advertisement(100, P1, PathAttributes())
+        rib.record_advertisement(100, P2, PathAttributes())
+        assert set(rib.prefixes_for_peer(100)) == {P1, P2}
+        assert rib.prefixes_for_peer(999) == []
+
+    def test_remove_peer(self):
+        rib = AdjRibOut()
+        rib.record_advertisement(100, P1, PathAttributes())
+        rib.remove_peer(100)
+        assert not rib.has_advertised(100, P1)

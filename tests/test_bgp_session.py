@@ -1,0 +1,119 @@
+"""Unit tests for the BGP session FSM."""
+
+import pytest
+
+from repro.bgp.errors import SessionError
+from repro.bgp.session import SessionState
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.net.link import Link
+
+
+def pair(sim, hold_time=0.0):
+    a = BGPSpeaker(sim, 1, config=SpeakerConfig(hold_time=hold_time))
+    b = BGPSpeaker(sim, 2, config=SpeakerConfig(hold_time=hold_time))
+    link = Link(sim, 1, 2)
+    sa = a.add_peer(2, link)
+    sb = b.add_peer(1, link)
+    return a, b, sa, sb, link
+
+
+class TestEstablishment:
+    def test_active_open_establishes_both_sides(self, sim):
+        a, b, sa, sb, _ = pair(sim)
+        sa.start()
+        sim.run()
+        assert sa.established and sb.established
+
+    def test_simultaneous_open(self, sim):
+        a, b, sa, sb, _ = pair(sim)
+        sa.start()
+        sb.start()
+        sim.run()
+        assert sa.established and sb.established
+
+    def test_start_twice_rejected(self, sim):
+        _, _, sa, _, _ = pair(sim)
+        sa.start()
+        with pytest.raises(SessionError):
+            sa.start()
+
+    def test_as_mismatch_torn_down(self, sim):
+        from repro.bgp.session import Session
+
+        a = BGPSpeaker(sim, 1)
+        b = BGPSpeaker(sim, 2)
+        link = Link(sim, 1, 2)
+        sa = a.add_peer(2, link)
+        # b believes the remote is AS 999, so a's OPEN is rejected.
+        sb = Session(sim, b, 999, link)
+        link.attach(2, lambda sender, msg: sb.handle_message(msg))
+        sa.start()
+        sim.run()
+        assert not sa.established
+        assert not sb.established
+
+    def test_trace_records_establishment(self, sim):
+        _, _, sa, _, _ = pair(sim)
+        sa.start()
+        sim.run()
+        assert sim.trace.count("session.established") == 2
+
+
+class TestTeardown:
+    def test_close_notifies_peer(self, sim):
+        a, b, sa, sb, _ = pair(sim)
+        sa.start()
+        sim.run()
+        sa.close("maintenance")
+        sim.run()
+        assert sa.state is SessionState.IDLE
+        assert sb.state is SessionState.IDLE
+
+    def test_close_when_idle_is_noop(self, sim):
+        _, _, sa, _, _ = pair(sim)
+        sa.close()
+        assert sa.state is SessionState.IDLE
+
+    def test_peer_routes_flushed_on_close(self, sim, prefix):
+        a, b, sa, sb, _ = pair(sim)
+        sa.start()
+        sim.run()
+        a.originate(prefix)
+        sim.run()
+        assert b.best_route(prefix) is not None
+        sa.close()
+        sim.run()
+        assert b.best_route(prefix) is None
+
+
+class TestKeepaliveAndHold:
+    def test_keepalives_maintain_session(self, sim):
+        a, b, sa, sb, _ = pair(sim, hold_time=3.0)
+        sa.start()
+        sim.run(until=30.0)
+        assert sa.established and sb.established
+
+    def test_hold_timer_expires_when_link_dies_silently(self, sim):
+        a, b, sa, sb, link = pair(sim, hold_time=3.0)
+        sa.start()
+        sim.run(until=1.0)
+        assert sa.established
+        link.fail()
+        sim.run(until=10.0)
+        assert sa.state is SessionState.IDLE
+        assert sb.state is SessionState.IDLE
+
+    def test_session_recovers_after_link_restore(self, sim, prefix):
+        a, b, sa, sb, link = pair(sim, hold_time=3.0)
+        sa.start()
+        sim.run(until=1.0)
+        a.originate(prefix)
+        sim.run(until=2.0)
+        link.fail()
+        sim.run(until=10.0)
+        assert b.best_route(prefix) is None
+        link.restore()
+        sa.start()
+        sim.run(until=20.0)
+        assert sa.established
+        assert b.best_route(prefix) is not None

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_describe(self, capsys):
+        assert main(["topology", "--size", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "25 ASes" in out
+        assert "avg degree" in out
+
+    def test_edge_list(self, capsys):
+        main(["topology", "--size", "25", "--seed", "3", "--edges"])
+        out = capsys.readouterr().out
+        assert " -- " in out
+
+
+class TestHijackCommand:
+    def test_full_deployment(self, capsys):
+        assert main([
+            "hijack", "--size", "25", "--attackers", "0.1",
+            "--deployment", "full", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "poisoned:" in out
+        assert "alarms:" in out
+
+    def test_none_deployment(self, capsys):
+        assert main([
+            "hijack", "--size", "25", "--deployment", "none", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alarms: 0" in out
+
+
+class TestStudyCommand:
+    def test_short_study(self, capsys):
+        assert main(["study", "--days", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "days observed" in out
+        assert "30" in out
+
+
+class TestMonitorCommand:
+    def test_clean_dump(self, tmp_path, capsys):
+        dump = tmp_path / "table.dump"
+        dump.write_text(
+            "# routeviews-dump date=d collector=c\n"
+            "10.0.0.0/16 | 7 | 7 1\n"
+            "10.0.0.0/16 | 8 | 8 9 1\n"
+        )
+        assert main(["monitor", str(dump)]) == 0
+        assert "0 conflicts" in capsys.readouterr().out
+
+    def test_conflicted_dump_exits_nonzero(self, tmp_path, capsys):
+        dump = tmp_path / "table.dump"
+        dump.write_text(
+            "10.0.0.0/16 | 7 | 7 1\n"
+            "10.0.0.0/16 | 8 | 8 5\n"
+        )
+        assert main(["monitor", str(dump)]) == 1
+        out = capsys.readouterr().out
+        assert "CONFLICT" in out
+
+
+class TestFigureCommand:
+    def test_fig8(self, capsys):
+        assert main(["figure", "fig8", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "25-AS" in out and "63-AS" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    @pytest.mark.slow
+    def test_fig9_quick(self, capsys):
+        assert main(["figure", "fig9", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "normal-bgp" in out
+        assert "full-moas-detection" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_available(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

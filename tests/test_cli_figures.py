@@ -1,0 +1,53 @@
+"""CLI figure-command tests on the quick paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuickFigures:
+    def test_fig4_quick(self, capsys):
+        assert main(["figure", "fig4", "--quick", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "median daily" in out
+
+    def test_fig5_quick(self, capsys):
+        assert main(["figure", "fig5", "--quick", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "one-day cases" in out
+
+    @pytest.mark.slow
+    def test_fig10_quick(self, capsys):
+        assert main(["figure", "fig10", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "25-AS" in out and "63-AS" in out
+
+    @pytest.mark.slow
+    def test_fig11_quick(self, capsys):
+        assert main(["figure", "fig11", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "partial-moas-detection" in out
+
+    @pytest.mark.slow
+    def test_headline_quick(self, capsys):
+        assert main(["figure", "headline", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "detect@30%" in out
+
+
+class TestHijackVariants:
+    def test_partial_deployment(self, capsys):
+        assert main([
+            "hijack", "--size", "25", "--deployment", "partial",
+            "--seed", "3", "--attackers", "0.2",
+        ]) == 0
+        assert "deployment: partial" in capsys.readouterr().out
+
+    def test_two_origins(self, capsys):
+        assert main([
+            "hijack", "--size", "25", "--origins", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "origins" in out

@@ -1,0 +1,77 @@
+"""Unit tests for the alarm log."""
+
+from repro.core.alarms import Alarm, AlarmKind, AlarmLog
+from repro.core.moas_list import MoasList
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("11.0.0.0/16")
+
+
+def alarm(detector=1, prefix=P, kind=AlarmKind.INCONSISTENT_LISTS, suspect=None):
+    return Alarm(
+        time=0.0,
+        detector=detector,
+        prefix=prefix,
+        kind=kind,
+        observed_list=MoasList([1]),
+        suspect_origin=suspect,
+    )
+
+
+class TestAlarmLog:
+    def test_append_and_len(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm())
+        log.raise_alarm(alarm(detector=2))
+        assert len(log) == 2
+
+    def test_for_prefix(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm(prefix=P))
+        log.raise_alarm(alarm(prefix=Q))
+        assert len(log.for_prefix(P)) == 1
+
+    def test_by_detector(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm(detector=1))
+        log.raise_alarm(alarm(detector=1))
+        log.raise_alarm(alarm(detector=2))
+        grouped = log.by_detector()
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1
+
+    def test_detectors(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm(detector=5))
+        assert log.detectors() == frozenset({5})
+
+    def test_count_by_kind(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm(kind=AlarmKind.INCONSISTENT_LISTS))
+        log.raise_alarm(alarm(kind=AlarmKind.UNAUTHORISED_ORIGIN))
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) == 1
+        assert log.count(AlarmKind.ORIGIN_NOT_IN_OWN_LIST) == 0
+
+    def test_suspects_only_from_implicating_kinds(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm(kind=AlarmKind.UNAUTHORISED_ORIGIN, suspect=42))
+        log.raise_alarm(alarm(kind=AlarmKind.ORIGIN_NOT_IN_OWN_LIST, suspect=43))
+        # An inconsistency alarm records the arriving origin for context,
+        # but accuses no one (the arriving route may be the genuine one).
+        log.raise_alarm(alarm(kind=AlarmKind.INCONSISTENT_LISTS, suspect=10))
+        log.raise_alarm(alarm(suspect=None))
+        assert log.suspects() == frozenset({42, 43})
+
+    def test_clear(self):
+        log = AlarmLog()
+        log.raise_alarm(alarm())
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration_order(self):
+        log = AlarmLog()
+        first, second = alarm(detector=1), alarm(detector=2)
+        log.raise_alarm(first)
+        log.raise_alarm(second)
+        assert list(log) == [first, second]

@@ -1,0 +1,212 @@
+"""Behavioural tests for the MOAS consistency checker (§4.2)."""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmKind, AlarmLog
+from repro.core.checker import CheckerMode, MoasChecker
+from repro.core.moas_list import moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+def build(figure6_graph, capable, mode=CheckerMode.DETECT_AND_SUPPRESS,
+          authorised=(1, 2)):
+    """Network over the Figure 6 graph with checkers on ``capable`` ASes."""
+    registry = PrefixOriginRegistry()
+    registry.register(P, list(authorised))
+    oracle = GroundTruthOracle(registry)
+    log = AlarmLog()
+    net = Network(figure6_graph)
+    checkers = {}
+    for asn in capable:
+        checker = MoasChecker(mode=mode, oracle=oracle, alarm_log=log)
+        checker.attach(net.speaker(asn))
+        checkers[asn] = checker
+    net.establish_sessions()
+    return net, checkers, log, oracle
+
+
+class TestConstruction:
+    def test_suppress_mode_requires_oracle(self):
+        with pytest.raises(ValueError):
+            MoasChecker(mode=CheckerMode.DETECT_AND_SUPPRESS, oracle=None)
+
+    def test_alarm_only_needs_no_oracle(self):
+        MoasChecker(mode=CheckerMode.ALARM_ONLY)
+
+    def test_double_attach_rejected(self, figure6_graph):
+        net = Network(figure6_graph)
+        checker = MoasChecker(mode=CheckerMode.ALARM_ONLY)
+        checker.attach(net.speaker(4))
+        with pytest.raises(RuntimeError):
+            checker.attach(net.speaker(3))
+
+    def test_unattached_speaker_access_rejected(self):
+        checker = MoasChecker(mode=CheckerMode.ALARM_ONLY)
+        with pytest.raises(RuntimeError):
+            checker.speaker
+
+
+class TestValidMoas:
+    def test_consistent_lists_raise_no_alarm(self, figure6_graph):
+        net, checkers, log, _ = build(figure6_graph, capable=[3, 4, 5])
+        communities = moas_communities([1, 2])
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.run_to_convergence()
+        assert len(log) == 0
+        assert all(v in (1, 2) for v in net.best_origins(P).values())
+
+    def test_single_origin_no_list_no_alarm(self, figure6_graph):
+        net, _, log, _ = build(figure6_graph, capable=[3, 4, 5], authorised=(1,))
+        net.originate(1, P)
+        net.run_to_convergence()
+        assert len(log) == 0
+
+
+class TestFalseOriginDetection:
+    def test_false_origin_raises_alarm_and_is_suppressed(self, figure6_graph):
+        net, checkers, log, _ = build(figure6_graph, capable=[3, 4])
+        communities = moas_communities([1, 2])
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.run_to_convergence()
+        net.originate(5, P)  # AS 5 falsely originates with no list
+        net.run_to_convergence()
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) >= 1
+        assert log.suspects() == frozenset({5})
+        # No capable AS adopts the false route.
+        origins = net.best_origins(P)
+        assert origins[3] in (1, 2)
+        assert origins[4] in (1, 2)
+
+    def test_false_route_arriving_first_is_retroactively_removed(
+        self, figure6_graph
+    ):
+        """The attacker announces before the genuine origins; the later
+        genuine announcement reveals the conflict and the stale bogus route
+        is swept out of the RIBs."""
+        net, checkers, log, _ = build(figure6_graph, capable=[3, 4])
+        net.originate(5, P)
+        net.run_to_convergence()
+        assert net.best_origins(P)[4] == 5  # bogus route initially wins
+        communities = moas_communities([1, 2])
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.run_to_convergence()
+        origins = net.best_origins(P)
+        assert origins[3] in (1, 2)
+        assert origins[4] in (1, 2)
+        assert sum(c.routes_suppressed for c in checkers.values()) >= 1
+
+    def test_forged_superset_list_detected(self, figure6_graph):
+        """§4.1: the attacker attaches {1, 2, 5}; the superset disagrees
+        with the genuine {1, 2} and the conflict is caught."""
+        net, _, log, _ = build(figure6_graph, capable=[3, 4])
+        communities = moas_communities([1, 2])
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.originate(5, P, communities=moas_communities([1, 2, 5]))
+        net.run_to_convergence()
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) >= 1
+        assert net.best_origins(P)[4] in (1, 2)
+
+    def test_exact_copied_list_rejected_without_conflict(self, figure6_graph):
+        """An attacker copying the genuine list verbatim produces an
+        announcement whose own origin is not in its list — rejected by a
+        single router with no second view needed."""
+        net, _, log, _ = build(figure6_graph, capable=[4])
+        net.originate(5, P, communities=moas_communities([1, 2]))
+        net.run_to_convergence()
+        assert log.count(AlarmKind.ORIGIN_NOT_IN_OWN_LIST) >= 1
+        assert net.best_origins(P)[4] is None
+
+    def test_dropped_community_raises_false_alarm(self, figure6_graph):
+        """§4.3: if some announcements lose the community attribute, the
+        implicit footnote-3 list conflicts with the explicit one — a false
+        alarm, but never a silently accepted invalid route."""
+        net, _, log, _ = build(figure6_graph, capable=[3, 4])
+        net.originate(1, P, communities=moas_communities([1, 2]))
+        net.originate(2, P)  # AS 2 announces without the list
+        net.run_to_convergence()
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) >= 1
+        # Both origins are genuinely authorised, so nothing is suppressed
+        # by the oracle — the alarm flags the inconsistency for operators.
+        assert all(v in (1, 2) for v in net.best_origins(P).values())
+
+
+class TestAlarmOnlyMode:
+    def test_alarms_without_suppression(self, chain_graph):
+        """On the 1-2-3-4-5 chain with origin 1 and attacker 5, AS 4 is
+        strictly closer to the attacker.  An alarm-only checker sees the
+        conflict but lets the false route through."""
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        log = AlarmLog()
+        net = Network(chain_graph)
+        checkers = {}
+        for asn in (3, 4):
+            checker = MoasChecker(mode=CheckerMode.ALARM_ONLY, alarm_log=log)
+            checker.attach(net.speaker(asn))
+            checkers[asn] = checker
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) >= 1
+        assert sum(c.routes_suppressed for c in checkers.values()) == 0
+        # AS 4, unprotected, adopts the shorter false route.
+        assert net.best_origins(P)[4] == 5
+
+    def test_suppression_mode_protects_same_scenario(self, chain_graph):
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        oracle = GroundTruthOracle(registry)
+        net = Network(chain_graph)
+        for asn in (3, 4):
+            MoasChecker(oracle=oracle).attach(net.speaker(asn))
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        net.originate(5, P)
+        net.run_to_convergence()
+        assert net.best_origins(P)[4] == 1
+
+
+class TestOracleInteraction:
+    def test_oracle_consulted_only_on_conflict(self, figure6_graph):
+        net, _, log, oracle = build(figure6_graph, capable=[3, 4, 5])
+        communities = moas_communities([1, 2])
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.run_to_convergence()
+        assert oracle.lookups == 0  # no conflict, no DNS traffic (§4.4)
+        net.originate(5, P)
+        net.run_to_convergence()
+        assert oracle.lookups > 0
+
+    def test_unknown_prefix_cannot_be_adjudicated(self, figure6_graph):
+        """If the oracle has no record, the checker alarms but does not
+        suppress (nothing to adjudicate against)."""
+        registry = PrefixOriginRegistry()  # empty: no bindings
+        oracle = GroundTruthOracle(registry)
+        log = AlarmLog()
+        net = Network(figure6_graph)
+        checker = MoasChecker(oracle=oracle, alarm_log=log)
+        checker.attach(net.speaker(4))
+        net.establish_sessions()
+        net.originate(1, P, communities=moas_communities([1, 2]))
+        net.originate(5, P)
+        net.run_to_convergence()
+        assert log.count(AlarmKind.INCONSISTENT_LISTS) >= 1
+        assert log.count(AlarmKind.UNAUTHORISED_ORIGIN) == 0
+
+    def test_checks_counted(self, figure6_graph):
+        net, checkers, _, _ = build(figure6_graph, capable=[4])
+        net.originate(1, P, communities=moas_communities([1, 2]))
+        net.run_to_convergence()
+        assert checkers[4].checks > 0

@@ -1,0 +1,79 @@
+"""Unit tests for deployment plans (§5.4)."""
+
+import random
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.checker import CheckerMode
+from repro.core.deployment import DeploymentPlan
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.core.alarms import AlarmLog
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+class TestConstructors:
+    def test_full(self):
+        plan = DeploymentPlan.full([1, 2, 3])
+        assert len(plan) == 3
+        assert all(plan.is_capable(a) for a in (1, 2, 3))
+
+    def test_none(self):
+        plan = DeploymentPlan.none()
+        assert len(plan) == 0
+        assert not plan.is_capable(1)
+
+    def test_random_fraction_half(self):
+        plan = DeploymentPlan.random_fraction(range(1, 101), 0.5, random.Random(0))
+        assert len(plan) == 50
+
+    def test_random_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            DeploymentPlan.random_fraction([1], 1.5, random.Random(0))
+        with pytest.raises(ValueError):
+            DeploymentPlan.random_fraction([1], -0.1, random.Random(0))
+
+    def test_random_fraction_deterministic(self):
+        a = DeploymentPlan.random_fraction(range(100), 0.3, random.Random(5))
+        b = DeploymentPlan.random_fraction(range(100), 0.3, random.Random(5))
+        assert a.capable == b.capable
+
+    def test_contains(self):
+        plan = DeploymentPlan([1, 2])
+        assert 1 in plan and 3 not in plan
+
+
+class TestApply:
+    def make_oracle(self):
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        return GroundTruthOracle(registry)
+
+    def test_checkers_attached_to_capable_only(self, diamond_graph):
+        net = Network(diamond_graph)
+        plan = DeploymentPlan([1, 3])
+        checkers = plan.apply(net, self.make_oracle())
+        assert set(checkers) == {1, 3}
+
+    def test_absent_ases_skipped(self, diamond_graph):
+        net = Network(diamond_graph)
+        plan = DeploymentPlan([1, 99])
+        checkers = plan.apply(net, self.make_oracle())
+        assert set(checkers) == {1}
+
+    def test_shared_alarm_log(self, diamond_graph):
+        net = Network(diamond_graph)
+        log = AlarmLog()
+        checkers = DeploymentPlan.full(diamond_graph.asns()).apply(
+            net, self.make_oracle(), shared_alarm_log=log
+        )
+        assert all(c.alarms is log for c in checkers.values())
+
+    def test_mode_propagates(self, diamond_graph):
+        net = Network(diamond_graph)
+        checkers = DeploymentPlan([2]).apply(
+            net, None, mode=CheckerMode.ALARM_ONLY
+        )
+        assert checkers[2].mode is CheckerMode.ALARM_ONLY

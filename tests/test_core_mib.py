@@ -1,0 +1,94 @@
+"""Tests for the BGP MIB and the MIB-polling management application."""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.mib import BgpMib, MibMoasApplication
+from repro.core.moas_list import MoasList, moas_communities
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+@pytest.fixture
+def converged(figure6_graph):
+    net = Network(figure6_graph)
+    net.establish_sessions()
+    communities = moas_communities([1, 2])
+    net.originate(1, P, communities=communities)
+    net.originate(2, P, communities=communities)
+    net.run_to_convergence()
+    return net
+
+
+class TestBgpMib:
+    def test_peer_table_reflects_sessions(self, converged):
+        mib = BgpMib(converged.speaker(4))
+        rows = mib.peer_table()
+        assert {r.remote_asn for r in rows} == {1, 3, 5}
+        assert all(r.state == "established" for r in rows)
+        assert all(r.local_asn == 4 for r in rows)
+
+    def test_path_attr_table_lists_received_routes(self, converged):
+        mib = BgpMib(converged.speaker(4))
+        rows = [r for r in mib.path_attr_table() if r.prefix == P]
+        assert len(rows) >= 2  # multiple learned routes for the prefix
+        assert sum(1 for r in rows if r.best) == 1  # exactly one best
+
+    def test_rows_carry_communities(self, converged):
+        mib = BgpMib(converged.speaker(4))
+        rows = mib.path_attr_table()
+        assert any(
+            MoasList.from_communities(r.communities) == MoasList([1, 2])
+            for r in rows
+        )
+
+
+class TestManagementApplication:
+    def test_no_findings_on_valid_moas(self, converged):
+        app = MibMoasApplication(
+            BgpMib(converged.speaker(asn)) for asn in (3, 4)
+        )
+        assert app.poll() == []
+        assert app.polls == 1
+
+    def test_detects_false_origin_across_routers(self, converged):
+        converged.originate(5, P)  # false origin, no list
+        converged.run_to_convergence()
+        app = MibMoasApplication(
+            BgpMib(converged.speaker(asn)) for asn in (3, 4)
+        )
+        findings = app.poll()
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.prefix == P
+        assert MoasList([5]) in finding.lists_seen
+        assert MoasList([1, 2]) in finding.lists_seen
+        assert 5 in finding.origins_seen
+
+    def test_single_router_view_can_suffice(self, converged):
+        """A conflict visible within one router's Adj-RIB-In is enough."""
+        converged.originate(5, P)
+        converged.run_to_convergence()
+        app = MibMoasApplication([BgpMib(converged.speaker(4))])
+        findings = app.poll()
+        assert findings and findings[0].observed_at == frozenset({4})
+
+    def test_monitoring_does_not_change_routing(self, converged):
+        converged.originate(5, P)
+        converged.run_to_convergence()
+        before = converged.best_origins(P)
+        MibMoasApplication([BgpMib(converged.speaker(4))]).poll()
+        assert converged.best_origins(P) == before
+
+    def test_add_router_extends_coverage(self, figure6_graph):
+        net = Network(figure6_graph)
+        net.establish_sessions()
+        net.originate(1, P, communities=moas_communities([1, 2]))
+        net.originate(2, P, communities=moas_communities([1, 2]))
+        net.originate(5, P)
+        net.run_to_convergence()
+        app = MibMoasApplication([])
+        assert app.poll() == []  # no routers polled: blind
+        app.add_router(BgpMib(net.speaker(4)))
+        assert app.poll()

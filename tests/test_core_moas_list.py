@@ -1,0 +1,115 @@
+"""Unit and property tests for the MOAS list and its community encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    Community,
+    PathAttributes,
+    SegmentType,
+)
+from repro.core.moas_list import MLVAL, MoasList, extract_moas_list, moas_communities
+
+asn_sets = st.sets(st.integers(min_value=1, max_value=65535), min_size=1, max_size=8)
+
+
+class TestMoasList:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MoasList([])
+
+    def test_set_semantics(self):
+        assert MoasList([1, 2, 2]) == MoasList([2, 1])
+        assert hash(MoasList([1, 2])) == hash(MoasList([2, 1]))
+
+    def test_consistency_is_set_equality(self):
+        """§4.2: order may differ, membership must be identical."""
+        assert MoasList([1, 2]).consistent_with(MoasList([2, 1]))
+        assert not MoasList([1, 2]).consistent_with(MoasList([1, 2, 3]))
+        assert not MoasList([1]).consistent_with(MoasList([2]))
+
+    def test_authorises(self):
+        lst = MoasList([1, 2])
+        assert lst.authorises(1)
+        assert not lst.authorises(3)
+
+    def test_iteration_sorted(self):
+        assert list(MoasList([3, 1, 2])) == [1, 2, 3]
+
+    def test_len_and_contains(self):
+        lst = MoasList([1, 2])
+        assert len(lst) == 2
+        assert 1 in lst and 9 not in lst
+
+    def test_encoded_size(self):
+        """§4.3: four octets per community, one community per origin."""
+        assert MoasList([1]).encoded_size_bytes() == 4
+        assert MoasList([1, 2, 3]).encoded_size_bytes() == 12
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            MoasList([1]).origins = frozenset()
+
+
+class TestEncoding:
+    def test_to_communities_figure7(self):
+        """Figure 7: prefix shared by AS1 and AS2 carries (1:MLVal, 2:MLVal)."""
+        communities = MoasList([1, 2]).to_communities()
+        assert communities == {Community(1, MLVAL), Community(2, MLVAL)}
+
+    def test_from_communities_ignores_unrelated(self):
+        communities = [Community(1, MLVAL), Community(9, 42)]
+        assert MoasList.from_communities(communities) == MoasList([1])
+
+    def test_from_communities_none_when_absent(self):
+        assert MoasList.from_communities([Community(9, 42)]) is None
+        assert MoasList.from_communities([]) is None
+
+    def test_moas_communities_helper(self):
+        assert moas_communities([1, 2]) == MoasList([1, 2]).to_communities()
+
+    @given(asn_sets)
+    def test_roundtrip(self, origins):
+        lst = MoasList(origins)
+        assert MoasList.from_communities(lst.to_communities()) == lst
+
+
+class TestExtraction:
+    def test_explicit_list_wins(self):
+        attrs = PathAttributes(
+            as_path=AsPath.from_asns([5]),
+            communities=moas_communities([1, 2]),
+        )
+        assert extract_moas_list(attrs) == MoasList([1, 2])
+
+    def test_footnote3_implicit_singleton(self):
+        """A route without a MOAS list is treated as carrying {origin}."""
+        attrs = PathAttributes(as_path=AsPath.from_asns([7, 8]))
+        assert extract_moas_list(attrs) == MoasList([8])
+
+    def test_implicit_origin_override(self):
+        attrs = PathAttributes()  # locally originated: empty path
+        assert extract_moas_list(attrs, implicit_origin=5) == MoasList([5])
+
+    def test_ambiguous_origin_none(self):
+        set_path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [1]),
+                AsPathSegment(SegmentType.AS_SET, [2, 3]),
+            ]
+        )
+        attrs = PathAttributes(as_path=set_path)
+        assert extract_moas_list(attrs) is None
+
+    def test_ambiguous_origin_with_explicit_list(self):
+        set_path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SET, [2, 3]),
+            ]
+        )
+        attrs = PathAttributes(
+            as_path=set_path, communities=moas_communities([2, 3])
+        )
+        assert extract_moas_list(attrs) == MoasList([2, 3])

@@ -1,0 +1,82 @@
+"""Unit tests for the off-line monitoring process (§4.2)."""
+
+from repro.bgp.attributes import AsPath
+from repro.core.moas_list import MoasList
+from repro.core.monitor import OfflineMonitor
+from repro.core.origin_verification import PrefixOriginRegistry
+from repro.net.addresses import Prefix
+from repro.topology.routeviews import RouteViewsTable
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+def table_with(views):
+    """views: list of (prefix, peer, path)."""
+    table = RouteViewsTable(date="2001-04-06")
+    for prefix, peer, path in views:
+        table.add(prefix, peer, AsPath.from_asns(path))
+    return table
+
+
+class TestOfflineMonitor:
+    def test_single_origin_consistent(self):
+        monitor = OfflineMonitor()
+        report = monitor.check_table(
+            table_with([(P, 7, [7, 1]), (P, 8, [8, 9, 1])])
+        )
+        finding = report.findings[0]
+        assert finding.consistent
+        assert finding.origins_seen == frozenset({1})
+        assert report.moas_prefixes == []
+
+    def test_valid_moas_with_agreed_claims(self):
+        claims = {
+            (P, 1): MoasList([1, 2]),
+            (P, 2): MoasList([1, 2]),
+        }
+        monitor = OfflineMonitor(claims=claims)
+        report = monitor.check_table(
+            table_with([(P, 7, [7, 1]), (P, 8, [8, 2])])
+        )
+        finding = report.findings[0]
+        assert finding.consistent
+        assert len(report.moas_prefixes) == 1
+
+    def test_invalid_moas_detected_via_footnote3(self):
+        # Origin 2 announces no list: implicit {2} conflicts with the
+        # explicit {1, 2}... and a bare false origin 5 conflicts with both.
+        claims = {(P, 1): MoasList([1, 2]), (P, 2): MoasList([1, 2])}
+        monitor = OfflineMonitor(claims=claims)
+        report = monitor.check_table(
+            table_with([(P, 7, [7, 1]), (P, 8, [8, 2]), (P, 9, [9, 5])])
+        )
+        assert not report.findings[0].consistent
+        assert len(report.conflicts) == 1
+
+    def test_registry_flags_unauthorised(self):
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        monitor = OfflineMonitor(registry=registry)
+        report = monitor.check_table(
+            table_with([(P, 7, [7, 1]), (P, 8, [8, 5])])
+        )
+        assert report.findings[0].unauthorised_origins == frozenset({5})
+
+    def test_registry_unknown_prefix_not_flagged(self):
+        monitor = OfflineMonitor(registry=PrefixOriginRegistry())
+        report = monitor.check_table(table_with([(Q, 7, [7, 5])]))
+        assert report.findings[0].unauthorised_origins == frozenset()
+
+    def test_series(self):
+        monitor = OfflineMonitor()
+        tables = [table_with([(P, 7, [7, 1])]) for _ in range(3)]
+        reports = monitor.check_series(tables)
+        assert len(reports) == 3
+
+    def test_summary_text(self):
+        monitor = OfflineMonitor()
+        report = monitor.check_table(table_with([(P, 7, [7, 1]), (P, 8, [8, 2])]))
+        text = report.summary()
+        assert "1 prefixes" in text
+        assert "1 MOAS" in text

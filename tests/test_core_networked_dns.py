@@ -1,0 +1,143 @@
+"""Tests for in-network DNS: the §2 circular dependency, made concrete."""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.checker import MoasChecker
+from repro.core.networked_dns import NetworkedDnsService
+from repro.core.origin_verification import PrefixOriginRegistry
+from repro.net.addresses import Prefix
+
+VICTIM_PREFIX = Prefix.parse("10.0.0.0/16")
+DNS_PREFIX = Prefix.parse("198.51.100.0/24")
+
+
+@pytest.fixture
+def setup(chain_graph):
+    """Chain 1-2-3-4-5.  DNS server at AS 1 (same side as the genuine
+    origin), genuine origin AS 1, attacker AS 5."""
+    registry = PrefixOriginRegistry()
+    registry.register(VICTIM_PREFIX, [1])
+    net = Network(chain_graph)
+    service = NetworkedDnsService(net, server_asn=1,
+                                  service_prefix=DNS_PREFIX, registry=registry)
+    net.establish_sessions()
+    service.announce()
+    net.run_to_convergence()
+    return net, service
+
+
+class TestReachability:
+    def test_lookup_succeeds_with_healthy_routing(self, setup):
+        net, service = setup
+        oracle = service.oracle_for(4)
+        assert oracle.authorised_origins(VICTIM_PREFIX) == frozenset({1})
+        assert oracle.failures == 0
+
+    def test_server_as_always_reaches_itself(self, setup):
+        net, service = setup
+        oracle = service.oracle_for(1)
+        assert oracle.authorised_origins(VICTIM_PREFIX) == frozenset({1})
+
+    def test_lookup_fails_when_partitioned(self, setup):
+        net, service = setup
+        # Cut AS 4 off from the DNS server.
+        net.speaker(3).invalidate_route(2, DNS_PREFIX)
+        # AS 4's route via 3 is now gone after re-convergence.
+        net.run_to_convergence()
+        # Force AS 3 and 4 to lose the DNS route entirely: take down the
+        # session between 2 and 3.
+        net.speaker(3).sessions[2].close()
+        net.run_to_convergence()
+        oracle = service.oracle_for(4)
+        assert oracle.authorised_origins(VICTIM_PREFIX) is None
+        assert oracle.failures == 1
+
+    def test_unknown_as_rejected(self, chain_graph):
+        net = Network(chain_graph)
+        registry = PrefixOriginRegistry()
+        registry.register(VICTIM_PREFIX, [1])
+        with pytest.raises(ValueError):
+            NetworkedDnsService(net, server_asn=99,
+                                service_prefix=DNS_PREFIX, registry=registry)
+
+
+class TestCircularDependency:
+    def test_sequential_dns_hijack_is_caught_by_the_checkers(self, chain_graph):
+        """Defence in depth: once routing to the DNS has converged, an
+        attempt to hijack the DNS prefix itself is detected like any other
+        prefix — the checkers adjudicate it through their still-working
+        routes and suppress it."""
+        registry = PrefixOriginRegistry()
+        registry.register(VICTIM_PREFIX, [1])
+        registry.register(DNS_PREFIX, [1])
+        net = Network(chain_graph)
+        service = NetworkedDnsService(net, server_asn=1,
+                                      service_prefix=DNS_PREFIX,
+                                      registry=registry)
+        for asn in (3, 4):
+            MoasChecker(oracle=service.oracle_for(asn)).attach(net.speaker(asn))
+        net.establish_sessions()
+        service.announce()
+        net.speaker(1).originate(VICTIM_PREFIX)
+        net.run_to_convergence()
+
+        net.speaker(5).originate(DNS_PREFIX)
+        net.run_to_convergence()
+        assert net.best_origins(DNS_PREFIX)[4] == 1
+        assert net.best_origins(DNS_PREFIX)[3] == 1
+
+    def test_cold_start_dns_race_disables_verification(self, chain_graph):
+        """The §2 circularity, for real: when the attacker's bogus DNS
+        announcement wins the cold-start race at a router, that router's
+        later lookups walk into the attacker and fail — it can detect
+        conflicts but never adjudicate them, and the victim-prefix hijack
+        sticks."""
+        registry = PrefixOriginRegistry()
+        registry.register(VICTIM_PREFIX, [1])
+        registry.register(DNS_PREFIX, [1])
+        net = Network(chain_graph)
+        service = NetworkedDnsService(net, server_asn=1,
+                                      service_prefix=DNS_PREFIX,
+                                      registry=registry)
+        checker_4 = MoasChecker(oracle=service.oracle_for(4))
+        checker_4.attach(net.speaker(4))
+        net.establish_sessions()
+
+        # Cold start: genuine DNS announcement races the attacker's.
+        service.announce()
+        net.speaker(5).originate(DNS_PREFIX)
+        net.run_to_convergence()
+        # AS 4 sits next to the attacker: the bogus DNS route arrives
+        # first and is shorter.  (The checker saw the conflict but its
+        # lookup already walks into the attacker: cannot adjudicate.)
+        assert net.best_origins(DNS_PREFIX)[4] == 5
+        assert service.oracle_for(4).authorised_origins(VICTIM_PREFIX) is None
+
+        # The victim-prefix hijack now sails through at AS 4.
+        net.speaker(1).originate(VICTIM_PREFIX)
+        net.speaker(5).originate(VICTIM_PREFIX)
+        net.run_to_convergence()
+        assert net.best_origins(VICTIM_PREFIX)[4] == 5
+        assert len(checker_4.alarms) >= 1  # detected, not suppressible
+
+    def test_checker_fails_open_without_dns(self, chain_graph):
+        """With the DNS unreachable, the checker raises alarms but cannot
+        suppress — degraded to alarm-only, never worse."""
+        registry = PrefixOriginRegistry()
+        registry.register(VICTIM_PREFIX, [1])
+        net = Network(chain_graph)
+        service = NetworkedDnsService(net, server_asn=1,
+                                      service_prefix=DNS_PREFIX,
+                                      registry=registry)
+        checker = MoasChecker(oracle=service.oracle_for(4))
+        checker.attach(net.speaker(4))
+        net.establish_sessions()
+        # The DNS prefix is never announced: lookups always fail.
+        net.speaker(1).originate(VICTIM_PREFIX)
+        net.run_to_convergence()
+        net.speaker(5).originate(VICTIM_PREFIX)
+        net.run_to_convergence()
+        assert len(checker.alarms) >= 1          # conflict detected
+        assert checker.routes_suppressed == 0    # but not adjudicable
+        assert net.best_origins(VICTIM_PREFIX)[4] == 5

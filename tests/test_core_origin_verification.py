@@ -1,0 +1,161 @@
+"""Unit tests for origin oracles (§4.4)."""
+
+import pytest
+
+from repro.core.origin_verification import (
+    DnsOracle,
+    GroundTruthOracle,
+    PrefixOriginRegistry,
+    build_moas_zone,
+)
+from repro.dnssub.dnssec import KeyRing, sign_record
+from repro.dnssub.records import (
+    MoasRecordData,
+    RecordType,
+    ResourceRecord,
+    moasrr_name_for_prefix,
+)
+from repro.dnssub.resolver import Resolver
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.2.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+class TestRegistry:
+    def test_register_and_query(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1, 2])
+        assert reg.origins(P) == frozenset({1, 2})
+        assert reg.is_authorised(P, 1) is True
+        assert reg.is_authorised(P, 3) is False
+
+    def test_unknown_prefix(self):
+        reg = PrefixOriginRegistry()
+        assert reg.origins(P) is None
+        assert reg.is_authorised(P, 1) is None
+
+    def test_empty_origins_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixOriginRegistry().register(P, [])
+
+    def test_reregister_replaces(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        reg.register(P, [2])
+        assert reg.origins(P) == frozenset({2})
+
+    def test_deregister(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        reg.deregister(P)
+        assert P not in reg
+        reg.deregister(P)  # idempotent
+
+    def test_len_and_contains(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        assert len(reg) == 1
+        assert P in reg and Q not in reg
+
+
+class TestGroundTruthOracle:
+    def test_answers_and_counts(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        oracle = GroundTruthOracle(reg)
+        assert oracle.authorised_origins(P) == frozenset({1})
+        assert oracle.authorised_origins(Q) is None
+        assert oracle.lookups == 2
+
+
+class TestDnsOracle:
+    def make_resolver(self, registry, secure=False, keyring=None, reachability=None):
+        resolver = Resolver(keyring=keyring, secure=secure, reachability=reachability)
+        resolver.host_zone(build_moas_zone(registry, keyring=keyring))
+        return resolver
+
+    def test_answers_from_moasrr(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1, 2])
+        oracle = DnsOracle(self.make_resolver(reg))
+        assert oracle.authorised_origins(P) == frozenset({1, 2})
+
+    def test_unknown_prefix_none(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        oracle = DnsOracle(self.make_resolver(reg))
+        assert oracle.authorised_origins(Q) is None
+
+    def test_unreachable_zone_none(self):
+        """The §2 circular dependency: when routing to the DNS server is
+        broken, origin verification fails."""
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        resolver = self.make_resolver(reg, reachability=lambda apex: False)
+        oracle = DnsOracle(resolver)
+        assert oracle.authorised_origins(P) is None
+
+    def test_secure_mode_accepts_signed_records(self):
+        keyring = KeyRing()
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1, 2])
+        resolver = self.make_resolver(reg, secure=True, keyring=keyring)
+        oracle = DnsOracle(resolver)
+        assert oracle.authorised_origins(P) == frozenset({1, 2})
+
+    def test_secure_mode_rejects_forged_record(self):
+        """A forged (unsigned) MOASRR injected into the zone is filtered by
+        DNSSEC verification; the genuine signed answer prevails."""
+        keyring = KeyRing()
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1, 2])
+        zone = build_moas_zone(reg, keyring=keyring)
+        forged = ResourceRecord(
+            moasrr_name_for_prefix(P), RecordType.MOASRR, MoasRecordData([666])
+        )
+        zone.add(forged)
+        resolver = Resolver(keyring=keyring, secure=True)
+        resolver.host_zone(zone)
+        oracle = DnsOracle(resolver)
+        assert oracle.authorised_origins(P) == frozenset({1, 2})
+
+    def test_insecure_mode_poisoned_by_forged_record(self):
+        """Without DNSSEC the forged record is merged into the answer —
+        the paper's argument for securing the DNS database."""
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1, 2])
+        zone = build_moas_zone(reg)
+        zone.add(
+            ResourceRecord(
+                moasrr_name_for_prefix(P), RecordType.MOASRR, MoasRecordData([666])
+            )
+        )
+        resolver = Resolver()
+        resolver.host_zone(zone)
+        oracle = DnsOracle(resolver)
+        assert 666 in oracle.authorised_origins(P)
+
+
+class TestMoasZone:
+    def test_zone_contains_record_per_prefix(self):
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        reg.register(Q, [2, 3])
+        zone = build_moas_zone(reg)
+        assert len(zone) == 2
+        records = zone.lookup(moasrr_name_for_prefix(Q), RecordType.MOASRR)
+        assert records[0].data == MoasRecordData([2, 3])
+
+    def test_signed_zone_records_verify(self):
+        from repro.dnssub.dnssec import verify_record
+
+        keyring = KeyRing()
+        reg = PrefixOriginRegistry()
+        reg.register(P, [1])
+        zone = build_moas_zone(reg, keyring=keyring)
+        for record in zone.records():
+            assert verify_record(record, keyring, "moas.arpa")
+
+    def test_moasrr_name_reverses_octets(self):
+        assert moasrr_name_for_prefix(P) == "16.0.0.2.10.moas.arpa"

@@ -1,0 +1,194 @@
+"""Unit tests for the DNS substrate."""
+
+import pytest
+
+from repro.dnssub.dnssec import KeyRing, sign_record, verify_record
+from repro.dnssub.records import (
+    MoasRecordData,
+    RecordType,
+    ResourceRecord,
+)
+from repro.dnssub.resolver import ResolutionError, Resolver
+from repro.dnssub.zone import Zone, ZoneError, name_in_zone
+
+
+def rr(name="host.example.arpa", rtype=RecordType.TXT, data="x", ttl=60):
+    return ResourceRecord(name, rtype, data, ttl=ttl)
+
+
+class TestRecords:
+    def test_name_normalised(self):
+        assert rr(name="Host.Example.ARPA.").name == "host.example.arpa"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            rr(name="")
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            rr(ttl=-1)
+
+    def test_moasrr_requires_moas_data(self):
+        with pytest.raises(TypeError):
+            ResourceRecord("x.moas.arpa", RecordType.MOASRR, "not-moas-data")
+
+    def test_moas_data_validation(self):
+        with pytest.raises(ValueError):
+            MoasRecordData([])
+        data = MoasRecordData([2, 1, 1])
+        assert data.origins == frozenset({1, 2})
+        assert data.authorises(1)
+        assert not data.authorises(3)
+
+    def test_equality_ignores_signature(self):
+        keyring = KeyRing()
+        record = rr()
+        signed = sign_record(record, keyring, "example.arpa")
+        assert record == signed
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            rr().ttl = 5
+
+
+class TestZone:
+    def test_name_in_zone(self):
+        assert name_in_zone("a.b.example", "example")
+        assert name_in_zone("example", "example")
+        assert not name_in_zone("counterexample", "example")
+
+    def test_add_outside_zone_rejected(self):
+        zone = Zone("example.arpa")
+        with pytest.raises(ZoneError):
+            zone.add(rr(name="other.domain"))
+
+    def test_lookup(self):
+        zone = Zone("example.arpa")
+        record = rr()
+        zone.add(record)
+        assert zone.lookup("host.example.arpa", RecordType.TXT) == [record]
+        assert zone.lookup("host.example.arpa", RecordType.A) == []
+
+    def test_rrset_accumulates(self):
+        zone = Zone("example.arpa")
+        zone.add(rr(data="a"))
+        zone.add(rr(data="b"))
+        assert len(zone.lookup("host.example.arpa", RecordType.TXT)) == 2
+
+    def test_replace(self):
+        zone = Zone("example.arpa")
+        zone.add(rr(data="a"))
+        zone.replace(rr(data="b"))
+        records = zone.lookup("host.example.arpa", RecordType.TXT)
+        assert [r.data for r in records] == ["b"]
+
+    def test_remove(self):
+        zone = Zone("example.arpa")
+        zone.add(rr())
+        assert zone.remove("host.example.arpa", RecordType.TXT) == 1
+        assert zone.remove("host.example.arpa", RecordType.TXT) == 0
+
+    def test_empty_apex_rejected(self):
+        with pytest.raises(ZoneError):
+            Zone("")
+
+
+class TestResolver:
+    def make(self):
+        resolver = Resolver()
+        zone = Zone("example.arpa")
+        zone.add(rr())
+        resolver.host_zone(zone)
+        return resolver
+
+    def test_resolve(self):
+        resolver = self.make()
+        records = resolver.resolve("host.example.arpa", RecordType.TXT)
+        assert records[0].data == "x"
+
+    def test_missing_name_raises(self):
+        with pytest.raises(ResolutionError):
+            self.make().resolve("nope.example.arpa", RecordType.TXT)
+
+    def test_uncovered_name_raises(self):
+        with pytest.raises(ResolutionError):
+            self.make().resolve("other.tld", RecordType.TXT)
+
+    def test_try_resolve_returns_none(self):
+        assert self.make().try_resolve("other.tld", RecordType.TXT) is None
+
+    def test_longest_apex_wins(self):
+        resolver = Resolver()
+        parent = Zone("arpa")
+        parent.add(ResourceRecord("host.example.arpa", RecordType.TXT, "parent"))
+        child = Zone("example.arpa")
+        child.add(ResourceRecord("host.example.arpa", RecordType.TXT, "child"))
+        resolver.host_zone(parent)
+        resolver.host_zone(child)
+        assert resolver.resolve("host.example.arpa", RecordType.TXT)[0].data == "child"
+
+    def test_duplicate_zone_rejected(self):
+        resolver = self.make()
+        with pytest.raises(ValueError):
+            resolver.host_zone(Zone("example.arpa"))
+
+    def test_cache_hits(self):
+        resolver = self.make()
+        resolver.resolve("host.example.arpa", RecordType.TXT)
+        resolver.resolve("host.example.arpa", RecordType.TXT)
+        assert resolver.cache_hits == 1
+        resolver.invalidate_cache()
+        resolver.resolve("host.example.arpa", RecordType.TXT)
+        assert resolver.cache_hits == 1
+
+    def test_reachability_gate(self):
+        resolver = Resolver(reachability=lambda apex: False)
+        zone = Zone("example.arpa")
+        zone.add(rr())
+        resolver.host_zone(zone)
+        with pytest.raises(ResolutionError):
+            resolver.resolve("host.example.arpa", RecordType.TXT)
+
+    def test_secure_requires_keyring(self):
+        with pytest.raises(ValueError):
+            Resolver(secure=True)
+
+    def test_secure_rejects_unsigned(self):
+        keyring = KeyRing()
+        resolver = Resolver(keyring=keyring, secure=True)
+        zone = Zone("example.arpa")
+        zone.add(rr())  # unsigned
+        resolver.host_zone(zone)
+        with pytest.raises(ResolutionError):
+            resolver.resolve("host.example.arpa", RecordType.TXT)
+
+
+class TestDnssec:
+    def test_sign_verify_roundtrip(self):
+        keyring = KeyRing()
+        signed = sign_record(rr(), keyring, "example.arpa")
+        assert verify_record(signed, keyring, "example.arpa")
+
+    def test_unsigned_fails(self):
+        assert not verify_record(rr(), KeyRing(), "example.arpa")
+
+    def test_wrong_zone_key_fails(self):
+        keyring = KeyRing()
+        signed = sign_record(rr(), keyring, "example.arpa")
+        assert not verify_record(signed, keyring, "other.arpa")
+
+    def test_tampered_record_fails(self):
+        keyring = KeyRing()
+        signed = sign_record(rr(data="genuine"), keyring, "example.arpa")
+        tampered = ResourceRecord(
+            signed.name, signed.rtype, "forged", signed.ttl, signed.signature
+        )
+        assert not verify_record(tampered, keyring, "example.arpa")
+
+    def test_different_master_secrets_differ(self):
+        a = KeyRing(b"secret-a")
+        b = KeyRing(b"secret-b")
+        assert a.key_for_zone("z") != b.key_for_zone("z")
+
+    def test_keyring_derivation_stable(self):
+        assert KeyRing().key_for_zone("z") == KeyRing().key_for_zone("z")

@@ -1,0 +1,62 @@
+"""Unit tests for repro.eventsim.event."""
+
+import pytest
+
+from repro.eventsim.event import Event, EventHandle
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, lambda: None)
+
+    def test_non_callable_action_rejected(self):
+        with pytest.raises(TypeError):
+            Event(0.0, "not-callable")
+
+    def test_time_coerced_to_float(self):
+        event = Event(3, lambda: None)
+        assert event.time == 3.0
+        assert isinstance(event.time, float)
+
+    def test_sort_key_requires_scheduling(self):
+        event = Event(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            event.sort_key()
+
+    def test_sort_key_after_scheduling(self):
+        event = Event(1.0, lambda: None, priority=2)
+        event.seq = 5
+        assert event.sort_key() == (1.0, 2, 5)
+
+    def test_fire_runs_action(self):
+        hits = []
+        event = Event(0.0, lambda: hits.append(1))
+        event.fire()
+        assert hits == [1]
+
+    def test_fire_returns_action_result(self):
+        event = Event(0.0, lambda: 42)
+        assert event.fire() == 42
+
+    def test_cancelled_event_does_not_fire(self):
+        hits = []
+        event = Event(0.0, lambda: hits.append(1))
+        event.cancel()
+        assert event.fire() is None
+        assert hits == []
+
+
+class TestEventHandle:
+    def test_handle_exposes_time(self):
+        event = Event(2.5, lambda: None)
+        handle = EventHandle(event)
+        assert handle.time == 2.5
+
+    def test_handle_cancel_propagates(self):
+        event = Event(0.0, lambda: None)
+        handle = EventHandle(event)
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+        assert event.cancelled

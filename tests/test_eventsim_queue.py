@@ -1,0 +1,105 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eventsim.event import Event
+from repro.eventsim.queue import EventQueue
+
+
+def make_event(time=0.0, priority=0):
+    return Event(time, lambda: None, priority=priority)
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.pop() is None
+        assert q.peek_time() is None
+
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        late = make_event(2.0)
+        early = make_event(1.0)
+        q.push(late)
+        q.push(early)
+        assert q.pop() is early
+        assert q.pop() is late
+
+    def test_same_time_pops_in_insertion_order(self):
+        q = EventQueue()
+        events = [make_event(1.0) for _ in range(10)]
+        for event in events:
+            q.push(event)
+        popped = [q.pop() for _ in range(10)]
+        assert popped == events
+
+    def test_priority_orders_within_same_time(self):
+        q = EventQueue()
+        low_urgency = make_event(1.0, priority=1)
+        high_urgency = make_event(1.0, priority=0)
+        q.push(low_urgency)
+        q.push(high_urgency)
+        assert q.pop() is high_urgency
+
+    def test_double_push_rejected(self):
+        q = EventQueue()
+        event = make_event()
+        q.push(event)
+        with pytest.raises(ValueError):
+            q.push(event)
+
+    def test_cancelled_events_skipped_on_pop(self):
+        q = EventQueue()
+        a, b = make_event(1.0), make_event(2.0)
+        q.push(a)
+        q.push(b)
+        a.cancel()
+        q.note_cancelled()
+        assert q.pop() is b
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        a, b = make_event(1.0), make_event(2.0)
+        q.push(a)
+        q.push(b)
+        a.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_live_count_tracks_cancellation(self):
+        q = EventQueue()
+        a = make_event(1.0)
+        q.push(a)
+        q.push(make_event(2.0))
+        a.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+
+    def test_drain_yields_in_order_and_empties(self):
+        q = EventQueue()
+        events = [make_event(t) for t in (3.0, 1.0, 2.0)]
+        for event in events:
+            q.push(event)
+        drained = list(q.drain())
+        assert [e.time for e in drained] == [1.0, 2.0, 3.0]
+        assert len(q) == 0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(make_event())
+        q.clear()
+        assert not q
+        assert q.pop() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_pop_order_is_sorted_by_time(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(make_event(t))
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)

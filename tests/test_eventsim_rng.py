@@ -1,0 +1,101 @@
+"""Unit tests for named random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eventsim.rng import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(0, "x")
+        assert 0 <= seed < 2**64
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_independent(self):
+        # Drawing from one stream must not perturb another.
+        lone = RandomStreams(0)
+        lone_draws = [lone.stream("target").random() for _ in range(5)]
+
+        mixed = RandomStreams(0)
+        mixed.stream("other").random()  # interleaved consumer
+        mixed_draws = [mixed.stream("target").random() for _ in range(5)]
+        assert lone_draws == mixed_draws
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).stream("s").random()
+        b = RandomStreams(7).stream("s").random()
+        assert a == b
+
+    def test_spawn_creates_derived_family(self):
+        parent = RandomStreams(0)
+        child1 = parent.spawn("run/1")
+        child2 = parent.spawn("run/2")
+        assert child1.stream("x").random() != child2.stream("x").random()
+        # Same spawn name → same family.
+        again = RandomStreams(0).spawn("run/1")
+        assert again.stream("x").random() == RandomStreams(0).spawn("run/1").stream("x").random()
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).choice("s", [])
+
+    def test_sample_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).sample("s", [1, 2], 3)
+
+    def test_shuffle_returns_copy(self):
+        streams = RandomStreams(0)
+        original = [1, 2, 3, 4, 5]
+        shuffled = streams.shuffle("s", original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_uniform_within_bounds(self):
+        streams = RandomStreams(0)
+        for _ in range(100):
+            value = streams.uniform("u", 2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_expovariate_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).expovariate("e", 0.0)
+
+    def test_poisson_zero_lambda(self):
+        assert RandomStreams(0).poisson("p", 0.0) == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).poisson("p", -1.0)
+
+    def test_poisson_mean_roughly_lambda(self):
+        streams = RandomStreams(0)
+        draws = [streams.poisson("p", 5.0) for _ in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 4.5 < mean < 5.5
+
+    def test_poisson_large_lambda_uses_normal_approx(self):
+        streams = RandomStreams(0)
+        draws = [streams.poisson("p", 1000.0) for _ in range(200)]
+        mean = sum(draws) / len(draws)
+        assert 950 < mean < 1050
+        assert all(d >= 0 for d in draws)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_derive_seed_total(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64

@@ -1,0 +1,144 @@
+"""Unit tests for the simulation driver."""
+
+import pytest
+
+from repro.eventsim import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_schedule_after_negative_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-0.1, lambda: None)
+
+    def test_schedule_after_is_relative(self, sim):
+        fired_at = []
+        sim.schedule_after(1.0, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [1.0]
+
+    def test_handle_cancellation_prevents_firing(self, sim):
+        hits = []
+        handle = sim.schedule_after(1.0, lambda: hits.append(1))
+        handle.cancel()
+        sim.run()
+        assert hits == []
+
+
+class TestRunning:
+    def test_run_advances_clock(self, sim):
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_run_returns_event_count(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        assert sim.run() == 3
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_bounded_runs_compose(self, sim):
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run(until=20.0)
+        assert fired == [1, 10]
+
+    def test_events_can_schedule_events(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_after(1.0, lambda: fired.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_same_time_events_fire_in_insertion_order(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def reschedule():
+            sim.schedule_after(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_to_quiescence_drains(self, sim):
+        for t in (1.0, 2.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run_to_quiescence()
+        assert len(sim.queue) == 0
+
+
+class TestReset:
+    def test_reset_clears_queue_and_clock(self, sim):
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert len(sim.queue) == 0
+        assert sim.events_processed == 0
+
+
+class TestSequence:
+    def test_next_sequence_monotonic(self, sim):
+        values = [sim.next_sequence() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run(seed):
+            sim = Simulator(seed=seed)
+            order = []
+            for i in range(20):
+                delay = sim.random.uniform("delays", 0.0, 10.0)
+                sim.schedule_after(delay, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert build_and_run(42) == build_and_run(42)
+
+    def test_different_seeds_differ(self):
+        def run_order(seed):
+            sim = Simulator(seed=seed)
+            order = []
+            for i in range(20):
+                delay = sim.random.uniform("delays", 0.0, 10.0)
+                sim.schedule_after(delay, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert run_order(1) != run_order(2)

@@ -1,0 +1,106 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.eventsim import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_negative_duration_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Timer(sim, -1.0, lambda: None)
+
+    def test_not_armed_at_construction(self, sim):
+        timer = Timer(sim, 1.0, lambda: None)
+        assert not timer.running
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_fires_after_duration(self, sim):
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+        assert not timer.running
+
+    def test_double_start_rejected(self, sim):
+        timer = Timer(sim, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(1))
+        timer.start()
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stop_idempotent(self, sim):
+        timer = Timer(sim, 1.0, lambda: None)
+        timer.stop()
+        timer.stop()
+
+    def test_restart_extends_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule_at(1.0, timer.restart)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_expires_at(self, sim):
+        timer = Timer(sim, 2.0, lambda: None)
+        assert timer.expires_at is None
+        timer.start()
+        assert timer.expires_at == 2.0
+
+    def test_can_restart_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        timer.start()
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestPeriodicTimer:
+    def test_non_positive_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_fires_repeatedly(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule_at(3.5, timer.stop)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_from_own_action(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (fired.append(sim.now), timer.stop()))
+        timer.start()
+        sim.run()
+        assert fired == [1.0]
+
+    def test_double_start_rejected(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_restartable_after_stop(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule_at(1.5, timer.stop)
+        sim.run(until=2.0)
+        timer.start()
+        sim.schedule_at(3.5, timer.stop)
+        sim.run()
+        assert fired == [1.0, 3.0]

@@ -1,0 +1,65 @@
+"""Unit tests for the trace recorder."""
+
+from repro.eventsim import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_accumulate(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", x=1)
+        trace.record(2.0, "b", y=2)
+        assert len(trace) == 2
+
+    def test_by_category(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        trace.record(3.0, "a")
+        assert [r.time for r in trace.by_category("a")] == [1.0, 3.0]
+
+    def test_count(self):
+        trace = TraceRecorder()
+        for _ in range(3):
+            trace.record(0.0, "x")
+        assert trace.count("x") == 3
+        assert trace.count("missing") == 0
+
+    def test_category_filter(self):
+        trace = TraceRecorder(categories={"keep"})
+        trace.record(0.0, "keep")
+        trace.record(0.0, "drop")
+        assert len(trace) == 1
+        assert trace.count("drop") == 0
+
+    def test_detail_preserved(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "event", prefix="10.0.0.0/8", asn=42)
+        record = trace.by_category("event")[0]
+        assert record.detail == {"prefix": "10.0.0.0/8", "asn": 42}
+
+    def test_listener_invoked(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.add_listener(seen.append)
+        trace.record(1.0, "a")
+        assert len(seen) == 1
+        assert seen[0].category == "a"
+
+    def test_listener_not_invoked_for_filtered(self):
+        trace = TraceRecorder(categories={"keep"})
+        seen = []
+        trace.add_listener(seen.append)
+        trace.record(0.0, "drop")
+        assert seen == []
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_iteration_in_order(self):
+        trace = TraceRecorder()
+        for t in (1.0, 2.0, 3.0):
+            trace.record(t, "tick")
+        assert [r.time for r in trace] == [1.0, 2.0, 3.0]

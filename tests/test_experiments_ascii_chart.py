@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_chart import render_histogram, render_line_chart
+
+
+class TestLineChart:
+    def test_renders_points(self):
+        chart = render_line_chart(
+            {"a": [(0, 0), (10, 10)]}, width=20, height=5, title="T"
+        )
+        assert "T" in chart
+        assert "*" in chart
+        assert "a" in chart  # legend
+
+    def test_two_series_distinct_glyphs(self):
+        chart = render_line_chart(
+            {"up": [(0, 0), (10, 10)], "down": [(0, 10), (10, 0)]},
+            width=20,
+            height=5,
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_axis_labels(self):
+        chart = render_line_chart(
+            {"a": [(0, 5), (10, 20)]}, width=20, height=5,
+            x_label="day", y_label="count",
+        )
+        assert "day" in chart and "count" in chart
+        assert "20" in chart  # y max on axis
+
+    def test_constant_series_does_not_crash(self):
+        render_line_chart({"flat": [(0, 5), (10, 5)]}, width=20, height=5)
+        render_line_chart({"point": [(3, 5)]}, width=20, height=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart({})
+        with pytest.raises(ValueError):
+            render_line_chart({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart({"a": [(0, 0)]}, width=5, height=2)
+
+    def test_dimensions(self):
+        chart = render_line_chart({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_rows) == 8
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        chart = render_histogram([("a", 10), ("b", 5)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_shown(self):
+        chart = render_histogram([("one", 42)])
+        assert "42" in chart
+
+    def test_tiny_nonzero_visible(self):
+        chart = render_histogram([("big", 10000), ("small", 1)], width=10)
+        small_line = chart.splitlines()[1]
+        assert "." in small_line or "#" in small_line
+
+    def test_zero_bin(self):
+        chart = render_histogram([("a", 0), ("b", 3)])
+        assert "0" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram([])

@@ -1,0 +1,61 @@
+"""Tests for convergence measurement and the MRAI trade-off."""
+
+import pytest
+
+from repro.experiments.convergence import (
+    measure_announcement_convergence,
+    measure_withdrawal_convergence,
+)
+from repro.topology.generators import generate_paper_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+class TestAnnouncementConvergence:
+    def test_route_reaches_everyone(self, graph):
+        result = measure_announcement_convergence(graph)
+        assert result.ases_with_route == len(graph)
+
+    def test_converges_within_diameter_delays(self, graph):
+        result = measure_announcement_convergence(graph, link_delay=0.01)
+        # A 25-AS topology of diameter <= 8 must converge in well under a
+        # second of simulated time without MRAI.
+        assert result.converged_at < 1.0
+
+    def test_updates_bounded_without_mrai(self, graph):
+        result = measure_announcement_convergence(graph, mrai=0.0)
+        # One prefix: updates should be O(links), not exponential.
+        assert result.updates_sent <= 6 * graph.num_links()
+
+    def test_deterministic(self, graph):
+        a = measure_announcement_convergence(graph, seed=3)
+        b = measure_announcement_convergence(graph, seed=3)
+        assert a == b
+
+
+class TestWithdrawalConvergence:
+    def test_route_fully_gone(self, graph):
+        result = measure_withdrawal_convergence(graph)
+        assert result.ases_with_route == 0
+
+    def test_withdrawal_costs_at_least_as_many_updates(self, graph):
+        up = measure_announcement_convergence(graph)
+        down = measure_withdrawal_convergence(graph)
+        # Path exploration makes route death at least as chatty as birth.
+        assert down.updates_sent >= up.updates_sent * 0.5
+
+
+class TestMraiTradeoff:
+    def test_mrai_reduces_messages_but_slows_convergence(self, graph):
+        fast = measure_withdrawal_convergence(graph, mrai=0.0)
+        paced = measure_withdrawal_convergence(graph, mrai=5.0)
+        assert paced.updates_sent <= fast.updates_sent
+        assert paced.converged_at >= fast.converged_at
+
+    def test_same_final_state_either_way(self, graph):
+        fast = measure_announcement_convergence(graph, mrai=0.0)
+        paced = measure_announcement_convergence(graph, mrai=5.0)
+        assert fast.ases_with_route == paced.ases_with_route

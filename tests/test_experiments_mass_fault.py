@@ -1,0 +1,66 @@
+"""Tests for the in-simulation mass-origination fault replay."""
+
+import pytest
+
+from repro.experiments.exp_mass_fault import run_mass_fault
+from repro.topology.generators import generate_paper_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+class TestValidation:
+    def test_bad_fault_share(self, graph):
+        with pytest.raises(ValueError):
+            run_mass_fault(graph, fault_share=0.0)
+        with pytest.raises(ValueError):
+            run_mass_fault(graph, fault_share=1.5)
+
+    def test_bad_prefix_count(self, graph):
+        with pytest.raises(ValueError):
+            run_mass_fault(graph, prefixes_per_stub=0)
+
+
+class TestFaultReplay:
+    def test_fault_disturbs_without_detection(self, graph):
+        result = run_mass_fault(graph, detect=False, seed=1)
+        assert result.n_hijacked_prefixes >= 1
+        assert result.disturbed_prefixes > 0
+        assert result.mean_poisoned_share > 0.0
+        assert result.alarms == 0
+
+    def test_detection_contains_the_fault(self, graph):
+        undefended = run_mass_fault(graph, detect=False, seed=1)
+        defended = run_mass_fault(graph, detect=True, seed=1)
+        assert defended.alarms > 0
+        assert defended.mean_poisoned_share < undefended.mean_poisoned_share
+        assert defended.disturbance_rate <= undefended.disturbance_rate
+
+    def test_collector_sees_the_moas_burst(self, graph):
+        """The vantage collector records a burst of MOAS cases — the
+        Figure 4 spike signature, produced by the simulator itself."""
+        result = run_mass_fault(graph, detect=False, seed=1)
+        # A collector sees a MOAS case for (roughly) every hijacked prefix
+        # whose bogus route reached a vantage; at least some must show.
+        assert result.collector_moas_cases > 0
+        assert result.collector_moas_cases <= result.n_hijacked_prefixes
+
+    def test_prefix_accounting(self, graph):
+        result = run_mass_fault(
+            graph, fault_share=0.5, prefixes_per_stub=2, seed=2
+        )
+        n_stubs = len(graph.stub_asns())
+        assert result.n_prefixes == 2 * n_stubs
+        assert result.n_hijacked_prefixes <= result.n_prefixes
+
+    def test_deterministic(self, graph):
+        a = run_mass_fault(graph, detect=True, seed=5)
+        b = run_mass_fault(graph, detect=True, seed=5)
+        assert a == b
+
+    def test_explicit_faulty_as(self, graph):
+        faulty = graph.transit_asns()[0]
+        result = run_mass_fault(graph, faulty_as=faulty, seed=3)
+        assert result.n_hijacked_prefixes > 0

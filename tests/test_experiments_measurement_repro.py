@@ -1,0 +1,71 @@
+"""Unit tests for the measurement-study figure harness."""
+
+import random
+
+import pytest
+
+from repro.experiments.measurement_repro import (
+    MeasurementStudyResult,
+    figure4,
+    figure5,
+    run_measurement_study,
+)
+from repro.measurement.trace import FaultSpike, TraceConfig
+
+
+def small_config():
+    return TraceConfig(
+        days=40,
+        active_start=30,
+        active_end=40,
+        faults=(FaultSpike(day=20, faulty_as=8584, n_prefixes=25),),
+        n_background_prefixes=100,
+        n_origin_pool=200,
+    )
+
+
+class TestRunStudy:
+    def test_result_structure(self):
+        result = run_measurement_study(small_config(), seed=1,
+                                       duration_cutoff=40)
+        assert isinstance(result, MeasurementStudyResult)
+        assert result.observer.days_observed() == 40
+        assert result.summary.days_observed == 40
+
+    def test_figure4_series_shape(self):
+        result = run_measurement_study(small_config(), seed=1,
+                                       duration_cutoff=40)
+        series = result.figure4_series()
+        assert len(series) == 40
+        days = [d for d, _ in series]
+        assert days == sorted(days)
+        counts = dict(series)
+        assert counts[20] > counts[19]  # the fault spike
+
+    def test_figure5_histogram_shape(self):
+        result = run_measurement_study(small_config(), seed=1,
+                                       duration_cutoff=40)
+        histogram = result.figure5_histogram()
+        assert sum(histogram.values()) == result.tracker.total_cases()
+        assert histogram.get(1, 0) >= 25  # at least the fault victims
+
+    def test_deterministic(self):
+        a = run_measurement_study(small_config(), seed=9, duration_cutoff=40)
+        b = run_measurement_study(small_config(), seed=9, duration_cutoff=40)
+        assert a.figure4_series() == b.figure4_series()
+        assert a.figure5_histogram() == b.figure5_histogram()
+
+    def test_seed_sensitivity(self):
+        a = run_measurement_study(small_config(), seed=1, duration_cutoff=40)
+        b = run_measurement_study(small_config(), seed=2, duration_cutoff=40)
+        assert a.figure4_series() != b.figure4_series()
+
+
+class TestConvenienceWrappers:
+    def test_figure4_wrapper(self):
+        series = figure4(small_config(), seed=1)
+        assert len(series) == 40
+
+    def test_figure5_wrapper(self):
+        histogram = figure5(small_config(), seed=1)
+        assert histogram

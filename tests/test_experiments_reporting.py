@@ -1,0 +1,59 @@
+"""Unit tests for plain-text reporting."""
+
+import pytest
+
+from repro.experiments.reporting import format_series_table, format_sweep_table
+from repro.experiments.runner import DeploymentKind
+from repro.experiments.sweep import SweepPoint, SweepResult
+
+
+def sweep(deployment=DeploymentKind.NONE, values=(0.5, 0.6), fractions=(0.1, 0.2)):
+    result = SweepResult(deployment=deployment, n_origins=1, topology_size=46)
+    for fraction, value in zip(fractions, values):
+        result.points.append(
+            SweepPoint(
+                attacker_fraction=fraction,
+                n_attackers=round(fraction * 46),
+                mean_poisoned_fraction=value,
+                min_poisoned_fraction=value,
+                max_poisoned_fraction=value,
+                mean_alarms=0.0,
+                runs=15,
+            )
+        )
+    return result
+
+
+class TestSweepTable:
+    def test_renders_columns_per_arm(self):
+        text = format_sweep_table(
+            [sweep(DeploymentKind.NONE), sweep(DeploymentKind.FULL, (0.0, 0.1))],
+            title="Figure 9",
+        )
+        assert "Figure 9" in text
+        assert "normal-bgp/46AS" in text
+        assert "full-moas-detection/46AS" in text
+        assert "50.00%" in text
+        assert "10%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_sweep_table([])
+
+    def test_mismatched_axes_rejected(self):
+        with pytest.raises(ValueError):
+            format_sweep_table([sweep(), sweep(fractions=(0.1, 0.3))])
+
+
+class TestSeriesTable:
+    def test_renders(self):
+        text = format_series_table(
+            [(0, 683), (1, 690)], headers=("day", "count"), title="Fig 4"
+        )
+        assert "Fig 4" in text
+        assert "683" in text
+
+    def test_downsamples_long_series(self):
+        series = [(i, i) for i in range(1000)]
+        text = format_series_table(series, headers=("x", "y"), max_rows=10)
+        assert len(text.splitlines()) == 11  # header + 10 rows

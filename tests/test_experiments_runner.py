@@ -1,0 +1,167 @@
+"""Tests for the hijack-scenario runner."""
+
+import pytest
+
+from repro.attack.models import SupersetListForgery
+from repro.core.checker import CheckerMode
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.topology import ASGraph
+from repro.topology.generators import generate_paper_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+class TestValidation:
+    def test_origin_attacker_overlap_rejected(self, chain_graph):
+        scenario = HijackScenario(
+            graph=chain_graph, origins=[1], attackers=[1, 5]
+        )
+        with pytest.raises(ValueError):
+            run_hijack_scenario(scenario)
+
+    def test_unknown_as_rejected(self, chain_graph):
+        scenario = HijackScenario(graph=chain_graph, origins=[99], attackers=[5])
+        with pytest.raises(ValueError):
+            run_hijack_scenario(scenario)
+
+    def test_no_origin_rejected(self, chain_graph):
+        scenario = HijackScenario(graph=chain_graph, origins=[], attackers=[5])
+        with pytest.raises(ValueError):
+            run_hijack_scenario(scenario)
+
+
+class TestArms:
+    def test_normal_bgp_poisoning_on_chain(self, chain_graph):
+        outcome = run_hijack_scenario(
+            HijackScenario(graph=chain_graph, origins=[1], attackers=[5])
+        )
+        # AS 4 is strictly closer to the attacker; AS 3 ties (oldest wins).
+        assert outcome.poisoned == frozenset({4})
+        assert outcome.n_remaining == 4
+        assert outcome.poisoned_fraction == 0.25
+        assert outcome.alarms == 0
+
+    def test_full_detection_protects_chain(self, chain_graph):
+        outcome = run_hijack_scenario(
+            HijackScenario(
+                graph=chain_graph,
+                origins=[1],
+                attackers=[5],
+                deployment=DeploymentKind.FULL,
+            )
+        )
+        assert outcome.poisoned == frozenset()
+        assert outcome.alarms >= 1
+        assert outcome.routes_suppressed >= 1
+        assert len(outcome.capable) == len(chain_graph)
+
+    def test_partial_deployment_attaches_fraction(self, graph):
+        outcome = run_hijack_scenario(
+            HijackScenario(
+                graph=graph,
+                origins=[graph.stub_asns()[0]],
+                attackers=[graph.stub_asns()[1]],
+                deployment=DeploymentKind.PARTIAL,
+                partial_fraction=0.5,
+            )
+        )
+        assert len(outcome.capable) == round(0.5 * len(graph))
+
+    def test_detection_never_worse_than_normal(self, graph):
+        stubs = graph.stub_asns()
+        origins, attackers = [stubs[0]], stubs[1:4]
+        results = {}
+        for kind in (DeploymentKind.NONE, DeploymentKind.FULL):
+            outcome = run_hijack_scenario(
+                HijackScenario(
+                    graph=graph, origins=origins, attackers=attackers,
+                    deployment=kind,
+                )
+            )
+            results[kind] = len(outcome.poisoned)
+        assert results[DeploymentKind.FULL] <= results[DeploymentKind.NONE]
+
+    def test_two_origins_with_moas_list(self, graph):
+        stubs = graph.stub_asns()
+        outcome = run_hijack_scenario(
+            HijackScenario(
+                graph=graph,
+                origins=stubs[:2],
+                attackers=[stubs[2]],
+                deployment=DeploymentKind.FULL,
+            )
+        )
+        # Valid MOAS must not be suppressed: alarms may fire for the
+        # attacker, but origins remain reachable.
+        assert outcome.poisoned_fraction <= 0.1
+
+
+class TestTiming:
+    def test_post_convergence_detection_is_stronger(self, graph):
+        """With the prefix established first, every checker already holds
+        the genuine list: detection is at least as effective as in the
+        simultaneous race."""
+        stubs = graph.stub_asns()
+        origins, attackers = [stubs[0]], stubs[1:6]
+        poisoned = {}
+        for timing in (AttackTiming.SIMULTANEOUS, AttackTiming.POST_CONVERGENCE):
+            outcome = run_hijack_scenario(
+                HijackScenario(
+                    graph=graph,
+                    origins=origins,
+                    attackers=attackers,
+                    deployment=DeploymentKind.FULL,
+                    timing=timing,
+                )
+            )
+            poisoned[timing] = len(outcome.poisoned)
+        assert (
+            poisoned[AttackTiming.POST_CONVERGENCE]
+            <= poisoned[AttackTiming.SIMULTANEOUS]
+        )
+
+
+class TestStrategyAndMode:
+    def test_superset_forgery_also_suppressed(self, chain_graph):
+        outcome = run_hijack_scenario(
+            HijackScenario(
+                graph=chain_graph,
+                origins=[1],
+                attackers=[5],
+                deployment=DeploymentKind.FULL,
+                strategy=SupersetListForgery(),
+            )
+        )
+        assert outcome.poisoned == frozenset()
+
+    def test_alarm_only_mode_detects_but_does_not_protect(self, chain_graph):
+        outcome = run_hijack_scenario(
+            HijackScenario(
+                graph=chain_graph,
+                origins=[1],
+                attackers=[5],
+                deployment=DeploymentKind.FULL,
+                checker_mode=CheckerMode.ALARM_ONLY,
+            )
+        )
+        assert outcome.alarms >= 1
+        assert outcome.poisoned == frozenset({4})
+
+    def test_determinism(self, graph):
+        stubs = graph.stub_asns()
+        scenario = HijackScenario(
+            graph=graph, origins=[stubs[0]], attackers=stubs[1:3],
+            deployment=DeploymentKind.FULL,
+        )
+        a = run_hijack_scenario(scenario)
+        b = run_hijack_scenario(scenario)
+        assert a.poisoned == b.poisoned
+        assert a.alarms == b.alarms

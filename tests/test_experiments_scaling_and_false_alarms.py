@@ -1,0 +1,71 @@
+"""Tests for the scaling and false-alarm experiments (small grids)."""
+
+import pytest
+
+from repro.experiments.exp_false_alarms import run_false_alarm_experiment
+from repro.experiments.exp_scaling import ScalingPoint, run_scaling_experiment
+from repro.topology.generators import generate_paper_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+class TestScalingExperiment:
+    def test_structure(self):
+        result = run_scaling_experiment(
+            sizes=(25,), topologies_per_size=1, runs_per_topology=2
+        )
+        assert result.attacker_fraction == 0.30
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert point.size == 25
+        assert point.runs == 2
+        assert 0 <= point.mean_poisoned_detect <= 1
+        assert point.mean_poisoned_detect <= point.mean_poisoned_normal
+
+    def test_protection_factor(self):
+        point = ScalingPoint(
+            size=25, mean_poisoned_detect=0.1, mean_poisoned_normal=0.8,
+            topologies=1, runs=1,
+        )
+        assert point.protection_factor == pytest.approx(8.0)
+        zero = ScalingPoint(
+            size=25, mean_poisoned_detect=0.0, mean_poisoned_normal=0.8,
+            topologies=1, runs=1,
+        )
+        assert zero.protection_factor == float("inf")
+
+    def test_detection_series(self):
+        result = run_scaling_experiment(
+            sizes=(25,), topologies_per_size=1, runs_per_topology=1
+        )
+        series = result.detection_series()
+        assert series[0][0] == 25
+
+
+class TestFalseAlarmExperiment:
+    def test_no_stripping_no_alarms(self, graph):
+        points = run_false_alarm_experiment(
+            graph, strip_fractions=(0.0,), n_runs=3
+        )
+        assert points[0].false_alarm_rate == 0.0
+        assert points[0].suppressed_valid_routes == 0
+        assert points[0].unreachable_fraction == 0.0
+
+    def test_stripping_alarms_without_harm(self, graph):
+        points = run_false_alarm_experiment(
+            graph, strip_fractions=(0.5,), n_runs=3
+        )
+        point = points[0]
+        assert point.false_alarm_rate > 0.0
+        assert point.suppressed_valid_routes == 0
+        assert point.unreachable_fraction == 0.0
+
+    def test_point_per_fraction(self, graph):
+        points = run_false_alarm_experiment(
+            graph, strip_fractions=(0.0, 0.5), n_runs=2
+        )
+        assert [p.strip_fraction for p in points] == [0.0, 0.5]
+        assert all(p.runs == 2 for p in points)

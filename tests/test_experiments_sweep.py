@@ -1,0 +1,122 @@
+"""Tests for sweeps and figure harnesses (small grids for speed)."""
+
+import pytest
+
+from repro.experiments.exp_effectiveness import figure9
+from repro.experiments.exp_partial import figure11
+from repro.experiments.exp_topology_size import figure10
+from repro.experiments.runner import DeploymentKind
+from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.topology.generators import generate_paper_topology
+
+FRACS = (0.10, 0.30)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+class TestSweep:
+    def test_point_grid(self, graph):
+        result = run_sweep(
+            SweepConfig(graph=graph, attacker_fractions=FRACS,
+                        n_origin_sets=2, n_attacker_sets=2)
+        )
+        assert len(result.points) == 2
+        assert result.points[0].runs == 4
+        assert result.points[0].n_attackers == round(0.10 * len(graph))
+
+    def test_point_statistics_consistent(self, graph):
+        result = run_sweep(
+            SweepConfig(graph=graph, attacker_fractions=FRACS,
+                        n_origin_sets=2, n_attacker_sets=2)
+        )
+        for point in result.points:
+            assert (
+                point.min_poisoned_fraction
+                <= point.mean_poisoned_fraction
+                <= point.max_poisoned_fraction
+            )
+            assert 0.0 <= point.mean_poisoned_fraction <= 1.0
+
+    def test_point_at_lookup(self, graph):
+        result = run_sweep(SweepConfig(graph=graph, attacker_fractions=FRACS,
+                                       n_origin_sets=1, n_attacker_sets=1))
+        assert result.point_at(0.10).attacker_fraction == 0.10
+        with pytest.raises(KeyError):
+            result.point_at(0.99)
+
+    def test_detection_beats_normal(self, graph):
+        kwargs = dict(graph=graph, attacker_fractions=(0.30,),
+                      n_origin_sets=3, n_attacker_sets=3)
+        normal = run_sweep(SweepConfig(deployment=DeploymentKind.NONE, **kwargs))
+        detect = run_sweep(SweepConfig(deployment=DeploymentKind.FULL, **kwargs))
+        assert (
+            detect.points[0].mean_poisoned_fraction
+            < normal.points[0].mean_poisoned_fraction
+        )
+
+    def test_deterministic(self, graph):
+        config = SweepConfig(graph=graph, attacker_fractions=FRACS,
+                             n_origin_sets=2, n_attacker_sets=2, seed=5)
+        a = run_sweep(config)
+        b = run_sweep(config)
+        assert [p.mean_poisoned_fraction for p in a.points] == [
+            p.mean_poisoned_fraction for p in b.points
+        ]
+
+    def test_percent_series(self, graph):
+        result = run_sweep(SweepConfig(graph=graph, attacker_fractions=FRACS,
+                                       n_origin_sets=1, n_attacker_sets=1))
+        series = result.as_percent_series()
+        assert series[0][0] == 10.0
+
+
+class TestFigureHarnesses:
+    def test_figure9_structure(self, graph):
+        result = figure9(
+            graph=graph, origin_counts=(1,), attacker_fractions=(0.30,)
+        )
+        assert set(result.panels) == {1}
+        normal, detect = result.panels[1]
+        assert normal.deployment is DeploymentKind.NONE
+        assert detect.deployment is DeploymentKind.FULL
+
+    def test_figure9_headline_keys(self, graph):
+        result = figure9(
+            graph=graph, origin_counts=(1,), attacker_fractions=(0.05, 0.30)
+        )
+        headline = result.headline()
+        assert set(headline) == {
+            "normal@4%", "detect@4%", "normal@30%", "detect@30%",
+        }
+        assert headline["detect@30%"] <= headline["normal@30%"]
+
+    def test_figure10_structure(self, graph):
+        small = generate_paper_topology(25, seed=4)
+        result = figure10(
+            sizes=(25,), origin_counts=(1,), attacker_fractions=(0.30,),
+            graphs={25: small},
+        )
+        assert set(result.panels[1]) == {25}
+        assert result.detection_at(1, 25, 0.30) >= 0.0
+
+    def test_figure11_structure(self, graph):
+        result = figure11(
+            sizes=(25,), attacker_fractions=(0.30,), graphs={25: graph}
+        )
+        curves = result.panels[25]
+        assert [c.deployment for c in curves] == [
+            DeploymentKind.NONE, DeploymentKind.PARTIAL, DeploymentKind.FULL,
+        ]
+        assert 0.0 <= result.reduction_from_partial(25, 0.30) <= 1.0
+
+    def test_figure11_partial_between_none_and_full(self, graph):
+        result = figure11(
+            sizes=(25,), attacker_fractions=(0.30,), graphs={25: graph}
+        )
+        normal, partial, full = (
+            c.points[0].mean_poisoned_fraction for c in result.panels[25]
+        )
+        assert full <= partial <= normal

@@ -1,0 +1,186 @@
+"""Integration tests replaying the paper's own worked examples.
+
+Each test builds the exact scenario of one of the paper's figures and
+asserts the behaviour the paper describes.
+"""
+
+import pytest
+
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmKind, AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.moas_list import MoasList, extract_moas_list, moas_communities
+from repro.core.monitor import OfflineMonitor
+from repro.core.origin_verification import (
+    DnsOracle,
+    GroundTruthOracle,
+    PrefixOriginRegistry,
+    build_moas_zone,
+)
+from repro.dnssub.resolver import Resolver
+from repro.net.addresses import Prefix
+from repro.topology import ASGraph
+from repro.topology.inference import infer_from_table
+from repro.topology.routeviews import parse_table_dump
+
+PREFIX = Prefix.parse("10.2.0.0/16")
+
+
+class TestFigure1_Origination:
+    """AS 4 originates 10.2/16; AS X learns paths (Y 4) and (Z 4)."""
+
+    def test_two_paths_one_origin(self):
+        # X=1, Y=2, Z=3, origin AS 4.
+        graph = ASGraph.from_edges([(1, 2), (1, 3), (2, 4), (3, 4)], transit=[2, 3])
+        net = Network(graph)
+        net.establish_sessions()
+        net.originate(4, PREFIX)
+        net.run_to_convergence()
+        candidates = net.speaker(1).adj_rib_in.routes_for_prefix(PREFIX)
+        paths = {tuple(c.attributes.as_path.asns()) for c in candidates}
+        assert paths == {(2, 4), (3, 4)}
+        assert net.speaker(1).best_origin(PREFIX) == 4
+
+
+class TestFigure2_ValidMoas:
+    """10.2/16 originated by both AS 4 and AS 226 (multi-homing)."""
+
+    def test_moas_visible_at_remote_as(self):
+        graph = ASGraph.from_edges(
+            [(1, 2), (1, 3), (2, 4), (3, 226)], transit=[2, 3]
+        )
+        net = Network(graph)
+        net.establish_sessions()
+        communities = moas_communities([4, 226])
+        net.originate(4, PREFIX, communities=communities)
+        net.originate(226, PREFIX, communities=communities)
+        net.run_to_convergence()
+        candidates = net.speaker(1).adj_rib_in.routes_for_prefix(PREFIX)
+        origins = {c.origin_asn for c in candidates}
+        assert origins == {4, 226}
+        # Both announcements carry the same list: no conflict.
+        lists = {extract_moas_list(c.attributes) for c in candidates}
+        assert lists == {MoasList([4, 226])}
+
+
+class TestFigure3_TrafficHijack:
+    """AS 52 falsely originates; AS X prefers the shorter bogus route."""
+
+    def test_hijack_without_detection(self):
+        # X=1 peers with Y=2, Z=3 and the attacker 52 directly; genuine
+        # origin AS 4 is two hops away.
+        graph = ASGraph.from_edges(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (1, 52)], transit=[2, 3]
+        )
+        net = Network(graph)
+        net.establish_sessions()
+        net.originate(4, PREFIX)
+        net.run_to_convergence()
+        net.originate(52, PREFIX)
+        net.run_to_convergence()
+        # Path (52) beats (2 4)/(3 4) on length: traffic is hijacked.
+        assert net.speaker(1).best_origin(PREFIX) == 52
+
+    def test_hijack_detected_with_moas_checking(self):
+        graph = ASGraph.from_edges(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (1, 52)], transit=[2, 3]
+        )
+        registry = PrefixOriginRegistry()
+        registry.register(PREFIX, [4])
+        log = AlarmLog()
+        net = Network(graph)
+        MoasChecker(oracle=GroundTruthOracle(registry), alarm_log=log).attach(
+            net.speaker(1)
+        )
+        net.establish_sessions()
+        net.originate(4, PREFIX)
+        net.run_to_convergence()
+        net.originate(52, PREFIX)
+        net.run_to_convergence()
+        assert net.speaker(1).best_origin(PREFIX) == 4
+        assert log.suspects() == frozenset({52})
+
+
+class TestFigure6_MoasListScenario:
+    """AS 1 and AS 2 share p with list {1,2}; AS Z=5 forges {1,2,Z};
+    AS X=4 observes the inconsistency and raises an alarm."""
+
+    def test_alarm_at_as_x(self, figure6_graph):
+        registry = PrefixOriginRegistry()
+        registry.register(PREFIX, [1, 2])
+        log = AlarmLog()
+        net = Network(figure6_graph)
+        MoasChecker(oracle=GroundTruthOracle(registry), alarm_log=log).attach(
+            net.speaker(4)
+        )
+        net.establish_sessions()
+        communities = moas_communities([1, 2])
+        net.originate(1, PREFIX, communities=communities)
+        net.originate(2, PREFIX, communities=communities)
+        net.run_to_convergence()
+        net.originate(5, PREFIX, communities=moas_communities([1, 2, 5]))
+        net.run_to_convergence()
+        inconsistent = [
+            a for a in log if a.kind is AlarmKind.INCONSISTENT_LISTS
+        ]
+        assert inconsistent
+        alarm = inconsistent[0]
+        assert alarm.detector == 4
+        assert alarm.observed_list == MoasList([1, 2, 5]) or (
+            alarm.conflicting_list == MoasList([1, 2, 5])
+        )
+
+
+class TestSection44_DnsVerification:
+    """The full §4.4 pipeline: alarm → DNS MOASRR lookup → suppression."""
+
+    def test_dns_backed_suppression(self, chain_graph):
+        registry = PrefixOriginRegistry()
+        registry.register(PREFIX, [1])
+        resolver = Resolver()
+        resolver.host_zone(build_moas_zone(registry))
+        oracle = DnsOracle(resolver)
+        net = Network(chain_graph)
+        for asn in (2, 3, 4):
+            MoasChecker(oracle=oracle).attach(net.speaker(asn))
+        net.establish_sessions()
+        net.originate(1, PREFIX)
+        net.run_to_convergence()
+        net.originate(5, PREFIX)
+        net.run_to_convergence()
+        assert net.best_origins(PREFIX)[4] == 1
+        assert oracle.lookups >= 1
+        assert resolver.queries >= 1
+
+
+class TestSection51_TopologyPipeline:
+    """Dump → inference → the paper's example adjacency."""
+
+    def test_dump_to_graph(self):
+        dump = (
+            "# routeviews-dump date=2001-04-06 collector=oregon\n"
+            "10.2.0.0/16 | 1239 | 1239 6453 4621\n"
+            "192.0.2.0/24 | 1239 | 1239 701\n"
+        )
+        result = infer_from_table(parse_table_dump(dump))
+        assert result.graph.has_link(1239, 6453)
+        assert result.graph.has_link(6453, 4621)
+        assert 6453 in result.transit
+
+
+class TestOfflineMonitorPipeline:
+    """§4.2's off-line deployment: dumps in, conflict reports out."""
+
+    def test_monitor_flags_april_2001_style_fault(self):
+        dump = (
+            "10.2.0.0/16 | 7 | 7 4\n"
+            "10.2.0.0/16 | 8 | 8 15412\n"  # the C&W-style false origin
+            "192.0.2.0/24 | 7 | 7 9\n"
+        )
+        registry = PrefixOriginRegistry()
+        registry.register(PREFIX, [4])
+        monitor = OfflineMonitor(registry=registry)
+        report = monitor.check_table(parse_table_dump(dump))
+        conflicted = [f for f in report.findings if not f.consistent]
+        assert len(conflicted) == 1
+        assert conflicted[0].unauthorised_origins == frozenset({15412})

@@ -1,0 +1,155 @@
+"""Cross-subsystem interplay tests.
+
+Each test verifies a claim made in one module's documentation about how
+it interacts with another subsystem.
+"""
+
+import pytest
+
+from repro.bgp.aggregation import aggregate_routes
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.damping import DampingConfig, RouteFlapDamper
+from repro.bgp.network import Network
+from repro.bgp.rib import RibEntry
+from repro.core.alarms import AlarmLog
+from repro.core.checker import CheckerMode, MoasChecker
+from repro.core.moas_list import extract_moas_list, moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.measurement.moas_observer import MoasObserver
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+class TestAggregationMeetsMoasObserver:
+    def test_aggregated_route_counts_both_origins(self):
+        """Footnote 1 end-to-end: aggregation creates an AS_SET origin, and
+        the MOAS observer treats each member as an origin candidate."""
+        entries = [
+            RibEntry(
+                Prefix.parse("10.0.0.0/17"),
+                PathAttributes(as_path=AsPath.from_asns([100, 5])),
+                peer=100,
+            ),
+            RibEntry(
+                Prefix.parse("10.0.128.0/17"),
+                PathAttributes(as_path=AsPath.from_asns([100, 6])),
+                peer=100,
+            ),
+        ]
+        result = aggregate_routes(entries, aggregator_asn=100, min_length=8)
+        aggregate = result.aggregates[0]
+        origins = aggregate.attributes.as_path.origin_asns()
+        observer = MoasObserver()
+        cases = observer.observe_snapshot(0, {aggregate.prefix: origins})
+        assert len(cases) == 1
+        assert cases[0].origins == frozenset({5, 6})
+
+    def test_checker_is_lenient_on_aggregated_origins(self):
+        """extract_moas_list returns None for a listless AS_SET origin —
+        the checker accepts rather than guessing (no origin claim to
+        verify)."""
+        from repro.bgp.attributes import AsPathSegment, SegmentType
+
+        attrs = PathAttributes(
+            as_path=AsPath([AsPathSegment(SegmentType.AS_SET, [5, 6])])
+        )
+        assert extract_moas_list(attrs) is None
+        checker = MoasChecker(mode=CheckerMode.ALARM_ONLY)
+        from repro.bgp.speaker import BGPSpeaker
+        from repro.eventsim import Simulator
+
+        checker.attach(BGPSpeaker(Simulator(), 1))
+        assert checker.validate(2, P, attrs) is True
+        assert len(checker.alarms) == 0
+
+
+class TestDampingMeetsMoas:
+    def test_damping_penalises_churn_from_repeated_attack(self, chain_graph):
+        """The damping docstring's claim: an attacker that keeps flapping
+        its false origination accumulates penalty at the first checking
+        neighbour and ends up suppressed outright — damping and MOAS
+        checking compose."""
+        fast = DampingConfig(
+            penalty_per_flap=1000.0,
+            suppress_threshold=1500.0,
+            reuse_threshold=750.0,
+            half_life=30.0,
+            max_suppress_time=120.0,
+        )
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1])
+        net = Network(chain_graph)
+        # AS 4 runs damping; the attacker (5) flaps its bogus route.
+        damper = RouteFlapDamper(fast)
+        damper.attach(net.speaker(4))
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+
+        for _ in range(3):
+            net.speaker(5).originate(P)
+            net.run_to_convergence()
+            net.speaker(5).withdraw_origination(P)
+            net.run_to_convergence()
+
+        net.speaker(5).originate(P)
+        net.run_to_convergence()
+        assert damper.is_suppressed(5, P)
+        # With the flapper damped, AS 4 holds the genuine route even
+        # though the bogus path is shorter.
+        assert net.speaker(4).best_origin(P) == 1
+
+    def test_damping_does_not_penalise_the_stable_victim(self, chain_graph):
+        """The genuine origin announces once and never flaps: its penalty
+        at the damping router stays zero throughout the attack churn."""
+        fast = DampingConfig(
+            penalty_per_flap=1000.0,
+            suppress_threshold=1500.0,
+            reuse_threshold=750.0,
+            half_life=30.0,
+            max_suppress_time=120.0,
+        )
+        net = Network(chain_graph)
+        damper = RouteFlapDamper(fast)
+        damper.attach(net.speaker(4))
+        net.establish_sessions()
+        net.originate(1, P)
+        net.run_to_convergence()
+        for _ in range(3):
+            net.speaker(5).originate(P)
+            net.run_to_convergence()
+            net.speaker(5).withdraw_origination(P)
+            net.run_to_convergence()
+        assert damper.penalty(3, P) == 0.0  # the genuine route's peer side
+
+
+class TestCheckerMeetsWellKnownCommunities:
+    def test_no_export_moas_announcement_stays_local_but_consistent(self):
+        """A MOAS list composes with NO_EXPORT: the scoped announcement
+        reaches only direct peers, carries its list, and raises no alarm
+        there.  Topology: origins 1 and 2 share provider 3; AS 4 is a
+        second hop behind it."""
+        from repro.bgp.attributes import Community
+        from repro.topology import ASGraph
+
+        graph = ASGraph.from_edges([(1, 3), (2, 3), (3, 4)], transit=[3])
+        registry = PrefixOriginRegistry()
+        registry.register(P, [1, 2])
+        log = AlarmLog()
+        net = Network(graph)
+        for asn in (3, 4):
+            MoasChecker(
+                oracle=GroundTruthOracle(registry), alarm_log=log
+            ).attach(net.speaker(asn))
+        net.establish_sessions()
+        communities = set(moas_communities([1, 2]))
+        communities.add(Community.from_u32(Community.NO_EXPORT))
+        net.originate(1, P, communities=communities)
+        net.originate(2, P, communities=communities)
+        net.run_to_convergence()
+        # The direct peer holds a route and saw both consistent lists.
+        assert net.speaker(3).best_origin(P) in (1, 2)
+        assert len(log) == 0
+        # The second hop never saw it (NO_EXPORT).
+        assert net.speaker(4).best_route(P) is None

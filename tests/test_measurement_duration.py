@@ -1,0 +1,78 @@
+"""Unit tests for MOAS duration accounting (Figure 5 semantics)."""
+
+from repro.measurement.duration import DurationTracker
+from repro.measurement.moas_observer import MoasCase
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+def case(day, prefix=P, origins=(1, 2)):
+    return MoasCase(day=day, prefix=prefix, origins=frozenset(origins))
+
+
+class TestDurationTracker:
+    def test_single_day(self):
+        tracker = DurationTracker()
+        tracker.add_case(case(0))
+        assert tracker.duration_of(P) == 1
+
+    def test_non_contiguous_days_summed(self):
+        """Paper: duration counts total MOAS days 'regardless of whether
+        the days were continuous'."""
+        tracker = DurationTracker()
+        for day in (0, 5, 100):
+            tracker.add_case(case(day))
+        assert tracker.duration_of(P) == 3
+
+    def test_different_origin_sets_same_prefix_accumulate(self):
+        """'...regardless of whether the same set of origins was involved'."""
+        tracker = DurationTracker()
+        tracker.add_case(case(0, origins=(1, 2)))
+        tracker.add_case(case(1, origins=(1, 3)))
+        assert tracker.duration_of(P) == 2
+
+    def test_same_day_idempotent(self):
+        tracker = DurationTracker()
+        tracker.add_case(case(0, origins=(1, 2)))
+        tracker.add_case(case(0, origins=(3, 4)))
+        assert tracker.duration_of(P) == 1
+
+    def test_unknown_prefix_zero(self):
+        assert DurationTracker().duration_of(P) == 0
+
+    def test_histogram(self):
+        tracker = DurationTracker()
+        tracker.add_cases([case(0), case(1)])          # P: 2 days
+        tracker.add_case(case(0, prefix=Q))             # Q: 1 day
+        assert tracker.histogram() == {1: 1, 2: 1}
+
+    def test_one_day_fraction(self):
+        tracker = DurationTracker()
+        tracker.add_cases([case(0), case(1)])  # P lasts 2 days
+        tracker.add_case(case(0, prefix=Q))    # Q lasts 1 day
+        assert tracker.one_day_fraction() == 0.5
+
+    def test_one_day_fraction_empty(self):
+        assert DurationTracker().one_day_fraction() == 0.0
+
+    def test_total_cases(self):
+        tracker = DurationTracker()
+        tracker.add_case(case(0))
+        tracker.add_case(case(0, prefix=Q))
+        assert tracker.total_cases() == 2
+
+    def test_durations_sorted(self):
+        tracker = DurationTracker()
+        tracker.add_cases([case(d) for d in range(3)])
+        tracker.add_case(case(0, prefix=Q))
+        assert tracker.durations() == [1, 3]
+
+    def test_binned_histogram(self):
+        tracker = DurationTracker()
+        for day in range(10):
+            tracker.add_case(case(day))          # P: 10 days
+        tracker.add_case(case(0, prefix=Q))      # Q: 1 day
+        bins = tracker.binned_histogram([1, 5])
+        assert bins == [("1", 1), ("2-5", 0), (">5", 1)]

@@ -1,0 +1,80 @@
+"""Unit tests for the MOAS observer."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath
+from repro.measurement.moas_observer import MoasCase, MoasObserver
+from repro.net.addresses import Prefix
+from repro.topology.routeviews import RouteViewsTable
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+class TestMoasCase:
+    def test_requires_two_origins(self):
+        with pytest.raises(ValueError):
+            MoasCase(day=0, prefix=P, origins=frozenset({1}))
+
+    def test_origin_count(self):
+        case = MoasCase(day=0, prefix=P, origins=frozenset({1, 2, 3}))
+        assert case.origin_count == 3
+
+
+class TestObserver:
+    def test_detects_multi_origin_prefixes_only(self):
+        observer = MoasObserver()
+        cases = observer.observe_snapshot(
+            0, {P: frozenset({1, 2}), Q: frozenset({3})}
+        )
+        assert len(cases) == 1
+        assert cases[0].prefix == P
+
+    def test_daily_counts(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(0, {P: frozenset({1, 2})})
+        observer.observe_snapshot(1, {P: frozenset({1, 2}), Q: frozenset({1, 9})})
+        assert observer.daily_series() == [1, 2]
+        assert observer.days_observed() == 2
+
+    def test_duplicate_day_rejected(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(0, {})
+        with pytest.raises(ValueError):
+            observer.observe_snapshot(0, {})
+
+    def test_days_need_not_be_sequential(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(5, {P: frozenset({1, 2})})
+        observer.observe_snapshot(2, {})
+        assert observer.daily_series() == [0, 1]  # ordered by day
+
+    def test_distinct_prefixes(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(0, {P: frozenset({1, 2})})
+        observer.observe_snapshot(1, {P: frozenset({1, 3})})
+        assert observer.distinct_prefixes() == 1
+
+    def test_origin_count_distribution_dedups_same_origin_set(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(0, {P: frozenset({1, 2})})
+        observer.observe_snapshot(1, {P: frozenset({1, 2})})  # same case
+        observer.observe_snapshot(2, {P: frozenset({1, 2, 3})})  # new set
+        dist = observer.origin_count_distribution()
+        assert dist == {2: 1, 3: 1}
+
+    def test_observe_table(self):
+        table = RouteViewsTable(date="d")
+        table.add(P, 7, AsPath.from_asns([7, 1]))
+        table.add(P, 8, AsPath.from_asns([8, 2]))
+        observer = MoasObserver()
+        cases = observer.observe_table(0, table)
+        assert cases[0].origins == frozenset({1, 2})
+
+    def test_cases_accumulate_in_order(self):
+        observer = MoasObserver()
+        observer.observe_snapshot(0, {P: frozenset({1, 2}), Q: frozenset({3, 4})})
+        assert [str(c.prefix) for c in observer.cases] == [
+            "10.0.0.0/16",
+            "192.0.2.0/24",
+        ]

@@ -1,0 +1,84 @@
+"""Unit tests for study statistics and overhead accounting."""
+
+import pytest
+
+from repro.measurement.duration import DurationTracker
+from repro.measurement.moas_observer import MoasCase, MoasObserver
+from repro.measurement.stats import (
+    median,
+    moas_list_overhead_bytes,
+    summarise_study,
+)
+from repro.net.addresses import Prefix
+
+P = Prefix.parse("10.0.0.0/16")
+Q = Prefix.parse("192.0.2.0/24")
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_single(self):
+        assert median([7]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestSummarise:
+    def build_study(self):
+        observer = MoasObserver()
+        tracker = DurationTracker()
+        for day in range(10):
+            snapshot = {P: frozenset({1, 2})}
+            if day == 5:
+                snapshot[Q] = frozenset({3, 4, 5})
+            cases = observer.observe_snapshot(day, snapshot)
+            tracker.add_cases(cases)
+        return observer, tracker
+
+    def test_summary_fields(self):
+        observer, tracker = self.build_study()
+        summary = summarise_study(
+            observer, tracker, first_year_days=(0, 5), last_year_days=(5, 10)
+        )
+        assert summary.days_observed == 10
+        assert summary.total_cases == 2
+        assert summary.max_daily_count == 2
+        assert summary.max_daily_day == 5
+        assert summary.median_daily_first_year == 1
+        assert summary.one_day_fraction == 0.5  # Q lasted one day
+        assert summary.two_origin_share == 0.5
+        assert summary.three_origin_share == 0.5
+
+    def test_empty_study_rejected(self):
+        with pytest.raises(ValueError):
+            summarise_study(MoasObserver(), DurationTracker())
+
+    def test_rows_render(self):
+        observer, tracker = self.build_study()
+        summary = summarise_study(
+            observer, tracker, first_year_days=(0, 5), last_year_days=(5, 10)
+        )
+        rows = dict(summary.rows())
+        assert rows["days observed"] == "10"
+        assert "one-day cases" in rows
+
+
+class TestOverhead:
+    def test_single_origin_costs_nothing(self):
+        table = {P: frozenset({1})}
+        assert moas_list_overhead_bytes(table) == 0
+
+    def test_moas_costs_four_bytes_per_origin(self):
+        table = {P: frozenset({1, 2}), Q: frozenset({1, 2, 3})}
+        assert moas_list_overhead_bytes(table) == 8 + 12
+
+    def test_moas_only_false_counts_everything(self):
+        table = {P: frozenset({1})}
+        assert moas_list_overhead_bytes(table, moas_only=False) == 4

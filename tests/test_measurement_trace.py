@@ -1,0 +1,128 @@
+"""Tests for the calibrated synthetic trace generator.
+
+Full-scale calibration (1279 days) is exercised by the Figure 4/5
+benchmarks; tests here run scaled-down traces for speed and check the
+structural and statistical invariants.
+"""
+
+import random
+
+import pytest
+
+from repro.measurement.moas_observer import MoasObserver
+from repro.measurement.trace import FaultSpike, TraceConfig, TraceGenerator
+
+
+def small_config(**overrides):
+    defaults = dict(
+        days=60,
+        active_start=50,
+        active_end=80,
+        faults=(FaultSpike(day=30, faulty_as=8584, n_prefixes=40),),
+        n_background_prefixes=200,
+        n_origin_pool=300,
+    )
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_zero_days_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(days=0).validate()
+
+    def test_fault_day_outside_trace_rejected(self):
+        config = small_config(faults=(FaultSpike(day=999, faulty_as=1, n_prefixes=1),))
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_background_smaller_than_victims_rejected(self):
+        config = small_config(
+            faults=(FaultSpike(day=1, faulty_as=1, n_prefixes=500),),
+            n_background_prefixes=100,
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_bad_origin_shares_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(
+                share_two_origins=0.9, share_three_origins=0.2
+            ).validate()
+
+
+class TestTraceShape:
+    def test_day_count(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        days = [day for day, _ in gen.snapshots()]
+        assert days == list(range(60))
+
+    def test_active_population_tracks_target(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        counts = {}
+        for day, snapshot in gen.snapshots():
+            counts[day] = sum(1 for origins in snapshot.values() if len(origins) > 1)
+        # Start near active_start, end near active_end (transients add noise).
+        assert abs(counts[0] - 50) <= 10
+        assert abs(counts[59] - 80) <= 15
+
+    def test_fault_day_spikes(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        counts = {}
+        for day, snapshot in gen.snapshots():
+            counts[day] = sum(1 for origins in snapshot.values() if len(origins) > 1)
+        baseline = counts[29]
+        assert counts[30] >= baseline + 35  # the 40-prefix spike
+
+    def test_fault_prefixes_include_faulty_as(self):
+        config = small_config()
+        gen = TraceGenerator(config, random.Random(0))
+        for day, snapshot in gen.snapshots():
+            if day == 30:
+                spiked = [o for o in snapshot.values() if 8584 in o]
+                assert len(spiked) == 40
+                assert all(len(origins) == 2 for origins in spiked)
+
+    def test_background_included_when_asked(self):
+        gen = TraceGenerator(
+            small_config(include_background=True), random.Random(0)
+        )
+        _, snapshot = next(gen.snapshots())
+        singles = sum(1 for origins in snapshot.values() if len(origins) == 1)
+        assert singles >= 150  # background minus fault-victim overlap
+
+    def test_deterministic(self):
+        a = TraceGenerator(small_config(), random.Random(9))
+        b = TraceGenerator(small_config(), random.Random(9))
+        snap_a = dict(a.snapshots())
+        snap_b = dict(b.snapshots())
+        assert snap_a == snap_b
+
+
+class TestStudy:
+    def test_run_study_returns_consistent_pair(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        observer, tracker = gen.run_study(duration_cutoff=60)
+        assert observer.days_observed() == 60
+        assert tracker.total_cases() == observer.distinct_prefixes()
+
+    def test_duration_cutoff_respected(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        observer, tracker = gen.run_study(duration_cutoff=30)
+        # The day-30 fault spike is excluded from duration stats.
+        gen2 = TraceGenerator(small_config(), random.Random(0))
+        _, tracker_full = gen2.run_study(duration_cutoff=60)
+        assert tracker_full.total_cases() > tracker.total_cases()
+
+    def test_fault_cases_are_one_day(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        _, tracker = gen.run_study(duration_cutoff=60)
+        one_day = sum(1 for d in tracker.durations() if d == 1)
+        assert one_day >= 40  # at least the fault victims
+
+    def test_origin_set_sizes_dominated_by_two(self):
+        gen = TraceGenerator(small_config(), random.Random(0))
+        observer, _ = gen.run_study(duration_cutoff=60)
+        dist = observer.origin_count_distribution()
+        total = sum(dist.values())
+        assert dist.get(2, 0) / total > 0.8

@@ -1,0 +1,181 @@
+"""Unit and property tests for IPv4 prefixes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import Prefix, PrefixError, aggregate_adjacent, covers
+
+prefixes = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        p = Prefix.parse("10.2.0.0/16")
+        assert str(p) == "10.2.0.0/16"
+        assert p.length == 16
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("192.0.2.1").length == 32
+
+    def test_host_bits_cleared(self):
+        assert Prefix.parse("10.2.3.4/16") == Prefix.parse("10.2.0.0/16")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["10.0.0.0/33", "10.0.0/8", "256.0.0.0/8", "10.0.0.0/x", "a.b.c.d/8", ""],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(PrefixError):
+            Prefix.parse(text)
+
+    def test_length_out_of_range_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 33)
+
+    def test_network_out_of_range_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix(1 << 32, 8)
+
+
+class TestValueSemantics:
+    def test_equal_prefixes_hash_equal(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.255.255.255/8")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_immutable(self):
+        p = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            p.length = 16
+
+    def test_ordering(self):
+        assert Prefix.parse("9.0.0.0/8") < Prefix.parse("10.0.0.0/8")
+        assert Prefix.parse("10.0.0.0/8") < Prefix.parse("10.0.0.0/16")
+
+
+class TestAlgebra:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.2.0.0/16"))
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.2.0.0/16").contains(Prefix.parse("10.0.0.0/8"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+        assert not p.is_subprefix_of(p)
+
+    def test_disjoint(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("11.0.0.0/8")
+        assert not a.overlaps(b)
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.2.0.0/16")
+        assert p.contains_address(int.from_bytes(bytes([10, 2, 3, 4]), "big"))
+        assert not p.contains_address(int.from_bytes(bytes([10, 3, 0, 0]), "big"))
+
+    def test_address_range(self):
+        p = Prefix.parse("10.2.0.0/16")
+        assert p.first_address == (10 << 24) | (2 << 16)
+        assert p.last_address == (10 << 24) | (2 << 16) | 0xFFFF
+        assert p.size == 65536
+
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_host_route_has_no_subnets(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/32").subnets()
+
+    def test_supernet(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+
+    def test_default_route_has_no_supernet(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("0.0.0.0/0").supernet()
+
+    def test_deaggregate(self):
+        children = list(Prefix.parse("10.0.0.0/22").deaggregate(24))
+        assert [str(c) for c in children] == [
+            "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24",
+        ]
+
+    def test_deaggregate_to_shorter_rejected(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/16").deaggregate(8))
+
+    def test_deaggregate_identity(self):
+        p = Prefix.parse("10.0.0.0/16")
+        assert list(p.deaggregate(16)) == [p]
+
+
+class TestCovers:
+    def test_longest_match_wins(self):
+        table = [Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.0.0/16")]
+        address = int.from_bytes(bytes([10, 2, 1, 1]), "big")
+        assert covers(table, address) == Prefix.parse("10.2.0.0/16")
+
+    def test_no_match(self):
+        assert covers([Prefix.parse("10.0.0.0/8")], 0) is None
+
+
+class TestAggregation:
+    def test_siblings_aggregate(self):
+        a = Prefix.parse("10.0.0.0/9")
+        b = Prefix.parse("10.128.0.0/9")
+        assert aggregate_adjacent(a, b) == Prefix.parse("10.0.0.0/8")
+
+    def test_non_siblings_do_not(self):
+        a = Prefix.parse("10.128.0.0/9")
+        b = Prefix.parse("11.0.0.0/9")
+        assert aggregate_adjacent(a, b) is None
+
+    def test_equal_prefixes_do_not(self):
+        p = Prefix.parse("10.0.0.0/9")
+        assert aggregate_adjacent(p, p) is None
+
+    def test_different_lengths_do_not(self):
+        assert aggregate_adjacent(
+            Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/10")
+        ) is None
+
+
+class TestProperties:
+    @given(prefixes)
+    def test_roundtrip_through_string(self, p):
+        assert Prefix.parse(str(p)) == p
+
+    @given(prefixes)
+    def test_subnets_partition_parent(self, p):
+        if p.length == 32:
+            return
+        low, high = p.subnets()
+        assert p.contains(low) and p.contains(high)
+        assert not low.overlaps(high)
+        assert low.size + high.size == p.size
+
+    @given(prefixes)
+    def test_supernet_contains(self, p):
+        if p.length == 0:
+            return
+        assert p.supernet().contains(p)
+
+    @given(prefixes, prefixes)
+    def test_containment_antisymmetry(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(prefixes)
+    def test_subnet_aggregation_roundtrip(self, p):
+        if p.length == 32:
+            return
+        low, high = p.subnets()
+        assert aggregate_adjacent(low, high) == p

@@ -1,0 +1,58 @@
+"""Unit tests for AS number helpers."""
+
+import pytest
+
+from repro.net.asn import (
+    PRIVATE_AS_MAX,
+    PRIVATE_AS_MIN,
+    AsnError,
+    is_private_asn,
+    strip_private_asns,
+    validate_asn,
+)
+
+
+class TestValidateAsn:
+    def test_valid_passthrough(self):
+        assert validate_asn(1239) == 1239
+
+    @pytest.mark.parametrize("asn", [0, -1, 65536, 10**9])
+    def test_out_of_range_rejected(self, asn):
+        with pytest.raises(AsnError):
+            validate_asn(asn)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(AsnError):
+            validate_asn("1239")
+
+    def test_bool_rejected(self):
+        with pytest.raises(AsnError):
+            validate_asn(True)
+
+    def test_boundaries(self):
+        assert validate_asn(1) == 1
+        assert validate_asn(65535) == 65535
+
+
+class TestPrivateRange:
+    def test_private_range_bounds(self):
+        assert is_private_asn(PRIVATE_AS_MIN)
+        assert is_private_asn(PRIVATE_AS_MAX)
+        assert not is_private_asn(PRIVATE_AS_MIN - 1)
+        assert not is_private_asn(PRIVATE_AS_MAX + 1)
+
+    def test_public_asn_not_private(self):
+        assert not is_private_asn(1239)
+
+
+class TestAsePathStripping:
+    def test_strips_private(self):
+        # The ASE scenario: customer peers with private AS 64512 which the
+        # provider strips on egress.
+        assert strip_private_asns([701, 64512]) == [701]
+
+    def test_keeps_public(self):
+        assert strip_private_asns([701, 1239, 7018]) == [701, 1239, 7018]
+
+    def test_all_private_yields_empty(self):
+        assert strip_private_asns([64512, 65000]) == []

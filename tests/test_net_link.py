@@ -1,0 +1,108 @@
+"""Unit tests for point-to-point links."""
+
+import pytest
+
+from repro.net.link import Link, LinkState
+
+
+def wire(sim, delay=0.5):
+    link = Link(sim, "a", "b", delay=delay)
+    inbox_a, inbox_b = [], []
+    link.attach("a", lambda sender, msg: inbox_a.append((sim.now, sender, msg)))
+    link.attach("b", lambda sender, msg: inbox_b.append((sim.now, sender, msg)))
+    return link, inbox_a, inbox_b
+
+
+class TestConstruction:
+    def test_same_endpoints_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, "a", "a")
+
+    def test_non_positive_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, "a", "b", delay=0.0)
+
+    def test_other_end(self, sim):
+        link = Link(sim, "a", "b")
+        assert link.other_end("a") == "b"
+        assert link.other_end("b") == "a"
+        with pytest.raises(ValueError):
+            link.other_end("c")
+
+    def test_attach_unknown_endpoint_rejected(self, sim):
+        link = Link(sim, "a", "b")
+        with pytest.raises(ValueError):
+            link.attach("c", lambda s, m: None)
+
+
+class TestDelivery:
+    def test_message_arrives_after_delay(self, sim):
+        link, _, inbox_b = wire(sim, delay=0.5)
+        link.send("a", "hello")
+        sim.run()
+        assert inbox_b == [(0.5, "a", "hello")]
+
+    def test_bidirectional(self, sim):
+        link, inbox_a, inbox_b = wire(sim)
+        link.send("a", "to-b")
+        link.send("b", "to-a")
+        sim.run()
+        assert [m for _, _, m in inbox_b] == ["to-b"]
+        assert [m for _, _, m in inbox_a] == ["to-a"]
+
+    def test_fifo_order(self, sim):
+        link, _, inbox_b = wire(sim)
+        for i in range(5):
+            link.send("a", i)
+        sim.run()
+        assert [m for _, _, m in inbox_b] == [0, 1, 2, 3, 4]
+
+    def test_missing_receiver_raises(self, sim):
+        link = Link(sim, "a", "b")
+        link.send("a", "x")
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_counters(self, sim):
+        link, _, _ = wire(sim)
+        link.send("a", "x")
+        sim.run()
+        assert link.messages_sent == 1
+        assert link.messages_dropped == 0
+
+
+class TestFailure:
+    def test_send_on_down_link_dropped(self, sim):
+        link, _, inbox_b = wire(sim)
+        link.fail()
+        assert link.send("a", "x") is False
+        sim.run()
+        assert inbox_b == []
+        assert link.messages_dropped == 1
+
+    def test_in_flight_messages_lost_on_failure(self, sim):
+        link, _, inbox_b = wire(sim, delay=1.0)
+        link.send("a", "x")
+        sim.schedule_at(0.5, link.fail)
+        sim.run()
+        assert inbox_b == []
+        assert link.messages_dropped == 1
+
+    def test_restore_allows_new_traffic(self, sim):
+        link, _, inbox_b = wire(sim)
+        link.fail()
+        link.restore()
+        assert link.state is LinkState.UP
+        link.send("a", "x")
+        sim.run()
+        assert [m for _, _, m in inbox_b] == ["x"]
+
+    def test_pre_failure_messages_lost_even_after_restore(self, sim):
+        # fail at 0.2, restore at 0.4; message sent at 0 (arriving 1.0) was
+        # on the wire during the outage and must not be resurrected.
+        link, _, inbox_b = wire(sim, delay=1.0)
+        link.send("a", "x")
+        sim.schedule_at(0.2, link.fail)
+        sim.schedule_at(0.4, link.restore)
+        sim.run()
+        assert inbox_b == []

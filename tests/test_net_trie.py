@@ -1,0 +1,153 @@
+"""Unit and property tests for the prefix trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import Prefix, PrefixError, covers
+from repro.net.trie import PrefixTrie
+
+prefixes = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert not trie
+        assert trie.longest_match(0) is None
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) is None
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        assert trie.insert(Prefix.parse("10.0.0.0/8"), "a") is None
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "old")
+        assert trie.insert(p, "new") == "old"
+        assert trie.exact(p) == "new"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "a")
+        assert trie.remove(p) == "a"
+        assert trie.remove(p) is None
+        assert len(trie) == 0
+
+    def test_remove_keeps_siblings(self):
+        trie = PrefixTrie()
+        a, b = Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/9")
+        trie.insert(a, 1)
+        trie.insert(b, 2)
+        trie.remove(a)
+        assert trie.exact(b) == 2
+
+    def test_remove_interior_keeps_descendants(self):
+        trie = PrefixTrie()
+        parent, child = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.0.0/16")
+        trie.insert(parent, "p")
+        trie.insert(child, "c")
+        trie.remove(parent)
+        assert trie.exact(child) == "c"
+        assert len(trie) == 1
+
+    def test_clear(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), 1)
+        trie.clear()
+        assert len(trie) == 0
+
+
+class TestLongestMatch:
+    def test_more_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "general")
+        trie.insert(Prefix.parse("10.2.0.0/16"), "specific")
+        match = trie.longest_match(int.from_bytes(bytes([10, 2, 3, 4]), "big"))
+        assert match == (Prefix.parse("10.2.0.0/16"), "specific")
+
+    def test_falls_back_to_less_specific(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "general")
+        trie.insert(Prefix.parse("10.2.0.0/16"), "specific")
+        match = trie.longest_match(int.from_bytes(bytes([10, 9, 9, 9]), "big"))
+        assert match == (Prefix.parse("10.0.0.0/8"), "general")
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert trie.longest_match(12345) == (Prefix.parse("0.0.0.0/0"), "default")
+
+    def test_no_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert trie.longest_match(int.from_bytes(bytes([11, 0, 0, 1]), "big")) is None
+
+    def test_address_out_of_range(self):
+        with pytest.raises(PrefixError):
+            PrefixTrie().longest_match(1 << 33)
+
+    def test_covering_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        found = trie.covering(Prefix.parse("10.2.0.0/16"))
+        assert found == (Prefix.parse("10.0.0.0/8"), "a")
+
+    def test_covering_self(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.2.0.0/16")
+        trie.insert(p, "x")
+        assert trie.covering(p) == (p, "x")
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        trie = PrefixTrie()
+        entries = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.2.0.0/16"),
+            Prefix.parse("192.0.2.0/24"),
+        ]
+        for i, p in enumerate(entries):
+            trie.insert(p, i)
+        assert list(trie.prefixes()) == entries
+
+
+class TestAgainstReference:
+    @given(st.lists(prefixes, max_size=30), addresses)
+    def test_longest_match_agrees_with_linear_scan(self, prefix_list, address):
+        trie = PrefixTrie()
+        unique = list(dict.fromkeys(prefix_list))
+        for p in unique:
+            trie.insert(p, str(p))
+        expected = covers(unique, address)
+        got = trie.longest_match(address)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[0] == expected
+
+    @given(st.lists(prefixes, max_size=30))
+    def test_insert_remove_roundtrip(self, prefix_list):
+        trie = PrefixTrie()
+        unique = list(dict.fromkeys(prefix_list))
+        for p in unique:
+            trie.insert(p, str(p))
+        assert len(trie) == len(unique)
+        assert sorted(trie.prefixes()) == sorted(unique)
+        for p in unique:
+            assert trie.remove(p) == str(p)
+        assert len(trie) == 0
+        # Fully pruned: the root has no children left.
+        assert trie._root.children == [None, None]

@@ -1,0 +1,131 @@
+"""Property-based integration tests: invariants of converged BGP state.
+
+Hypothesis generates random connected topologies and origin placements;
+after convergence the routing state must satisfy path-vector invariants
+regardless of the draw:
+
+* every installed AS path is a real walk in the peering graph;
+* paths are loop-free (no AS appears twice);
+* the path recorded at an AS starts at one of its actual neighbours and
+  ends at the origin;
+* installed path lengths are bounded below by graph distance;
+* the data plane delivers from every AS.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp.forwarding import DeliveryOutcome, trace_packet
+from repro.bgp.network import Network
+from repro.net.addresses import Prefix
+from repro.topology import ASGraph
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+@st.composite
+def connected_topologies(draw):
+    """A random connected AS graph of 4-12 nodes plus an origin choice."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    asns = [10 * (i + 1) for i in range(n)]
+    # A random spanning tree guarantees connectivity...
+    edges = set()
+    for i in range(1, n):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        edges.add((min(asns[i], asns[j]), max(asns[i], asns[j])))
+    # ...plus random extra edges for mesh-ness.
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j:
+            edges.add((min(asns[i], asns[j]), max(asns[i], asns[j])))
+    origin = asns[draw(st.integers(min_value=0, max_value=n - 1))]
+    return ASGraph.from_edges(sorted(edges)), origin
+
+
+def converge(graph, origin):
+    net = Network(graph)
+    net.establish_sessions()
+    net.originate(origin, P)
+    net.run_to_convergence()
+    return net
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies())
+def test_paths_are_real_walks(draw):
+    graph, origin = draw
+    net = converge(graph, origin)
+    for asn in graph.asns():
+        best = net.speaker(asn).best_route(P)
+        assert best is not None, f"AS{asn} has no route"
+        if best.is_local:
+            continue
+        path = [asn] + list(best.attributes.as_path.asns())
+        for left, right in zip(path, path[1:]):
+            assert graph.has_link(left, right), (
+                f"AS{asn} installed a path using nonexistent link "
+                f"{left}-{right}"
+            )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies())
+def test_paths_are_loop_free_and_end_at_origin(draw):
+    graph, origin = draw
+    net = converge(graph, origin)
+    for asn in graph.asns():
+        best = net.speaker(asn).best_route(P)
+        if best.is_local:
+            assert asn == origin
+            continue
+        path = list(best.attributes.as_path.asns())
+        assert len(path) == len(set(path)), f"loop in {path}"
+        assert asn not in path
+        assert path[-1] == origin
+        assert path[0] == best.peer
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies())
+def test_path_lengths_bounded_by_graph_distance(draw):
+    graph, origin = draw
+    net = converge(graph, origin)
+    nxg = graph.to_networkx()
+    distances = nx.single_source_shortest_path_length(nxg, origin)
+    for asn in graph.asns():
+        best = net.speaker(asn).best_route(P)
+        length = best.attributes.as_path.length
+        assert length >= distances[asn], (
+            f"AS{asn} claims a path shorter than the graph distance"
+        )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies())
+def test_data_plane_delivers_everywhere(draw):
+    graph, origin = draw
+    net = converge(graph, origin)
+    for asn in graph.asns():
+        trace = trace_packet(net, asn, P, legitimate_origins=[origin])
+        assert trace.outcome is DeliveryOutcome.DELIVERED
+        assert trace.final_as == origin
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(connected_topologies())
+def test_withdrawal_leaves_no_ghost_routes(draw):
+    """After the origin withdraws, no AS may retain any route — the
+    regression test for stale-route-after-loop-detection."""
+    graph, origin = draw
+    net = converge(graph, origin)
+    net.speaker(origin).withdraw_origination(P)
+    net.run_to_convergence()
+    for asn in graph.asns():
+        assert net.speaker(asn).best_route(P) is None

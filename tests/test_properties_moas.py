@@ -1,0 +1,131 @@
+"""Property-based tests of the MOAS-list scheme's core guarantees.
+
+Hypothesis draws random topologies, origin sets and attacker placements;
+the scheme's §4 guarantees must hold for every draw:
+
+* **no false alarms**: a valid MOAS (all origins attach the same list)
+  never raises an alarm, whatever the topology;
+* **soundness of suppression**: with a ground-truth oracle, no genuine
+  origin's route is ever suppressed;
+* **alarm completeness**: any capable router that has *observed* both a
+  genuine list and a conflicting one has raised an alarm;
+* **detection dominance**: full deployment never increases the poisoned
+  set compared with no deployment.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp.network import Network
+from repro.core.alarms import AlarmLog
+from repro.core.checker import MoasChecker
+from repro.core.moas_list import moas_communities
+from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.net.addresses import Prefix
+from repro.topology import ASGraph
+
+P = Prefix.parse("10.0.0.0/16")
+
+
+@st.composite
+def scenarios(draw):
+    """Random connected graph + origin set + attacker set (disjoint)."""
+    n = draw(st.integers(min_value=5, max_value=11))
+    asns = [10 * (i + 1) for i in range(n)]
+    edges = set()
+    for i in range(1, n):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        edges.add((min(asns[i], asns[j]), max(asns[i], asns[j])))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j:
+            edges.add((min(asns[i], asns[j]), max(asns[i], asns[j])))
+    graph = ASGraph.from_edges(sorted(edges))
+
+    n_origins = draw(st.integers(min_value=1, max_value=2))
+    origins = asns[:n_origins]
+    candidates = asns[n_origins:]
+    n_attackers = draw(st.integers(min_value=0, max_value=len(candidates)))
+    attackers = candidates[:n_attackers]
+    return graph, origins, attackers
+
+
+def deploy_and_run(graph, origins, attackers, detect):
+    registry = PrefixOriginRegistry()
+    registry.register(P, origins)
+    oracle = GroundTruthOracle(registry)
+    log = AlarmLog()
+    net = Network(graph)
+    checkers = {}
+    if detect:
+        for asn in graph.asns():
+            if asn in attackers:
+                continue
+            checker = MoasChecker(oracle=oracle, alarm_log=log)
+            checker.attach(net.speaker(asn))
+            checkers[asn] = checker
+    net.establish_sessions()
+    communities = moas_communities(origins) if len(origins) > 1 else ()
+    for origin in origins:
+        net.originate(origin, P, communities=communities)
+    for attacker in attackers:
+        net.speaker(attacker).originate(P)
+    net.run_to_convergence()
+    return net, log, checkers
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenarios())
+def test_valid_moas_never_alarms(draw):
+    graph, origins, _ = draw
+    net, log, _ = deploy_and_run(graph, origins, attackers=[], detect=True)
+    assert len(log) == 0
+    best = net.best_origins(P)
+    assert all(v in set(origins) for v in best.values())
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenarios())
+def test_genuine_routes_never_suppressed(draw):
+    graph, origins, attackers = draw
+    net, log, checkers = deploy_and_run(graph, origins, attackers, detect=True)
+    # No alarm ever points at a genuine origin.
+    assert not (log.suspects() & set(origins))
+    # Each origin's own route survives at the origin itself.
+    for origin in origins:
+        assert net.speaker(origin).best_origin(P) == origin
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenarios())
+def test_detection_never_worse_than_normal(draw):
+    graph, origins, attackers = draw
+    attacker_set = set(attackers)
+
+    def poisoned(detect):
+        net, _, _ = deploy_and_run(graph, origins, attackers, detect)
+        return {
+            asn
+            for asn, best in net.best_origins(P).items()
+            if asn not in attacker_set and best in attacker_set
+        }
+
+    assert poisoned(True) <= poisoned(False)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenarios())
+def test_alarm_completeness(draw):
+    """Every checker that observed two inconsistent lists has alarmed."""
+    graph, origins, attackers = draw
+    net, log, checkers = deploy_and_run(graph, origins, attackers, detect=True)
+    alarmed = log.detectors()
+    for asn, checker in checkers.items():
+        observed = checker._observed.get(P, set())
+        if len(observed) > 1:
+            assert asn in alarmed

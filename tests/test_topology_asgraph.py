@@ -1,0 +1,128 @@
+"""Unit tests for the AS graph."""
+
+import pytest
+
+from repro.topology import ASGraph, ASRole
+
+
+class TestConstruction:
+    def test_from_edges_assigns_roles(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3)], transit=[2])
+        assert g.role(2) is ASRole.TRANSIT
+        assert g.role(1) is ASRole.STUB
+        assert g.transit_asns() == [2]
+        assert g.stub_asns() == [1, 3]
+
+    def test_self_loop_rejected(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_link(1, 1)
+
+    def test_add_link_creates_nodes(self):
+        g = ASGraph()
+        g.add_link(1, 2)
+        assert 1 in g and 2 in g
+
+    def test_invalid_asn_rejected(self):
+        g = ASGraph()
+        with pytest.raises(Exception):
+            g.add_as(0)
+
+    def test_set_role_unknown_as(self):
+        g = ASGraph()
+        with pytest.raises(KeyError):
+            g.set_role(1, ASRole.TRANSIT)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.g = ASGraph.from_edges(
+            [(1, 2), (2, 3), (3, 4), (2, 4)], transit=[2, 3]
+        )
+
+    def test_len_and_links(self):
+        assert len(self.g) == 4
+        assert self.g.num_links() == 4
+
+    def test_neighbors_sorted(self):
+        assert self.g.neighbors(2) == [1, 3, 4]
+
+    def test_neighbors_unknown_as(self):
+        with pytest.raises(KeyError):
+            self.g.neighbors(99)
+
+    def test_degree(self):
+        assert self.g.degree(2) == 3
+        assert self.g.degree(1) == 1
+
+    def test_has_link_symmetric(self):
+        assert self.g.has_link(1, 2)
+        assert self.g.has_link(2, 1)
+        assert not self.g.has_link(1, 4)
+
+    def test_average_degree(self):
+        assert self.g.average_degree() == pytest.approx(2.0)
+
+    def test_degree_histogram(self):
+        assert self.g.degree_histogram() == {1: 1, 2: 2, 3: 1}
+
+    def test_edges_canonical(self):
+        for a, b in self.g.edges():
+            assert a < b
+
+    def test_shortest_path_length(self):
+        assert self.g.shortest_path_length(1, 4) == 2
+
+
+class TestConnectivity:
+    def test_connected(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3)])
+        assert g.is_connected()
+
+    def test_disconnected(self):
+        g = ASGraph.from_edges([(1, 2), (3, 4)])
+        assert not g.is_connected()
+        components = g.connected_components()
+        assert {frozenset({1, 2}), frozenset({3, 4})} == set(components)
+
+    def test_largest_component(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3), (4, 5)])
+        assert g.largest_component() == frozenset({1, 2, 3})
+
+    def test_empty_graph_connected(self):
+        assert ASGraph().is_connected()
+
+
+class TestDerivation:
+    def test_subgraph_preserves_roles_and_edges(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3), (1, 3)], transit=[2])
+        sub = g.subgraph([1, 2])
+        assert len(sub) == 2
+        assert sub.has_link(1, 2)
+        assert sub.role(2) is ASRole.TRANSIT
+
+    def test_subgraph_unknown_as_rejected(self):
+        g = ASGraph.from_edges([(1, 2)])
+        with pytest.raises(KeyError):
+            g.subgraph([1, 99])
+
+    def test_copy_is_independent(self):
+        g = ASGraph.from_edges([(1, 2)])
+        clone = g.copy()
+        clone.remove_as(1)
+        assert 1 in g
+        assert 1 not in clone
+
+    def test_remove_as(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3)])
+        g.remove_as(2)
+        assert len(g) == 2
+        assert g.num_links() == 0
+        with pytest.raises(KeyError):
+            g.remove_as(2)
+
+    def test_to_networkx_is_copy(self):
+        g = ASGraph.from_edges([(1, 2)])
+        nxg = g.to_networkx()
+        nxg.remove_node(1)
+        assert 1 in g

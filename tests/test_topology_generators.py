@@ -1,0 +1,122 @@
+"""Unit tests for synthetic topology generation."""
+
+import random
+
+import pytest
+
+from repro.topology import ASRole
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    config_for_size,
+    generate_internet_like,
+    generate_paper_topology,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transit": 1},
+            {"tier1_clique": 1},
+            {"tier1_clique": 1000},
+            {"transit_attach_min": 0},
+            {"transit_attach_min": 5, "transit_attach_max": 2},
+            {"stub_single_homed_fraction": 1.5},
+            {"stub_max_providers": 0},
+            {"n_stub": -1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            InternetTopologyConfig(**kwargs).validate()
+
+    def test_overlapping_asn_ranges_rejected(self):
+        config = InternetTopologyConfig(
+            n_transit=10, first_transit_asn=1, n_stub=10, first_stub_asn=5
+        )
+        with pytest.raises(ValueError):
+            generate_internet_like(config, random.Random(0))
+
+
+class TestInternetLike:
+    def setup_method(self):
+        self.config = InternetTopologyConfig(n_transit=30, n_stub=200)
+        self.graph = generate_internet_like(self.config, random.Random(0))
+
+    def test_connected(self):
+        assert self.graph.is_connected()
+
+    def test_node_count(self):
+        assert len(self.graph) == 230
+
+    def test_role_split(self):
+        assert len(self.graph.transit_asns()) == 30
+        assert len(self.graph.stub_asns()) == 200
+
+    def test_stubs_attach_only_to_transit(self):
+        for stub in self.graph.stub_asns():
+            for neighbor in self.graph.neighbors(stub):
+                assert self.graph.role(neighbor) is ASRole.TRANSIT
+
+    def test_tier1_clique_meshed(self):
+        core = self.graph.transit_asns()[: self.config.tier1_clique]
+        for i, a in enumerate(core):
+            for b in core[i + 1:]:
+                assert self.graph.has_link(a, b)
+
+    def test_stub_provider_counts_within_bounds(self):
+        for stub in self.graph.stub_asns():
+            assert 1 <= self.graph.degree(stub) <= self.config.stub_max_providers
+
+    def test_deterministic(self):
+        again = generate_internet_like(self.config, random.Random(0))
+        assert again.edges() == self.graph.edges()
+
+    def test_heavy_tail(self):
+        """Preferential attachment must concentrate degree: the busiest
+        transit AS should carry several times the median degree."""
+        degrees = sorted(self.graph.degree(a) for a in self.graph.transit_asns())
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] >= 3 * median
+
+
+class TestPaperTopology:
+    @pytest.mark.parametrize("size", [25, 46, 63])
+    def test_exact_size_and_connected(self, size):
+        graph = generate_paper_topology(size, seed=7)
+        assert len(graph) == size
+        assert graph.is_connected()
+
+    def test_has_both_roles(self):
+        graph = generate_paper_topology(46, seed=7)
+        assert graph.transit_asns()
+        assert graph.stub_asns()
+
+    def test_transit_pruning_invariant(self):
+        graph = generate_paper_topology(46, seed=7)
+        for asn in graph.transit_asns():
+            assert graph.degree(asn) >= 2
+
+    def test_deterministic(self):
+        a = generate_paper_topology(25, seed=5)
+        b = generate_paper_topology(25, seed=5)
+        assert a.edges() == b.edges()
+
+    def test_seed_variation(self):
+        a = generate_paper_topology(25, seed=1)
+        b = generate_paper_topology(25, seed=2)
+        assert a.edges() != b.edges()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_paper_topology(3)
+
+    def test_size_scaled_richness(self):
+        """config_for_size encodes Figure 8's character: small samples are
+        sparser than large ones."""
+        small = config_for_size(25)
+        large = config_for_size(63)
+        assert small.stub_single_homed_fraction > large.stub_single_homed_fraction
+        assert small.stub_max_providers <= large.stub_max_providers
+        assert small.tier1_clique <= large.tier1_clique

@@ -1,0 +1,88 @@
+"""Unit tests for AS-path peering inference (§5.1)."""
+
+from repro.bgp.attributes import AsPath, AsPathSegment, SegmentType
+from repro.net.addresses import Prefix
+from repro.topology.inference import infer_from_paths, infer_from_table
+from repro.topology.routeviews import RouteViewsTable
+
+
+class TestPaperExample:
+    def test_1239_6453_4621(self):
+        """The paper's own example: path 1239 6453 4621 makes 6453 a transit
+        AS peering with both 1239 and 4621."""
+        result = infer_from_paths([AsPath.from_asns([1239, 6453, 4621])])
+        assert result.graph.has_link(1239, 6453)
+        assert result.graph.has_link(6453, 4621)
+        assert not result.graph.has_link(1239, 4621)
+        assert 6453 in result.transit
+        assert 4621 in result.stubs
+
+    def test_first_as_also_transit_when_interior_elsewhere(self):
+        # AS 1239 appears interior in the second path, so it is transit.
+        result = infer_from_paths(
+            [
+                AsPath.from_asns([1239, 6453, 4621]),
+                AsPath.from_asns([701, 1239, 7018]),
+            ]
+        )
+        assert 1239 in result.transit
+
+
+class TestMechanics:
+    def test_single_hop_path_all_stubs(self):
+        result = infer_from_paths([AsPath.from_asns([1, 2])])
+        assert result.transit == frozenset()
+        assert result.stubs == frozenset({1, 2})
+        assert result.graph.has_link(1, 2)
+
+    def test_prepending_collapsed(self):
+        # 2 2 2 is AS-path prepending, not three distinct hops.
+        result = infer_from_paths([AsPath.from_asns([1, 2, 2, 2, 3])])
+        assert result.graph.num_links() == 2
+        assert result.graph.has_link(1, 2)
+        assert result.graph.has_link(2, 3)
+        assert not result.graph.has_link(2, 2) if 2 in result.graph else True
+
+    def test_as_set_segments_skipped(self):
+        path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [1, 2]),
+                AsPathSegment(SegmentType.AS_SET, [3, 4]),
+            ]
+        )
+        result = infer_from_paths([path])
+        assert result.graph.has_link(1, 2)
+        # No adjacency inferred into or inside the set.
+        assert 3 not in result.graph
+        assert 4 not in result.graph
+
+    def test_duplicate_paths_idempotent(self):
+        path = AsPath.from_asns([1, 2, 3])
+        once = infer_from_paths([path])
+        thrice = infer_from_paths([path, path, path])
+        assert once.graph.edges() == thrice.graph.edges()
+        assert once.transit == thrice.transit
+
+    def test_empty_and_set_only_paths_skipped(self):
+        set_only = AsPath([AsPathSegment(SegmentType.AS_SET, [1, 2])])
+        result = infer_from_paths([AsPath(), set_only, AsPath.from_asns([1, 2])])
+        assert result.paths_used == 1
+        assert result.paths_skipped == 2
+
+    def test_counts(self):
+        result = infer_from_paths(
+            [AsPath.from_asns([1, 2, 3]), AsPath.from_asns([4, 2, 5])]
+        )
+        assert result.paths_used == 2
+        assert len(result.graph) == 5
+        assert result.transit == frozenset({2})
+
+
+class TestFromTable:
+    def test_inference_from_dump(self):
+        table = RouteViewsTable(date="d")
+        table.add(Prefix.parse("10.0.0.0/8"), 1, AsPath.from_asns([1, 2, 3]))
+        table.add(Prefix.parse("11.0.0.0/8"), 1, AsPath.from_asns([1, 4]))
+        result = infer_from_table(table)
+        assert len(result.graph) == 4
+        assert result.transit == frozenset({2})

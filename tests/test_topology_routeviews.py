@@ -1,0 +1,115 @@
+"""Unit tests for RouteViews-style dump I/O."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import AsPath, AsPathSegment, SegmentType
+from repro.net.addresses import Prefix
+from repro.topology.routeviews import (
+    DumpFormatError,
+    RouteViewsTable,
+    parse_table_dump,
+    render_table_dump,
+)
+
+P = Prefix.parse("192.0.2.0/24")
+
+
+def sample_table():
+    table = RouteViewsTable(date="1998-04-07", collector="oregon")
+    table.add(P, 6447, AsPath.from_asns([6447, 1239, 6453, 4621]))
+    table.add(P, 7018, AsPath.from_asns([7018, 4621]))
+    table.add(Prefix.parse("10.0.0.0/8"), 6447, AsPath.from_asns([6447, 701]))
+    return table
+
+
+class TestTable:
+    def test_prefixes(self):
+        table = sample_table()
+        assert table.prefixes() == [Prefix.parse("10.0.0.0/8"), P]
+
+    def test_entries_for_prefix(self):
+        assert len(sample_table().entries_for_prefix(P)) == 2
+
+    def test_origins_by_prefix(self):
+        origins = sample_table().origins_by_prefix()
+        assert origins[P] == frozenset({4621})
+        assert origins[Prefix.parse("10.0.0.0/8")] == frozenset({701})
+
+    def test_moas_visible_in_origins(self):
+        table = sample_table()
+        table.add(P, 3333, AsPath.from_asns([3333, 9999]))
+        assert table.origins_by_prefix()[P] == frozenset({4621, 9999})
+
+
+class TestRoundtrip:
+    def test_render_parse_roundtrip(self):
+        table = sample_table()
+        parsed = parse_table_dump(render_table_dump(table))
+        assert parsed.date == table.date
+        assert parsed.collector == table.collector
+        assert len(parsed) == len(table)
+        for original, reparsed in zip(table.entries, parsed.entries):
+            assert original.prefix == reparsed.prefix
+            assert original.peer == reparsed.peer
+            assert original.as_path == reparsed.as_path
+
+    def test_as_set_roundtrip(self):
+        table = RouteViewsTable(date="d")
+        path = AsPath(
+            [
+                AsPathSegment(SegmentType.AS_SEQUENCE, [1, 2]),
+                AsPathSegment(SegmentType.AS_SET, [3, 4]),
+            ]
+        )
+        table.add(P, 1, path)
+        parsed = parse_table_dump(render_table_dump(table))
+        assert parsed.entries[0].as_path == path
+        assert parsed.entries[0].origin_asns == frozenset({3, 4})
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=65535), min_size=1, max_size=6),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_random_paths(self, paths):
+        table = RouteViewsTable(date="x")
+        for i, asns in enumerate(paths):
+            table.add(Prefix((10 << 24) | (i << 8), 24), asns[0], AsPath.from_asns(asns))
+        parsed = parse_table_dump(render_table_dump(table))
+        assert [e.as_path for e in parsed.entries] == [e.as_path for e in table.entries]
+
+
+class TestParsingErrors:
+    def test_wrong_field_count(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0.0/8 | 1\n")
+
+    def test_bad_peer(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0.0/8 | x | 1 2\n")
+
+    def test_bad_prefix(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0/8 | 1 | 1 2\n")
+
+    def test_bad_path_token(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0.0/8 | 1 | 1 abc\n")
+
+    def test_unterminated_as_set(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0.0/8 | 1 | 1 {2,3\n")
+
+    def test_empty_path(self):
+        with pytest.raises(DumpFormatError):
+            parse_table_dump("10.0.0.0/8 | 1 |  \n")
+
+    def test_blank_lines_and_comments_ignored(self):
+        text = "# routeviews-dump date=d collector=c\n\n10.0.0.0/8 | 1 | 1 2\n\n"
+        table = parse_table_dump(text)
+        assert len(table) == 1
+        assert table.date == "d"
+        assert table.collector == "c"

@@ -1,0 +1,73 @@
+"""Unit tests for the paper's topology sampling procedure."""
+
+import random
+
+import pytest
+
+from repro.topology import ASGraph, ASRole
+from repro.topology.generators import InternetTopologyConfig, generate_internet_like
+from repro.topology.sampling import SamplingError, sample_topology
+
+
+@pytest.fixture(scope="module")
+def full_graph():
+    config = InternetTopologyConfig()
+    return generate_internet_like(config, random.Random(11))
+
+
+class TestSampling:
+    def test_sample_is_connected(self, full_graph):
+        sample = sample_topology(full_graph, 0.05, random.Random(1))
+        assert sample.is_connected()
+
+    def test_no_weak_transit_survives(self, full_graph):
+        """The paper's pruning invariant: every remaining transit AS has at
+        least two peers."""
+        sample = sample_topology(full_graph, 0.05, random.Random(2))
+        for asn in sample.transit_asns():
+            assert sample.degree(asn) >= 2
+
+    def test_no_isolated_stub_survives(self, full_graph):
+        sample = sample_topology(full_graph, 0.05, random.Random(3))
+        for asn in sample.stub_asns():
+            assert sample.degree(asn) >= 1
+
+    def test_sampled_stubs_keep_their_transit_peers_links(self, full_graph):
+        """Peering relations among selected ASes are completely preserved:
+        every edge in the sample exists in the full graph."""
+        sample = sample_topology(full_graph, 0.05, random.Random(4))
+        for a, b in sample.edges():
+            assert full_graph.has_link(a, b)
+
+    def test_roles_preserved(self, full_graph):
+        sample = sample_topology(full_graph, 0.05, random.Random(5))
+        for asn in sample.asns():
+            assert sample.role(asn) == full_graph.role(asn)
+
+    def test_deterministic_given_rng(self, full_graph):
+        a = sample_topology(full_graph, 0.05, random.Random(7))
+        b = sample_topology(full_graph, 0.05, random.Random(7))
+        assert a.asns() == b.asns()
+        assert a.edges() == b.edges()
+
+    def test_larger_fraction_larger_sample(self, full_graph):
+        small = sample_topology(full_graph, 0.02, random.Random(8))
+        large = sample_topology(full_graph, 0.30, random.Random(8))
+        assert len(large) > len(small)
+
+    def test_bad_fraction_rejected(self, full_graph):
+        with pytest.raises(ValueError):
+            sample_topology(full_graph, 0.0, random.Random(0))
+        with pytest.raises(ValueError):
+            sample_topology(full_graph, 1.5, random.Random(0))
+
+    def test_no_stubs_rejected(self):
+        g = ASGraph.from_edges([(1, 2), (2, 3), (1, 3)], transit=[1, 2, 3])
+        with pytest.raises(SamplingError):
+            sample_topology(g, 0.5, random.Random(0))
+
+    def test_target_size_enforced(self, full_graph):
+        sample = sample_topology(
+            full_graph, 0.10, random.Random(9), target_size=30
+        )
+        assert len(sample) >= 30
