@@ -1,0 +1,115 @@
+"""Parallel executor benchmark — serial vs pooled sweep wall time.
+
+Two measurements back the executor's existence:
+
+1. **Macro**: one full-deployment sweep (2 fractions x 3 origin sets x
+   5 attacker sets = 30 runs on the 63-AS topology) timed serially and
+   with a process pool sized to the machine.  The points must be
+   bit-identical; on a >= 4-core machine the pooled run must be >= 2x
+   faster.  On smaller machines (CI containers are often 1-2 cores) the
+   speedup assertion is skipped — pool startup would dominate — but the
+   identity assertion always holds.
+2. **Micro**: single-scenario simulator throughput (events/sec), the
+   metric the hot-path optimisation pass moves.
+
+Results land in ``benchmarks/results/BENCH_parallel.json`` so successive
+optimisation PRs have a comparable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.experiments.runner import (
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+FRACS = (0.10, 0.30)
+
+
+def _sweep_config(graph):
+    return SweepConfig(
+        graph=graph,
+        attacker_fractions=FRACS,
+        deployment=DeploymentKind.FULL,
+        seed=TOPOLOGY_SEED,
+    )
+
+
+def _time_sweep(graph, workers):
+    started = time.perf_counter()
+    result = run_sweep(_sweep_config(graph), workers=workers)
+    return time.perf_counter() - started, result
+
+
+def test_bench_parallel_executor(paper_topologies, results_dir):
+    graph = paper_topologies[63]
+    cores = os.cpu_count() or 1
+    pool_workers = max(2, min(cores, 8))
+
+    serial_secs, serial = _time_sweep(graph, workers=1)
+    pooled_secs, pooled = _time_sweep(graph, workers=pool_workers)
+
+    # Determinism is unconditional: same points, any worker count.
+    assert pooled.points == serial.points
+
+    speedup = serial_secs / pooled_secs if pooled_secs > 0 else 0.0
+    runs = sum(point.runs for point in serial.points)
+
+    # Single-scenario throughput (micro): best of three, warm caches.
+    ases = sorted(graph.asns())
+    scenario = HijackScenario(
+        graph=graph, origins=[ases[10]], attackers=[ases[40]],
+        deployment=DeploymentKind.FULL, seed=3,
+    )
+    run_hijack_scenario(scenario)  # warm parse/topology caches
+    micro = max(
+        (run_hijack_scenario(scenario) for _ in range(3)),
+        key=lambda outcome: outcome.events_per_sec,
+    )
+
+    record = {
+        "topology_size": len(graph),
+        "cores": cores,
+        "pool_workers": pool_workers,
+        "sweep_runs": runs,
+        "serial_seconds": round(serial_secs, 3),
+        "parallel_seconds": round(pooled_secs, 3),
+        "speedup": round(speedup, 2),
+        "points_identical": pooled.points == serial.points,
+        "single_scenario": {
+            "events_processed": micro.events_processed,
+            "updates_sent": micro.updates_sent,
+            "wall_seconds": round(micro.wall_seconds, 4),
+            "events_per_sec": round(micro.events_per_sec, 1),
+        },
+    }
+    (results_dir / "BENCH_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    lines = [
+        "Parallel executor: serial vs pooled sweep (63-AS, full deployment)",
+        f"  cores={cores}  pool_workers={pool_workers}  runs={runs}",
+        f"  serial   {serial_secs:7.2f} s",
+        f"  pooled   {pooled_secs:7.2f} s   speedup {speedup:4.2f}x",
+        "  points bit-identical: yes",
+        f"  single scenario: {micro.events_processed} events, "
+        f"{micro.events_per_sec:,.0f} events/sec",
+    ]
+    emit(results_dir, "BENCH_parallel", "\n".join(lines))
+
+    assert micro.events_per_sec > 0.0
+    if cores >= 4:
+        # The acceptance bar from the issue; meaningless on 1-2 core
+        # boxes where pool startup eats the win.
+        assert speedup >= 2.0, (
+            f"expected >= 2x on {cores} cores, measured {speedup:.2f}x"
+        )

@@ -92,10 +92,12 @@ class AsPath:
     origins; the MOAS observer must treat each as an origin candidate.
     """
 
-    __slots__ = ("segments",)
+    __slots__ = ("segments", "_length", "_origins")
 
     def __init__(self, segments: Iterable[AsPathSegment] = ()) -> None:
         object.__setattr__(self, "segments", tuple(segments))
+        object.__setattr__(self, "_length", None)
+        object.__setattr__(self, "_origins", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("AsPath is immutable")
@@ -115,8 +117,16 @@ class AsPath:
 
     @property
     def length(self) -> int:
-        """Decision-process path length (AS_SET counts once)."""
-        return sum(seg.path_length_contribution for seg in self.segments)
+        """Decision-process path length (AS_SET counts once).
+
+        Memoized: the decision ladder consults path length on every pairwise
+        comparison, and paths are immutable.
+        """
+        length = self._length
+        if length is None:
+            length = sum(seg.path_length_contribution for seg in self.segments)
+            object.__setattr__(self, "_length", length)
+        return length
 
     def asns(self) -> Iterator[ASN]:
         """All ASNs mentioned anywhere in the path, in segment order."""
@@ -142,13 +152,20 @@ class AsPath:
         For a path ending in an AS_SEQUENCE this is the singleton holding
         the rightmost AS — the paper's "origin AS".  For a path ending in
         an AS_SET (aggregation) every member of the set is a candidate.
+        Memoized: the MOAS observer asks on every announcement.
         """
-        if not self.segments:
-            return frozenset()
-        last = self.segments[-1]
-        if last.kind is SegmentType.AS_SEQUENCE:
-            return frozenset({last.asns[-1]})
-        return frozenset(last.asns)
+        origins = self._origins
+        if origins is None:
+            if not self.segments:
+                origins = frozenset()
+            else:
+                last = self.segments[-1]
+                if last.kind is SegmentType.AS_SEQUENCE:
+                    origins = frozenset({last.asns[-1]})
+                else:
+                    origins = frozenset(last.asns)
+            object.__setattr__(self, "_origins", origins)
+        return origins
 
     @property
     def origin_asn(self) -> Optional[ASN]:
@@ -287,6 +304,8 @@ class PathAttributes:
         "communities",
         "atomic_aggregate",
         "aggregator",
+        "_key_cache",
+        "_hash_cache",
     )
 
     DEFAULT_LOCAL_PREF = 100
@@ -314,6 +333,8 @@ class PathAttributes:
         object.__setattr__(self, "communities", frozenset(communities))
         object.__setattr__(self, "atomic_aggregate", bool(atomic_aggregate))
         object.__setattr__(self, "aggregator", aggregator)
+        object.__setattr__(self, "_key_cache", None)
+        object.__setattr__(self, "_hash_cache", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("PathAttributes is immutable")
@@ -365,24 +386,37 @@ class PathAttributes:
     # -- dunder -------------------------------------------------------------------
 
     def _key(self) -> Tuple:
-        return (
-            self.origin,
-            self.as_path,
-            self.next_hop,
-            self.med,
-            self.local_pref,
-            self.communities,
-            self.atomic_aggregate,
-            self.aggregator,
-        )
+        # Attribute bundles are immutable and compared/hashed on every
+        # Adj-RIB-Out duplicate check and announcement grouping — memoize
+        # the comparison key (and its hash, below) per instance.
+        key = self._key_cache
+        if key is None:
+            key = (
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.communities,
+                self.atomic_aggregate,
+                self.aggregator,
+            )
+            object.__setattr__(self, "_key_cache", key)
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PathAttributes):
             return NotImplemented
+        if self is other:
+            return True
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        value = self._hash_cache
+        if value is None:
+            value = hash(self._key())
+            object.__setattr__(self, "_hash_cache", value)
+        return value
 
     def __repr__(self) -> str:
         return (

@@ -72,12 +72,26 @@ class AdjRibIn:
 
     def __init__(self) -> None:
         self._routes: Dict[ASN, Dict[Prefix, RibEntry]] = {}
+        # Peer iteration order is consulted on every decision run; the peer
+        # *set* changes only on first-route-from-peer and session teardown,
+        # so the sorted order is cached and invalidated on those events.
+        self._sorted_peers: Optional[List[ASN]] = None
+
+    def _peer_order(self) -> List[ASN]:
+        order = self._sorted_peers
+        if order is None:
+            order = sorted(self._routes)
+            self._sorted_peers = order
+        return order
 
     def insert(self, entry: RibEntry) -> Optional[RibEntry]:
         """Install ``entry``; returns the entry it replaced, if any."""
         if entry.peer is None:
             raise ValueError("Adj-RIB-In entries must come from a peer")
-        per_peer = self._routes.setdefault(entry.peer, {})
+        per_peer = self._routes.get(entry.peer)
+        if per_peer is None:
+            per_peer = self._routes[entry.peer] = {}
+            self._sorted_peers = None
         previous = per_peer.get(entry.prefix)
         per_peer[entry.prefix] = entry
         return previous
@@ -90,19 +104,25 @@ class AdjRibIn:
 
     def remove_peer(self, peer: ASN) -> List[RibEntry]:
         """Drop all routes from ``peer`` (session teardown); returns them."""
-        per_peer = self._routes.pop(peer, {})
+        per_peer = self._routes.pop(peer, None)
+        if per_peer is None:
+            return []
+        self._sorted_peers = None
         return list(per_peer.values())
 
     def get(self, peer: ASN, prefix: Prefix) -> Optional[RibEntry]:
-        return self._routes.get(peer, {}).get(prefix)
+        per_peer = self._routes.get(peer)
+        return None if per_peer is None else per_peer.get(prefix)
 
     def routes_for_prefix(self, prefix: Prefix) -> List[RibEntry]:
         """All candidate routes for ``prefix``, in deterministic peer order."""
-        return [
-            per_peer[prefix]
-            for peer, per_peer in sorted(self._routes.items())
-            if prefix in per_peer
-        ]
+        routes = self._routes
+        candidates = []
+        for peer in self._peer_order():
+            entry = routes[peer].get(prefix)
+            if entry is not None:
+                candidates.append(entry)
+        return candidates
 
     def prefixes(self) -> Iterator[Prefix]:
         seen = set()
@@ -113,8 +133,8 @@ class AdjRibIn:
                     yield prefix
 
     def entries(self) -> Iterator[RibEntry]:
-        for _, per_peer in sorted(self._routes.items()):
-            yield from per_peer.values()
+        for peer in self._peer_order():
+            yield from self._routes[peer].values()
 
     def __len__(self) -> int:
         return sum(len(per_peer) for per_peer in self._routes.values())

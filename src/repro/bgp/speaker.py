@@ -101,6 +101,15 @@ class BGPSpeaker:
         self._pending_announce: Dict[ASN, Set[Prefix]] = {}
         self._mrai_timers: Dict[ASN, Timer] = {}
 
+        # Caches for the propagation hot path.  The established-peer list
+        # changes only at session state transitions; export attributes are a
+        # pure function of (peer, prefix, attributes, locality) because
+        # policies are stateless, so the prepend/replace work for a best
+        # route fanned out to many peers is done once and interned.
+        self._established_cache: Optional[List[ASN]] = None
+        self._export_cache: Dict[tuple, Optional[PathAttributes]] = {}
+        self._prepend_cache: Dict[PathAttributes, PathAttributes] = {}
+
         # Counters for diagnostics and benchmarks.
         self.updates_received = 0
         self.updates_sent = 0
@@ -164,9 +173,13 @@ class BGPSpeaker:
 
     @property
     def established_peers(self) -> List[ASN]:
-        return sorted(
-            asn for asn, session in self.sessions.items() if session.established
-        )
+        peers = self._established_cache
+        if peers is None:
+            peers = sorted(
+                asn for asn, session in self.sessions.items() if session.established
+            )
+            self._established_cache = peers
+        return peers
 
     # -- origination ------------------------------------------------------------
 
@@ -205,7 +218,7 @@ class BGPSpeaker:
 
     @property
     def originated_prefixes(self) -> List[Prefix]:
-        return sorted(self._local_routes, key=str)
+        return sorted(self._local_routes)
 
     # -- update processing ----------------------------------------------------------
 
@@ -234,15 +247,15 @@ class BGPSpeaker:
                 self.sim.trace.record(
                     self.sim.now, "bgp.loop_detected", asn=self.asn, peer=peer
                 )
-                for prefix in sorted(message.announced, key=str):
+                for prefix in sorted(message.announced):
                     if self.adj_rib_in.remove(peer, prefix) is not None:
                         touched.add(prefix)
             else:
-                for prefix in sorted(message.announced, key=str):
+                for prefix in sorted(message.announced):
                     if self._import_route(peer, prefix, attributes):
                         touched.add(prefix)
 
-        for prefix in sorted(touched, key=str):
+        for prefix in sorted(touched):
             self._run_decision(prefix)
 
     def _import_route(
@@ -274,6 +287,13 @@ class BGPSpeaker:
                     origin=imported.origin_asn,
                 )
                 return self.adj_rib_in.remove(peer, prefix) is not None
+
+        previous = self.adj_rib_in.get(peer, prefix)
+        if previous is not None and previous.attributes == imported:
+            # Duplicate announcement: the candidate set is unchanged, so the
+            # decision process need not re-run.  Keeping the original entry
+            # also preserves its install time for prefer-oldest tie-breaks.
+            return False
 
         entry = RibEntry(
             prefix,
@@ -346,12 +366,14 @@ class BGPSpeaker:
 
     def on_session_established(self, peer: ASN) -> None:
         """Advertise the full Loc-RIB to a newly established peer."""
-        for prefix in sorted(self.loc_rib.prefixes(), key=str):
+        self._established_cache = None
+        for prefix in sorted(self.loc_rib.prefixes()):
             self._enqueue_announcement(peer, prefix)
         self._flush_peer(peer)
 
     def on_session_closed(self, peer: ASN) -> None:
         """Flush routes learned from a dead peer and re-run decisions."""
+        self._established_cache = None
         removed = self.adj_rib_in.remove_peer(peer)
         self.adj_rib_out.remove_peer(peer)
         self._pending_announce.pop(peer, None)
@@ -386,7 +408,7 @@ class BGPSpeaker:
         announcements: Dict[PathAttributes, Set[Prefix]] = {}
         withdrawals: Set[Prefix] = set()
 
-        for prefix in sorted(pending, key=str):
+        for prefix in sorted(pending):
             best = self.loc_rib.get(prefix)
             if best is None or best.peer == peer:
                 # Nothing to advertise (or learned from this very peer):
@@ -439,7 +461,26 @@ class BGPSpeaker:
         session in this simulator an eBGP session between distinct ASes —
         NO_EXPORT has the same effect.  Locally originated routes are
         exempt (the originator may still announce its own prefix).
+
+        Results are memoized per (peer, prefix, attributes, locality):
+        policies are stateless, so the same best route fanned out to many
+        peers — or re-flushed after an unrelated change — reuses one
+        computed (and interned) attribute object instead of rebuilding the
+        prepended path each time.  Interning keeps Adj-RIB-Out duplicate
+        checks on the fast identity path.
         """
+        cache_key = (peer, entry.prefix, entry.attributes, entry.is_local)
+        try:
+            return self._export_cache[cache_key]
+        except KeyError:
+            pass
+        exported = self._compute_export_attributes(peer, entry)
+        self._export_cache[cache_key] = exported
+        return exported
+
+    def _compute_export_attributes(
+        self, peer: ASN, entry: RibEntry
+    ) -> Optional[PathAttributes]:
         if not entry.is_local:
             community_values = {c.to_u32() for c in entry.attributes.communities}
             if community_values & {
@@ -452,9 +493,19 @@ class BGPSpeaker:
         if not verdict.accepted:
             return None
         assert verdict.attributes is not None
-        exported = verdict.attributes.with_prepended(self.asn, next_hop=self.asn)
-        # LOCAL_PREF is not sent across eBGP sessions; reset to default.
-        return exported.replace(local_pref=PathAttributes.DEFAULT_LOCAL_PREF)
+        base = verdict.attributes
+        # The prepend + LOCAL_PREF reset depends only on the post-policy
+        # attributes (our ASN is fixed), so a best route exported to many
+        # peers builds the exported bundle exactly once; the interned object
+        # keeps downstream equality checks on the identity fast path.
+        # (LOCAL_PREF is not sent across eBGP sessions; reset to default.)
+        exported = self._prepend_cache.get(base)
+        if exported is None:
+            exported = base.with_prepended(self.asn, next_hop=self.asn).replace(
+                local_pref=PathAttributes.DEFAULT_LOCAL_PREF
+            )
+            self._prepend_cache[base] = exported
+        return exported
 
     # -- queries ---------------------------------------------------------------------------
 

@@ -79,7 +79,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if figure_id == "headline":
             # The headline always needs the ~4% and 30% grid points.
             fractions = (0.05, 0.30)
-        result = figure9(attacker_fractions=fractions, seed=args.seed)
+        result = figure9(
+            attacker_fractions=fractions, seed=args.seed, workers=args.workers
+        )
         for n_origins, curves in sorted(result.panels.items()):
             print(format_sweep_table(
                 curves, title=f"--- {n_origins} origin AS(es) ---"
@@ -93,7 +95,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         from repro.experiments.exp_topology_size import figure10
 
         result = figure10(
-            attacker_fractions=fractions, origin_counts=(1,), seed=args.seed
+            attacker_fractions=fractions, origin_counts=(1,), seed=args.seed,
+            workers=args.workers,
         )
         for size, curves in sorted(result.panels[1].items()):
             print(format_sweep_table(curves, title=f"--- {size}-AS ---"))
@@ -102,7 +105,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if figure_id == "fig11":
         from repro.experiments.exp_partial import figure11
 
-        result = figure11(attacker_fractions=fractions, seed=args.seed)
+        result = figure11(
+            attacker_fractions=fractions, seed=args.seed, workers=args.workers
+        )
         for size, curves in sorted(result.panels.items()):
             print(format_sweep_table(curves, title=f"--- {size}-AS ---"))
         return 0
@@ -204,6 +209,9 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
           f"({outcome.poisoned_fraction:.1%})")
     print(f"alarms: {outcome.alarms}; routes suppressed: "
           f"{outcome.routes_suppressed}")
+    print(f"throughput: {outcome.events_processed} events, "
+          f"{outcome.updates_sent} updates in {outcome.wall_seconds:.3f}s "
+          f"({outcome.events_per_sec:,.0f} events/sec)")
     return 0
 
 
@@ -223,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--quick", action="store_true",
                         help="smaller grids for a fast look")
     figure.add_argument("--seed", type=int, default=8)
+    figure.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel simulation workers for fig9/fig10/fig11/headline "
+        "(default: REPRO_WORKERS env var, else 1 = serial); results are "
+        "identical at any worker count",
+    )
     figure.set_defaults(func=_cmd_figure)
 
     study = sub.add_parser("study", help="run the §3 measurement study")

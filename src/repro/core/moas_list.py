@@ -14,6 +14,7 @@ they are treated as carrying the singleton list {origin AS}.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import FrozenSet, Iterable, List, Optional
 
 from repro.bgp.attributes import Community, PathAttributes
@@ -100,6 +101,16 @@ def moas_communities(origins: Iterable[ASN]) -> FrozenSet[Community]:
     return MoasList(origins).to_communities()
 
 
+@lru_cache(maxsize=8192)
+def _decode_communities(communities: FrozenSet[Community]) -> Optional[MoasList]:
+    return MoasList.from_communities(communities)
+
+
+@lru_cache(maxsize=8192)
+def _singleton_list(origin: ASN) -> MoasList:
+    return MoasList([origin])
+
+
 def extract_moas_list(
     attributes: PathAttributes, implicit_origin: Optional[ASN] = None
 ) -> Optional[MoasList]:
@@ -110,11 +121,16 @@ def extract_moas_list(
     AS-path-derived origin for locally originated routes (whose path is
     still empty).  Returns None only when no origin can be determined
     (aggregated path ending in an AS_SET and no communities).
+
+    Both construction paths are memoized: the checker extracts a list from
+    every announcement, but the distinct (communities, origin) inputs number
+    a handful per topology, and :class:`MoasList` is immutable so sharing
+    instances is safe.
     """
-    explicit = MoasList.from_communities(attributes.communities)
+    explicit = _decode_communities(attributes.communities)
     if explicit is not None:
         return explicit
     origin = implicit_origin if implicit_origin is not None else attributes.origin_asn
     if origin is None:
         return None
-    return MoasList([origin])
+    return _singleton_list(origin)

@@ -129,7 +129,13 @@ class Simulator:
         return self.run(until=None)
 
     def reset(self) -> None:
-        """Discard pending events and rewind the clock (streams are kept)."""
+        """Discard pending events and rewind the clock (streams are kept).
+
+        The sub-tick sequence counter rewinds too: a reused simulator must
+        hand out the same ``installed_seq`` values as a fresh one, or
+        prefer-oldest tie-breaks stop being reproducible across resets.
+        """
         self.queue.clear()
         self.now = 0.0
         self.events_processed = 0
+        self._sequence = 0

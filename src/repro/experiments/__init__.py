@@ -4,6 +4,8 @@
   deployment + origins + attackers → fraction of poisoned ASes;
 * :mod:`repro.experiments.sweep` — attacker-fraction sweeps with the
   paper's 15-run averaging (3 origin draws × 5 attacker draws);
+* :mod:`repro.experiments.executor` — fans independent scenario runs out
+  over a process pool with bit-identical, order-preserving results;
 * :mod:`repro.experiments.exp_effectiveness` — Experiment 1 (Figure 9);
 * :mod:`repro.experiments.exp_topology_size` — Experiment 2 (Figure 10);
 * :mod:`repro.experiments.exp_partial` — Experiment 3 (Figure 11);
@@ -17,6 +19,11 @@ from repro.experiments.runner import (
     HijackOutcome,
     HijackScenario,
     run_hijack_scenario,
+)
+from repro.experiments.executor import (
+    execute_scenarios,
+    parallel_map,
+    resolve_workers,
 )
 from repro.experiments.sweep import SweepConfig, SweepPoint, SweepResult, run_sweep
 from repro.experiments.exp_effectiveness import figure9
@@ -35,6 +42,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_sweep",
+    "execute_scenarios",
+    "parallel_map",
+    "resolve_workers",
     "figure9",
     "figure10",
     "figure11",

@@ -47,9 +47,12 @@ def figure9(
     origin_counts: Sequence[int] = (1, 2),
     attacker_fractions: Sequence[float] = DEFAULT_ATTACKER_FRACTIONS,
     seed: int = 8,
+    workers: int = None,
 ) -> Figure9Result:
     """Run Experiment 1.  Passing ``graph`` overrides the default 46-AS
-    topology (useful for quick tests on smaller graphs)."""
+    topology (useful for quick tests on smaller graphs).  ``workers``
+    parallelises each sweep's runs (see :mod:`repro.experiments.executor`)
+    without changing any result."""
     if graph is None:
         graph = generate_paper_topology(FIG9_TOPOLOGY_SIZE, seed=seed)
     result = Figure9Result(topology_size=len(graph))
@@ -64,7 +67,8 @@ def figure9(
                         deployment=deployment,
                         attacker_fractions=attacker_fractions,
                         seed=seed,
-                    )
+                    ),
+                    workers=workers,
                 )
             )
         result.panels[n_origins] = curves

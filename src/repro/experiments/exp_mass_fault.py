@@ -15,6 +15,7 @@ records, closing the loop with the §3 measurement stack.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -142,3 +143,26 @@ def run_mass_fault(
         alarms=len(alarm_log),
         collector_moas_cases=len(cases),
     )
+
+
+def run_mass_fault_trials(
+    graph: ASGraph,
+    seeds: Sequence[int],
+    faulty_as: Optional[ASN] = None,
+    fault_share: float = 0.5,
+    prefixes_per_stub: int = 2,
+    detect: bool = False,
+    workers: Optional[int] = None,
+) -> List[MassFaultResult]:
+    """Replay the mass fault once per seed, optionally across processes.
+
+    Each trial is an independent simulation (its own faulty-AS draw, victim
+    sample and network), so the batch parallelises exactly like the sweep
+    runs do; results come back in ``seeds`` order.
+    """
+    from repro.experiments.executor import parallel_map
+
+    task = functools.partial(
+        run_mass_fault, graph, faulty_as, fault_share, prefixes_per_stub, detect
+    )
+    return parallel_map(task, seeds, workers=workers)

@@ -51,8 +51,10 @@ def figure11(
     attacker_fractions: Sequence[float] = DEFAULT_ATTACKER_FRACTIONS,
     seed: int = 8,
     graphs: Dict[int, ASGraph] = None,
+    workers: int = None,
 ) -> Figure11Result:
-    """Run Experiment 3.  ``graphs`` (size → topology) overrides generation."""
+    """Run Experiment 3.  ``graphs`` (size → topology) overrides generation;
+    ``workers`` parallelises each sweep without changing any result."""
     if graphs is None:
         graphs = {size: generate_paper_topology(size, seed=seed) for size in sizes}
     result = Figure11Result()
@@ -69,7 +71,8 @@ def figure11(
                         partial_fraction=partial_fraction,
                         attacker_fractions=attacker_fractions,
                         seed=seed,
-                    )
+                    ),
+                    workers=workers,
                 )
             )
         result.panels[size] = curves

@@ -48,8 +48,10 @@ def figure10(
     attacker_fractions: Sequence[float] = DEFAULT_ATTACKER_FRACTIONS,
     seed: int = 8,
     graphs: Dict[int, ASGraph] = None,
+    workers: int = None,
 ) -> Figure10Result:
-    """Run Experiment 2.  ``graphs`` (size → topology) overrides generation."""
+    """Run Experiment 2.  ``graphs`` (size → topology) overrides generation;
+    ``workers`` parallelises each sweep without changing any result."""
     if graphs is None:
         graphs = {size: generate_paper_topology(size, seed=seed) for size in sizes}
     result = Figure10Result()
@@ -67,7 +69,8 @@ def figure10(
                             deployment=deployment,
                             attacker_fractions=attacker_fractions,
                             seed=seed,
-                        )
+                        ),
+                        workers=workers,
                     )
                 )
             per_size[size] = curves

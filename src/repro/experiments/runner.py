@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
@@ -81,13 +82,23 @@ class HijackScenario:
 
 @dataclass(frozen=True)
 class HijackOutcome:
-    """The measured result of one run."""
+    """The measured result of one run.
+
+    Besides the paper's measurements, every outcome carries throughput
+    counters (simulator events processed, BGP updates sent, wall-clock
+    seconds) so benchmarks and perf work have a stable metric surface.
+    The counters are deterministic except ``wall_seconds``, which is a
+    measurement of this process, not of the simulated system.
+    """
 
     poisoned: FrozenSet[ASN]
     n_remaining: int
     alarms: int
     routes_suppressed: int
     capable: FrozenSet[ASN]
+    events_processed: int = 0
+    updates_sent: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def poisoned_fraction(self) -> float:
@@ -97,9 +108,17 @@ class HijackOutcome:
             return 0.0
         return len(self.poisoned) / self.n_remaining
 
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator events processed per wall-clock second of this run."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
 
 def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
     """Execute one run and measure false-route adoption."""
+    started = time.perf_counter()
     scenario.validate()
     origins = frozenset(scenario.origins)
     attackers = frozenset(scenario.attackers)
@@ -156,4 +175,7 @@ def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
         alarms=len(alarm_log),
         routes_suppressed=sum(c.routes_suppressed for c in checkers.values()),
         capable=plan.capable,
+        events_processed=network.sim.events_processed,
+        updates_sent=network.total_updates_sent(),
+        wall_seconds=time.perf_counter() - started,
     )

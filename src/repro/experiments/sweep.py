@@ -19,11 +19,8 @@ from repro.attack.models import AttackStrategy, NaiveFalseOrigin
 from repro.attack.placement import place_attackers, place_origins
 from repro.core.checker import CheckerMode
 from repro.eventsim.rng import RandomStreams
-from repro.experiments.runner import (
-    DeploymentKind,
-    HijackScenario,
-    run_hijack_scenario,
-)
+from repro.experiments.executor import execute_scenarios
+from repro.experiments.runner import DeploymentKind, HijackScenario
 from repro.topology.asgraph import ASGraph
 
 #: The attacker fractions swept in Figures 9-11 (x-axis, as fractions).
@@ -84,22 +81,26 @@ class SweepResult:
         raise KeyError(f"no point at attacker fraction {attacker_fraction}")
 
 
-def run_sweep(config: SweepConfig) -> SweepResult:
-    """Run one curve: every attacker fraction, 15 runs each."""
+def build_sweep_scenarios(
+    config: SweepConfig,
+) -> List[Tuple[float, int, List[HijackScenario]]]:
+    """Materialise every scenario of one sweep, fraction by fraction.
+
+    All random draws happen here, in the exact nested order the historical
+    serial loop used — fraction outer, origin set, then attacker set — so
+    the common-random-numbers discipline across deployment arms (and the
+    per-scenario seed derivation) is preserved verbatim.  The returned
+    scenarios are self-contained and picklable, which is what lets the
+    executor fan them out across processes.
+    """
     graph = config.graph
     n_ases = len(graph)
     streams = RandomStreams(config.seed)
 
-    result = SweepResult(
-        deployment=config.deployment,
-        n_origins=config.n_origins,
-        topology_size=n_ases,
-    )
-
+    per_fraction: List[Tuple[float, int, List[HijackScenario]]] = []
     for fraction in config.attacker_fractions:
         n_attackers = max(1, round(fraction * n_ases))
-        outcomes = []
-        alarms = []
+        scenarios: List[HijackScenario] = []
         for origin_set_index in range(config.n_origin_sets):
             origin_rng = streams.stream(f"origins/{origin_set_index}")
             origins = place_origins(graph, config.n_origins, origin_rng)
@@ -110,21 +111,52 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                 attackers = place_attackers(
                     graph, n_attackers, attacker_rng, exclude=origins
                 )
-                scenario = HijackScenario(
-                    graph=graph,
-                    origins=origins,
-                    attackers=attackers,
-                    deployment=config.deployment,
-                    partial_fraction=config.partial_fraction,
-                    strategy=config.strategy,
-                    checker_mode=config.checker_mode,
-                    seed=config.seed
-                    + 7919 * origin_set_index
-                    + 104729 * attacker_set_index,
+                scenarios.append(
+                    HijackScenario(
+                        graph=graph,
+                        origins=origins,
+                        attackers=attackers,
+                        deployment=config.deployment,
+                        partial_fraction=config.partial_fraction,
+                        strategy=config.strategy,
+                        checker_mode=config.checker_mode,
+                        seed=config.seed
+                        + 7919 * origin_set_index
+                        + 104729 * attacker_set_index,
+                    )
                 )
-                outcome = run_hijack_scenario(scenario)
-                outcomes.append(outcome.poisoned_fraction)
-                alarms.append(outcome.alarms)
+        per_fraction.append((fraction, n_attackers, scenarios))
+    return per_fraction
+
+
+def run_sweep(config: SweepConfig, workers: Optional[int] = None) -> SweepResult:
+    """Run one curve: every attacker fraction, 15 runs each.
+
+    ``workers`` > 1 fans the independent runs of the *whole* curve out over
+    a process pool (see :mod:`repro.experiments.executor`); the resulting
+    :class:`SweepPoint` values are bit-identical to a serial run.
+    """
+    result = SweepResult(
+        deployment=config.deployment,
+        n_origins=config.n_origins,
+        topology_size=len(config.graph),
+    )
+
+    per_fraction = build_sweep_scenarios(config)
+    # One flat batch across all fractions: better pool utilisation than
+    # fraction-at-a-time, and order-preserving collection keeps aggregation
+    # identical to the serial loop.
+    flat = [s for _, _, scenarios in per_fraction for s in scenarios]
+    all_outcomes = execute_scenarios(flat, workers=workers)
+
+    cursor = 0
+    for fraction, n_attackers, scenarios in per_fraction:
+        outcomes = []
+        alarms = []
+        for outcome in all_outcomes[cursor:cursor + len(scenarios)]:
+            outcomes.append(outcome.poisoned_fraction)
+            alarms.append(outcome.alarms)
+        cursor += len(scenarios)
 
         result.points.append(
             SweepPoint(

@@ -10,6 +10,7 @@ prefixes appear on very hot paths (every routing-table key is one).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 _MAX_IPV4 = (1 << 32) - 1
@@ -34,6 +35,7 @@ def _parse_dotted_quad(text: str) -> int:
     return value
 
 
+@lru_cache(maxsize=65536)
 def _format_dotted_quad(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
@@ -46,7 +48,7 @@ class Prefix:
     compare equal and hash identically.
     """
 
-    __slots__ = ("network", "length", "_hash")
+    __slots__ = ("network", "length", "_hash", "_str")
 
     def __init__(self, network: int, length: int) -> None:
         if not 0 <= length <= 32:
@@ -57,6 +59,7 @@ class Prefix:
         object.__setattr__(self, "network", network & mask)
         object.__setattr__(self, "length", length)
         object.__setattr__(self, "_hash", hash((network & mask, length)))
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
@@ -67,18 +70,25 @@ class Prefix:
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
-        """Parse ``a.b.c.d/len`` (a bare address is treated as /32)."""
-        text = text.strip()
-        if "/" in text:
-            addr_text, _, len_text = text.partition("/")
-            if not len_text.isdigit():
-                raise PrefixError(f"bad prefix length in {text!r}")
-            length = int(len_text)
-        else:
-            addr_text, length = text, 32
-        return cls(_parse_dotted_quad(addr_text), length)
+        """Parse ``a.b.c.d/len`` (a bare address is treated as /32).
+
+        Parses are memoized: routing-table keys are parsed from the same
+        handful of strings over and over (dump ingestion, trace replay), and
+        :class:`Prefix` is immutable, so returning the cached instance is
+        observationally identical to re-parsing.
+        """
+        return _parse_prefix_cached(text.strip())
 
     # -- algebra -----------------------------------------------------------
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Natural ordering key: network address, then shorter-first.
+
+        Identical to the order ``__lt__`` induces; exposed for callers that
+        sort mixed containers keyed by prefix.
+        """
+        return (self.network, self.length)
 
     @property
     def mask(self) -> int:
@@ -162,10 +172,34 @@ class Prefix:
         return self._hash
 
     def __str__(self) -> str:
-        return f"{_format_dotted_quad(self.network)}/{self.length}"
+        # Memoized: prefixes are stringified on every trace record and
+        # (historically) every sort; formatting once per instance matters.
+        text = self._str
+        if text is None:
+            text = f"{_format_dotted_quad(self.network)}/{self.length}"
+            object.__setattr__(self, "_str", text)
+        return text
 
     def __repr__(self) -> str:
         return f"Prefix({str(self)!r})"
+
+    def __reduce__(self) -> Tuple:
+        # The immutability guard (__setattr__ raises) breaks the default
+        # slot-state pickling path; reconstruct through __init__ instead.
+        # Needed so scenario specs can cross process boundaries.
+        return (Prefix, (self.network, self.length))
+
+
+@lru_cache(maxsize=16384)
+def _parse_prefix_cached(text: str) -> Prefix:
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise PrefixError(f"bad prefix length in {text!r}")
+        length = int(len_text)
+    else:
+        addr_text, length = text, 32
+    return Prefix(_parse_dotted_quad(addr_text), length)
 
 
 def covers(prefixes: Sequence[Prefix], address: int) -> Optional[Prefix]:

@@ -46,6 +46,9 @@ class Link:
         self._epoch = 0  # bumped on failure; in-flight messages check it
         self.messages_sent = 0
         self.messages_dropped = 0
+        # Delivery labels are per-direction constants; formatting them per
+        # message showed up in profiles of large convergence runs.
+        self._labels = {a: f"deliver {a}->{b}", b: f"deliver {b}->{a}"}
 
     @property
     def endpoints(self) -> Tuple[Any, Any]:
@@ -89,9 +92,7 @@ class Link:
                 )
             receiver(sender, message)
 
-        self.sim.schedule_after(
-            self.delay, deliver, label=f"deliver {sender}->{destination}"
-        )
+        self.sim.schedule_after(self.delay, deliver, label=self._labels[sender])
         return True
 
     def fail(self) -> None:

@@ -110,6 +110,12 @@ class TestReset:
         assert len(sim.queue) == 0
         assert sim.events_processed == 0
 
+    def test_reset_rewinds_sequence_counter(self, sim):
+        first = [sim.next_sequence() for _ in range(3)]
+        sim.reset()
+        second = [sim.next_sequence() for _ in range(3)]
+        assert second == first
+
 
 class TestSequence:
     def test_next_sequence_monotonic(self, sim):

@@ -1,0 +1,151 @@
+"""Tests for the parallel scenario executor.
+
+The load-bearing property is bit-identical results: a sweep run with a
+process pool must produce exactly the points a serial run produces, or the
+common-random-numbers discipline across deployment arms silently breaks.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.executor import (
+    WORKERS_ENV_VAR,
+    execute_scenarios,
+    parallel_map,
+    resolve_workers,
+)
+from repro.experiments.runner import (
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.experiments.sweep import SweepConfig, build_sweep_scenarios, run_sweep
+from repro.net.addresses import Prefix
+from repro.topology.generators import generate_paper_topology
+
+FRACS = (0.10, 0.30)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+def _square(x):
+    # Module-level so it is picklable by the process pool.
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+        assert resolve_workers(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert resolve_workers() == 4
+
+    def test_blank_environment_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "   ")
+        assert resolve_workers() == 1
+
+    def test_malformed_environment_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_counts_rejected(self, bad):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(bad)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_parallel_path_preserves_order(self):
+        assert parallel_map(_square, range(25), workers=2) == [
+            x * x for x in range(25)
+        ]
+
+    def test_single_item_skips_pool(self):
+        # One item never justifies pool startup; a lambda (unpicklable)
+        # proves the serial path is taken.
+        assert parallel_map(lambda x: x + 1, [41], workers=4) == [42]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+class TestPicklability:
+    def test_prefix_roundtrip(self):
+        prefix = Prefix.parse("10.2.0.0/16")
+        clone = pickle.loads(pickle.dumps(prefix))
+        assert clone == prefix
+        assert hash(clone) == hash(prefix)
+        assert str(clone) == str(prefix)
+
+    def test_scenario_roundtrip(self, graph):
+        config = SweepConfig(graph=graph, attacker_fractions=(0.10,),
+                             n_origin_sets=1, n_attacker_sets=1)
+        (_, _, scenarios), = build_sweep_scenarios(config)
+        clone = pickle.loads(pickle.dumps(scenarios[0]))
+        assert run_hijack_scenario(clone).poisoned == \
+            run_hijack_scenario(scenarios[0]).poisoned
+
+
+class TestDeterminism:
+    def test_parallel_sweep_bit_identical_to_serial(self, graph):
+        config = dict(graph=graph, attacker_fractions=FRACS,
+                      n_origin_sets=2, n_attacker_sets=2)
+        serial = run_sweep(SweepConfig(**config), workers=1)
+        parallel = run_sweep(SweepConfig(**config), workers=4)
+        assert parallel.points == serial.points
+
+    def test_env_var_selects_workers(self, graph, monkeypatch):
+        config = dict(graph=graph, attacker_fractions=(0.10,),
+                      n_origin_sets=2, n_attacker_sets=1)
+        serial = run_sweep(SweepConfig(**config), workers=1)
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        via_env = run_sweep(SweepConfig(**config))
+        assert via_env.points == serial.points
+
+    def test_execute_scenarios_matches_direct_runs(self, graph):
+        config = SweepConfig(graph=graph, attacker_fractions=(0.10,),
+                             n_origin_sets=2, n_attacker_sets=2,
+                             deployment=DeploymentKind.FULL)
+        (_, _, scenarios), = build_sweep_scenarios(config)
+        direct = [run_hijack_scenario(s) for s in scenarios]
+        pooled = execute_scenarios(scenarios, workers=2)
+        assert [o.poisoned for o in pooled] == [o.poisoned for o in direct]
+        assert [o.alarms for o in pooled] == [o.alarms for o in direct]
+
+
+class TestThroughputCounters:
+    def test_outcome_carries_counters(self, graph):
+        ases = sorted(graph.asns())
+        outcome = run_hijack_scenario(
+            HijackScenario(graph=graph, origins=[ases[2]],
+                           attackers=[ases[-1]],
+                           deployment=DeploymentKind.FULL, seed=1)
+        )
+        assert outcome.events_processed > 0
+        assert outcome.updates_sent > 0
+        assert outcome.wall_seconds > 0.0
+        assert outcome.events_per_sec > 0.0
+
+    def test_events_per_sec_zero_without_wall_time(self):
+        from repro.experiments.runner import HijackOutcome
+
+        outcome = HijackOutcome(poisoned=frozenset(), n_remaining=5,
+                                alarms=0, routes_suppressed=0,
+                                capable=frozenset())
+        assert outcome.events_per_sec == 0.0

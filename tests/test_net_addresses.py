@@ -179,3 +179,42 @@ class TestProperties:
             return
         low, high = p.subnets()
         assert aggregate_adjacent(low, high) == p
+
+
+class TestMemoization:
+    """Parse/format caching must be observationally invisible."""
+
+    def test_parse_returns_equivalent_instance(self):
+        a = Prefix.parse("10.2.0.0/16")
+        b = Prefix.parse("10.2.0.0/16")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert str(a) == str(b) == "10.2.0.0/16"
+
+    def test_parse_cache_keyed_on_raw_text(self):
+        # Whitespace is stripped before the cache lookup, so padded and
+        # bare spellings share one canonical result.
+        assert Prefix.parse("  10.2.0.0/16 ") == Prefix.parse("10.2.0.0/16")
+
+    def test_parse_errors_not_cached_as_successes(self):
+        for _ in range(2):  # lru_cache never caches raised exceptions
+            with pytest.raises(PrefixError):
+                Prefix.parse("10.2.0.0/99")
+        assert Prefix.parse("10.2.0.0/24").length == 24
+
+    def test_str_stable_across_repeated_calls(self):
+        p = Prefix(0x0A020000, 16)
+        first = str(p)
+        assert str(p) is first  # memoized on the instance
+        assert first == "10.2.0.0/16"
+
+    def test_constructed_and_parsed_agree(self):
+        constructed = Prefix(0xC0A80100, 24)
+        parsed = Prefix.parse("192.168.1.0/24")
+        assert constructed == parsed
+        assert str(constructed) == str(parsed)
+
+    def test_sort_key_matches_comparison_order(self):
+        ps = [Prefix.parse(t) for t in
+              ("10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8", "10.0.1.0/24")]
+        assert sorted(ps) == sorted(ps, key=lambda p: p.sort_key)
