@@ -77,6 +77,12 @@ class AsPathSegment:
     def __hash__(self) -> int:
         return hash((self.kind, self.asns))
 
+    def __reduce__(self) -> Tuple:
+        # The immutability guard (__setattr__ raises) breaks the default
+        # slot-state pickling path; reconstruct through __init__ instead.
+        # Needed so attribute bundles can cross the process pool.
+        return (AsPathSegment, (self.kind, self.asns))
+
     def __repr__(self) -> str:
         if self.kind is SegmentType.AS_SEQUENCE:
             return " ".join(str(a) for a in self.asns)
@@ -228,6 +234,11 @@ class AsPath:
     def __hash__(self) -> int:
         return hash(self.segments)
 
+    def __reduce__(self) -> Tuple:
+        # Rebuild through __init__ (the blocked __setattr__ breaks default
+        # slot pickling); the memoized length/origins re-derive lazily.
+        return (AsPath, (self.segments,))
+
     def __repr__(self) -> str:
         return "AsPath(" + " ".join(repr(s) for s in self.segments) + ")"
 
@@ -281,6 +292,9 @@ class Community:
 
     def __hash__(self) -> int:
         return hash((self.asn, self.value))
+
+    def __reduce__(self) -> Tuple:
+        return (Community, (self.asn, self.value))
 
     def __repr__(self) -> str:
         return f"Community({self.asn}:{self.value})"
@@ -417,6 +431,23 @@ class PathAttributes:
             value = hash(self._key())
             object.__setattr__(self, "_hash_cache", value)
         return value
+
+    def __reduce__(self) -> Tuple:
+        # Reconstruct through __init__ (the blocked __setattr__ breaks the
+        # default slot-state path); the key/hash caches re-derive lazily.
+        return (
+            PathAttributes,
+            (
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.communities,
+                self.atomic_aggregate,
+                self.aggregator,
+            ),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,7 @@ from repro.eventsim.timers import Timer
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN, validate_asn
 from repro.net.link import Link
+from repro.sanitize import InvariantError, check_speaker_invariants
 
 # An import validator: (peer, prefix, attributes) -> accept?
 ImportValidator = Callable[[ASN, Prefix, PathAttributes], bool]
@@ -227,7 +228,9 @@ class BGPSpeaker:
         self.updates_received += 1
         touched: Set[Prefix] = set()
 
-        for prefix in message.withdrawn:
+        # Withdrawal listeners observe removal order; iterate sorted so the
+        # set's hash order never reaches flap-damping (or any other) state.
+        for prefix in sorted(message.withdrawn):
             removed = self.adj_rib_in.remove(peer, prefix)
             if removed is not None:
                 touched.add(prefix)
@@ -236,7 +239,11 @@ class BGPSpeaker:
 
         if message.announced:
             attributes = message.attributes
-            assert attributes is not None
+            if attributes is None:
+                raise InvariantError(
+                    f"AS{self.asn}: UPDATE from peer {peer} announces "
+                    f"{len(message.announced)} prefix(es) without attributes"
+                )
             if self.asn in attributes.as_path:
                 # Loop detection: our own ASN in the path (RFC 4271 §9.1.2).
                 # The announcement still *replaces* the peer's previous
@@ -272,8 +279,12 @@ class BGPSpeaker:
         if not verdict.accepted:
             self.routes_rejected_by_policy += 1
             return self.adj_rib_in.remove(peer, prefix) is not None
-        assert verdict.attributes is not None
         imported = verdict.attributes
+        if imported is None:
+            raise InvariantError(
+                f"AS{self.asn}: import policy accepted {prefix} from peer "
+                f"{peer} but returned no attributes"
+            )
 
         for validator in self._import_validators:
             if not validator(peer, prefix, imported):
@@ -361,6 +372,9 @@ class BGPSpeaker:
             listener(prefix, new_best, old_best)
 
         self._schedule_propagation(prefix)
+
+        if self.sim.sanitize:
+            check_speaker_invariants(self)
 
     # -- propagation --------------------------------------------------------------------
 
@@ -492,8 +506,12 @@ class BGPSpeaker:
         verdict = self.policy.apply_export(peer, entry.prefix, entry.attributes)
         if not verdict.accepted:
             return None
-        assert verdict.attributes is not None
         base = verdict.attributes
+        if base is None:
+            raise InvariantError(
+                f"AS{self.asn}: export policy accepted {entry.prefix} for "
+                f"peer {peer} but returned no attributes"
+            )
         # The prepend + LOCAL_PREF reset depends only on the post-policy
         # attributes (our ASN is fixed), so a best route exported to many
         # peers builds the exported bundle exactly once; the interned object

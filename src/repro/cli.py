@@ -221,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Detection of Invalid Routing "
         "Announcement in the Internet' (DSN 2002)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable runtime invariant checking (RIB consistency, MOAS "
+        "attachment round-trips, monotonic event times); equivalent to "
+        "setting REPRO_SANITIZE=1",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
@@ -270,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.sanitize:
+        # Via the environment so worker processes inherit it too.
+        import os
+
+        from repro.sanitize import SANITIZE_ENV_VAR
+
+        os.environ[SANITIZE_ENV_VAR] = "1"
     return args.func(args)
 
 

@@ -31,6 +31,7 @@ from repro.core.moas_list import MoasList, extract_moas_list
 from repro.core.origin_verification import OriginOracle
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN
+from repro.sanitize import InvariantError
 
 
 class CheckerMode(enum.Enum):
@@ -120,8 +121,12 @@ class MoasChecker:
 
         if conflict and is_new_list:
             self.conflicts_detected += 1
+            # Pick the conflicting list deterministically: raw set order
+            # would let the alarm's evidence depend on hash order.
             conflicting = next(
-                other for other in seen if not moas_list.consistent_with(other)
+                other
+                for other in sorted(seen, key=lambda m: tuple(m))
+                if not moas_list.consistent_with(other)
             )
             self.alarms.raise_alarm(
                 Alarm(
@@ -161,7 +166,11 @@ class MoasChecker:
         """Oracle lookup with caching; sweeps stale accepted routes once."""
         if prefix in self._verdicts:
             return self._verdicts[prefix]
-        assert self.oracle is not None
+        if self.oracle is None:
+            raise InvariantError(
+                "DETECT_AND_SUPPRESS checker reached adjudication without "
+                "an origin oracle"
+            )
         authorised = self.oracle.authorised_origins(prefix)
         self._verdicts[prefix] = authorised
         if authorised is not None:
@@ -177,7 +186,11 @@ class MoasChecker:
             if entry.origin_asn is not None and entry.origin_asn not in authorised
         ]
         for entry in stale:
-            assert entry.peer is not None
+            if entry.peer is None:
+                raise InvariantError(
+                    f"locally originated route for {prefix} flagged as an "
+                    "unauthorised Adj-RIB-In entry"
+                )
             self.alarms.raise_alarm(
                 Alarm(
                     time=self._now(),

@@ -15,7 +15,7 @@ they are treated as carrying the singleton list {origin AS}.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import FrozenSet, Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.bgp.attributes import Community, PathAttributes
 from repro.net.asn import ASN, validate_asn
@@ -90,6 +90,11 @@ class MoasList:
 
     def __hash__(self) -> int:
         return hash(self.origins)
+
+    def __reduce__(self) -> Tuple[type, Tuple[Tuple[ASN, ...]]]:
+        # The immutability guard breaks default slot pickling; rebuild via
+        # the constructor, sorted so the pickle byte stream is canonical.
+        return (MoasList, (tuple(sorted(self.origins)),))
 
     def __repr__(self) -> str:
         return "MoasList({" + ", ".join(str(a) for a in sorted(self.origins)) + "})"

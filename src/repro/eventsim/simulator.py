@@ -14,6 +14,7 @@ from repro.eventsim.event import Event, EventHandle
 from repro.eventsim.queue import EventQueue
 from repro.eventsim.rng import RandomStreams
 from repro.eventsim.trace import TraceRecorder
+from repro.sanitize import InvariantError, sanitizer_enabled
 
 
 class SimulationError(RuntimeError):
@@ -41,11 +42,15 @@ class Simulator:
         seed: int = 0,
         trace_categories: Optional[set] = None,
         max_events: int = 5_000_000,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.now = 0.0
         self.queue = EventQueue()
         self.random = RandomStreams(seed)
-        self.trace = TraceRecorder(trace_categories)
+        # Resolved once per simulator (argument wins over REPRO_SANITIZE)
+        # so the per-event flag test below is a plain attribute read.
+        self.sanitize = sanitizer_enabled(sanitize)
+        self.trace = TraceRecorder(trace_categories, check_monotonic=self.sanitize)
         self.max_events = max_events
         self.events_processed = 0
         self._running = False
@@ -108,7 +113,15 @@ class Simulator:
                 if until is not None and next_time > until:
                     break
                 event = self.queue.pop()
-                assert event is not None
+                if event is None:
+                    raise InvariantError(
+                        "event queue yielded no event after a non-None peek"
+                    )
+                if self.sanitize and event.time < self.now:
+                    raise InvariantError(
+                        f"event {event.label!r} fires at t={event.time:.6f}, "
+                        f"before current time {self.now:.6f}"
+                    )
                 self.now = event.time
                 event.fire()
                 processed += 1
@@ -139,3 +152,4 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self._sequence = 0
+        self.trace.rewind_monotonic_guard()

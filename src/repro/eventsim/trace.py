@@ -31,14 +31,30 @@ class TraceRecorder:
     simulations cheap; an unrestricted recorder keeps everything.
     """
 
-    def __init__(self, categories: Optional[set] = None) -> None:
+    def __init__(
+        self, categories: Optional[set] = None, check_monotonic: bool = False
+    ) -> None:
         self._records: List[TraceRecord] = []
         self._categories = set(categories) if categories is not None else None
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        # Sanitizer mode: refuse timestamps that move backwards.  Checked
+        # against the last *recorded* time, so category filtering cannot
+        # mask a regression inside the recorded stream.
+        self._check_monotonic = check_monotonic
+        self._last_time = float("-inf")
 
     def record(self, time: float, category: str, **detail: Any) -> None:
         if self._categories is not None and category not in self._categories:
             return
+        if self._check_monotonic:
+            if time < self._last_time:
+                from repro.sanitize import InvariantError
+
+                raise InvariantError(
+                    f"trace timestamp moved backwards: {time:.6f} after "
+                    f"{self._last_time:.6f} (category {category!r})"
+                )
+            self._last_time = time
         rec = TraceRecord(time=time, category=category, detail=detail)
         self._records.append(rec)
         for listener in self._listeners:
@@ -62,3 +78,8 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self._records.clear()
+        self._last_time = float("-inf")
+
+    def rewind_monotonic_guard(self) -> None:
+        """Allow time to restart (a simulator reset rewinds the clock)."""
+        self._last_time = float("-inf")

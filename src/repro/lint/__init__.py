@@ -1,0 +1,50 @@
+"""repro-lint: repo-specific determinism and pickle-safety static analysis.
+
+Every figure in this reproduction depends on an invariant the language does
+not enforce: all randomness flows through named seeded streams
+(:mod:`repro.eventsim.rng`), nothing in simulation code reads the wall
+clock, iteration orders that feed simulation state are deterministic, and
+everything that crosses the PR-1 process pool pickles faithfully.  This
+package turns those conventions into machine-checked rules:
+
+* **R001** — no unseeded randomness (module-level ``random.*`` calls,
+  ``random.seed``, any ``numpy.random`` use); only explicitly seeded
+  ``random.Random`` instances are allowed.
+* **R002** — no wall-clock or other nondeterministic sources
+  (``time.time``/``perf_counter``/…, ``datetime.now``, ``os.urandom``,
+  ``uuid.uuid1/uuid4``, ``secrets``).
+* **R003** — no order-sensitive iteration over bare ``set``/``frozenset``
+  values without a deterministic ``sorted(...)`` wrapper.
+* **R004** — no ``hash()``/``id()`` inside sort keys (salted/address-based
+  values are not stable orderings).
+* **R005** — pickle safety for objects crossing the process pool: no
+  lambdas handed to the executor, and immutable ``__slots__`` classes with
+  a blocking ``__setattr__`` must define explicit pickle support.
+
+Violations are suppressed per line with ``# repro-lint: disable=R001`` (or
+``disable=all``).  Run as ``python -m repro.lint src/repro`` or via the
+``repro-lint`` console script; see ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.reporter import format_json, format_text
+from repro.lint.rules import (
+    RULES,
+    LintConfig,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "RULES",
+    "LintConfig",
+    "Violation",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point for repro-lint.
+
+``repro-lint src/repro`` (or ``python -m repro.lint src/repro``) lints the
+tree and exits 0 when clean, 1 on violations, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.reporter import format_json, format_rule_catalogue, format_text
+from repro.lint.rules import RULES, LintConfig, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism / pickle-safety static analysis for the "
+        "repro codebase (rules R001-R005).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(format_rule_catalogue())
+        return 0
+
+    config = LintConfig()
+    if args.select is not None:
+        selected = frozenset(
+            part.strip().upper() for part in args.select.split(",") if part.strip()
+        )
+        unknown = selected - frozenset(RULES)
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        config = LintConfig(select=selected)
+
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"repro-lint: no such path: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    violations = lint_paths(paths, config=config)
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

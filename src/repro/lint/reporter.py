@@ -1,0 +1,51 @@
+"""Violation reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.lint.rules import RULES, Violation
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: RULE message`` line per violation + a summary."""
+    lines = [v.format() for v in violations]
+    if violations:
+        by_rule: Dict[str, int] = {}
+        for violation in violations:
+            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(f"found {len(violations)} violation(s): {breakdown}")
+    else:
+        lines.append("clean: no violations")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """A JSON document with the violation list and a per-rule summary."""
+    by_rule: Dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    payload: Dict[str, Union[int, Dict[str, int], List[Dict[str, object]]]] = {
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "count": len(violations),
+        "by_rule": by_rule,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rule_catalogue() -> str:
+    """The ``--list-rules`` output."""
+    return "\n".join(f"{rule}  {text}" for rule, text in sorted(RULES.items()))

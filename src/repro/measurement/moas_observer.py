@@ -91,7 +91,8 @@ class MoasObserver:
         the basis of the paper's 96.14 % / 2.7 % two-/three-origin split."""
         seen = {(case.prefix, case.origins) for case in self._cases}
         out: Dict[int, int] = {}
-        for _, origins in seen:
+        # Sorted so the histogram's key insertion order is reproducible.
+        for _, origins in sorted(seen, key=lambda c: (c[0], tuple(sorted(c[1])))):
             k = len(origins)
             out[k] = out.get(k, 0) + 1
         return out

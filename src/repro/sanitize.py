@@ -1,0 +1,171 @@
+"""Runtime sanitizer: protocol invariant checking (``REPRO_SANITIZE=1``).
+
+The static rules in :mod:`repro.lint` keep nondeterminism out of the code;
+this module guards the *state* the code produces.  With the environment
+variable ``REPRO_SANITIZE`` set truthy (or ``Simulator(sanitize=True)``),
+every decision-process run re-validates the speaker's RIB stack and the
+trace recorder refuses non-monotonic timestamps.  CI runs the tier-1 suite
+once in this mode, so a regression that corrupts RIB bookkeeping fails
+loudly instead of skewing a figure silently.
+
+Invariants checked after each decision-process run:
+
+* every non-local Loc-RIB best route is still present in the Adj-RIB-In of
+  the peer it was learned from (no dangling best routes);
+* every Adj-RIB-Out entry was genuinely exported: the recorded attribute
+  bundle carries this speaker's ASN as the first AS (the on-export prepend
+  happened) and the peer has a configured session;
+* MOAS-list attachments are internally consistent: the decoded list is
+  exactly the set of ASes carried in ``MLVal`` communities, and re-encoding
+  round-trips;
+* (via :class:`~repro.eventsim.trace.TraceRecorder`) trace timestamps never
+  move backwards, and the simulator never fires an event in the past.
+
+Checks raise :class:`InvariantError` — also the error type behind the
+``invariant(...)`` guards that replaced bare ``assert`` statements in the
+protocol hot path, so ``python -O`` can no longer strip them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.bgp.speaker import BGPSpeaker
+
+#: Environment variable that switches the sanitizer on.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class InvariantError(RuntimeError):
+    """A protocol or simulation invariant was violated.
+
+    Deliberately *not* an ``AssertionError``: these checks guard
+    correctness of published figures and must survive ``python -O``.
+    """
+
+
+def invariant(condition: bool, message: str) -> None:
+    """Raise :class:`InvariantError` unless ``condition`` holds.
+
+    The always-on replacement for bare ``assert`` in protocol code; use
+    for checks cheap enough to run unconditionally.
+    """
+    if not condition:
+        raise InvariantError(message)
+
+
+def sanitizer_enabled(override: Optional[bool] = None) -> bool:
+    """Whether deep (per-decision-run) invariant checking is on.
+
+    ``override`` wins when given; otherwise :data:`SANITIZE_ENV_VAR` is
+    consulted.  Read dynamically so tests can flip the environment.
+    """
+    if override is not None:
+        return override
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+# -- speaker invariants ------------------------------------------------------
+
+
+def check_speaker_invariants(speaker: "BGPSpeaker") -> None:
+    """Validate one speaker's RIB stack; raises :class:`InvariantError`."""
+    _check_loc_rib_backed(speaker)
+    _check_adj_rib_out_exported(speaker)
+    _check_moas_attachments(speaker)
+
+
+def _check_loc_rib_backed(speaker: "BGPSpeaker") -> None:
+    """Every non-local best route must still exist in some Adj-RIB-In."""
+    for entry in speaker.loc_rib.entries():
+        if entry.is_local:
+            local = speaker._local_routes.get(entry.prefix)
+            invariant(
+                local is entry,
+                f"AS{speaker.asn}: Loc-RIB best for {entry.prefix} claims to "
+                "be local but is not the registered local route",
+            )
+            continue
+        invariant(
+            entry.peer is not None,
+            f"AS{speaker.asn}: non-local Loc-RIB entry for {entry.prefix} "
+            "has no peer",
+        )
+        backing = speaker.adj_rib_in.get(entry.peer, entry.prefix)
+        invariant(
+            backing is entry,
+            f"AS{speaker.asn}: Loc-RIB best for {entry.prefix} (via peer "
+            f"{entry.peer}) is not backed by the Adj-RIB-In",
+        )
+
+
+def _check_adj_rib_out_exported(speaker: "BGPSpeaker") -> None:
+    """Advertised state must correspond to genuine exports."""
+    for peer in sorted(speaker._links):
+        for prefix in sorted(speaker.adj_rib_out.prefixes_for_peer(peer)):
+            advertised = speaker.adj_rib_out.advertised(peer, prefix)
+            if advertised is None:
+                raise InvariantError(
+                    f"AS{speaker.asn}: Adj-RIB-Out lists {prefix} for peer "
+                    f"{peer} with no recorded attributes"
+                )
+            invariant(
+                peer in speaker.sessions,
+                f"AS{speaker.asn}: Adj-RIB-Out holds {prefix} for unknown "
+                f"peer {peer}",
+            )
+            first = advertised.as_path.first_asn
+            invariant(
+                first == speaker.asn,
+                f"AS{speaker.asn}: advertised route for {prefix} to peer "
+                f"{peer} does not start with our ASN (got {first}); the "
+                "export prepend did not happen",
+            )
+
+
+def _check_moas_attachments(speaker: "BGPSpeaker") -> None:
+    """MOAS community attachments must decode/encode consistently."""
+    from repro.core.moas_list import MLVAL, MoasList
+
+    for entry in speaker.loc_rib.entries():
+        attached = entry.attributes.communities_of_value(MLVAL)
+        if not attached:
+            continue
+        decoded = MoasList.from_communities(entry.attributes.communities)
+        if decoded is None:
+            raise InvariantError(
+                f"AS{speaker.asn}: route for {entry.prefix} carries MLVal "
+                "communities that decode to no MOAS list"
+            )
+        carried = frozenset(c.asn for c in attached)
+        invariant(
+            decoded.origins == carried,
+            f"AS{speaker.asn}: MOAS list for {entry.prefix} decodes to "
+            f"{sorted(decoded.origins)} but the route carries communities "
+            f"for {sorted(carried)}",
+        )
+        invariant(
+            decoded.to_communities() == attached,
+            f"AS{speaker.asn}: MOAS list for {entry.prefix} does not "
+            "round-trip through its community encoding",
+        )
+
+
+# -- network-level sweep -----------------------------------------------------
+
+
+def check_network_invariants(network: "object") -> None:
+    """Validate every speaker in a :class:`~repro.bgp.network.Network`.
+
+    Accepts the network duck-typed (``speakers`` mapping) to avoid an
+    import cycle; used by the experiment runner after convergence.
+    """
+    speakers = getattr(network, "speakers", None)
+    if speakers is None:
+        raise InvariantError("object has no speakers mapping")
+    for asn in sorted(speakers):
+        check_speaker_invariants(speakers[asn])

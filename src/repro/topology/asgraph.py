@@ -134,7 +134,9 @@ class ASGraph:
         """A new ASGraph induced on ``asns`` (roles preserved)."""
         keep = set(asns)
         out = ASGraph()
-        for asn in keep:
+        # Sorted so node insertion order (which leaks into networkx's
+        # component/adjacency iteration) never depends on set hash order.
+        for asn in sorted(keep):
             if asn not in self._graph:
                 raise KeyError(f"AS{asn} not in graph")
             out.add_as(asn, self.role(asn))

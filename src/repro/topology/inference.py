@@ -77,9 +77,9 @@ def infer_from_paths(paths: Iterable[AsPath]) -> InferenceResult:
             transit.add(interior)
 
     graph = ASGraph()
-    for asn in all_asns:
+    for asn in sorted(all_asns):
         graph.add_as(asn, ASRole.TRANSIT if asn in transit else ASRole.STUB)
-    for a, b in edges:
+    for a, b in sorted(edges):
         graph.add_link(a, b)
 
     stubs = frozenset(all_asns - transit)

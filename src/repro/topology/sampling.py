@@ -86,7 +86,7 @@ def sample_topology(
         chosen_stubs = set(rng.sample(stubs, sample_size))
         keep: Set[ASN] = set(chosen_stubs)
         # "...containing these stub ASes and their ISP peers"
-        for stub in chosen_stubs:
+        for stub in sorted(chosen_stubs):
             for neighbor in full_graph.neighbors(stub):
                 if full_graph.role(neighbor) is ASRole.TRANSIT:
                     keep.add(neighbor)

@@ -1,0 +1,52 @@
+"""Negative fixture: deterministic counterparts of every rule's pattern.
+
+Linting this file (even with it configured as a spec module) must produce
+zero violations.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+rng = random.Random(42)
+value = rng.random()
+pick = rng.choice([1, 2, 3])
+
+items = {3, 1, 2}
+
+for item in sorted(items):
+    print(item)
+
+squares = [x * x for x in sorted(items)]
+materialised = sorted(items)
+total = sum(x for x in items)
+has_two = any(x == 2 for x in items)
+doubled = {x * 2 for x in items}
+
+by_value = sorted(["b", "a"], key=str.lower)
+
+
+def consume(peers: FrozenSet[int]) -> int:
+    return max(peers, default=0)
+
+
+@dataclass(frozen=True)
+class PicklableSpec:
+    """Frozen dataclasses pickle fine; R005 must not fire."""
+
+    seed: int
+
+
+class ReducibleThing:
+    """Immutable slots class WITH __reduce__ — pickles fine."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ReducibleThing is immutable")
+
+    def __reduce__(self) -> Tuple:
+        return (ReducibleThing, (self.value,))

@@ -1,0 +1,10 @@
+"""R001 fixture: every statement below draws from unseeded global state."""
+
+import random
+
+import numpy
+
+value = random.random()
+pick = random.choice([1, 2, 3])
+random.seed(42)
+noise = numpy.random.normal(0.0, 1.0)

@@ -1,0 +1,12 @@
+"""R002 fixture: wall clocks and entropy sources in simulation code."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+started = time.time()
+tick = time.perf_counter()
+stamp = datetime.now()
+entropy = os.urandom(16)
+token = uuid.uuid4()

@@ -1,0 +1,17 @@
+"""R003 fixture: iteration over bare sets in hash order."""
+
+from typing import FrozenSet
+
+items = {3, 1, 2}
+
+for item in items:
+    print(item)
+
+squares = [x * x for x in items]
+
+materialised = list(items)
+
+
+def consume(peers: FrozenSet[int]) -> None:
+    for peer in peers:
+        print(peer)

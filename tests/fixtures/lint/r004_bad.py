@@ -1,0 +1,7 @@
+"""R004 fixture: salted / address-based sort keys."""
+
+routes = ["b", "a", "c"]
+
+by_hash = sorted(routes, key=hash)
+by_id = min(routes, key=lambda r: id(r))
+routes.sort(key=lambda r: (hash(r), r))

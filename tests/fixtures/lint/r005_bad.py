@@ -1,0 +1,22 @@
+"""R005 fixture: pickle-unsafe constructs around the process pool.
+
+The class check only fires when this file is configured as a spec module
+(the test passes ``LintConfig(spec_modules=("*/r005_bad.py",))``).
+"""
+
+from repro.experiments.executor import parallel_map  # noqa: F401
+
+
+class FrozenThing:
+    """Immutable slots class with no pickle support — cannot cross the pool."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FrozenThing is immutable")
+
+
+results = parallel_map(lambda spec: spec.run(), [])

@@ -1,0 +1,13 @@
+"""Suppression fixture: every violation here carries a disable comment."""
+
+import random
+import time
+
+value = random.random()  # repro-lint: disable=R001
+started = time.perf_counter()  # repro-lint: disable=R002
+
+items = {3, 1, 2}
+for item in items:  # repro-lint: disable=R003
+    print(item)
+
+by_hash = sorted(["a", "b"], key=hash)  # repro-lint: disable=all

@@ -1,0 +1,26 @@
+"""Meta-test: the shipped source tree must satisfy its own linter.
+
+This is the enforcement half of the determinism discipline — CI runs
+``python -m repro.lint src/repro`` too, but this test keeps the guarantee
+inside the tier-1 suite so a violation fails fast locally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.lint import format_text, lint_paths
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def test_src_repro_is_lint_clean():
+    violations = lint_paths([SRC_ROOT])
+    assert violations == [], "\n" + format_text(violations)
+
+
+def test_src_root_is_the_real_package():
+    # Guard against the meta-test silently linting an empty directory.
+    files = list(SRC_ROOT.rglob("*.py"))
+    assert len(files) > 50
