@@ -10,7 +10,9 @@ Two measurements back the executor's existence:
    speedup assertion is skipped — pool startup would dominate — but the
    identity assertion always holds.
 2. **Micro**: single-scenario simulator throughput (events/sec), the
-   metric the hot-path optimisation pass moves.
+   metric the hot-path optimisation pass moves — measured plain and with
+   the observability layer enabled, so the metrics/span overhead (and the
+   no-op cost of the disabled guard) stays visible across PRs.
 
 Results land in ``benchmarks/results/BENCH_parallel.json`` so successive
 optimisation PRs have a comparable artifact.
@@ -75,6 +77,23 @@ def test_bench_parallel_executor(paper_topologies, results_dir):
         key=lambda outcome: outcome.events_per_sec,
     )
 
+    # Same scenario with metrics + spans enabled: the observability
+    # overhead, and a determinism check that instrumentation never
+    # perturbs the simulation.
+    from repro.experiments.runner import run_hijack_scenario_instrumented
+
+    instrumented = max(
+        (run_hijack_scenario_instrumented(scenario) for _ in range(3)),
+        key=lambda run: run.outcome.events_per_sec,
+    )
+    assert instrumented.outcome.equivalent_to(micro)
+    overhead_pct = (
+        (micro.events_per_sec / instrumented.outcome.events_per_sec - 1.0)
+        * 100.0
+        if instrumented.outcome.events_per_sec > 0
+        else 0.0
+    )
+
     record = {
         "topology_size": len(graph),
         "cores": cores,
@@ -90,6 +109,12 @@ def test_bench_parallel_executor(paper_topologies, results_dir):
             "wall_seconds": round(micro.wall_seconds, 4),
             "events_per_sec": round(micro.events_per_sec, 1),
         },
+        "instrumented_scenario": {
+            "events_per_sec": round(
+                instrumented.outcome.events_per_sec, 1
+            ),
+            "overhead_pct": round(overhead_pct, 1),
+        },
     }
     (results_dir / "BENCH_parallel.json").write_text(
         json.dumps(record, indent=2) + "\n"
@@ -103,6 +128,9 @@ def test_bench_parallel_executor(paper_topologies, results_dir):
         "  points bit-identical: yes",
         f"  single scenario: {micro.events_processed} events, "
         f"{micro.events_per_sec:,.0f} events/sec",
+        f"  instrumented:    "
+        f"{instrumented.outcome.events_per_sec:,.0f} events/sec "
+        f"(metrics+spans overhead {overhead_pct:+.1f}%)",
     ]
     emit(results_dir, "BENCH_parallel", "\n".join(lines))
 

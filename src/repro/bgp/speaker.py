@@ -110,6 +110,9 @@ class BGPSpeaker:
         self._established_cache: Optional[List[ASN]] = None
         self._export_cache: Dict[tuple, Optional[PathAttributes]] = {}
         self._prepend_cache: Dict[PathAttributes, PathAttributes] = {}
+        # A simulator reset rewinds the clock but keeps the speakers; the
+        # caches must not outlive the run that built them.
+        sim.add_reset_hook(self.clear_caches)
 
         # Counters for diagnostics and benchmarks.
         self.updates_received = 0
@@ -117,6 +120,27 @@ class BGPSpeaker:
         self.routes_rejected_by_policy = 0
         self.routes_rejected_by_validator = 0
         self.loops_detected = 0
+
+        # Network-wide metric instruments (shared through the registry by
+        # name); None when the simulator runs without metrics, so every
+        # instrumentation site below is a single attribute test.
+        metrics = sim.metrics
+        if metrics is not None:
+            self._m_updates_sent = metrics.counter("bgp.updates_sent")
+            self._m_updates_received = metrics.counter("bgp.updates_received")
+            self._m_decision_runs = metrics.counter("bgp.decision_runs")
+            self._m_export_cache_hits = metrics.counter("bgp.export_cache_hits")
+            self._m_export_cache_misses = metrics.counter(
+                "bgp.export_cache_misses"
+            )
+            self._m_mrai_fires = metrics.counter("bgp.mrai_fires")
+        else:
+            self._m_updates_sent = None
+            self._m_updates_received = None
+            self._m_decision_runs = None
+            self._m_export_cache_hits = None
+            self._m_export_cache_misses = None
+            self._m_mrai_fires = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BGPSpeaker(AS{self.asn}, {len(self.loc_rib)} routes)"
@@ -182,6 +206,18 @@ class BGPSpeaker:
             self._established_cache = peers
         return peers
 
+    def clear_caches(self) -> None:
+        """Drop the propagation-path memo caches.
+
+        Registered as a simulator reset hook: without it a reused network
+        keeps stale export/prepend entries forever and memory grows
+        monotonically across long sweeps.  Safe at any time — the caches
+        are pure memoisation and rebuild on demand.
+        """
+        self._established_cache = None
+        self._export_cache.clear()
+        self._prepend_cache.clear()
+
     # -- origination ------------------------------------------------------------
 
     def originate(
@@ -226,6 +262,8 @@ class BGPSpeaker:
     def handle_update(self, peer: ASN, message: UpdateMessage) -> None:
         """Process an UPDATE from an established peer."""
         self.updates_received += 1
+        if self._m_updates_received is not None:
+            self._m_updates_received.inc()
         touched: Set[Prefix] = set()
 
         # Withdrawal listeners observe removal order; iterate sorted so the
@@ -338,6 +376,8 @@ class BGPSpeaker:
 
     def _run_decision(self, prefix: Prefix) -> None:
         """Re-select the best route for ``prefix`` and propagate changes."""
+        if self._m_decision_runs is not None:
+            self._m_decision_runs.inc()
         candidates = list(self.adj_rib_in.routes_for_prefix(prefix))
         local = self._local_routes.get(prefix)
         if local is not None:
@@ -443,15 +483,20 @@ class BGPSpeaker:
             self.adj_rib_out.record_advertisement(peer, prefix, export)
 
         sent_any = False
+        sent_count = 0
         link = self._links[peer]
         if withdrawals:
             link.send(self.asn, UpdateMessage(withdrawn=withdrawals))
             self.updates_sent += 1
+            sent_count += 1
             sent_any = True
         for attributes, prefixes in announcements.items():
             link.send(self.asn, UpdateMessage(announced=prefixes, attributes=attributes))
             self.updates_sent += 1
+            sent_count += 1
             sent_any = True
+        if sent_count and self._m_updates_sent is not None:
+            self._m_updates_sent.inc(sent_count)
 
         if sent_any and self.config.mrai > 0:
             timer = self._mrai_timers.get(peer)
@@ -459,11 +504,17 @@ class BGPSpeaker:
                 timer = Timer(
                     self.sim,
                     self.config.mrai,
-                    lambda p=peer: self._flush_peer(p),
+                    lambda p=peer: self._mrai_fire(p),
                     label=f"mrai->{peer}",
                 )
                 self._mrai_timers[peer] = timer
             timer.restart()
+
+    def _mrai_fire(self, peer: ASN) -> None:
+        """MRAI expiry: flush whatever pacing held back for ``peer``."""
+        if self._m_mrai_fires is not None:
+            self._m_mrai_fires.inc()
+        self._flush_peer(peer)
 
     def _export_attributes(
         self, peer: ASN, entry: RibEntry
@@ -485,9 +536,15 @@ class BGPSpeaker:
         """
         cache_key = (peer, entry.prefix, entry.attributes, entry.is_local)
         try:
-            return self._export_cache[cache_key]
+            result = self._export_cache[cache_key]
         except KeyError:
             pass
+        else:
+            if self._m_export_cache_hits is not None:
+                self._m_export_cache_hits.inc()
+            return result
+        if self._m_export_cache_misses is not None:
+            self._m_export_cache_misses.inc()
         exported = self._compute_export_attributes(peer, entry)
         self._export_cache[cache_key] = exported
         return exported

@@ -8,7 +8,10 @@ Exposes the reproduction's main entry points without writing any Python:
 * ``repro monitor <dump>`` — run the §4.2 off-line monitor over a
   RouteViews-style dump file;
 * ``repro topology`` — generate a paper-style topology and describe it;
-* ``repro hijack`` — run one hijack scenario and report the outcome.
+* ``repro hijack`` — run one hijack scenario and report the outcome;
+* ``repro sweep`` — run an attacker-fraction sweep, optionally emitting a
+  JSONL run manifest (``--manifest``);
+* ``repro report`` — aggregate a run manifest back into the paper's tables.
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -172,12 +175,16 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_hijack(args: argparse.Namespace) -> int:
+    import json
+
     from repro.attack.placement import place_attackers, place_origins
     from repro.eventsim.rng import RandomStreams
+    from repro.experiments.executor import execute_scenarios
     from repro.experiments.runner import (
         DeploymentKind,
         HijackScenario,
         run_hijack_scenario,
+        run_hijack_scenario_instrumented,
     )
     from repro.topology.generators import generate_paper_topology
 
@@ -193,15 +200,32 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
         "partial": DeploymentKind.PARTIAL,
         "full": DeploymentKind.FULL,
     }[args.deployment]
-    outcome = run_hijack_scenario(
-        HijackScenario(
-            graph=graph,
-            origins=origins,
-            attackers=attackers,
-            deployment=deployment,
-            seed=args.seed,
-        )
+    scenario = HijackScenario(
+        graph=graph,
+        origins=origins,
+        attackers=attackers,
+        deployment=deployment,
+        seed=args.seed,
     )
+    if args.manifest:
+        # The single-record manifest path: spec + outcome + metrics.
+        outcomes = execute_scenarios([scenario], manifest=args.manifest)
+        outcome = outcomes[0]
+        print(f"manifest written: {args.manifest}")
+    elif args.spans:
+        run = run_hijack_scenario_instrumented(scenario)
+        outcome = run.outcome
+    else:
+        outcome = run_hijack_scenario(scenario)
+    if args.spans:
+        if args.manifest:
+            # Manifest runs discard spans in the pool crossing; re-run
+            # instrumented in-process for the span dump.
+            run = run_hijack_scenario_instrumented(scenario)
+        with open(args.spans, "w", encoding="utf-8") as handle:
+            json.dump(run.spans, handle, indent=2)
+            handle.write("\n")
+        print(f"spans written: {args.spans}")
     print(f"topology: {args.size} ASes; origins {origins}; "
           f"{n_attackers} attackers")
     print(f"deployment: {args.deployment}")
@@ -212,6 +236,65 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
     print(f"throughput: {outcome.events_processed} events, "
           f"{outcome.updates_sent} updates in {outcome.wall_seconds:.3f}s "
           f"({outcome.events_per_sec:,.0f} events/sec)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import DeploymentKind
+    from repro.experiments.sweep import SweepConfig, run_sweep
+    from repro.topology.generators import generate_paper_topology
+
+    graph = generate_paper_topology(args.size, seed=args.seed)
+    deployment = {
+        "none": DeploymentKind.NONE,
+        "partial": DeploymentKind.PARTIAL,
+        "full": DeploymentKind.FULL,
+    }[args.deployment]
+    fractions = tuple(
+        float(part) for part in args.fractions.split(",") if part.strip()
+    )
+    if not fractions:
+        print("no attacker fractions given", file=sys.stderr)
+        return 2
+    result = run_sweep(
+        SweepConfig(
+            graph=graph,
+            n_origins=args.origins,
+            deployment=deployment,
+            attacker_fractions=fractions,
+            n_origin_sets=args.origin_sets,
+            n_attacker_sets=args.attacker_sets,
+            seed=args.seed,
+        ),
+        workers=args.workers,
+        manifest=args.manifest,
+    )
+    from repro.experiments.reporting import format_sweep_table
+
+    print(format_sweep_table(
+        [result], title=f"sweep — {args.size} ASes, {args.deployment}"
+    ))
+    if args.manifest:
+        print(f"manifest written: {args.manifest}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.reporting import format_manifest_report
+    from repro.obs.manifest import aggregate_manifest, read_manifest
+
+    records = read_manifest(args.manifest)
+    if not records:
+        print(f"{args.manifest}: manifest holds no records", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(aggregate_manifest(records), indent=2, sort_keys=True))
+    else:
+        print(format_manifest_report(
+            records, title=f"run manifest — {args.manifest}"
+        ))
     return 0
 
 
@@ -268,7 +351,48 @@ def build_parser() -> argparse.ArgumentParser:
     hijack.add_argument("--deployment", choices=("none", "partial", "full"),
                         default="full")
     hijack.add_argument("--seed", type=int, default=8)
+    hijack.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write a one-record JSONL run manifest (spec, seed, outcome, "
+        "metric snapshot, worker id) to PATH",
+    )
+    hijack.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="write the phase-span trace (topology build, convergence, "
+        "fault injection, recovery) as JSON to PATH",
+    )
     hijack.set_defaults(func=_cmd_hijack)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an attacker-fraction sweep (optionally manifested)"
+    )
+    sweep.add_argument("--size", type=int, default=46)
+    sweep.add_argument("--origins", type=int, default=1)
+    sweep.add_argument("--fractions", default="0.05,0.20,0.40",
+                       help="comma-separated attacker fractions")
+    sweep.add_argument("--deployment", choices=("none", "partial", "full"),
+                       default="full")
+    sweep.add_argument("--origin-sets", type=int, default=3)
+    sweep.add_argument("--attacker-sets", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=8)
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel simulation workers (default: REPRO_WORKERS env var, "
+        "else 1 = serial); results are identical at any worker count",
+    )
+    sweep.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write one JSONL manifest record per scenario to PATH",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="aggregate a JSONL run manifest into the paper's tables"
+    )
+    report.add_argument("manifest", help="path to a .jsonl run manifest")
+    report.add_argument("--json", action="store_true",
+                        help="emit the aggregation as JSON instead of a table")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 

@@ -54,6 +54,12 @@ class MoasChecker:
         self.oracle = oracle
         self.alarms = alarm_log if alarm_log is not None else AlarmLog()
         self._speaker: Optional[BGPSpeaker] = None
+        # Metric instruments, resolved at attach() from the speaker's
+        # simulator registry; None when metrics are disabled.
+        self._m_checks = None
+        self._m_alarms = None
+        self._m_conflicts = None
+        self._m_suppressed = None
         # Distinct MOAS lists observed per prefix (across accepted AND
         # rejected routes — a rejected bogus route must still count as
         # evidence of conflict for later arrivals).
@@ -72,6 +78,12 @@ class MoasChecker:
             raise RuntimeError("checker is already attached to a speaker")
         self._speaker = speaker
         speaker.add_import_validator(self.validate)
+        metrics = speaker.sim.metrics
+        if metrics is not None:
+            self._m_checks = metrics.counter("checker.checks")
+            self._m_alarms = metrics.counter("checker.alarms")
+            self._m_conflicts = metrics.counter("checker.list_conflicts")
+            self._m_suppressed = metrics.counter("checker.routes_suppressed")
 
     @property
     def speaker(self) -> BGPSpeaker:
@@ -82,11 +94,23 @@ class MoasChecker:
     def _now(self) -> float:
         return self.speaker.sim.now if self._speaker is not None else 0.0
 
+    def _raise_alarm(self, alarm: Alarm) -> None:
+        if self._m_alarms is not None:
+            self._m_alarms.inc()
+        self.alarms.raise_alarm(alarm)
+
+    def _count_suppressed(self) -> None:
+        self.routes_suppressed += 1
+        if self._m_suppressed is not None:
+            self._m_suppressed.inc()
+
     # -- the import validator ----------------------------------------------------
 
     def validate(self, peer: ASN, prefix: Prefix, attributes: PathAttributes) -> bool:
         """Import-validator entry point; False rejects the route."""
         self.checks += 1
+        if self._m_checks is not None:
+            self._m_checks.inc()
         moas_list = extract_moas_list(attributes)
         origin = attributes.origin_asn
 
@@ -98,7 +122,7 @@ class MoasChecker:
 
         # Step 2: self-consistency of the announcement itself.
         if origin is not None and not moas_list.authorises(origin):
-            self.alarms.raise_alarm(
+            self._raise_alarm(
                 Alarm(
                     time=self._now(),
                     detector=self.speaker.asn,
@@ -109,7 +133,7 @@ class MoasChecker:
                 )
             )
             if self.mode is CheckerMode.DETECT_AND_SUPPRESS:
-                self.routes_suppressed += 1
+                self._count_suppressed()
                 return False
             return True
 
@@ -121,6 +145,8 @@ class MoasChecker:
 
         if conflict and is_new_list:
             self.conflicts_detected += 1
+            if self._m_conflicts is not None:
+                self._m_conflicts.inc()
             # Pick the conflicting list deterministically: raw set order
             # would let the alarm's evidence depend on hash order.
             conflicting = next(
@@ -128,7 +154,7 @@ class MoasChecker:
                 for other in sorted(seen, key=lambda m: tuple(m))
                 if not moas_list.consistent_with(other)
             )
-            self.alarms.raise_alarm(
+            self._raise_alarm(
                 Alarm(
                     time=self._now(),
                     detector=self.speaker.asn,
@@ -148,7 +174,7 @@ class MoasChecker:
             authorised = self._adjudicate(prefix)
             if authorised is not None and origin is not None:
                 if origin not in authorised:
-                    self.alarms.raise_alarm(
+                    self._raise_alarm(
                         Alarm(
                             time=self._now(),
                             detector=self.speaker.asn,
@@ -158,7 +184,7 @@ class MoasChecker:
                             suspect_origin=origin,
                         )
                     )
-                    self.routes_suppressed += 1
+                    self._count_suppressed()
                     return False
         return True
 
@@ -191,7 +217,7 @@ class MoasChecker:
                     f"locally originated route for {prefix} flagged as an "
                     "unauthorised Adj-RIB-In entry"
                 )
-            self.alarms.raise_alarm(
+            self._raise_alarm(
                 Alarm(
                     time=self._now(),
                     detector=self.speaker.asn,
@@ -200,5 +226,5 @@ class MoasChecker:
                     suspect_origin=entry.origin_asn,
                 )
             )
-            self.routes_suppressed += 1
+            self._count_suppressed()
             self.speaker.invalidate_route(entry.peer, prefix)

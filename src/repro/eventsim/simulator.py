@@ -8,12 +8,13 @@ never moves time backwards and refuses events scheduled in the past.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.eventsim.event import Event, EventHandle
 from repro.eventsim.queue import EventQueue
 from repro.eventsim.rng import RandomStreams
 from repro.eventsim.trace import TraceRecorder
+from repro.obs.metrics import MetricsRegistry
 from repro.sanitize import InvariantError, sanitizer_enabled
 
 
@@ -35,6 +36,13 @@ class Simulator:
         :class:`SimulationError` instead of spinning forever.  BGP on a
         static workload always quiesces, so hitting the cap indicates a bug
         (e.g. a route oscillation from an ill-formed policy).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When given,
+        the run loop counts dispatched events (``sim.events``) and tracks
+        queue depth (``sim.queue_depth``); protocol modules holding this
+        simulator pick the registry up and register their own instruments.
+        When None (the default), instrumentation sites reduce to a single
+        ``is not None`` attribute test.
     """
 
     def __init__(
@@ -43,6 +51,7 @@ class Simulator:
         trace_categories: Optional[set] = None,
         max_events: int = 5_000_000,
         sanitize: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.now = 0.0
         self.queue = EventQueue()
@@ -55,6 +64,18 @@ class Simulator:
         self.events_processed = 0
         self._running = False
         self._sequence = 0
+        self.metrics = metrics
+        # "is not None", not truthiness: an empty registry is falsy.
+        self._m_events = (
+            metrics.counter("sim.events") if metrics is not None else None
+        )
+        self._m_queue_depth = (
+            metrics.gauge("sim.queue_depth") if metrics is not None else None
+        )
+        # Components with per-run caches (speakers) register a callback to
+        # be cleared on reset(); the simulator owns the lifecycle, so it is
+        # the one place that can reach them all.
+        self._reset_hooks: List[Callable[[], None]] = []
 
     def next_sequence(self) -> int:
         """A globally monotonic counter for sub-tick ordering needs (e.g.
@@ -126,6 +147,10 @@ class Simulator:
                 event.fire()
                 processed += 1
                 self.events_processed += 1
+                if self._m_events is not None:
+                    self._m_events.inc()
+                    assert self._m_queue_depth is not None
+                    self._m_queue_depth.set(float(len(self.queue)))
                 if self.events_processed > self.max_events:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}; "
@@ -141,15 +166,26 @@ class Simulator:
         """Run until no events remain; returns events processed."""
         return self.run(until=None)
 
+    def add_reset_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run at the end of every :meth:`reset`.
+
+        Speakers use this to drop per-run caches (export/prepend memos)
+        whose entries would otherwise accumulate across reused networks.
+        """
+        self._reset_hooks.append(hook)
+
     def reset(self) -> None:
         """Discard pending events and rewind the clock (streams are kept).
 
         The sub-tick sequence counter rewinds too: a reused simulator must
         hand out the same ``installed_seq`` values as a fresh one, or
         prefer-oldest tie-breaks stop being reproducible across resets.
+        Reset hooks fire last, so components observe the rewound state.
         """
         self.queue.clear()
         self.now = 0.0
         self.events_processed = 0
         self._sequence = 0
         self.trace.rewind_monotonic_guard()
+        for hook in self._reset_hooks:
+            hook()

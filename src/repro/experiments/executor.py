@@ -18,28 +18,99 @@ Design rules, in order of priority:
    the historical code path, and what tests use unless they opt in.
 3. **Configurability.**  The worker count resolves as: explicit argument →
    ``REPRO_WORKERS`` environment variable → 1.
+4. **Attribution.**  A failing item raises :class:`ParallelTaskError`
+   carrying the submission index and the item's seed, so a 10k-scenario
+   sweep never dies with a bare pool traceback.
 
-``wall_seconds`` inside each outcome is measured in the worker and is the
-only non-deterministic field an outcome carries.
+``wall_seconds`` inside each outcome is measured in the worker and is —
+together with the manifest's ``worker`` field — the only non-deterministic
+data a run produces.  Pass ``manifest=`` to :func:`execute_scenarios` to
+emit a JSONL run manifest (see :mod:`repro.obs.manifest`).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from pathlib import Path
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.experiments.runner import (
     HijackOutcome,
     HijackScenario,
     run_hijack_scenario,
+    run_hijack_scenario_instrumented,
+    scenario_spec,
 )
+from repro.obs.manifest import ManifestRecord, ManifestWriter
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+class ParallelTaskError(RuntimeError):
+    """One item of a :func:`parallel_map` batch failed.
+
+    Carries the submission ``index`` and the item's ``seed`` (when the item
+    has one — scenarios do), so a failure deep inside a sweep points at the
+    exact scenario to re-run.  On the serial path the original exception is
+    chained as ``__cause__``; across the process pool the original type and
+    message survive inside :attr:`message` (pickling drops ``__cause__``).
+    """
+
+    def __init__(self, index: int, seed: Optional[int], message: str) -> None:
+        self.index = index
+        self.seed = seed
+        self.message = message
+        seed_part = f"seed={seed}" if seed is not None else "no seed"
+        super().__init__(
+            f"parallel task #{index} ({seed_part}) failed: {message}"
+        )
+
+    def __reduce__(
+        self,
+    ) -> Tuple[type, Tuple[int, Optional[int], str]]:
+        # Exceptions pickle via their __init__ args by default; ours are
+        # (index, seed, message), which the default reduction would pass
+        # through str(self).  Spell it out so the attributes survive the
+        # pool crossing intact.
+        return (type(self), (self.index, self.seed, self.message))
+
+
+class _AttributedCall:
+    """Wrap ``fn`` so a failure names the submission index and seed.
+
+    Module-level and slot-only: instances must pickle into pool workers.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, pair: Tuple[int, T]) -> R:
+        index, item = pair
+        try:
+            return self.fn(item)
+        except ParallelTaskError:
+            raise  # already attributed (nested parallel_map)
+        except Exception as exc:
+            seed = getattr(item, "seed", None)
+            raise ParallelTaskError(
+                index, seed, f"{type(exc).__name__}: {exc}"
+            ) from exc
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -56,9 +127,11 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             workers = int(raw)
         except ValueError:
+            # The int() parse traceback adds nothing the message doesn't
+            # already say; suppress the chained context.
             raise ValueError(
                 f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
-            )
+            ) from None
     if workers < 1:
         raise ValueError(f"worker count must be >= 1, got {workers}")
     return workers
@@ -76,28 +149,59 @@ def parallel_map(
     :class:`ProcessPoolExecutor`; ``fn`` and the items must be picklable,
     and ``fn`` must be a pure function of its argument (module-level, no
     closure state) for the parallel path to equal the serial one.
+
+    A failing item raises :class:`ParallelTaskError` with the submission
+    index and the item's ``seed`` attribute (if any) attached, on both the
+    serial and the pooled path.
     """
     work = list(items)
     count = resolve_workers(workers)
+    call: _AttributedCall = _AttributedCall(fn)
     if count == 1 or len(work) < 2:
-        return [fn(item) for item in work]
+        return [call((index, item)) for index, item in enumerate(work)]
     count = min(count, len(work))
     # A chunk per worker per ~4 waves keeps pickling overhead low while
     # still load-balancing runs of uneven cost (large attacker fractions
     # converge slower than small ones).
     chunksize = max(1, len(work) // (count * 4))
     with ProcessPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+        return list(pool.map(call, enumerate(work), chunksize=chunksize))
 
 
 def execute_scenarios(
     scenarios: Sequence[HijackScenario],
     workers: Optional[int] = None,
+    manifest: Optional[Union[str, Path]] = None,
 ) -> List[HijackOutcome]:
     """Run independent hijack scenarios, serially or across processes.
 
     Outcomes are returned in scenario order regardless of completion order,
     so aggregation downstream (mean/min/max over the paper's 15 runs) sees
     exactly the sequence the serial path would produce.
+
+    With ``manifest`` set, every scenario runs with metrics and phase spans
+    enabled and one :class:`~repro.obs.manifest.ManifestRecord` per scenario
+    is written (in submission order) to the given JSONL path.  Manifests
+    from different worker counts are bit-identical after masking the
+    documented timing fields.
     """
-    return parallel_map(run_hijack_scenario, scenarios, workers=workers)
+    if manifest is None:
+        return parallel_map(run_hijack_scenario, scenarios, workers=workers)
+
+    runs = parallel_map(
+        run_hijack_scenario_instrumented, scenarios, workers=workers
+    )
+    with ManifestWriter(manifest) as writer:
+        for index, (scenario, run) in enumerate(zip(scenarios, runs)):
+            writer.write(
+                ManifestRecord(
+                    index=index,
+                    seed=scenario.seed,
+                    spec=scenario_spec(scenario),
+                    outcome=run.outcome.to_dict(),
+                    metrics=run.metrics,
+                    worker=run.worker,
+                    wall_seconds=run.outcome.wall_seconds,
+                )
+            )
+    return [run.outcome for run in runs]

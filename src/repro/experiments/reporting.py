@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.sweep import SweepResult
+from repro.obs.manifest import ManifestRecord, aggregate_manifest
 
 
 def format_sweep_table(results: Sequence[SweepResult], title: str = "") -> str:
@@ -57,4 +58,52 @@ def format_series_table(
     lines.append(f"{headers[0].rjust(width0)}  {headers[1].rjust(width1)}")
     for x, y in rows:
         lines.append(f"{str(x).rjust(width0)}  {str(y).rjust(width1)}")
+    return "\n".join(lines)
+
+
+def format_manifest_report(
+    records: Sequence[ManifestRecord], title: str = ""
+) -> str:
+    """Aggregate a run manifest into the paper's table shape.
+
+    One row per (deployment arm, attacker count) group — mean/min/max
+    poisoned fraction and mean alarms over that group's runs, the numbers
+    behind one data point of Figures 9-11 — plus manifest-wide totals.
+    """
+    if not records:
+        raise ValueError("manifest holds no records")
+    aggregated = aggregate_manifest(records)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        "deployment", "attackers", "runs",
+        "poisoned% mean", "min", "max", "alarms mean",
+    )
+    widths = [max(10, len(h)) for h in header]
+    widths[0] = max(widths[0], max(len(str(r["deployment"]))
+                                   for r in aggregated["rows"]))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in aggregated["rows"]:
+        cells = (
+            str(row["deployment"]),
+            str(row["n_attackers"]),
+            str(row["runs"]),
+            f"{row['mean_poisoned_fraction'] * 100:.2f}%",
+            f"{row['min_poisoned_fraction'] * 100:.2f}%",
+            f"{row['max_poisoned_fraction'] * 100:.2f}%",
+            f"{row['mean_alarms']:.1f}",
+        )
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+
+    totals = aggregated["totals"]
+    lines.append(
+        f"totals: {totals['records']} runs, "
+        f"{totals['events_processed']} events, "
+        f"{totals['updates_sent']} updates, "
+        f"{totals['alarms']} alarms, "
+        f"{totals['routes_suppressed']} suppressed, "
+        f"{totals['wall_seconds']:.2f}s wall"
+    )
     return "\n".join(lines)

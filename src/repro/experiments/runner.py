@@ -8,11 +8,14 @@ originate it; after convergence we measure the percentage of the remaining
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import os
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Any, ContextManager, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.attack.models import AttackStrategy, NaiveFalseOrigin
 from repro.bgp.network import Network
@@ -22,8 +25,11 @@ from repro.core.checker import CheckerMode, MoasChecker
 from repro.core.deployment import DeploymentPlan
 from repro.core.moas_list import moas_communities
 from repro.core.origin_verification import GroundTruthOracle, PrefixOriginRegistry
+from repro.eventsim.simulator import Simulator
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.topology.asgraph import ASGraph
 
 
@@ -115,9 +121,86 @@ class HijackOutcome:
             return 0.0
         return self.events_processed / self.wall_seconds
 
+    def masked_timing(self) -> "HijackOutcome":
+        """A copy with every timing field zeroed.
 
-def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
-    """Execute one run and measure false-route adoption."""
+        ``wall_seconds`` measures this process, not the simulated system;
+        any determinism comparison between outcomes must go through this
+        helper (or :func:`outcomes_equivalent`) or it will flake.
+        """
+        return dataclasses.replace(self, wall_seconds=0.0)
+
+    def equivalent_to(self, other: "HijackOutcome") -> bool:
+        """Equality modulo timing fields — the determinism comparison."""
+        return self.masked_timing() == other.masked_timing()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering for run manifests."""
+        return {
+            "poisoned": sorted(self.poisoned),
+            "n_remaining": self.n_remaining,
+            "poisoned_fraction": self.poisoned_fraction,
+            "alarms": self.alarms,
+            "routes_suppressed": self.routes_suppressed,
+            "capable_count": len(self.capable),
+            "events_processed": self.events_processed,
+            "updates_sent": self.updates_sent,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def outcomes_equivalent(
+    a: Sequence[HijackOutcome], b: Sequence[HijackOutcome]
+) -> bool:
+    """Element-wise outcome equality with timing fields masked."""
+    if len(a) != len(b):
+        return False
+    return all(x.equivalent_to(y) for x, y in zip(a, b))
+
+
+def scenario_spec(scenario: HijackScenario) -> Dict[str, Any]:
+    """A JSON-safe description of a scenario for run manifests.
+
+    Carries everything needed to attribute (and with the original topology
+    generator, re-create) the run; the graph itself is summarised by size.
+    """
+    return {
+        "topology_size": len(scenario.graph),
+        "origins": sorted(scenario.origins),
+        "attackers": sorted(scenario.attackers),
+        "n_attackers": len(scenario.attackers),
+        "deployment": scenario.deployment.value,
+        "partial_fraction": scenario.partial_fraction,
+        "strategy": type(scenario.strategy).__name__,
+        "checker_mode": scenario.checker_mode.value,
+        "timing": scenario.timing.value,
+        "prefix": str(scenario.prefix),
+        "seed": scenario.seed,
+    }
+
+
+@dataclass
+class InstrumentedRun:
+    """One scenario's outcome plus its observability payload.
+
+    ``metrics`` is the per-run instrument snapshot (deterministic);
+    ``spans`` is the phase-span forest (wall fields quarantined);
+    ``worker`` identifies the producing process (nondeterministic by
+    nature, masked in manifest comparisons).
+    """
+
+    outcome: HijackOutcome
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    worker: int = 0
+
+
+def _execute_scenario(
+    scenario: HijackScenario,
+    sim: Optional[Simulator] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> HijackOutcome:
+    """The run itself; ``sim``/``tracer`` are None on the plain path."""
     # wall_seconds is the one documented nondeterministic outcome field: it
     # measures this process, not the simulated system.
     started = time.perf_counter()  # repro-lint: disable=R002
@@ -126,50 +209,65 @@ def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
     attackers = frozenset(scenario.attackers)
     prefix = scenario.prefix
 
+    def span(name: str) -> ContextManager[Any]:
+        return tracer.span(name) if tracer is not None else nullcontext()
+
     registry = PrefixOriginRegistry()
     registry.register(prefix, origins)
     oracle = GroundTruthOracle(registry)
     alarm_log = AlarmLog()
 
-    network = Network(
-        scenario.graph, config=SpeakerConfig(mrai=0.0), seed=scenario.seed
-    )
-
-    if scenario.deployment is DeploymentKind.FULL:
-        plan = DeploymentPlan.full(scenario.graph.asns())
-    elif scenario.deployment is DeploymentKind.PARTIAL:
-        plan = DeploymentPlan.random_fraction(
-            scenario.graph.asns(),
-            scenario.partial_fraction,
-            random.Random(scenario.seed ^ 0x5EED),
+    with span("topology_build"):
+        network = Network(
+            scenario.graph,
+            sim=sim,
+            config=SpeakerConfig(mrai=0.0),
+            seed=scenario.seed,
         )
-    else:
-        plan = DeploymentPlan.none()
 
-    checkers: Dict[ASN, MoasChecker] = plan.apply(
-        network, oracle, mode=scenario.checker_mode, shared_alarm_log=alarm_log
-    )
+        if scenario.deployment is DeploymentKind.FULL:
+            plan = DeploymentPlan.full(scenario.graph.asns())
+        elif scenario.deployment is DeploymentKind.PARTIAL:
+            plan = DeploymentPlan.random_fraction(
+                scenario.graph.asns(),
+                scenario.partial_fraction,
+                random.Random(scenario.seed ^ 0x5EED),
+            )
+        else:
+            plan = DeploymentPlan.none()
 
-    network.establish_sessions()
+        checkers: Dict[ASN, MoasChecker] = plan.apply(
+            network, oracle, mode=scenario.checker_mode, shared_alarm_log=alarm_log
+        )
+
+    with span("establish_sessions"):
+        network.establish_sessions()
 
     # Genuine origination: multiple origins agree on and attach the MOAS
     # list; a single origin attaches nothing (§4.3: "routes that originate
     # from a single AS need not attach a MOAS list").
-    communities = moas_communities(origins) if len(origins) > 1 else ()
-    for origin in sorted(origins):
-        network.originate(origin, prefix, communities=communities)
+    with span("origination"):
+        communities = moas_communities(origins) if len(origins) > 1 else ()
+        for origin in sorted(origins):
+            network.originate(origin, prefix, communities=communities)
     if scenario.timing is AttackTiming.POST_CONVERGENCE:
+        with span("initial_convergence"):
+            network.run_to_convergence()
+
+    with span("fault_injection"):
+        for attacker in sorted(attackers):
+            scenario.strategy.launch(network, attacker, prefix, origins)
+    # Recovery: the network re-converges with the false originations (and
+    # any MOAS-triggered suppression) in play.
+    with span("recovery_convergence"):
         network.run_to_convergence()
 
-    for attacker in sorted(attackers):
-        scenario.strategy.launch(network, attacker, prefix, origins)
-    network.run_to_convergence()
-
-    poisoned = frozenset(
-        asn
-        for asn, best_origin in network.best_origins(prefix).items()
-        if asn not in attackers and best_origin in attackers
-    )
+    with span("measurement"):
+        poisoned = frozenset(
+            asn
+            for asn, best_origin in network.best_origins(prefix).items()
+            if asn not in attackers and best_origin in attackers
+        )
     n_remaining = len(scenario.graph) - len(attackers)
     return HijackOutcome(
         poisoned=poisoned,
@@ -180,4 +278,29 @@ def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
         events_processed=network.sim.events_processed,
         updates_sent=network.total_updates_sent(),
         wall_seconds=time.perf_counter() - started,  # repro-lint: disable=R002
+    )
+
+
+def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
+    """Execute one run and measure false-route adoption."""
+    return _execute_scenario(scenario)
+
+
+def run_hijack_scenario_instrumented(scenario: HijackScenario) -> InstrumentedRun:
+    """Execute one run with metrics and phase spans enabled.
+
+    The simulated behaviour — and therefore the outcome and the metric
+    snapshot — is bit-identical to :func:`run_hijack_scenario`;
+    instrumentation only observes.  Module-level and single-argument, so
+    the executor can fan it out across the process pool.
+    """
+    metrics = MetricsRegistry()
+    sim = Simulator(seed=scenario.seed, metrics=metrics)
+    tracer = SpanTracer(clock=lambda: sim.now)
+    outcome = _execute_scenario(scenario, sim=sim, tracer=tracer)
+    return InstrumentedRun(
+        outcome=outcome,
+        metrics=metrics.snapshot(),
+        spans=tracer.as_dicts(),
+        worker=os.getpid(),
     )

@@ -129,12 +129,18 @@ def build_sweep_scenarios(
     return per_fraction
 
 
-def run_sweep(config: SweepConfig, workers: Optional[int] = None) -> SweepResult:
+def run_sweep(
+    config: SweepConfig,
+    workers: Optional[int] = None,
+    manifest: Optional[str] = None,
+) -> SweepResult:
     """Run one curve: every attacker fraction, 15 runs each.
 
     ``workers`` > 1 fans the independent runs of the *whole* curve out over
     a process pool (see :mod:`repro.experiments.executor`); the resulting
     :class:`SweepPoint` values are bit-identical to a serial run.
+    ``manifest`` additionally writes one JSONL record per scenario (spec,
+    seed, outcome, metric snapshot, worker id) to the given path.
     """
     result = SweepResult(
         deployment=config.deployment,
@@ -147,7 +153,7 @@ def run_sweep(config: SweepConfig, workers: Optional[int] = None) -> SweepResult
     # fraction-at-a-time, and order-preserving collection keeps aggregation
     # identical to the serial loop.
     flat = [s for _, _, scenarios in per_fraction for s in scenarios]
-    all_outcomes = execute_scenarios(flat, workers=workers)
+    all_outcomes = execute_scenarios(flat, workers=workers, manifest=manifest)
 
     cursor = 0
     for fraction, n_attackers, scenarios in per_fraction:

@@ -1,0 +1,47 @@
+"""Observability: metrics, run manifests and tracing spans.
+
+The paper's evaluation attributes every alarm and suppressed route to a
+concrete sequence of UPDATE propagation events; this package gives the
+harness the same property at scale.  Three zero-dependency pieces:
+
+* :mod:`repro.obs.metrics` — named counters, gauges and histograms wired
+  into the simulator event loop, the BGP speaker and the MOAS checker.
+  Everything recorded is a deterministic function of the simulated system,
+  so metric snapshots can participate in bit-identity checks.
+* :mod:`repro.obs.manifest` — JSONL run manifests: one record per scenario
+  carrying spec, seed, outcome, metric snapshot and worker id, plus the
+  masking helpers that quarantine the (documented) timing fields.
+* :mod:`repro.obs.spans` — lightweight tracing spans (context-manager API,
+  monotonic sim-time + wall-time, parent/child nesting) around the phases
+  of a run, dumpable as JSON for flame-style inspection.
+
+Disabled is the default everywhere: a simulator without a registry carries
+``metrics=None`` and every hot-path instrumentation site is a single
+``is not None`` guard.
+"""
+
+from repro.obs.manifest import (
+    ManifestRecord,
+    ManifestWriter,
+    aggregate_manifest,
+    manifests_equivalent,
+    mask_timing,
+    read_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestRecord",
+    "ManifestWriter",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "aggregate_manifest",
+    "manifests_equivalent",
+    "mask_timing",
+    "read_manifest",
+]

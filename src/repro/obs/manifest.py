@@ -1,0 +1,208 @@
+"""JSONL run manifests.
+
+A manifest is the attribution record of a sweep: one JSON line per
+scenario, written in submission order, carrying everything needed to
+re-validate (or re-run) that exact scenario:
+
+* ``index`` — the submission index within the batch;
+* ``seed`` — the scenario's seed;
+* ``spec`` — a JSON-safe description of the scenario (deployment arm,
+  origin/attacker placement, topology size, ...);
+* ``outcome`` — the measured :class:`~repro.experiments.runner.HijackOutcome`
+  as a dict;
+* ``metrics`` — the per-run instrument snapshot from the
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``worker`` — which process produced the record;
+* ``wall_seconds`` — wall time of the run.
+
+Everything is deterministic except the **timing fields** (:data:`TIMING_KEYS`),
+which are quarantined exactly like ``HijackOutcome.wall_seconds``:
+:func:`mask_timing` zeroes them recursively, and two manifests are
+:func:`manifests_equivalent` when their masked records are bit-identical.
+That is the property the executor tests pin down: ``workers=1`` and
+``workers=4`` runs of the same scenario list produce equivalent manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+#: Keys holding measurements of the harness process rather than the
+#: simulated system.  Masked before any equality comparison.
+TIMING_KEYS = frozenset({"wall_seconds", "worker", "events_per_sec"})
+
+JsonDict = Dict[str, Any]
+
+
+@dataclass
+class ManifestRecord:
+    """One scenario's line in a run manifest."""
+
+    index: int
+    seed: int
+    spec: JsonDict = field(default_factory=dict)
+    outcome: JsonDict = field(default_factory=dict)
+    metrics: JsonDict = field(default_factory=dict)
+    worker: Union[int, str] = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> JsonDict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "spec": self.spec,
+            "outcome": self.outcome,
+            "metrics": self.metrics,
+            "worker": self.worker,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: JsonDict) -> "ManifestRecord":
+        return cls(
+            index=int(data["index"]),
+            seed=int(data["seed"]),
+            spec=dict(data.get("spec", {})),
+            outcome=dict(data.get("outcome", {})),
+            metrics=dict(data.get("metrics", {})),
+            worker=data.get("worker", 0),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
+
+    def to_json_line(self) -> str:
+        # sort_keys makes the byte stream canonical, so masked manifests
+        # can be compared as text as well as as objects.
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class ManifestWriter:
+    """Appends :class:`ManifestRecord` lines to a JSONL file.
+
+    Usable as a context manager; records are flushed per line so a crashed
+    sweep still leaves the completed scenarios attributable.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: ManifestRecord) -> None:
+        if self._handle.closed:
+            raise ValueError(f"manifest {self.path} is already closed")
+        self._handle.write(record.to_json_line() + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_manifest(path: Union[str, Path]) -> List[ManifestRecord]:
+    """Parse a JSONL manifest back into records (submission order)."""
+    records: List[ManifestRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid manifest JSON: {exc}"
+                ) from exc
+            records.append(ManifestRecord.from_dict(data))
+    return records
+
+
+def mask_timing(value: Any) -> Any:
+    """Recursively zero every timing field (see :data:`TIMING_KEYS`).
+
+    Returns a new structure; the input is not modified.  Dicts are walked
+    by key, lists element-wise; any key in :data:`TIMING_KEYS` has its
+    value replaced with 0 regardless of depth, so new wall-time fields
+    nested inside metrics or span dumps are masked automatically.
+    """
+    if isinstance(value, dict):
+        return {
+            key: 0 if key in TIMING_KEYS else mask_timing(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return [mask_timing(item) for item in value]
+    return value
+
+
+def manifests_equivalent(
+    a: Sequence[ManifestRecord], b: Sequence[ManifestRecord]
+) -> bool:
+    """Bit-identical after masking timing fields, in order."""
+    if len(a) != len(b):
+        return False
+    return all(
+        mask_timing(ra.to_dict()) == mask_timing(rb.to_dict())
+        for ra, rb in zip(a, b)
+    )
+
+
+def aggregate_manifest(records: Sequence[ManifestRecord]) -> JsonDict:
+    """Aggregate a manifest into the paper's table shape.
+
+    Records are grouped by ``(deployment, n_attackers)`` from their specs;
+    each group yields mean/min/max poisoned fraction and mean alarms over
+    its runs — the numbers behind one data point of Figures 9-11.  A
+    ``totals`` section sums the throughput counters across the manifest.
+    """
+    groups: Dict[Tuple[str, int], List[ManifestRecord]] = {}
+    for record in records:
+        key = (
+            str(record.spec.get("deployment", "?")),
+            int(record.spec.get("n_attackers", 0)),
+        )
+        groups.setdefault(key, []).append(record)
+
+    rows: List[JsonDict] = []
+    for (deployment, n_attackers) in sorted(groups):
+        members = groups[(deployment, n_attackers)]
+        fractions = [
+            float(r.outcome.get("poisoned_fraction", 0.0)) for r in members
+        ]
+        alarms = [int(r.outcome.get("alarms", 0)) for r in members]
+        rows.append(
+            {
+                "deployment": deployment,
+                "n_attackers": n_attackers,
+                "runs": len(members),
+                "mean_poisoned_fraction": sum(fractions) / len(fractions),
+                "min_poisoned_fraction": min(fractions),
+                "max_poisoned_fraction": max(fractions),
+                "mean_alarms": sum(alarms) / len(alarms),
+            }
+        )
+
+    totals = {
+        "records": len(records),
+        "events_processed": sum(
+            int(r.outcome.get("events_processed", 0)) for r in records
+        ),
+        "updates_sent": sum(
+            int(r.outcome.get("updates_sent", 0)) for r in records
+        ),
+        "alarms": sum(int(r.outcome.get("alarms", 0)) for r in records),
+        "routes_suppressed": sum(
+            int(r.outcome.get("routes_suppressed", 0)) for r in records
+        ),
+        "wall_seconds": sum(r.wall_seconds for r in records),
+    }
+    return {"rows": rows, "totals": totals}

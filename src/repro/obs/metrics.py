@@ -1,0 +1,207 @@
+"""A zero-dependency metrics registry.
+
+Three instrument kinds, all named, all create-or-get through a
+:class:`MetricsRegistry`:
+
+* :class:`Counter` — monotonically increasing count (events dispatched,
+  updates sent, alarms raised);
+* :class:`Gauge` — last-written value plus the observed maximum (queue
+  depth);
+* :class:`Histogram` — fixed-bound bucket counts with sum/count (queue
+  depth distribution, span durations).
+
+Everything recorded through these instruments must be a deterministic
+function of the simulated system — wall-clock measurements stay out of the
+registry and live in the explicitly quarantined timing fields of outcomes
+and manifests.  That is what lets a metric snapshot participate in the
+``workers=1 == workers=4`` bit-identity checks.
+
+The disabled path is "no registry at all": instrumented modules hold
+``Optional[...]`` instrument references and guard each hot-path update with
+a single ``is not None`` test, so a run without metrics does no extra work
+beyond that attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+SnapshotValue = Union[int, float, Dict[str, Union[int, float, List[int]]]]
+
+#: Default histogram bucket upper bounds (inclusive), chosen for queue
+#: depths and event counts; an implicit +inf bucket always terminates.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value instrument that also tracks the observed maximum."""
+
+    __slots__ = ("name", "value", "max_value", "_written")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if not self._written or value > self.max_value:
+            self.max_value = value
+        self._written = True
+
+    def snapshot(self) -> Dict[str, Union[int, float, List[int]]]:
+        return {"value": self.value, "max": self.max_value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """Fixed-bound bucket counts with a running sum and count.
+
+    ``bounds`` are inclusive upper bounds in increasing order; one final
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError(f"histogram {name!r} needs at least one bound")
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)  # overflow bucket by default
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Union[int, float, List[int]]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": list(self.bucket_counts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.2f})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments.
+
+    Instrument names are dotted (``sim.events``, ``bgp.updates_sent``);
+    asking twice for the same name returns the same instrument, which is
+    how per-speaker instrumentation aggregates network-wide without any
+    coordination.  Asking for an existing name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> Optional[Instrument]:
+        existing = self._instruments.get(name)
+        if existing is None:
+            return None
+        if not isinstance(existing, kind):
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        existing = self._get(name, Counter)
+        if existing is not None:
+            assert isinstance(existing, Counter)
+            return existing
+        instrument = Counter(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        existing = self._get(name, Gauge)
+        if existing is not None:
+            assert isinstance(existing, Gauge)
+            return existing
+        instrument = Gauge(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        existing = self._get(name, Histogram)
+        if existing is not None:
+            assert isinstance(existing, Histogram)
+            return existing
+        instrument = Histogram(name, bounds)
+        self._instruments[name] = instrument
+        return instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def instruments(self) -> Iterator[Tuple[str, Instrument]]:
+        for name in sorted(self._instruments):
+            yield name, self._instruments[name]
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """All instrument values, keyed by name in sorted order.
+
+        The result is JSON-serialisable and — because nothing wall-clock
+        flows through instruments — deterministic for a deterministic run.
+        """
+        return {name: inst.snapshot() for name, inst in self.instruments()}

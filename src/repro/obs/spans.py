@@ -1,0 +1,170 @@
+"""Lightweight tracing spans for simulation phases.
+
+A :class:`SpanTracer` records nested phases of a run — topology build,
+convergence, fault injection, recovery — with both clocks a phase has:
+
+* **sim time** (deterministic, from ``Simulator.now`` via the tracer's
+  clock callable), and
+* **wall time** (a measurement of this process, quarantined in fields
+  named ``wall_seconds`` exactly like ``HijackOutcome.wall_seconds``).
+
+Usage is a plain context manager; nesting the ``with`` blocks nests the
+spans::
+
+    tracer = SpanTracer(clock=lambda: sim.now)
+    with tracer.span("convergence"):
+        with tracer.span("establish-sessions"):
+            network.establish_sessions()
+        network.run_to_convergence()
+    print(tracer.to_json())
+
+``as_dicts()``/``to_json()`` render the forest for flame-style inspection;
+every dict carries ``name``, ``sim_start``, ``sim_end``, ``sim_seconds``,
+``wall_seconds`` and ``children``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One recorded phase; a node in the span forest."""
+
+    __slots__ = (
+        "name",
+        "sim_start",
+        "sim_end",
+        "wall_seconds",
+        "children",
+        "_wall_start",
+    )
+
+    def __init__(self, name: str, sim_start: float, wall_start: float) -> None:
+        self.name = name
+        self.sim_start = sim_start
+        self.sim_end: Optional[float] = None
+        self.wall_seconds: float = 0.0
+        self.children: List["Span"] = []
+        self._wall_start = wall_start
+
+    @property
+    def finished(self) -> bool:
+        return self.sim_end is not None
+
+    @property
+    def sim_seconds(self) -> float:
+        if self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "sim_seconds": self.sim_seconds,
+            "wall_seconds": self.wall_seconds,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, sim={self.sim_seconds:.4f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """The context manager returned by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self._span)
+
+
+class SpanTracer:
+    """Records a forest of nested :class:`Span` objects.
+
+    ``clock`` supplies monotonic sim time (``lambda: sim.now``); without
+    one every sim-time field is 0.0 and only wall durations are recorded.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def _now_sim(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("phase"):``."""
+        # Span wall time is quarantined measurement data, never an input
+        # to simulation logic.
+        wall_start = time.perf_counter()  # repro-lint: disable=R002
+        node = Span(name, sim_start=self._now_sim(), wall_start=wall_start)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self._roots.append(node)
+        self._stack.append(node)
+        return _SpanContext(self, node)
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; "
+                f"open stack: {[s.name for s in self._stack]}"
+            )
+        self._stack.pop()
+        span.sim_end = self._now_sim()
+        ended = time.perf_counter()  # repro-lint: disable=R002
+        span.wall_seconds = ended - span._wall_start
+
+    @property
+    def open_spans(self) -> List[str]:
+        return [span.name for span in self._stack]
+
+    def roots(self) -> List[Span]:
+        return list(self._roots)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def walk(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+
+        def visit(span: Span) -> Iterator[Span]:
+            yield span
+            for child in span.children:
+                yield from visit(child)
+
+        for root in self._roots:
+            yield from visit(root)
+
+    def find(self, name: str) -> Optional[Span]:
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        if self._stack:
+            raise RuntimeError(
+                f"cannot dump while spans are open: {self.open_spans}"
+            )
+        return [root.as_dict() for root in self._roots]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dicts(), indent=indent)

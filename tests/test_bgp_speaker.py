@@ -219,3 +219,59 @@ class TestMrai:
             net.run_to_convergence()
             results[mrai] = net.best_origins(P)
         assert results[0.0] == results[5.0]
+
+
+class TestResetClearsCaches:
+    def test_export_cache_cleared_on_sim_reset(self, sim):
+        speakers = linked_speakers(sim, 1, 2, 3)
+        speakers[1].originate(P)
+        sim.run()
+        # Propagation populated the per-speaker memo caches.
+        assert any(s._export_cache for s in speakers.values())
+        assert any(s._established_cache is not None for s in speakers.values())
+        sim.reset()
+        for speaker in speakers.values():
+            assert speaker._export_cache == {}
+            assert speaker._prepend_cache == {}
+            assert speaker._established_cache is None
+
+    def test_clear_caches_is_idempotent(self, sim):
+        speaker = BGPSpeaker(sim, 1)
+        speaker.clear_caches()
+        speaker.clear_caches()
+        assert speaker._export_cache == {}
+
+
+class TestSpeakerMetrics:
+    def _run_instrumented(self):
+        from repro.eventsim import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator(seed=3, metrics=registry)
+        speakers = linked_speakers(sim, 1, 2, 3)
+        speakers[1].originate(P)
+        sim.run()
+        return registry, speakers
+
+    def test_update_counters_track_traffic(self):
+        registry, speakers = self._run_instrumented()
+        snapshot = registry.snapshot()
+        assert snapshot["bgp.updates_sent"] > 0
+        assert snapshot["bgp.updates_received"] > 0
+        assert snapshot["bgp.decision_runs"] > 0
+        # Counters are network-wide: both forwarding hops contribute to
+        # the same named instruments.
+        assert snapshot["bgp.updates_received"] <= snapshot["bgp.updates_sent"]
+
+    def test_export_cache_counters(self):
+        registry, _ = self._run_instrumented()
+        snapshot = registry.snapshot()
+        assert snapshot["bgp.export_cache_misses"] > 0
+        assert snapshot["bgp.export_cache_hits"] >= 0
+
+    def test_uninstrumented_speaker_has_no_registry_side_effects(self, sim):
+        speakers = linked_speakers(sim, 1, 2)
+        speakers[1].originate(P)
+        sim.run()
+        assert sim.metrics is None

@@ -92,3 +92,82 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_with_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "run.jsonl"
+        assert main([
+            "sweep", "--size", "25", "--fractions", "0.1",
+            "--origin-sets", "1", "--attacker-sets", "2",
+            "--deployment", "full", "--seed", "3", "--workers", "1",
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "attackers%" in out
+        assert "manifest written" in out
+        from repro.obs.manifest import read_manifest
+
+        assert len(read_manifest(manifest)) == 2
+
+    def test_sweep_rejects_empty_fractions(self, capsys):
+        assert main([
+            "sweep", "--size", "25", "--fractions", " , ", "--seed", "3",
+        ]) == 2
+        assert "no attacker fractions" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def manifest(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main([
+            "sweep", "--size", "25", "--fractions", "0.1",
+            "--origin-sets", "1", "--attacker-sets", "2",
+            "--deployment", "full", "--seed", "3",
+            "--manifest", str(path),
+        ])
+        capsys.readouterr()  # discard the sweep's own output
+        return path
+
+    def test_report_table(self, manifest, capsys):
+        assert main(["report", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "deployment" in out
+        assert "totals:" in out
+
+    def test_report_json(self, manifest, capsys):
+        import json
+
+        assert main(["report", str(manifest), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["totals"]["records"] == 2
+        assert data["rows"][0]["deployment"] == "full-moas-detection"
+
+    def test_report_empty_manifest_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+
+class TestHijackObservability:
+    def test_spans_and_manifest_flags(self, tmp_path, capsys):
+        import json
+
+        spans = tmp_path / "spans.json"
+        manifest = tmp_path / "one.jsonl"
+        assert main([
+            "hijack", "--size", "25", "--attackers", "0.1",
+            "--deployment", "full", "--seed", "3",
+            "--spans", str(spans), "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans written" in out
+        assert "manifest written" in out
+        dumped = json.loads(spans.read_text())
+        assert any(span["name"] == "topology_build" for span in dumped)
+        from repro.obs.manifest import read_manifest
+
+        (record,) = read_manifest(manifest)
+        assert record.spec["topology_size"] == 25

@@ -116,6 +116,26 @@ class TestReset:
         second = [sim.next_sequence() for _ in range(3)]
         assert second == first
 
+    def test_reset_hooks_fire_in_registration_order(self, sim):
+        fired = []
+        sim.add_reset_hook(lambda: fired.append("a"))
+        sim.add_reset_hook(lambda: fired.append("b"))
+        sim.reset()
+        assert fired == ["a", "b"]
+        sim.reset()
+        assert fired == ["a", "b", "a", "b"]
+
+    def test_reset_hooks_observe_rewound_state(self, sim):
+        # Hooks fire last, so a hook clearing caches sees t=0 and an
+        # empty queue — never half-reset state.
+        seen = []
+        sim.add_reset_hook(lambda: seen.append((sim.now, len(sim.queue))))
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        sim.schedule_at(9.0, lambda: None)
+        sim.reset()
+        assert seen == [(0.0, 0)]
+
 
 class TestSequence:
     def test_next_sequence_monotonic(self, sim):
@@ -148,3 +168,48 @@ class TestDeterminism:
             return order
 
         assert run_order(1) != run_order(2)
+
+
+class TestMetrics:
+    def test_no_registry_by_default(self, sim):
+        assert sim.metrics is None
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()  # instrumentation guard is a no-op, nothing raises
+
+    def test_event_counter_tracks_dispatches(self):
+        from repro.eventsim.simulator import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator(seed=1, metrics=registry)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        snapshot = registry.snapshot()
+        assert snapshot["sim.events"] == 3
+        assert snapshot["sim.events"] == sim.events_processed
+
+    def test_queue_depth_gauge_sees_pending_events(self):
+        from repro.eventsim.simulator import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator(seed=1, metrics=registry)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        depth = registry.snapshot()["sim.queue_depth"]
+        # After the first event fires two remain; after the last, zero.
+        assert depth["max"] == 2.0
+        assert depth["value"] == 0.0
+
+    def test_instruments_registered_even_if_run_is_empty(self):
+        # An empty registry is falsy; the constructor must still register
+        # its instruments (the guard is "is not None", not truthiness).
+        from repro.eventsim.simulator import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        Simulator(seed=1, metrics=registry)
+        assert "sim.events" in registry
+        assert "sim.queue_depth" in registry

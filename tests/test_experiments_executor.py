@@ -11,6 +11,7 @@ import pytest
 
 from repro.experiments.executor import (
     WORKERS_ENV_VAR,
+    ParallelTaskError,
     execute_scenarios,
     parallel_map,
     resolve_workers,
@@ -37,6 +38,19 @@ def _square(x):
     return x * x
 
 
+class _SeededItem:
+    """A picklable work item carrying a seed, like a HijackScenario."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+
+def _fail_on_seed_13(item):
+    if item.seed == 13:
+        raise ValueError(f"boom at seed {item.seed}")
+    return item.seed * 2
+
+
 class TestResolveWorkers:
     def test_defaults_to_serial(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
@@ -58,6 +72,18 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV_VAR, "many")
         with pytest.raises(ValueError, match="REPRO_WORKERS"):
             resolve_workers()
+
+    def test_malformed_environment_error_is_unchained(self, monkeypatch):
+        # The int() parse failure adds nothing to the message, so it is
+        # suppressed with "raise ... from None".
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_workers()
+        assert "REPRO_WORKERS must be an integer, got 'many'" in str(
+            excinfo.value
+        )
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__ is True
 
     @pytest.mark.parametrize("bad", [0, -1])
     def test_nonpositive_counts_rejected(self, bad):
@@ -83,6 +109,54 @@ class TestParallelMap:
 
     def test_empty_input(self):
         assert parallel_map(_square, [], workers=4) == []
+
+
+class TestFailureAttribution:
+    ITEMS = [_SeededItem(seed) for seed in (7, 11, 13, 17)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_names_index_and_seed(self, workers):
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_fail_on_seed_13, self.ITEMS, workers=workers)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.seed == 13
+        assert "parallel task #2 (seed=13) failed" in str(error)
+        assert "ValueError: boom at seed 13" in str(error)
+
+    def test_serial_path_chains_the_original(self):
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_fail_on_seed_13, self.ITEMS, workers=1)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ValueError)
+        assert str(cause) == "boom at seed 13"
+
+    def test_item_without_seed_reports_no_seed(self):
+        def explode(x):
+            raise RuntimeError("nope")
+
+        with pytest.raises(ParallelTaskError, match=r"#0 \(no seed\)"):
+            parallel_map(explode, [1], workers=1)
+
+    def test_nested_attribution_not_rewrapped(self):
+        def already_attributed(x):
+            raise ParallelTaskError(99, 1234, "inner failure")
+
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(already_attributed, [0], workers=1)
+        # The inner error's attribution survives; it is not wrapped again
+        # with the outer index 0.
+        assert excinfo.value.index == 99
+        assert excinfo.value.seed == 1234
+
+    def test_pickle_roundtrip_keeps_attributes(self):
+        error = ParallelTaskError(5, 4242, "ValueError: boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, ParallelTaskError)
+        assert clone.index == 5
+        assert clone.seed == 4242
+        assert clone.message == "ValueError: boom"
+        assert str(clone) == str(error)
 
 
 class TestPicklability:
@@ -127,6 +201,20 @@ class TestDeterminism:
         pooled = execute_scenarios(scenarios, workers=2)
         assert [o.poisoned for o in pooled] == [o.poisoned for o in direct]
         assert [o.alarms for o in pooled] == [o.alarms for o in direct]
+
+    def test_manifest_path_matches_plain_path(self, graph, tmp_path):
+        from repro.experiments.runner import outcomes_equivalent
+        from repro.obs.manifest import read_manifest
+
+        config = SweepConfig(graph=graph, attacker_fractions=(0.10,),
+                             n_origin_sets=1, n_attacker_sets=2)
+        (_, _, scenarios), = build_sweep_scenarios(config)
+        plain = execute_scenarios(scenarios, workers=1)
+        path = tmp_path / "run.jsonl"
+        instrumented = execute_scenarios(scenarios, workers=1, manifest=path)
+        # Instrumentation must not perturb the simulation.
+        assert outcomes_equivalent(plain, instrumented)
+        assert len(read_manifest(path)) == len(scenarios)
 
 
 class TestThroughputCounters:

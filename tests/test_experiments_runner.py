@@ -165,3 +165,96 @@ class TestStrategyAndMode:
         b = run_hijack_scenario(scenario)
         assert a.poisoned == b.poisoned
         assert a.alarms == b.alarms
+
+
+class TestOutcomeHelpers:
+    def _outcome(self, **overrides):
+        from repro.experiments.runner import HijackOutcome
+
+        base = dict(poisoned=frozenset({4}), n_remaining=4, alarms=2,
+                    routes_suppressed=1, capable=frozenset({2, 3}),
+                    events_processed=100, updates_sent=50, wall_seconds=0.7)
+        base.update(overrides)
+        return HijackOutcome(**base)
+
+    def test_masked_timing_zeroes_wall_seconds_only(self):
+        masked = self._outcome().masked_timing()
+        assert masked.wall_seconds == 0.0
+        assert masked.events_processed == 100
+        assert masked.poisoned == frozenset({4})
+
+    def test_equivalent_to_ignores_wall_seconds(self):
+        assert self._outcome(wall_seconds=0.1).equivalent_to(
+            self._outcome(wall_seconds=9.9)
+        )
+
+    def test_equivalent_to_sees_real_differences(self):
+        assert not self._outcome(alarms=2).equivalent_to(
+            self._outcome(alarms=3)
+        )
+
+    def test_outcomes_equivalent_elementwise(self):
+        from repro.experiments.runner import outcomes_equivalent
+
+        a = [self._outcome(wall_seconds=0.1)]
+        b = [self._outcome(wall_seconds=2.0)]
+        assert outcomes_equivalent(a, b)
+        assert not outcomes_equivalent(a, [])
+        assert not outcomes_equivalent(a, [self._outcome(alarms=9)])
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        data = self._outcome().to_dict()
+        assert data["poisoned"] == [4]
+        assert data["poisoned_fraction"] == 0.25
+        assert data["capable_count"] == 2
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestInstrumentedRun:
+    def _scenario(self, graph):
+        stubs = graph.stub_asns()
+        return HijackScenario(
+            graph=graph, origins=[stubs[0]], attackers=stubs[1:3],
+            deployment=DeploymentKind.FULL,
+        )
+
+    def test_outcome_matches_plain_run(self, graph):
+        from repro.experiments.runner import run_hijack_scenario_instrumented
+
+        scenario = self._scenario(graph)
+        plain = run_hijack_scenario(scenario)
+        run = run_hijack_scenario_instrumented(scenario)
+        assert run.outcome.equivalent_to(plain)
+
+    def test_metrics_agree_with_outcome_counters(self, graph):
+        from repro.experiments.runner import run_hijack_scenario_instrumented
+
+        run = run_hijack_scenario_instrumented(self._scenario(graph))
+        assert run.metrics["sim.events"] == run.outcome.events_processed
+        assert run.metrics["bgp.updates_sent"] == run.outcome.updates_sent
+        assert run.metrics["checker.alarms"] == run.outcome.alarms
+        assert run.metrics["bgp.updates_received"] > 0
+        assert run.metrics["bgp.decision_runs"] > 0
+        assert run.metrics["sim.queue_depth"]["max"] >= 1.0
+
+    def test_spans_cover_the_phases(self, graph):
+        from repro.experiments.runner import run_hijack_scenario_instrumented
+
+        run = run_hijack_scenario_instrumented(self._scenario(graph))
+        names = [span["name"] for span in run.spans]
+        assert "topology_build" in names
+        assert "fault_injection" in names
+        assert "recovery_convergence" in names
+        assert "measurement" in names
+        for span in run.spans:
+            assert span["sim_end"] >= span["sim_start"]
+
+    def test_worker_is_this_process(self, graph):
+        import os
+
+        from repro.experiments.runner import run_hijack_scenario_instrumented
+
+        run = run_hijack_scenario_instrumented(self._scenario(graph))
+        assert run.worker == os.getpid()

@@ -151,3 +151,76 @@ class TestAgainstReference:
         assert len(trie) == 0
         # Fully pruned: the root has no children left.
         assert trie._root.children == [None, None]
+
+
+def _addr(*octets):
+    return int.from_bytes(bytes(octets), "big")
+
+
+class TestRemoveEdgeCases:
+    def test_remove_default_route_restores_no_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        outside = _addr(192, 168, 0, 1)
+        assert trie.longest_match(outside) == (
+            Prefix.parse("0.0.0.0/0"), "default",
+        )
+        assert trie.remove(Prefix.parse("0.0.0.0/0")) == "default"
+        # Addresses outside 10/8 lose their fallback; 10/8 is untouched.
+        assert trie.longest_match(outside) is None
+        assert trie.longest_match(_addr(10, 1, 2, 3)) == (
+            Prefix.parse("10.0.0.0/8"), "ten",
+        )
+
+    def test_exact_host_route(self):
+        trie = PrefixTrie()
+        host = Prefix.parse("10.0.0.1/32")
+        trie.insert(host, "host")
+        assert trie.longest_match(_addr(10, 0, 0, 1)) == (host, "host")
+        assert trie.longest_match(_addr(10, 0, 0, 2)) is None
+        assert trie.remove(host) == "host"
+        assert trie.longest_match(_addr(10, 0, 0, 1)) is None
+        assert len(trie) == 0
+        assert not trie
+
+    def test_remove_covering_prefix_keeps_more_specific_lpm(self):
+        trie = PrefixTrie()
+        covering = Prefix.parse("10.0.0.0/8")
+        specific = Prefix.parse("10.2.0.0/16")
+        trie.insert(covering, "cover")
+        trie.insert(specific, "exact")
+        assert trie.remove(covering) == "cover"
+        # Under the surviving more-specific: still matched.
+        assert trie.longest_match(_addr(10, 2, 9, 9)) == (specific, "exact")
+        # Under the removed covering range only: no match any more.
+        assert trie.longest_match(_addr(10, 200, 0, 1)) is None
+        assert trie.covering(Prefix.parse("10.200.0.0/16")) is None
+
+    def test_remove_prunes_branches(self):
+        # After removing a deep leaf the spine of interior nodes must be
+        # pruned, or repeated insert/remove churn leaks nodes.
+        trie = PrefixTrie()
+        deep = Prefix.parse("10.1.2.3/32")
+        shallow = Prefix.parse("10.0.0.0/8")
+        trie.insert(shallow, "s")
+        trie.insert(deep, "d")
+        trie.remove(deep)
+        root = trie._root
+        node = root
+        depth = 0
+        while node.children[0] is not None or node.children[1] is not None:
+            node = node.children[0] if node.children[0] is not None \
+                else node.children[1]
+            depth += 1
+        # Only the 8 bits of the surviving /8 remain below the root.
+        assert depth == 8
+        assert len(trie) == 1
+
+    def test_remove_missing_prefix_is_harmless(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert trie.remove(Prefix.parse("11.0.0.0/8")) is None
+        assert trie.remove(Prefix.parse("10.0.0.0/9")) is None
+        assert len(trie) == 1
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "a"

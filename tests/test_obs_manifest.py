@@ -1,0 +1,220 @@
+"""Tests for JSONL run manifests, timing masking, and the acceptance
+property: worker count never changes a manifest beyond its timing fields."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_hijack_scenario
+from repro.experiments.sweep import SweepConfig, build_sweep_scenarios, run_sweep
+from repro.experiments.runner import DeploymentKind
+from repro.obs.manifest import (
+    TIMING_KEYS,
+    ManifestRecord,
+    ManifestWriter,
+    aggregate_manifest,
+    manifests_equivalent,
+    mask_timing,
+    read_manifest,
+)
+from repro.topology.generators import generate_paper_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+def _record(index=0, seed=7, wall=0.5, worker=100, poisoned=0.25, alarms=3):
+    return ManifestRecord(
+        index=index,
+        seed=seed,
+        spec={"deployment": "full-moas-detection", "n_attackers": 2},
+        outcome={
+            "poisoned_fraction": poisoned,
+            "alarms": alarms,
+            "events_processed": 10,
+            "updates_sent": 20,
+            "routes_suppressed": 1,
+            "wall_seconds": wall,
+        },
+        metrics={"sim.events": 10},
+        worker=worker,
+        wall_seconds=wall,
+    )
+
+
+class TestRecord:
+    def test_dict_roundtrip(self):
+        record = _record()
+        clone = ManifestRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_json_line_is_canonical(self):
+        line = _record().to_json_line()
+        data = json.loads(line)
+        assert list(data) == sorted(data)
+        assert "\n" not in line
+
+
+class TestWriterAndReader:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = [_record(index=i, seed=i * 11) for i in range(3)]
+        with ManifestWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+            assert writer.records_written == 3
+        assert read_manifest(path) == records
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = ManifestWriter(tmp_path / "run.jsonl")
+        writer.close()
+        with pytest.raises(ValueError, match="already closed"):
+            writer.write(_record())
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(_record().to_json_line() + "\n\n\n")
+        assert len(read_manifest(path)) == 1
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(_record().to_json_line() + "\n{not json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_manifest(path)
+
+
+class TestMaskTiming:
+    def test_masks_top_level_and_nested(self):
+        masked = mask_timing(
+            {
+                "wall_seconds": 1.5,
+                "worker": 4242,
+                "outcome": {"events_per_sec": 99.0, "alarms": 3},
+                "spans": [{"wall_seconds": 0.2, "name": "x"}],
+            }
+        )
+        assert masked == {
+            "wall_seconds": 0,
+            "worker": 0,
+            "outcome": {"events_per_sec": 0, "alarms": 3},
+            "spans": [{"wall_seconds": 0, "name": "x"}],
+        }
+
+    def test_does_not_mutate_input(self):
+        original = {"wall_seconds": 1.5, "nested": {"worker": 9}}
+        mask_timing(original)
+        assert original == {"wall_seconds": 1.5, "nested": {"worker": 9}}
+
+    def test_timing_keys_are_the_documented_trio(self):
+        # Growing this set is fine, but must be a conscious decision: every
+        # key here is excluded from all determinism comparisons.
+        assert TIMING_KEYS == {"wall_seconds", "worker", "events_per_sec"}
+
+
+class TestEquivalence:
+    def test_timing_differences_are_equivalent(self):
+        a = [_record(wall=0.1, worker=100)]
+        b = [_record(wall=9.9, worker=200)]
+        assert manifests_equivalent(a, b)
+
+    def test_outcome_differences_are_not(self):
+        assert not manifests_equivalent(
+            [_record(poisoned=0.25)], [_record(poisoned=0.30)]
+        )
+
+    def test_length_mismatch(self):
+        assert not manifests_equivalent([_record()], [_record(), _record()])
+
+
+class TestAggregation:
+    def test_groups_by_deployment_and_attackers(self):
+        records = [
+            _record(index=0, poisoned=0.2, alarms=2),
+            _record(index=1, poisoned=0.4, alarms=4),
+        ]
+        aggregated = aggregate_manifest(records)
+        (row,) = aggregated["rows"]
+        assert row["deployment"] == "full-moas-detection"
+        assert row["runs"] == 2
+        assert row["mean_poisoned_fraction"] == pytest.approx(0.3)
+        assert row["min_poisoned_fraction"] == 0.2
+        assert row["max_poisoned_fraction"] == 0.4
+        assert row["mean_alarms"] == 3.0
+        totals = aggregated["totals"]
+        assert totals["records"] == 2
+        assert totals["events_processed"] == 20
+        assert totals["updates_sent"] == 40
+        assert totals["alarms"] == 6
+        assert totals["routes_suppressed"] == 2
+
+
+class TestWorkerCountInvariance:
+    """The PR's acceptance criterion: workers=1 and workers=4 manifests are
+    bit-identical after masking timing fields."""
+
+    def test_manifests_bit_identical_across_worker_counts(self, graph, tmp_path):
+        config = dict(
+            graph=graph,
+            attacker_fractions=(0.10, 0.30),
+            n_origin_sets=2,
+            n_attacker_sets=2,
+            deployment=DeploymentKind.FULL,
+        )
+        path_serial = tmp_path / "serial.jsonl"
+        path_pooled = tmp_path / "pooled.jsonl"
+        serial = run_sweep(
+            SweepConfig(**config), workers=1, manifest=str(path_serial)
+        )
+        pooled = run_sweep(
+            SweepConfig(**config), workers=4, manifest=str(path_pooled)
+        )
+        assert pooled.points == serial.points
+
+        records_serial = read_manifest(path_serial)
+        records_pooled = read_manifest(path_pooled)
+        assert len(records_serial) == 8  # 2 fractions x 2 origin x 2 attacker
+        assert manifests_equivalent(records_serial, records_pooled)
+        # Bit-identical as *text* too, once masked: the canonical JSON lines
+        # match byte for byte.
+        masked_serial = [
+            json.dumps(mask_timing(r.to_dict()), sort_keys=True)
+            for r in records_serial
+        ]
+        masked_pooled = [
+            json.dumps(mask_timing(r.to_dict()), sort_keys=True)
+            for r in records_pooled
+        ]
+        assert masked_serial == masked_pooled
+
+    def test_manifest_records_carry_the_run(self, graph, tmp_path):
+        config = SweepConfig(
+            graph=graph,
+            attacker_fractions=(0.10,),
+            n_origin_sets=1,
+            n_attacker_sets=2,
+            deployment=DeploymentKind.FULL,
+        )
+        (_, _, scenarios), = build_sweep_scenarios(config)
+        path = tmp_path / "run.jsonl"
+        run_sweep(config, workers=1, manifest=str(path))
+        records = read_manifest(path)
+        assert [r.index for r in records] == [0, 1]
+        assert [r.seed for r in records] == [s.seed for s in scenarios]
+        for record, scenario in zip(records, scenarios):
+            plain = run_hijack_scenario(scenario)
+            assert record.spec["deployment"] == "full-moas-detection"
+            assert record.spec["seed"] == scenario.seed
+            assert record.outcome["alarms"] == plain.alarms
+            assert record.outcome["poisoned_fraction"] == pytest.approx(
+                plain.poisoned_fraction
+            )
+            # Metric and outcome views of the same run must agree.
+            assert record.metrics["sim.events"] == record.outcome[
+                "events_processed"
+            ]
+            assert record.metrics["bgp.updates_sent"] == record.outcome[
+                "updates_sent"
+            ]
+            assert record.metrics["checker.alarms"] == record.outcome["alarms"]

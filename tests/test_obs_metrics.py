@@ -1,0 +1,147 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").snapshot() == 0
+
+    def test_inc_defaults_to_one(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc()
+        assert counter.snapshot() == 2
+
+    def test_inc_by_amount(self):
+        counter = Counter("c")
+        counter.inc(5)
+        counter.inc(0)
+        assert counter.snapshot() == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.snapshot() == 0
+
+
+class TestGauge:
+    def test_starts_at_zero(self):
+        assert Gauge("g").snapshot() == {"value": 0.0, "max": 0.0}
+
+    def test_set_tracks_last_value_and_max(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(7.0)
+        gauge.set(2.0)
+        assert gauge.snapshot() == {"value": 2.0, "max": 7.0}
+
+    def test_first_write_defines_max_even_when_negative(self):
+        gauge = Gauge("g")
+        gauge.set(-5.0)
+        assert gauge.snapshot() == {"value": -5.0, "max": -5.0}
+        gauge.set(-10.0)
+        assert gauge.snapshot() == {"value": -10.0, "max": -5.0}
+
+
+class TestHistogram:
+    def test_requires_bounds(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            Histogram("h", bounds=())
+
+    @pytest.mark.parametrize("bad", [(1.0, 1.0), (5.0, 2.0)])
+    def test_bounds_must_strictly_increase(self, bad):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=bad)
+
+    def test_observations_land_in_inclusive_buckets(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(1.0)   # first bucket (inclusive upper bound)
+        hist.observe(2.0)   # second bucket
+        hist.observe(10.0)  # second bucket
+        hist.observe(11.0)  # overflow bucket
+        assert hist.snapshot() == {
+            "count": 4,
+            "sum": 24.0,
+            "buckets": [1, 2, 1],
+        }
+
+    def test_mean(self):
+        hist = Histogram("h", bounds=(100.0,))
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == 3.0
+
+    def test_default_buckets_get_one_overflow(self):
+        hist = Histogram("h")
+        assert hist.bounds == DEFAULT_BUCKETS
+        assert len(hist.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("sim.events")
+        first.inc(3)
+        again = registry.counter("sim.events")
+        assert again is first
+        assert again.snapshot() == 3
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="already registered as Counter"):
+            registry.histogram("x")
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        assert "a" not in registry
+        registry.counter("a")
+        registry.gauge("b")
+        assert "a" in registry
+        assert len(registry) == 2
+
+    def test_empty_registry_is_falsy(self):
+        # Because the registry defines __len__, an empty one is falsy —
+        # which is why instrumented modules must guard with "is not None",
+        # never truthiness.  Pin the trap down so it stays documented.
+        registry = MetricsRegistry()
+        assert not registry
+        assert registry is not None
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last")
+        registry.counter("a.first")
+        registry.gauge("m.middle")
+        assert registry.names() == ["a.first", "m.middle", "z.last"]
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.depth").set(4.0)
+        registry.histogram("c.sizes", bounds=(10.0,)).observe(3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.depth", "b.count", "c.sizes"]
+        assert snapshot["b.count"] == 2
+        assert snapshot["a.depth"] == {"value": 4.0, "max": 4.0}
+        assert snapshot["c.sizes"] == {"count": 1, "sum": 3.0, "buckets": [1, 0]}
+        # Round-trips through JSON unchanged (manifest requirement).
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_snapshot_of_empty_registry(self):
+        assert MetricsRegistry().snapshot() == {}

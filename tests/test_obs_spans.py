@@ -1,0 +1,151 @@
+"""Unit tests for the phase-tracing spans."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import SpanTracer
+
+
+class FakeClock:
+    """A settable sim clock, so sim-time assertions are exact."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanRecording:
+    def test_single_span_records_sim_times(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("convergence"):
+            clock.now = 30.0
+        (root,) = tracer.roots()
+        assert root.name == "convergence"
+        assert root.sim_start == 0.0
+        assert root.sim_end == 30.0
+        assert root.sim_seconds == 30.0
+        assert root.finished
+
+    def test_wall_seconds_measured(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        (root,) = tracer.roots()
+        assert root.wall_seconds >= 0.0
+
+    def test_without_clock_sim_times_are_zero(self):
+        tracer = SpanTracer()
+        with tracer.span("phase"):
+            pass
+        (root,) = tracer.roots()
+        assert root.sim_start == 0.0
+        assert root.sim_end == 0.0
+        assert root.sim_seconds == 0.0
+
+    def test_nesting_builds_a_tree(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                clock.now = 1.0
+            with tracer.span("second"):
+                clock.now = 3.0
+        (outer,) = tracer.roots()
+        assert [child.name for child in outer.children] == ["first", "second"]
+        assert outer.sim_seconds == 3.0
+        assert outer.children[1].sim_start == 1.0
+
+    def test_sequential_roots_form_a_forest(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots()] == ["a", "b"]
+
+    def test_unfinished_span_reports_zero_sim_seconds(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        context = tracer.span("open")
+        clock.now = 9.0
+        assert not context.__enter__().finished
+        assert tracer.find("open").sim_seconds == 0.0
+
+
+class TestOrdering:
+    def test_out_of_order_close_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(RuntimeError, match="closed out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_open_spans_listed_innermost_last(self):
+        tracer = SpanTracer()
+        tracer.span("a")
+        tracer.span("b")
+        assert tracer.open_spans == ["a", "b"]
+
+    def test_exception_inside_span_still_closes_it(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.open_spans == []
+        assert tracer.find("doomed").finished
+
+
+class TestTraversal:
+    def _example(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        return tracer
+
+    def test_walk_is_depth_first(self):
+        tracer = self._example()
+        assert [span.name for span in tracer.walk()] == [
+            "root", "child", "grandchild",
+        ]
+        assert len(tracer) == 3
+
+    def test_find(self):
+        tracer = self._example()
+        assert tracer.find("grandchild").name == "grandchild"
+        assert tracer.find("missing") is None
+
+
+class TestDumping:
+    def test_as_dicts_shape(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                clock.now = 2.0
+        (root,) = tracer.as_dicts()
+        assert set(root) == {
+            "name", "sim_start", "sim_end", "sim_seconds",
+            "wall_seconds", "children",
+        }
+        assert root["sim_seconds"] == 2.0
+        assert root["children"][0]["name"] == "child"
+        assert root["children"][0]["children"] == []
+
+    def test_as_dicts_refuses_open_spans(self):
+        tracer = SpanTracer()
+        tracer.span("still-open")
+        with pytest.raises(RuntimeError, match="still-open"):
+            tracer.as_dicts()
+
+    def test_to_json_parses(self):
+        tracer = SpanTracer()
+        with tracer.span("phase"):
+            pass
+        dumped = json.loads(tracer.to_json())
+        assert dumped[0]["name"] == "phase"
