@@ -1,0 +1,123 @@
+"""Stream service benchmark — sustained update throughput and checkpoint cost.
+
+Two measurements back the online detector's viability:
+
+1. **Throughput**: a refresh-mode feed (every live pair re-announced every
+   day — the worst-case cooperative workload) over a paper-scale trace
+   segment, measured end-to-end through ``StreamService`` in sustained
+   updates/sec.
+2. **Checkpoint overhead**: the same feed with checkpointing every 2 000
+   records versus none at all; the delta plus the service's own
+   ``checkpoint_seconds`` accounting make the durability cost visible
+   across PRs.
+
+Results land in ``benchmarks/results/BENCH_stream.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from conftest import emit
+
+from repro.measurement.trace import FaultSpike, TraceConfig, TraceGenerator
+from repro.stream.feed import FeedWriter, snapshot_deltas
+from repro.stream.service import StreamService
+
+#: A 120-day paper-calibrated segment with one fault spike; refresh mode
+#: turns this into a few hundred thousand update records.
+BENCH_CONFIG = TraceConfig(
+    days=120,
+    faults=(FaultSpike(day=60, faulty_as=8584, n_prefixes=300),),
+    n_background_prefixes=500,
+    include_background=True,
+)
+BENCH_SEED = 11
+
+
+def _write_feed(path):
+    generator = TraceGenerator(BENCH_CONFIG, random.Random(BENCH_SEED))
+    with FeedWriter(path) as writer:
+        return writer.write_all(
+            snapshot_deltas(generator.snapshots(), refresh=True)
+        )
+
+
+def _run_service(feed, out_dir, tag, checkpoint_every=None):
+    kwargs = {}
+    if checkpoint_every is not None:
+        kwargs["checkpoint"] = out_dir / f"cp_{tag}.json"
+        kwargs["checkpoint_every"] = checkpoint_every
+    service = StreamService(
+        feed, out_dir / f"alarms_{tag}.jsonl", batch_size=1024, **kwargs
+    )
+    started = time.perf_counter()
+    summary = service.run()
+    return time.perf_counter() - started, summary
+
+
+def test_bench_stream_throughput(results_dir, tmp_path):
+    feed = tmp_path / "feed.jsonl"
+    records = _write_feed(feed)
+
+    # Warm the page cache, then best-of-three for each variant.
+    _run_service(feed, tmp_path, "warm")
+    plain_secs, plain = min(
+        (_run_service(feed, tmp_path, f"plain{i}") for i in range(3)),
+        key=lambda pair: pair[0],
+    )
+    ckpt_secs, ckpt = min(
+        (
+            _run_service(feed, tmp_path, f"ckpt{i}", checkpoint_every=2000)
+            for i in range(3)
+        ),
+        key=lambda pair: pair[0],
+    )
+
+    assert plain.records == ckpt.records == records
+    assert plain.alarms_emitted == ckpt.alarms_emitted > 0
+
+    plain_rate = records / plain_secs if plain_secs > 0 else 0.0
+    ckpt_rate = records / ckpt_secs if ckpt_secs > 0 else 0.0
+    overhead_pct = (
+        (plain_rate / ckpt_rate - 1.0) * 100.0 if ckpt_rate > 0 else 0.0
+    )
+
+    record = {
+        "days": BENCH_CONFIG.days,
+        "feed_records": records,
+        "alarms_emitted": plain.alarms_emitted,
+        "plain": {
+            "wall_seconds": round(plain_secs, 3),
+            "updates_per_sec": round(plain_rate, 1),
+        },
+        "checkpointed": {
+            "checkpoint_every": 2000,
+            "checkpoints": ckpt.checkpoints,
+            "wall_seconds": round(ckpt_secs, 3),
+            "updates_per_sec": round(ckpt_rate, 1),
+            "checkpoint_seconds": round(ckpt.checkpoint_seconds, 3),
+            "overhead_pct": round(overhead_pct, 1),
+        },
+    }
+    (results_dir / "BENCH_stream.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    lines = [
+        "Stream service: sustained throughput (120-day refresh-mode feed)",
+        f"  feed records: {records:,}   alarms: {plain.alarms_emitted}",
+        f"  plain        {plain_secs:7.2f} s   {plain_rate:,.0f} updates/sec",
+        f"  checkpointed {ckpt_secs:7.2f} s   {ckpt_rate:,.0f} updates/sec "
+        f"({ckpt.checkpoints} checkpoints, "
+        f"{ckpt.checkpoint_seconds:.2f} s in checkpointing, "
+        f"overhead {overhead_pct:+.1f}%)",
+    ]
+    emit(results_dir, "BENCH_stream", "\n".join(lines))
+
+    assert plain_rate > 0.0
+    # Checkpoints land on batch boundaries, so the cadence is the first
+    # multiple of batch_size at or past checkpoint_every (2048 here).
+    assert ckpt.checkpoints >= records // (2 * 2048)

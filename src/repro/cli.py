@@ -11,8 +11,13 @@ Exposes the reproduction's main entry points without writing any Python:
 * ``repro hijack`` — run one hijack scenario and report the outcome;
 * ``repro sweep`` — run an attacker-fraction sweep, optionally emitting a
   JSONL run manifest (``--manifest``);
-* ``repro report`` — aggregate a run manifest back into the paper's tables.
+* ``repro report`` — aggregate a run manifest back into the paper's tables;
+* ``repro stream gen`` / ``repro stream run`` — produce a BGP update feed
+  from the synthetic trace, and run the online detection service over a
+  feed with checkpoint/resume (see ``docs/streaming.md``).
 
+Unknown subcommands exit 2 with a usage message; ``main()`` returns exit
+codes rather than raising ``SystemExit`` so it can be driven in-process.
 Also runnable as ``python -m repro.cli``.
 """
 
@@ -298,6 +303,107 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_gen(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.measurement.trace import TraceConfig, TraceGenerator
+    from repro.stream.feed import FeedWriter, snapshot_deltas
+
+    if args.days < 1:
+        print(f"--days must be >= 1, got {args.days}", file=sys.stderr)
+        return 2
+    defaults = TraceConfig()
+    # Keep only the fault spikes that land inside the shortened trace, and
+    # size the background pool so every fault victim exists beforehand —
+    # that pre-existence is what turns a spike into inconsistent-list
+    # alarms on the stream path.
+    faults = tuple(f for f in defaults.faults if f.day < args.days)
+    needed = sum(f.n_prefixes for f in faults)
+    config = TraceConfig(
+        days=args.days,
+        faults=faults,
+        n_background_prefixes=max(2000, needed),
+        include_background=True,
+    )
+    generator = TraceGenerator(config, random.Random(args.seed))
+    with FeedWriter(args.out) as writer:
+        total = writer.write_all(
+            snapshot_deltas(generator.snapshots(), refresh=args.refresh)
+        )
+    print(
+        f"feed written: {args.out} ({total} records, {args.days} days, "
+        f"{len(faults)} fault spike(s), seed {args.seed}"
+        f"{', refresh mode' if args.refresh else ''})"
+    )
+    return 0
+
+
+def _cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import ManifestWriter
+    from repro.obs.metrics import MetricsRegistry
+    from repro.stream.checkpoint import CheckpointError
+    from repro.stream.service import StreamService
+
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry()
+    service = StreamService(
+        args.feed,
+        args.alarms,
+        args.checkpoint,
+        window=args.window,
+        batch_size=args.batch,
+        checkpoint_every=args.checkpoint_every,
+        follow=args.follow,
+        poll_interval=args.poll,
+        throttle=args.throttle,
+        max_records=args.max_records,
+        metrics=metrics,
+    )
+    service.install_signal_handlers()
+    try:
+        summary = service.run(resume=args.resume)
+    except (CheckpointError, FileNotFoundError, ValueError) as exc:
+        print(f"stream run failed: {exc}", file=sys.stderr)
+        return 1
+    if args.manifest:
+        with ManifestWriter(args.manifest) as writer:
+            writer.write(
+                service.manifest_record(
+                    summary,
+                    spec={"resume": args.resume, "seed": None},
+                    metrics=metrics,
+                )
+            )
+        print(f"manifest written: {args.manifest}")
+    print(
+        f"processed {summary.records} records to offset {summary.offset} "
+        f"({summary.days_ticked} days)"
+    )
+    print(
+        f"alarms: {summary.alarms_emitted} emitted "
+        f"(+{summary.alarm_duplicates} duplicates), "
+        f"{summary.alarm_lines} lines durable in {args.alarms}"
+    )
+    print(
+        f"state: {summary.state_prefixes} prefixes, "
+        f"{summary.moas_active} in MOAS"
+    )
+    print(
+        f"checkpoints: {summary.checkpoints} "
+        f"({summary.checkpoint_seconds:.3f}s total)"
+    )
+    print(
+        f"throughput: {summary.records} records in "
+        f"{summary.wall_seconds:.3f}s ({summary.events_per_sec:,.0f} "
+        f"records/sec)"
+    )
+    if summary.stopped:
+        print("stopped on request; resume with --resume to continue")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -394,12 +500,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the aggregation as JSON instead of a table")
     report.set_defaults(func=_cmd_report)
 
+    stream = sub.add_parser(
+        "stream",
+        help="online MOAS detection over a BGP update feed "
+        "(gen a feed, run the service with checkpoint/resume)",
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+
+    gen = stream_sub.add_parser(
+        "gen", help="diff the synthetic trace into an update-feed file"
+    )
+    gen.add_argument("--days", type=int, default=200,
+                     help="trace length in days (default 200)")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, metavar="PATH",
+                     help="feed file to write")
+    gen.add_argument(
+        "--refresh", action="store_true",
+        help="re-announce every live (prefix, origin) pair daily instead of "
+        "deltas only (a cooperative RIB-dump replay; much larger feed)",
+    )
+    gen.set_defaults(func=_cmd_stream_gen)
+
+    run = stream_sub.add_parser(
+        "run", help="tail a feed file and detect MOAS conflicts online"
+    )
+    run.add_argument("feed", help="path to the update-feed file (or FIFO)")
+    run.add_argument("--alarms", required=True, metavar="PATH",
+                     help="alarm log to write (one JSON line per alarm)")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="checkpoint file for kill-and-resume")
+    run.add_argument("--checkpoint-every", type=int, default=1000,
+                     metavar="N", help="checkpoint every N records")
+    run.add_argument("--batch", type=int, default=256,
+                     help="records per batched read")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint instead of starting fresh")
+    run.add_argument("--follow", action="store_true",
+                     help="keep tailing at EOF (live feed); stop with SIGTERM")
+    run.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                     help="EOF poll interval in follow mode")
+    run.add_argument(
+        "--throttle", type=float, default=0.0, metavar="SECONDS",
+        help="sleep after each batch (rate-limits a replay so it can be "
+        "interrupted mid-stream)",
+    )
+    run.add_argument("--max-records", type=int, default=None, metavar="N",
+                     help="stop after N records (deterministic interruption)")
+    run.add_argument("--window", type=float, default=30.0, metavar="TICKS",
+                     help="evict dead-prefix evidence after this many quiet "
+                     "ticks")
+    run.add_argument("--manifest", default=None, metavar="PATH",
+                     help="write a one-record JSONL run manifest to PATH")
+    run.set_defaults(func=_cmd_stream_run)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse raises for --help (code 0) and usage errors (code 2,
+        # message already printed).  Surface both as return codes so
+        # in-process callers never see a traceback or a raw SystemExit.
+        if exc.code is None:
+            return 0
+        if isinstance(exc.code, int):
+            return exc.code
+        print(exc.code, file=sys.stderr)
+        return 2
     if args.sanitize:
         # Via the environment so worker processes inherit it too.
         import os

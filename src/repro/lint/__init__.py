@@ -20,6 +20,9 @@ package turns those conventions into machine-checked rules:
 * **R005** — pickle safety for objects crossing the process pool: no
   lambdas handed to the executor, and immutable ``__slots__`` classes with
   a blocking ``__setattr__`` must define explicit pickle support.
+* **R006** — no ``time.sleep`` in library code: blocking on the real clock
+  makes services untestable and nondeterministic; take an injectable
+  sleeper/clock the way :mod:`repro.stream.service` does.
 
 Violations are suppressed per line with ``# repro-lint: disable=R001`` (or
 ``disable=all``).  Run as ``python -m repro.lint src/repro`` or via the

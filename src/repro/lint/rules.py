@@ -1,6 +1,6 @@
 """The AST checker behind repro-lint.
 
-One :class:`_FileChecker` pass per file implements rules R001-R005 (see
+One :class:`_FileChecker` pass per file implements rules R001-R006 (see
 :data:`RULES`).  The checker is deliberately repo-specific: it knows the
 project's seeded-stream discipline, which callables fan work out to the
 process pool, and which modules hold the immutable value classes that cross
@@ -31,6 +31,8 @@ RULES: Dict[str, str] = {
     "R005": "pickle-unsafe object may cross the process pool (lambda given "
     "to the executor, or immutable __slots__ class without __reduce__/"
     "__getstate__)",
+    "R006": "time.sleep in library code (blocks on the real clock; take an "
+    "injectable sleeper/clock the way repro.stream.service does)",
 }
 
 #: ``random`` module functions that draw from the implicit global state.
@@ -209,8 +211,10 @@ class _FileChecker(ast.NodeVisitor):
         self._datetime_module_aliases: Set[str] = set()
         # Names bound by ``from datetime import datetime/date``.
         self._datetime_class_names: Set[str] = set()
-        # Names of bad functions imported directly (``from time import time``).
-        self._direct_bad_calls: Dict[str, str] = {}
+        # Names of bad functions imported directly (``from time import time``),
+        # mapped to (dotted name, rule id) since time.sleep reports as R006
+        # while the clock reads report as R002.
+        self._direct_bad_calls: Dict[str, Tuple[str, str]] = {}
         self._scopes: List[_Scope] = [_Scope()]
         # Generator expressions already cleared as order-insensitive sinks.
         self._exempt_generators: Set[int] = set()
@@ -339,11 +343,13 @@ class _FileChecker(ast.NodeVisitor):
                     node, "R001", "import from numpy.random (unseeded global state)"
                 )
             elif module == "time" and alias.name in _TIME_FUNCS:
-                self._direct_bad_calls[bound] = f"time.{alias.name}"
+                self._direct_bad_calls[bound] = (f"time.{alias.name}", "R002")
+            elif module == "time" and alias.name == "sleep":
+                self._direct_bad_calls[bound] = ("time.sleep", "R006")
             elif module == "os" and alias.name in _OS_FUNCS:
-                self._direct_bad_calls[bound] = f"os.{alias.name}"
+                self._direct_bad_calls[bound] = (f"os.{alias.name}", "R002")
             elif module == "uuid" and alias.name in _UUID_FUNCS:
-                self._direct_bad_calls[bound] = f"uuid.{alias.name}"
+                self._direct_bad_calls[bound] = (f"uuid.{alias.name}", "R002")
             elif module == "secrets":
                 self._report(node, "R002", "import from secrets (nondeterministic)")
             elif module == "datetime" and alias.name in {"datetime", "date"}:
@@ -489,12 +495,21 @@ class _FileChecker(ast.NodeVisitor):
         head, _, rest = dotted.partition(".")
 
         if head in self._direct_bad_calls and not rest:
-            self._report(
-                node,
-                "R002",
-                f"call to {self._direct_bad_calls[head]} (nondeterministic "
-                "source) in simulation code",
-            )
+            dotted_name, rule = self._direct_bad_calls[head]
+            if rule == "R006":
+                self._report(
+                    node,
+                    "R006",
+                    "call to time.sleep blocks on the real clock; library "
+                    "code must take an injectable sleeper",
+                )
+            else:
+                self._report(
+                    node,
+                    rule,
+                    f"call to {dotted_name} (nondeterministic source) in "
+                    "simulation code",
+                )
             return
 
         if head in self._random_aliases and rest:
@@ -533,6 +548,15 @@ class _FileChecker(ast.NodeVisitor):
                 "R002",
                 f"time.{rest}() reads a real clock; simulation code must use "
                 "simulator virtual time",
+            )
+            return
+
+        if head in self._time_aliases and rest == "sleep":
+            self._report(
+                node,
+                "R006",
+                "time.sleep() blocks on the real clock; library code must "
+                "take an injectable sleeper (see repro.stream.service)",
             )
             return
 

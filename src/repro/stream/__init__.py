@@ -1,0 +1,63 @@
+"""repro.stream — online MOAS detection over live BGP update feeds.
+
+The batch pipeline answers "what happened in this archive"; this package
+answers "what is happening right now".  It consists of:
+
+* :mod:`repro.stream.feed` — the line-delimited update-feed format plus its
+  two producers (daily-snapshot diffing, live simulator tap);
+* :mod:`repro.stream.engine` — the incremental detector (checker conflict
+  rules per update, bounded-window eviction, alarm dedup/aggregation);
+* :mod:`repro.stream.checkpoint` — versioned, atomic state snapshots;
+* :mod:`repro.stream.service` — the tailing loop with transactional alarm
+  flushing, kill-and-resume bit-identity, metrics and manifests.
+
+See ``docs/streaming.md`` for the feed format, checkpoint layout, and
+resume semantics.
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.engine import StreamAlarm, StreamEngine
+from repro.stream.feed import (
+    FEED_FORMAT,
+    FEED_VERSION,
+    FeedError,
+    FeedRecord,
+    FeedWriter,
+    SimulatorTap,
+    feed_header_line,
+    parse_feed_line,
+    read_feed,
+    snapshot_deltas,
+)
+from repro.stream.service import FeedTailer, StreamService, StreamSummary
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "FEED_FORMAT",
+    "FEED_VERSION",
+    "FeedError",
+    "FeedRecord",
+    "FeedTailer",
+    "FeedWriter",
+    "SimulatorTap",
+    "StreamAlarm",
+    "StreamEngine",
+    "StreamService",
+    "StreamSummary",
+    "feed_header_line",
+    "load_checkpoint",
+    "parse_feed_line",
+    "read_feed",
+    "save_checkpoint",
+    "snapshot_deltas",
+]

@@ -1,0 +1,113 @@
+"""Deterministic service checkpoints.
+
+A checkpoint is one versioned JSON document capturing everything the
+service needs to resume exactly where it stopped:
+
+* ``offset`` / ``byte_offset`` — how many feed records were consumed and
+  where the next one starts in the feed file;
+* ``alarm_lines`` — how many alarm-log lines were durably flushed;
+* ``engine`` — the full :meth:`~repro.stream.engine.StreamEngine.
+  snapshot_state` structure (live origins, conflict evidence, alarm-dedup
+  counts, daily MOAS counts).
+
+The alarm log is flushed *transactionally at checkpoint boundaries only*
+(see :mod:`repro.stream.service`), so ``alarm_lines`` always names a
+prefix of the uninterrupted run's log — that invariant, plus the engine
+state round-trip being canonical, is what makes a killed-and-resumed
+service's concatenated alarm log bit-identical to an uninterrupted run's.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+leaves the previous checkpoint intact rather than a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+CHECKPOINT_FORMAT = "repro-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised for missing, torn, or version-incompatible checkpoints."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One resumable service state."""
+
+    offset: int
+    byte_offset: int
+    alarm_lines: int
+    engine_state: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.byte_offset < 0 or self.alarm_lines < 0:
+            raise CheckpointError(
+                f"checkpoint coordinates must be non-negative, got "
+                f"offset={self.offset} byte_offset={self.byte_offset} "
+                f"alarm_lines={self.alarm_lines}"
+            )
+
+    def to_json(self) -> str:
+        """Canonical serialisation (sorted keys, stable indent-free form)."""
+        return json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "offset": self.offset,
+                "byte_offset": self.byte_offset,
+                "alarm_lines": self.alarm_lines,
+                "engine": self.engine_state,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointError("checkpoint must be a JSON object")
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"not a {CHECKPOINT_FORMAT} document: {data.get('format')!r}"
+            )
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(f"unsupported checkpoint version {version!r}")
+        try:
+            return cls(
+                offset=int(data["offset"]),
+                byte_offset=int(data["byte_offset"]),
+                alarm_lines=int(data["alarm_lines"]),
+                engine_state=dict(data["engine"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+
+def save_checkpoint(path: Union[str, Path], checkpoint: Checkpoint) -> None:
+    """Atomically write ``checkpoint`` to ``path`` (temp + ``os.replace``)."""
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(checkpoint.to_json() + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Load and validate a checkpoint; raises :class:`CheckpointError`."""
+    target = Path(path)
+    if not target.exists():
+        raise CheckpointError(f"no checkpoint at {target}")
+    return Checkpoint.from_json(target.read_text(encoding="utf-8"))

@@ -1,0 +1,390 @@
+"""The incremental online MOAS detector.
+
+:class:`StreamEngine` is the streaming counterpart of both halves of the
+batch pipeline: it maintains the live per-prefix origin state the §3
+observer derives from daily table dumps (so MOAS counts fall out of the
+same state, updated in O(1) per event instead of a full-table rescan), and
+it applies the §4.2 :class:`~repro.core.checker.MoasChecker` conflict rules
+to every announcement as it arrives — step 2 (an origin missing from its
+own list) and step 3 (inconsistency with any list previously observed for
+the prefix), with the same deterministic conflicting-list selection.
+
+Because a long-running service cannot keep evidence forever, conflict
+evidence for *dead* prefixes (no live origin) is evicted once the prefix
+has been quiet for a configurable window of ticks — the bounded-window
+analogue of the checker's per-run ``_observed`` map.  Alarms are
+deduplicated on their full evidence (prefix, kind, observed list,
+conflicting list, suspect origin): the first occurrence emits a
+:class:`StreamAlarm` record, repeats only bump an aggregate count, so a
+route flapping through the same conflict a thousand times costs one alarm
+line and a counter.
+
+All engine state round-trips through :meth:`snapshot_state` /
+:meth:`restore_state` as canonical JSON-safe structures (sorted lists of
+pairs, never raw dicts), which is what makes checkpoint/resume produce
+bit-identical alarm logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.alarms import AlarmKind
+from repro.core.moas_list import MoasList
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.stream.feed import OP_ANNOUNCE, OP_TICK, OP_WITHDRAW, FeedRecord
+
+#: Dedup key: (prefix, kind, observed list, conflicting list, suspect origin).
+AlarmKey = Tuple[str, str, Tuple[ASN, ...], Optional[Tuple[ASN, ...]], Optional[ASN]]
+
+
+@dataclass(frozen=True)
+class StreamAlarm:
+    """One deduplicated alarm emitted by the online detector."""
+
+    time: float
+    prefix: str
+    kind: str
+    observed: Tuple[ASN, ...]
+    conflicting: Optional[Tuple[ASN, ...]] = None
+    origin: Optional[ASN] = None
+
+    def key(self) -> AlarmKey:
+        return (self.prefix, self.kind, self.observed, self.conflicting, self.origin)
+
+    def to_json_line(self) -> str:
+        data: Dict[str, Any] = {
+            "time": self.time,
+            "prefix": self.prefix,
+            "kind": self.kind,
+            "observed": list(self.observed),
+        }
+        if self.conflicting is not None:
+            data["conflicting"] = list(self.conflicting)
+        if self.origin is not None:
+            data["origin"] = self.origin
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+class StreamEngine:
+    """Per-update MOAS detection over an unbounded feed."""
+
+    def __init__(
+        self,
+        window: float = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"eviction window must be positive, got {window}")
+        self.window = window
+        # Live state: which origins currently announce each prefix, and the
+        # MOAS list each one last attached.
+        self._origins: Dict[Prefix, Dict[ASN, MoasList]] = {}
+        # Conflict evidence: every distinct list observed for a prefix since
+        # its evidence was last evicted (mirrors MoasChecker._observed).
+        self._observed: Dict[Prefix, Set[MoasList]] = {}
+        self._last_activity: Dict[Prefix, float] = {}
+        # Alarm dedup/aggregation: evidence key -> occurrence count.
+        self._alarm_counts: Dict[AlarmKey, int] = {}
+        # Prefixes currently in a MOAS state, maintained on 1<->2 origin
+        # transitions so a tick is O(1) for the count itself.
+        self._moas_active = 0
+        self.daily_counts: Dict[int, int] = {}
+        self.offset = 0
+        self.alarms_emitted = 0
+        self.alarm_duplicates = 0
+        self.evictions = 0
+        self._m_updates: Optional[Counter] = None
+        self._m_announces: Optional[Counter] = None
+        self._m_withdrawals: Optional[Counter] = None
+        self._m_ticks: Optional[Counter] = None
+        self._m_alarms: Optional[Counter] = None
+        self._m_duplicates: Optional[Counter] = None
+        self._m_evictions: Optional[Counter] = None
+        self._g_prefixes: Optional[Gauge] = None
+        self._g_moas: Optional[Gauge] = None
+        if metrics is not None:
+            self._m_updates = metrics.counter("stream.updates")
+            self._m_announces = metrics.counter("stream.announces")
+            self._m_withdrawals = metrics.counter("stream.withdrawals")
+            self._m_ticks = metrics.counter("stream.ticks")
+            self._m_alarms = metrics.counter("stream.alarms")
+            self._m_duplicates = metrics.counter("stream.alarm_duplicates")
+            self._m_evictions = metrics.counter("stream.evictions")
+            self._g_prefixes = metrics.gauge("stream.state_prefixes")
+            self._g_moas = metrics.gauge("stream.moas_active")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def moas_active(self) -> int:
+        """Prefixes currently announced by more than one origin."""
+        return self._moas_active
+
+    @property
+    def state_prefixes(self) -> int:
+        """Prefixes the engine holds any state for (live or evidence)."""
+        return len(self._origins.keys() | self._observed.keys())
+
+    def live_origins(self, prefix: Prefix) -> Tuple[ASN, ...]:
+        return tuple(sorted(self._origins.get(prefix, {})))
+
+    def alarm_totals(self) -> Dict[str, int]:
+        """Aggregate occurrence counts per alarm kind (dedup included)."""
+        totals: Dict[str, int] = {}
+        for key, count in self._alarm_counts.items():
+            totals[key[1]] = totals.get(key[1], 0) + count
+        return dict(sorted(totals.items()))
+
+    def daily_series(self) -> List[int]:
+        """MOAS counts ordered by day — Figure 4 from the stream path."""
+        return [self.daily_counts[day] for day in sorted(self.daily_counts)]
+
+    # -- the per-update hot path ---------------------------------------------
+
+    def apply(self, record: FeedRecord) -> List[StreamAlarm]:
+        """Apply one feed record; returns newly emitted (first-seen) alarms."""
+        self.offset += 1
+        if self._m_updates is not None:
+            self._m_updates.inc()
+        if record.op == OP_ANNOUNCE:
+            return self._apply_announce(record)
+        if record.op == OP_WITHDRAW:
+            self._apply_withdraw(record)
+            return []
+        self._apply_tick(record)
+        return []
+
+    def _apply_announce(self, record: FeedRecord) -> List[StreamAlarm]:
+        if self._m_announces is not None:
+            self._m_announces.inc()
+        prefix, origin = record.prefix, record.origin
+        assert prefix is not None and origin is not None  # FeedRecord invariant
+        self._last_activity[prefix] = record.time
+        moas_list = MoasList(record.effective_moas())
+        alarms: List[StreamAlarm] = []
+
+        # Step 2 (checker): an announcement whose own origin is missing from
+        # the list it carries is malformed by construction.  Alarm-only
+        # semantics: the route still becomes live state, but — like the
+        # checker's early return — contributes no step-3 evidence.
+        if not moas_list.authorises(origin):
+            self._record_alarm(
+                StreamAlarm(
+                    time=record.time,
+                    prefix=str(prefix),
+                    kind=AlarmKind.ORIGIN_NOT_IN_OWN_LIST.value,
+                    observed=tuple(moas_list),
+                    origin=origin,
+                ),
+                alarms,
+            )
+            self._install(prefix, origin, moas_list)
+            return alarms
+
+        # Step 3 (checker): compare against every distinct list seen for the
+        # prefix; the conflicting list is chosen deterministically.
+        seen = self._observed.setdefault(prefix, set())
+        conflict = any(not moas_list.consistent_with(other) for other in seen)
+        is_new_list = moas_list not in seen
+        seen.add(moas_list)
+        if conflict and is_new_list:
+            conflicting = next(
+                other
+                for other in sorted(seen, key=lambda m: tuple(m))
+                if not moas_list.consistent_with(other)
+            )
+            self._record_alarm(
+                StreamAlarm(
+                    time=record.time,
+                    prefix=str(prefix),
+                    kind=AlarmKind.INCONSISTENT_LISTS.value,
+                    observed=tuple(moas_list),
+                    conflicting=tuple(conflicting),
+                    origin=origin,
+                ),
+                alarms,
+            )
+        self._install(prefix, origin, moas_list)
+        return alarms
+
+    def _install(self, prefix: Prefix, origin: ASN, moas_list: MoasList) -> None:
+        live = self._origins.setdefault(prefix, {})
+        was_moas = len(live) > 1
+        live[origin] = moas_list
+        if len(live) > 1 and not was_moas:
+            self._moas_active += 1
+
+    def _apply_withdraw(self, record: FeedRecord) -> None:
+        if self._m_withdrawals is not None:
+            self._m_withdrawals.inc()
+        prefix, origin = record.prefix, record.origin
+        assert prefix is not None and origin is not None  # FeedRecord invariant
+        self._last_activity[prefix] = record.time
+        live = self._origins.get(prefix)
+        if live is None or origin not in live:
+            return  # withdrawing an unknown route is a no-op, as in BGP
+        was_moas = len(live) > 1
+        del live[origin]
+        if was_moas and len(live) <= 1:
+            self._moas_active -= 1
+        if not live:
+            del self._origins[prefix]
+
+    def _apply_tick(self, record: FeedRecord) -> None:
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
+        day = int(record.time)
+        if day in self.daily_counts:
+            raise ValueError(f"day {day} was already ticked")
+        self.daily_counts[day] = self._moas_active
+        self._evict(record.time)
+        if self._g_prefixes is not None:
+            self._g_prefixes.set(self.state_prefixes)
+        if self._g_moas is not None:
+            self._g_moas.set(self._moas_active)
+
+    def _evict(self, now: float) -> None:
+        """Drop evidence and dedup state for long-dead prefixes.
+
+        A prefix is evictable once it has no live origin and has been quiet
+        for at least ``window``; its conflict evidence, activity stamp and
+        alarm-dedup entries all go, bounding state by the live table plus
+        one window of churn.  Runs once per tick, iterating in prefix order
+        so eviction is deterministic.
+        """
+        horizon = now - self.window
+        stale = sorted(
+            (
+                prefix
+                for prefix, last in self._last_activity.items()
+                if last <= horizon and prefix not in self._origins
+            ),
+            key=lambda p: p.sort_key,
+        )
+        if not stale:
+            return
+        stale_names = {str(prefix) for prefix in stale}
+        for prefix in stale:
+            self._observed.pop(prefix, None)
+            del self._last_activity[prefix]
+        for key in [k for k in self._alarm_counts if k[0] in stale_names]:
+            del self._alarm_counts[key]
+        self.evictions += len(stale)
+        if self._m_evictions is not None:
+            self._m_evictions.inc(len(stale))
+
+    def _record_alarm(self, alarm: StreamAlarm, out: List[StreamAlarm]) -> None:
+        key = alarm.key()
+        count = self._alarm_counts.get(key, 0)
+        self._alarm_counts[key] = count + 1
+        if count == 0:
+            self.alarms_emitted += 1
+            if self._m_alarms is not None:
+                self._m_alarms.inc()
+            out.append(alarm)
+        else:
+            self.alarm_duplicates += 1
+            if self._m_duplicates is not None:
+                self._m_duplicates.inc()
+
+    # -- checkpointable state ------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Canonical JSON-safe engine state (sorted lists of pairs)."""
+        origins = [
+            [
+                str(prefix),
+                [
+                    [origin, sorted(live[origin].origins)]
+                    for origin in sorted(live)
+                ],
+            ]
+            for prefix, live in sorted(
+                self._origins.items(), key=lambda item: item[0].sort_key
+            )
+        ]
+        observed = [
+            [str(prefix), sorted(sorted(m.origins) for m in lists)]
+            for prefix, lists in sorted(
+                self._observed.items(), key=lambda item: item[0].sort_key
+            )
+        ]
+        activity = [
+            [str(prefix), last]
+            for prefix, last in sorted(
+                self._last_activity.items(), key=lambda item: item[0].sort_key
+            )
+        ]
+        alarm_counts = [
+            [
+                key[0],
+                key[1],
+                list(key[2]),
+                None if key[3] is None else list(key[3]),
+                key[4],
+                count,
+            ]
+            for key, count in sorted(
+                self._alarm_counts.items(),
+                key=lambda item: (
+                    item[0][0],
+                    item[0][1],
+                    item[0][2],
+                    item[0][3] or (),
+                    item[0][4] or -1,
+                ),
+            )
+        ]
+        return {
+            "window": self.window,
+            "offset": self.offset,
+            "moas_active": self._moas_active,
+            "alarms_emitted": self.alarms_emitted,
+            "alarm_duplicates": self.alarm_duplicates,
+            "evictions": self.evictions,
+            "daily_counts": [[day, self.daily_counts[day]] for day in sorted(self.daily_counts)],
+            "origins": origins,
+            "observed": observed,
+            "last_activity": activity,
+            "alarm_counts": alarm_counts,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild engine state from a :meth:`snapshot_state` structure."""
+        self.window = float(state["window"])
+        self.offset = int(state["offset"])
+        self._moas_active = int(state["moas_active"])
+        self.alarms_emitted = int(state["alarms_emitted"])
+        self.alarm_duplicates = int(state["alarm_duplicates"])
+        self.evictions = int(state["evictions"])
+        self.daily_counts = {int(day): int(count) for day, count in state["daily_counts"]}
+        self._origins = {
+            Prefix.parse(prefix): {
+                int(origin): MoasList(members) for origin, members in live
+            }
+            for prefix, live in state["origins"]
+        }
+        self._observed = {
+            Prefix.parse(prefix): {MoasList(members) for members in lists}
+            for prefix, lists in state["observed"]
+        }
+        self._last_activity = {
+            Prefix.parse(prefix): float(last)
+            for prefix, last in state["last_activity"]
+        }
+        self._alarm_counts = {}
+        for raw in state["alarm_counts"]:
+            prefix_str, kind, observed, conflicting, origin, count = raw
+            key: AlarmKey = (
+                str(prefix_str),
+                str(kind),
+                tuple(int(a) for a in observed),
+                None if conflicting is None else tuple(int(a) for a in conflicting),
+                None if origin is None else int(origin),
+            )
+            self._alarm_counts[key] = int(count)

@@ -1,0 +1,349 @@
+"""The long-running detection service.
+
+:class:`StreamService` tails a feed file (or FIFO) in batched reads, pushes
+every record through a :class:`~repro.stream.engine.StreamEngine`, and
+persists two artefacts:
+
+* the **alarm log** — one canonical JSON line per first-seen alarm;
+* the **checkpoint** — the engine state plus feed/log coordinates.
+
+The two are coupled transactionally: pending alarm lines are flushed to the
+log *only* at checkpoint boundaries (and once more at a graceful stop), and
+the checkpoint written immediately after records how many lines are durable.
+A service killed at an arbitrary point therefore leaves an alarm log that is
+a prefix of the uninterrupted run's log, and a resume — which restores the
+engine, truncates the log back to the recorded line count, and seeks the
+feed to the recorded byte offset — continues producing exactly the remaining
+lines.  Concatenating the two runs' logs reproduces the uninterrupted log
+byte for byte; ``tests/test_stream_service.py`` and the ``stream-smoke`` CI
+job hold that property.
+
+Wall time never steers detection: the loop takes an injectable ``clock``
+(throughput/latency measurement only — quarantined like every other timing
+field) and an injectable ``sleeper`` (follow-mode polling and throttling),
+so tests drive the service with fakes and the repro-lint R006 rule keeps
+``time.sleep`` out of everything except the one default-sleeper call site
+below.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from types import FrameType
+from typing import IO, Any, Callable, Dict, List, Optional, Union
+
+from repro.obs.manifest import ManifestRecord
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.stream.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.stream.engine import StreamEngine
+from repro.stream.feed import FeedError, FeedRecord, parse_feed_line
+
+
+def _real_sleep(seconds: float) -> None:
+    """Default sleeper (follow-mode polling / throttling); tests inject fakes."""
+    time.sleep(seconds)  # repro-lint: disable=R006
+
+
+def _real_clock() -> float:
+    """Default wall clock; measurement only, never an input to detection."""
+    return time.perf_counter()  # repro-lint: disable=R002
+
+
+class FeedTailer:
+    """Batched reader over a feed file, tracking exact byte offsets.
+
+    Reads in binary so ``byte_offset`` is always the start of the next
+    unconsumed line.  A partial line at EOF (a writer caught mid-record) is
+    left unconsumed — the next poll re-reads it once the newline lands.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: IO[bytes] = self.path.open("rb")
+        self.byte_offset = 0
+
+    def seek(self, byte_offset: int) -> None:
+        self._handle.seek(byte_offset)
+        self.byte_offset = byte_offset
+
+    def read_batch(self, limit: int) -> List[FeedRecord]:
+        """Up to ``limit`` records; empty means EOF (poll again or finish)."""
+        records: List[FeedRecord] = []
+        while len(records) < limit:
+            position = self._handle.tell()
+            line = self._handle.readline()
+            if not line:
+                break
+            if not line.endswith(b"\n"):
+                self._handle.seek(position)
+                break
+            self.byte_offset = self._handle.tell()
+            try:
+                record = parse_feed_line(line.decode("utf-8"))
+            except FeedError as exc:
+                raise FeedError(f"{self.path} at byte {position}: {exc}") from exc
+            if record is not None:
+                records.append(record)
+        return records
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+@dataclass
+class StreamSummary:
+    """One service run's outcome (the manifest ``outcome`` payload)."""
+
+    records: int
+    offset: int
+    alarms_emitted: int
+    alarm_duplicates: int
+    alarm_lines: int
+    checkpoints: int
+    moas_active: int
+    state_prefixes: int
+    days_ticked: int
+    stopped: bool
+    eof: bool
+    wall_seconds: float
+    events_per_sec: float
+    checkpoint_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; timing lives under quarantined TIMING_KEYS names."""
+        return {
+            "records": self.records,
+            "offset": self.offset,
+            "alarms_emitted": self.alarms_emitted,
+            "alarm_duplicates": self.alarm_duplicates,
+            "alarm_lines": self.alarm_lines,
+            "checkpoints": self.checkpoints,
+            "moas_active": self.moas_active,
+            "state_prefixes": self.state_prefixes,
+            "days_ticked": self.days_ticked,
+            "stopped": self.stopped,
+            "eof": self.eof,
+            "events_per_sec": self.events_per_sec,
+            "checkpoint_seconds": self.checkpoint_seconds,
+        }
+
+
+class StreamService:
+    """Tail a feed, detect online, checkpoint, survive being killed."""
+
+    def __init__(
+        self,
+        feed: Union[str, Path],
+        alarms: Union[str, Path],
+        checkpoint: Optional[Union[str, Path]] = None,
+        *,
+        window: float = 30.0,
+        batch_size: int = 256,
+        checkpoint_every: int = 1000,
+        follow: bool = False,
+        poll_interval: float = 0.2,
+        throttle: float = 0.0,
+        max_records: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.feed_path = Path(feed)
+        self.alarms_path = Path(alarms)
+        self.checkpoint_path = None if checkpoint is None else Path(checkpoint)
+        self.engine = StreamEngine(window=window, metrics=metrics)
+        self.batch_size = batch_size
+        self.checkpoint_every = checkpoint_every
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.throttle = throttle
+        self.max_records = max_records
+        self.checkpoints_written = 0
+        self._alarm_lines = 0
+        self._pending: List[str] = []
+        self._stop_requested = False
+        self._clock = clock if clock is not None else _real_clock
+        self._sleeper = sleeper if sleeper is not None else _real_sleep
+        self._checkpoint_seconds = 0.0
+        self._m_checkpoints: Optional[Counter] = None
+        if metrics is not None:
+            self._m_checkpoints = metrics.counter("stream.checkpoints")
+
+    # -- control ---------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Finish the in-flight batch, flush + checkpoint, then return."""
+        self._stop_requested = True
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful stop (main thread only)."""
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum: int, frame: Optional[FrameType]) -> None:
+        self.request_stop()
+
+    # -- the run loop -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> StreamSummary:
+        started = self._clock()
+        tailer = FeedTailer(self.feed_path)
+        try:
+            if resume:
+                self._resume(tailer)
+            else:
+                # Fresh run: start the alarm log empty so reruns never append
+                # to a stale log.
+                self.alarms_path.write_text("", encoding="utf-8")
+                self._alarm_lines = 0
+            applied = 0
+            since_checkpoint = 0
+            reached_eof = False
+            while not self._stop_requested:
+                if self.max_records is not None and applied >= self.max_records:
+                    break
+                limit = self.batch_size
+                if self.max_records is not None:
+                    limit = min(limit, self.max_records - applied)
+                batch = tailer.read_batch(limit)
+                if not batch:
+                    if not self.follow:
+                        reached_eof = True
+                        break
+                    self._sleeper(self.poll_interval)
+                    continue
+                for record in batch:
+                    for alarm in self.engine.apply(record):
+                        self._pending.append(alarm.to_json_line())
+                applied += len(batch)
+                since_checkpoint += len(batch)
+                if self.throttle > 0.0:
+                    self._sleeper(self.throttle)
+                if since_checkpoint >= self.checkpoint_every:
+                    self._flush_and_checkpoint(tailer)
+                    since_checkpoint = 0
+            # Graceful exit: whatever stopped us, leave the log and
+            # checkpoint agreeing on a resumable record boundary.
+            self._flush_and_checkpoint(tailer)
+            wall = self._clock() - started
+            return StreamSummary(
+                records=applied,
+                offset=self.engine.offset,
+                alarms_emitted=self.engine.alarms_emitted,
+                alarm_duplicates=self.engine.alarm_duplicates,
+                alarm_lines=self._alarm_lines,
+                checkpoints=self.checkpoints_written,
+                moas_active=self.engine.moas_active,
+                state_prefixes=self.engine.state_prefixes,
+                days_ticked=len(self.engine.daily_counts),
+                stopped=self._stop_requested,
+                eof=reached_eof,
+                wall_seconds=wall,
+                events_per_sec=applied / wall if wall > 0 else 0.0,
+                checkpoint_seconds=self._checkpoint_seconds,
+            )
+        finally:
+            tailer.close()
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def _resume(self, tailer: FeedTailer) -> None:
+        if self.checkpoint_path is None:
+            raise ValueError("resume requested but no checkpoint path configured")
+        checkpoint = load_checkpoint(self.checkpoint_path)
+        self.engine.restore_state(checkpoint.engine_state)
+        if checkpoint.offset != self.engine.offset:
+            raise ValueError(
+                f"checkpoint offset {checkpoint.offset} disagrees with its "
+                f"engine state offset {self.engine.offset}"
+            )
+        self._alarm_lines = checkpoint.alarm_lines
+        if self.alarms_path.exists():
+            self._truncate_alarm_log(checkpoint.alarm_lines)
+        else:
+            # Resuming onto a fresh log path: it receives only the lines the
+            # uninterrupted run would emit after the checkpoint.
+            self.alarms_path.write_text("", encoding="utf-8")
+        tailer.seek(checkpoint.byte_offset)
+
+    def _truncate_alarm_log(self, keep_lines: int) -> None:
+        """Roll the log back to the checkpoint's durable prefix.
+
+        Robust against a crash that landed between the alarm flush and the
+        checkpoint write: any lines past ``keep_lines`` were flushed for a
+        checkpoint that never became durable, and will be re-emitted.
+        """
+        with self.alarms_path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        if len(lines) < keep_lines:
+            raise ValueError(
+                f"alarm log {self.alarms_path} has {len(lines)} lines but the "
+                f"checkpoint recorded {keep_lines}"
+            )
+        if len(lines) > keep_lines:
+            with self.alarms_path.open("w", encoding="utf-8") as handle:
+                handle.writelines(lines[:keep_lines])
+
+    def _flush_and_checkpoint(self, tailer: FeedTailer) -> None:
+        began = self._clock()
+        if self._pending:
+            with self.alarms_path.open("a", encoding="utf-8") as handle:
+                for line in self._pending:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._alarm_lines += len(self._pending)
+            self._pending.clear()
+        if self.checkpoint_path is not None:
+            save_checkpoint(
+                self.checkpoint_path,
+                Checkpoint(
+                    offset=self.engine.offset,
+                    byte_offset=tailer.byte_offset,
+                    alarm_lines=self._alarm_lines,
+                    engine_state=self.engine.snapshot_state(),
+                ),
+            )
+            self.checkpoints_written += 1
+            if self._m_checkpoints is not None:
+                self._m_checkpoints.inc()
+        self._checkpoint_seconds += self._clock() - began
+
+    # -- attribution -------------------------------------------------------------
+
+    def manifest_record(
+        self,
+        summary: StreamSummary,
+        spec: Optional[Dict[str, Any]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ManifestRecord:
+        """The run's single manifest line (timing under quarantined keys)."""
+        base_spec: Dict[str, Any] = {
+            "kind": "stream",
+            "feed": str(self.feed_path),
+            "window": self.engine.window,
+            "batch_size": self.batch_size,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        if spec is not None:
+            base_spec.update(spec)
+        return ManifestRecord(
+            index=0,
+            seed=0,
+            spec=base_spec,
+            outcome=summary.to_dict(),
+            metrics={} if metrics is None else dict(metrics.snapshot()),
+            worker="stream",
+            wall_seconds=summary.wall_seconds,
+        )

@@ -1,0 +1,11 @@
+"""Fixture: every statement here violates R006 (time.sleep in library code)."""
+
+import time
+from time import sleep
+
+time.sleep(1.0)
+sleep(0.1)
+
+
+def poll_until_ready() -> None:
+    time.sleep(0.05)

@@ -84,14 +84,29 @@ class TestFigureCommand:
 
 
 class TestParser:
-    def test_missing_command_errors(self):
-        with pytest.raises(SystemExit):
-            main([])
+    def test_missing_command_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err
 
-    def test_help_available(self):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["--help"])
-        assert excinfo.value.code == 0
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main(["bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_help_lists_every_subcommand(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in (
+            "figure", "study", "monitor", "topology", "hijack", "sweep",
+            "report", "stream",
+        ):
+            assert command in out
+
+    def test_stream_help_lists_gen_and_run(self, capsys):
+        assert main(["stream", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "gen" in out and "run" in out
 
 
 class TestSweepCommand:
@@ -149,6 +164,55 @@ class TestReportCommand:
         empty.write_text("")
         assert main(["report", str(empty)]) == 2
         assert "no records" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    def test_gen_then_run_round_trip(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        alarms = tmp_path / "alarms.log"
+        checkpoint = tmp_path / "cp.json"
+        manifest = tmp_path / "run.jsonl"
+        assert main([
+            "stream", "gen", "--days", "30", "--seed", "7",
+            "--out", str(feed),
+        ]) == 0
+        assert "feed written" in capsys.readouterr().out
+        assert main([
+            "stream", "run", str(feed), "--alarms", str(alarms),
+            "--checkpoint", str(checkpoint), "--checkpoint-every", "500",
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "processed" in out and "(30 days)" in out
+        assert alarms.exists() and checkpoint.exists()
+        from repro.obs.manifest import read_manifest
+
+        (record,) = read_manifest(manifest)
+        assert record.spec["kind"] == "stream"
+        assert record.outcome["days_ticked"] == 30
+        assert record.outcome["eof"] is True
+
+    def test_gen_rejects_bad_days(self, capsys):
+        assert main([
+            "stream", "gen", "--days", "0", "--out", "ignored.jsonl",
+        ]) == 2
+        assert "--days" in capsys.readouterr().err
+
+    def test_run_resume_requires_checkpoint(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text("")
+        assert main([
+            "stream", "run", str(feed), "--alarms",
+            str(tmp_path / "alarms.log"), "--resume",
+        ]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_run_missing_feed_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "stream", "run", str(tmp_path / "absent.jsonl"),
+            "--alarms", str(tmp_path / "alarms.log"),
+        ]) == 1
+        assert "stream run failed" in capsys.readouterr().err
 
 
 class TestHijackObservability:

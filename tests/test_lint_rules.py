@@ -1,4 +1,4 @@
-"""Unit tests for the repro-lint static analysis rules (R001-R005)."""
+"""Unit tests for the repro-lint static analysis rules (R001-R006)."""
 
 from __future__ import annotations
 
@@ -79,6 +79,39 @@ class TestRulePositives:
         assert rules_hit(violations) == {"R005"}
         assert all("FrozenThing" not in v.message for v in violations)
 
+    def test_r006_time_sleep(self):
+        violations = lint_file(FIXTURES / "r006_bad.py")
+        assert rules_hit(violations) == {"R006"}
+        # time.sleep via the module, via `from time import sleep`, and
+        # inside a function body.
+        assert len(violations) == 3
+
+    def test_r006_aliased_import(self):
+        violations = lint_source("import time as t\nt.sleep(1)\n")
+        assert rules_hit(violations) == {"R006"}
+
+    def test_r006_renamed_direct_import(self):
+        violations = lint_source("from time import sleep as snooze\nsnooze(1)\n")
+        assert rules_hit(violations) == {"R006"}
+
+    def test_r006_suppression(self):
+        src = "import time\ntime.sleep(1)  # repro-lint: disable=R006\n"
+        assert lint_source(src) == []
+
+    def test_r006_injected_sleeper_ok(self):
+        # Calling an injected sleeper is the sanctioned pattern.
+        src = (
+            "def run(sleeper):\n"
+            "    sleeper(0.2)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_r006_referencing_time_sleep_without_calling_ok(self):
+        # Handing time.sleep in as the *default* injectable is allowed at
+        # the reference level; only calls block the event loop.
+        src = "import time\ndefault_sleeper = time.sleep\n"
+        assert lint_source(src) == []
+
 
 class TestRuleNegatives:
     def test_clean_fixture_is_clean(self):
@@ -146,7 +179,7 @@ class TestInfrastructure:
         assert rules_hit(violations) == {"R001", "R004"}
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
 
 
 class TestReporters:
