@@ -1,0 +1,114 @@
+"""Warm-start cache benchmark — cold vs warm repeat-topology sweep.
+
+The cache's value case: a POST_CONVERGENCE sweep re-runs the expensive
+establish-and-converge baseline once per (origin set, attacker set) pair,
+but the baseline depends only on the origin set — every attacker draw
+reuses it.  The sweep below (2-origin sets x 12 attacker sets per fraction)
+is timed cold and then with a fresh :class:`WarmStartCache`; the warm run
+must produce bit-identical points and be >= 2x faster, the acceptance bar
+from the issue.
+
+Both runs are serial so the comparison isolates the cache — pool speedups
+are `BENCH_parallel.json`'s business.  Results land in
+``benchmarks/results/BENCH_warmstart.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.experiments.runner import AttackTiming, DeploymentKind
+from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.warmstart import WarmStartCache
+
+#: Small attacker fractions: the paper's curves start here, and with 1-2
+#: attackers the pre-attack baseline dominates each run's cost — the regime
+#: the cache targets.  Large fractions shift the cost into the recovery
+#: convergence, which warm-starting rightly cannot skip.
+FRACS = (0.02, 0.03)
+
+
+def _sweep_config(graph):
+    return SweepConfig(
+        graph=graph,
+        # Two genuine origins: a genuine-MOAS baseline is the paper's
+        # multihoming case and is costlier to converge than the attack
+        # phase, so it shows the cache's best-case clearly.
+        n_origins=2,
+        attacker_fractions=FRACS,
+        deployment=DeploymentKind.FULL,
+        timing=AttackTiming.POST_CONVERGENCE,
+        n_origin_sets=1,
+        n_attacker_sets=12,
+        seed=TOPOLOGY_SEED,
+    )
+
+
+def _time_sweep(graph, warm_start):
+    started = time.perf_counter()
+    result = run_sweep(_sweep_config(graph), workers=1, warm_start=warm_start)
+    return time.perf_counter() - started, result
+
+
+def test_bench_warmstart(paper_topologies, results_dir):
+    graph = paper_topologies[63]
+
+    cold_secs, cold = _time_sweep(graph, warm_start=None)
+    cache = WarmStartCache()
+    warm_secs, warm = _time_sweep(graph, warm_start=cache)
+
+    # The safety property is unconditional: the cache never changes points.
+    assert warm.points == cold.points
+
+    stats = cache.stats()
+    lookups = int(stats["warmstart.hits"]) + int(stats["warmstart.misses"])
+    hit_rate = stats["warmstart.hits"] / lookups if lookups else 0.0
+    runs = sum(point.runs for point in cold.points)
+    speedup = cold_secs / warm_secs if warm_secs > 0 else 0.0
+
+    record = {
+        "topology_size": len(graph),
+        "timing": "post-convergence",
+        "sweep_runs": runs,
+        "cold_seconds": round(cold_secs, 3),
+        "warm_seconds": round(warm_secs, 3),
+        "speedup": round(speedup, 2),
+        "points_identical": warm.points == cold.points,
+        "cache": {
+            "hits": stats["warmstart.hits"],
+            "misses": stats["warmstart.misses"],
+            "puts": stats["warmstart.puts"],
+            "uncacheable": stats["warmstart.uncacheable"],
+            "hit_rate": round(hit_rate, 3),
+        },
+        "cold_scenarios_per_sec": round(runs / cold_secs, 2),
+        "warm_scenarios_per_sec": round(runs / warm_secs, 2),
+    }
+    (results_dir / "BENCH_warmstart.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    lines = [
+        "Warm-start cache: cold vs warm sweep "
+        "(63-AS, full deployment, post-convergence)",
+        f"  runs={runs}  (1 origin set x 12 attacker sets x {len(FRACS)} "
+        "fractions, serial)",
+        f"  cold   {cold_secs:7.2f} s   "
+        f"{runs / cold_secs:6.2f} scenarios/sec",
+        f"  warm   {warm_secs:7.2f} s   "
+        f"{runs / warm_secs:6.2f} scenarios/sec   speedup {speedup:4.2f}x",
+        f"  cache: {stats['warmstart.hits']} hits / {lookups} lookups "
+        f"(hit rate {hit_rate:.0%}), {stats['warmstart.puts']} baselines "
+        "captured",
+        "  points bit-identical: yes",
+    ]
+    emit(results_dir, "BENCH_warmstart", "\n".join(lines))
+
+    # One baseline per (fraction, origin set): everything else is a hit.
+    assert hit_rate >= 0.75
+    assert speedup >= 2.0, (
+        f"expected >= 2x from warm-started baselines, measured {speedup:.2f}x"
+    )

@@ -20,8 +20,8 @@ the MOAS checker integrates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.speaker import BGPSpeaker
@@ -144,6 +144,28 @@ class RouteFlapDamper:
         record = self._records.setdefault((peer, prefix), _FlapRecord(last_update=now))
         self._add_penalty(record, now)
         record.last_attributes = None
+
+    # -- snapshot / restore -----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture per-(peer, prefix) flap records and counters.
+
+        :class:`_FlapRecord` is mutable (penalties decay in place), so each
+        record is copied on capture *and* on restore — a cached snapshot is
+        never aliased by a live damper.
+        """
+        return {
+            "records": {key: replace(record) for key, record in self._records.items()},
+            "suppressions": self.suppressions,
+            "reuses": self.reuses,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._records = {
+            key: replace(record) for key, record in state["records"].items()
+        }
+        self.suppressions = state["suppressions"]
+        self.reuses = state["reuses"]
 
     # -- queries ---------------------------------------------------------------------
 

@@ -8,11 +8,11 @@ examples build everything through this class.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.bgp.policy import Policy
 from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
-from repro.eventsim.simulator import Simulator
+from repro.eventsim.simulator import RearmPlan, Simulator, SnapshotError
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN
 from repro.net.link import Link
@@ -89,6 +89,61 @@ class Network:
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
         return self.sim.run(until=self.sim.now + duration)
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture the whole network: simulator, every speaker, every link.
+
+        Raises :class:`SnapshotError` if the live event queue holds events
+        the component inventory cannot account for (a foreign callback
+        scheduled directly on the simulator) — restoring would silently
+        drop them, so snapshotting refuses instead.
+        """
+        expected = sum(
+            speaker.pending_events() for speaker in self.speakers.values()
+        ) + sum(link.pending_events() for link in self.links.values())
+        live = len(self.sim.queue)
+        if live != expected:
+            raise SnapshotError(
+                f"event queue holds {live} live event(s) but components "
+                f"account for {expected}; cannot snapshot foreign events"
+            )
+        return {
+            "sim": self.sim.snapshot_state(),
+            "speakers": {
+                asn: speaker.snapshot_state()
+                for asn, speaker in sorted(self.speakers.items())
+            },
+            "links": {
+                key: link.snapshot_state()
+                for key, link in sorted(self.links.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overlay a snapshot onto this network (same graph, fresh or used).
+
+        Clears the simulator queue, overwrites component state, then
+        re-arms every captured pending event in its original queue order so
+        the continuation is bit-identical to running on from the snapshot
+        point.
+        """
+        if set(state["speakers"]) != set(self.speakers):
+            raise SnapshotError(
+                "snapshot speaker set does not match this network's topology"
+            )
+        if set(state["links"]) != set(self.links):
+            raise SnapshotError(
+                "snapshot link set does not match this network's topology"
+            )
+        self.sim.restore_state(state["sim"])
+        rearm = RearmPlan()
+        for asn, speaker_state in state["speakers"].items():
+            self.speakers[asn].restore_state(speaker_state, rearm)
+        for key, link_state in state["links"].items():
+            self.links[key].restore_state(link_state, rearm)
+        rearm.execute()
 
     # -- convenience -------------------------------------------------------
 

@@ -58,6 +58,26 @@ class RibEntry:
     def is_local(self) -> bool:
         return self.peer is None
 
+    def _key(self) -> Tuple[Prefix, PathAttributes, Optional[ASN], float, int]:
+        return (
+            self.prefix,
+            self.attributes,
+            self.peer,
+            self.installed_at,
+            self.installed_seq,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality: two RIBs that evolved identically hold equal
+        # entries even across networks (what snapshot round-trip tests
+        # compare); identity equality would make that vacuously false.
+        if not isinstance(other, RibEntry):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
     def __repr__(self) -> str:
         source = "local" if self.is_local else f"peer {self.peer}"
         return f"RibEntry({self.prefix}, via {source}, {self.attributes.as_path})"
@@ -139,6 +159,15 @@ class AdjRibIn:
     def __len__(self) -> int:
         return sum(len(per_peer) for per_peer in self._routes.values())
 
+    def snapshot_state(self) -> Dict[ASN, Dict[Prefix, RibEntry]]:
+        # Entries are immutable after install, so sharing them between the
+        # snapshot and the live table is safe; only the containers copy.
+        return {peer: dict(per_peer) for peer, per_peer in self._routes.items()}
+
+    def restore_state(self, state: Dict[ASN, Dict[Prefix, RibEntry]]) -> None:
+        self._routes = {peer: dict(per_peer) for peer, per_peer in state.items()}
+        self._sorted_peers = None
+
 
 class LocRib:
     """Best route per prefix, plus locally originated routes.
@@ -187,6 +216,19 @@ class LocRib:
     def __len__(self) -> int:
         return len(self._best)
 
+    def snapshot_state(self) -> Dict[Prefix, RibEntry]:
+        return dict(self._best)
+
+    def restore_state(self, state: Dict[Prefix, RibEntry]) -> None:
+        from repro.net.trie import PrefixTrie
+
+        self._best = dict(state)
+        # The trie is derived state; rebuilding it from the best-route map
+        # is deterministic because the trie shape depends only on the keys.
+        self._trie = PrefixTrie()
+        for entry in self._best.values():
+            self._trie.insert(entry.prefix, entry)
+
 
 class AdjRibOut:
     """Per-peer record of what has been advertised.
@@ -221,3 +263,9 @@ class AdjRibOut:
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._advertised.values())
+
+    def snapshot_state(self) -> Dict[ASN, Dict[Prefix, PathAttributes]]:
+        return {peer: dict(routes) for peer, routes in self._advertised.items()}
+
+    def restore_state(self, state: Dict[ASN, Dict[Prefix, PathAttributes]]) -> None:
+        self._advertised = {peer: dict(routes) for peer, routes in state.items()}

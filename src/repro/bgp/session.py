@@ -10,7 +10,7 @@ failure-injection tests, but they carry no routing information.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.bgp.errors import SessionError
 from repro.bgp.messages import (
@@ -19,7 +19,7 @@ from repro.bgp.messages import (
     NotificationMessage,
     OpenMessage,
 )
-from repro.eventsim.simulator import Simulator
+from repro.eventsim.simulator import RearmPlan, Simulator
 from repro.eventsim.timers import PeriodicTimer, Timer
 from repro.net.asn import ASN
 from repro.net.link import Link
@@ -185,3 +185,63 @@ class Session:
     @property
     def established(self) -> bool:
         return self.state is SessionState.ESTABLISHED
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Armed timer expiries owned by this session."""
+        count = 0
+        if self._keepalive_timer is not None and self._keepalive_timer.sort_key is not None:
+            count += 1
+        if self._hold_timer is not None and self._hold_timer.running:
+            count += 1
+        return count
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        keepalive = None
+        if self._keepalive_timer is not None:
+            key = self._keepalive_timer.sort_key
+            if key is not None:
+                keepalive = {
+                    "next_fire": self._keepalive_timer.next_fire_at,
+                    "sort_key": key,
+                }
+        hold = None
+        if self._hold_timer is not None and self._hold_timer.running:
+            hold = {
+                "expires_at": self._hold_timer.expires_at,
+                "sort_key": self._hold_timer.sort_key,
+            }
+        return {"state": self.state.value, "keepalive": keepalive, "hold": hold}
+
+    def restore_state(self, state: Dict[str, Any], rearm: RearmPlan) -> None:
+        """Overwrite FSM state without firing establish/teardown callbacks.
+
+        The owning speaker restores its own RIBs separately, so the
+        ``on_session_established`` re-advertisement must not run here.
+        """
+        self.state = SessionState(state["state"])
+        keepalive = state["keepalive"]
+        if keepalive is not None:
+            timer = self._keepalive_timer
+            if timer is None:
+                raise SessionError(
+                    f"snapshot has a keepalive timer but session to "
+                    f"{self.peer_asn} runs without one"
+                )
+            rearm.add(
+                keepalive["sort_key"],
+                lambda t=timer, at=keepalive["next_fire"]: t.resume_at(at),
+            )
+        hold = state["hold"]
+        if hold is not None:
+            timer = self._hold_timer
+            if timer is None:
+                raise SessionError(
+                    f"snapshot has a hold timer but session to "
+                    f"{self.peer_asn} runs without one"
+                )
+            rearm.add(
+                hold["sort_key"],
+                lambda t=timer, at=hold["expires_at"]: t.resume_at(at),
+            )

@@ -19,7 +19,7 @@ Extension points used by the MOAS-list scheme (:mod:`repro.core`):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from repro.bgp.attributes import Community, Origin, PathAttributes
 from repro.bgp.decision import DecisionProcess
@@ -28,7 +28,7 @@ from repro.bgp.messages import Message, UpdateMessage
 from repro.bgp.policy import AcceptAllPolicy, Policy
 from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
 from repro.bgp.session import Session, SessionState
-from repro.eventsim.simulator import Simulator
+from repro.eventsim.simulator import RearmPlan, Simulator
 from repro.eventsim.timers import Timer
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN, validate_asn
@@ -581,6 +581,101 @@ class BGPSpeaker:
             )
             self._prepend_cache[base] = exported
         return exported
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Armed timer expiries owned by this speaker (MRAI + sessions)."""
+        count = sum(1 for timer in self._mrai_timers.values() if timer.running)
+        count += sum(session.pending_events() for session in self.sessions.values())
+        return count
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture the full routing process state.
+
+        Containers are copied; the entries, attributes and prefixes inside
+        them are immutable value objects and shared with the live tables.
+        The memo caches are captured too — not for correctness of routing,
+        but so a restored run's cache-hit counters (and hence its masked
+        metric snapshot) are bit-identical to the cold continuation.
+        """
+        mrai: Dict[ASN, Dict[str, Any]] = {}
+        for peer, timer in sorted(self._mrai_timers.items()):
+            if timer.running:
+                mrai[peer] = {
+                    "expires_at": timer.expires_at,
+                    "sort_key": timer.sort_key,
+                }
+        return {
+            "adj_rib_in": self.adj_rib_in.snapshot_state(),
+            "loc_rib": self.loc_rib.snapshot_state(),
+            "adj_rib_out": self.adj_rib_out.snapshot_state(),
+            "local_routes": dict(self._local_routes),
+            "pending_announce": {
+                peer: set(prefixes)
+                for peer, prefixes in self._pending_announce.items()
+            },
+            "sessions": {
+                peer: session.snapshot_state()
+                for peer, session in sorted(self.sessions.items())
+            },
+            "mrai": mrai,
+            "export_cache": dict(self._export_cache),
+            "prepend_cache": dict(self._prepend_cache),
+            "counters": {
+                "updates_received": self.updates_received,
+                "updates_sent": self.updates_sent,
+                "routes_rejected_by_policy": self.routes_rejected_by_policy,
+                "routes_rejected_by_validator": self.routes_rejected_by_validator,
+                "loops_detected": self.loops_detected,
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any], rearm: RearmPlan) -> None:
+        """Overlay a snapshot onto this speaker (built for the same graph).
+
+        Session FSM state is overwritten directly — ``on_session_established``
+        must not re-fire, because the restored Adj-RIB-Out already reflects
+        the advertisements it would trigger.
+        """
+        self.adj_rib_in.restore_state(state["adj_rib_in"])
+        self.loc_rib.restore_state(state["loc_rib"])
+        self.adj_rib_out.restore_state(state["adj_rib_out"])
+        self._local_routes = dict(state["local_routes"])
+        self._pending_announce = {
+            peer: set(prefixes)
+            for peer, prefixes in state["pending_announce"].items()
+        }
+        for peer, session_state in state["sessions"].items():
+            session = self.sessions.get(peer)
+            if session is None:
+                raise SessionError(
+                    f"snapshot has a session AS{self.asn}<->AS{peer} missing "
+                    "from the restored network"
+                )
+            session.restore_state(session_state, rearm)
+        self._mrai_timers = {}
+        for peer, info in state["mrai"].items():
+            timer = Timer(
+                self.sim,
+                self.config.mrai,
+                lambda p=peer: self._mrai_fire(p),
+                label=f"mrai->{peer}",
+            )
+            self._mrai_timers[peer] = timer
+            rearm.add(
+                info["sort_key"],
+                lambda t=timer, at=info["expires_at"]: t.resume_at(at),
+            )
+        self._established_cache = None
+        self._export_cache = dict(state["export_cache"])
+        self._prepend_cache = dict(state["prepend_cache"])
+        counters = state["counters"]
+        self.updates_received = counters["updates_received"]
+        self.updates_sent = counters["updates_sent"]
+        self.routes_rejected_by_policy = counters["routes_rejected_by_policy"]
+        self.routes_rejected_by_validator = counters["routes_rejected_by_validator"]
+        self.loops_detected = counters["loops_detected"]
 
     # -- queries ---------------------------------------------------------------------------
 

@@ -186,6 +186,7 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
     from repro.eventsim.rng import RandomStreams
     from repro.experiments.executor import execute_scenarios
     from repro.experiments.runner import (
+        AttackTiming,
         DeploymentKind,
         HijackScenario,
         run_hijack_scenario,
@@ -205,28 +206,39 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
         "partial": DeploymentKind.PARTIAL,
         "full": DeploymentKind.FULL,
     }[args.deployment]
+    timing = {
+        "simultaneous": AttackTiming.SIMULTANEOUS,
+        "post-convergence": AttackTiming.POST_CONVERGENCE,
+    }[args.timing]
     scenario = HijackScenario(
         graph=graph,
         origins=origins,
         attackers=attackers,
         deployment=deployment,
+        timing=timing,
         seed=args.seed,
     )
     if args.manifest:
         # The single-record manifest path: spec + outcome + metrics.
-        outcomes = execute_scenarios([scenario], manifest=args.manifest)
+        outcomes = execute_scenarios(
+            [scenario], manifest=args.manifest, warm_start=args.warm_start
+        )
         outcome = outcomes[0]
         print(f"manifest written: {args.manifest}")
     elif args.spans:
-        run = run_hijack_scenario_instrumented(scenario)
+        run = run_hijack_scenario_instrumented(
+            scenario, warm_start=args.warm_start
+        )
         outcome = run.outcome
     else:
-        outcome = run_hijack_scenario(scenario)
+        outcome = run_hijack_scenario(scenario, warm_start=args.warm_start)
     if args.spans:
         if args.manifest:
             # Manifest runs discard spans in the pool crossing; re-run
             # instrumented in-process for the span dump.
-            run = run_hijack_scenario_instrumented(scenario)
+            run = run_hijack_scenario_instrumented(
+                scenario, warm_start=args.warm_start
+            )
         with open(args.spans, "w", encoding="utf-8") as handle:
             json.dump(run.spans, handle, indent=2)
             handle.write("\n")
@@ -245,7 +257,7 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import DeploymentKind
+    from repro.experiments.runner import AttackTiming, DeploymentKind
     from repro.experiments.sweep import SweepConfig, run_sweep
     from repro.topology.generators import generate_paper_topology
 
@@ -255,6 +267,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "partial": DeploymentKind.PARTIAL,
         "full": DeploymentKind.FULL,
     }[args.deployment]
+    timing = {
+        "simultaneous": AttackTiming.SIMULTANEOUS,
+        "post-convergence": AttackTiming.POST_CONVERGENCE,
+    }[args.timing]
     fractions = tuple(
         float(part) for part in args.fractions.split(",") if part.strip()
     )
@@ -269,10 +285,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             attacker_fractions=fractions,
             n_origin_sets=args.origin_sets,
             n_attacker_sets=args.attacker_sets,
+            timing=timing,
             seed=args.seed,
         ),
         workers=args.workers,
         manifest=args.manifest,
+        warm_start=args.warm_start,
     )
     from repro.experiments.reporting import format_sweep_table
 
@@ -456,6 +474,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attacker fraction of ASes")
     hijack.add_argument("--deployment", choices=("none", "partial", "full"),
                         default="full")
+    hijack.add_argument(
+        "--timing", choices=("simultaneous", "post-convergence"),
+        default="simultaneous",
+        help="when the false origination is injected: racing the genuine "
+        "announcement from a cold start, or against an already-converged "
+        "prefix",
+    )
+    hijack.add_argument(
+        "--warm-start", default=None, metavar="MODE",
+        help="baseline cache: 'mem' (in-process LRU), 'disk' "
+        "(~/.cache/repro-warmstart), or a directory path; default: the "
+        "REPRO_WARMSTART env var, else off; results are identical either "
+        "way (see docs/warmstart.md)",
+    )
     hijack.add_argument("--seed", type=int, default=8)
     hijack.add_argument(
         "--manifest", default=None, metavar="PATH",
@@ -480,6 +512,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default="full")
     sweep.add_argument("--origin-sets", type=int, default=3)
     sweep.add_argument("--attacker-sets", type=int, default=5)
+    sweep.add_argument(
+        "--timing", choices=("simultaneous", "post-convergence"),
+        default="simultaneous",
+        help="attack timing for every scenario of the sweep "
+        "(post-convergence baselines are where --warm-start pays off)",
+    )
+    sweep.add_argument(
+        "--warm-start", default=None, metavar="MODE",
+        help="baseline cache: 'mem' (in-process LRU), 'disk' "
+        "(~/.cache/repro-warmstart), or a directory path; workers resolve "
+        "the mode to worker-local caches; default: the REPRO_WARMSTART env "
+        "var, else off; results are identical either way",
+    )
     sweep.add_argument("--seed", type=int, default=8)
     sweep.add_argument(
         "--workers", type=int, default=None,

@@ -58,6 +58,13 @@ class AlarmLog:
     def raise_alarm(self, alarm: Alarm) -> None:
         self._alarms.append(alarm)
 
+    def snapshot_state(self) -> List[Alarm]:
+        """Copy of the alarm list (alarms themselves are frozen/shared)."""
+        return list(self._alarms)
+
+    def restore_state(self, state: List[Alarm]) -> None:
+        self._alarms = list(state)
+
     def __len__(self) -> int:
         return len(self._alarms)
 

@@ -22,7 +22,7 @@ off-line §4.2 deployment where checking is advisory.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.speaker import BGPSpeaker
@@ -103,6 +103,33 @@ class MoasChecker:
         self.routes_suppressed += 1
         if self._m_suppressed is not None:
             self._m_suppressed.inc()
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture observed lists, verdicts and counters.
+
+        :class:`~repro.core.moas_list.MoasList` values and verdict frozensets
+        are immutable and shared; the containers are copied.
+        """
+        return {
+            "observed": {
+                prefix: set(lists) for prefix, lists in self._observed.items()
+            },
+            "verdicts": dict(self._verdicts),
+            "checks": self.checks,
+            "conflicts_detected": self.conflicts_detected,
+            "routes_suppressed": self.routes_suppressed,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._observed = {
+            prefix: set(lists) for prefix, lists in state["observed"].items()
+        }
+        self._verdicts = dict(state["verdicts"])
+        self.checks = state["checks"]
+        self.conflicts_detected = state["conflicts_detected"]
+        self.routes_suppressed = state["routes_suppressed"]
 
     # -- the import validator ----------------------------------------------------
 

@@ -31,7 +31,9 @@ class Event:
         Free-form description used by traces and ``repr``.
     """
 
-    __slots__ = ("time", "action", "priority", "label", "seq", "cancelled")
+    __slots__ = (
+        "time", "action", "priority", "label", "seq", "cancelled", "on_cancel",
+    )
 
     _seq_counter = itertools.count()
 
@@ -52,6 +54,10 @@ class Event:
         self.label = label
         self.seq: Optional[int] = None  # assigned by the queue
         self.cancelled = False
+        # Set by the queue while the event is in the heap, cleared at pop:
+        # the queue's live count must see cancellations as they happen, not
+        # at lazy-drop time, or len(queue) overcounts between the two.
+        self.on_cancel: Optional[Callable[[], None]] = None
 
     def sort_key(self) -> tuple:
         """Total-order key; valid only after the queue assigned ``seq``."""
@@ -60,8 +66,17 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it at pop time (lazy deletion)."""
+        """Mark the event so the queue skips it at pop time (lazy deletion).
+
+        Idempotent; notifies the owning queue (if any) exactly once so its
+        live count stays exact.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
+            self.on_cancel = None
 
     def fire(self) -> Any:
         """Run the action unless the event has been cancelled."""
@@ -93,6 +108,15 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def sort_key(self) -> tuple:
+        """The underlying event's ``(time, priority, seq)`` total-order key.
+
+        Snapshot code records this so a restore can re-arm pending events in
+        the exact relative order the original queue would have fired them.
+        """
+        return self._event.sort_key()
 
     def cancel(self) -> None:
         self._event.cancel()

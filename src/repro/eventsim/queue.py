@@ -34,6 +34,7 @@ class EventQueue:
             raise ValueError("event is already scheduled")
         event.seq = self._next_seq
         self._next_seq += 1
+        event.on_cancel = self.note_cancelled
         heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._live += 1
 
@@ -48,6 +49,9 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            # Out of the heap now: a later cancel() must not touch the
+            # live count again.
+            event.on_cancel = None
             return event
         return None
 
@@ -62,7 +66,10 @@ class EventQueue:
     def note_cancelled(self) -> None:
         """Adjust the live count after an in-heap event was cancelled.
 
-        Called by the simulator, which owns cancellation bookkeeping.
+        Wired into every pushed event's ``on_cancel`` hook, so ``len(queue)``
+        is exact at all times — the warm-start snapshot protocol compares it
+        against the components' own pending-event inventory and refuses to
+        capture a queue it cannot account for.
         """
         if self._live > 0:
             self._live -= 1
@@ -76,5 +83,9 @@ class EventQueue:
             yield event
 
     def clear(self) -> None:
+        # Detach cancel hooks first: a timer cancelled after a queue clear
+        # (e.g. during a snapshot restore) must not decrement the new count.
+        for _, _, _, event in self._heap:
+            event.on_cancel = None
         self._heap.clear()
         self._live = 0

@@ -47,6 +47,26 @@ class RandomStreams:
             self._streams[name] = rng
         return rng
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture every materialized stream's generator state by name.
+
+        An empty result means no randomness has been consumed yet — the
+        signal the warm-start cache uses to know a baseline is seed-free.
+        """
+        return {name: rng.getstate() for name, rng in sorted(self._streams.items())}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild streams from a :meth:`snapshot_state` capture.
+
+        Streams not present in the snapshot are dropped, so a restored
+        family draws exactly the sequence the captured one would have.
+        """
+        self._streams.clear()
+        for name, rng_state in state.items():
+            rng = random.Random()
+            rng.setstate(rng_state)  # type: ignore[arg-type]
+            self._streams[name] = rng
+
     def spawn(self, name: str) -> "RandomStreams":
         """Create a child family whose master seed is derived from ``name``.
 

@@ -8,7 +8,7 @@ never moves time backwards and refuses events scheduled in the past.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.eventsim.event import Event, EventHandle
 from repro.eventsim.queue import EventQueue
@@ -20,6 +20,44 @@ from repro.sanitize import InvariantError, sanitizer_enabled
 
 class SimulationError(RuntimeError):
     """Raised for scheduling violations and runaway simulations."""
+
+
+class SnapshotError(RuntimeError):
+    """Raised when simulation state cannot be captured or restored safely.
+
+    Typical causes: snapshotting mid-event, a live queue whose events are
+    not all accounted for by component state (a foreign ``schedule_at``
+    callback the protocol layer knows nothing about), or restoring onto a
+    network built from a different topology.
+    """
+
+
+class RearmPlan:
+    """Deferred event re-scheduling collected during a snapshot restore.
+
+    Components restore their *state* first and register an arming callback
+    for every event they had pending, keyed by the event's original
+    ``(time, priority, seq)`` sort key.  :meth:`execute` then arms them in
+    ascending original order, so the fresh sequence numbers assigned by the
+    queue ascend in exactly the captured relative order and same-time /
+    same-priority ties break identically to the cold run.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Tuple[float, int, int], Callable[[], None]]] = []
+
+    def add(self, sort_key: Tuple[float, int, int], arm: Callable[[], None]) -> None:
+        self._entries.append((tuple(sort_key), arm))
+
+    def execute(self) -> int:
+        """Arm every pending event in original queue order; returns count."""
+        self._entries.sort(key=lambda entry: entry[0])
+        for _, arm in self._entries:
+            arm()
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Simulator:
@@ -173,6 +211,43 @@ class Simulator:
         whose entries would otherwise accumulate across reused networks.
         """
         self._reset_hooks.append(hook)
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture clock, counters and RNG stream states (not the queue).
+
+        Pending events are owned by the components that scheduled them
+        (links, timers); each component captures its own and re-arms through
+        a :class:`RearmPlan` on restore.  Snapshots are only meaningful
+        between events — taking one mid-run is an error.
+        """
+        if self._running:
+            raise SnapshotError("cannot snapshot while run() is active")
+        return {
+            "now": self.now,
+            "sequence": self._sequence,
+            "events_processed": self.events_processed,
+            "rng_streams": self.random.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite clock/counters/RNG from a snapshot and clear the queue.
+
+        Callers are expected to follow up by re-arming component events via
+        a :class:`RearmPlan`; after that the simulator is indistinguishable
+        from the one that produced the snapshot.
+        """
+        if self._running:
+            raise SnapshotError("cannot restore while run() is active")
+        self.queue.clear()
+        self.now = float(state["now"])
+        self._sequence = int(state["sequence"])
+        self.events_processed = int(state["events_processed"])
+        self.random.restore_state(state["rng_streams"])
+        # The trace guard only ever relaxes backwards; restored events fire
+        # at or after the snapshot time, which is at or after zero.
+        self.trace.rewind_monotonic_guard()
 
     def reset(self) -> None:
         """Discard pending events and rewind the clock (streams are kept).

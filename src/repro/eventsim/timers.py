@@ -46,6 +46,14 @@ class Timer:
         assert self._handle is not None
         return self._handle.time
 
+    @property
+    def sort_key(self) -> Optional[tuple]:
+        """Queue sort key of the pending expiry, or None when not running."""
+        if not self.running:
+            return None
+        assert self._handle is not None
+        return self._handle.sort_key
+
     def start(self) -> None:
         if self.running:
             raise RuntimeError(f"timer {self.label!r} is already running")
@@ -61,6 +69,19 @@ class Timer:
     def restart(self) -> None:
         self.stop()
         self.start()
+
+    def resume_at(self, time: float) -> None:
+        """Re-arm at an absolute expiry time (snapshot restore path).
+
+        Unlike :meth:`start`, which measures ``duration`` from now, this
+        schedules the expiry at the exact simulation time captured in a
+        snapshot, preserving the remaining (not the full) interval.
+        """
+        if self.running:
+            raise RuntimeError(f"timer {self.label!r} is already running")
+        self._handle = self.sim.schedule_at(
+            time, self._fire, priority=1, label=self.label
+        )
 
     def _fire(self) -> None:
         self._handle = None
@@ -90,6 +111,19 @@ class PeriodicTimer:
     def running(self) -> bool:
         return not self._stopped
 
+    @property
+    def next_fire_at(self) -> Optional[float]:
+        if self._handle is None or self._handle.cancelled:
+            return None
+        return self._handle.time
+
+    @property
+    def sort_key(self) -> Optional[tuple]:
+        """Queue sort key of the pending tick, or None when not armed."""
+        if self._handle is None or self._handle.cancelled:
+            return None
+        return self._handle.sort_key
+
     def start(self) -> None:
         if not self._stopped:
             raise RuntimeError(f"periodic timer {self.label!r} is already running")
@@ -101,6 +135,15 @@ class PeriodicTimer:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    def resume_at(self, time: float) -> None:
+        """Re-arm the next tick at an absolute time (snapshot restore path)."""
+        if not self._stopped:
+            raise RuntimeError(f"periodic timer {self.label!r} is already running")
+        self._stopped = False
+        self._handle = self.sim.schedule_at(
+            time, self._fire, priority=1, label=self.label
+        )
 
     def _arm(self) -> None:
         self._handle = self.sim.schedule_after(

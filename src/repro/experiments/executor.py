@@ -26,15 +26,32 @@ Design rules, in order of priority:
 together with the manifest's ``worker`` field — the only non-deterministic
 data a run produces.  Pass ``manifest=`` to :func:`execute_scenarios` to
 emit a JSONL run manifest (see :mod:`repro.obs.manifest`).
+
+**Graph deduplication.**  A sweep's scenarios all reference the same
+:class:`~repro.topology.asgraph.ASGraph` object, but naive pickling would
+serialise one full copy of the topology *per scenario* into the pool.
+:func:`execute_scenarios` instead dedupes graphs by content digest, ships
+each distinct topology to each worker exactly once (through the pool
+initializer), and replaces the per-scenario graph with a tiny
+:class:`_GraphRef` that the worker resolves locally.
+
+**Warm starts.**  ``warm_start=`` threads a baseline-cache spec (see
+:func:`repro.warmstart.resolve_warm_start`) into every run.  On the pooled
+path the spec must be a *mode string* (or None, deferring to
+``REPRO_WARMSTART``), which each worker resolves to its own process-local
+cache — a live :class:`~repro.warmstart.WarmStartCache` object cannot
+cross the pool boundary.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import (
     Callable,
+    Dict,
     Iterable,
     List,
     Optional,
@@ -42,16 +59,21 @@ from typing import (
     Tuple,
     TypeVar,
     Union,
+    cast,
 )
 
 from repro.experiments.runner import (
     HijackOutcome,
     HijackScenario,
+    InstrumentedRun,
+    WarmStartSpec,
     run_hijack_scenario,
     run_hijack_scenario_instrumented,
     scenario_spec,
 )
 from repro.obs.manifest import ManifestRecord, ManifestWriter
+from repro.topology.asgraph import ASGraph
+from repro.warmstart import WarmStartCache
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -168,10 +190,96 @@ def parallel_map(
         return list(pool.map(call, enumerate(work), chunksize=chunksize))
 
 
+class _GraphRef:
+    """Placeholder standing in for a deduplicated topology in a pickled
+    scenario; resolved against the worker's graph table by content digest.
+
+    Module-level and slot-only: instances must pickle into pool workers.
+    """
+
+    __slots__ = ("digest",)
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+
+
+#: Worker-local graph table, populated once per worker by the pool
+#: initializer; ``_ScenarioRunner`` resolves ``_GraphRef`` against it.
+_POOL_GRAPHS: Dict[str, ASGraph] = {}
+
+
+def _init_scenario_worker(graphs: Dict[str, ASGraph]) -> None:
+    """Pool initializer: install the deduplicated graph table.
+
+    Runs once per worker process, so each distinct topology crosses the
+    pool boundary exactly once regardless of how many scenarios share it.
+    """
+    _POOL_GRAPHS.clear()
+    _POOL_GRAPHS.update(graphs)
+
+
+class _ScenarioRunner:
+    """The per-scenario work function: resolve the graph, run, warm-start.
+
+    Module-level and slot-only: instances must pickle into pool workers.
+    ``warm_spec`` is None or a mode string on the pooled path (each worker
+    resolves it to a process-local cache); a live cache object is only
+    legal serially.
+    """
+
+    __slots__ = ("instrumented", "warm_spec")
+
+    def __init__(self, instrumented: bool, warm_spec: WarmStartSpec) -> None:
+        self.instrumented = instrumented
+        self.warm_spec = warm_spec
+
+    def __call__(self, scenario: HijackScenario) -> object:
+        graph = scenario.graph
+        if isinstance(graph, _GraphRef):
+            try:
+                resolved = _POOL_GRAPHS[graph.digest]
+            except KeyError:
+                raise RuntimeError(
+                    f"worker has no graph for digest {graph.digest[:12]}…; "
+                    "pool initializer did not run or graph table is stale"
+                ) from None
+            scenario = dataclasses.replace(scenario, graph=resolved)
+        if self.instrumented:
+            return run_hijack_scenario_instrumented(
+                scenario, warm_start=self.warm_spec
+            )
+        return run_hijack_scenario(scenario, warm_start=self.warm_spec)
+
+
+def _dedupe_graphs(
+    scenarios: Sequence[HijackScenario],
+) -> Tuple[Dict[str, ASGraph], List[HijackScenario]]:
+    """One graph per content digest, plus scenarios rewritten to refs.
+
+    Graph identity is checked by ``id()`` first so the digest is computed
+    once per distinct object, then by content digest so even structurally
+    equal copies collapse to one shipped topology.
+    """
+    digest_by_id: Dict[int, str] = {}
+    graphs: Dict[str, ASGraph] = {}
+    rewritten: List[HijackScenario] = []
+    for scenario in scenarios:
+        digest = digest_by_id.get(id(scenario.graph))
+        if digest is None:
+            digest = scenario.graph.content_digest()
+            digest_by_id[id(scenario.graph)] = digest
+            graphs.setdefault(digest, scenario.graph)
+        rewritten.append(
+            dataclasses.replace(scenario, graph=_GraphRef(digest))
+        )
+    return graphs, rewritten
+
+
 def execute_scenarios(
     scenarios: Sequence[HijackScenario],
     workers: Optional[int] = None,
     manifest: Optional[Union[str, Path]] = None,
+    warm_start: WarmStartSpec = None,
 ) -> List[HijackOutcome]:
     """Run independent hijack scenarios, serially or across processes.
 
@@ -184,13 +292,44 @@ def execute_scenarios(
     is written (in submission order) to the given JSONL path.  Manifests
     from different worker counts are bit-identical after masking the
     documented timing fields.
-    """
-    if manifest is None:
-        return parallel_map(run_hijack_scenario, scenarios, workers=workers)
 
-    runs = parallel_map(
-        run_hijack_scenario_instrumented, scenarios, workers=workers
+    ``warm_start`` selects a baseline cache for every run (see
+    :func:`repro.warmstart.resolve_warm_start`).  On the pooled path each
+    worker keeps its own cache, so hits accrue as each worker re-encounters
+    a baseline it has already built.
+    """
+    count = resolve_workers(workers)
+    work: Sequence[HijackScenario] = scenarios
+    pooled = count > 1 and len(scenarios) >= 2
+    if pooled and isinstance(warm_start, WarmStartCache):
+        raise ValueError(
+            "a WarmStartCache instance cannot cross the process pool; "
+            "pass a warm-start mode string (e.g. 'mem') for workers > 1"
+        )
+    runner = _ScenarioRunner(
+        instrumented=manifest is not None, warm_spec=warm_start
     )
+    call: _AttributedCall = _AttributedCall(runner)
+
+    if not pooled:
+        results = [call((index, item)) for index, item in enumerate(work)]
+    else:
+        graphs, work = _dedupe_graphs(scenarios)
+        count = min(count, len(work))
+        chunksize = max(1, len(work) // (count * 4))
+        with ProcessPoolExecutor(
+            max_workers=count,
+            initializer=_init_scenario_worker,
+            initargs=(graphs,),
+        ) as pool:
+            results = list(
+                pool.map(call, enumerate(work), chunksize=chunksize)
+            )
+
+    if manifest is None:
+        return cast(List[HijackOutcome], results)
+
+    runs = cast(List[InstrumentedRun], results)
     with ManifestWriter(manifest) as writer:
         for index, (scenario, run) in enumerate(zip(scenarios, runs)):
             writer.write(
@@ -202,6 +341,7 @@ def execute_scenarios(
                     metrics=run.metrics,
                     worker=run.worker,
                     wall_seconds=run.outcome.wall_seconds,
+                    warm_start=run.warm_start,
                 )
             )
     return [run.outcome for run in runs]

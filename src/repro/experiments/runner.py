@@ -15,12 +15,21 @@ import random
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, ContextManager, Dict, FrozenSet, List, Optional, Sequence
+from typing import (
+    Any,
+    ContextManager,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.attack.models import AttackStrategy, NaiveFalseOrigin
 from repro.bgp.network import Network
 from repro.bgp.speaker import SpeakerConfig
-from repro.core.alarms import AlarmLog
+from repro.core.alarms import Alarm, AlarmLog
 from repro.core.checker import CheckerMode, MoasChecker
 from repro.core.deployment import DeploymentPlan
 from repro.core.moas_list import moas_communities
@@ -31,6 +40,22 @@ from repro.net.asn import ASN
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
 from repro.topology.asgraph import ASGraph
+from repro.warmstart import (
+    BaselineKey,
+    BaselineSnapshot,
+    WarmStartCache,
+    compute_baseline_key,
+    resolve_warm_start,
+    snapshot_is_seed_free,
+)
+
+#: Link propagation delay used by every harness run (the Network default,
+#: pinned here because it participates in the warm-start baseline key).
+LINK_DELAY = 0.01
+
+#: A warm-start spec: a ready cache, a mode string for
+#: :func:`repro.warmstart.resolve_warm_start`, or None (environment decides).
+WarmStartSpec = Union[None, str, WarmStartCache]
 
 
 class DeploymentKind(enum.Enum):
@@ -193,14 +218,74 @@ class InstrumentedRun:
     metrics: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     worker: int = 0
+    alarms: List[Alarm] = field(default_factory=list)
+    warm_start: Dict[str, Any] = field(default_factory=dict)
+
+
+def _deployment_plan(scenario: HijackScenario) -> DeploymentPlan:
+    """Materialise the scenario's deployment plan (PARTIAL draws from the
+    scenario seed, so the capable set is a deterministic scenario fact)."""
+    if scenario.deployment is DeploymentKind.FULL:
+        return DeploymentPlan.full(scenario.graph.asns())
+    if scenario.deployment is DeploymentKind.PARTIAL:
+        return DeploymentPlan.random_fraction(
+            scenario.graph.asns(),
+            scenario.partial_fraction,
+            random.Random(scenario.seed ^ 0x5EED),
+        )
+    return DeploymentPlan.none()
+
+
+def _originate_genuine(
+    network: Network, origins: FrozenSet[ASN], prefix: Prefix
+) -> None:
+    # Genuine origination: multiple origins agree on and attach the MOAS
+    # list; a single origin attaches nothing (§4.3: "routes that originate
+    # from a single AS need not attach a MOAS list").
+    communities = moas_communities(origins) if len(origins) > 1 else ()
+    for origin in sorted(origins):
+        network.originate(origin, prefix, communities=communities)
+
+
+def _capture_baseline(
+    network: Network,
+    checkers: Dict[ASN, MoasChecker],
+    alarm_log: AlarmLog,
+    key: BaselineKey,
+    sim: Optional[Simulator],
+) -> Optional[BaselineSnapshot]:
+    """Snapshot the converged baseline, or None if it is seed-dependent."""
+    network_state = network.snapshot_state()
+    if not snapshot_is_seed_free(network_state):
+        # The baseline key omits the scenario seed; state that consumed
+        # randomness must not be shared across seeds.
+        return None
+    metrics_state = None
+    if sim is not None and sim.metrics is not None:
+        metrics_state = sim.metrics.snapshot()
+    return BaselineSnapshot(
+        key_digest=key.digest(),
+        network=network_state,
+        checkers={asn: checkers[asn].snapshot_state() for asn in sorted(checkers)},
+        alarms=alarm_log.snapshot_state(),
+        metrics=metrics_state,
+    )
 
 
 def _execute_scenario(
     scenario: HijackScenario,
     sim: Optional[Simulator] = None,
     tracer: Optional[SpanTracer] = None,
+    warm: Optional[WarmStartCache] = None,
+    artifacts: Optional[Dict[str, Any]] = None,
 ) -> HijackOutcome:
-    """The run itself; ``sim``/``tracer`` are None on the plain path."""
+    """The run itself; ``sim``/``tracer`` are None on the plain path.
+
+    With ``warm`` set, the pre-attack baseline is looked up in (and on a
+    miss, captured into) the cache.  ``artifacts``, when given, receives
+    the run's alarm log and warm-start attribution for the instrumented
+    wrapper — the returned outcome is identical either way.
+    """
     # wall_seconds is the one documented nondeterministic outcome field: it
     # measures this process, not the simulated system.
     started = time.perf_counter()  # repro-lint: disable=R002
@@ -216,43 +301,86 @@ def _execute_scenario(
     registry.register(prefix, origins)
     oracle = GroundTruthOracle(registry)
     alarm_log = AlarmLog()
+    plan = _deployment_plan(scenario)
+    config = SpeakerConfig(mrai=0.0)
+    instrumented = sim is not None and sim.metrics is not None
 
-    with span("topology_build"):
-        network = Network(
-            scenario.graph,
-            sim=sim,
-            config=SpeakerConfig(mrai=0.0),
-            seed=scenario.seed,
+    warm_info: Dict[str, Any] = {
+        "enabled": warm is not None,
+        "hit": False,
+        "key": None,
+        "restore_seconds": 0.0,
+    }
+    key: Optional[BaselineKey] = None
+    cached: Optional[BaselineSnapshot] = None
+    if warm is not None:
+        key = compute_baseline_key(
+            scenario, plan.capable, config, LINK_DELAY, instrumented
         )
+        warm_info["key"] = key.digest()
+        cached = warm.get(key)
 
-        if scenario.deployment is DeploymentKind.FULL:
-            plan = DeploymentPlan.full(scenario.graph.asns())
-        elif scenario.deployment is DeploymentKind.PARTIAL:
-            plan = DeploymentPlan.random_fraction(
-                scenario.graph.asns(),
-                scenario.partial_fraction,
-                random.Random(scenario.seed ^ 0x5EED),
+    if cached is not None:
+        assert warm is not None
+        restore_started = time.perf_counter()  # repro-lint: disable=R002
+        with span("baseline_restore"):
+            network = Network(
+                scenario.graph,
+                sim=sim,
+                config=config,
+                link_delay=LINK_DELAY,
+                seed=scenario.seed,
             )
-        else:
-            plan = DeploymentPlan.none()
+            checkers: Dict[ASN, MoasChecker] = plan.apply(
+                network,
+                oracle,
+                mode=scenario.checker_mode,
+                shared_alarm_log=alarm_log,
+            )
+            network.restore_state(cached.network)
+            for asn in sorted(cached.checkers):
+                checkers[asn].restore_state(cached.checkers[asn])
+            alarm_log.restore_state(cached.alarms)
+            if instrumented and cached.metrics is not None:
+                assert sim is not None and sim.metrics is not None
+                sim.metrics.restore_snapshot(cached.metrics)
+        restore_seconds = time.perf_counter() - restore_started  # repro-lint: disable=R002
+        warm.observe_restore_seconds(restore_seconds)
+        warm_info["hit"] = True
+        warm_info["restore_seconds"] = restore_seconds
+    else:
+        with span("topology_build"):
+            network = Network(
+                scenario.graph,
+                sim=sim,
+                config=config,
+                link_delay=LINK_DELAY,
+                seed=scenario.seed,
+            )
+            checkers = plan.apply(
+                network,
+                oracle,
+                mode=scenario.checker_mode,
+                shared_alarm_log=alarm_log,
+            )
+        with span("establish_sessions"):
+            network.establish_sessions()
+        if scenario.timing is AttackTiming.POST_CONVERGENCE:
+            with span("origination"):
+                _originate_genuine(network, origins, prefix)
+            with span("initial_convergence"):
+                network.run_to_convergence()
+        if warm is not None:
+            assert key is not None
+            baseline = _capture_baseline(network, checkers, alarm_log, key, sim)
+            if baseline is None:
+                warm.note_uncacheable()
+            else:
+                warm.put(key, baseline)
 
-        checkers: Dict[ASN, MoasChecker] = plan.apply(
-            network, oracle, mode=scenario.checker_mode, shared_alarm_log=alarm_log
-        )
-
-    with span("establish_sessions"):
-        network.establish_sessions()
-
-    # Genuine origination: multiple origins agree on and attach the MOAS
-    # list; a single origin attaches nothing (§4.3: "routes that originate
-    # from a single AS need not attach a MOAS list").
-    with span("origination"):
-        communities = moas_communities(origins) if len(origins) > 1 else ()
-        for origin in sorted(origins):
-            network.originate(origin, prefix, communities=communities)
-    if scenario.timing is AttackTiming.POST_CONVERGENCE:
-        with span("initial_convergence"):
-            network.run_to_convergence()
+    if scenario.timing is AttackTiming.SIMULTANEOUS:
+        with span("origination"):
+            _originate_genuine(network, origins, prefix)
 
     with span("fault_injection"):
         for attacker in sorted(attackers):
@@ -269,6 +397,9 @@ def _execute_scenario(
             if asn not in attackers and best_origin in attackers
         )
     n_remaining = len(scenario.graph) - len(attackers)
+    if artifacts is not None:
+        artifacts["alarm_log"] = alarm_log
+        artifacts["warm_info"] = warm_info
     return HijackOutcome(
         poisoned=poisoned,
         n_remaining=n_remaining,
@@ -281,12 +412,23 @@ def _execute_scenario(
     )
 
 
-def run_hijack_scenario(scenario: HijackScenario) -> HijackOutcome:
-    """Execute one run and measure false-route adoption."""
-    return _execute_scenario(scenario)
+def run_hijack_scenario(
+    scenario: HijackScenario, warm_start: WarmStartSpec = None
+) -> HijackOutcome:
+    """Execute one run and measure false-route adoption.
+
+    ``warm_start`` selects a baseline cache (see
+    :func:`repro.warmstart.resolve_warm_start`); the default None defers to
+    the ``REPRO_WARMSTART`` environment variable.  Warm or cold, the
+    outcome is bit-identical (timing fields aside).
+    """
+    warm = resolve_warm_start(warm_start)
+    return _execute_scenario(scenario, warm=warm)
 
 
-def run_hijack_scenario_instrumented(scenario: HijackScenario) -> InstrumentedRun:
+def run_hijack_scenario_instrumented(
+    scenario: HijackScenario, warm_start: WarmStartSpec = None
+) -> InstrumentedRun:
     """Execute one run with metrics and phase spans enabled.
 
     The simulated behaviour — and therefore the outcome and the metric
@@ -294,13 +436,20 @@ def run_hijack_scenario_instrumented(scenario: HijackScenario) -> InstrumentedRu
     instrumentation only observes.  Module-level and single-argument, so
     the executor can fan it out across the process pool.
     """
+    warm = resolve_warm_start(warm_start)
     metrics = MetricsRegistry()
     sim = Simulator(seed=scenario.seed, metrics=metrics)
     tracer = SpanTracer(clock=lambda: sim.now)
-    outcome = _execute_scenario(scenario, sim=sim, tracer=tracer)
+    artifacts: Dict[str, Any] = {}
+    outcome = _execute_scenario(
+        scenario, sim=sim, tracer=tracer, warm=warm, artifacts=artifacts
+    )
+    alarm_log: AlarmLog = artifacts["alarm_log"]
     return InstrumentedRun(
         outcome=outcome,
         metrics=metrics.snapshot(),
         spans=tracer.as_dicts(),
         worker=os.getpid(),
+        alarms=alarm_log.all(),
+        warm_start=artifacts["warm_info"],
     )

@@ -20,7 +20,12 @@ from repro.attack.placement import place_attackers, place_origins
 from repro.core.checker import CheckerMode
 from repro.eventsim.rng import RandomStreams
 from repro.experiments.executor import execute_scenarios
-from repro.experiments.runner import DeploymentKind, HijackScenario
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+    WarmStartSpec,
+)
 from repro.topology.asgraph import ASGraph
 
 #: The attacker fractions swept in Figures 9-11 (x-axis, as fractions).
@@ -42,6 +47,7 @@ class SweepConfig:
     n_attacker_sets: int = 5
     strategy: AttackStrategy = field(default_factory=NaiveFalseOrigin)
     checker_mode: CheckerMode = CheckerMode.DETECT_AND_SUPPRESS
+    timing: AttackTiming = AttackTiming.SIMULTANEOUS
     seed: int = 0
 
 
@@ -120,6 +126,7 @@ def build_sweep_scenarios(
                         partial_fraction=config.partial_fraction,
                         strategy=config.strategy,
                         checker_mode=config.checker_mode,
+                        timing=config.timing,
                         seed=config.seed
                         + 7919 * origin_set_index
                         + 104729 * attacker_set_index,
@@ -133,6 +140,7 @@ def run_sweep(
     config: SweepConfig,
     workers: Optional[int] = None,
     manifest: Optional[str] = None,
+    warm_start: WarmStartSpec = None,
 ) -> SweepResult:
     """Run one curve: every attacker fraction, 15 runs each.
 
@@ -141,6 +149,10 @@ def run_sweep(
     :class:`SweepPoint` values are bit-identical to a serial run.
     ``manifest`` additionally writes one JSONL record per scenario (spec,
     seed, outcome, metric snapshot, worker id) to the given path.
+    ``warm_start`` enables the baseline cache
+    (:mod:`repro.warmstart`) — the sweep's repeated (topology, origin-set,
+    deployment) baselines are then built once and restored thereafter,
+    with results guaranteed identical to a cold run.
     """
     result = SweepResult(
         deployment=config.deployment,
@@ -153,7 +165,9 @@ def run_sweep(
     # fraction-at-a-time, and order-preserving collection keeps aggregation
     # identical to the serial loop.
     flat = [s for _, _, scenarios in per_fraction for s in scenarios]
-    all_outcomes = execute_scenarios(flat, workers=workers, manifest=manifest)
+    all_outcomes = execute_scenarios(
+        flat, workers=workers, manifest=manifest, warm_start=warm_start
+    )
 
     cursor = 0
     for fraction, n_attackers, scenarios in per_fraction:

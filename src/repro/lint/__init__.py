@@ -23,6 +23,11 @@ package turns those conventions into machine-checked rules:
 * **R006** — no ``time.sleep`` in library code: blocking on the real clock
   makes services untestable and nondeterministic; take an injectable
   sleeper/clock the way :mod:`repro.stream.service` does.
+* **R007** — no ``copy.deepcopy`` in library code: it walks the object
+  graph generically, aliases shared immutables unpredictably, and hides
+  what state actually got captured; implement the explicit
+  ``snapshot_state``/``restore_state`` protocol the way
+  :mod:`repro.warmstart` does.
 
 Violations are suppressed per line with ``# repro-lint: disable=R001`` (or
 ``disable=all``).  Run as ``python -m repro.lint src/repro`` or via the

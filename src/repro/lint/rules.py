@@ -1,6 +1,6 @@
 """The AST checker behind repro-lint.
 
-One :class:`_FileChecker` pass per file implements rules R001-R006 (see
+One :class:`_FileChecker` pass per file implements rules R001-R007 (see
 :data:`RULES`).  The checker is deliberately repo-specific: it knows the
 project's seeded-stream discipline, which callables fan work out to the
 process pool, and which modules hold the immutable value classes that cross
@@ -33,6 +33,10 @@ RULES: Dict[str, str] = {
     "__getstate__)",
     "R006": "time.sleep in library code (blocks on the real clock; take an "
     "injectable sleeper/clock the way repro.stream.service does)",
+    "R007": "copy.deepcopy in library code (walks the object graph "
+    "generically and aliases shared immutables unpredictably; implement the "
+    "explicit snapshot_state/restore_state protocol the way repro.warmstart "
+    "does)",
 }
 
 #: ``random`` module functions that draw from the implicit global state.
@@ -209,6 +213,9 @@ class _FileChecker(ast.NodeVisitor):
         self._uuid_aliases: Set[str] = set()
         self._secrets_aliases: Set[str] = set()
         self._datetime_module_aliases: Set[str] = set()
+        self._copy_aliases: Set[str] = set()
+        # Names bound by ``from copy import deepcopy`` (R007 on call sites).
+        self._deepcopy_names: Set[str] = set()
         # Names bound by ``from datetime import datetime/date``.
         self._datetime_class_names: Set[str] = set()
         # Names of bad functions imported directly (``from time import time``),
@@ -321,6 +328,8 @@ class _FileChecker(ast.NodeVisitor):
                 self._report(node, "R002", "import of secrets (nondeterministic)")
             elif alias.name == "datetime":
                 self._datetime_module_aliases.add(bound)
+            elif alias.name == "copy":
+                self._copy_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -354,6 +363,14 @@ class _FileChecker(ast.NodeVisitor):
                 self._report(node, "R002", "import from secrets (nondeterministic)")
             elif module == "datetime" and alias.name in {"datetime", "date"}:
                 self._datetime_class_names.add(bound)
+            elif module == "copy" and alias.name == "deepcopy":
+                self._deepcopy_names.add(bound)
+                self._report(
+                    node,
+                    "R007",
+                    "from copy import deepcopy; state capture must go through "
+                    "the explicit snapshot_state/restore_state protocol",
+                )
         self.generic_visit(node)
 
     # -- scopes ------------------------------------------------------------
@@ -493,6 +510,25 @@ class _FileChecker(ast.NodeVisitor):
 
     def _check_nondeterministic_call(self, node: ast.Call, dotted: str) -> None:
         head, _, rest = dotted.partition(".")
+
+        if head in self._deepcopy_names and not rest:
+            self._report(
+                node,
+                "R007",
+                "deepcopy() walks the object graph generically; implement "
+                "snapshot_state/restore_state (see repro.warmstart) instead",
+            )
+            return
+
+        if head in self._copy_aliases and rest == "deepcopy":
+            self._report(
+                node,
+                "R007",
+                "copy.deepcopy() walks the object graph generically; "
+                "implement snapshot_state/restore_state (see repro.warmstart) "
+                "instead",
+            )
+            return
 
         if head in self._direct_bad_calls and not rest:
             dotted_name, rule = self._direct_bad_calls[head]

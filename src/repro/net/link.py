@@ -9,9 +9,10 @@ construction (same delay, deterministic event ordering).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
-from repro.eventsim.simulator import Simulator
+from repro.eventsim.event import EventHandle
+from repro.eventsim.simulator import RearmPlan, Simulator
 
 
 class LinkState(enum.Enum):
@@ -46,6 +47,11 @@ class Link:
         self._epoch = 0  # bumped on failure; in-flight messages check it
         self.messages_sent = 0
         self.messages_dropped = 0
+        # Messages queued but not yet delivered, keyed by a per-link token.
+        # Tracking them is what makes link state snapshottable: a restore
+        # re-schedules exactly these deliveries at their original times.
+        self._in_flight: Dict[int, Tuple[Any, Any, int, EventHandle]] = {}
+        self._flight_seq = 0
         # Delivery labels are per-direction constants; formatting them per
         # message showed up in profiles of large convergence runs.
         self._labels = {a: f"deliver {a}->{b}", b: f"deliver {b}->{a}"}
@@ -79,21 +85,34 @@ class Link:
             return False
         epoch = self._epoch
         self.messages_sent += 1
-
-        def deliver() -> None:
-            # A failure between send and delivery loses the message.
-            if self.state is LinkState.DOWN or self._epoch != epoch:
-                self.messages_dropped += 1
-                return
-            receiver = self._receivers.get(destination)
-            if receiver is None:
-                raise RuntimeError(
-                    f"no receiver attached at {destination!r} on {self!r}"
-                )
-            receiver(sender, message)
-
-        self.sim.schedule_after(self.delay, deliver, label=self._labels[sender])
+        self._schedule_delivery(sender, message, epoch, self.sim.now + self.delay)
         return True
+
+    def _schedule_delivery(
+        self, sender: Any, message: Any, epoch: int, time: float
+    ) -> None:
+        token = self._flight_seq
+        self._flight_seq += 1
+        handle = self.sim.schedule_at(
+            time,
+            lambda: self._deliver(sender, message, epoch, token),
+            label=self._labels[sender],
+        )
+        self._in_flight[token] = (sender, message, epoch, handle)
+
+    def _deliver(self, sender: Any, message: Any, epoch: int, token: int) -> None:
+        self._in_flight.pop(token, None)
+        # A failure between send and delivery loses the message.
+        if self.state is LinkState.DOWN or self._epoch != epoch:
+            self.messages_dropped += 1
+            return
+        destination = self.other_end(sender)
+        receiver = self._receivers.get(destination)
+        if receiver is None:
+            raise RuntimeError(
+                f"no receiver attached at {destination!r} on {self!r}"
+            )
+        receiver(sender, message)
 
     def fail(self) -> None:
         """Take the link down, losing messages in flight."""
@@ -102,6 +121,51 @@ class Link:
 
     def restore(self) -> None:
         self.state = LinkState.UP
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Live scheduled deliveries (the link's share of the event queue)."""
+        return sum(
+            1 for (_, _, _, handle) in self._in_flight.values() if not handle.cancelled
+        )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        in_flight: List[Dict[str, Any]] = []
+        for token in sorted(self._in_flight):
+            sender, message, epoch, handle = self._in_flight[token]
+            if handle.cancelled:
+                continue
+            in_flight.append(
+                {
+                    "sender": sender,
+                    "message": message,
+                    "epoch": epoch,
+                    "time": handle.time,
+                    "sort_key": handle.sort_key,
+                }
+            )
+        return {
+            "state": self.state.value,
+            "epoch": self._epoch,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "in_flight": in_flight,
+        }
+
+    def restore_state(self, state: Dict[str, Any], rearm: RearmPlan) -> None:
+        self.state = LinkState(state["state"])
+        self._epoch = int(state["epoch"])
+        self.messages_sent = int(state["messages_sent"])
+        self.messages_dropped = int(state["messages_dropped"])
+        self._in_flight.clear()
+        for flight in state["in_flight"]:
+            rearm.add(
+                flight["sort_key"],
+                lambda f=flight: self._schedule_delivery(
+                    f["sender"], f["message"], f["epoch"], f["time"]
+                ),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.a!r}<->{self.b!r}, {self.state.value})"

@@ -33,9 +33,20 @@ from typing import Any, Dict, List, Sequence, Tuple, Union
 #: Keys holding measurements of the harness process rather than the
 #: simulated system.  Masked before any equality comparison.
 #: ``checkpoint_seconds`` is the stream service's durability cost — wall
-#: time spent flushing alarms and writing checkpoints.
+#: time spent flushing alarms and writing checkpoints.  ``warm_start`` and
+#: ``restore_seconds`` describe how a run was *executed* (cold vs. from a
+#: warm-start baseline), never what it computed, so a cold manifest and a
+#: warm one of the same scenario list must compare equal — that is the
+#: warm-start safety property the ``warm-smoke`` CI job pins down.
 TIMING_KEYS = frozenset(
-    {"wall_seconds", "worker", "events_per_sec", "checkpoint_seconds"}
+    {
+        "wall_seconds",
+        "worker",
+        "events_per_sec",
+        "checkpoint_seconds",
+        "warm_start",
+        "restore_seconds",
+    }
 )
 
 JsonDict = Dict[str, Any]
@@ -52,6 +63,7 @@ class ManifestRecord:
     metrics: JsonDict = field(default_factory=dict)
     worker: Union[int, str] = 0
     wall_seconds: float = 0.0
+    warm_start: JsonDict = field(default_factory=dict)
 
     def to_dict(self) -> JsonDict:
         return {
@@ -62,6 +74,7 @@ class ManifestRecord:
             "metrics": self.metrics,
             "worker": self.worker,
             "wall_seconds": self.wall_seconds,
+            "warm_start": self.warm_start,
         }
 
     @classmethod
@@ -74,6 +87,7 @@ class ManifestRecord:
             metrics=dict(data.get("metrics", {})),
             worker=data.get("worker", 0),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
+            warm_start=dict(data.get("warm_start", {})),
         )
 
     def to_json_line(self) -> str:

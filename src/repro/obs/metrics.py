@@ -24,7 +24,7 @@ beyond that attribute check.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 SnapshotValue = Union[int, float, Dict[str, Union[int, float, List[int]]]]
 
@@ -52,6 +52,12 @@ class Counter:
     def snapshot(self) -> int:
         return self.value
 
+    def restore(self, value: int) -> None:
+        """Overwrite from a :meth:`snapshot` value (warm-start restore)."""
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot be negative ({value})")
+        self.value = int(value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {self.value})"
 
@@ -75,6 +81,20 @@ class Gauge:
 
     def snapshot(self) -> Dict[str, Union[int, float, List[int]]]:
         return {"value": self.value, "max": self.max_value}
+
+    def restore(self, snap: Dict[str, Union[int, float, List[int]]]) -> None:
+        """Overwrite from a :meth:`snapshot` dict (warm-start restore).
+
+        Marks the gauge as written: subsequent max tracking continues from
+        the restored maximum rather than re-initialising.
+        """
+        value = snap["value"]
+        max_value = snap["max"]
+        if isinstance(value, list) or isinstance(max_value, list):
+            raise TypeError(f"gauge {self.name!r} snapshot fields must be scalar")
+        self.value = float(value)
+        self.max_value = float(max_value)
+        self._written = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name!r}, {self.value}, max={self.max_value})"
@@ -125,6 +145,24 @@ class Histogram:
             "sum": self.total,
             "buckets": list(self.bucket_counts),
         }
+
+    def restore(self, snap: Dict[str, Union[int, float, List[int]]]) -> None:
+        """Overwrite from a :meth:`snapshot` dict (warm-start restore)."""
+        buckets = snap["buckets"]
+        count = snap["count"]
+        total = snap["sum"]
+        if not isinstance(buckets, list):
+            raise TypeError(f"histogram {self.name!r} snapshot lacks buckets")
+        if isinstance(count, list) or isinstance(total, list):
+            raise TypeError(f"histogram {self.name!r} snapshot fields must be scalar")
+        if len(buckets) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram {self.name!r} snapshot has {len(buckets)} buckets, "
+                f"instrument has {len(self.bucket_counts)}"
+            )
+        self.bucket_counts = [int(b) for b in buckets]
+        self.count = int(count)
+        self.total = float(total)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.2f})"
@@ -205,3 +243,19 @@ class MetricsRegistry:
         flows through instruments — deterministic for a deterministic run.
         """
         return {name: inst.snapshot() for name, inst in self.instruments()}
+
+    def restore_snapshot(self, snapshot: Mapping[str, SnapshotValue]) -> None:
+        """Overwrite instrument values from a :meth:`snapshot` capture.
+
+        Instruments are created on demand (histograms with default bounds),
+        but in the warm-start path every name already exists — components
+        register their instruments at construction, before the restore runs.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                if "buckets" in value:
+                    self.histogram(name).restore(value)
+                else:
+                    self.gauge(name).restore(value)
+            else:
+                self.counter(name).restore(int(value))

@@ -9,6 +9,7 @@ procedure and attacker-placement discussion.
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
@@ -26,6 +27,11 @@ class ASGraph:
 
     def __init__(self) -> None:
         self._graph = nx.Graph()
+        # Content-digest cache, invalidated by bumping the mutation counter
+        # in every mutator below.
+        self._mutations = 0
+        self._digest: Optional[str] = None
+        self._digest_mutations = -1
 
     # -- construction ------------------------------------------------------
 
@@ -50,6 +56,7 @@ class ASGraph:
     def add_as(self, asn: ASN, role: ASRole = ASRole.STUB) -> None:
         validate_asn(asn)
         self._graph.add_node(asn, role=role)
+        self._mutations += 1
 
     def add_link(self, a: ASN, b: ASN) -> None:
         validate_asn(a)
@@ -60,16 +67,38 @@ class ASGraph:
             if asn not in self._graph:
                 self._graph.add_node(asn, role=ASRole.STUB)
         self._graph.add_edge(a, b)
+        self._mutations += 1
 
     def remove_as(self, asn: ASN) -> None:
         if asn not in self._graph:
             raise KeyError(f"AS{asn} not in graph")
         self._graph.remove_node(asn)
+        self._mutations += 1
 
     def set_role(self, asn: ASN, role: ASRole) -> None:
         if asn not in self._graph:
             raise KeyError(f"AS{asn} not in graph")
         self._graph.nodes[asn]["role"] = role
+        self._mutations += 1
+
+    def content_digest(self) -> str:
+        """A stable SHA-256 over the sorted node/role and edge sets.
+
+        Two graphs with identical ASes, roles and links share a digest no
+        matter how they were constructed, which is what makes the digest
+        usable as a warm-start cache key and an executor dedupe key.  The
+        digest is cached per instance and recomputed after any mutation.
+        """
+        if self._digest is not None and self._digest_mutations == self._mutations:
+            return self._digest
+        hasher = hashlib.sha256()
+        for asn in self.asns():
+            hasher.update(f"n {asn} {self.role(asn).value}\n".encode("ascii"))
+        for a, b in self.edges():
+            hasher.update(f"e {a} {b}\n".encode("ascii"))
+        self._digest = hasher.hexdigest()
+        self._digest_mutations = self._mutations
+        return self._digest
 
     # -- queries -------------------------------------------------------------
 

@@ -1,0 +1,52 @@
+"""Warm-start convergence cache.
+
+The paper's figures are built from hundreds of hijack scenarios that share
+one topology and differ only in attacker placement and seed — yet a cold
+run rebuilds the network, re-establishes every session and re-runs initial
+convergence each time.  This package amortises that: the *baseline* (the
+converged pre-attack state) is captured once per distinct
+``(graph, origins, deployment, checker mode, speaker config, timing)``
+combination and every later scenario forks from the snapshot.
+
+Two halves:
+
+* :mod:`repro.warmstart.baseline` — the content-addressed
+  :class:`~repro.warmstart.baseline.BaselineKey`, the captured
+  :class:`~repro.warmstart.baseline.BaselineSnapshot`, and the key
+  derivation from a scenario;
+* :mod:`repro.warmstart.cache` — the in-process LRU with optional on-disk
+  spill (:class:`~repro.warmstart.cache.WarmStartCache`) and the
+  ``REPRO_WARMSTART`` environment resolution.
+
+The safety property the tests pin down: a warm-started run's outcome,
+alarm log and metric snapshot (timing keys masked) are bit-identical to
+the cold run's, on every deployment kind and both attack timings.  See
+``docs/warmstart.md`` for the protocol and the conditions under which the
+property holds.
+"""
+
+from repro.warmstart.baseline import (
+    SNAPSHOT_FORMAT,
+    BaselineKey,
+    BaselineSnapshot,
+    compute_baseline_key,
+    snapshot_is_seed_free,
+)
+from repro.warmstart.cache import (
+    DEFAULT_CACHE_DIR,
+    WARMSTART_ENV_VAR,
+    WarmStartCache,
+    resolve_warm_start,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "BaselineKey",
+    "BaselineSnapshot",
+    "compute_baseline_key",
+    "snapshot_is_seed_free",
+    "DEFAULT_CACHE_DIR",
+    "WARMSTART_ENV_VAR",
+    "WarmStartCache",
+    "resolve_warm_start",
+]

@@ -1,0 +1,146 @@
+"""Baseline keys and snapshots.
+
+A *baseline* is everything about a hijack scenario that happens before the
+attack: topology build, session establishment and (for post-convergence
+timing) initial convergence.  Scenarios that agree on the inputs below
+share a baseline bit-for-bit, so the converged state can be captured once
+and restored for each of them:
+
+* the topology (content digest over nodes, roles and edges);
+* the genuine origin set and target prefix;
+* the deployment plan (kind plus the exact capable-AS set — a PARTIAL
+  plan is drawn from the scenario seed, so two PARTIAL scenarios share a
+  baseline only when they drew the same capable set);
+* the checker mode and attack timing;
+* the speaker configuration and link delay;
+* whether the run is instrumented (metric registration changes captured
+  counter state, so instrumented and plain baselines must not mix).
+
+The scenario *seed* is deliberately absent: with MRAI disabled and no
+jitter the baseline consumes no randomness, and
+:func:`snapshot_is_seed_free` verifies that before a snapshot may be
+cached.  A baseline that did touch its RNG streams is seed-dependent and
+is refused (counted as uncacheable) rather than silently shared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.alarms import Alarm
+from repro.net.asn import ASN
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
+    from repro.bgp.speaker import SpeakerConfig
+    from repro.experiments.runner import HijackScenario
+
+#: Bump whenever the captured state layout changes; on-disk entries with a
+#: different format are treated as cache misses.
+SNAPSHOT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class BaselineKey:
+    """Content address of one baseline.  All fields are scalars."""
+
+    graph_digest: str
+    prefix: str
+    origins: Tuple[ASN, ...]
+    deployment: str
+    capable_digest: str
+    checker_mode: str
+    timing: str
+    mrai: float
+    hold_time: float
+    med_across_peers: bool
+    prefer_oldest: bool
+    link_delay: float
+    instrumented: bool
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the key (cache file name / LRU key)."""
+        parts = [
+            f"format={SNAPSHOT_FORMAT}",
+            f"graph={self.graph_digest}",
+            f"prefix={self.prefix}",
+            "origins=" + ",".join(str(origin) for origin in self.origins),
+            f"deployment={self.deployment}",
+            f"capable={self.capable_digest}",
+            f"checker_mode={self.checker_mode}",
+            f"timing={self.timing}",
+            f"mrai={self.mrai!r}",
+            f"hold_time={self.hold_time!r}",
+            f"med_across_peers={self.med_across_peers}",
+            f"prefer_oldest={self.prefer_oldest}",
+            f"link_delay={self.link_delay!r}",
+            f"instrumented={self.instrumented}",
+        ]
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def _capable_digest(capable: FrozenSet[ASN]) -> str:
+    payload = ",".join(str(asn) for asn in sorted(capable))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def compute_baseline_key(
+    scenario: "HijackScenario",
+    capable: FrozenSet[ASN],
+    config: "SpeakerConfig",
+    link_delay: float,
+    instrumented: bool,
+) -> BaselineKey:
+    """Derive the baseline key for ``scenario`` under ``config``.
+
+    ``capable`` is the resolved deployment plan's capable set — passed
+    explicitly (rather than re-derived from the deployment kind) so the
+    key pins the *materialised* plan, including the seed-drawn PARTIAL
+    sample.
+    """
+    return BaselineKey(
+        graph_digest=scenario.graph.content_digest(),
+        prefix=str(scenario.prefix),
+        origins=tuple(sorted(scenario.origins)),
+        deployment=scenario.deployment.value,
+        capable_digest=_capable_digest(capable),
+        checker_mode=scenario.checker_mode.value,
+        timing=scenario.timing.value,
+        mrai=config.mrai,
+        hold_time=config.hold_time,
+        med_across_peers=config.med_across_peers,
+        prefer_oldest=config.prefer_oldest,
+        link_delay=link_delay,
+        instrumented=instrumented,
+    )
+
+
+@dataclass
+class BaselineSnapshot:
+    """One captured baseline: network state, checker state, alarms, metrics.
+
+    The container dicts are produced by the per-class ``snapshot_state``
+    protocol (explicit capture, no ``copy.deepcopy``); the value objects
+    inside them are immutable and shared, which keeps in-process restores
+    cheap and lets one ``pickle.dumps`` call preserve shared identity for
+    the on-disk cache.
+    """
+
+    key_digest: str
+    network: Dict[str, Any]
+    checkers: Dict[ASN, Dict[str, Any]]
+    alarms: List[Alarm]
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def snapshot_is_seed_free(network_state: Dict[str, Any]) -> bool:
+    """True when the captured baseline consumed no simulator randomness.
+
+    The baseline key omits the scenario seed, so a snapshot may only be
+    cached if its RNG streams were never materialised — otherwise two
+    scenarios differing only in seed would share state they should not.
+    """
+    sim_state = network_state.get("sim", {})
+    streams = sim_state.get("rng_streams", {})
+    return not streams

@@ -1,0 +1,213 @@
+"""The warm-start cache: in-process LRU with optional on-disk spill.
+
+One :class:`WarmStartCache` holds recently used
+:class:`~repro.warmstart.baseline.BaselineSnapshot` objects keyed by their
+:class:`~repro.warmstart.baseline.BaselineKey` digest.  The in-process
+tier is a small LRU (baselines for big topologies are the dominant memory
+cost of a sweep); the optional disk tier under ``~/.cache/repro-warmstart``
+persists baselines across processes and sweeps.
+
+Resolution (:func:`resolve_warm_start`) follows the ``REPRO_WARMSTART``
+environment variable so pool workers inherit the caller's choice the same
+way ``REPRO_SANITIZE`` propagates:
+
+* unset / ``""`` / ``0`` / ``off`` — disabled;
+* ``1`` / ``on`` / ``mem`` — in-process LRU only;
+* ``disk`` — LRU plus the default on-disk directory;
+* any other value — LRU plus a disk directory at that path.
+
+The cache owns a *private* :class:`~repro.obs.metrics.MetricsRegistry` for
+its instruments (``warmstart.hits``, ``warmstart.misses``,
+``warmstart.disk_hits``, ``warmstart.puts``, ``warmstart.evictions``,
+``warmstart.uncacheable``, ``warmstart.restore_seconds``).  They are
+deliberately not written into per-run registries: restore time is wall
+clock, and a run's metric snapshot must stay bit-identical between warm
+and cold runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, SnapshotValue
+from repro.warmstart.baseline import SNAPSHOT_FORMAT, BaselineKey, BaselineSnapshot
+
+WARMSTART_ENV_VAR = "REPRO_WARMSTART"
+DEFAULT_CACHE_DIR = Path("~/.cache/repro-warmstart")
+
+#: Restore times are milliseconds-scale; the default queue-depth buckets
+#: would lump everything into the first bin.
+_RESTORE_SECONDS_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+_DISABLED_VALUES = frozenset({"", "0", "off", "false", "no", "none"})
+_MEMORY_VALUES = frozenset({"1", "on", "true", "yes", "mem", "memory"})
+
+
+class WarmStartCache:
+    """LRU of baseline snapshots, optionally backed by a disk directory."""
+
+    def __init__(
+        self, capacity: int = 8, disk_dir: Optional[Union[str, Path]] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
+        self._entries: "OrderedDict[str, BaselineSnapshot]" = OrderedDict()
+        self.metrics = MetricsRegistry()
+        self._m_hits = self.metrics.counter("warmstart.hits")
+        self._m_misses = self.metrics.counter("warmstart.misses")
+        self._m_disk_hits = self.metrics.counter("warmstart.disk_hits")
+        self._m_puts = self.metrics.counter("warmstart.puts")
+        self._m_evictions = self.metrics.counter("warmstart.evictions")
+        self._m_uncacheable = self.metrics.counter("warmstart.uncacheable")
+        self._m_restore_seconds = self.metrics.histogram(
+            "warmstart.restore_seconds", bounds=_RESTORE_SECONDS_BUCKETS
+        )
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, key: BaselineKey) -> Optional[BaselineSnapshot]:
+        """The snapshot for ``key``, or None (counted as hit or miss)."""
+        digest = key.digest()
+        snapshot = self._entries.get(digest)
+        if snapshot is not None:
+            self._entries.move_to_end(digest)
+            self._m_hits.inc()
+            return snapshot
+        if self.disk_dir is not None:
+            snapshot = self._load_from_disk(digest)
+            if snapshot is not None:
+                self._m_hits.inc()
+                self._m_disk_hits.inc()
+                self._remember(digest, snapshot)
+                return snapshot
+        self._m_misses.inc()
+        return None
+
+    def put(self, key: BaselineKey, snapshot: BaselineSnapshot) -> None:
+        digest = key.digest()
+        self._m_puts.inc()
+        self._remember(digest, snapshot)
+        if self.disk_dir is not None:
+            self._store_to_disk(digest, snapshot)
+
+    def note_uncacheable(self) -> None:
+        """Record a baseline that was refused (seed-dependent state)."""
+        self._m_uncacheable.inc()
+
+    def observe_restore_seconds(self, seconds: float) -> None:
+        self._m_restore_seconds.observe(seconds)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, SnapshotValue]:
+        """The cache's instrument snapshot plus the live entry count."""
+        out: Dict[str, SnapshotValue] = dict(self.metrics.snapshot())
+        out["warmstart.entries"] = len(self._entries)
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _remember(self, digest: str, snapshot: BaselineSnapshot) -> None:
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+        self._entries[digest] = snapshot
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+
+    def _disk_path(self, digest: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{digest}.pkl"
+
+    def _store_to_disk(self, digest: str, snapshot: BaselineSnapshot) -> None:
+        assert self.disk_dir is not None
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "key_digest": digest,
+            "snapshot": snapshot,
+        }
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees the old file or the
+            # new one, never a torn write.
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=self.disk_dir, suffix=".tmp", delete=False
+            )
+            try:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+            finally:
+                handle.close()
+            os.replace(handle.name, self._disk_path(digest))
+        except OSError:
+            # Disk tier is best-effort: an unwritable cache directory must
+            # not fail the sweep, it just stays cold across processes.
+            return
+
+    def _load_from_disk(self, digest: str) -> Optional[BaselineSnapshot]:
+        path = self._disk_path(digest)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            return None
+        if payload.get("key_digest") != digest:
+            return None
+        snapshot = payload.get("snapshot")
+        if not isinstance(snapshot, BaselineSnapshot):
+            return None
+        return snapshot
+
+
+#: Process-wide caches by resolved spec, so every call site in one process
+#: (and every scenario handled by one pool worker) shares a cache per mode.
+_SHARED_CACHES: Dict[str, WarmStartCache] = {}
+
+
+def resolve_warm_start(
+    spec: Union[None, str, WarmStartCache],
+) -> Optional[WarmStartCache]:
+    """Resolve a warm-start request to a cache instance (or None).
+
+    ``spec`` may be a ready cache (returned as-is), a mode string as
+    documented in the module docstring, or None — in which case the
+    ``REPRO_WARMSTART`` environment variable decides, which is how pool
+    workers inherit the parent's setting.
+    """
+    if isinstance(spec, WarmStartCache):
+        return spec
+    raw = spec if spec is not None else os.environ.get(WARMSTART_ENV_VAR, "")
+    mode = raw.strip()
+    lowered = mode.lower()
+    if lowered in _DISABLED_VALUES:
+        return None
+    if lowered in _MEMORY_VALUES:
+        cache_id = "mem"
+        disk_dir: Optional[Path] = None
+    elif lowered == "disk":
+        cache_id = "disk"
+        disk_dir = DEFAULT_CACHE_DIR.expanduser()
+    else:
+        disk_dir = Path(mode).expanduser()
+        cache_id = f"dir:{disk_dir}"
+    cache = _SHARED_CACHES.get(cache_id)
+    if cache is None:
+        cache = WarmStartCache(disk_dir=disk_dir)
+        _SHARED_CACHES[cache_id] = cache
+    return cache

@@ -1,0 +1,13 @@
+"""Fixture: every statement here violates R007 (copy.deepcopy in library
+code; state capture must use the snapshot_state/restore_state protocol)."""
+
+import copy
+from copy import deepcopy
+
+state = {"rib": {1: ["path"]}}
+cloned = copy.deepcopy(state)
+cloned_again = deepcopy(state)
+
+
+def checkpoint(rib: dict) -> dict:
+    return copy.deepcopy(rib)

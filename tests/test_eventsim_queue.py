@@ -57,7 +57,6 @@ class TestEventQueue:
         q.push(a)
         q.push(b)
         a.cancel()
-        q.note_cancelled()
         assert q.pop() is b
 
     def test_peek_time_skips_cancelled(self):
@@ -73,8 +72,35 @@ class TestEventQueue:
         a = make_event(1.0)
         q.push(a)
         q.push(make_event(2.0))
+        # cancel() notifies the queue itself; no manual bookkeeping call.
         a.cancel()
-        q.note_cancelled()
+        assert len(q) == 1
+
+    def test_cancel_is_idempotent_for_live_count(self):
+        q = EventQueue()
+        a = make_event(1.0)
+        q.push(a)
+        q.push(make_event(2.0))
+        a.cancel()
+        a.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_touch_live_count(self):
+        q = EventQueue()
+        a, b = make_event(1.0), make_event(2.0)
+        q.push(a)
+        q.push(b)
+        popped = q.pop()
+        popped.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_clear_does_not_touch_live_count(self):
+        q = EventQueue()
+        a = make_event(1.0)
+        q.push(a)
+        q.clear()
+        q.push(make_event(2.0))
+        a.cancel()
         assert len(q) == 1
 
     def test_drain_yields_in_order_and_empties(self):

@@ -112,6 +112,35 @@ class TestRulePositives:
         src = "import time\ndefault_sleeper = time.sleep\n"
         assert lint_source(src) == []
 
+    def test_r007_deepcopy(self):
+        violations = lint_file(FIXTURES / "r007_bad.py")
+        assert rules_hit(violations) == {"R007"}
+        # The from-import itself, copy.deepcopy via the module, the direct
+        # deepcopy call, and the call inside a function body.
+        assert len(violations) == 4
+
+    def test_r007_aliased_module_import(self):
+        violations = lint_source("import copy as c\nx = c.deepcopy({})\n")
+        assert rules_hit(violations) == {"R007"}
+
+    def test_r007_renamed_direct_import(self):
+        src = "from copy import deepcopy as clone\nx = clone({})\n"
+        violations = lint_source(src)
+        assert rules_hit(violations) == {"R007"}
+        assert len(violations) == 2  # the import and the call
+
+    def test_r007_shallow_copy_ok(self):
+        # copy.copy is the sanctioned shallow copy; only deepcopy is banned.
+        src = "import copy\nx = copy.copy({1: 'a'})\n"
+        assert lint_source(src) == []
+
+    def test_r007_suppression(self):
+        src = (
+            "import copy\n"
+            "x = copy.deepcopy({})  # repro-lint: disable=R007\n"
+        )
+        assert lint_source(src) == []
+
 
 class TestRuleNegatives:
     def test_clean_fixture_is_clean(self):
@@ -179,7 +208,9 @@ class TestInfrastructure:
         assert rules_hit(violations) == {"R001", "R004"}
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(RULES) == {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }
 
 
 class TestReporters:

@@ -115,6 +115,8 @@ class TestMaskTiming:
             "worker",
             "events_per_sec",
             "checkpoint_seconds",
+            "warm_start",
+            "restore_seconds",
         }
 
 

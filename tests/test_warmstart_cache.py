@@ -1,0 +1,244 @@
+"""Baseline keys, the warm-start LRU, the disk tier, and env resolution."""
+
+import pickle
+
+import pytest
+
+from repro.bgp.speaker import SpeakerConfig
+from repro.experiments.runner import (
+    LINK_DELAY,
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+)
+from repro.topology.generators import generate_paper_topology
+from repro.warmstart import (
+    SNAPSHOT_FORMAT,
+    BaselineKey,
+    BaselineSnapshot,
+    WarmStartCache,
+    compute_baseline_key,
+    resolve_warm_start,
+)
+from repro.warmstart.cache import _SHARED_CACHES, WARMSTART_ENV_VAR
+
+
+def make_key(**overrides):
+    fields = dict(
+        graph_digest="g" * 64,
+        prefix="198.51.100.0/24",
+        origins=(7,),
+        deployment="full-moas-detection",
+        capable_digest="c" * 64,
+        checker_mode="detect-and-suppress",
+        timing="post-convergence",
+        mrai=0.0,
+        hold_time=0.0,
+        med_across_peers=False,
+        prefer_oldest=True,
+        link_delay=0.01,
+        instrumented=False,
+    )
+    fields.update(overrides)
+    return BaselineKey(**fields)
+
+
+def make_snapshot(key, payload="x"):
+    return BaselineSnapshot(
+        key_digest=key.digest(),
+        network={"sim": {"now": 1.0, "rng_streams": {}}, "marker": payload},
+        checkers={},
+        alarms=[],
+    )
+
+
+class TestBaselineKey:
+    def test_digest_is_stable(self):
+        assert make_key().digest() == make_key().digest()
+
+    def test_every_field_is_load_bearing(self):
+        base = make_key().digest()
+        changed = [
+            make_key(graph_digest="h" * 64),
+            make_key(prefix="203.0.113.0/24"),
+            make_key(origins=(7, 9)),
+            make_key(deployment="normal-bgp"),
+            make_key(capable_digest="d" * 64),
+            make_key(checker_mode="detect-only"),
+            make_key(timing="simultaneous"),
+            make_key(mrai=30.0),
+            make_key(hold_time=90.0),
+            make_key(med_across_peers=True),
+            make_key(prefer_oldest=False),
+            make_key(link_delay=0.02),
+            make_key(instrumented=True),
+        ]
+        digests = [key.digest() for key in changed]
+        assert base not in digests
+        assert len(set(digests)) == len(digests)
+
+    def test_compute_from_scenario_pins_the_materialised_plan(self):
+        graph = generate_paper_topology(25, seed=4)
+        stubs = sorted(graph.stub_asns())
+        scenario = HijackScenario(
+            graph=graph,
+            origins=[stubs[0]],
+            attackers=[stubs[1]],
+            deployment=DeploymentKind.PARTIAL,
+            timing=AttackTiming.POST_CONVERGENCE,
+            seed=3,
+        )
+        config = SpeakerConfig(mrai=0.0)
+        key_a = compute_baseline_key(
+            scenario, frozenset(stubs[:3]), config, LINK_DELAY, False
+        )
+        key_b = compute_baseline_key(
+            scenario, frozenset(stubs[:3]), config, LINK_DELAY, False
+        )
+        key_c = compute_baseline_key(
+            scenario, frozenset(stubs[:4]), config, LINK_DELAY, False
+        )
+        assert key_a == key_b
+        assert key_a.digest() == key_b.digest()
+        # A different capable draw is a different baseline.
+        assert key_a.digest() != key_c.digest()
+        # The attacker set plays no part: the baseline predates the attack.
+        assert key_a.graph_digest == graph.content_digest()
+
+
+class TestMemoryTier:
+    def test_miss_then_put_then_hit(self):
+        cache = WarmStartCache()
+        key = make_key()
+        assert cache.get(key) is None
+        snapshot = make_snapshot(key)
+        cache.put(key, snapshot)
+        assert cache.get(key) is snapshot
+        stats = cache.stats()
+        assert stats["warmstart.hits"] == 1
+        assert stats["warmstart.misses"] == 1
+        assert stats["warmstart.puts"] == 1
+        assert stats["warmstart.entries"] == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = WarmStartCache(capacity=2)
+        keys = [make_key(origins=(n,)) for n in range(3)]
+        cache.put(keys[0], make_snapshot(keys[0]))
+        cache.put(keys[1], make_snapshot(keys[1]))
+        assert cache.get(keys[0]) is not None  # refresh 0; 1 is now LRU
+        cache.put(keys[2], make_snapshot(keys[2]))
+        assert len(cache) == 2
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.stats()["warmstart.evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            WarmStartCache(capacity=0)
+
+    def test_uncacheable_counter(self):
+        cache = WarmStartCache()
+        cache.note_uncacheable()
+        assert cache.stats()["warmstart.uncacheable"] == 1
+
+    def test_restore_seconds_histogram(self):
+        cache = WarmStartCache()
+        cache.observe_restore_seconds(0.004)
+        histogram = cache.stats()["warmstart.restore_seconds"]
+        assert histogram["count"] == 1
+
+
+class TestDiskTier:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        key = make_key()
+        writer = WarmStartCache(disk_dir=tmp_path)
+        writer.put(key, make_snapshot(key, payload="persisted"))
+
+        reader = WarmStartCache(disk_dir=tmp_path)
+        found = reader.get(key)
+        assert found is not None
+        assert found.network["marker"] == "persisted"
+        stats = reader.stats()
+        assert stats["warmstart.hits"] == 1
+        assert stats["warmstart.disk_hits"] == 1
+        # A second get is served from memory.
+        assert reader.get(key) is found
+        assert reader.stats()["warmstart.disk_hits"] == 1
+
+    def test_corrupted_file_is_a_miss(self, tmp_path):
+        key = make_key()
+        writer = WarmStartCache(disk_dir=tmp_path)
+        writer.put(key, make_snapshot(key))
+        (tmp_path / f"{key.digest()}.pkl").write_bytes(b"not a pickle")
+        reader = WarmStartCache(disk_dir=tmp_path)
+        assert reader.get(key) is None
+        assert reader.stats()["warmstart.misses"] == 1
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        key = make_key()
+        payload = {
+            "format": SNAPSHOT_FORMAT + 1,
+            "key_digest": key.digest(),
+            "snapshot": make_snapshot(key),
+        }
+        (tmp_path / f"{key.digest()}.pkl").write_bytes(pickle.dumps(payload))
+        assert WarmStartCache(disk_dir=tmp_path).get(key) is None
+
+    def test_key_digest_mismatch_is_a_miss(self, tmp_path):
+        key = make_key()
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "key_digest": "f" * 64,
+            "snapshot": make_snapshot(key),
+        }
+        (tmp_path / f"{key.digest()}.pkl").write_bytes(pickle.dumps(payload))
+        assert WarmStartCache(disk_dir=tmp_path).get(key) is None
+
+    def test_unwritable_disk_dir_is_best_effort(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should be")
+        cache = WarmStartCache(disk_dir=blocker / "sub")
+        key = make_key()
+        cache.put(key, make_snapshot(key))  # must not raise
+        assert cache.get(key) is not None  # memory tier still works
+
+
+class TestResolution:
+    @pytest.fixture(autouse=True)
+    def clean_shared_caches(self):
+        saved = dict(_SHARED_CACHES)
+        _SHARED_CACHES.clear()
+        yield
+        _SHARED_CACHES.clear()
+        _SHARED_CACHES.update(saved)
+
+    def test_cache_instance_passes_through(self):
+        cache = WarmStartCache()
+        assert resolve_warm_start(cache) is cache
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no", "none"])
+    def test_disabled_values(self, value, monkeypatch):
+        monkeypatch.delenv(WARMSTART_ENV_VAR, raising=False)
+        assert resolve_warm_start(value) is None
+
+    def test_none_defers_to_environment(self, monkeypatch):
+        monkeypatch.delenv(WARMSTART_ENV_VAR, raising=False)
+        assert resolve_warm_start(None) is None
+        monkeypatch.setenv(WARMSTART_ENV_VAR, "mem")
+        cache = resolve_warm_start(None)
+        assert isinstance(cache, WarmStartCache)
+        assert cache.disk_dir is None
+
+    @pytest.mark.parametrize("value", ["1", "on", "mem", "memory", "MEM"])
+    def test_memory_values_share_one_cache(self, value):
+        first = resolve_warm_start(value)
+        assert isinstance(first, WarmStartCache)
+        assert first.disk_dir is None
+        assert resolve_warm_start("mem") is first
+
+    def test_path_value_selects_disk_dir(self, tmp_path):
+        cache = resolve_warm_start(str(tmp_path / "baselines"))
+        assert isinstance(cache, WarmStartCache)
+        assert cache.disk_dir == tmp_path / "baselines"
+        # Same path resolves to the same process-wide cache.
+        assert resolve_warm_start(str(tmp_path / "baselines")) is cache

@@ -1,0 +1,228 @@
+"""The warm-start safety property, end to end.
+
+The contract: a warm-started run's outcome, alarm log and metric snapshot
+are bit-identical (timing fields aside) to the cold run, on every
+deployment kind and both attack timings — the cache is a pure
+perf optimisation, never a behaviour change.  The executor integration
+rides the same property: warm manifests compare equal to cold manifests
+under :func:`manifests_equivalent`.
+"""
+
+import pytest
+
+from repro.experiments.executor import (
+    _dedupe_graphs,
+    _GraphRef,
+    execute_scenarios,
+)
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+    outcomes_equivalent,
+    run_hijack_scenario,
+    run_hijack_scenario_instrumented,
+)
+from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.obs.manifest import manifests_equivalent, mask_timing, read_manifest
+from repro.topology.generators import generate_paper_topology
+from repro.warmstart import WarmStartCache
+from repro.warmstart.cache import _SHARED_CACHES
+
+DEPLOYMENTS = [DeploymentKind.NONE, DeploymentKind.FULL, DeploymentKind.PARTIAL]
+TIMINGS = [AttackTiming.SIMULTANEOUS, AttackTiming.POST_CONVERGENCE]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_paper_topology(25, seed=4)
+
+
+@pytest.fixture(autouse=True)
+def isolated_shared_caches():
+    """Keep the process-wide "mem" cache from leaking between tests."""
+    saved = dict(_SHARED_CACHES)
+    _SHARED_CACHES.clear()
+    yield
+    _SHARED_CACHES.clear()
+    _SHARED_CACHES.update(saved)
+
+
+def make_scenario(graph, deployment, timing, attacker_index=-1, seed=1):
+    stubs = sorted(graph.stub_asns())
+    return HijackScenario(
+        graph=graph,
+        origins=[stubs[0]],
+        attackers=[stubs[attacker_index]],
+        deployment=deployment,
+        timing=timing,
+        seed=seed,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("timing", TIMINGS, ids=lambda t: t.value)
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS, ids=lambda d: d.value)
+    def test_warm_hit_matches_cold_run(self, graph, deployment, timing):
+        scenario = make_scenario(graph, deployment, timing)
+        cold = run_hijack_scenario_instrumented(scenario)
+        assert cold.warm_start["enabled"] is False
+
+        cache = WarmStartCache()
+        miss = run_hijack_scenario_instrumented(scenario, warm_start=cache)
+        hit = run_hijack_scenario_instrumented(scenario, warm_start=cache)
+        assert miss.warm_start["hit"] is False
+        assert hit.warm_start["hit"] is True
+        stats = cache.stats()
+        assert stats["warmstart.hits"] == 1
+        assert stats["warmstart.misses"] == 1
+        assert stats["warmstart.puts"] == 1
+        assert stats["warmstart.uncacheable"] == 0
+
+        for run in (miss, hit):
+            assert run.outcome.equivalent_to(cold.outcome)
+            assert run.alarms == cold.alarms
+            assert mask_timing(run.metrics) == mask_timing(cold.metrics)
+
+    def test_plain_path_warm_hit_matches_cold(self, graph):
+        scenario = make_scenario(
+            graph, DeploymentKind.FULL, AttackTiming.POST_CONVERGENCE
+        )
+        cold = run_hijack_scenario(scenario)
+        cache = WarmStartCache()
+        run_hijack_scenario(scenario, warm_start=cache)
+        warm = run_hijack_scenario(scenario, warm_start=cache)
+        assert cache.stats()["warmstart.hits"] == 1
+        assert warm.equivalent_to(cold)
+
+    def test_baseline_is_shared_across_attacker_sets(self, graph):
+        """The key excludes the attackers: scenarios differing only in the
+        attack reuse one baseline (the whole point of the cache)."""
+        cache = WarmStartCache()
+        a = make_scenario(
+            graph, DeploymentKind.FULL, AttackTiming.POST_CONVERGENCE,
+            attacker_index=-1,
+        )
+        b = make_scenario(
+            graph, DeploymentKind.FULL, AttackTiming.POST_CONVERGENCE,
+            attacker_index=-2,
+        )
+        run_hijack_scenario(a, warm_start=cache)
+        warm_b = run_hijack_scenario(b, warm_start=cache)
+        stats = cache.stats()
+        assert stats["warmstart.hits"] == 1
+        assert stats["warmstart.puts"] == 1
+        assert warm_b.equivalent_to(run_hijack_scenario(b))
+
+    def test_partial_capable_set_is_seed_bound(self, graph):
+        """PARTIAL draws the capable set from the scenario seed, so a
+        different seed is a different baseline — no false sharing."""
+        cache = WarmStartCache()
+        a = make_scenario(
+            graph, DeploymentKind.PARTIAL, AttackTiming.POST_CONVERGENCE,
+            seed=1,
+        )
+        b = make_scenario(
+            graph, DeploymentKind.PARTIAL, AttackTiming.POST_CONVERGENCE,
+            seed=2,
+        )
+        run_hijack_scenario(a, warm_start=cache)
+        run_hijack_scenario(b, warm_start=cache)
+        stats = cache.stats()
+        assert stats["warmstart.hits"] == 0
+        assert stats["warmstart.misses"] == 2
+        assert stats["warmstart.puts"] == 2
+
+
+class TestGraphDedupe:
+    def test_shared_graph_ships_once(self, graph):
+        scenarios = [
+            make_scenario(graph, DeploymentKind.FULL, timing)
+            for timing in TIMINGS
+        ]
+        graphs, rewritten = _dedupe_graphs(scenarios)
+        assert len(graphs) == 1
+        digest = next(iter(graphs))
+        assert graphs[digest] is graph
+        for scenario in rewritten:
+            assert isinstance(scenario.graph, _GraphRef)
+            assert scenario.graph.digest == digest
+        # The originals are untouched.
+        for scenario in scenarios:
+            assert scenario.graph is graph
+
+    def test_distinct_graphs_stay_distinct(self, graph):
+        other = generate_paper_topology(20, seed=9)
+        scenarios = [
+            make_scenario(graph, DeploymentKind.NONE, TIMINGS[0]),
+            make_scenario(other, DeploymentKind.NONE, TIMINGS[0]),
+        ]
+        graphs, rewritten = _dedupe_graphs(scenarios)
+        assert len(graphs) == 2
+        assert rewritten[0].graph.digest != rewritten[1].graph.digest
+
+
+class TestExecutorIntegration:
+    def scenarios(self, graph):
+        return [
+            make_scenario(
+                graph, DeploymentKind.FULL, AttackTiming.POST_CONVERGENCE,
+                attacker_index=index,
+            )
+            for index in (-1, -2, -3, -4)
+        ]
+
+    def test_pooled_warm_matches_serial_cold(self, graph):
+        scenarios = self.scenarios(graph)
+        cold = execute_scenarios(scenarios, workers=1)
+        warm = execute_scenarios(scenarios, workers=2, warm_start="mem")
+        assert outcomes_equivalent(cold, warm)
+
+    def test_cache_instance_cannot_cross_the_pool(self, graph):
+        with pytest.raises(ValueError, match="process pool"):
+            execute_scenarios(
+                self.scenarios(graph), workers=2, warm_start=WarmStartCache()
+            )
+
+    def test_serial_accepts_a_cache_instance(self, graph):
+        scenarios = self.scenarios(graph)
+        cache = WarmStartCache()
+        warm = execute_scenarios(scenarios, workers=1, warm_start=cache)
+        # One baseline serves all four attacker sets.
+        stats = cache.stats()
+        assert stats["warmstart.puts"] == 1
+        assert stats["warmstart.hits"] == len(scenarios) - 1
+        assert outcomes_equivalent(warm, execute_scenarios(scenarios))
+
+    def test_warm_manifest_equivalent_to_cold_manifest(self, graph, tmp_path):
+        scenarios = self.scenarios(graph)
+        cold_path = tmp_path / "cold.jsonl"
+        warm_path = tmp_path / "warm.jsonl"
+        execute_scenarios(scenarios, workers=1, manifest=cold_path)
+        execute_scenarios(
+            scenarios, workers=2, manifest=warm_path, warm_start="mem"
+        )
+        cold = read_manifest(cold_path)
+        warm = read_manifest(warm_path)
+        assert len(warm) == len(scenarios)
+        assert manifests_equivalent(cold, warm)
+        # The attribution is in the manifest even though comparisons mask it.
+        assert any(record.warm_start.get("enabled") for record in warm)
+        assert not any(record.warm_start.get("enabled") for record in cold)
+
+
+class TestSweepIntegration:
+    def test_run_sweep_threads_warm_start(self, graph):
+        config = dict(
+            graph=graph,
+            attacker_fractions=(0.10,),
+            n_origin_sets=1,
+            n_attacker_sets=3,
+            deployment=DeploymentKind.FULL,
+            timing=AttackTiming.POST_CONVERGENCE,
+        )
+        cold = run_sweep(SweepConfig(**config), workers=1)
+        cache = WarmStartCache()
+        warm = run_sweep(SweepConfig(**config), workers=1, warm_start=cache)
+        assert warm.points == cold.points
+        assert cache.stats()["warmstart.hits"] > 0
