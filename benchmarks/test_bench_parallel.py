@@ -136,8 +136,15 @@ def test_bench_parallel_executor(paper_topologies, results_dir):
 
     assert micro.events_per_sec > 0.0
     if cores >= 4:
-        # The acceptance bar from the issue; meaningless on 1-2 core
-        # boxes where pool startup eats the win.
         assert speedup >= 2.0, (
             f"expected >= 2x on {cores} cores, measured {speedup:.2f}x"
         )
+    elif cores >= 2:
+        # Two workers on two real cores must clear 1.5x now that workers
+        # fork warm (COW caches) and graphs ship once per worker.
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x on {cores} cores, measured {speedup:.2f}x"
+        )
+    # On a 1-core box there is no parallelism to win; two busy workers
+    # pay pure scheduling overhead (~10-20% measured), so only the
+    # bit-identity assertion above is meaningful.

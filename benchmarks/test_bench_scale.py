@@ -1,0 +1,173 @@
+"""Scaling benchmark — events/sec and memory from 63 to 10,000 ASes.
+
+Two measurements:
+
+1. **Scaling curve**: for each size (63-AS paper sample, then generated
+   1k/5k/10k Internet-like graphs) build a network, establish sessions,
+   originate one prefix and run cold convergence, recording wall time,
+   events processed, events/sec and the process's peak RSS.  This is the
+   curve the hot-path work (incremental decision process, calendar queue,
+   route interning, batched delivery) is meant to bend.
+2. **63-AS micro**: the single-scenario hijack benchmark every perf PR
+   compares against (same scenario as BENCH_parallel.json), so the
+   events/sec history stays comparable across optimisation passes.
+
+Results land in ``benchmarks/results/BENCH_scale.json``.  Sizes are
+env-configurable so CI smoke jobs can run a subset::
+
+    REPRO_BENCH_SCALE_SIZES=63,2000 pytest benchmarks/test_bench_scale.py
+
+Peak RSS is ``ru_maxrss`` — a process-lifetime high-water mark, so each
+point reports the peak *after* that size converged (sizes run ascending;
+the increment over the previous point is the size's own footprint).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+
+from conftest import TOPOLOGY_SEED, emit
+
+from repro.bgp.network import Network
+from repro.bgp.speaker import SpeakerConfig
+from repro.experiments.runner import (
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.net.addresses import Prefix
+from repro.topology.generators import (
+    generate_paper_topology,
+    generate_scale_topology,
+)
+
+DEFAULT_SIZES = (63, 1000, 5000, 10000)
+
+#: events/sec recorded for the 63-AS single-scenario benchmark before the
+#: hot-path optimisation pass (BENCH_parallel.json at the time this
+#: benchmark was introduced; a different machine than later reruns).
+RECORDED_BASELINE_EPS = 38177.3
+
+BENCH_PREFIX = Prefix.parse("10.0.0.0/16")
+
+
+def _bench_sizes() -> tuple:
+    raw = os.environ.get("REPRO_BENCH_SCALE_SIZES", "")
+    if not raw.strip():
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _converge_once(size: int) -> dict:
+    """Build, establish and cold-converge one topology of ``size`` ASes."""
+    if size <= 100:
+        graph = generate_paper_topology(size, seed=TOPOLOGY_SEED)
+    else:
+        graph = generate_scale_topology(size, seed=TOPOLOGY_SEED)
+    build_started = time.perf_counter()
+    network = Network(graph, config=SpeakerConfig(mrai=0.0), link_delay=0.01)
+    network.establish_sessions()
+    establish_seconds = time.perf_counter() - build_started
+
+    origin = sorted(graph.asns())[10]
+    converge_started = time.perf_counter()
+    network.originate(origin, BENCH_PREFIX)
+    events = network.run_to_convergence()
+    converge_seconds = time.perf_counter() - converge_started
+
+    covered = sum(
+        1
+        for best in network.best_origins(BENCH_PREFIX).values()
+        if best is not None
+    )
+    assert covered == len(graph), (
+        f"{size}-AS topology did not fully converge: "
+        f"{covered}/{len(graph)} ASes hold a route"
+    )
+    return {
+        "ases": len(graph),
+        "links": len(network.links),
+        "establish_seconds": round(establish_seconds, 3),
+        "converge_seconds": round(converge_seconds, 3),
+        "converge_events": events,
+        "events_per_sec": round(events / converge_seconds, 1)
+        if converge_seconds > 0
+        else 0.0,
+        "interner_entries": len(network.interner),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
+def _micro_63as() -> dict:
+    """The comparable single-scenario benchmark (see BENCH_parallel)."""
+    graph = generate_paper_topology(63, seed=TOPOLOGY_SEED)
+    ases = sorted(graph.asns())
+    scenario = HijackScenario(
+        graph=graph,
+        origins=[ases[10]],
+        attackers=[ases[40]],
+        deployment=DeploymentKind.FULL,
+        seed=3,
+    )
+    run_hijack_scenario(scenario)  # warm parse/topology caches
+    best = max(
+        (run_hijack_scenario(scenario) for _ in range(5)),
+        key=lambda outcome: outcome.events_per_sec,
+    )
+    return {
+        "events_processed": best.events_processed,
+        "wall_seconds": round(best.wall_seconds, 4),
+        "events_per_sec": round(best.events_per_sec, 1),
+        "recorded_baseline_eps": RECORDED_BASELINE_EPS,
+        "speedup_vs_recorded": round(
+            best.events_per_sec / RECORDED_BASELINE_EPS, 2
+        ),
+    }
+
+
+def test_bench_scale(results_dir):
+    sizes = _bench_sizes()
+    curve = [_converge_once(size) for size in sizes]
+    micro = _micro_63as()
+
+    record = {
+        "sizes": list(sizes),
+        "curve": curve,
+        "micro_63as": micro,
+    }
+    (results_dir / "BENCH_scale.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    lines = [
+        "Scaling curve: cold convergence, one originated prefix",
+        f"  {'ASes':>6} {'links':>7} {'estab s':>8} {'conv s':>7} "
+        f"{'events':>8} {'ev/s':>8} {'rss MB':>7}",
+    ]
+    for point in curve:
+        lines.append(
+            f"  {point['ases']:>6} {point['links']:>7} "
+            f"{point['establish_seconds']:>8.3f} "
+            f"{point['converge_seconds']:>7.3f} "
+            f"{point['converge_events']:>8} "
+            f"{point['events_per_sec']:>8,.0f} "
+            f"{point['peak_rss_mb']:>7.1f}"
+        )
+    lines.append(
+        f"  63-AS micro: {micro['events_processed']} events, "
+        f"{micro['events_per_sec']:,.0f} events/sec "
+        f"({micro['speedup_vs_recorded']:.2f}x the recorded "
+        f"{RECORDED_BASELINE_EPS:,.0f} baseline)"
+    )
+    emit(results_dir, "BENCH_scale", "\n".join(lines))
+
+    assert micro["events_per_sec"] > 0.0
+    # Every requested size must have fully converged (asserted per point).
+    assert len(curve) == len(sizes)

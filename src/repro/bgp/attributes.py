@@ -98,12 +98,16 @@ class AsPath:
     origins; the MOAS observer must treat each as an origin candidate.
     """
 
-    __slots__ = ("segments", "_length", "_origins")
+    __slots__ = ("segments", "_length", "_origins", "_origin")
+
+    #: Sentinel distinguishing "not computed" from a computed None origin.
+    _UNSET = object()
 
     def __init__(self, segments: Iterable[AsPathSegment] = ()) -> None:
         object.__setattr__(self, "segments", tuple(segments))
         object.__setattr__(self, "_length", None)
         object.__setattr__(self, "_origins", None)
+        object.__setattr__(self, "_origin", AsPath._UNSET)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("AsPath is immutable")
@@ -175,11 +179,17 @@ class AsPath:
 
     @property
     def origin_asn(self) -> Optional[ASN]:
-        """The unique origin AS, or ``None`` if aggregation made it a set."""
-        origins = self.origin_asns()
-        if len(origins) == 1:
-            return next(iter(origins))
-        return None
+        """The unique origin AS, or ``None`` if aggregation made it a set.
+
+        Memoized: the checker and the measurement layer ask per
+        announcement, and paths are interned so the cache is shared.
+        """
+        origin = self._origin
+        if origin is AsPath._UNSET:
+            origins = self.origin_asns()
+            origin = next(iter(origins)) if len(origins) == 1 else None
+            object.__setattr__(self, "_origin", origin)
+        return origin
 
     # -- construction -------------------------------------------------------
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from repro.bgp.interning import RouteInterner
 from repro.bgp.policy import Policy
 from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
 from repro.eventsim.simulator import RearmPlan, Simulator, SnapshotError
@@ -38,11 +39,18 @@ class Network:
         self.config = config or SpeakerConfig()
         self.speakers: Dict[ASN, BGPSpeaker] = {}
         self.links: Dict[tuple, Link] = {}
+        # One intern table shared by every speaker: N ASes holding the same
+        # route share one PathAttributes/AsPath instance (the cross-speaker
+        # part of the interning design).  Cleared on simulator reset so the
+        # table cannot grow without bound across reused networks.
+        self.interner = RouteInterner()
+        self.sim.add_reset_hook(self.interner.clear)
 
         for asn in graph.asns():
             policy = policy_factory(asn) if policy_factory is not None else None
             self.speakers[asn] = BGPSpeaker(
-                self.sim, asn, config=self.config, policy=policy
+                self.sim, asn, config=self.config, policy=policy,
+                interner=self.interner,
             )
 
         for a, b in graph.edges():

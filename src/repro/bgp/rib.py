@@ -13,7 +13,7 @@ installed, which the measurement layer uses for duration statistics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.bgp.attributes import PathAttributes
 from repro.net.addresses import Prefix
@@ -96,6 +96,11 @@ class AdjRibIn:
         # *set* changes only on first-route-from-peer and session teardown,
         # so the sorted order is cached and invalidated on those events.
         self._sorted_peers: Optional[List[ASN]] = None
+        # Count of installed entries carrying a non-zero MED.  While zero,
+        # the decision ladder's MED rung can never discriminate, making the
+        # route comparator a genuine total order — the precondition for the
+        # speaker's incremental (challenger-vs-incumbent) decision path.
+        self._nonzero_med = 0
 
     def _peer_order(self) -> List[ASN]:
         order = self._sorted_peers
@@ -103,6 +108,11 @@ class AdjRibIn:
             order = sorted(self._routes)
             self._sorted_peers = order
         return order
+
+    @property
+    def has_nonzero_med(self) -> bool:
+        """True when any installed entry carries MED != 0 (see __init__)."""
+        return self._nonzero_med > 0
 
     def insert(self, entry: RibEntry) -> Optional[RibEntry]:
         """Install ``entry``; returns the entry it replaced, if any."""
@@ -114,13 +124,20 @@ class AdjRibIn:
             self._sorted_peers = None
         previous = per_peer.get(entry.prefix)
         per_peer[entry.prefix] = entry
+        if entry.attributes.med != 0:
+            self._nonzero_med += 1
+        if previous is not None and previous.attributes.med != 0:
+            self._nonzero_med -= 1
         return previous
 
     def remove(self, peer: ASN, prefix: Prefix) -> Optional[RibEntry]:
         per_peer = self._routes.get(peer)
         if not per_peer:
             return None
-        return per_peer.pop(prefix, None)
+        removed = per_peer.pop(prefix, None)
+        if removed is not None and removed.attributes.med != 0:
+            self._nonzero_med -= 1
+        return removed
 
     def remove_peer(self, peer: ASN) -> List[RibEntry]:
         """Drop all routes from ``peer`` (session teardown); returns them."""
@@ -128,7 +145,11 @@ class AdjRibIn:
         if per_peer is None:
             return []
         self._sorted_peers = None
-        return list(per_peer.values())
+        removed = list(per_peer.values())
+        for entry in removed:
+            if entry.attributes.med != 0:
+                self._nonzero_med -= 1
+        return removed
 
     def get(self, peer: ASN, prefix: Prefix) -> Optional[RibEntry]:
         per_peer = self._routes.get(peer)
@@ -167,32 +188,39 @@ class AdjRibIn:
     def restore_state(self, state: Dict[ASN, Dict[Prefix, RibEntry]]) -> None:
         self._routes = {peer: dict(per_peer) for peer, per_peer in state.items()}
         self._sorted_peers = None
+        self._nonzero_med = sum(
+            1
+            for per_peer in self._routes.values()
+            for entry in per_peer.values()
+            if entry.attributes.med != 0
+        )
 
 
 class LocRib:
     """Best route per prefix, plus locally originated routes.
 
-    Maintains a prefix trie alongside the exact-match dict so the
-    forwarding plane's longest-match queries are O(address bits) rather
-    than O(table size).
+    A prefix trie backs the forwarding plane's longest-match queries in
+    O(address bits).  The trie is *derived* state, rebuilt lazily: installs
+    and withdrawals during convergence churn just invalidate it, and the
+    first ``longest_match`` after the table settles pays one O(table)
+    rebuild — forwarding queries always follow convergence, so the rebuild
+    runs once where eager maintenance paid per route change.
     """
 
     def __init__(self) -> None:
-        from repro.net.trie import PrefixTrie
-
         self._best: Dict[Prefix, RibEntry] = {}
-        self._trie: "PrefixTrie[RibEntry]" = PrefixTrie()
+        self._trie: Optional[Any] = None
 
     def install(self, entry: RibEntry) -> Optional[RibEntry]:
         previous = self._best.get(entry.prefix)
         self._best[entry.prefix] = entry
-        self._trie.insert(entry.prefix, entry)
+        self._trie = None
         return previous
 
     def withdraw(self, prefix: Prefix) -> Optional[RibEntry]:
         removed = self._best.pop(prefix, None)
         if removed is not None:
-            self._trie.remove(prefix)
+            self._trie = None
         return removed
 
     def get(self, prefix: Prefix) -> Optional[RibEntry]:
@@ -201,7 +229,17 @@ class LocRib:
     def longest_match(self, prefix: Prefix) -> Optional[RibEntry]:
         """The most specific installed route covering ``prefix`` — what
         the forwarding plane consults per packet."""
-        found = self._trie.covering(prefix)
+        trie = self._trie
+        if trie is None:
+            from repro.net.trie import PrefixTrie
+
+            trie = PrefixTrie()
+            # Trie shape depends only on the key set, so rebuild order is
+            # immaterial; iteration order is deterministic regardless.
+            for entry in self._best.values():
+                trie.insert(entry.prefix, entry)
+            self._trie = trie
+        found = trie.covering(prefix)
         return None if found is None else found[1]
 
     def prefixes(self) -> Iterator[Prefix]:
@@ -220,14 +258,9 @@ class LocRib:
         return dict(self._best)
 
     def restore_state(self, state: Dict[Prefix, RibEntry]) -> None:
-        from repro.net.trie import PrefixTrie
-
         self._best = dict(state)
-        # The trie is derived state; rebuilding it from the best-route map
-        # is deterministic because the trie shape depends only on the keys.
-        self._trie = PrefixTrie()
-        for entry in self._best.values():
-            self._trie.insert(entry.prefix, entry)
+        # Derived state: the next longest_match rebuilds the trie.
+        self._trie = None
 
 
 class AdjRibOut:

@@ -18,6 +18,7 @@ from repro.bgp.messages import (
     Message,
     NotificationMessage,
     OpenMessage,
+    UpdateMessage,
 )
 from repro.eventsim.simulator import RearmPlan, Simulator
 from repro.eventsim.timers import PeriodicTimer, Timer
@@ -91,20 +92,48 @@ class Session:
 
     # -- message handling ----------------------------------------------------
 
+    def handle_wire(self, sender: ASN, message: Message) -> None:
+        """Link-receiver entry point (``sender`` is implied by the session).
+
+        The established-session UPDATE case is inlined: it is essentially
+        every message once routing starts, and this path runs once per
+        delivered message.  Everything else defers to
+        :meth:`handle_message`.
+        """
+        if (
+            isinstance(message, UpdateMessage)
+            and self.state is SessionState.ESTABLISHED
+        ):
+            hold = self._hold_timer
+            if hold is not None:
+                hold.restart()
+            self.owner.handle_update(self.peer_asn, message)
+            return
+        self.handle_message(message)
+
     def handle_message(self, message: Message) -> None:
-        if isinstance(message, OpenMessage):
+        # Once sessions are up, essentially every message is an UPDATE;
+        # dispatch checks run in frequency order.
+        if isinstance(message, UpdateMessage):
+            # UPDATEs are the speaker's business; the session only gates them.
+            if self.state is not SessionState.ESTABLISHED:
+                self._teardown("UPDATE received outside established state")
+                return
+            self._touch_hold_timer()
+            self.owner.handle_update(self.peer_asn, message)
+        elif isinstance(message, OpenMessage):
             self._handle_open(message)
         elif isinstance(message, KeepaliveMessage):
             self._touch_hold_timer()
         elif isinstance(message, NotificationMessage):
             self._teardown(f"notification from peer: {message.reason}")
         else:
-            # UPDATEs are the speaker's business; the session only gates them.
-            if self.state is not SessionState.ESTABLISHED:
-                self._teardown("UPDATE received outside established state")
-                return
-            self._touch_hold_timer()
-            self.owner.handle_update(self.peer_asn, message)  # type: ignore[arg-type]
+            # Unknown message classes were (accidentally) treated as
+            # UPDATEs before the dispatch reorder; fail loudly instead.
+            raise SessionError(
+                f"AS{self.owner.asn}: unhandled message type "
+                f"{type(message).__name__} from AS{self.peer_asn}"
+            )
 
     def _handle_open(self, message: OpenMessage) -> None:
         if message.asn != self.peer_asn:
@@ -134,12 +163,14 @@ class Session:
             self._keepalive_timer.start()
         if self._hold_timer is not None:
             self._hold_timer.start()
-        self.sim.trace.record(
-            self.sim.now,
-            "session.established",
-            local=self.owner.asn,
-            peer=self.peer_asn,
-        )
+        trace = self.sim.trace
+        if trace.wants("session.established"):
+            trace.record(
+                self.sim.now,
+                "session.established",
+                local=self.owner.asn,
+                peer=self.peer_asn,
+            )
         self.owner.on_session_established(self.peer_asn)
 
     def _teardown(self, reason: str) -> None:

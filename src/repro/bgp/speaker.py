@@ -22,8 +22,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from repro.bgp.attributes import Community, Origin, PathAttributes
-from repro.bgp.decision import DecisionProcess
+from repro.bgp.decision import DecisionProcess, RouteComparison
 from repro.bgp.errors import SessionError
+from repro.bgp.interning import RouteInterner
 from repro.bgp.messages import Message, UpdateMessage
 from repro.bgp.policy import AcceptAllPolicy, Policy
 from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibEntry
@@ -77,14 +78,22 @@ class BGPSpeaker:
         asn: ASN,
         config: Optional[SpeakerConfig] = None,
         policy: Optional[Policy] = None,
+        interner: Optional[RouteInterner] = None,
     ) -> None:
         self.sim = sim
         self.asn = validate_asn(asn)
         self.config = config or SpeakerConfig()
         self.policy = policy or AcceptAllPolicy()
+        # Accept-all import/export is the default experiment setup; spotting
+        # it by exact type lets the import hot path skip a PolicyVerdict
+        # allocation per route.  Subclasses must not take this shortcut.
+        self._passthrough_policy = type(self.policy) in (Policy, AcceptAllPolicy)
         self.decision = DecisionProcess(
             self.config.med_across_peers, prefer_oldest=self.config.prefer_oldest
         )
+        # Shared across the whole network when built through Network (the
+        # cross-speaker intern table); private for standalone speakers.
+        self._interner = interner if interner is not None else RouteInterner()
 
         self.adj_rib_in = AdjRibIn()
         self.loc_rib = LocRib()
@@ -171,7 +180,11 @@ class BGPSpeaker:
         )
         self.sessions[peer_asn] = session
         self._links[peer_asn] = link
-        link.attach(self.asn, self._receive)
+        # Deliveries go straight to the session owning this peering — the
+        # link already guarantees the sender is the other endpoint, so the
+        # per-message session lookup of the generic _receive path is
+        # unnecessary.
+        link.attach(self.asn, session.handle_wire)
         return session
 
     def start_session(self, peer_asn: ASN) -> None:
@@ -194,7 +207,11 @@ class BGPSpeaker:
             raise SessionError(f"AS{self.asn} has no session with AS{peer_asn}")
 
     def _receive(self, sender: ASN, message: Message) -> None:
-        self._session_for(sender).handle_message(message)
+        # Per-message hot path: one dict probe, no helper frame.
+        session = self.sessions.get(sender)
+        if session is None:
+            raise SessionError(f"AS{self.asn} has no session with AS{sender}")
+        session.handle_message(message)
 
     @property
     def established_peers(self) -> List[ASN]:
@@ -232,9 +249,11 @@ class BGPSpeaker:
         prepended on export, so neighbours see path ``(self.asn)`` —
         making this AS the route's origin.
         """
-        attributes = PathAttributes(
-            origin=origin,
-            communities=communities,
+        attributes = self._interner.attributes(
+            PathAttributes(
+                origin=origin,
+                communities=communities,
+            )
         )
         entry = RibEntry(
             prefix,
@@ -260,20 +279,35 @@ class BGPSpeaker:
     # -- update processing ----------------------------------------------------------
 
     def handle_update(self, peer: ASN, message: UpdateMessage) -> None:
-        """Process an UPDATE from an established peer."""
+        """Process an UPDATE from an established peer.
+
+        The per-prefix candidate deltas (what was inserted into / removed
+        from the Adj-RIB-In) are collected into a dirty-prefix map and fed
+        to the incremental decision path, which can usually adjudicate a
+        single challenger against the cached best route without rescanning
+        all candidates.
+        """
         self.updates_received += 1
         if self._m_updates_received is not None:
             self._m_updates_received.inc()
-        touched: Set[Prefix] = set()
+        # Dirty prefixes: prefix -> (inserted entry or None, removed entry
+        # or None).  An UPDATE touches each prefix at most once (announced
+        # and withdrawn sets are disjoint by construction).
+        changes: Dict[Prefix, tuple] = {}
 
         # Withdrawal listeners observe removal order; iterate sorted so the
         # set's hash order never reaches flap-damping (or any other) state.
-        for prefix in sorted(message.withdrawn):
-            removed = self.adj_rib_in.remove(peer, prefix)
-            if removed is not None:
-                touched.add(prefix)
-                for listener in self._withdrawal_listeners:
-                    listener(peer, prefix)
+        if message.withdrawn:
+            withdrawn = message.withdrawn
+            # Most UPDATEs carry one prefix; skip the sort for those.
+            for prefix in (
+                sorted(withdrawn) if len(withdrawn) > 1 else withdrawn
+            ):
+                removed = self.adj_rib_in.remove(peer, prefix)
+                if removed is not None:
+                    changes[prefix] = (None, removed)
+                    for listener in self._withdrawal_listeners:
+                        listener(peer, prefix)
 
         if message.announced:
             attributes = message.attributes
@@ -293,36 +327,52 @@ class BGPSpeaker:
                     self.sim.now, "bgp.loop_detected", asn=self.asn, peer=peer
                 )
                 for prefix in sorted(message.announced):
-                    if self.adj_rib_in.remove(peer, prefix) is not None:
-                        touched.add(prefix)
+                    removed = self.adj_rib_in.remove(peer, prefix)
+                    if removed is not None:
+                        changes[prefix] = (None, removed)
             else:
-                for prefix in sorted(message.announced):
-                    if self._import_route(peer, prefix, attributes):
-                        touched.add(prefix)
+                announced = message.announced
+                for prefix in (
+                    sorted(announced) if len(announced) > 1 else announced
+                ):
+                    changed, inserted, removed = self._import_route(
+                        peer, prefix, attributes
+                    )
+                    if changed:
+                        changes[prefix] = (inserted, removed)
 
-        for prefix in sorted(touched):
-            self._run_decision(prefix)
+        if changes:
+            for prefix in sorted(changes) if len(changes) > 1 else changes:
+                inserted, removed = changes[prefix]
+                self._decide_after_change(prefix, inserted, removed)
 
     def _import_route(
         self, peer: ASN, prefix: Prefix, attributes: PathAttributes
-    ) -> bool:
+    ) -> tuple:
         """Run import policy and validators; install into Adj-RIB-In.
 
-        Returns True if the prefix's candidate set changed.  A rejection
-        still *removes* any previous route from this peer for the prefix —
-        an announcement implicitly replaces the old route, and if the
-        replacement is rejected the old one must not linger.
+        Returns ``(changed, inserted, removed)``: whether the prefix's
+        candidate set changed, the entry installed (if any) and the entry
+        displaced (if any).  A rejection still *removes* any previous route
+        from this peer for the prefix — an announcement implicitly replaces
+        the old route, and if the replacement is rejected the old one must
+        not linger.
         """
-        verdict = self.policy.apply_import(peer, prefix, attributes)
-        if not verdict.accepted:
-            self.routes_rejected_by_policy += 1
-            return self.adj_rib_in.remove(peer, prefix) is not None
-        imported = verdict.attributes
-        if imported is None:
-            raise InvariantError(
-                f"AS{self.asn}: import policy accepted {prefix} from peer "
-                f"{peer} but returned no attributes"
-            )
+        if self._passthrough_policy:
+            # Accept-all policy: skip the call and its PolicyVerdict.
+            imported: Optional[PathAttributes] = attributes
+        else:
+            verdict = self.policy.apply_import(peer, prefix, attributes)
+            if not verdict.accepted:
+                self.routes_rejected_by_policy += 1
+                removed = self.adj_rib_in.remove(peer, prefix)
+                return (removed is not None, None, removed)
+            imported = verdict.attributes
+            if imported is None:
+                raise InvariantError(
+                    f"AS{self.asn}: import policy accepted {prefix} from peer "
+                    f"{peer} but returned no attributes"
+                )
 
         for validator in self._import_validators:
             if not validator(peer, prefix, imported):
@@ -335,14 +385,19 @@ class BGPSpeaker:
                     prefix=str(prefix),
                     origin=imported.origin_asn,
                 )
-                return self.adj_rib_in.remove(peer, prefix) is not None
+                removed = self.adj_rib_in.remove(peer, prefix)
+                return (removed is not None, None, removed)
 
+        # Canonicalise through the network-wide intern table: equal
+        # attribute bundles held by many speakers collapse to one object,
+        # and the duplicate check below usually hits the identity path.
+        imported = self._interner.attributes(imported)
         previous = self.adj_rib_in.get(peer, prefix)
         if previous is not None and previous.attributes == imported:
             # Duplicate announcement: the candidate set is unchanged, so the
             # decision process need not re-run.  Keeping the original entry
             # also preserves its install time for prefer-oldest tie-breaks.
-            return False
+            return (False, None, None)
 
         entry = RibEntry(
             prefix,
@@ -352,7 +407,7 @@ class BGPSpeaker:
             installed_seq=self.sim.next_sequence(),
         )
         self.adj_rib_in.insert(entry)
-        return True
+        return (True, entry, previous)
 
     def invalidate_route(self, peer: ASN, prefix: Prefix) -> bool:
         """Retroactively remove an accepted route (validator callback).
@@ -375,7 +430,7 @@ class BGPSpeaker:
     # -- decision process --------------------------------------------------------------
 
     def _run_decision(self, prefix: Prefix) -> None:
-        """Re-select the best route for ``prefix`` and propagate changes."""
+        """Re-select the best route for ``prefix`` over all candidates."""
         if self._m_decision_runs is not None:
             self._m_decision_runs.inc()
         candidates = list(self.adj_rib_in.routes_for_prefix(prefix))
@@ -396,18 +451,97 @@ class BGPSpeaker:
         ):
             return  # same route object semantics; nothing to re-advertise
 
+        self._apply_best(prefix, new_best, old_best)
+
+    def _decide_after_change(
+        self,
+        prefix: Prefix,
+        inserted: Optional[RibEntry],
+        removed: Optional[RibEntry],
+    ) -> None:
+        """Incremental decision: adjudicate one candidate delta against the
+        cached best route instead of rescanning every candidate.
+
+        The shortcut is only sound when the route comparator is a total
+        order, because then ``max(S ∪ {c}) = max(max(S), c)``.  The one
+        rung that can break transitivity is MED-compared-only-within-peer
+        (RFC 4271's default): with every installed MED equal (tracked by
+        the Adj-RIB-In) — or MED compared across peers — the ladder is a
+        strict lexicographic order and the algebra holds.  Locally
+        originated routes always carry MED 0 (:meth:`originate` builds
+        them without one).  Any state this cannot prove safe falls back to
+        the full scan, which is always correct.
+        """
+        if not self.decision.med_across_peers and self.adj_rib_in.has_nonzero_med:
+            self._run_decision(prefix)
+            return
+        old_best = self.loc_rib.get(prefix)
+        if old_best is None:
+            # No incumbent: the candidate set was empty before this change,
+            # or something unusual happened — scan.
+            self._run_decision(prefix)
+            return
+        # The incumbent must still be installed (checked by identity — a
+        # replacement by an equal-valued entry must not pass).  This is
+        # exactly the case where this very change removed/replaced the
+        # best route, and the remaining candidates must be rescanned.
+        if old_best.peer is None:
+            if self._local_routes.get(prefix) is not old_best:
+                self._run_decision(prefix)
+                return
+        elif self.adj_rib_in.get(old_best.peer, prefix) is not old_best:
+            self._run_decision(prefix)
+            return
+        if inserted is None:
+            # Pure removal of a non-best candidate: removing a non-maximal
+            # element leaves the maximum — and the full scan would have
+            # early-returned on ``new_best is old_best``.
+            if self._m_decision_runs is not None:
+                self._m_decision_runs.inc()
+            return
+        outcome = self.decision.compare(inserted, old_best)
+        if outcome is RouteComparison.RIGHT_BETTER:
+            # Challenger loses to the incumbent, which already beats every
+            # other candidate: the full scan would re-select old_best and
+            # early-return without side effects.
+            if self._m_decision_runs is not None:
+                self._m_decision_runs.inc()
+            return
+        if outcome is RouteComparison.LEFT_BETTER:
+            # Challenger beats the incumbent, hence every candidate: it is
+            # the new best.  (The "same attributes, same peer" early-return
+            # of the full scan cannot apply — the challenger's peer differs
+            # from the incumbent's, or the incumbent would have failed the
+            # identity check above.)
+            if self._m_decision_runs is not None:
+                self._m_decision_runs.inc()
+            self._apply_best(prefix, inserted, old_best)
+            return
+        self._run_decision(prefix)  # EQUAL should be unreachable; be safe
+
+    def _apply_best(
+        self,
+        prefix: Prefix,
+        new_best: Optional[RibEntry],
+        old_best: Optional[RibEntry],
+    ) -> None:
+        """Install/withdraw the Loc-RIB best route and propagate the change."""
         if new_best is None:
             self.loc_rib.withdraw(prefix)
         else:
             self.loc_rib.install(new_best)
 
-        self.sim.trace.record(
-            self.sim.now,
-            "bgp.best_changed",
-            asn=self.asn,
-            prefix=str(prefix),
-            origin=None if new_best is None else new_best.origin_asn,
-        )
+        trace = self.sim.trace
+        if trace.wants("bgp.best_changed"):
+            # Guarded at the call site: str(prefix) and the kwargs dict are
+            # measurable per best-route change on large convergence runs.
+            trace.record(
+                self.sim.now,
+                "bgp.best_changed",
+                asn=self.asn,
+                prefix=str(prefix),
+                origin=None if new_best is None else new_best.origin_asn,
+            )
         for listener in self._loc_rib_listeners:
             listener(prefix, new_best, old_best)
 
@@ -459,28 +593,39 @@ class BGPSpeaker:
             return
         self._pending_announce[peer] = set()
 
-        announcements: Dict[PathAttributes, Set[Prefix]] = {}
-        withdrawals: Set[Prefix] = set()
+        # Containers are created lazily: the common flush outcome is full
+        # duplicate suppression (nothing to send at all).
+        announcements: Optional[Dict[PathAttributes, Set[Prefix]]] = None
+        withdrawals: Optional[Set[Prefix]] = None
 
-        for prefix in sorted(pending):
+        for prefix in sorted(pending) if len(pending) > 1 else pending:
             best = self.loc_rib.get(prefix)
             if best is None or best.peer == peer:
                 # Nothing to advertise (or learned from this very peer):
                 # withdraw if we had previously advertised it.
                 if self.adj_rib_out.has_advertised(peer, prefix):
+                    if withdrawals is None:
+                        withdrawals = set()
                     withdrawals.add(prefix)
                     self.adj_rib_out.record_withdrawal(peer, prefix)
                 continue
             export = self._export_attributes(peer, best)
             if export is None:
                 if self.adj_rib_out.has_advertised(peer, prefix):
+                    if withdrawals is None:
+                        withdrawals = set()
                     withdrawals.add(prefix)
                     self.adj_rib_out.record_withdrawal(peer, prefix)
                 continue
             if self.adj_rib_out.advertised(peer, prefix) == export:
                 continue  # duplicate suppression
+            if announcements is None:
+                announcements = {}
             announcements.setdefault(export, set()).add(prefix)
             self.adj_rib_out.record_advertisement(peer, prefix, export)
+
+        if announcements is None and withdrawals is None:
+            return
 
         sent_any = False
         sent_count = 0
@@ -490,11 +635,15 @@ class BGPSpeaker:
             self.updates_sent += 1
             sent_count += 1
             sent_any = True
-        for attributes, prefixes in announcements.items():
-            link.send(self.asn, UpdateMessage(announced=prefixes, attributes=attributes))
-            self.updates_sent += 1
-            sent_count += 1
-            sent_any = True
+        if announcements:
+            for attributes, prefixes in announcements.items():
+                link.send(
+                    self.asn,
+                    UpdateMessage(announced=prefixes, attributes=attributes),
+                )
+                self.updates_sent += 1
+                sent_count += 1
+                sent_any = True
         if sent_count and self._m_updates_sent is not None:
             self._m_updates_sent.inc(sent_count)
 
@@ -576,8 +725,10 @@ class BGPSpeaker:
         # (LOCAL_PREF is not sent across eBGP sessions; reset to default.)
         exported = self._prepend_cache.get(base)
         if exported is None:
-            exported = base.with_prepended(self.asn, next_hop=self.asn).replace(
-                local_pref=PathAttributes.DEFAULT_LOCAL_PREF
+            exported = self._interner.attributes(
+                base.with_prepended(self.asn, next_hop=self.asn).replace(
+                    local_pref=PathAttributes.DEFAULT_LOCAL_PREF
+                )
             )
             self._prepend_cache[base] = exported
         return exported

@@ -9,6 +9,8 @@ Exposes the reproduction's main entry points without writing any Python:
   RouteViews-style dump file;
 * ``repro topology`` — generate a paper-style topology and describe it;
 * ``repro hijack`` — run one hijack scenario and report the outcome;
+* ``repro profile`` — run one hijack scenario under cProfile and print
+  the hottest functions (``--output`` dumps raw pstats data);
 * ``repro sweep`` — run an attacker-fraction sweep, optionally emitting a
   JSONL run manifest (``--manifest``);
 * ``repro report`` — aggregate a run manifest back into the paper's tables;
@@ -256,6 +258,79 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.attack.placement import place_attackers, place_origins
+    from repro.eventsim.rng import RandomStreams
+    from repro.experiments.runner import (
+        AttackTiming,
+        DeploymentKind,
+        HijackScenario,
+        run_hijack_scenario,
+    )
+    from repro.topology.generators import (
+        generate_paper_topology,
+        generate_scale_topology,
+    )
+
+    if args.size <= 100:
+        graph = generate_paper_topology(args.size, seed=args.seed)
+    else:
+        graph = generate_scale_topology(args.size, seed=args.seed)
+    streams = RandomStreams(args.seed)
+    origins = place_origins(graph, args.origins, streams.stream("origins"))
+    n_attackers = max(1, round(args.attackers * len(graph)))
+    attackers = place_attackers(
+        graph, n_attackers, streams.stream("attackers"), exclude=origins
+    )
+    scenario = HijackScenario(
+        graph=graph,
+        origins=origins,
+        attackers=attackers,
+        deployment={
+            "none": DeploymentKind.NONE,
+            "partial": DeploymentKind.PARTIAL,
+            "full": DeploymentKind.FULL,
+        }[args.deployment],
+        timing={
+            "simultaneous": AttackTiming.SIMULTANEOUS,
+            "post-convergence": AttackTiming.POST_CONVERGENCE,
+        }[args.timing],
+        seed=args.seed,
+    )
+    if args.warm:
+        # Pull one-time costs (prefix parse caches, import machinery) out
+        # of the profile so it shows the steady-state hot path.
+        run_hijack_scenario(scenario)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeat):
+        outcome = run_hijack_scenario(scenario)
+    profiler.disable()
+
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"profile written: {args.output}")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    print(buffer.getvalue().rstrip())
+    print(
+        f"scenario: {len(graph)} ASes, {args.deployment} deployment, "
+        f"{args.timing}, x{args.repeat}"
+    )
+    print(
+        f"last run: {outcome.events_processed} events in "
+        f"{outcome.wall_seconds:.3f}s ({outcome.events_per_sec:,.0f} "
+        f"events/sec)"
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.runner import AttackTiming, DeploymentKind
     from repro.experiments.sweep import SweepConfig, run_sweep
@@ -500,6 +575,49 @@ def build_parser() -> argparse.ArgumentParser:
         "fault injection, recovery) as JSON to PATH",
     )
     hijack.set_defaults(func=_cmd_hijack)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one hijack scenario under cProfile and print the "
+        "hottest functions",
+    )
+    profile.add_argument(
+        "--size", type=int, default=63,
+        help="topology size; <=100 uses the paper generator, larger sizes "
+        "the Internet-like scale generator (default 63)",
+    )
+    profile.add_argument("--origins", type=int, default=1)
+    profile.add_argument("--attackers", type=float, default=0.1,
+                         help="attacker fraction of ASes")
+    profile.add_argument("--deployment", choices=("none", "partial", "full"),
+                         default="full")
+    profile.add_argument(
+        "--timing", choices=("simultaneous", "post-convergence"),
+        default="simultaneous",
+    )
+    profile.add_argument("--seed", type=int, default=8)
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="profile N back-to-back runs (averages out noise on small "
+        "topologies)",
+    )
+    profile.add_argument(
+        "--warm", action="store_true",
+        help="run the scenario once unprofiled first so one-time caches "
+        "don't pollute the profile",
+    )
+    profile.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls", "calls", "time"),
+        help="pstats sort key (default cumulative)",
+    )
+    profile.add_argument("--limit", type=int, default=25, metavar="N",
+                         help="print the top N entries (default 25)")
+    profile.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also dump raw pstats data to PATH (for snakeviz etc.)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     sweep = sub.add_parser(
         "sweep", help="run an attacker-fraction sweep (optionally manifested)"

@@ -165,10 +165,21 @@ class MoasChecker:
             return True
 
         # Step 3: compare against every distinct list seen for the prefix.
-        seen = self._observed.setdefault(prefix, set())
-        conflict = any(not moas_list.consistent_with(other) for other in seen)
-        is_new_list = moas_list not in seen
-        seen.add(moas_list)
+        seen = self._observed.get(prefix)
+        if seen is None:
+            seen = self._observed[prefix] = set()
+        if len(seen) == 1 and moas_list in seen:
+            # Steady state: the only list ever seen for this prefix is this
+            # very one (lists are memoized by extraction, so the membership
+            # test is an identity hit).  Nothing to compare against.
+            conflict = False
+            is_new_list = False
+        else:
+            conflict = any(
+                not moas_list.consistent_with(other) for other in seen
+            )
+            is_new_list = moas_list not in seen
+            seen.add(moas_list)
 
         if conflict and is_new_list:
             self.conflicts_detected += 1

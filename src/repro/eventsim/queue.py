@@ -1,32 +1,83 @@
 """Deterministic event queue.
 
-A thin wrapper over :mod:`heapq` that assigns monotonically increasing
-sequence numbers at insertion time.  Two events scheduled for the same time
-with the same priority therefore fire in insertion order, regardless of heap
-internals — the total order is well defined and replayable.
+Two implementations of the same contract — a priority queue of
+:class:`Event` ordered by ``(time, priority, seq)``, where the sequence
+number is assigned at insertion time so same-time same-priority events fire
+in insertion order regardless of container internals:
+
+* :class:`EventQueue` — the production **calendar queue**.  Events are
+  bucketed by exact timestamp; a small heap orders the *distinct* times.
+  Discrete-event BGP workloads schedule thousands of deliveries onto a
+  handful of quantised timestamps (every message on a link shares the
+  link's delay), so the per-event cost collapses to a dict lookup plus a
+  list append on push and a list index bump on pop — O(1) amortised —
+  while far-future or irregular timestamps simply become new buckets on
+  the time heap (the logarithmic fallback).
+* :class:`HeapEventQueue` — the original flat ``heapq`` wrapper, kept as
+  the executable specification.  The property tests drive both with random
+  push/pop/cancel/peek interleavings and require identical behaviour.
+
+Both maintain an exact live count (``len(queue)``): cancellations are
+observed immediately through the per-event ``on_cancel`` hook, which the
+warm-start snapshot protocol relies on to refuse queues it cannot account
+for.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional
+from operator import attrgetter
+from typing import Dict, Iterator, List, Optional
 
 from repro.eventsim.event import Event
 
+# Within one time bucket, events are ordered by (priority, seq) — the tail
+# of the canonical (time, priority, seq) total order.
+_bucket_key = attrgetter("priority", "seq")
+
 
 class EventQueue:
-    """Priority queue of :class:`Event` ordered by ``(time, priority, seq)``."""
+    """Calendar queue of :class:`Event` ordered by ``(time, priority, seq)``.
+
+    Structure: ``_buckets`` maps each distinct pending timestamp to the
+    list of events scheduled for it (in push order); ``_times`` is a heap
+    of those distinct timestamps.  ``pop`` promotes the earliest bucket to
+    the *current* bucket, sorts it once by ``(priority, seq)`` (push order
+    means it is almost always already sorted, which timsort detects), and
+    then drains it by advancing an index — no per-event heap traffic.
+
+    Pushes onto the currently draining timestamp insert into the sorted
+    remainder (in practice: append, because fresh sequence numbers sort
+    last among equal priorities).  Pushes onto an *earlier* timestamp than
+    the current bucket — impossible under the simulator's no-past-events
+    rule but allowed by the container contract — park the remainder back
+    into the calendar so the earlier bucket drains first.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[tuple] = []
+        self._buckets: Dict[float, List[Event]] = {}
+        self._times: List[float] = []
+        self._current: Optional[List[Event]] = None
+        self._current_time = 0.0
+        self._pos = 0
         self._next_seq = 0
-        self._live = 0  # number of non-cancelled events in the heap
+        self._live = 0  # number of non-cancelled events held
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def last_seq(self) -> int:
+        """The most recently assigned sequence number (-1 before any push).
+
+        Batching layers (link delivery coalescing) compare this against the
+        sequence of an event they would append to: equality proves nothing
+        was scheduled in between, so appending preserves the total order.
+        """
+        return self._next_seq - 1
 
     def push(self, event: Event) -> None:
         """Insert an event; assigns its sequence number."""
@@ -35,36 +86,113 @@ class EventQueue:
         event.seq = self._next_seq
         self._next_seq += 1
         event.on_cancel = self.note_cancelled
-        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._live += 1
+
+        time = event.time
+        current = self._current
+        if current is not None and time == self._current_time:
+            # Insert into the undrained remainder, keeping it sorted by
+            # (priority, seq).  The fresh seq is the largest ever assigned,
+            # so among equal priorities this lands at the very end.
+            lo, hi = self._pos, len(current)
+            priority, seq = event.priority, event.seq
+            while lo < hi:
+                mid = (lo + hi) // 2
+                other = current[mid]
+                if (other.priority, other.seq) <= (priority, seq):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            current.insert(lo, event)
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+
+    def _head(self) -> Optional[Event]:
+        """Advance lazily to the earliest live event and return it (without
+        removing); ``None`` when no live events remain."""
+        while True:
+            current = self._current
+            if current is not None:
+                if self._times and self._times[0] < self._current_time:
+                    # An earlier bucket appeared mid-drain: park the
+                    # remainder back into the calendar and drain that first.
+                    rest = current[self._pos:]
+                    self._current = None
+                    if rest:
+                        self._buckets[self._current_time] = rest
+                        heapq.heappush(self._times, self._current_time)
+                    continue
+                pos = self._pos
+                size = len(current)
+                while pos < size and current[pos].cancelled:
+                    pos += 1
+                self._pos = pos
+                if pos < size:
+                    return current[pos]
+                self._current = None
+                continue
+            if not self._times:
+                return None
+            time = self._times[0]
+            bucket = self._buckets[time]
+            for event in bucket:
+                if not event.cancelled:
+                    break
+            else:
+                # Bucket is entirely cancelled events; drop it wholesale.
+                heapq.heappop(self._times)
+                del self._buckets[time]
+                continue
+            heapq.heappop(self._times)
+            del self._buckets[time]
+            if len(bucket) > 1:
+                bucket.sort(key=_bucket_key)
+            self._current = bucket
+            self._current_time = time
+            self._pos = 0
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty.
 
-        Cancelled events are dropped lazily here rather than removed from the
-        middle of the heap at cancel time (which would be O(n)).
+        Cancelled events are dropped lazily here rather than removed from
+        the middle of a bucket at cancel time (which would be O(n)).
         """
-        while self._heap:
-            _, _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            # Out of the heap now: a later cancel() must not touch the
-            # live count again.
-            event.on_cancel = None
-            return event
-        return None
+        event = self._head()
+        if event is None:
+            return None
+        self._pos += 1
+        self._live -= 1
+        # Out of the queue now: a later cancel() must not touch the live
+        # count again.
+        event.on_cancel = None
+        return event
+
+    def pop_due(self, until: Optional[float] = None) -> Optional[Event]:
+        """Combined peek-and-pop: the earliest live event if it fires at or
+        before ``until`` (no bound when None); the queue is untouched when
+        the head is later than ``until``.  One head scan instead of the
+        peek-then-pop double walk — this is the simulator run loop's path.
+        """
+        event = self._head()
+        if event is None or (until is not None and event.time > until):
+            return None
+        self._pos += 1
+        self._live -= 1
+        event.on_cancel = None
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, if any."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        event = self._head()
+        return None if event is None else event.time
 
     def note_cancelled(self) -> None:
-        """Adjust the live count after an in-heap event was cancelled.
+        """Adjust the live count after a held event was cancelled.
 
         Wired into every pushed event's ``on_cancel`` hook, so ``len(queue)``
         is exact at all times — the warm-start snapshot protocol compares it
@@ -85,6 +213,97 @@ class EventQueue:
     def clear(self) -> None:
         # Detach cancel hooks first: a timer cancelled after a queue clear
         # (e.g. during a snapshot restore) must not decrement the new count.
+        current = self._current
+        if current is not None:
+            for event in current[self._pos:]:
+                event.on_cancel = None
+        for bucket in self._buckets.values():
+            for event in bucket:
+                event.on_cancel = None
+        self._buckets.clear()
+        self._times.clear()
+        self._current = None
+        self._pos = 0
+        self._live = 0
+
+
+class HeapEventQueue:
+    """Flat-heap reference implementation of the queue contract.
+
+    This is the original production queue, retained verbatim as the
+    executable specification: the calendar queue's property tests replay
+    random operation sequences against both and demand identical pops,
+    peeks and live counts.  It remains fully functional — a
+    :class:`~repro.eventsim.simulator.Simulator` could run on it — just
+    O(log n) per operation where the calendar queue is O(1) amortised.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._next_seq = 0
+        self._live = 0  # number of non-cancelled events in the heap
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    @property
+    def last_seq(self) -> int:
+        """The most recently assigned sequence number (-1 before any push)."""
+        return self._next_seq - 1
+
+    def push(self, event: Event) -> None:
+        """Insert an event; assigns its sequence number."""
+        if event.seq is not None:
+            raise ValueError("event is already scheduled")
+        event.seq = self._next_seq
+        self._next_seq += 1
+        event.on_cancel = self.note_cancelled
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event.on_cancel = None
+            return event
+        return None
+
+    def pop_due(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the head if it fires at or before ``until`` (see EventQueue)."""
+        time = self.peek_time()
+        if time is None or (until is not None and time > until):
+            return None
+        return self.pop()
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def note_cancelled(self) -> None:
+        """Adjust the live count after an in-heap event was cancelled."""
+        if self._live > 0:
+            self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining live events in firing order, emptying the queue."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+    def clear(self) -> None:
         for _, _, _, event in self._heap:
             event.on_cancel = None
         self._heap.clear()

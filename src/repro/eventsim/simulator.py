@@ -44,9 +44,12 @@ class RearmPlan:
     """
 
     def __init__(self) -> None:
-        self._entries: List[Tuple[Tuple[float, int, int], Callable[[], None]]] = []
+        self._entries: List[Tuple[Tuple[float, ...], Callable[[], None]]] = []
 
-    def add(self, sort_key: Tuple[float, int, int], arm: Callable[[], None]) -> None:
+    def add(self, sort_key: Tuple[float, ...], arm: Callable[[], None]) -> None:
+        # Keys are usually the exact (time, priority, seq) triple; batched
+        # link deliveries extend it with a batch index.  Mixed lengths sort
+        # fine because no event shares another's full triple.
         self._entries.append((tuple(sort_key), arm))
 
     def execute(self) -> int:
@@ -80,8 +83,15 @@ class Simulator:
         queue depth (``sim.queue_depth``); protocol modules holding this
         simulator pick the registry up and register their own instruments.
         When None (the default), instrumentation sites reduce to a single
-        ``is not None`` attribute test.
+        ``is not None`` attribute test.  The queue-depth gauge is *sampled*
+        every :data:`QUEUE_DEPTH_SAMPLE_INTERVAL` events (and once at the
+        end of every ``run``) rather than written per event — the cadence
+        is a pure function of the event count, so instrumented runs stay
+        deterministic while the per-event overhead disappears.
     """
+
+    #: Sampling stride of the ``sim.queue_depth`` gauge within ``run()``.
+    QUEUE_DEPTH_SAMPLE_INTERVAL = 64
 
     def __init__(
         self,
@@ -120,6 +130,18 @@ class Simulator:
         route-arrival order within one simulated instant)."""
         self._sequence += 1
         return self._sequence
+
+    def account_extra_events(self, count: int) -> None:
+        """Credit ``count`` logical events beyond the one currently firing.
+
+        Batched link delivery coalesces k same-link same-tick messages into
+        one queue event; calling this with ``k - 1`` keeps
+        ``events_processed`` (and everything derived from it — outcome
+        counters, ``sim.events``, the max-events guard) bit-identical to
+        the unbatched engine, where each message consumed its own event.
+        """
+        if count > 0:
+            self.events_processed += count
 
     # -- scheduling --------------------------------------------------------
 
@@ -163,19 +185,14 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        processed = 0
+        started_at = self.events_processed
+        sample_stride = self.QUEUE_DEPTH_SAMPLE_INTERVAL
+        queue = self.queue
         try:
             while True:
-                next_time = self.queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self.queue.pop()
+                event = queue.pop_due(until)
                 if event is None:
-                    raise InvariantError(
-                        "event queue yielded no event after a non-None peek"
-                    )
+                    break
                 if self.sanitize and event.time < self.now:
                     raise InvariantError(
                         f"event {event.label!r} fires at t={event.time:.6f}, "
@@ -183,12 +200,12 @@ class Simulator:
                     )
                 self.now = event.time
                 event.fire()
-                processed += 1
                 self.events_processed += 1
-                if self._m_events is not None:
-                    self._m_events.inc()
-                    assert self._m_queue_depth is not None
-                    self._m_queue_depth.set(float(len(self.queue)))
+                if (
+                    self._m_queue_depth is not None
+                    and self.events_processed % sample_stride == 0
+                ):
+                    self._m_queue_depth.set(float(len(queue)))
                 if self.events_processed > self.max_events:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}; "
@@ -196,6 +213,11 @@ class Simulator:
                     )
         finally:
             self._running = False
+            processed = self.events_processed - started_at
+            if self._m_events is not None and processed:
+                self._m_events.inc(processed)
+                assert self._m_queue_depth is not None
+                self._m_queue_depth.set(float(len(queue)))
         if until is not None and until > self.now:
             self.now = until
         return processed

@@ -43,6 +43,15 @@ class TraceRecorder:
         self._check_monotonic = check_monotonic
         self._last_time = float("-inf")
 
+    def wants(self, category: str) -> bool:
+        """Whether :meth:`record` would keep a record of ``category``.
+
+        Hot call sites whose *arguments* are costly to build (string
+        formatting, kwargs dicts) check this first; everyone else just
+        calls :meth:`record`, which applies the same filter.
+        """
+        return self._categories is None or category in self._categories
+
     def record(self, time: float, category: str, **detail: Any) -> None:
         if self._categories is not None and category not in self._categories:
             return

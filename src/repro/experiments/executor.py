@@ -46,6 +46,7 @@ cross the pool boundary.
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
@@ -135,6 +136,23 @@ class _AttributedCall:
             ) from exc
 
 
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The multiprocessing context used for scenario pools.
+
+    ``fork`` where available: workers inherit the parent's imported
+    modules and warmed caches (prefix parse tables, topology digests)
+    copy-on-write, so the first scenario in each worker runs at
+    steady-state speed.  This also pins the behaviour against the
+    interpreter's default start method changing (3.14 moves Linux to
+    ``forkserver``, which would cold-start every worker).  ``None`` on
+    platforms without ``fork`` — the executor then uses the default.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve the effective worker count.
 
@@ -186,7 +204,9 @@ def parallel_map(
     # still load-balancing runs of uneven cost (large attacker fractions
     # converge slower than small ones).
     chunksize = max(1, len(work) // (count * 4))
-    with ProcessPoolExecutor(max_workers=count) as pool:
+    with ProcessPoolExecutor(
+        max_workers=count, mp_context=_pool_context()
+    ) as pool:
         return list(pool.map(call, enumerate(work), chunksize=chunksize))
 
 
@@ -209,13 +229,23 @@ _POOL_GRAPHS: Dict[str, ASGraph] = {}
 
 
 def _init_scenario_worker(graphs: Dict[str, ASGraph]) -> None:
-    """Pool initializer: install the deduplicated graph table.
+    """Pool initializer: install the deduplicated graph table, warm.
 
     Runs once per worker process, so each distinct topology crosses the
     pool boundary exactly once regardless of how many scenarios share it.
+    Re-deriving each graph's content digest here both warms the worker's
+    digest cache (warm-start keys and manifest specs hash the topology;
+    under a non-fork start method the unpickled copy starts cold) and
+    verifies the table survived the crossing intact.
     """
     _POOL_GRAPHS.clear()
-    _POOL_GRAPHS.update(graphs)
+    for digest, graph in graphs.items():
+        if graph.content_digest() != digest:
+            raise RuntimeError(
+                f"graph table corrupted crossing the pool: digest "
+                f"{digest[:12]}… does not match its topology"
+            )
+        _POOL_GRAPHS[digest] = graph
 
 
 class _ScenarioRunner:
@@ -319,6 +349,7 @@ def execute_scenarios(
         chunksize = max(1, len(work) // (count * 4))
         with ProcessPoolExecutor(
             max_workers=count,
+            mp_context=_pool_context(),
             initializer=_init_scenario_worker,
             initargs=(graphs,),
         ) as pool:

@@ -290,6 +290,12 @@ def _execute_scenario(
     # measures this process, not the simulated system.
     started = time.perf_counter()  # repro-lint: disable=R002
     scenario.validate()
+    if sim is None:
+        # Plain path: the scenario runner never reads the trace, so record
+        # nothing — category-filtered recording is a single set probe per
+        # call site.  Tracing is a Simulator argument, not a Network one,
+        # which is why the sim is built here rather than left to Network.
+        sim = Simulator(seed=scenario.seed, trace_categories=frozenset())
     origins = frozenset(scenario.origins)
     attackers = frozenset(scenario.attackers)
     prefix = scenario.prefix
@@ -438,7 +444,9 @@ def run_hijack_scenario_instrumented(
     """
     warm = resolve_warm_start(warm_start)
     metrics = MetricsRegistry()
-    sim = Simulator(seed=scenario.seed, metrics=metrics)
+    sim = Simulator(
+        seed=scenario.seed, metrics=metrics, trace_categories=frozenset()
+    )
     tracer = SpanTracer(clock=lambda: sim.now)
     artifacts: Dict[str, Any] = {}
     outcome = _execute_scenario(

@@ -37,6 +37,10 @@ RULES: Dict[str, str] = {
     "generically and aliases shared immutables unpredictably; implement the "
     "explicit snapshot_state/restore_state protocol the way repro.warmstart "
     "does)",
+    "R008": "bare PathAttributes(...)/AsPath(...) construction in a BGP "
+    "hot-path module bypasses the route intern table; wrap the call in "
+    "interner.attributes(...)/interner.as_path(...) so equal routes share "
+    "one object",
 }
 
 #: ``random`` module functions that draw from the implicit global state.
@@ -111,6 +115,13 @@ _PICKLE_SUPPORT: FrozenSet[str] = frozenset(
     }
 )
 
+#: Classes whose bare construction R008 flags in hot-path modules.
+_INTERNABLE_CLASSES: FrozenSet[str] = frozenset({"PathAttributes", "AsPath"})
+
+#: Interner methods whose direct argument may be a bare construction —
+#: ``interner.attributes(PathAttributes(...))`` is the blessed idiom.
+_INTERNER_METHODS: FrozenSet[str] = frozenset({"attributes", "as_path"})
+
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
@@ -152,6 +163,17 @@ class LintConfig:
         "*/experiments/sweep.py",
     )
     pool_functions: Tuple[str, ...] = ("parallel_map", "execute_scenarios")
+    #: Modules on the per-event hot path, where every route object must
+    #: come out of the intern table (R008).  ``attributes.py`` (defines
+    #: the classes), ``interning.py`` (is the table) and batch utilities
+    #: like aggregation are deliberately not listed.
+    hot_path_modules: Tuple[str, ...] = (
+        "*/bgp/speaker.py",
+        "*/bgp/session.py",
+        "*/bgp/rib.py",
+        "*/bgp/network.py",
+        "*/bgp/messages.py",
+    )
 
     def enabled(self, rule: str) -> bool:
         return rule in self.select
@@ -159,6 +181,12 @@ class LintConfig:
     def is_spec_module(self, path: str) -> bool:
         normalised = path.replace("\\", "/")
         return any(fnmatch.fnmatch(normalised, pat) for pat in self.spec_modules)
+
+    def is_hot_path_module(self, path: str) -> bool:
+        normalised = path.replace("\\", "/")
+        return any(
+            fnmatch.fnmatch(normalised, pat) for pat in self.hot_path_modules
+        )
 
 
 def _parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
@@ -225,6 +253,9 @@ class _FileChecker(ast.NodeVisitor):
         self._scopes: List[_Scope] = [_Scope()]
         # Generator expressions already cleared as order-insensitive sinks.
         self._exempt_generators: Set[int] = set()
+        # Constructor calls cleared because they feed the interner (R008).
+        self._interned_constructions: Set[int] = set()
+        self._hot_path = config.is_hot_path_module(path)
         self._class_depth = 0
 
     # -- bookkeeping -------------------------------------------------------
@@ -505,6 +536,37 @@ class _FileChecker(ast.NodeVisitor):
                         f"lambda passed to {func.id}() cannot be pickled "
                         "across the process pool; use a module-level function",
                     )
+
+        # R008: route objects built on the hot path must come out of the
+        # intern table.  A construction that is the *direct* argument of an
+        # interner method is the blessed idiom
+        # (``interner.attributes(PathAttributes(...))``); mark those before
+        # descending into the argument.
+        if isinstance(func, ast.Attribute) and func.attr in _INTERNER_METHODS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Call):
+                    self._interned_constructions.add(id(arg))
+        if self._hot_path:
+            ctor: Optional[str] = None
+            if isinstance(func, ast.Name) and func.id in _INTERNABLE_CLASSES:
+                ctor = func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INTERNABLE_CLASSES
+            ):
+                ctor = func.attr
+            if ctor is not None and id(node) not in self._interned_constructions:
+                method = (
+                    "attributes" if ctor == "PathAttributes" else "as_path"
+                )
+                self._report(
+                    node,
+                    "R008",
+                    f"bare {ctor}(...) on the BGP hot path bypasses the "
+                    f"route intern table; wrap it as "
+                    f"interner.{method}({ctor}(...)) so equal routes share "
+                    "one object",
+                )
 
         self.generic_visit(node)
 

@@ -4,12 +4,23 @@ A link carries messages with a fixed propagation delay and can be failed and
 restored at runtime; messages in flight on a failing link are lost, as they
 would be on a real circuit.  Delivery order on a link is FIFO by
 construction (same delay, deterministic event ordering).
+
+Deliveries are **batched**: consecutive sends in the same direction that
+share a delivery tick coalesce into one queue event carrying the message
+list.  Coalescing is only allowed while the batch's event is still the most
+recently scheduled event in the whole simulator (checked against the event
+queue's ``last_seq``): then no other event can sort between the batch
+members, so firing them back-to-back is provably the same total order the
+unbatched engine produced — and the batch credits its extra messages
+through :meth:`Simulator.account_extra_events`, keeping every derived
+counter bit-identical.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.eventsim.event import EventHandle
 from repro.eventsim.simulator import RearmPlan, Simulator
@@ -18,6 +29,33 @@ from repro.eventsim.simulator import RearmPlan, Simulator
 class LinkState(enum.Enum):
     UP = "up"
     DOWN = "down"
+
+
+class _Flight:
+    """One scheduled delivery: a batch of messages on the wire.
+
+    ``seq`` mirrors the underlying event's queue sequence number — the
+    coalescing check compares it against the queue's most recent sequence
+    to prove nothing was scheduled after the batch.
+    """
+
+    __slots__ = ("sender", "messages", "epoch", "time", "handle", "seq")
+
+    def __init__(
+        self,
+        sender: Any,
+        messages: List[Any],
+        epoch: int,
+        time: float,
+        handle: EventHandle,
+        seq: int,
+    ) -> None:
+        self.sender = sender
+        self.messages = messages
+        self.epoch = epoch
+        self.time = time
+        self.handle = handle
+        self.seq = seq
 
 
 class Link:
@@ -47,11 +85,13 @@ class Link:
         self._epoch = 0  # bumped on failure; in-flight messages check it
         self.messages_sent = 0
         self.messages_dropped = 0
-        # Messages queued but not yet delivered, keyed by a per-link token.
+        # Delivery batches not yet fired, keyed by a per-link token.
         # Tracking them is what makes link state snapshottable: a restore
         # re-schedules exactly these deliveries at their original times.
-        self._in_flight: Dict[int, Tuple[Any, Any, int, EventHandle]] = {}
+        self._in_flight: Dict[int, _Flight] = {}
         self._flight_seq = 0
+        # Per-direction token of the batch still open for coalescing.
+        self._open: Dict[Any, int] = {}
         # Delivery labels are per-direction constants; formatting them per
         # message showed up in profiles of large convergence runs.
         self._labels = {a: f"deliver {a}->{b}", b: f"deliver {b}->{a}"}
@@ -79,32 +119,64 @@ class Link:
 
         Returns ``False`` (and counts a drop) if the link is down.
         """
-        destination = self.other_end(sender)
+        if sender != self.a and sender != self.b:
+            raise ValueError(f"{sender!r} is not an endpoint of {self!r}")
         if self.state is LinkState.DOWN:
             self.messages_dropped += 1
             return False
-        epoch = self._epoch
         self.messages_sent += 1
-        self._schedule_delivery(sender, message, epoch, self.sim.now + self.delay)
+        self._send_at(sender, message, self._epoch, self.sim.now + self.delay)
         return True
 
-    def _schedule_delivery(
-        self, sender: Any, message: Any, epoch: int, time: float
-    ) -> None:
+    def _send_at(self, sender: Any, message: Any, epoch: int, time: float) -> None:
+        """Coalesce into the open batch when order-safe, else schedule anew.
+
+        Safe means: same direction, same delivery tick, same link epoch,
+        batch event still live, and — the crucial guard — the batch event
+        is still the newest event in the simulator's queue, so no event can
+        possibly sort between its members.
+        """
+        token = self._open.get(sender)
+        if token is not None:
+            flight = self._in_flight.get(token)
+            if (
+                flight is not None
+                and flight.time == time
+                and flight.epoch == epoch
+                and flight.seq == self.sim.queue.last_seq
+                and not flight.handle.cancelled
+            ):
+                flight.messages.append(message)
+                return
         token = self._flight_seq
         self._flight_seq += 1
+        # partial() dispatches at C level — this fires once per delivery.
         handle = self.sim.schedule_at(
             time,
-            lambda: self._deliver(sender, message, epoch, token),
+            partial(self._deliver, token),
             label=self._labels[sender],
         )
-        self._in_flight[token] = (sender, message, epoch, handle)
+        self._in_flight[token] = _Flight(
+            sender, [message], epoch, time, handle, handle.sort_key[2]
+        )
+        self._open[sender] = token
 
-    def _deliver(self, sender: Any, message: Any, epoch: int, token: int) -> None:
-        self._in_flight.pop(token, None)
-        # A failure between send and delivery loses the message.
-        if self.state is LinkState.DOWN or self._epoch != epoch:
-            self.messages_dropped += 1
+    def _deliver(self, token: int) -> None:
+        flight = self._in_flight.pop(token, None)
+        if flight is None:  # pragma: no cover - defensive; cancel clears it
+            return
+        sender = flight.sender
+        if self._open.get(sender) == token:
+            del self._open[sender]
+        messages = flight.messages
+        extra = len(messages) - 1
+        if extra:
+            # Each coalesced message was one event in the unbatched engine.
+            self.sim.account_extra_events(extra)
+        # A failure between send and delivery loses the whole batch (every
+        # member was sent in the same pre-failure epoch).
+        if self.state is LinkState.DOWN or self._epoch != flight.epoch:
+            self.messages_dropped += len(messages)
             return
         destination = self.other_end(sender)
         receiver = self._receivers.get(destination)
@@ -112,7 +184,8 @@ class Link:
             raise RuntimeError(
                 f"no receiver attached at {destination!r} on {self!r}"
             )
-        receiver(sender, message)
+        for message in messages:
+            receiver(sender, message)
 
     def fail(self) -> None:
         """Take the link down, losing messages in flight."""
@@ -125,26 +198,37 @@ class Link:
     # -- snapshot / restore ------------------------------------------------
 
     def pending_events(self) -> int:
-        """Live scheduled deliveries (the link's share of the event queue)."""
+        """Live scheduled deliveries (the link's share of the event queue).
+
+        Counts *queue events* (batches), not messages — this is what the
+        snapshot protocol reconciles against ``len(sim.queue)``.
+        """
         return sum(
-            1 for (_, _, _, handle) in self._in_flight.values() if not handle.cancelled
+            1 for flight in self._in_flight.values() if not flight.handle.cancelled
         )
 
     def snapshot_state(self) -> Dict[str, Any]:
         in_flight: List[Dict[str, Any]] = []
         for token in sorted(self._in_flight):
-            sender, message, epoch, handle = self._in_flight[token]
-            if handle.cancelled:
+            flight = self._in_flight[token]
+            if flight.handle.cancelled:
                 continue
-            in_flight.append(
-                {
-                    "sender": sender,
-                    "message": message,
-                    "epoch": epoch,
-                    "time": handle.time,
-                    "sort_key": handle.sort_key,
-                }
-            )
+            base_key = flight.handle.sort_key
+            for index, message in enumerate(flight.messages):
+                # Extend the event's key with the batch index: keys stay
+                # unique and globally ordered (no other event shares the
+                # batch's (time, priority, seq) triple), so a RearmPlan
+                # re-arms members consecutively and in order — and the
+                # rearm path re-coalesces them by the same last-seq rule.
+                in_flight.append(
+                    {
+                        "sender": flight.sender,
+                        "message": message,
+                        "epoch": flight.epoch,
+                        "time": flight.time,
+                        "sort_key": base_key + (index,),
+                    }
+                )
         return {
             "state": self.state.value,
             "epoch": self._epoch,
@@ -159,10 +243,11 @@ class Link:
         self.messages_sent = int(state["messages_sent"])
         self.messages_dropped = int(state["messages_dropped"])
         self._in_flight.clear()
+        self._open.clear()
         for flight in state["in_flight"]:
             rearm.add(
                 flight["sort_key"],
-                lambda f=flight: self._schedule_delivery(
+                lambda f=flight: self._send_at(
                     f["sender"], f["message"], f["epoch"], f["time"]
                 ),
             )

@@ -243,6 +243,56 @@ def config_for_size(n_ases: int) -> InternetTopologyConfig:
     )
 
 
+def scale_config_for_size(n_ases: int) -> InternetTopologyConfig:
+    """Generator config for Internet-scale benchmark graphs (2k/5k/10k AS).
+
+    :func:`config_for_size` parameterises the *full* synthetic Internet the
+    paper-sized topologies are sampled from; this one sizes the generated
+    graph itself — ``n_transit + n_stub == n_ases`` exactly, no sampling or
+    trimming pass.  Composition follows the same structural signature:
+    a few percent of ASes are transit with a densely meshed tier-1 core,
+    the rest are mostly multi-homed stubs.
+    """
+    if n_ases < 50:
+        raise ValueError(
+            f"scale topologies start at 50 ASes, got {n_ases} "
+            "(use generate_paper_topology for the paper's sample sizes)"
+        )
+    n_transit = max(12, round(n_ases * 0.03))
+    return InternetTopologyConfig(
+        n_transit=n_transit,
+        n_stub=n_ases - n_transit,
+        tier1_clique=max(8, min(16, n_transit // 20)) if n_transit >= 8 else n_transit,
+        transit_attach_min=2,
+        transit_attach_max=5,
+        stub_single_homed_fraction=0.35,
+        stub_max_providers=3,
+        first_transit_asn=1,
+        first_stub_asn=n_transit + 1,
+    )
+
+
+def generate_scale_topology(
+    n_ases: int,
+    seed: int = 0,
+    config: Optional[InternetTopologyConfig] = None,
+) -> ASGraph:
+    """Generate an Internet-like graph of exactly ``n_ases`` ASes directly.
+
+    The whole-graph path for the scaling benchmark and the ROADMAP's
+    source-graph study: one :func:`generate_internet_like` pass, no
+    sampling.  Deterministic in ``(n_ases, seed, config)``.
+    """
+    config = config or scale_config_for_size(n_ases)
+    config.validate()
+    if config.n_transit + config.n_stub != n_ases:
+        raise ValueError(
+            f"config produces {config.n_transit + config.n_stub} ASes, "
+            f"but {n_ases} were requested"
+        )
+    return generate_internet_like(config, random.Random(seed))
+
+
 def generate_paper_topology(
     n_ases: int,
     seed: int = 0,

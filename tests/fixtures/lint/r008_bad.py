@@ -1,0 +1,24 @@
+"""Fixture: bare route-object construction on the BGP hot path (R008).
+
+Linted with a config whose ``hot_path_modules`` matches this file; every
+flagged line builds a PathAttributes/AsPath without feeding it straight
+into the intern table.
+"""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+
+
+def import_route(interner, origin):
+    # Bare constructions: each allocates a duplicate of a route the
+    # intern table almost certainly already holds.
+    attributes = PathAttributes(origin=origin)
+    path = AsPath(((1, 2, 3),))
+
+    # Flagged even though it reaches the interner eventually — the rule
+    # wants the construction wrapped, not laundered through a local.
+    interner.attributes(attributes)
+
+    # The blessed idiom: constructions that ARE the interner argument.
+    good_attributes = interner.attributes(PathAttributes(origin=origin))
+    good_path = interner.as_path(AsPath(((1, 2, 3),)))
+    return attributes, path, good_attributes, good_path

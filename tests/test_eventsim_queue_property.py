@@ -1,0 +1,177 @@
+"""Property tests: the calendar EventQueue against the heap reference.
+
+The calendar queue (`EventQueue`) reorganised the container internals; the
+flat-heap implementation (`HeapEventQueue`) is retained as the executable
+specification.  These tests drive both with randomized interleavings of
+push / pop / pop_due / cancel / peek and require identical observable
+behaviour at every step: same popped events, same peeked times, same live
+counts — i.e. the exact ``(time, priority, seq)`` total order survived the
+data-structure swap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eventsim.event import Event
+from repro.eventsim.queue import EventQueue, HeapEventQueue
+
+
+def _noop() -> None:
+    pass
+
+
+class _Pair:
+    """One logical event mirrored into both queues.
+
+    Each queue needs its own Event object (a queue owns seq/on_cancel), but
+    the pair shares identity through ``name`` so pops can be compared.
+    """
+
+    def __init__(self, name: int, time: float, priority: int) -> None:
+        self.name = name
+        self.calendar = Event(time, _noop, priority=priority, label=str(name))
+        self.heap = Event(time, _noop, priority=priority, label=str(name))
+
+    def cancel(self) -> None:
+        self.calendar.cancel()
+        self.heap.cancel()
+
+
+def _check_pop_equal(pair_by_label, got_cal, got_heap):
+    if got_cal is None or got_heap is None:
+        assert got_cal is None and got_heap is None
+        return
+    assert got_cal.label == got_heap.label
+    assert got_cal.time == got_heap.time
+    assert got_cal.priority == got_heap.priority
+    # Sequence assignment is part of the contract: both queues number
+    # insertions identically, so the full sort key must agree.
+    assert got_cal.sort_key() == got_heap.sort_key()
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_interleavings_match_heap_reference(seed: int) -> None:
+    rng = random.Random(seed)
+    calendar = EventQueue()
+    heap = HeapEventQueue()
+    pending: list = []  # pairs believed still queued (approximate)
+    next_name = 0
+    # A small time domain forces heavy bucket sharing (the calendar queue's
+    # fast path); occasional far-future times exercise the heap fallback.
+    times = [0.0, 0.01, 0.01, 0.02, 0.02, 0.02, 0.5, 3.0, 1e6]
+
+    for _ in range(600):
+        op = rng.random()
+        if op < 0.45:
+            time = rng.choice(times)
+            priority = rng.choice((0, 0, 0, 1, -1))
+            pair = _Pair(next_name, time, priority)
+            next_name += 1
+            calendar.push(pair.calendar)
+            heap.push(pair.heap)
+            pending.append(pair)
+        elif op < 0.70:
+            _check_pop_equal(None, calendar.pop(), heap.pop())
+        elif op < 0.80:
+            until = rng.choice(times) if rng.random() < 0.8 else None
+            _check_pop_equal(None, calendar.pop_due(until), heap.pop_due(until))
+        elif op < 0.90:
+            assert calendar.peek_time() == heap.peek_time()
+        elif pending:
+            victim = rng.choice(pending)
+            victim.cancel()  # idempotent; double-cancels are fine
+        assert len(calendar) == len(heap)
+        assert bool(calendar) == bool(heap)
+        assert calendar.last_seq == heap.last_seq
+
+    # Drain both to exhaustion: residual order must match too.
+    for cal_event, heap_event in zip(calendar.drain(), heap.drain()):
+        _check_pop_equal(None, cal_event, heap_event)
+    assert calendar.pop() is None and heap.pop() is None
+    assert len(calendar) == 0 and len(heap) == 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_same_tick_pushes_during_drain(seed: int) -> None:
+    """Pushing onto the timestamp currently being drained must interleave
+    exactly as the heap would (fresh seqs fire after older same-time ones,
+    but priority still wins)."""
+    rng = random.Random(1000 + seed)
+    calendar = EventQueue()
+    heap = HeapEventQueue()
+    name = 0
+    for _ in range(30):
+        pair = _Pair(name, 1.0, rng.choice((0, 0, 1)))
+        name += 1
+        calendar.push(pair.calendar)
+        heap.push(pair.heap)
+
+    popped = 0
+    while True:
+        got_cal, got_heap = calendar.pop(), heap.pop()
+        if got_cal is None:
+            assert got_heap is None
+            break
+        _check_pop_equal(None, got_cal, got_heap)
+        popped += 1
+        # Mid-drain, schedule more events onto the very same timestamp.
+        if popped % 3 == 0 and popped < 60:
+            pair = _Pair(name, 1.0, rng.choice((0, 0, -1)))
+            name += 1
+            calendar.push(pair.calendar)
+            heap.push(pair.heap)
+        assert len(calendar) == len(heap)
+
+
+def test_earlier_push_mid_drain_parks_current_bucket() -> None:
+    """The simulator never schedules into the past, but the container
+    contract allows it: an earlier timestamp pushed while a later bucket
+    drains must fire first (the calendar parks the drained bucket)."""
+    calendar = EventQueue()
+    heap = HeapEventQueue()
+    pairs = [_Pair(i, 5.0, 0) for i in range(4)]
+    for pair in pairs:
+        calendar.push(pair.calendar)
+        heap.push(pair.heap)
+    _check_pop_equal(None, calendar.pop(), heap.pop())  # t=5 bucket is current
+    early = _Pair(99, 1.0, 0)
+    calendar.push(early.calendar)
+    heap.push(early.heap)
+    order_cal = [e.label for e in calendar.drain()]
+    order_heap = [e.label for e in heap.drain()]
+    assert order_cal == order_heap == ["99", "1", "2", "3"]
+
+
+def test_cancelled_bucket_dropped_wholesale() -> None:
+    calendar = EventQueue()
+    events = [Event(2.0, _noop, label=str(i)) for i in range(5)]
+    late = Event(7.0, _noop, label="late")
+    for event in events:
+        calendar.push(event)
+    calendar.push(late)
+    for event in events:
+        event.cancel()
+    assert len(calendar) == 1
+    assert calendar.peek_time() == 7.0
+    assert calendar.pop() is late
+    assert calendar.pop() is None
+
+
+def test_clear_detaches_cancel_hooks() -> None:
+    calendar = EventQueue()
+    first = Event(1.0, _noop)
+    second = Event(1.0, _noop)
+    calendar.push(first)
+    calendar.push(second)
+    calendar.pop()  # promote the bucket so clear() walks the current list
+    calendar.push(Event(4.0, _noop))
+    calendar.clear()
+    assert len(calendar) == 0
+    second.cancel()  # must not drive the live count negative / stale hook
+    assert len(calendar) == 0
+    fresh = Event(0.5, _noop)
+    calendar.push(fresh)
+    assert len(calendar) == 1

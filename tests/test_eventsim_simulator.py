@@ -189,7 +189,25 @@ class TestMetrics:
         assert snapshot["sim.events"] == 3
         assert snapshot["sim.events"] == sim.events_processed
 
-    def test_queue_depth_gauge_sees_pending_events(self):
+    def test_queue_depth_gauge_is_sampled(self):
+        from repro.eventsim.simulator import Simulator
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator(seed=1, metrics=registry)
+        stride = Simulator.QUEUE_DEPTH_SAMPLE_INTERVAL
+        total = 2 * stride + 3
+        for i in range(total):
+            sim.schedule_at(float(i + 1), lambda: None)
+        sim.run()
+        depth = registry.snapshot()["sim.queue_depth"]
+        # The gauge samples every `stride` events, not per event: the first
+        # sample lands after `stride` dispatches (depth = total - stride),
+        # and the end-of-run flush records the drained queue.
+        assert depth["max"] == float(total - stride)
+        assert depth["value"] == 0.0
+
+    def test_queue_depth_gauge_flushed_at_end_of_short_run(self):
         from repro.eventsim.simulator import Simulator
         from repro.obs.metrics import MetricsRegistry
 
@@ -197,11 +215,9 @@ class TestMetrics:
         sim = Simulator(seed=1, metrics=registry)
         for t in (1.0, 2.0, 3.0):
             sim.schedule_at(t, lambda: None)
-        sim.run()
+        sim.run(until=1.5)  # fewer events than one sampling stride
         depth = registry.snapshot()["sim.queue_depth"]
-        # After the first event fires two remain; after the last, zero.
-        assert depth["max"] == 2.0
-        assert depth["value"] == 0.0
+        assert depth["value"] == 2.0  # two events still pending at flush
 
     def test_instruments_registered_even_if_run_is_empty(self):
         # An empty registry is falsy; the constructor must still register

@@ -25,6 +25,9 @@ FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 #: Config under which the R005 class check fires for the fixture files.
 SPEC_CONFIG = LintConfig(spec_modules=("*/r005_bad.py", "*/clean.py"))
 
+#: Config under which the R008 hot-path check fires for the fixture files.
+HOT_PATH_CONFIG = LintConfig(hot_path_modules=("*/r008_bad.py",))
+
 
 def rules_hit(violations):
     return {v.rule for v in violations}
@@ -141,6 +144,44 @@ class TestRulePositives:
         )
         assert lint_source(src) == []
 
+    def test_r008_bare_construction_on_hot_path(self):
+        violations = lint_file(FIXTURES / "r008_bad.py", config=HOT_PATH_CONFIG)
+        assert rules_hit(violations) == {"R008"}
+        # The bare PathAttributes and the bare AsPath; the two interner-
+        # wrapped constructions are the blessed idiom and stay clean.
+        assert len(violations) == 2
+
+    def test_r008_only_fires_in_hot_path_modules(self):
+        # The same fixture linted under the default config (whose hot-path
+        # patterns name real bgp/ modules) is not a hot-path file.
+        assert lint_file(FIXTURES / "r008_bad.py") == []
+
+    def test_r008_interner_wrapped_ok(self):
+        src = (
+            "def f(interner, origin):\n"
+            "    return interner.attributes(PathAttributes(origin=origin))\n"
+        )
+        assert lint_source(src, path="x/bgp/speaker.py") == []
+
+    def test_r008_keyword_argument_wrapped_ok(self):
+        src = (
+            "def f(interner):\n"
+            "    return interner.as_path(path=AsPath(((1,),)))\n"
+        )
+        assert lint_source(src, path="x/bgp/rib.py") == []
+
+    def test_r008_dotted_constructor_flagged(self):
+        src = (
+            "from repro.bgp import attributes\n"
+            "a = attributes.PathAttributes()\n"
+        )
+        violations = lint_source(src, path="x/bgp/session.py")
+        assert rules_hit(violations) == {"R008"}
+
+    def test_r008_suppression(self):
+        src = "a = PathAttributes()  # repro-lint: disable=R008\n"
+        assert lint_source(src, path="x/bgp/speaker.py") == []
+
 
 class TestRuleNegatives:
     def test_clean_fixture_is_clean(self):
@@ -209,7 +250,7 @@ class TestInfrastructure:
 
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         }
 
 

@@ -1,0 +1,129 @@
+"""Bit-identity pin: the optimised hot path equals the pre-change engine.
+
+The PR that rebuilt the single-run hot path (incremental per-prefix
+decisions, calendar event queue, route interning, batched same-tick
+delivery, trace gating) promised bit-identical outcomes.  The golden
+values below were captured by running the *pre-change* engine (commit
+9172679's code) over a 12-combination grid — two topology sizes, three
+deployment kinds, both attack timings — and they are embedded here
+verbatim so every future optimisation pass re-proves the equivalence.
+
+If this test fails, the engine's observable behaviour changed: that is a
+correctness bug in an optimisation, never an acceptable trade for speed.
+Update the goldens only for a deliberate, documented semantic change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    AttackTiming,
+    DeploymentKind,
+    HijackScenario,
+    run_hijack_scenario,
+)
+from repro.topology.generators import generate_paper_topology
+
+#: (size, deployment, timing) -> outcome fields from the pre-change engine.
+#: poisoned/capable are sorted ASN lists; events/updates are the
+#: deterministic throughput counters (events_processed, updates_sent).
+GOLDEN = {
+    (25, "NONE", "SIMULTANEOUS"): {
+        "poisoned": [5, 24, 1920], "n_remaining": 23, "alarms": 0,
+        "suppressed": 0, "n_capable": 0, "events": 110, "updates": 44,
+    },
+    (25, "NONE", "POST_CONVERGENCE"): {
+        "poisoned": [5, 24, 1920], "n_remaining": 23, "alarms": 0,
+        "suppressed": 0, "n_capable": 0, "events": 117, "updates": 51,
+    },
+    (25, "PARTIAL", "SIMULTANEOUS"): {
+        "poisoned": [5, 24, 1920], "n_remaining": 23, "alarms": 2,
+        "suppressed": 1, "n_capable": 12, "events": 110, "updates": 44,
+    },
+    (25, "PARTIAL", "POST_CONVERGENCE"): {
+        "poisoned": [24], "n_remaining": 23, "alarms": 4,
+        "suppressed": 2, "n_capable": 12, "events": 119, "updates": 53,
+    },
+    (25, "FULL", "SIMULTANEOUS"): {
+        "poisoned": [], "n_remaining": 23, "alarms": 14,
+        "suppressed": 6, "n_capable": 25, "events": 122, "updates": 56,
+    },
+    (25, "FULL", "POST_CONVERGENCE"): {
+        "poisoned": [], "n_remaining": 23, "alarms": 4,
+        "suppressed": 2, "n_capable": 25, "events": 110, "updates": 44,
+    },
+    (63, "NONE", "SIMULTANEOUS"): {
+        "poisoned": [2, 8, 19, 20, 23, 1096, 1183, 1186, 1302, 1332, 1385,
+                     1509, 1573, 1618, 1626, 1633, 1703, 1710, 1720, 1724,
+                     1954, 1957],
+        "n_remaining": 61, "alarms": 0, "suppressed": 0, "n_capable": 0,
+        "events": 696, "updates": 318,
+    },
+    (63, "NONE", "POST_CONVERGENCE"): {
+        "poisoned": [2, 8, 19, 20, 23, 1096, 1183, 1186, 1302, 1332, 1385,
+                     1509, 1573, 1618, 1626, 1633, 1703, 1710, 1720, 1724,
+                     1954, 1957],
+        "n_remaining": 61, "alarms": 0, "suppressed": 0, "n_capable": 0,
+        "events": 807, "updates": 429,
+    },
+    (63, "PARTIAL", "SIMULTANEOUS"): {
+        "poisoned": [2, 20, 1096, 1183, 1302, 1573, 1618, 1703, 1720,
+                     1954, 1957],
+        "n_remaining": 61, "alarms": 69, "suppressed": 42, "n_capable": 32,
+        "events": 780, "updates": 402,
+    },
+    (63, "PARTIAL", "POST_CONVERGENCE"): {
+        "poisoned": [2, 20, 1096, 1183, 1302, 1573, 1618, 1703, 1720,
+                     1954, 1957],
+        "n_remaining": 61, "alarms": 47, "suppressed": 27, "n_capable": 32,
+        "events": 776, "updates": 398,
+    },
+    (63, "FULL", "SIMULTANEOUS"): {
+        "poisoned": [], "n_remaining": 61, "alarms": 156,
+        "suppressed": 93, "n_capable": 63, "events": 870, "updates": 492,
+    },
+    (63, "FULL", "POST_CONVERGENCE"): {
+        "poisoned": [], "n_remaining": 61, "alarms": 30,
+        "suppressed": 15, "n_capable": 63, "events": 715, "updates": 337,
+    },
+}
+
+
+def _scenario(size: int, deployment: str, timing: str) -> HijackScenario:
+    graph = generate_paper_topology(size, seed=8)
+    ases = sorted(graph.asns())
+    return HijackScenario(
+        graph=graph,
+        origins=[ases[10]],
+        attackers=[ases[40 % len(ases)], ases[20]],
+        deployment=DeploymentKind[deployment],
+        timing=AttackTiming[timing],
+        seed=3,
+    )
+
+
+@pytest.mark.parametrize(
+    "size,deployment,timing",
+    sorted(GOLDEN),
+    ids=lambda value: str(value),
+)
+def test_outcome_matches_pre_optimisation_engine(size, deployment, timing):
+    outcome = run_hijack_scenario(_scenario(size, deployment, timing))
+    golden = GOLDEN[(size, deployment, timing)]
+    assert sorted(int(asn) for asn in outcome.poisoned) == golden["poisoned"]
+    assert outcome.n_remaining == golden["n_remaining"]
+    assert outcome.alarms == golden["alarms"]
+    assert outcome.routes_suppressed == golden["suppressed"]
+    assert len(outcome.capable) == golden["n_capable"]
+    assert outcome.events_processed == golden["events"]
+    assert outcome.updates_sent == golden["updates"]
+
+
+def test_repeat_run_is_bit_identical():
+    """Same scenario twice in one process: every deterministic field equal
+    (caches, interner state and warm parse tables must not leak into
+    outcomes)."""
+    first = run_hijack_scenario(_scenario(63, "FULL", "SIMULTANEOUS"))
+    second = run_hijack_scenario(_scenario(63, "FULL", "SIMULTANEOUS"))
+    assert first.masked_timing() == second.masked_timing()
