@@ -77,6 +77,10 @@ class RouteFlapDamper:
     automatically.
     """
 
+    # The damping parameter set is construction config and the speaker
+    # back-reference is re-wired by attach(); only flap records are state.
+    _SNAPSHOT_WAIVED = frozenset({"config", "_speaker"})
+
     def __init__(self, config: Optional[DampingConfig] = None) -> None:
         self.config = config or DampingConfig()
         self.config.validate()

@@ -25,6 +25,11 @@ PolicyFactory = Callable[[ASN], Optional[Policy]]
 class Network:
     """A simulated internetwork: one BGP speaker per AS in a topology."""
 
+    # The graph, speaker config and attribute interner define *which*
+    # network this is — a snapshot may only be overlaid onto a network
+    # constructed from the same inputs (enforced by the baseline key).
+    _SNAPSHOT_WAIVED = frozenset({"graph", "config", "interner"})
+
     def __init__(
         self,
         graph: ASGraph,

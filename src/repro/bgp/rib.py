@@ -90,6 +90,10 @@ class AdjRibIn:
     the same prefix implicitly replaces the old one (RFC 4271 §9).
     """
 
+    # Derived indexes over ``_routes`` (cached peer order, non-zero-MED
+    # count): restore recomputes them from the captured table.
+    _SNAPSHOT_WAIVED = frozenset({"_sorted_peers", "_nonzero_med"})
+
     def __init__(self) -> None:
         self._routes: Dict[ASN, Dict[Prefix, RibEntry]] = {}
         # Peer iteration order is consulted on every decision run; the peer
@@ -206,6 +210,10 @@ class LocRib:
     rebuild — forwarding queries always follow convergence, so the rebuild
     runs once where eager maintenance paid per route change.
     """
+
+    # The prefix trie is lazily derived from ``_best``; restore just
+    # invalidates it and the next longest-match rebuilds.
+    _SNAPSHOT_WAIVED = frozenset({"_trie"})
 
     def __init__(self) -> None:
         self._best: Dict[Prefix, RibEntry] = {}

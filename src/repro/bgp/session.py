@@ -44,6 +44,11 @@ class Session:
     (to flush routes learned from the peer).
     """
 
+    # Peering identity and wiring: the restored network is built over the
+    # same graph, so the owner/peer/link references and the configured hold
+    # time come from construction, not from the snapshot.
+    _SNAPSHOT_WAIVED = frozenset({"sim", "owner", "peer_asn", "link", "hold_time"})
+
     def __init__(
         self,
         sim: Simulator,

@@ -72,6 +72,34 @@ class SpeakerConfig:
 class BGPSpeaker:
     """The BGP routing process of one AS."""
 
+    # Identity and wiring (asn/config/sim, link map, interner, policy and
+    # decision processes, listener/validator registrations) are rebuilt by
+    # constructing the same network; metric instruments are re-resolved
+    # there too.  ``_established_cache`` is a derived memo that restore
+    # explicitly invalidates instead of capturing.
+    _SNAPSHOT_WAIVED = frozenset(
+        {
+            "asn",
+            "config",
+            "sim",
+            "policy",
+            "decision",
+            "_interner",
+            "_links",
+            "_import_validators",
+            "_loc_rib_listeners",
+            "_withdrawal_listeners",
+            "_passthrough_policy",
+            "_established_cache",
+            "_m_updates_received",
+            "_m_updates_sent",
+            "_m_decision_runs",
+            "_m_mrai_fires",
+            "_m_export_cache_hits",
+            "_m_export_cache_misses",
+        }
+    )
+
     def __init__(
         self,
         sim: Simulator,

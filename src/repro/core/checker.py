@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Set
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.speaker import BGPSpeaker
 from repro.core.alarms import Alarm, AlarmKind, AlarmLog
+from repro.core.detection import evaluate_list_conflict, select_conflicting
 from repro.core.moas_list import MoasList, extract_moas_list
 from repro.core.origin_verification import OriginOracle
 from repro.net.addresses import Prefix
@@ -41,6 +42,23 @@ class CheckerMode(enum.Enum):
 
 class MoasChecker:
     """MOAS-list checking for one router."""
+
+    # Not run state: mode/oracle are construction config pinned by the
+    # warm-start baseline key, the alarm log is captured at the
+    # BaselineSnapshot level, and the speaker back-reference plus metric
+    # instruments are re-wired by attach() on the restored network.
+    _SNAPSHOT_WAIVED = frozenset(
+        {
+            "mode",
+            "oracle",
+            "alarms",
+            "_speaker",
+            "_m_checks",
+            "_m_alarms",
+            "_m_conflicts",
+            "_m_suppressed",
+        }
+    )
 
     def __init__(
         self,
@@ -165,33 +183,19 @@ class MoasChecker:
             return True
 
         # Step 3: compare against every distinct list seen for the prefix.
+        # The comparison and the deterministic evidence selection are the
+        # shared repro.core.detection predicates — the stream engine applies
+        # the identical rule, which is what keeps stream == batch.
         seen = self._observed.get(prefix)
         if seen is None:
             seen = self._observed[prefix] = set()
-        if len(seen) == 1 and moas_list in seen:
-            # Steady state: the only list ever seen for this prefix is this
-            # very one (lists are memoized by extraction, so the membership
-            # test is an identity hit).  Nothing to compare against.
-            conflict = False
-            is_new_list = False
-        else:
-            conflict = any(
-                not moas_list.consistent_with(other) for other in seen
-            )
-            is_new_list = moas_list not in seen
-            seen.add(moas_list)
+        conflict, is_new_list = evaluate_list_conflict(seen, moas_list)
 
         if conflict and is_new_list:
             self.conflicts_detected += 1
             if self._m_conflicts is not None:
                 self._m_conflicts.inc()
-            # Pick the conflicting list deterministically: raw set order
-            # would let the alarm's evidence depend on hash order.
-            conflicting = next(
-                other
-                for other in sorted(seen, key=lambda m: tuple(m))
-                if not moas_list.consistent_with(other)
-            )
+            conflicting = select_conflicting(seen, moas_list)
             self._raise_alarm(
                 Alarm(
                     time=self._now(),

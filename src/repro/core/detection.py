@@ -1,0 +1,82 @@
+"""Shared detection constants and rule predicates (the R102 registry).
+
+Detection logic runs in two drivers today — the batch
+:class:`~repro.core.checker.MoasChecker` and the online
+:class:`~repro.stream.engine.StreamEngine` — and the whole stream == batch
+bit-identity guarantee rests on both applying *exactly* the same rules.
+Every constant or predicate that exists in both places is therefore defined
+once, here, and imported by both sides.  ``repro-lint`` rule R102 enforces
+the discipline statically: a detection constant or rule predicate
+re-defined locally in either module (same name, diverging — or even equal —
+value) is a lint violation, so the two halves cannot silently drift apart
+the way the reproducibility literature shows duplicated logic always does.
+
+Everything in this module is deliberately dependency-light: values and pure
+functions over :class:`~repro.core.moas_list.MoasList`, nothing that knows
+about speakers, feeds or alarms.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, MutableSet, Tuple
+
+from repro.core.moas_list import MoasList
+
+__all__ = [
+    "DEFAULT_EVIDENCE_WINDOW",
+    "conflict_evidence_key",
+    "evaluate_list_conflict",
+    "select_conflicting",
+]
+
+#: How long (in feed-time days) conflict evidence for a *dead* prefix is
+#: retained before eviction.  The streaming engine's bounded-window analogue
+#: of the batch checker's per-run ``_observed`` map; any second consumer of
+#: evidence retention must import this value, not re-declare it.
+DEFAULT_EVIDENCE_WINDOW: float = 30.0
+
+
+def conflict_evidence_key(moas_list: MoasList) -> Tuple[int, ...]:
+    """Deterministic ordering key for MOAS-list evidence.
+
+    Raw set iteration order would let alarm evidence depend on hash order;
+    every place that has to pick *one* list out of an evidence set sorts by
+    this key first.
+    """
+    return tuple(moas_list)
+
+
+def evaluate_list_conflict(
+    seen: MutableSet[MoasList], moas_list: MoasList
+) -> Tuple[bool, bool]:
+    """Step 3 of the §4.2 checking rule, shared by batch and stream.
+
+    Compares ``moas_list`` against every distinct list previously observed
+    for the prefix, records it as evidence, and returns
+    ``(conflict, is_new_list)``.  The steady-state fast path — the only list
+    ever seen for the prefix is this very one — skips the comparison
+    entirely (lists are memoized by extraction, so the membership test is an
+    identity hit).
+    """
+    if len(seen) == 1 and moas_list in seen:
+        return False, False
+    conflict = any(not moas_list.consistent_with(other) for other in seen)
+    is_new_list = moas_list not in seen
+    seen.add(moas_list)
+    return conflict, is_new_list
+
+
+def select_conflicting(
+    seen: AbstractSet[MoasList], moas_list: MoasList
+) -> MoasList:
+    """Pick the conflicting list used as alarm evidence, deterministically.
+
+    The first list inconsistent with ``moas_list`` in
+    :func:`conflict_evidence_key` order.  Callers guarantee a conflict
+    exists (``evaluate_list_conflict`` returned True).
+    """
+    return next(
+        other
+        for other in sorted(seen, key=conflict_evidence_key)
+        if not moas_list.consistent_with(other)
+    )

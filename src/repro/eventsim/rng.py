@@ -35,6 +35,11 @@ class RandomStreams:
     lookups of the same name return the same generator object.
     """
 
+    # The master seed is the stream family's *identity*, pinned by the
+    # warm-start baseline key — a snapshot may only ever be restored onto
+    # a family with the same seed, so it is not captured state.
+    _SNAPSHOT_WAIVED = frozenset({"master_seed"})
+
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}

@@ -93,6 +93,23 @@ class Simulator:
     #: Sampling stride of the ``sim.queue_depth`` gauge within ``run()``.
     QUEUE_DEPTH_SAMPLE_INTERVAL = 64
 
+    # Not snapshot state: pending events are owned (and re-armed) by the
+    # components that scheduled them, so the queue is deliberately not
+    # captured; the rest is construction config, observability wiring and
+    # lifecycle plumbing recreated when the host network is rebuilt.
+    _SNAPSHOT_WAIVED = frozenset(
+        {
+            "queue",
+            "sanitize",
+            "trace",
+            "max_events",
+            "metrics",
+            "_m_events",
+            "_m_queue_depth",
+            "_reset_hooks",
+        }
+    )
+
     def __init__(
         self,
         seed: int = 0,

@@ -29,6 +29,25 @@ package turns those conventions into machine-checked rules:
   ``snapshot_state``/``restore_state`` protocol the way
   :mod:`repro.warmstart` does.
 
+On top of the per-file rules, a whole-program pass builds a project index
+(:mod:`repro.lint.index`) — per-module taint summaries, class attribute
+models, constants — cached on disk keyed by content hash, and runs three
+call-graph-aware analyses over it:
+
+* **R100** — flow-sensitive nondeterminism taint: a value derived from a
+  wall clock, unseeded randomness, ``os.urandom``, ``uuid1/4``,
+  ``id()``/``hash()`` or an unordered-set pick must not reach a
+  determinism-critical sink (event scheduling, alarm evidence, checkpoint
+  payloads, manifest records, ``snapshot_state`` outputs), even through
+  any number of project-internal calls.
+* **R101** — snapshot/restore completeness: every class implementing the
+  ``snapshot_state``/``restore_state`` protocol must capture, restore, or
+  explicitly waive (``_SNAPSHOT_WAIVED``) every instance attribute.
+* **R102** — checker/engine rule parity: detection constants, thresholds
+  and predicates shared by :mod:`repro.core.checker` and
+  :mod:`repro.stream.engine` must live once in the
+  :mod:`repro.core.detection` registry, never as diverging copies.
+
 Violations are suppressed per line with ``# repro-lint: disable=R001`` (or
 ``disable=all``).  Run as ``python -m repro.lint src/repro`` or via the
 ``repro-lint`` console script; see ``docs/static-analysis.md``.
@@ -36,23 +55,34 @@ Violations are suppressed per line with ``# repro-lint: disable=R001`` (or
 
 from __future__ import annotations
 
-from repro.lint.reporter import format_json, format_text
-from repro.lint.rules import (
-    RULES,
-    LintConfig,
-    Violation,
+from repro.lint.driver import (
+    LintRun,
     lint_file,
     lint_paths,
     lint_source,
+    run_lint,
 )
+from repro.lint.index import IndexCache, LintFileError, ModuleSummary, build_summary
+from repro.lint.reporter import format_json, format_sarif, format_text
+from repro.lint.rules import RULES, LintConfig, Violation
+from repro.lint.snapshot import SnapshotCoverage, snapshot_coverage
 
 __all__ = [
     "RULES",
+    "IndexCache",
     "LintConfig",
+    "LintFileError",
+    "LintRun",
+    "ModuleSummary",
+    "SnapshotCoverage",
     "Violation",
+    "build_summary",
     "format_json",
+    "format_sarif",
     "format_text",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "run_lint",
+    "snapshot_coverage",
 ]

@@ -1,0 +1,89 @@
+"""Baseline files: adopt new rules on a dirty tree without a flag day.
+
+A baseline is a JSON document mapping *fingerprints* to counts.  A
+fingerprint identifies a violation by repo-relative path, rule id and a
+short hash of the message — deliberately **not** by line number, so pure
+line drift (an unrelated edit above the finding) does not resurface a
+baselined violation, while any change to the finding itself (message text,
+different attribute name, different provenance) does.
+
+Workflow::
+
+    repro-lint src/repro --write-baseline .repro-lint-baseline.json
+    # ... later runs:
+    repro-lint src/repro --baseline .repro-lint-baseline.json
+
+Counts matter: a baseline entry with count 2 absorbs at most two matching
+violations — introducing a *third* instance of an already-baselined finding
+still fails the run.  Fixing findings leaves stale entries behind; refresh
+with ``--write-baseline`` once the tree is clean to shrink the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.rules import Violation
+
+_BASELINE_VERSION = 1
+
+
+def _relpath(path: str) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on windows
+        rel = path
+    return rel.replace("\\", "/")
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity for one violation: ``relpath:rule:msghash``."""
+    digest = hashlib.sha256(violation.message.encode("utf-8")).hexdigest()[:12]
+    return f"{_relpath(violation.path)}:{violation.rule}:{digest}"
+
+
+def write_baseline(violations: Sequence[Violation], path: Path) -> None:
+    """Serialise the current violation set as the new baseline."""
+    entries: Dict[str, int] = {}
+    for violation in violations:
+        key = fingerprint(violation)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {"version": _BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Load a baseline; raises ``ValueError`` on a malformed document."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version in {path}")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+    ):
+        raise ValueError(f"malformed baseline entries in {path}")
+    return dict(entries)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, int]
+) -> Tuple[List[Violation], int]:
+    """Drop baselined violations; returns (surviving, suppressed_count)."""
+    budget = dict(baseline)
+    surviving: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            surviving.append(violation)
+    return surviving, suppressed

@@ -1,0 +1,189 @@
+"""R102: checker/engine rule parity through the shared-constant registry.
+
+Detection logic runs twice in this codebase — once in the batch
+:mod:`repro.core.checker` and once in its streaming mirror
+:mod:`repro.stream.engine` — and the stream == batch bit-identity guarantee
+holds only while both apply exactly the same rules.  The shared pieces
+(thresholds, evidence windows, rule predicates) live in the
+:mod:`repro.core.detection` registry; R102 statically enforces that they
+stay there:
+
+* a **constant** (module-level or UPPER_CASE class-level literal) defined
+  in more than one module of a parity group with *diverging* values is a
+  violation in every defining module;
+* a **watched parameter default** (same parameter name, literal default)
+  diverging across a parity group is a violation — a detection threshold
+  drifting between ``MoasChecker.__init__`` and ``StreamEngine.__init__``
+  is exactly the silent rot this rule exists for;
+* a constant **re-defined beside the registry** is a violation even when
+  the values currently agree ("duplicates registry constant") — the copy
+  is the bug, because nothing keeps it equal tomorrow;
+* a parity module defining a **function with a registry predicate's name**
+  is a violation: it re-implements a shared rule instead of importing it.
+
+Suppressions (``# repro-lint: disable=R102``) work per definition line.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.lint.index import ConstInfo, ModuleSummary
+from repro.lint.rules import LintConfig, Violation
+
+
+def _matches(path: str, patterns: Sequence[str]) -> bool:
+    normalised = path.replace("\\", "/")
+    return any(fnmatch.fnmatch(normalised, pattern) for pattern in patterns)
+
+
+def _suppressed(summary: ModuleSummary, line: int) -> bool:
+    rules = summary.suppressions.get(line, frozenset())
+    return "R102" in rules or "ALL" in rules
+
+
+def _module_defaults(summary: ModuleSummary) -> Dict[str, ConstInfo]:
+    """Parameter name -> first literal default seen in the module."""
+    out: Dict[str, ConstInfo] = {}
+    for entries in summary.defaults.values():
+        for entry in entries:
+            out.setdefault(entry.name, entry)
+    return out
+
+
+def check_parity(
+    summaries: Mapping[str, ModuleSummary], config: LintConfig
+) -> List[Violation]:
+    """Run R102 over the indexed project."""
+    if not config.enabled("R102"):
+        return []
+    violations: List[Violation] = []
+    ordered = sorted(summaries.values(), key=lambda s: s.path)
+
+    registries = [
+        s for s in ordered if _matches(s.path, config.parity_registry_modules)
+    ]
+
+    for group in config.parity_groups:
+        members = [s for s in ordered if _matches(s.path, group)]
+        if not members:
+            continue
+
+        # -- diverging constants across the group -------------------------
+        by_name: Dict[str, List[Tuple[ModuleSummary, ConstInfo]]] = {}
+        for member in members:
+            for name, const in member.constants.items():
+                if "." in name:  # class-qualified duplicates of the bare name
+                    continue
+                by_name.setdefault(name, []).append((member, const))
+        for name, defs in sorted(by_name.items()):
+            values = {const.value_repr for _, const in defs}
+            if len(defs) < 2 or len(values) < 2:
+                continue
+            detail = ", ".join(
+                f"{summary.module}={const.value_repr}" for summary, const in defs
+            )
+            for summary, const in defs:
+                if _suppressed(summary, const.lineno):
+                    continue
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=const.lineno,
+                        col=0,
+                        rule="R102",
+                        message=(
+                            f"detection constant {name!r} diverges across "
+                            f"parity modules ({detail}); define it once in "
+                            "the shared registry"
+                        ),
+                    )
+                )
+
+        # -- diverging watched parameter defaults -------------------------
+        defaults: Dict[str, List[Tuple[ModuleSummary, ConstInfo]]] = {}
+        for member in members:
+            for name, entry in _module_defaults(member).items():
+                defaults.setdefault(name, []).append((member, entry))
+        for name, defs in sorted(defaults.items()):
+            values = {const.value_repr for _, const in defs}
+            if len(defs) < 2 or len(values) < 2:
+                continue
+            detail = ", ".join(
+                f"{summary.module}={const.value_repr}" for summary, const in defs
+            )
+            for summary, const in defs:
+                if _suppressed(summary, const.lineno):
+                    continue
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=const.lineno,
+                        col=0,
+                        rule="R102",
+                        message=(
+                            f"detection parameter default {name!r} diverges "
+                            f"across parity modules ({detail}); hoist the "
+                            "value into the shared registry"
+                        ),
+                    )
+                )
+
+        # -- registry shadowing / predicate re-implementation --------------
+        for registry in registries:
+            registry_consts = {
+                n: c for n, c in registry.constants.items() if "." not in n
+            }
+            registry_functions = {
+                q for q in registry.functions if "." not in q
+            }
+            for member in members:
+                if member.path == registry.path:
+                    continue
+                for name, const in sorted(member.constants.items()):
+                    if "." in name or name not in registry_consts:
+                        continue
+                    if _suppressed(member, const.lineno):
+                        continue
+                    canonical = registry_consts[name]
+                    if const.value_repr == canonical.value_repr:
+                        message = (
+                            f"constant {name!r} duplicates the registry value "
+                            f"in {registry.module}; import it instead of "
+                            "copying it"
+                        )
+                    else:
+                        message = (
+                            f"constant {name!r} shadows the registry value in "
+                            f"{registry.module} with a diverging value "
+                            f"({const.value_repr} != {canonical.value_repr})"
+                        )
+                    violations.append(
+                        Violation(
+                            path=member.path,
+                            line=const.lineno,
+                            col=0,
+                            rule="R102",
+                            message=message,
+                        )
+                    )
+                for qualname, info in sorted(member.functions.items()):
+                    if "." in qualname or qualname not in registry_functions:
+                        continue
+                    if _suppressed(member, info.lineno):
+                        continue
+                    violations.append(
+                        Violation(
+                            path=member.path,
+                            line=info.lineno,
+                            col=0,
+                            rule="R102",
+                            message=(
+                                f"function {qualname!r} re-implements the "
+                                f"shared rule predicate from "
+                                f"{registry.module}; import it instead"
+                            ),
+                        )
+                    )
+    return violations

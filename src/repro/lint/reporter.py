@@ -1,4 +1,4 @@
-"""Violation reporters: human-readable text and machine-readable JSON."""
+"""Violation reporters: human text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -6,6 +6,10 @@ import json
 from typing import Dict, List, Sequence, Union
 
 from repro.lint.rules import RULES, Violation
+
+#: SARIF schema pin; GitHub code scanning consumes exactly this version.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def format_text(violations: Sequence[Violation]) -> str:
@@ -44,6 +48,71 @@ def format_json(violations: Sequence[Violation]) -> str:
         "by_rule": by_rule,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_sarif(violations: Sequence[Violation]) -> str:
+    """A SARIF 2.1.0 log, suitable for GitHub code-scanning upload.
+
+    ``E999``/``E902`` pseudo-violations ride along as results of severity
+    ``error``; the regular rules report at ``warning`` so code scanning
+    annotates without blocking.
+    """
+    rule_ids = sorted({v.rule for v in violations} | set(RULES))
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {
+                "text": RULES.get(rule_id, "file-level analysis error")
+            },
+            "helpUri": "https://example.invalid/repro/docs/static-analysis.md",
+        }
+        for rule_id in rule_ids
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "error" if v.rule.startswith("E") else "warning",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static-analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def format_rule_catalogue() -> str:

@@ -41,6 +41,19 @@ RULES: Dict[str, str] = {
     "hot-path module bypasses the route intern table; wrap the call in "
     "interner.attributes(...)/interner.as_path(...) so equal routes share "
     "one object",
+    "R100": "nondeterminism taint: a value originating from a wall clock, "
+    "unseeded randomness, os.urandom, uuid, id()/hash() or unordered set "
+    "access flows (possibly through calls) into a determinism-critical "
+    "sink: event scheduling, alarm evidence, checkpoint/manifest payloads "
+    "or snapshot_state output",
+    "R101": "snapshot completeness: a class implementing snapshot_state/"
+    "restore_state has an instance attribute that is neither captured, "
+    "restored, nor explicitly waived in _SNAPSHOT_WAIVED — adding a field "
+    "must never silently break warm-start or checkpoint resume",
+    "R102": "checker/engine rule parity: a detection constant, threshold "
+    "default or rule predicate is defined in more than one detection "
+    "module (or re-defined beside the repro.core.detection registry) with "
+    "a diverging — or shadowing — value; import it from the registry",
 }
 
 #: ``random`` module functions that draw from the implicit global state.
@@ -174,6 +187,34 @@ class LintConfig:
         "*/bgp/network.py",
         "*/bgp/messages.py",
     )
+    #: Methods whose arguments are determinism-critical sinks for R100:
+    #: event scheduling keys, alarm evidence, checkpoint payloads.
+    taint_sink_methods: Tuple[str, ...] = (
+        "schedule_at",
+        "schedule_after",
+        "raise_alarm",
+        "record_alarm",
+        "_record_alarm",
+        "write_checkpoint",
+        "save_checkpoint",
+    )
+    #: Constructors whose arguments become durable evidence/payloads (R100).
+    taint_sink_constructors: Tuple[str, ...] = (
+        "Alarm",
+        "StreamAlarm",
+        "Event",
+        "Checkpoint",
+        "ManifestRecord",
+    )
+    #: Class attribute declaring snapshot-protocol waivers (R101).
+    snapshot_waiver_name: str = "_SNAPSHOT_WAIVED"
+    #: Module groups whose detection constants / thresholds / predicates
+    #: must agree (R102) — the batch checker and its streaming mirror.
+    parity_groups: Tuple[Tuple[str, ...], ...] = (
+        ("*/core/checker.py", "*/stream/engine.py"),
+    )
+    #: The shared-constant registry modules R102 protects from shadowing.
+    parity_registry_modules: Tuple[str, ...] = ("*/core/detection.py",)
 
     def enabled(self, rule: str) -> bool:
         return rule in self.select
@@ -772,32 +813,19 @@ class _FileChecker(ast.NodeVisitor):
             )
 
 
-def lint_source(
-    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+def check_file_rules(
+    source: str, path: str, config: LintConfig
 ) -> List[Violation]:
-    """Lint python ``source``; ``path`` is used for reporting and R005 scope."""
-    cfg = config if config is not None else LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        lineno = exc.lineno if exc.lineno is not None else 0
-        return [
-            Violation(
-                path=path,
-                line=lineno,
-                col=exc.offset or 0,
-                rule="E999",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    checker = _FileChecker(path, source, cfg)
+    """Run only the per-file rules (R001–R008) over already-parsed source.
+
+    The project-level entry points (``lint_source``/``lint_file``/
+    ``lint_paths``) now live in :mod:`repro.lint.driver`, which layers the
+    whole-program analyses (R100–R102) on top of this pass.
+    """
+    tree = ast.parse(source, filename=path)
+    checker = _FileChecker(path, source, config)
     checker.visit(tree)
     return sorted(checker.violations)
-
-
-def lint_file(path: Path, config: Optional[LintConfig] = None) -> List[Violation]:
-    source = path.read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), config=config)
 
 
 def iter_python_files(paths: Iterable[Path]) -> List[Path]:
@@ -809,13 +837,3 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
         else:
             out.add(path)
     return sorted(out)
-
-
-def lint_paths(
-    paths: Iterable[Path], config: Optional[LintConfig] = None
-) -> List[Violation]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    violations: List[Violation] = []
-    for file_path in iter_python_files(paths):
-        violations.extend(lint_file(file_path, config=config))
-    return sorted(violations)

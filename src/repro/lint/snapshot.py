@@ -1,0 +1,195 @@
+"""R101: snapshot/restore completeness for the warm-start protocol.
+
+Every class implementing the explicit ``snapshot_state``/``restore_state``
+protocol (PR 5's :mod:`repro.warmstart`) makes a promise: a restored object
+is indistinguishable from the one that produced the snapshot.  The promise
+breaks silently the day someone adds ``self.new_field = ...`` to
+``__init__`` and forgets the snapshot methods — warm-start and checkpoint
+resume then diverge from cold runs in ways no unit test of the new feature
+notices.
+
+R101 closes that hole statically.  For every class that defines either
+protocol method it checks, per instance attribute (every ``self.x = ...``
+in any method except the protocol methods themselves):
+
+* the attribute is **captured** — ``self.x`` is read somewhere inside
+  ``snapshot_state``;
+* the attribute is **restored** — ``self.x`` is touched (assigned or
+  mutated) somewhere inside ``restore_state``;
+* or the attribute is **waived** — listed in the class-level
+  ``_SNAPSHOT_WAIVED`` declaration, the explicit, reviewable statement
+  that the field is wiring (metric instruments, back-references, memo
+  caches rebuilt on demand) rather than run state.
+
+A waiver naming an attribute that does not exist is itself a violation, so
+waivers cannot rot; a class with only one of the two protocol methods is a
+violation too.  Line suppressions (``# repro-lint: disable=R101``) on the
+attribute's first assignment work as everywhere else.
+
+The same attribute model powers :func:`snapshot_coverage`, the
+introspection surface the meta-test uses to *prove* every protocol class in
+the tree is fully covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.lint.index import ClassInfo, ModuleSummary
+from repro.lint.rules import LintConfig, Violation
+
+
+@dataclass(frozen=True)
+class SnapshotCoverage:
+    """Coverage report for one snapshot-protocol class."""
+
+    module: str
+    path: str
+    name: str
+    attrs: Tuple[str, ...]
+    captured: Tuple[str, ...]
+    restored: Tuple[str, ...]
+    waived: Tuple[str, ...]
+    missing_capture: Tuple[str, ...]
+    missing_restore: Tuple[str, ...]
+    stale_waivers: Tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_capture and not self.missing_restore
+
+
+def _coverage_for(
+    summary: ModuleSummary, info: ClassInfo
+) -> SnapshotCoverage:
+    attrs = dict(info.attrs)
+    waived = set(info.waived)
+    reads = set(info.snapshot_reads)
+    touches = set(info.restore_touches)
+    missing_capture = tuple(
+        sorted(a for a in attrs if a not in waived and a not in reads)
+    )
+    missing_restore = tuple(
+        sorted(a for a in attrs if a not in waived and a not in touches)
+    )
+    stale = tuple(sorted(w for w in waived if w not in attrs))
+    return SnapshotCoverage(
+        module=summary.module,
+        path=summary.path,
+        name=info.name,
+        attrs=tuple(sorted(attrs)),
+        captured=tuple(sorted(a for a in attrs if a in reads)),
+        restored=tuple(sorted(a for a in attrs if a in touches)),
+        waived=tuple(sorted(waived & set(attrs))),
+        missing_capture=missing_capture,
+        missing_restore=missing_restore,
+        stale_waivers=stale,
+    )
+
+
+def snapshot_coverage(
+    summaries: Mapping[str, ModuleSummary]
+) -> Dict[str, SnapshotCoverage]:
+    """``module.Class`` -> coverage, for every class defining *both*
+    protocol methods.  This is the enumeration the meta-test asserts over."""
+    out: Dict[str, SnapshotCoverage] = {}
+    for summary in summaries.values():
+        for info in summary.classes.values():
+            if info.has_snapshot and info.has_restore:
+                out[f"{summary.module}.{info.name}"] = _coverage_for(summary, info)
+    return dict(sorted(out.items()))
+
+
+def _suppressed(summary: ModuleSummary, line: int) -> bool:
+    rules = summary.suppressions.get(line, frozenset())
+    return "R101" in rules or "ALL" in rules
+
+
+def check_snapshot_completeness(
+    summaries: Mapping[str, ModuleSummary], config: LintConfig
+) -> List[Violation]:
+    """Run R101 over the indexed project."""
+    if not config.enabled("R101"):
+        return []
+    violations: List[Violation] = []
+    waiver = config.snapshot_waiver_name
+    for summary in summaries.values():
+        for info in summary.classes.values():
+            if not info.has_snapshot and not info.has_restore:
+                continue
+            if info.has_snapshot != info.has_restore:
+                present, absent = (
+                    ("snapshot_state", "restore_state")
+                    if info.has_snapshot
+                    else ("restore_state", "snapshot_state")
+                )
+                line = info.snapshot_line or info.restore_line
+                if not _suppressed(summary, line):
+                    violations.append(
+                        Violation(
+                            path=summary.path,
+                            line=line,
+                            col=0,
+                            rule="R101",
+                            message=(
+                                f"class {info.name} defines {present} without "
+                                f"{absent}; the snapshot protocol is a pair"
+                            ),
+                        )
+                    )
+                continue
+            coverage = _coverage_for(summary, info)
+            attr_lines = dict(info.attrs)
+            for attr in coverage.missing_capture:
+                line = attr_lines.get(attr, info.lineno)
+                if _suppressed(summary, line):
+                    continue
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=line,
+                        col=0,
+                        rule="R101",
+                        message=(
+                            f"class {info.name}: instance attribute "
+                            f"{attr!r} is not captured by snapshot_state; "
+                            f"capture it or waive it in {waiver}"
+                        ),
+                    )
+                )
+            for attr in coverage.missing_restore:
+                line = attr_lines.get(attr, info.lineno)
+                if _suppressed(summary, line):
+                    continue
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=line,
+                        col=0,
+                        rule="R101",
+                        message=(
+                            f"class {info.name}: instance attribute "
+                            f"{attr!r} is not restored by restore_state; "
+                            f"restore it or waive it in {waiver}"
+                        ),
+                    )
+                )
+            for stale in coverage.stale_waivers:
+                line = info.waiver_line or info.lineno
+                if _suppressed(summary, line):
+                    continue
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=line,
+                        col=0,
+                        rule="R101",
+                        message=(
+                            f"class {info.name}: {waiver} waives {stale!r}, "
+                            "which is not an instance attribute of the class "
+                            "(stale waiver)"
+                        ),
+                    )
+                )
+    return violations

@@ -1,0 +1,150 @@
+"""R100: flow-sensitive nondeterminism taint across the call graph.
+
+The per-file indexer (:mod:`repro.lint.index`) already ran a flow-sensitive
+pass over every function body and reduced it to a *taint summary*: the set
+of atoms the function's return value may carry, and every determinism-
+critical sink site together with the atoms reaching it.  An atom is either
+
+* **direct** (``!desc``) — the value observably came from a
+  nondeterministic source in this very function (wall clock, unseeded
+  randomness, ``os.urandom``, ``uuid1/4``, ``id()``/``hash()``,
+  ``next(iter(<set>))``), or
+* **conditional** (``@callee``) — the value came out of a call, and is
+  tainted exactly if that callee's return value is.
+
+This module closes the loop: it resolves call atoms against the project
+symbol table (imports, same-module functions, ``self.`` methods) and runs a
+fixpoint over the call graph, so nondeterminism that flows *through* any
+number of project-internal calls still reaches its sink report.  The
+lattice is two-point (untainted < tainted) with provenance strings carried
+for diagnostics; joins are unions, recursion converges because taint only
+ever grows.
+
+Precision notes (deliberate, documented limits): taint does not flow
+through function *parameters* (a helper that formats a tainted argument is
+invisible; the sink must see the tainted value or a tainted call), through
+instance attributes across method boundaries, or through inheritance.
+Suppressing the *source* line (``# repro-lint: disable=R002`` or ``=R100``)
+kills the taint at birth — the suppression is the human assertion that the
+nondeterminism is managed (masked timing field, injectable clock).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.lint.index import CALL_ATOM, DIRECT_ATOM, FunctionInfo, ModuleSummary
+from repro.lint.rules import LintConfig, Violation
+
+#: Fully qualified function name: ``module.dotted.Class.method``.
+_FunctionTable = Dict[str, Tuple[ModuleSummary, FunctionInfo]]
+
+
+def _build_table(summaries: Mapping[str, ModuleSummary]) -> _FunctionTable:
+    table: _FunctionTable = {}
+    for summary in summaries.values():
+        for qualname, info in summary.functions.items():
+            table[f"{summary.module}.{qualname}"] = (summary, info)
+    return table
+
+
+def _resolve_call(
+    raw: str,
+    summary: ModuleSummary,
+    class_name: Optional[str],
+    table: _FunctionTable,
+) -> Optional[str]:
+    """Resolve a call atom to a fully qualified project function, or None."""
+    if raw.startswith("self.") or raw.startswith("cls."):
+        method = raw.split(".", 1)[1]
+        if "." in method or class_name is None:
+            return None
+        candidate = f"{summary.module}.{class_name}.{method}"
+        return candidate if candidate in table else None
+    if "." not in raw:
+        candidate = f"{summary.module}.{raw}"
+        if candidate in table:
+            return candidate
+        target = summary.imports.get(raw)
+        if target is not None and target in table:
+            return target
+        return None
+    head, rest = raw.split(".", 1)
+    base = summary.imports.get(head)
+    if base is None:
+        return None
+    candidate = f"{base}.{rest}"
+    return candidate if candidate in table else None
+
+
+def _compute_function_taint(table: _FunctionTable) -> Dict[str, str]:
+    """Fixpoint: fully qualified name -> provenance of its tainted return."""
+    taint: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for name, (summary, info) in table.items():
+            if name in taint:
+                continue
+            for atom in info.returns:
+                if atom.startswith(DIRECT_ATOM):
+                    taint[name] = atom[len(DIRECT_ATOM):]
+                    changed = True
+                    break
+                if atom.startswith(CALL_ATOM):
+                    target = _resolve_call(
+                        atom[len(CALL_ATOM):], summary, info.class_name, table
+                    )
+                    if target is not None and target in taint:
+                        taint[name] = f"{target}() [{taint[target]}]"
+                        changed = True
+                        break
+    return taint
+
+
+def _suppressed(summary: ModuleSummary, line: int, rule: str) -> bool:
+    rules = summary.suppressions.get(line, frozenset())
+    return rule in rules or "ALL" in rules
+
+
+def check_taint(
+    summaries: Mapping[str, ModuleSummary], config: LintConfig
+) -> List[Violation]:
+    """Run the R100 global fixpoint over the indexed project."""
+    if not config.enabled("R100"):
+        return []
+    table = _build_table(summaries)
+    taint = _compute_function_taint(table)
+
+    violations: List[Violation] = []
+    for summary, info in table.values():
+        for sink in info.sinks:
+            if _suppressed(summary, sink.line, "R100"):
+                continue
+            provenance: Optional[str] = None
+            for atom in sink.atoms:
+                if atom.startswith(DIRECT_ATOM):
+                    provenance = atom[len(DIRECT_ATOM):]
+                    break
+                target = _resolve_call(
+                    atom[len(CALL_ATOM):], summary, info.class_name, table
+                )
+                if target is not None and target in taint:
+                    provenance = f"call to {target}() [{taint[target]}]"
+                    break
+            if provenance is not None:
+                violations.append(
+                    Violation(
+                        path=summary.path,
+                        line=sink.line,
+                        col=sink.col,
+                        rule="R100",
+                        message=(
+                            f"determinism-critical sink {sink.label} receives "
+                            f"a value derived from {provenance}; route it "
+                            "through a seeded stream / virtual clock or "
+                            "suppress at the source if it is masked"
+                        ),
+                    )
+                )
+    return violations

@@ -65,6 +65,14 @@ class Link:
     The owner wires delivery by registering one receive callback per side.
     """
 
+    # Topology identity (sim/a/b/delay), receiver wiring and formatting
+    # memos are rebuilt when the identical network is constructed; flight
+    # tokens and the open-batch map are allocation bookkeeping that the
+    # restore path regenerates deterministically while re-arming.
+    _SNAPSHOT_WAIVED = frozenset(
+        {"sim", "a", "b", "delay", "_receivers", "_flight_seq", "_open", "_labels"}
+    )
+
     def __init__(
         self,
         sim: Simulator,

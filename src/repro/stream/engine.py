@@ -32,6 +32,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.alarms import AlarmKind
+from repro.core.detection import (
+    DEFAULT_EVIDENCE_WINDOW,
+    evaluate_list_conflict,
+    select_conflicting,
+)
 from repro.core.moas_list import MoasList
 from repro.net.addresses import Prefix
 from repro.net.asn import ASN
@@ -73,9 +78,25 @@ class StreamAlarm:
 class StreamEngine:
     """Per-update MOAS detection over an unbounded feed."""
 
+    # Metric counters/gauges are observability wiring, re-resolved from the
+    # registry on construction — not detector state to checkpoint.
+    _SNAPSHOT_WAIVED = frozenset(
+        {
+            "_m_updates",
+            "_m_announces",
+            "_m_withdrawals",
+            "_m_ticks",
+            "_m_alarms",
+            "_m_duplicates",
+            "_m_evictions",
+            "_g_prefixes",
+            "_g_moas",
+        }
+    )
+
     def __init__(
         self,
-        window: float = 30.0,
+        window: float = DEFAULT_EVIDENCE_WINDOW,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if window <= 0:
@@ -186,18 +207,13 @@ class StreamEngine:
             self._install(prefix, origin, moas_list)
             return alarms
 
-        # Step 3 (checker): compare against every distinct list seen for the
-        # prefix; the conflicting list is chosen deterministically.
+        # Step 3 (checker): the shared repro.core.detection predicates — the
+        # batch checker applies the identical rule and evidence selection,
+        # which is what keeps stream == batch bit-identical.
         seen = self._observed.setdefault(prefix, set())
-        conflict = any(not moas_list.consistent_with(other) for other in seen)
-        is_new_list = moas_list not in seen
-        seen.add(moas_list)
+        conflict, is_new_list = evaluate_list_conflict(seen, moas_list)
         if conflict and is_new_list:
-            conflicting = next(
-                other
-                for other in sorted(seen, key=lambda m: tuple(m))
-                if not moas_list.consistent_with(other)
-            )
+            conflicting = select_conflicting(seen, moas_list)
             self._record_alarm(
                 StreamAlarm(
                     time=record.time,

@@ -1,0 +1,32 @@
+"""R100 fixture: nondeterministic values reaching determinism sinks."""
+
+import time
+import uuid
+
+
+def wall_stamp():
+    return time.time()
+
+
+def indirect_stamp():
+    base = wall_stamp()
+    return base + 1.0
+
+
+class Scheduler:
+    def direct(self, sim):
+        sim.schedule_at(time.time(), self.fire)
+
+    def through_calls(self, sim):
+        sim.schedule_at(indirect_stamp(), self.fire)
+
+    def fire(self):
+        pass
+
+
+class Checkpointed:
+    def snapshot_state(self):
+        return {"token": uuid.uuid4().hex}
+
+    def restore_state(self, state):
+        pass

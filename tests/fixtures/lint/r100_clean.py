@@ -1,0 +1,32 @@
+"""R100 fixture: deterministic and explicitly-managed values at sinks."""
+
+import time
+
+
+def virtual_delay(rng):
+    return rng.uniform(0.0, 1.0)
+
+
+class Scheduler:
+    def seeded(self, sim, rng):
+        sim.schedule_at(sim.now + virtual_delay(rng), self.fire)
+
+    def managed_timing(self, sim):
+        # The suppression is the human assertion that this wall-clock read
+        # is masked downstream; it kills the taint at the source.
+        started = time.perf_counter()  # repro-lint: disable=R002
+        sim.record_alarm(started)
+
+    def fire(self):
+        pass
+
+
+class Checkpointed:
+    def __init__(self):
+        self.count = 0
+
+    def snapshot_state(self):
+        return {"count": self.count}
+
+    def restore_state(self, state):
+        self.count = state["count"]

@@ -1,0 +1,11 @@
+"""R100 cross-module fixture: the nondeterminism lives in this module."""
+
+import time
+
+
+def wall_stamp():
+    return time.time()
+
+
+def deterministic_stamp():
+    return 42.0

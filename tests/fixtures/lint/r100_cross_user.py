@@ -1,0 +1,14 @@
+"""R100 cross-module fixture: the sink lives here, the source elsewhere."""
+
+from r100_cross_helper import deterministic_stamp, wall_stamp
+
+
+class Scheduler:
+    def tainted(self, sim):
+        sim.schedule_at(wall_stamp(), self.fire)
+
+    def clean(self, sim):
+        sim.schedule_at(deterministic_stamp(), self.fire)
+
+    def fire(self):
+        pass

@@ -1,0 +1,35 @@
+"""R101 fixture: incomplete snapshot/restore coverage."""
+
+
+class MissingCapture:
+    def __init__(self):
+        self.kept = 0
+        self.forgotten = []
+
+    def snapshot_state(self):
+        return {"kept": self.kept}
+
+    def restore_state(self, state):
+        self.kept = state["kept"]
+        self.forgotten = []
+
+
+class StaleWaiver:
+    _SNAPSHOT_WAIVED = frozenset({"ghost"})
+
+    def __init__(self):
+        self.value = 0
+
+    def snapshot_state(self):
+        return {"value": self.value}
+
+    def restore_state(self, state):
+        self.value = state["value"]
+
+
+class OneSided:
+    def __init__(self):
+        self.value = 0
+
+    def snapshot_state(self):
+        return {"value": self.value}

@@ -1,0 +1,21 @@
+"""R101 fixture: complete coverage via captures and explicit waivers."""
+
+
+class FullyCovered:
+    # The registry reference is wiring, not run state.
+    _SNAPSHOT_WAIVED = frozenset({"_registry"})
+
+    def __init__(self, registry):
+        self._registry = registry
+        self.count = 0
+        self.items = []
+
+    def bump(self):
+        self.count += 1
+
+    def snapshot_state(self):
+        return {"count": self.count, "items": list(self.items)}
+
+    def restore_state(self, state):
+        self.count = state["count"]
+        self.items = list(state["items"])

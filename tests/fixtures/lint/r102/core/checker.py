@@ -1,0 +1,14 @@
+"""R102 fixture batch checker: duplicates and shadows the registry."""
+
+EVIDENCE_WINDOW = 30.0
+
+SUPPRESS_LIMIT = 5
+
+
+def lists_conflict(a, b):
+    return a != b
+
+
+class Checker:
+    def __init__(self, window=30.0):
+        self.window = window

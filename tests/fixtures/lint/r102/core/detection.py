@@ -1,0 +1,7 @@
+"""R102 fixture registry: the one true home of shared detection rules."""
+
+EVIDENCE_WINDOW = 30.0
+
+
+def lists_conflict(a, b):
+    return a != b

@@ -1,0 +1,10 @@
+"""R102 fixture stream engine: drifted copies of the checker's rules."""
+
+EVIDENCE_WINDOW = 45.0
+
+SUPPRESS_LIMIT = 5
+
+
+class Engine:
+    def __init__(self, window=60.0):
+        self.window = window

@@ -1,0 +1,161 @@
+"""The incremental lint index: caching, invalidation, self-heal, speed."""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig
+from repro.lint.driver import run_lint
+from repro.lint.index import (
+    IndexCache,
+    ModuleSummary,
+    build_summary,
+    config_digest,
+    module_name_for,
+)
+
+SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+BAD = "import random\n\ndef roll():\n    return random.random()\n"
+CLEAN = "def roll():\n    return 4\n"
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+class TestModuleNames:
+    def test_src_rooted(self):
+        assert module_name_for("/x/src/repro/core/checker.py") == "repro.core.checker"
+
+    def test_package_init(self):
+        assert module_name_for("/x/src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_fixture_fallback(self):
+        assert module_name_for("/tmp/fixtures/r100_bad.py") == "r100_bad"
+
+
+class TestCacheRoundTrip:
+    def test_cold_then_warm(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD)
+        cache_dir = tmp_path / "cache"
+
+        first = run_lint([target], cache_dir=cache_dir, use_cache=True)
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        assert {v.rule for v in first.violations} == {"R001"}
+
+        second = run_lint([target], cache_dir=cache_dir, use_cache=True)
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert second.violations == first.violations
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD)
+        cache_dir = tmp_path / "cache"
+        run_lint([target], cache_dir=cache_dir, use_cache=True)
+
+        target.write_text(CLEAN, encoding="utf-8")
+        after = run_lint([target], cache_dir=cache_dir, use_cache=True)
+        assert after.cache_misses == 1 and after.cache_hits == 0
+        assert after.violations == []
+
+    def test_select_does_not_invalidate(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD)
+        cache_dir = tmp_path / "cache"
+        run_lint([target], cache_dir=cache_dir, use_cache=True)
+
+        narrowed = run_lint(
+            [target],
+            config=LintConfig(select=frozenset({"R002"})),
+            cache_dir=cache_dir,
+            use_cache=True,
+        )
+        assert narrowed.cache_hits == 1  # summaries are select-independent
+        assert narrowed.violations == []  # R001 filtered at report time
+
+    def test_config_digest_ignores_select(self):
+        wide = LintConfig()
+        narrow = LintConfig(select=frozenset({"R002"}))
+        assert config_digest(wide) == config_digest(narrow)
+
+    def test_extraction_config_changes_digest(self):
+        assert config_digest(LintConfig()) != config_digest(
+            LintConfig(taint_sink_methods=("schedule_at",))
+        )
+
+
+class TestCacheSelfHeal:
+    def entry_paths(self, cache_dir):
+        return sorted(cache_dir.glob("*.pkl"))
+
+    def test_corrupted_entry_is_discarded_and_rebuilt(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD)
+        cache_dir = tmp_path / "cache"
+        run_lint([target], cache_dir=cache_dir, use_cache=True)
+        entries = self.entry_paths(cache_dir)
+        assert len(entries) == 1
+        entries[0].write_bytes(b"\x00corrupt\xff")
+
+        healed = run_lint([target], cache_dir=cache_dir, use_cache=True)
+        assert healed.cache_misses == 1 and healed.cache_hits == 0
+        assert {v.rule for v in healed.violations} == {"R001"}
+        # Rebuilt: the next run hits again.
+        assert run_lint([target], cache_dir=cache_dir, use_cache=True).cache_hits == 1
+
+    def test_foreign_pickle_is_rejected(self, tmp_path):
+        import pickle
+
+        target = write(tmp_path, "mod.py", CLEAN)
+        cache_dir = tmp_path / "cache"
+        run_lint([target], cache_dir=cache_dir, use_cache=True)
+        entries = self.entry_paths(cache_dir)
+        entries[0].write_bytes(pickle.dumps({"not": "a summary"}))
+
+        healed = run_lint([target], cache_dir=cache_dir, use_cache=True)
+        assert healed.cache_misses == 1
+        assert healed.violations == []
+
+    def test_unwritable_cache_degrades_to_cold(self, tmp_path):
+        target = write(tmp_path, "mod.py", BAD)
+        blocker = tmp_path / "cache"
+        blocker.write_text("a file where the cache dir should be", "utf-8")
+        run = run_lint([target], cache_dir=blocker, use_cache=True)
+        assert {v.rule for v in run.violations} == {"R001"}
+
+
+class TestDirectStore:
+    def test_store_load_round_trip(self, tmp_path):
+        summary = build_summary("/x/src/repro/m.py", CLEAN, LintConfig())
+        assert isinstance(summary, ModuleSummary)
+        cache = IndexCache(tmp_path / "cache")
+        cache.store("k" * 64, summary)
+        loaded = cache.load("k" * 64)
+        assert loaded == summary
+
+
+class TestWarmSpeed:
+    def test_warm_lint_is_5x_faster_than_cold(self, tmp_path):
+        """Acceptance: a warm no-change lint of src/repro is >=5x faster."""
+        cache_dir = tmp_path / "cache"
+
+        started = time.perf_counter()
+        cold = run_lint([SRC_ROOT], cache_dir=cache_dir, use_cache=True)
+        cold_seconds = time.perf_counter() - started
+        assert cold.cache_hits == 0 and cold.cache_misses == cold.files
+
+        started = time.perf_counter()
+        warm = run_lint([SRC_ROOT], cache_dir=cache_dir, use_cache=True)
+        warm_seconds = time.perf_counter() - started
+        assert warm.cache_hits == warm.files and warm.cache_misses == 0
+        assert warm.violations == cold.violations
+
+        assert warm_seconds * 5 <= cold_seconds, (
+            f"warm lint {warm_seconds:.3f}s is not >=5x faster than "
+            f"cold {cold_seconds:.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
