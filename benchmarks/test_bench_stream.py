@@ -1,15 +1,23 @@
-"""Stream service benchmark — sustained update throughput and checkpoint cost.
+"""Stream service benchmark — throughput, checkpoint overhead, sharding.
 
-Two measurements back the online detector's viability:
+Four measurements back the online detector's viability:
 
 1. **Throughput**: a refresh-mode feed (every live pair re-announced every
    day — the worst-case cooperative workload) over a paper-scale trace
    segment, measured end-to-end through ``StreamService`` in sustained
    updates/sec.
-2. **Checkpoint overhead**: the same feed with checkpointing every 2 000
-   records versus none at all; the delta plus the service's own
-   ``checkpoint_seconds`` accounting make the durability cost visible
-   across PRs.
+2. **Chain checkpoint overhead**: the same feed with delta-encoded
+   incremental checkpoints every 2 000 records versus none at all.  The
+   overhead is asserted against a budget
+   (``REPRO_BENCH_STREAM_OVERHEAD_BUDGET``, default 15% for noisy CI
+   boxes; the on-box target is <10%).
+3. **Legacy full-snapshot cost**: the identical cadence with
+   ``full_every=1`` — every boundary a full snapshot, the pre-chain
+   behaviour — to keep the win visible (it used to cost ~60%).
+4. **Sharded aggregate**: the 4-shard :class:`FeedRouter` over the same
+   feed.  The aggregate rate is recorded unconditionally; the ≥3× scaling
+   assertion only runs on boxes with ≥4 cores (the CI container is
+   single-core, where sharding can only add IPC cost).
 
 Results land in ``benchmarks/results/BENCH_stream.json``.
 """
@@ -17,6 +25,7 @@ Results land in ``benchmarks/results/BENCH_stream.json``.
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 
@@ -24,6 +33,7 @@ from conftest import emit
 
 from repro.measurement.trace import FaultSpike, TraceConfig, TraceGenerator
 from repro.stream.feed import FeedWriter, snapshot_deltas
+from repro.stream.router import FeedRouter
 from repro.stream.service import StreamService
 
 #: A 120-day paper-calibrated segment with one fault spike; refresh mode
@@ -36,6 +46,8 @@ BENCH_CONFIG = TraceConfig(
 )
 BENCH_SEED = 11
 
+OVERHEAD_BUDGET_ENV = "REPRO_BENCH_STREAM_OVERHEAD_BUDGET"
+
 
 def _write_feed(path):
     generator = TraceGenerator(BENCH_CONFIG, random.Random(BENCH_SEED))
@@ -45,16 +57,30 @@ def _write_feed(path):
         )
 
 
-def _run_service(feed, out_dir, tag, checkpoint_every=None):
+def _run_service(feed, out_dir, tag, checkpoint_every=None, full_every=32):
     kwargs = {}
     if checkpoint_every is not None:
         kwargs["checkpoint"] = out_dir / f"cp_{tag}.json"
         kwargs["checkpoint_every"] = checkpoint_every
+        kwargs["full_every"] = full_every
     service = StreamService(
         feed, out_dir / f"alarms_{tag}.jsonl", batch_size=1024, **kwargs
     )
     started = time.perf_counter()
     summary = service.run()
+    return time.perf_counter() - started, summary
+
+
+def _run_router(feed, out_dir, tag, shards):
+    router = FeedRouter(
+        [feed],
+        out_dir / f"alarms_{tag}.jsonl",
+        out_dir / f"cp_{tag}.json",
+        shards=shards,
+        checkpoint_every=2000,
+    )
+    started = time.perf_counter()
+    summary = router.run()
     return time.perf_counter() - started, summary
 
 
@@ -75,20 +101,44 @@ def test_bench_stream_throughput(results_dir, tmp_path):
         ),
         key=lambda pair: pair[0],
     )
+    legacy_secs, legacy = min(
+        (
+            _run_service(
+                feed, tmp_path, f"legacy{i}", checkpoint_every=2000,
+                full_every=1,
+            )
+            for i in range(2)
+        ),
+        key=lambda pair: pair[0],
+    )
+    shard_secs, sharded = min(
+        (_run_router(feed, tmp_path, f"shard{i}", shards=4) for i in range(2)),
+        key=lambda pair: pair[0],
+    )
 
-    assert plain.records == ckpt.records == records
+    assert plain.records == ckpt.records == legacy.records == records
     assert plain.alarms_emitted == ckpt.alarms_emitted > 0
+    assert sharded.alarms_emitted == plain.alarms_emitted
+    assert ckpt.checkpoint_deltas > ckpt.checkpoint_fulls  # chains in use
+    assert legacy.checkpoint_deltas == 0  # every boundary a full snapshot
 
     plain_rate = records / plain_secs if plain_secs > 0 else 0.0
     ckpt_rate = records / ckpt_secs if ckpt_secs > 0 else 0.0
+    legacy_rate = records / legacy_secs if legacy_secs > 0 else 0.0
+    shard_rate = records / shard_secs if shard_secs > 0 else 0.0
     overhead_pct = (
         (plain_rate / ckpt_rate - 1.0) * 100.0 if ckpt_rate > 0 else 0.0
     )
+    legacy_overhead_pct = (
+        (plain_rate / legacy_rate - 1.0) * 100.0 if legacy_rate > 0 else 0.0
+    )
+    cores = os.cpu_count() or 1
 
     record = {
         "days": BENCH_CONFIG.days,
         "feed_records": records,
         "alarms_emitted": plain.alarms_emitted,
+        "cores": cores,
         "plain": {
             "wall_seconds": round(plain_secs, 3),
             "updates_per_sec": round(plain_rate, 1),
@@ -96,10 +146,27 @@ def test_bench_stream_throughput(results_dir, tmp_path):
         "checkpointed": {
             "checkpoint_every": 2000,
             "checkpoints": ckpt.checkpoints,
+            "fulls": ckpt.checkpoint_fulls,
+            "deltas": ckpt.checkpoint_deltas,
             "wall_seconds": round(ckpt_secs, 3),
             "updates_per_sec": round(ckpt_rate, 1),
             "checkpoint_seconds": round(ckpt.checkpoint_seconds, 3),
             "overhead_pct": round(overhead_pct, 1),
+        },
+        "legacy_full_snapshots": {
+            "checkpoint_every": 2000,
+            "checkpoints": legacy.checkpoints,
+            "wall_seconds": round(legacy_secs, 3),
+            "updates_per_sec": round(legacy_rate, 1),
+            "overhead_pct": round(legacy_overhead_pct, 1),
+        },
+        "sharded": {
+            "shards": 4,
+            "wall_seconds": round(shard_secs, 3),
+            "updates_per_sec": round(shard_rate, 1),
+            "speedup_vs_single": round(
+                shard_rate / ckpt_rate if ckpt_rate > 0 else 0.0, 2
+            ),
         },
     }
     (results_dir / "BENCH_stream.json").write_text(
@@ -108,12 +175,16 @@ def test_bench_stream_throughput(results_dir, tmp_path):
 
     lines = [
         "Stream service: sustained throughput (120-day refresh-mode feed)",
-        f"  feed records: {records:,}   alarms: {plain.alarms_emitted}",
+        f"  feed records: {records:,}   alarms: {plain.alarms_emitted}"
+        f"   cores: {cores}",
         f"  plain        {plain_secs:7.2f} s   {plain_rate:,.0f} updates/sec",
-        f"  checkpointed {ckpt_secs:7.2f} s   {ckpt_rate:,.0f} updates/sec "
-        f"({ckpt.checkpoints} checkpoints, "
-        f"{ckpt.checkpoint_seconds:.2f} s in checkpointing, "
+        f"  chain ckpt   {ckpt_secs:7.2f} s   {ckpt_rate:,.0f} updates/sec "
+        f"({ckpt.checkpoint_fulls} fulls + {ckpt.checkpoint_deltas} deltas, "
         f"overhead {overhead_pct:+.1f}%)",
+        f"  legacy fulls {legacy_secs:7.2f} s   {legacy_rate:,.0f} "
+        f"updates/sec (overhead {legacy_overhead_pct:+.1f}%)",
+        f"  4 shards     {shard_secs:7.2f} s   {shard_rate:,.0f} updates/sec "
+        f"aggregate ({record['sharded']['speedup_vs_single']}x single)",
     ]
     emit(results_dir, "BENCH_stream", "\n".join(lines))
 
@@ -121,3 +192,16 @@ def test_bench_stream_throughput(results_dir, tmp_path):
     # Checkpoints land on batch boundaries, so the cadence is the first
     # multiple of batch_size at or past checkpoint_every (2048 here).
     assert ckpt.checkpoints >= records // (2 * 2048)
+    # The delta chain must keep checkpointing cheap: the budget is
+    # generous for noisy CI boxes, the on-box target is <10%.
+    budget = float(os.environ.get(OVERHEAD_BUDGET_ENV, "15.0"))
+    assert overhead_pct <= budget, (
+        f"checkpoint overhead {overhead_pct:.1f}% blew the {budget:.1f}% "
+        f"budget (plain {plain_rate:,.0f}/s vs chain {ckpt_rate:,.0f}/s)"
+    )
+    # Scaling is only demonstrable with real cores under the shards.
+    if cores >= 4:
+        assert shard_rate >= 3.0 * ckpt_rate, (
+            f"4-shard aggregate {shard_rate:,.0f}/s is under 3x the "
+            f"single-engine {ckpt_rate:,.0f}/s on a {cores}-core box"
+        )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 QUICK_FRACTIONS = (0.05, 0.20, 0.40)
 FULL_FRACTIONS = (0.05, 0.10, 0.20, 0.30, 0.40)
@@ -435,25 +435,46 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
     from repro.obs.manifest import ManifestWriter
     from repro.obs.metrics import MetricsRegistry
     from repro.stream.checkpoint import CheckpointError
+    from repro.stream.router import FeedRouter
     from repro.stream.service import StreamService
 
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
+    sharded = args.shards > 1 or len(args.feed) > 1
+    if sharded and args.follow:
+        print("--follow is not supported with sharded routing", file=sys.stderr)
+        return 2
     metrics = MetricsRegistry()
-    service = StreamService(
-        args.feed,
-        args.alarms,
-        args.checkpoint,
-        window=args.window,
-        batch_size=args.batch,
-        checkpoint_every=args.checkpoint_every,
-        follow=args.follow,
-        poll_interval=args.poll,
-        throttle=args.throttle,
-        max_records=args.max_records,
-        metrics=metrics,
-    )
+    service: Any
+    if sharded:
+        service = FeedRouter(
+            args.feed,
+            args.alarms,
+            args.checkpoint,
+            shards=args.shards,
+            window=args.window,
+            checkpoint_every=args.checkpoint_every,
+            full_every=args.full_every,
+            throttle=args.throttle,
+            max_records=args.max_records,
+            metrics=metrics,
+        )
+    else:
+        service = StreamService(
+            args.feed[0],
+            args.alarms,
+            args.checkpoint,
+            window=args.window,
+            batch_size=args.batch,
+            checkpoint_every=args.checkpoint_every,
+            full_every=args.full_every,
+            follow=args.follow,
+            poll_interval=args.poll,
+            throttle=args.throttle,
+            max_records=args.max_records,
+            metrics=metrics,
+        )
     service.install_signal_handlers()
     try:
         summary = service.run(resume=args.resume)
@@ -485,8 +506,11 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
     )
     print(
         f"checkpoints: {summary.checkpoints} "
-        f"({summary.checkpoint_seconds:.3f}s total)"
+        f"({summary.checkpoint_fulls} full, {summary.checkpoint_deltas} "
+        f"delta, {summary.checkpoint_seconds:.3f}s total)"
     )
+    if summary.shards > 1:
+        print(f"shards: {summary.shards} engines over {len(args.feed)} feed(s)")
     print(
         f"throughput: {summary.records} records in "
         f"{summary.wall_seconds:.3f}s ({summary.events_per_sec:,.0f} "
@@ -688,13 +712,21 @@ def build_parser() -> argparse.ArgumentParser:
     run = stream_sub.add_parser(
         "run", help="tail a feed file and detect MOAS conflicts online"
     )
-    run.add_argument("feed", help="path to the update-feed file (or FIFO)")
+    run.add_argument("feed", nargs="+",
+                     help="update-feed file(s); multiple vantage-point "
+                     "feeds imply sharded routing")
     run.add_argument("--alarms", required=True, metavar="PATH",
                      help="alarm log to write (one JSON line per alarm)")
     run.add_argument("--checkpoint", default=None, metavar="PATH",
                      help="checkpoint file for kill-and-resume")
     run.add_argument("--checkpoint-every", type=int, default=1000,
                      metavar="N", help="checkpoint every N records")
+    run.add_argument("--full-every", type=int, default=32, metavar="N",
+                     help="compact the delta chain into a full snapshot "
+                     "every N checkpoints (default 32)")
+    run.add_argument("--shards", type=int, default=1, metavar="S",
+                     help="partition the prefix space across S engine "
+                     "processes (>1 enables the feed router)")
     run.add_argument("--batch", type=int, default=256,
                      help="records per batched read")
     run.add_argument("--resume", action="store_true",

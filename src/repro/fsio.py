@@ -1,0 +1,43 @@
+"""Durable filesystem primitives shared by every atomic-write site.
+
+``os.replace`` makes a rename atomic, and ``fsync`` on the file handle
+makes the *contents* durable — but on ext4/xfs the new directory entry
+itself is not durable until the **parent directory** is fsynced.  A crash
+after the rename can therefore lose the file entirely (the classic
+"fsync-the-file-but-not-the-dir" bug).  Every atomic publish in this
+repository (stream checkpoints, alarm-log creation, the warm-start disk
+cache, the lint index cache) routes through :func:`fsync_dir` after its
+``os.replace`` so the rename itself survives a crash.
+
+``fsync_dir`` is best-effort by design: some filesystems (and all of
+Windows) refuse ``open(dir)``/``fsync(dirfd)``; callers degrade to the
+pre-fix behaviour there rather than failing the write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Fsync the directory ``path`` so renames/creations inside it are
+    durable.  Best-effort: silently a no-op where directories cannot be
+    opened or fsynced (non-POSIX filesystems)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_parent_dir(path: Union[str, Path]) -> None:
+    """Fsync the parent directory of ``path`` (the common post-``os.replace``
+    call: the *target's* directory entry is what must survive)."""
+    fsync_dir(Path(path).resolve().parent)

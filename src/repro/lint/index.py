@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.fsio import fsync_dir
 from repro.lint.rules import (
     RULES,
     LintConfig,
@@ -925,6 +926,9 @@ class IndexCache:
             tmp = entry.with_name(f".{entry.name}.{os.getpid()}.tmp")
             tmp.write_bytes(pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL))
             os.replace(tmp, entry)
+            # The rename itself is not durable until the directory is
+            # fsynced (ext4/xfs); a crash could otherwise lose the entry.
+            fsync_dir(self.directory)
         except OSError:
             # A read-only or full cache directory degrades to cold linting.
             pass

@@ -7,22 +7,32 @@ answers "what is happening right now".  It consists of:
   two producers (daily-snapshot diffing, live simulator tap);
 * :mod:`repro.stream.engine` — the incremental detector (checker conflict
   rules per update, bounded-window eviction, alarm dedup/aggregation);
-* :mod:`repro.stream.checkpoint` — versioned, atomic state snapshots;
+* :mod:`repro.stream.delta` — the delta-encoding state algebra for
+  incremental checkpoints;
+* :mod:`repro.stream.checkpoint` — versioned checkpoint chains: atomic
+  full snapshots plus fsynced delta appends with periodic compaction;
 * :mod:`repro.stream.service` — the tailing loop with transactional alarm
-  flushing, kill-and-resume bit-identity, metrics and manifests.
+  flushing, async double-buffered checkpointing, kill-and-resume
+  bit-identity, metrics and manifests;
+* :mod:`repro.stream.router` — N vantage-point feeds sharded by prefix
+  across worker processes, merged into one durability domain.
 
-See ``docs/streaming.md`` for the feed format, checkpoint layout, and
-resume semantics.
+See ``docs/streaming.md`` for the feed format, checkpoint-chain layout,
+sharding, and resume semantics.
 """
 
 from repro.stream.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    ChainWriter,
     Checkpoint,
     CheckpointError,
+    load_chain,
     load_checkpoint,
+    reap_stale_tmp,
     save_checkpoint,
 )
+from repro.stream.delta import apply_engine_delta, apply_state_delta
 from repro.stream.engine import StreamAlarm, StreamEngine
 from repro.stream.feed import (
     FEED_FORMAT,
@@ -36,28 +46,37 @@ from repro.stream.feed import (
     read_feed,
     snapshot_deltas,
 )
+from repro.stream.router import FeedRouter, RouterError, merged_daily_counts
 from repro.stream.service import FeedTailer, StreamService, StreamSummary
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "ChainWriter",
     "Checkpoint",
     "CheckpointError",
     "FEED_FORMAT",
     "FEED_VERSION",
     "FeedError",
     "FeedRecord",
+    "FeedRouter",
     "FeedTailer",
     "FeedWriter",
+    "RouterError",
     "SimulatorTap",
     "StreamAlarm",
     "StreamEngine",
     "StreamService",
     "StreamSummary",
+    "apply_engine_delta",
+    "apply_state_delta",
     "feed_header_line",
+    "load_chain",
     "load_checkpoint",
+    "merged_daily_counts",
     "parse_feed_line",
     "read_feed",
+    "reap_stale_tmp",
     "save_checkpoint",
     "snapshot_deltas",
 ]

@@ -79,7 +79,11 @@ class StreamEngine:
     """Per-update MOAS detection over an unbounded feed."""
 
     # Metric counters/gauges are observability wiring, re-resolved from the
-    # registry on construction — not detector state to checkpoint.
+    # registry on construction — not detector state to checkpoint.  The
+    # dirty sets are since-last-checkpoint bookkeeping for delta encoding:
+    # a restored engine starts clean by definition (the chain on disk
+    # already covers everything up to the restore point), so they are
+    # deliberately not part of the snapshot.
     _SNAPSHOT_WAIVED = frozenset(
         {
             "_m_updates",
@@ -91,6 +95,11 @@ class StreamEngine:
             "_m_evictions",
             "_g_prefixes",
             "_g_moas",
+            "_dirty_origins",
+            "_dirty_observed",
+            "_dirty_activity",
+            "_dirty_alarms",
+            "_dirty_days",
         }
     )
 
@@ -111,6 +120,15 @@ class StreamEngine:
         self._last_activity: Dict[Prefix, float] = {}
         # Alarm dedup/aggregation: evidence key -> occurrence count.
         self._alarm_counts: Dict[AlarmKey, int] = {}
+        # Keys dirtied since the last checkpoint boundary (delta encoding).
+        # Tracked per component: a refresh re-announcement touches only the
+        # activity stamp, so the (unchanged) origin map and evidence set of
+        # that prefix must not be re-serialised at the next boundary.
+        self._dirty_origins: Set[Prefix] = set()
+        self._dirty_observed: Set[Prefix] = set()
+        self._dirty_activity: Set[Prefix] = set()
+        self._dirty_alarms: Set[AlarmKey] = set()
+        self._dirty_days: Set[int] = set()
         # Prefixes currently in a MOAS state, maintained on 1<->2 origin
         # transitions so a tick is O(1) for the count itself.
         self._moas_active = 0
@@ -186,6 +204,7 @@ class StreamEngine:
         prefix, origin = record.prefix, record.origin
         assert prefix is not None and origin is not None  # FeedRecord invariant
         self._last_activity[prefix] = record.time
+        self._dirty_activity.add(prefix)
         moas_list = MoasList(record.effective_moas())
         alarms: List[StreamAlarm] = []
 
@@ -212,6 +231,8 @@ class StreamEngine:
         # which is what keeps stream == batch bit-identical.
         seen = self._observed.setdefault(prefix, set())
         conflict, is_new_list = evaluate_list_conflict(seen, moas_list)
+        if is_new_list:
+            self._dirty_observed.add(prefix)
         if conflict and is_new_list:
             conflicting = select_conflicting(seen, moas_list)
             self._record_alarm(
@@ -230,8 +251,11 @@ class StreamEngine:
 
     def _install(self, prefix: Prefix, origin: ASN, moas_list: MoasList) -> None:
         live = self._origins.setdefault(prefix, {})
+        if live.get(origin) == moas_list:
+            return  # a refresh of the identical route changes nothing
         was_moas = len(live) > 1
         live[origin] = moas_list
+        self._dirty_origins.add(prefix)
         if len(live) > 1 and not was_moas:
             self._moas_active += 1
 
@@ -241,11 +265,13 @@ class StreamEngine:
         prefix, origin = record.prefix, record.origin
         assert prefix is not None and origin is not None  # FeedRecord invariant
         self._last_activity[prefix] = record.time
+        self._dirty_activity.add(prefix)
         live = self._origins.get(prefix)
         if live is None or origin not in live:
             return  # withdrawing an unknown route is a no-op, as in BGP
         was_moas = len(live) > 1
         del live[origin]
+        self._dirty_origins.add(prefix)
         if was_moas and len(live) <= 1:
             self._moas_active -= 1
         if not live:
@@ -258,6 +284,7 @@ class StreamEngine:
         if day in self.daily_counts:
             raise ValueError(f"day {day} was already ticked")
         self.daily_counts[day] = self._moas_active
+        self._dirty_days.add(day)
         self._evict(record.time)
         if self._g_prefixes is not None:
             self._g_prefixes.set(self.state_prefixes)
@@ -285,11 +312,17 @@ class StreamEngine:
         if not stale:
             return
         stale_names = {str(prefix) for prefix in stale}
+        # Eviction drops evidence and activity; the live-origin component
+        # was already deleted (and dirtied) by the withdrawal that killed
+        # the prefix.
+        self._dirty_observed.update(stale)
+        self._dirty_activity.update(stale)
         for prefix in stale:
             self._observed.pop(prefix, None)
             del self._last_activity[prefix]
         for key in [k for k in self._alarm_counts if k[0] in stale_names]:
             del self._alarm_counts[key]
+            self._dirty_alarms.add(key)
         self.evictions += len(stale)
         if self._m_evictions is not None:
             self._m_evictions.inc(len(stale))
@@ -298,6 +331,7 @@ class StreamEngine:
         key = alarm.key()
         count = self._alarm_counts.get(key, 0)
         self._alarm_counts[key] = count + 1
+        self._dirty_alarms.add(key)
         if count == 0:
             self.alarms_emitted += 1
             if self._m_alarms is not None:
@@ -370,6 +404,90 @@ class StreamEngine:
             "alarm_counts": alarm_counts,
         }
 
+    def delta_state(self) -> Dict[str, Any]:
+        """Canonical delta: only keys dirtied since :meth:`mark_clean`.
+
+        Entries use set-to-value semantics — each dirty key carries its
+        complete current value, ``None`` meaning deleted — so
+        :func:`repro.stream.delta.apply_engine_delta` folds them into a
+        prior :meth:`snapshot_state` document to reproduce this engine's
+        state exactly.  The three per-prefix components are tracked (and
+        emitted) independently: a refresh-mode workload re-announces the
+        whole live table daily, dirtying every activity stamp, but the
+        origin maps and evidence sets it leaves untouched stay out of the
+        payload — that asymmetry is what keeps incremental checkpoints
+        cheap at exactly the workload where full snapshots are dearest.
+        Scalar counters are always included (they are a handful of ints).
+        Does not clear the dirty sets; pair with :meth:`mark_clean` once
+        the payload is handed to the writer.
+        """
+        origins = []
+        for prefix in sorted(self._dirty_origins, key=lambda p: p.sort_key):
+            live = self._origins.get(prefix)
+            origins.append(
+                [
+                    str(prefix),
+                    None
+                    if live is None
+                    else [
+                        [origin, sorted(live[origin].origins)]
+                        for origin in sorted(live)
+                    ],
+                ]
+            )
+        observed = []
+        for prefix in sorted(self._dirty_observed, key=lambda p: p.sort_key):
+            lists = self._observed.get(prefix)
+            observed.append(
+                [
+                    str(prefix),
+                    None if lists is None else sorted(
+                        sorted(m.origins) for m in lists
+                    ),
+                ]
+            )
+        activity = [
+            [str(prefix), self._last_activity.get(prefix)]
+            for prefix in sorted(self._dirty_activity, key=lambda p: p.sort_key)
+        ]
+        alarms = [
+            [
+                key[0],
+                key[1],
+                list(key[2]),
+                None if key[3] is None else list(key[3]),
+                key[4],
+                self._alarm_counts.get(key),
+            ]
+            for key in sorted(
+                self._dirty_alarms,
+                key=lambda k: (k[0], k[1], k[2], k[3] or (), k[4] or -1),
+            )
+        ]
+        return {
+            "window": self.window,
+            "offset": self.offset,
+            "moas_active": self._moas_active,
+            "alarms_emitted": self.alarms_emitted,
+            "alarm_duplicates": self.alarm_duplicates,
+            "evictions": self.evictions,
+            "days": [
+                [day, self.daily_counts[day]] for day in sorted(self._dirty_days)
+            ],
+            "origins": origins,
+            "observed": observed,
+            "activity": activity,
+            "alarms": alarms,
+        }
+
+    def mark_clean(self) -> None:
+        """Forget dirty tracking — the caller has captured a boundary."""
+        self._dirty_origins.clear()
+        self._dirty_observed.clear()
+        self._dirty_activity.clear()
+        self._dirty_alarms.clear()
+        self._dirty_days.clear()
+
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Rebuild engine state from a :meth:`snapshot_state` structure."""
         self.window = float(state["window"])
@@ -393,6 +511,13 @@ class StreamEngine:
             Prefix.parse(prefix): float(last)
             for prefix, last in state["last_activity"]
         }
+        # A restored engine is clean: the chain on disk already covers
+        # everything up to this state.
+        self._dirty_origins = set()
+        self._dirty_observed = set()
+        self._dirty_activity = set()
+        self._dirty_alarms = set()
+        self._dirty_days = set()
         self._alarm_counts = {}
         for raw in state["alarm_counts"]:
             prefix_str, kind, observed, conflicting, origin, count = raw

@@ -1,0 +1,656 @@
+"""Sharded online detection — N vantage-point feeds fanned into S engines.
+
+A single :class:`~repro.stream.engine.StreamEngine` tops out around one
+core's worth of per-update work.  :class:`FeedRouter` scales the service
+across processes by partitioning the prefix space: each **shard** is a
+forked worker owning one engine, and the parent routes every announce /
+withdraw line to ``crc32(prefix) % shards`` without parsing it (a raw-byte
+substring scan — the canonical feed serialisation makes ``"p":"…"`` the
+only place a prefix appears).  Because the dedup key of every alarm starts
+with its prefix, shards never produce duplicate alarms across the fleet,
+and the MOAS-active count for a day is simply the sum of the shard counts.
+
+**Day-boundary synchronisation.**  Each feed carries one tick per day.  The
+router reads every feed up to its day-``D`` tick, flushes the routed lines,
+then broadcasts exactly one ``tick(D)`` barrier to every shard — satisfying
+the engine's one-tick-per-day invariant and giving eviction the same global
+day clock a single engine would see.  The barrier reply carries each
+shard's alarm lines since the previous barrier; the parent concatenates
+them in shard-index order, so the merged log's line order is a pure
+function of the feed contents — ``(day, shard, emission order)`` — no
+matter where checkpoints or interruptions fall.
+
+**One durability domain.**  The parent owns the only checkpoint chain and
+the only alarm log.  At a checkpoint boundary (the first day barrier after
+``checkpoint_every`` routed records) every shard also returns its engine
+payload — a full :meth:`~StreamEngine.snapshot_state` or a
+:meth:`~StreamEngine.delta_state` — and the parent writes one composite
+chain record (``shard_count``, per-shard states, per-feed byte offsets,
+the completed day) through the same
+:class:`~repro.stream.checkpoint.ChainWriter` the single-engine service
+uses, after fsyncing the alarm lines it accounts.  Kill-and-resume is
+therefore exactly the single-engine story: load the chain, refuse on a
+shard-count mismatch, restore each shard, ``os.truncate`` the alarm log to
+the recorded byte, seek each feed, continue — and the concatenated logs
+are bit-identical to an uninterrupted sharded run.
+
+A graceful stop (SIGTERM) finishes the in-flight day first, so every
+checkpoint sits on a day boundary and the merged-log ordering above holds
+across interruptions.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import zlib
+from pathlib import Path
+from types import FrameType
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Union
+
+from repro.fsio import fsync_parent_dir
+from repro.obs.manifest import ManifestRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.stream.checkpoint import (
+    DEFAULT_FULL_EVERY,
+    ChainWriter,
+    Checkpoint,
+    CheckpointError,
+    FaultHook,
+    load_chain,
+    reap_stale_tmp,
+)
+from repro.stream.engine import StreamEngine
+from repro.stream.feed import OP_TICK, FeedError, FeedRecord, parse_feed_line
+from repro.stream.service import (
+    StreamSummary,
+    _real_clock,
+    _real_sleep,
+    fault_hook_from_env,
+)
+
+#: Raw-byte markers in the canonical feed serialisation (sorted keys,
+#: compact separators — see FeedRecord.to_json_line).
+_PREFIX_MARK = b'"p":"'
+_TICK_MARK = b'"op":"T"'
+_HEADER_MARK = b'"format"'
+
+
+class RouterError(ValueError):
+    """Raised for feed/shard misconfiguration the router refuses to run."""
+
+
+def shard_for_prefix(prefix_bytes: bytes, shards: int) -> int:
+    """Stable prefix -> shard assignment (crc32, never the salted builtin
+    ``hash``) — must agree across runs for resume to hold."""
+    return zlib.crc32(prefix_bytes) % shards
+
+
+def route_line(line: bytes, shards: int) -> Optional[int]:
+    """Classify one raw feed line: a shard index for announce/withdraw,
+    ``None`` for ticks and headers (handled by the parent)."""
+    start = line.find(_PREFIX_MARK)
+    if start < 0:
+        return None
+    start += len(_PREFIX_MARK)
+    end = line.index(b'"', start)
+    return shard_for_prefix(line[start:end], shards)
+
+
+def merged_daily_counts(shard_states: Sequence[Dict[str, Any]]) -> Dict[int, int]:
+    """Global per-day MOAS counts: the sum of the shard counts."""
+    totals: Dict[int, int] = {}
+    for state in shard_states:
+        for day, count in state["daily_counts"]:
+            totals[int(day)] = totals.get(int(day), 0) + int(count)
+    return dict(sorted(totals.items()))
+
+
+# -- the shard worker --------------------------------------------------------
+
+
+def _shard_worker(conn: Any, window: float) -> None:
+    """One shard: an engine fed raw lines, answering barrier requests.
+
+    Runs in a forked child.  The parent dying (even via ``SIGKILL`` /
+    ``os._exit`` crash injection) closes the pipe, which surfaces here as
+    ``EOFError``/``OSError`` — the worker exits, so crashes never strand
+    shard processes.
+    """
+    engine = StreamEngine(window=window)
+    pending: List[str] = []
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "lines":
+                for raw in message[1]:
+                    record = parse_feed_line(raw.decode("utf-8"))
+                    if record is not None:
+                        for alarm in engine.apply(record):
+                            pending.append(alarm.to_json_line())
+            elif tag == "barrier":
+                day, kind = message[1], message[2]
+                if day is not None:
+                    engine.apply(FeedRecord(op=OP_TICK, time=day))
+                payload: Optional[Dict[str, Any]] = None
+                if kind == "full":
+                    payload = engine.snapshot_state()
+                elif kind == "delta":
+                    payload = engine.delta_state()
+                if kind is not None:
+                    engine.mark_clean()
+                lines, pending = pending, []
+                conn.send((lines, payload))
+            elif tag == "restore":
+                engine.restore_state(message[1])
+                conn.send(("ok",))
+            elif tag == "stop":
+                return
+    except (EOFError, OSError):
+        return
+    finally:
+        conn.close()
+
+
+class _Shard:
+    """Parent-side handle: the worker process, its pipe, a line buffer."""
+
+    def __init__(self, index: int, process: Any, conn: Any) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.buffer: List[bytes] = []
+
+
+class _RoutedFeed:
+    """One vantage-point feed: raw binary reader with exact byte offsets."""
+
+    def __init__(self, index: int, path: Union[str, Path]) -> None:
+        self.index = index
+        self.path = Path(path)
+        self.handle: IO[bytes] = self.path.open("rb")
+        self.byte_offset = 0
+        self.pending_tick: Optional[float] = None
+        self.done = False
+
+    def seek(self, byte_offset: int) -> None:
+        self.handle.seek(byte_offset)
+        self.byte_offset = byte_offset
+
+    def close(self) -> None:
+        if not self.handle.closed:
+            self.handle.close()
+
+
+def _tick_day(line: bytes, path: Path) -> float:
+    try:
+        return float(json.loads(line.decode("utf-8"))["t"])
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise FeedError(f"{path}: malformed tick line {line!r}: {exc}") from exc
+
+
+class FeedRouter:
+    """Fan N feeds into S shard processes under one durability domain."""
+
+    def __init__(
+        self,
+        feeds: Sequence[Union[str, Path]],
+        alarms: Union[str, Path],
+        checkpoint: Optional[Union[str, Path]] = None,
+        *,
+        shards: int = 2,
+        window: float = 30.0,
+        checkpoint_every: int = 1000,
+        full_every: int = DEFAULT_FULL_EVERY,
+        throttle: float = 0.0,
+        max_records: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+        fault: Optional[FaultHook] = None,
+    ) -> None:
+        if not feeds:
+            raise RouterError("the router needs at least one feed")
+        if shards < 1:
+            raise RouterError(f"shards must be >= 1, got {shards}")
+        if checkpoint_every < 1:
+            raise RouterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.feed_paths = [Path(feed) for feed in feeds]
+        self.alarms_path = Path(alarms)
+        self.checkpoint_path = None if checkpoint is None else Path(checkpoint)
+        self.shards = shards
+        self.window = window
+        self.checkpoint_every = checkpoint_every
+        self.full_every = full_every
+        self.throttle = throttle
+        self.max_records = max_records
+        self.checkpoints_written = 0
+        self.fulls_written = 0
+        self.deltas_written = 0
+        self._fault: Optional[FaultHook] = (
+            fault if fault is not None else fault_hook_from_env()
+        )
+        self._chain: Optional[ChainWriter] = None
+        if self.checkpoint_path is not None:
+            self._chain = ChainWriter(
+                self.checkpoint_path, full_every=full_every, fault=self._fault
+            )
+        self._boundaries_since_full = 0
+        self._chain_started = False
+        self._alarm_lines = 0
+        self._alarm_bytes = 0
+        self._pending: List[str] = []
+        self._records_total = 0
+        self._stop_requested = False
+        self._epoch: Optional[float] = None
+        self._checkpoint_seconds = 0.0
+        # Quarantined timing/pacing injection points, as in StreamService.
+        self._clock = clock if clock is not None else _real_clock
+        self._sleeper = sleeper if sleeper is not None else _real_sleep
+        self._m_records = None
+        self._m_barriers = None
+        self._m_checkpoints = None
+        if metrics is not None:
+            self._m_records = metrics.counter("router.records")
+            self._m_barriers = metrics.counter("router.barriers")
+            self._m_checkpoints = metrics.counter("router.checkpoints")
+            metrics.gauge("router.shards").set(shards)
+
+    # -- control ---------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Finish the in-flight day, checkpoint at its barrier, then return."""
+        self._stop_requested = True
+
+    def install_signal_handlers(self) -> None:
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum: int, frame: Optional[FrameType]) -> None:
+        self.request_stop()
+
+    # -- shard lifecycle -------------------------------------------------------
+
+    def _spawn_shards(self) -> List[_Shard]:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RouterError("sharded routing requires fork support") from exc
+        shards: List[_Shard] = []
+        for index in range(self.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, self.window),
+                name=f"stream-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            shards.append(_Shard(index, process, parent_conn))
+        return shards
+
+    def _stop_shards(self, shards: List[_Shard]) -> None:
+        for shard in shards:
+            try:
+                shard.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            shard.conn.close()
+        for shard in shards:
+            shard.process.join(timeout=10)
+            if shard.process.is_alive():  # pragma: no cover - hung worker
+                shard.process.terminate()
+                shard.process.join(timeout=10)
+
+    def _flush_buffers(self, shards: List[_Shard]) -> None:
+        for shard in shards:
+            if shard.buffer:
+                shard.conn.send(("lines", shard.buffer))
+                shard.buffer = []
+
+    def _barrier(
+        self, shards: List[_Shard], day: Optional[float], kind: Optional[str]
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Synchronise every shard; gather alarms (always, in shard-index
+        order — this is what fixes the merged-log ordering) and, when
+        ``kind`` is set, the per-shard checkpoint payloads."""
+        self._flush_buffers(shards)
+        for shard in shards:
+            shard.conn.send(("barrier", day, kind))
+        payloads: List[Optional[Dict[str, Any]]] = []
+        for shard in shards:
+            lines, payload = shard.conn.recv()
+            self._pending.extend(lines)
+            payloads.append(payload)
+        if self._m_barriers is not None:
+            self._m_barriers.inc()
+        return payloads
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _composite_full(
+        self, feeds: List[_RoutedFeed], payloads: List[Optional[Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        return {
+            "shard_count": self.shards,
+            "window": self.window,
+            "epoch": self._epoch,
+            "feed_offsets": [feed.byte_offset for feed in feeds],
+            "shards": payloads,
+        }
+
+    def _write_checkpoint(
+        self,
+        feeds: List[_RoutedFeed],
+        kind: str,
+        payloads: List[Optional[Dict[str, Any]]],
+    ) -> None:
+        """Flush pending alarm lines durably, then the chain record that
+        accounts them — the single transactional ordering both the service
+        and the router rely on."""
+        pending, self._pending = self._pending, []
+        self._alarm_lines += len(pending)
+        self._alarm_bytes += sum(len(line.encode("utf-8")) + 1 for line in pending)
+        if pending:
+            if self._fault is not None:
+                self._fault("alarm-pre-append")
+            with self.alarms_path.open("a", encoding="utf-8") as handle:
+                for line in pending:
+                    handle.write(line + "\n")
+                handle.flush()
+                if self._fault is not None:
+                    self._fault("alarm-pre-fsync")
+                os.fsync(handle.fileno())
+            if self._fault is not None:
+                self._fault("alarm-post-fsync")
+        assert self._chain is not None
+        if kind == "full":
+            self._chain.write_full(
+                Checkpoint(
+                    offset=self._records_total,
+                    byte_offset=0,
+                    alarm_lines=self._alarm_lines,
+                    engine_state=self._composite_full(feeds, payloads),
+                    alarm_bytes=self._alarm_bytes,
+                )
+            )
+            self._boundaries_since_full = 0
+            self._chain_started = True
+            self.fulls_written += 1
+        else:
+            self._chain.append_delta(
+                offset=self._records_total,
+                byte_offset=0,
+                alarm_lines=self._alarm_lines,
+                alarm_bytes=self._alarm_bytes,
+                delta={
+                    "epoch": self._epoch,
+                    "feed_offsets": [feed.byte_offset for feed in feeds],
+                    "shards": payloads,
+                },
+            )
+            self._boundaries_since_full += 1
+            self.deltas_written += 1
+        self.checkpoints_written += 1
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc()
+
+    def _next_kind(self) -> str:
+        if (
+            not self._chain_started
+            or self._boundaries_since_full + 1 >= self.full_every
+        ):
+            return "full"
+        return "delta"
+
+    def _truncate_alarm_log(self, checkpoint: Checkpoint) -> None:
+        keep = checkpoint.alarm_bytes
+        size = self.alarms_path.stat().st_size
+        if size < keep:
+            raise CheckpointError(
+                f"alarm log {self.alarms_path} has {size} bytes but the "
+                f"checkpoint recorded {keep} durable"
+            )
+        with self.alarms_path.open("r+b") as handle:
+            if keep > 0:
+                handle.seek(keep - 1)
+                if handle.read(1) != b"\n":
+                    raise CheckpointError(
+                        f"alarm log {self.alarms_path} does not end a line "
+                        f"at byte {keep}; refusing to truncate"
+                    )
+            if size > keep:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._alarm_bytes = keep
+
+    def _resume(
+        self, feeds: List[_RoutedFeed], shards: List[_Shard]
+    ) -> None:
+        if self.checkpoint_path is None:
+            raise RouterError("resume requested but no checkpoint path configured")
+        chain = load_chain(self.checkpoint_path)
+        checkpoint = chain.checkpoint
+        state = checkpoint.engine_state
+        if "shard_count" not in state:
+            raise CheckpointError(
+                f"{self.checkpoint_path} is a single-engine checkpoint, not "
+                f"a router composite"
+            )
+        if int(state["shard_count"]) != self.shards:
+            raise CheckpointError(
+                f"checkpoint was written by {state['shard_count']} shards, "
+                f"cannot resume with {self.shards}"
+            )
+        offsets = state["feed_offsets"]
+        if len(offsets) != len(feeds):
+            raise CheckpointError(
+                f"checkpoint recorded {len(offsets)} feeds, "
+                f"got {len(feeds)}"
+            )
+        for shard, shard_state in zip(shards, state["shards"]):
+            shard.conn.send(("restore", shard_state))
+        for shard in shards:
+            reply = shard.conn.recv()
+            if reply != ("ok",):  # pragma: no cover - defensive
+                raise RouterError(f"shard {shard.index} failed to restore")
+        for feed, offset in zip(feeds, offsets):
+            feed.seek(int(offset))
+        self._epoch = state["epoch"]
+        self._records_total = checkpoint.offset
+        self._alarm_lines = checkpoint.alarm_lines
+        if self.alarms_path.exists():
+            self._truncate_alarm_log(checkpoint)
+        else:
+            self.alarms_path.write_text("", encoding="utf-8")
+            fsync_parent_dir(self.alarms_path)
+            self._alarm_bytes = 0
+        assert self._chain is not None
+        self._chain.resume(chain)
+        self._boundaries_since_full = chain.seq
+        self._chain_started = True
+
+    # -- the run loop ----------------------------------------------------------
+
+    def _read_to_tick(self, feed: _RoutedFeed, shards: List[_Shard]) -> int:
+        """Consume one feed up to (and including) its next tick line,
+        routing announce/withdraw lines into shard buffers.  Returns the
+        number of records routed."""
+        routed = 0
+        while True:
+            line = feed.handle.readline()
+            if not line or not line.endswith(b"\n"):
+                feed.done = True
+                return routed
+            feed.byte_offset += len(line)
+            if _HEADER_MARK in line:
+                continue
+            if _TICK_MARK in line:
+                feed.pending_tick = _tick_day(line, feed.path)
+                return routed
+            target = route_line(line, self.shards)
+            if target is None:
+                raise FeedError(
+                    f"{feed.path}: unroutable feed line {line[:80]!r}"
+                )
+            shards[target].buffer.append(line)
+            routed += 1
+
+    def run(self, resume: bool = False) -> StreamSummary:
+        started = self._clock()
+        if self.checkpoint_path is not None:
+            reap_stale_tmp(self.checkpoint_path)
+        feeds = [
+            _RoutedFeed(index, path)
+            for index, path in enumerate(self.feed_paths)
+        ]
+        shards = self._spawn_shards()
+        stopped_early = False
+        reached_eof = False
+        try:
+            if resume:
+                self._resume(feeds, shards)
+            else:
+                self.alarms_path.write_text("", encoding="utf-8")
+                fsync_parent_dir(self.alarms_path)
+                self._alarm_lines = 0
+                self._alarm_bytes = 0
+            applied = 0
+            since_checkpoint = 0
+            while True:
+                if self._stop_requested:
+                    stopped_early = True
+                    break
+                if self.max_records is not None and applied >= self.max_records:
+                    stopped_early = True
+                    break
+                live = [feed for feed in feeds if not feed.done]
+                if not live:
+                    reached_eof = True
+                    break
+                for feed in live:
+                    if feed.pending_tick is None:
+                        routed = self._read_to_tick(feed, shards)
+                        applied += routed
+                        since_checkpoint += routed
+                        self._records_total += routed
+                        if self._m_records is not None:
+                            self._m_records.inc(routed)
+                # A feed that hit EOF mid-day contributes its lines but no
+                # tick; the day closes on the feeds that did tick.
+                ticking = [
+                    feed for feed in feeds
+                    if not feed.done and feed.pending_tick is not None
+                ]
+                if not ticking:
+                    continue  # some feeds went EOF; loop re-evaluates
+                days = sorted({feed.pending_tick for feed in ticking})
+                if len(days) != 1:
+                    raise RouterError(
+                        f"vantage feeds disagree on the current day: {days}"
+                    )
+                day = days[0]
+                self._records_total += 1  # the day's tick, applied fleet-wide
+                applied += 1
+                since_checkpoint += 1
+                kind: Optional[str] = None
+                if self._chain is not None and (
+                    since_checkpoint >= self.checkpoint_every
+                ):
+                    kind = self._next_kind()
+                payloads = self._barrier(shards, day, kind)
+                self._epoch = day
+                for feed in ticking:
+                    feed.pending_tick = None
+                if kind is not None:
+                    began = self._clock()
+                    self._write_checkpoint(feeds, kind, payloads)
+                    self._checkpoint_seconds += self._clock() - began
+                    since_checkpoint = 0
+                if self.throttle > 0.0:
+                    self._sleeper(self.throttle)
+            # Final barrier: collect remaining alarms and a full composite
+            # state, then make both durable (when a chain is configured).
+            final = self._barrier(shards, None, "full")
+            states = [payload for payload in final if payload is not None]
+            if self._chain is not None:
+                began = self._clock()
+                self._write_checkpoint(feeds, "full", final)
+                self._checkpoint_seconds += self._clock() - began
+            elif self._pending:
+                pending, self._pending = self._pending, []
+                self._alarm_lines += len(pending)
+                self._alarm_bytes += sum(
+                    len(line.encode("utf-8")) + 1 for line in pending
+                )
+                with self.alarms_path.open("a", encoding="utf-8") as handle:
+                    for line in pending:
+                        handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            wall = self._clock() - started
+            daily = merged_daily_counts(states)
+            return StreamSummary(
+                records=applied,
+                offset=self._records_total,
+                alarms_emitted=sum(s["alarms_emitted"] for s in states),
+                alarm_duplicates=sum(s["alarm_duplicates"] for s in states),
+                alarm_lines=self._alarm_lines,
+                checkpoints=self.checkpoints_written,
+                checkpoint_fulls=self.fulls_written,
+                checkpoint_deltas=self.deltas_written,
+                moas_active=sum(s["moas_active"] for s in states),
+                state_prefixes=sum(
+                    len(
+                        {name for name, _ in s["origins"]}
+                        | {name for name, _ in s["observed"]}
+                    )
+                    for s in states
+                ),
+                days_ticked=len(daily),
+                stopped=stopped_early,
+                eof=reached_eof,
+                wall_seconds=wall,
+                events_per_sec=applied / wall if wall > 0 else 0.0,
+                checkpoint_seconds=self._checkpoint_seconds,
+                shards=self.shards,
+            )
+        finally:
+            self._stop_shards(shards)
+            for feed in feeds:
+                feed.close()
+
+    # -- attribution -----------------------------------------------------------
+
+    def manifest_record(
+        self,
+        summary: StreamSummary,
+        spec: Optional[Dict[str, Any]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ManifestRecord:
+        base_spec: Dict[str, Any] = {
+            "kind": "stream-router",
+            "feeds": [str(path) for path in self.feed_paths],
+            "shards": self.shards,
+            "window": self.window,
+            "checkpoint_every": self.checkpoint_every,
+            "full_every": self.full_every,
+        }
+        if spec is not None:
+            base_spec.update(spec)
+        return ManifestRecord(
+            index=0,
+            seed=0,
+            spec=base_spec,
+            outcome=summary.to_dict(),
+            metrics={} if metrics is None else dict(metrics.snapshot()),
+            worker="stream-router",
+            wall_seconds=summary.wall_seconds,
+        )

@@ -5,18 +5,28 @@ every record through a :class:`~repro.stream.engine.StreamEngine`, and
 persists two artefacts:
 
 * the **alarm log** — one canonical JSON line per first-seen alarm;
-* the **checkpoint** — the engine state plus feed/log coordinates.
+* the **checkpoint chain** — a full engine snapshot plus delta-encoded
+  incremental boundaries (see :mod:`repro.stream.checkpoint`).
 
 The two are coupled transactionally: pending alarm lines are flushed to the
 log *only* at checkpoint boundaries (and once more at a graceful stop), and
-the checkpoint written immediately after records how many lines are durable.
-A service killed at an arbitrary point therefore leaves an alarm log that is
-a prefix of the uninterrupted run's log, and a resume — which restores the
-engine, truncates the log back to the recorded line count, and seeks the
-feed to the recorded byte offset — continues producing exactly the remaining
-lines.  Concatenating the two runs' logs reproduces the uninterrupted log
-byte for byte; ``tests/test_stream_service.py`` and the ``stream-smoke`` CI
-job hold that property.
+the chain record written immediately after states how many lines — and
+bytes — are durable.  A service killed at an arbitrary point therefore
+leaves an alarm log whose durable prefix is named by the last durable chain
+record, and a resume — which replays the chain, rolls the log back with a
+single ``os.truncate`` to the recorded byte offset, and seeks the feed to
+the recorded byte offset — continues producing exactly the remaining lines.
+Concatenating the two runs' logs reproduces the uninterrupted log byte for
+byte; ``tests/test_stream_service.py``, the fault-injection suite in
+``tests/test_stream_faults.py`` and the ``stream-smoke`` CI job hold that
+property.
+
+Serialisation is **double-buffered off the ingest path**: at a boundary the
+service captures the (cheap, delta-encoded) payload synchronously, then
+hands the alarm flush + chain append to a background writer thread; ingest
+only blocks when two boundaries are already in flight.  Ordering is
+preserved by the queue, so the durability invariants are exactly those of
+the synchronous path — ``async_io=False`` forces inline writes for tests.
 
 Wall time never steers detection: the loop takes an injectable ``clock``
 (throughput/latency measurement only — quarantined like every other timing
@@ -29,18 +39,35 @@ below.
 from __future__ import annotations
 
 import os
+import queue
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from types import FrameType
-from typing import IO, Any, Callable, Dict, List, Optional, Union
+from typing import IO, Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.fsio import fsync_parent_dir
 from repro.obs.manifest import ManifestRecord
 from repro.obs.metrics import Counter, MetricsRegistry
-from repro.stream.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.stream.checkpoint import (
+    DEFAULT_FULL_EVERY,
+    ChainWriter,
+    Checkpoint,
+    CheckpointError,
+    FaultHook,
+    load_chain,
+    reap_stale_tmp,
+)
 from repro.stream.engine import StreamEngine
 from repro.stream.feed import FeedError, FeedRecord, parse_feed_line
+
+#: Environment hook for crash-injection in subprocess tests: a fault-point
+#: name, optionally ``:n`` to crash on the n-th hit (default first).
+FAULT_ENV_VAR = "REPRO_STREAM_FAULT"
+#: Exit status used by the injected-crash hook (distinct from real errors).
+FAULT_EXIT_CODE = 73
 
 
 def _real_sleep(seconds: float) -> None:
@@ -51,6 +78,29 @@ def _real_sleep(seconds: float) -> None:
 def _real_clock() -> float:
     """Default wall clock; measurement only, never an input to detection."""
     return time.perf_counter()  # repro-lint: disable=R002
+
+
+def fault_hook_from_env() -> Optional[FaultHook]:
+    """Build a crash hook from ``REPRO_STREAM_FAULT`` (``point[:n]``).
+
+    The hook hard-exits the process (``os._exit``) at the chosen fault
+    point, simulating a crash with no flushing, no handlers, no goodbye —
+    which is the honest model for kill-testing durability code.
+    """
+    spec = os.environ.get(FAULT_ENV_VAR)
+    if not spec:
+        return None
+    point, _, nth_text = spec.partition(":")
+    remaining = [int(nth_text) if nth_text else 1]
+
+    def hook(name: str) -> None:
+        if name != point:
+            return
+        remaining[0] -= 1
+        if remaining[0] <= 0:
+            os._exit(FAULT_EXIT_CODE)
+
+    return hook
 
 
 class FeedTailer:
@@ -113,6 +163,9 @@ class StreamSummary:
     wall_seconds: float
     events_per_sec: float
     checkpoint_seconds: float
+    checkpoint_fulls: int = 0
+    checkpoint_deltas: int = 0
+    shards: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict; timing lives under quarantined TIMING_KEYS names."""
@@ -123,18 +176,76 @@ class StreamSummary:
             "alarm_duplicates": self.alarm_duplicates,
             "alarm_lines": self.alarm_lines,
             "checkpoints": self.checkpoints,
+            "checkpoint_fulls": self.checkpoint_fulls,
+            "checkpoint_deltas": self.checkpoint_deltas,
             "moas_active": self.moas_active,
             "state_prefixes": self.state_prefixes,
             "days_ticked": self.days_ticked,
             "stopped": self.stopped,
             "eof": self.eof,
+            "shards": self.shards,
             "events_per_sec": self.events_per_sec,
             "checkpoint_seconds": self.checkpoint_seconds,
         }
 
 
+#: One boundary's durable work: alarm lines to append, then (optionally)
+#: one chain write — a full Checkpoint or a delta record's fields.
+_WriterTask = Tuple[List[str], Optional[str], Optional[Checkpoint], Dict[str, Any]]
+
+
+class _WriterPump:
+    """Background double-buffered executor for boundary writes.
+
+    Tasks run strictly in submission order on one thread; ``submit`` blocks
+    only when ``depth`` boundaries are already in flight (the double
+    buffer).  The first failure is latched and re-raised to the submitter —
+    durability errors must never be silently swallowed off-thread.
+    """
+
+    _STOP = object()
+
+    def __init__(
+        self, execute: Callable[[_WriterTask], None], depth: int = 2
+    ) -> None:
+        self._execute = execute
+        self._tasks: "queue.Queue[Any]" = queue.Queue(maxsize=max(1, depth))
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._loop, name="stream-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is self._STOP:
+                return
+            if self._error is not None:
+                continue  # drain without executing after a failure
+            try:
+                self._execute(task)
+            except BaseException as exc:  # latched, re-raised on the caller
+                self._error = exc
+
+    def _check(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def submit(self, task: _WriterTask) -> None:
+        self._check()
+        self._tasks.put(task)
+
+    def close(self) -> None:
+        """Drain, stop the thread, and surface any latched failure."""
+        self._tasks.put(self._STOP)
+        self._thread.join()
+        self._check()
+
+
 class StreamService:
-    """Tail a feed, detect online, checkpoint, survive being killed."""
+    """Tail a feed, detect online, checkpoint incrementally, survive kills."""
 
     def __init__(
         self,
@@ -145,6 +256,7 @@ class StreamService:
         window: float = 30.0,
         batch_size: int = 256,
         checkpoint_every: int = 1000,
+        full_every: int = DEFAULT_FULL_EVERY,
         follow: bool = False,
         poll_interval: float = 0.2,
         throttle: float = 0.0,
@@ -152,6 +264,8 @@ class StreamService:
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
         sleeper: Optional[Callable[[float], None]] = None,
+        async_io: bool = True,
+        fault: Optional[FaultHook] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -159,26 +273,50 @@ class StreamService:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if full_every < 1:
+            raise ValueError(f"full_every must be >= 1, got {full_every}")
         self.feed_path = Path(feed)
         self.alarms_path = Path(alarms)
         self.checkpoint_path = None if checkpoint is None else Path(checkpoint)
         self.engine = StreamEngine(window=window, metrics=metrics)
         self.batch_size = batch_size
         self.checkpoint_every = checkpoint_every
+        self.full_every = full_every
         self.follow = follow
         self.poll_interval = poll_interval
         self.throttle = throttle
         self.max_records = max_records
         self.checkpoints_written = 0
+        self.fulls_written = 0
+        self.deltas_written = 0
+        self._fault: Optional[FaultHook] = (
+            fault if fault is not None else fault_hook_from_env()
+        )
+        self._chain: Optional[ChainWriter] = None
+        if self.checkpoint_path is not None:
+            self._chain = ChainWriter(
+                self.checkpoint_path,
+                full_every=full_every,
+                fault=self._fault,
+            )
+        self._boundaries_since_full = 0
+        self._chain_started = False
         self._alarm_lines = 0
+        self._alarm_bytes = 0
         self._pending: List[str] = []
         self._stop_requested = False
         self._clock = clock if clock is not None else _real_clock
         self._sleeper = sleeper if sleeper is not None else _real_sleep
+        self._async_io = async_io
+        self._pump: Optional[_WriterPump] = None
         self._checkpoint_seconds = 0.0
         self._m_checkpoints: Optional[Counter] = None
+        self._m_fulls: Optional[Counter] = None
+        self._m_deltas: Optional[Counter] = None
         if metrics is not None:
             self._m_checkpoints = metrics.counter("stream.checkpoints")
+            self._m_fulls = metrics.counter("stream.checkpoint_fulls")
+            self._m_deltas = metrics.counter("stream.checkpoint_deltas")
 
     # -- control ---------------------------------------------------------------
 
@@ -198,15 +336,24 @@ class StreamService:
 
     def run(self, resume: bool = False) -> StreamSummary:
         started = self._clock()
+        if self.checkpoint_path is not None:
+            # A crash mid-write strands `<name>*.tmp` files that nothing
+            # would ever collect; sweep them before touching the chain.
+            reap_stale_tmp(self.checkpoint_path)
         tailer = FeedTailer(self.feed_path)
+        if self._async_io:
+            self._pump = _WriterPump(self._execute_boundary)
         try:
             if resume:
                 self._resume(tailer)
             else:
                 # Fresh run: start the alarm log empty so reruns never append
-                # to a stale log.
+                # to a stale log; directory-fsync so the (possibly new) log
+                # file itself survives a crash.
                 self.alarms_path.write_text("", encoding="utf-8")
+                fsync_parent_dir(self.alarms_path)
                 self._alarm_lines = 0
+                self._alarm_bytes = 0
             applied = 0
             since_checkpoint = 0
             reached_eof = False
@@ -236,6 +383,7 @@ class StreamService:
             # Graceful exit: whatever stopped us, leave the log and
             # checkpoint agreeing on a resumable record boundary.
             self._flush_and_checkpoint(tailer)
+            self._drain_pump()
             wall = self._clock() - started
             return StreamSummary(
                 records=applied,
@@ -244,6 +392,8 @@ class StreamService:
                 alarm_duplicates=self.engine.alarm_duplicates,
                 alarm_lines=self._alarm_lines,
                 checkpoints=self.checkpoints_written,
+                checkpoint_fulls=self.fulls_written,
+                checkpoint_deltas=self.deltas_written,
                 moas_active=self.engine.moas_active,
                 state_prefixes=self.engine.state_prefixes,
                 days_ticked=len(self.engine.daily_counts),
@@ -254,71 +404,180 @@ class StreamService:
                 checkpoint_seconds=self._checkpoint_seconds,
             )
         finally:
-            tailer.close()
+            try:
+                self._drain_pump()
+            finally:
+                tailer.close()
+
+    def _drain_pump(self) -> None:
+        if self._pump is not None:
+            pump, self._pump = self._pump, None
+            began = self._clock()
+            pump.close()
+            self._checkpoint_seconds += self._clock() - began
 
     # -- checkpointing ----------------------------------------------------------
 
     def _resume(self, tailer: FeedTailer) -> None:
         if self.checkpoint_path is None:
             raise ValueError("resume requested but no checkpoint path configured")
-        checkpoint = load_checkpoint(self.checkpoint_path)
+        chain = load_chain(self.checkpoint_path)
+        checkpoint = chain.checkpoint
         self.engine.restore_state(checkpoint.engine_state)
         if checkpoint.offset != self.engine.offset:
-            raise ValueError(
+            raise CheckpointError(
                 f"checkpoint offset {checkpoint.offset} disagrees with its "
                 f"engine state offset {self.engine.offset}"
             )
         self._alarm_lines = checkpoint.alarm_lines
         if self.alarms_path.exists():
-            self._truncate_alarm_log(checkpoint.alarm_lines)
+            self._truncate_alarm_log(checkpoint)
         else:
             # Resuming onto a fresh log path: it receives only the lines the
             # uninterrupted run would emit after the checkpoint.
             self.alarms_path.write_text("", encoding="utf-8")
+            fsync_parent_dir(self.alarms_path)
+            self._alarm_bytes = 0
+        assert self._chain is not None  # checkpoint_path implies a chain
+        self._chain.resume(chain)
+        self._boundaries_since_full = chain.seq
+        self._chain_started = True
         tailer.seek(checkpoint.byte_offset)
 
-    def _truncate_alarm_log(self, keep_lines: int) -> None:
+    def _truncate_alarm_log(self, checkpoint: Checkpoint) -> None:
         """Roll the log back to the checkpoint's durable prefix.
 
         Robust against a crash that landed between the alarm flush and the
-        checkpoint write: any lines past ``keep_lines`` were flushed for a
-        checkpoint that never became durable, and will be re-emitted.
+        chain write: any bytes past the recorded durable length were
+        flushed for a boundary that never became durable, and will be
+        re-emitted.  The rollback itself is one ``os.truncate`` — a single
+        atomic syscall, safe to die during and idempotent to repeat —
+        replacing the old read-all-lines-and-rewrite (which a crash could
+        leave half-written, silently corrupting the log).
         """
-        with self.alarms_path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        if len(lines) < keep_lines:
-            raise ValueError(
-                f"alarm log {self.alarms_path} has {len(lines)} lines but the "
-                f"checkpoint recorded {keep_lines}"
+        keep_bytes = checkpoint.alarm_bytes
+        if keep_bytes == 0 and checkpoint.alarm_lines > 0:
+            # v1-era checkpoint without byte accounting: locate the byte
+            # offset of the recorded line count, then truncate atomically.
+            keep_bytes = self._line_byte_offset(checkpoint.alarm_lines)
+        size = self.alarms_path.stat().st_size
+        if size < keep_bytes:
+            raise CheckpointError(
+                f"alarm log {self.alarms_path} has {size} bytes but the "
+                f"checkpoint recorded {keep_bytes} durable"
             )
-        if len(lines) > keep_lines:
-            with self.alarms_path.open("w", encoding="utf-8") as handle:
-                handle.writelines(lines[:keep_lines])
+        with self.alarms_path.open("r+b") as handle:
+            if keep_bytes > 0:
+                handle.seek(keep_bytes - 1)
+                if handle.read(1) != b"\n":
+                    raise CheckpointError(
+                        f"alarm log {self.alarms_path} does not end a line at "
+                        f"byte {keep_bytes}; refusing to truncate"
+                    )
+            if self._fault is not None:
+                self._fault("truncate-pre")
+            if size > keep_bytes:
+                handle.truncate(keep_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._fault is not None:
+                self._fault("truncate-post")
+        self._alarm_bytes = keep_bytes
+
+    def _line_byte_offset(self, lines: int) -> int:
+        """Byte offset just past line ``lines`` of the alarm log."""
+        offset = 0
+        seen = 0
+        with self.alarms_path.open("rb") as handle:
+            for line in handle:
+                seen += 1
+                offset += len(line)
+                if seen == lines:
+                    return offset
+        raise CheckpointError(
+            f"alarm log {self.alarms_path} has {seen} lines but the "
+            f"checkpoint recorded {lines}"
+        )
 
     def _flush_and_checkpoint(self, tailer: FeedTailer) -> None:
         began = self._clock()
-        if self._pending:
-            with self.alarms_path.open("a", encoding="utf-8") as handle:
-                for line in self._pending:
-                    handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._alarm_lines += len(self._pending)
-            self._pending.clear()
-        if self.checkpoint_path is not None:
-            save_checkpoint(
-                self.checkpoint_path,
-                Checkpoint(
+        pending, self._pending = self._pending, []
+        self._alarm_lines += len(pending)
+        self._alarm_bytes += sum(len(line.encode("utf-8")) + 1 for line in pending)
+        kind: Optional[str] = None
+        checkpoint: Optional[Checkpoint] = None
+        delta: Dict[str, Any] = {}
+        if self._chain is not None:
+            if (
+                not self._chain_started
+                or self._boundaries_since_full + 1 >= self.full_every
+            ):
+                kind = "full"
+                checkpoint = Checkpoint(
                     offset=self.engine.offset,
                     byte_offset=tailer.byte_offset,
                     alarm_lines=self._alarm_lines,
                     engine_state=self.engine.snapshot_state(),
-                ),
-            )
+                    alarm_bytes=self._alarm_bytes,
+                )
+                self._boundaries_since_full = 0
+                self._chain_started = True
+                self.fulls_written += 1
+                if self._m_fulls is not None:
+                    self._m_fulls.inc()
+            else:
+                kind = "delta"
+                delta = {
+                    "offset": self.engine.offset,
+                    "byte_offset": tailer.byte_offset,
+                    "alarm_lines": self._alarm_lines,
+                    "alarm_bytes": self._alarm_bytes,
+                    "delta": self.engine.delta_state(),
+                }
+                self._boundaries_since_full += 1
+                self.deltas_written += 1
+                if self._m_deltas is not None:
+                    self._m_deltas.inc()
+            self.engine.mark_clean()
             self.checkpoints_written += 1
             if self._m_checkpoints is not None:
                 self._m_checkpoints.inc()
+        task: _WriterTask = (pending, kind, checkpoint, delta)
+        if self._pump is not None:
+            self._pump.submit(task)
+        else:
+            self._execute_boundary(task)
         self._checkpoint_seconds += self._clock() - began
+
+    def _execute_boundary(self, task: _WriterTask) -> None:
+        """One boundary's durable work (writer thread, or inline when sync)."""
+        pending, kind, checkpoint, delta = task
+        if pending:
+            if self._fault is not None:
+                self._fault("alarm-pre-append")
+            with self.alarms_path.open("a", encoding="utf-8") as handle:
+                for line in pending:
+                    handle.write(line + "\n")
+                handle.flush()
+                if self._fault is not None:
+                    self._fault("alarm-pre-fsync")
+                os.fsync(handle.fileno())
+            if self._fault is not None:
+                self._fault("alarm-post-fsync")
+        if kind is None:
+            return
+        assert self._chain is not None
+        if kind == "full":
+            assert checkpoint is not None
+            self._chain.write_full(checkpoint)
+        else:
+            self._chain.append_delta(
+                offset=delta["offset"],
+                byte_offset=delta["byte_offset"],
+                alarm_lines=delta["alarm_lines"],
+                alarm_bytes=delta["alarm_bytes"],
+                delta=delta["delta"],
+            )
 
     # -- attribution -------------------------------------------------------------
 
@@ -335,6 +594,7 @@ class StreamService:
             "window": self.engine.window,
             "batch_size": self.batch_size,
             "checkpoint_every": self.checkpoint_every,
+            "full_every": self.full_every,
         }
         if spec is not None:
             base_spec.update(spec)

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.fsio import fsync_dir
 from repro.obs.metrics import MetricsRegistry, SnapshotValue
 from repro.warmstart.baseline import SNAPSHOT_FORMAT, BaselineKey, BaselineSnapshot
 
@@ -151,6 +152,9 @@ class WarmStartCache:
             finally:
                 handle.close()
             os.replace(handle.name, self._disk_path(digest))
+            # The rename itself is not durable until the directory is
+            # fsynced (ext4/xfs); a crash could otherwise lose the entry.
+            fsync_dir(self.disk_dir)
         except OSError:
             # Disk tier is best-effort: an unwritable cache directory must
             # not fail the sweep, it just stays cold across processes.

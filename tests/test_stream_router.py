@@ -1,0 +1,333 @@
+"""Tests for the sharded feed router.
+
+Load-bearing properties: sharded detection agrees with a single engine
+(daily MOAS counts sum across shards, alarms are the same set — the
+prefix partition means no shard can duplicate another's alarms), the
+merged alarm log's line order is deterministic, and kill-and-resume under
+sharding is bit-identical, refusing on shard-count mismatches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.measurement.trace import FaultSpike, TraceConfig, TraceGenerator
+from repro.stream.checkpoint import CheckpointError, load_checkpoint
+from repro.stream.engine import StreamEngine
+from repro.stream.feed import FeedWriter, read_feed, snapshot_deltas
+from repro.stream.router import (
+    FeedRouter,
+    RouterError,
+    merged_daily_counts,
+    route_line,
+    shard_for_prefix,
+)
+from repro.stream.service import StreamService
+
+TRACE_CONFIG = TraceConfig(
+    days=40,
+    faults=(FaultSpike(day=10, faulty_as=8584, n_prefixes=30),),
+    n_background_prefixes=200,
+    include_background=True,
+)
+
+
+def write_trace_feed(path, seed=7, config=TRACE_CONFIG):
+    generator = TraceGenerator(config, random.Random(seed))
+    with FeedWriter(path) as writer:
+        return writer.write_all(snapshot_deltas(generator.snapshots()))
+
+
+class TestRouting:
+    def test_route_line_extracts_the_prefix(self):
+        line = b'{"m":[701,702],"o":701,"op":"A","p":"10.0.0.0/24","t":0.0}\n'
+        assert route_line(line, 4) == shard_for_prefix(b"10.0.0.0/24", 4)
+
+    def test_ticks_and_headers_are_not_routed(self):
+        assert route_line(b'{"op":"T","t":3.0}\n', 4) is None
+        assert (
+            route_line(b'{"format":"repro-stream-feed","version":1}\n', 4)
+            is None
+        )
+
+    def test_shard_assignment_is_stable_and_covering(self):
+        prefixes = [f"10.0.{i}.0/24".encode() for i in range(256)]
+        first = [shard_for_prefix(p, 4) for p in prefixes]
+        assert first == [shard_for_prefix(p, 4) for p in prefixes]
+        assert set(first) == {0, 1, 2, 3}  # every shard gets work
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(RouterError, match="at least one feed"):
+            FeedRouter([], tmp_path / "a.jsonl")
+        with pytest.raises(RouterError, match="shards"):
+            FeedRouter([tmp_path / "f"], tmp_path / "a.jsonl", shards=0)
+
+
+class TestShardedParity:
+    def test_two_shards_agree_with_single_engine(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        write_trace_feed(feed)
+        single_alarms = tmp_path / "single.jsonl"
+        single = StreamService(
+            feed, single_alarms, tmp_path / "single_cp.json"
+        )
+        single_summary = single.run()
+        router = FeedRouter(
+            [feed],
+            tmp_path / "sharded.jsonl",
+            tmp_path / "cp.json",
+            shards=2,
+            checkpoint_every=500,
+        )
+        summary = router.run()
+        assert summary.shards == 2
+        assert summary.eof is True
+        assert summary.alarms_emitted == single_summary.alarms_emitted
+        assert summary.alarm_duplicates == single_summary.alarm_duplicates
+        assert summary.moas_active == single_summary.moas_active
+        assert summary.state_prefixes == single_summary.state_prefixes
+        assert summary.days_ticked == single_summary.days_ticked
+        # The alarm *sets* agree line for line (ordering differs: the
+        # router groups by (day, shard), the single engine by feed order).
+        single_lines = sorted(single_alarms.read_text().splitlines())
+        sharded_lines = sorted(
+            (tmp_path / "sharded.jsonl").read_text().splitlines()
+        )
+        assert sharded_lines == single_lines
+        # Summed per-day MOAS counts equal the single engine's series.
+        composite = load_checkpoint(tmp_path / "cp.json").engine_state
+        assert merged_daily_counts(composite["shards"]) == dict(
+            single.engine.daily_counts
+        )
+
+    def test_four_shards_agree_with_two(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        write_trace_feed(feed)
+        logs = {}
+        for shards in (2, 4):
+            alarms = tmp_path / f"alarms_{shards}.jsonl"
+            FeedRouter(
+                [feed], alarms, tmp_path / f"cp_{shards}.json", shards=shards
+            ).run()
+            logs[shards] = sorted(alarms.read_text().splitlines())
+        assert logs[2] == logs[4]
+
+    def test_multi_feed_fan_in(self, tmp_path):
+        # Two vantage-point feeds with different content; the reference is
+        # one engine fed the same per-day interleaving the router uses
+        # (feed 0's lines, then feed 1's, then the day's single tick).
+        feed_a = tmp_path / "a.jsonl"
+        feed_b = tmp_path / "b.jsonl"
+        config_b = TraceConfig(
+            days=40,
+            faults=(FaultSpike(day=20, faulty_as=4200, n_prefixes=10),),
+            n_background_prefixes=120,
+            include_background=True,
+        )
+        write_trace_feed(feed_a, seed=7)
+        write_trace_feed(feed_b, seed=11, config=config_b)
+        by_day_a, by_day_b = {}, {}
+        for records, bucket in (
+            (read_feed(feed_a), by_day_a),
+            (read_feed(feed_b), by_day_b),
+        ):
+            for record in records:
+                bucket.setdefault(int(record.time), []).append(record)
+        engine = StreamEngine(window=30.0)
+        expected_alarms = []
+        for day in sorted(by_day_a):
+            for bucket in (by_day_a, by_day_b):
+                for record in bucket.get(day, []):
+                    if not record.is_tick:
+                        expected_alarms.extend(
+                            a.to_json_line() for a in engine.apply(record)
+                        )
+            engine.apply(by_day_a[day][-1])  # the day's tick, once
+        router = FeedRouter(
+            [feed_a, feed_b],
+            tmp_path / "alarms.jsonl",
+            tmp_path / "cp.json",
+            shards=2,
+        )
+        summary = router.run()
+        assert summary.alarms_emitted == engine.alarms_emitted
+        assert summary.moas_active == engine.moas_active
+        routed_lines = (tmp_path / "alarms.jsonl").read_text().splitlines()
+        assert sorted(routed_lines) == sorted(expected_alarms)
+        composite = load_checkpoint(tmp_path / "cp.json").engine_state
+        assert merged_daily_counts(composite["shards"]) == dict(
+            engine.daily_counts
+        )
+
+    def test_disagreeing_feed_days_refused(self, tmp_path):
+        feed_a = tmp_path / "a.jsonl"
+        feed_b = tmp_path / "b.jsonl"
+        write_trace_feed(
+            feed_a,
+            config=TraceConfig(
+                days=5, faults=(), n_background_prefixes=50,
+                include_background=True,
+            ),
+        )
+        # feed_b's first tick is day 3: the vantage points disagree.
+        records = [r for r in read_feed(feed_a) if r.time >= 3.0]
+        with FeedWriter(feed_b) as writer:
+            writer.write_all(records)
+        with pytest.raises(RouterError, match="disagree"):
+            FeedRouter(
+                [feed_a, feed_b], tmp_path / "alarms.jsonl", shards=2
+            ).run()
+
+
+class TestShardedResume:
+    def _expected(self, tmp_path, shards=2):
+        feed = tmp_path / "feed.jsonl"
+        write_trace_feed(feed)
+        alarms = tmp_path / "alarms_full.jsonl"
+        FeedRouter(
+            [feed], alarms, tmp_path / "cp_full.json", shards=shards,
+            checkpoint_every=300,
+        ).run()
+        return feed, alarms.read_bytes()
+
+    def test_interrupt_and_resume_is_bit_identical(self, tmp_path):
+        feed, expected = self._expected(tmp_path)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        interrupted = FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300,
+            max_records=1500,
+        ).run()
+        assert interrupted.stopped is True
+        resumed = FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300
+        ).run(resume=True)
+        assert resumed.eof is True
+        assert alarms.read_bytes() == expected
+
+    def test_double_interruption_still_bit_identical(self, tmp_path):
+        feed, expected = self._expected(tmp_path)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300,
+            max_records=1000,
+        ).run()
+        FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300,
+            max_records=1000,
+        ).run(resume=True)
+        FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300
+        ).run(resume=True)
+        assert alarms.read_bytes() == expected
+
+    def test_orphan_alarm_lines_rolled_back(self, tmp_path):
+        feed, expected = self._expected(tmp_path)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300,
+            max_records=1500,
+        ).run()
+        with alarms.open("a") as handle:
+            handle.write('{"orphan": "line"}\n')
+        FeedRouter(
+            [feed], alarms, cp, shards=2, checkpoint_every=300
+        ).run(resume=True)
+        assert alarms.read_bytes() == expected
+
+    def test_shard_count_mismatch_refused(self, tmp_path):
+        feed, _ = self._expected(tmp_path)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        FeedRouter(
+            [feed], alarms, cp, shards=2, max_records=1500
+        ).run()
+        with pytest.raises(CheckpointError, match="2 shards"):
+            FeedRouter([feed], alarms, cp, shards=3).run(resume=True)
+
+    def test_single_engine_checkpoint_refused(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        write_trace_feed(feed)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        StreamService(feed, alarms, cp, max_records=1500).run()
+        with pytest.raises(CheckpointError, match="single-engine"):
+            FeedRouter([feed], alarms, cp, shards=2).run(resume=True)
+
+    def test_feed_count_mismatch_refused(self, tmp_path):
+        feed, _ = self._expected(tmp_path)
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        FeedRouter(
+            [feed], alarms, cp, shards=2, max_records=1500
+        ).run()
+        with pytest.raises(CheckpointError, match="feeds"):
+            FeedRouter(
+                [feed, feed], alarms, cp, shards=2
+            ).run(resume=True)
+
+
+class TestRouterCli:
+    def test_sigterm_then_resume_is_bit_identical(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        write_trace_feed(feed)
+        expected = tmp_path / "alarms_full.jsonl"
+        FeedRouter(
+            [feed], expected, tmp_path / "cp_full.json", shards=2,
+            checkpoint_every=300,
+        ).run()
+
+        alarms = tmp_path / "alarms.jsonl"
+        cp = tmp_path / "cp.json"
+        env = dict(os.environ, PYTHONPATH="src")
+        cmd = [
+            sys.executable, "-m", "repro", "stream", "run", str(feed),
+            "--alarms", str(alarms), "--checkpoint", str(cp),
+            "--shards", "2", "--checkpoint-every", "300",
+            "--throttle", "0.1",
+        ]
+        proc = subprocess.Popen(
+            cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(1.5)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        assert "resume with --resume" in out
+        interrupted = load_checkpoint(cp)
+        assert 0 < interrupted.offset
+        assert interrupted.engine_state["shard_count"] == 2
+
+        resume_cmd = cmd[:14] + ["--resume"]  # drop throttle, keep paths
+        done = subprocess.run(
+            resume_cmd, env=env, capture_output=True, text=True, timeout=120
+        )
+        assert done.returncode == 0, done.stderr
+        assert alarms.read_bytes() == expected.read_bytes()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_follow_with_shards_rejected(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text("")
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "stream", "run", str(feed),
+                "--alarms", str(tmp_path / "a.jsonl"), "--shards", "2",
+                "--follow",
+            ],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "not supported" in proc.stderr
