@@ -459,6 +459,7 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
             throttle=args.throttle,
             max_records=args.max_records,
             metrics=metrics,
+            index=args.index,
         )
     else:
         service = StreamService(
@@ -474,6 +475,7 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
             throttle=args.throttle,
             max_records=args.max_records,
             metrics=metrics,
+            index=args.index,
         )
     service.install_signal_handlers()
     try:
@@ -518,6 +520,132 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
     )
     if summary.stopped:
         print("stopped on request; resume with --resume to continue")
+    if args.index:
+        print(f"query index maintained in {args.index}")
+    return 0
+
+
+# -- query subcommands --------------------------------------------------------
+
+
+def _cmd_query_build(args: argparse.Namespace) -> int:
+    from repro.query import build_index
+
+    try:
+        info = build_index(
+            args.feeds,
+            args.alarms,
+            args.out,
+            segment_days=args.segment_days,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query build failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"index built: {args.out} ({info['segments']} segment(s), "
+        f"{info['records']} records, {info['days']} days, {info['mode']} mode)"
+    )
+    return 0
+
+
+def _cmd_query_scan(args: argparse.Namespace) -> int:
+    from repro.query import answers_doc, canonical_json, scan_state
+
+    try:
+        state = scan_state(args.feeds, args.alarms)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query scan failed: {exc}", file=sys.stderr)
+        return 1
+    print(canonical_json(answers_doc(state, args.k)))
+    return 0
+
+
+def _cmd_query_dump(args: argparse.Namespace) -> int:
+    from repro.query import QueryIndex, answers_doc, canonical_json
+
+    try:
+        index = QueryIndex(args.index)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query dump failed: {exc}", file=sys.stderr)
+        return 1
+    print(canonical_json(answers_doc(index.state, args.k)))
+    return 0
+
+
+def _cmd_query_stats(args: argparse.Namespace) -> int:
+    from repro.query import QueryIndex, canonical_json
+
+    try:
+        index = QueryIndex(args.index)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query stats failed: {exc}", file=sys.stderr)
+        return 1
+    print(canonical_json(index.stats()))
+    return 0
+
+
+def _cmd_query_prefix(args: argparse.Namespace) -> int:
+    from repro.query import QueryIndex, canonical_json
+
+    try:
+        index = QueryIndex(args.index)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query prefix failed: {exc}", file=sys.stderr)
+        return 1
+    print(canonical_json(index.prefix(args.prefix)))
+    return 0
+
+
+def _cmd_query_top(args: argparse.Namespace) -> int:
+    from repro.query import QueryIndex, canonical_json
+
+    try:
+        index = QueryIndex(args.index)
+        rows = index.top(args.k, args.by)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"query top failed: {exc}", file=sys.stderr)
+        return 1
+    print(canonical_json(rows))
+    return 0
+
+
+def _cmd_query_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.query.server import make_server
+
+    metrics = MetricsRegistry()
+    try:
+        server = make_server(
+            args.index, args.host, args.port, metrics=metrics
+        )
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"query serve failed: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"serving query API at http://{host}:{port} (index: {args.index}, "
+        f"generation {server.index.generation}); SIGTERM/Ctrl-C to stop",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    thread = threading.Thread(
+        target=server.serve_forever, name="query-server", daemon=True
+    )
+    thread.start()
+    stop.wait()
+    server.shutdown()
+    thread.join()
+    server.server_close()
+    print("query server stopped")
     return 0
 
 
@@ -526,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Detection of Invalid Routing "
         "Announcement in the Internet' (DSN 2002)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "--sanitize", action="store_true",
@@ -747,7 +880,80 @@ def build_parser() -> argparse.ArgumentParser:
                      "ticks")
     run.add_argument("--manifest", default=None, metavar="PATH",
                      help="write a one-record JSONL run manifest to PATH")
+    run.add_argument("--index", default=None, metavar="DIR",
+                     help="maintain a query index in DIR, one segment per "
+                     "checkpoint boundary (serve it with 'repro query')")
     run.set_defaults(func=_cmd_stream_run)
+
+    query = sub.add_parser(
+        "query",
+        help="looking-glass queries over alarm/MOAS history "
+        "(build indexes, inspect them, serve them over HTTP)",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    qbuild = query_sub.add_parser(
+        "build", help="build a complete index from a feed + alarm log"
+    )
+    qbuild.add_argument("feeds", nargs="+", metavar="FEED",
+                        help="feed file(s); several = router-interleaved")
+    qbuild.add_argument("--alarms", required=True, metavar="PATH",
+                        help="the run's alarm log")
+    qbuild.add_argument("--out", required=True, metavar="DIR",
+                        help="index directory to (re)build")
+    qbuild.add_argument("--segment-days", type=int, default=30, metavar="N",
+                        help="cut a segment every N trace days (default 30)")
+    qbuild.set_defaults(func=_cmd_query_build)
+
+    qscan = query_sub.add_parser(
+        "scan",
+        help="answer every query by brute-force scan of the raw artefacts "
+        "(the oracle an index is diffed against)",
+    )
+    qscan.add_argument("feeds", nargs="+", metavar="FEED")
+    qscan.add_argument("--alarms", required=True, metavar="PATH")
+    qscan.add_argument("--k", type=int, default=10, metavar="K",
+                       help="top-K depth in the answer document")
+    qscan.set_defaults(func=_cmd_query_scan)
+
+    qdump = query_sub.add_parser(
+        "dump", help="print every answer from an index (same document as "
+        "'scan' — diff them to verify an index)"
+    )
+    qdump.add_argument("index", metavar="DIR")
+    qdump.add_argument("--k", type=int, default=10, metavar="K")
+    qdump.set_defaults(func=_cmd_query_dump)
+
+    qstats = query_sub.add_parser(
+        "stats", help="global aggregates from an index"
+    )
+    qstats.add_argument("index", metavar="DIR")
+    qstats.set_defaults(func=_cmd_query_stats)
+
+    qprefix = query_sub.add_parser(
+        "prefix", help="one prefix's timeline, origin sets, and MOAS stats"
+    )
+    qprefix.add_argument("index", metavar="DIR")
+    qprefix.add_argument("prefix", metavar="PREFIX")
+    qprefix.set_defaults(func=_cmd_query_prefix)
+
+    qtop = query_sub.add_parser(
+        "top", help="the K noisiest prefixes under a ranking key"
+    )
+    qtop.add_argument("index", metavar="DIR")
+    qtop.add_argument("--k", type=int, default=10, metavar="K")
+    qtop.add_argument("--by", choices=("alarms", "transitions", "moas_days"),
+                      default="alarms")
+    qtop.set_defaults(func=_cmd_query_top)
+
+    qserve = query_sub.add_parser(
+        "serve", help="serve the JSON query API over HTTP (stdlib only)"
+    )
+    qserve.add_argument("index", metavar="DIR")
+    qserve.add_argument("--host", default="127.0.0.1")
+    qserve.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 = ephemeral)")
+    qserve.set_defaults(func=_cmd_query_serve)
 
     return parser
 

@@ -188,7 +188,8 @@ class LintConfig:
         "*/bgp/messages.py",
     )
     #: Methods whose arguments are determinism-critical sinks for R100:
-    #: event scheduling keys, alarm evidence, checkpoint payloads.
+    #: event scheduling keys, alarm evidence, checkpoint payloads, and the
+    #: query index's durable segment/manifest documents.
     taint_sink_methods: Tuple[str, ...] = (
         "schedule_at",
         "schedule_after",
@@ -197,6 +198,9 @@ class LintConfig:
         "_record_alarm",
         "write_checkpoint",
         "save_checkpoint",
+        "assemble_segment",
+        "write_segment",
+        "write_manifest",
     )
     #: Constructors whose arguments become durable evidence/payloads (R100).
     taint_sink_constructors: Tuple[str, ...] = (

@@ -1,0 +1,47 @@
+"""``repro.query`` — the looking-glass query service over stream history.
+
+The streaming engine (PR 6-8) writes two durable artefacts: the
+append-only alarm log and the checkpoint chain.  This package turns them
+into a *servable history store*:
+
+* :mod:`repro.query.track` — origin-set tracking and byte-range replay:
+  feed records → JSON-safe index events, shared by live ingest, resume
+  catch-up, and the brute-force scan;
+* :mod:`repro.query.segments` — immutable write-once segment files plus
+  the atomically-replaced manifest (the index's commit point);
+* :mod:`repro.query.builder` — :class:`~repro.query.builder.IndexBuilder`
+  rides the stream's checkpoint boundaries, cutting one segment per
+  boundary *after* the alarm fsync and chain write so the index is never
+  ahead of the chain; :func:`~repro.query.builder.build_index` is the
+  offline equivalent over finished artefacts;
+* :mod:`repro.query.model` — :class:`~repro.query.model.StoreState` and
+  the answer functions (prefix timelines, origin sets, MOAS duration
+  stats, top-K, daily series); reader and scan fold into this one
+  structure, which is why index answers are bit-identical to a scan;
+* :mod:`repro.query.reader` — :class:`~repro.query.reader.QueryIndex`,
+  the segment-merging warm reader with incremental reload;
+* :mod:`repro.query.scan` — the full-artefact oracle;
+* :mod:`repro.query.server` — the zero-dependency JSON HTTP API with
+  ETag/generation caching.
+
+CLI surface: ``repro query build|scan|dump|stats|prefix|top|serve``; the
+stream side is ``repro stream run --index DIR``.
+"""
+
+from repro.query.builder import IndexBuilder, build_index
+from repro.query.model import StoreState, answers_doc, canonical_json
+from repro.query.reader import QueryIndex
+from repro.query.scan import scan_state
+from repro.query.track import OriginTracker, QueryError
+
+__all__ = [
+    "IndexBuilder",
+    "OriginTracker",
+    "QueryError",
+    "QueryIndex",
+    "StoreState",
+    "answers_doc",
+    "build_index",
+    "canonical_json",
+    "scan_state",
+]

@@ -1,0 +1,544 @@
+"""The index builder: boundary-coupled segment construction.
+
+:class:`IndexBuilder` rides the stream's checkpoint boundaries.  During a
+batch it accumulates index events — from its own
+:class:`~repro.query.track.OriginTracker` on the single-engine path
+(:meth:`observe`), or shipped back from shard trackers at router barriers
+(:meth:`ingest_events`).  At each boundary the service calls
+:meth:`prepare_boundary` *synchronously* (cheap: drains buffers into a
+canonical segment document and the next manifest) and executes the
+returned :class:`IndexJob` on its writer path **after** the alarm fsync
+and the chain write::
+
+    alarm append+fsync  ->  chain record  ->  segment file  ->  manifest
+
+That ordering is the whole durability argument: the manifest is the
+index's commit point and always lands last, so the on-disk index can only
+ever be *at or behind* the checkpoint chain, never ahead.  Resume is
+therefore always :meth:`resume`'s catch-up — fold the manifested segments
+back into tracker state, replay the feed/alarm byte gap up to the chain
+tip, publish one catch-up segment — or, when the manifest is missing,
+foreign, or ahead of the chain (a stale index from some other run), a
+from-scratch rebuild.  A manifest that exists but cannot be parsed is
+**refused** (:class:`~repro.query.track.QueryError`), never overwritten:
+rebuild-or-refuse, no torn state.
+
+:func:`build_index` is the offline path — same builder, cutting segments
+every N trace days instead of every service boundary.  Answers are
+segmentation-invariant, so all three producers serve identical queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.query.model import StoreState
+from repro.query.segments import (
+    MANIFEST_NAME,
+    assemble_segment,
+    load_manifest,
+    load_segment,
+    manifest_doc,
+    manifest_entry,
+    reap_unreferenced,
+    write_manifest,
+    write_segment,
+)
+from repro.query.track import (
+    AlarmRow,
+    IndexEvent,
+    OriginTracker,
+    QueryError,
+    alarm_row_from_line,
+    alarm_rows_from_range,
+    replay_feed_range,
+    replay_router_range,
+)
+from repro.stream.checkpoint import FaultHook
+from repro.stream.feed import FeedRecord
+
+#: Index modes: one tailer feed vs the sharded router's N vantage feeds.
+MODE_SINGLE = "single"
+MODE_ROUTER = "router"
+
+
+def zero_coordinates(mode: str, feed_count: int = 1) -> Dict[str, Any]:
+    """The boundary coordinates of an empty history."""
+    if mode == MODE_ROUTER:
+        return {
+            "records": 0,
+            "alarm_bytes": 0,
+            "feed_offsets": [0] * feed_count,
+        }
+    return {"records": 0, "alarm_bytes": 0, "feed_bytes": 0}
+
+
+@dataclass
+class IndexJob:
+    """One boundary's durable index work, prepared on the ingest path."""
+
+    segment: Optional[Dict[str, Any]]
+    manifest: Dict[str, Any]
+
+
+class IndexBuilder:
+    """Accumulate index events; cut a segment + manifest at each boundary."""
+
+    def __init__(
+        self,
+        index_dir: Union[str, Path],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        fault: Optional[FaultHook] = None,
+    ) -> None:
+        self.index_dir = Path(index_dir)
+        self._fault = fault
+        self._tracker = OriginTracker()
+        self._events: List[IndexEvent] = []
+        self._alarm_rows: List[AlarmRow] = []
+        self._entries: List[Dict[str, Any]] = []
+        self._generation = 0
+        self._mode = MODE_SINGLE
+        self._last_end: Dict[str, Any] = zero_coordinates(MODE_SINGLE)
+        self.segments_written = 0
+        self.manifests_written = 0
+        self.catchup_records = 0
+        self._m_segments: Optional[Counter] = None
+        self._m_manifests: Optional[Counter] = None
+        self._m_events: Optional[Counter] = None
+        self._m_alarm_rows: Optional[Counter] = None
+        self._m_catchup: Optional[Counter] = None
+        if metrics is not None:
+            self._m_segments = metrics.counter("query.segments")
+            self._m_manifests = metrics.counter("query.manifest_writes")
+            self._m_events = metrics.counter("query.events")
+            self._m_alarm_rows = metrics.counter("query.alarm_rows")
+            self._m_catchup = metrics.counter("query.catchup_records")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_fresh(self, mode: str = MODE_SINGLE, feed_count: int = 1) -> None:
+        """Begin an empty index, wiping any previous one in the directory.
+
+        Mirrors the service's fresh-run alarm-log truncation: a fresh run
+        invalidates every byte coordinate an old index could refer to.
+        """
+        self.index_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.index_dir / MANIFEST_NAME
+        if manifest_path.exists():
+            manifest_path.unlink()
+        reap_unreferenced(self.index_dir, None)
+        self._mode = mode
+        self._tracker = OriginTracker()
+        self._events = []
+        self._alarm_rows = []
+        self._entries = []
+        self._generation = 0
+        self._last_end = zero_coordinates(mode, feed_count)
+
+    def resume(
+        self,
+        *,
+        feeds: Sequence[Union[str, Path]],
+        alarms: Union[str, Path],
+        end: Dict[str, Any],
+    ) -> None:
+        """Bring the on-disk index up to the chain tip's coordinates.
+
+        ``end`` comes from
+        :meth:`repro.stream.checkpoint.Checkpoint.index_coordinates`.  The
+        manifest (the index commit point) can only be at or behind it; a
+        manifest *ahead* of the chain is a stale index from a longer prior
+        run and triggers a from-scratch rebuild, as does a mode or
+        feed-count mismatch.  The replayed gap is published immediately as
+        one catch-up segment, so the run loop starts from a clean buffer.
+        """
+        mode = MODE_ROUTER if "feed_offsets" in end else MODE_SINGLE
+        self.index_dir.mkdir(parents=True, exist_ok=True)
+        manifest = load_manifest(self.index_dir)  # refuses torn manifests
+        reap_unreferenced(self.index_dir, manifest)
+        if manifest is not None and not self._compatible(manifest, mode, end):
+            manifest = None  # stale or foreign: rebuild from scratch
+        if manifest is None:
+            self.start_fresh(mode, feed_count=len(feeds))
+            start = dict(self._last_end)
+        else:
+            self._mode = mode
+            self._entries = [dict(entry) for entry in manifest["segments"]]
+            self._generation = int(manifest["generation"])
+            self._last_end = dict(manifest["end"])
+            self._restore_tracker()
+            start = dict(self._last_end)
+        self.catchup_records += self._replay_gap(feeds, alarms, start, end)
+        if self._m_catchup is not None and self.catchup_records:
+            self._m_catchup.inc(self.catchup_records)
+        job = self.prepare_boundary(end, [])
+        if job is not None:
+            self.commit(job)
+
+    def _compatible(
+        self, manifest: Dict[str, Any], mode: str, end: Dict[str, Any]
+    ) -> bool:
+        if manifest["mode"] != mode:
+            return False
+        manifest_end = manifest["end"]
+        if int(manifest_end["records"]) > int(end["records"]):
+            return False
+        if int(manifest_end["alarm_bytes"]) > int(end["alarm_bytes"]):
+            return False
+        if mode == MODE_ROUTER:
+            offsets = manifest_end.get("feed_offsets")
+            targets = end["feed_offsets"]
+            if not isinstance(offsets, list) or len(offsets) != len(targets):
+                return False
+            if any(int(o) > int(t) for o, t in zip(offsets, targets)):
+                return False
+        else:
+            if int(manifest_end.get("feed_bytes", 0)) > int(end["feed_bytes"]):
+                return False
+        return True
+
+    def _restore_tracker(self) -> None:
+        """Rebuild live origin sets by folding the manifested segments."""
+        state = StoreState()
+        for entry in self._entries:
+            doc = load_segment(
+                self.index_dir / str(entry["name"]),
+                expect_digest=str(entry["digest"]),
+            )
+            state.fold_segment(doc)
+        live = {
+            prefix: [int(asn) for asn in history.transitions[-1][1]]
+            for prefix, history in state.prefixes.items()
+            if history.transitions and history.transitions[-1][1]
+        }
+        self._tracker = OriginTracker.from_live(live)
+
+    def _replay_gap(
+        self,
+        feeds: Sequence[Union[str, Path]],
+        alarms: Union[str, Path],
+        start: Dict[str, Any],
+        end: Dict[str, Any],
+    ) -> int:
+        expected = int(end["records"]) - int(start["records"])
+        if expected == 0:
+            return 0
+        if self._mode == MODE_ROUTER:
+            records = replay_router_range(
+                feeds,
+                [int(offset) for offset in start["feed_offsets"]],
+                [int(offset) for offset in end["feed_offsets"]],
+                self._tracker,
+                self._events,
+            )
+        else:
+            records = replay_feed_range(
+                Path(feeds[0]),
+                int(start["feed_bytes"]),
+                int(end["feed_bytes"]),
+                self._tracker,
+                self._events,
+            )
+        if records != expected:
+            raise QueryError(
+                f"index catch-up replayed {records} records but coordinates "
+                f"claim {expected}; the index does not belong to this feed"
+            )
+        self._alarm_rows.extend(
+            alarm_rows_from_range(
+                alarms, int(start["alarm_bytes"]), int(end["alarm_bytes"])
+            )
+        )
+        return records
+
+    # -- ingest --------------------------------------------------------------
+
+    def observe(self, record: FeedRecord) -> None:
+        """Single-engine hot path: fold one already-parsed feed record."""
+        event = self._tracker.apply(record)
+        if event is not None:
+            self._events.append(event)
+
+    def ingest_events(self, events: Iterable[IndexEvent]) -> None:
+        """Router path: adopt events a shard tracker computed."""
+        self._events.extend(events)
+
+    # -- boundaries ----------------------------------------------------------
+
+    def prepare_boundary(
+        self, end: Dict[str, Any], alarm_lines: Sequence[str]
+    ) -> Optional[IndexJob]:
+        """Drain buffers into one boundary's segment + manifest documents.
+
+        Synchronous state capture, no I/O — safe on the ingest path; the
+        returned job's :meth:`commit` does the durable writes.  Returns
+        ``None`` when nothing changed since the previous boundary.
+        """
+        for line in alarm_lines:
+            self._alarm_rows.append(alarm_row_from_line(line))
+        events, self._events = self._events, []
+        rows, self._alarm_rows = self._alarm_rows, []
+        if self._m_events is not None and events:
+            self._m_events.inc(len(events))
+        if self._m_alarm_rows is not None and rows:
+            self._m_alarm_rows.inc(len(rows))
+        seq = self._entries[-1]["seq"] + 1 if self._entries else 1
+        doc = assemble_segment(seq, self._last_end, dict(end), events, rows)
+        if doc is None and dict(self._last_end) == dict(end):
+            return None
+        if doc is not None:
+            self._entries.append(manifest_entry(doc))
+        self._generation += 1
+        self._last_end = dict(end)
+        manifest = manifest_doc(
+            self._generation, self._mode, self._last_end, list(self._entries)
+        )
+        return IndexJob(segment=doc, manifest=manifest)
+
+    def commit(self, job: IndexJob) -> None:
+        """Durably publish one prepared boundary (segment first, then the
+        manifest — the commit point)."""
+        if job.segment is not None:
+            write_segment(self.index_dir, job.segment, self._fault)
+            self.segments_written += 1
+            if self._m_segments is not None:
+                self._m_segments.inc()
+        write_manifest(self.index_dir, job.manifest, self._fault)
+        self.manifests_written += 1
+        if self._m_manifests is not None:
+            self._m_manifests.inc()
+
+
+# -- offline builds -----------------------------------------------------------
+
+
+def build_index(
+    feeds: Sequence[Union[str, Path]],
+    alarms: Union[str, Path],
+    index_dir: Union[str, Path],
+    *,
+    segment_days: int = 30,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Build a complete index from a finished feed + alarm log.
+
+    Cuts a segment every ``segment_days`` trace days (day-aligned
+    boundaries: at a tick for day D every record and alarm with time <= D
+    is final, so the alarm byte cursor advances in lockstep with no
+    guessing).  Returns a JSON-safe build summary.
+    """
+    if segment_days < 1:
+        raise ValueError(f"segment_days must be >= 1, got {segment_days}")
+    feed_paths = [Path(feed) for feed in feeds]
+    alarms_path = Path(alarms)
+    mode = MODE_ROUTER if len(feed_paths) > 1 else MODE_SINGLE
+    builder = IndexBuilder(index_dir, metrics=metrics)
+    builder.start_fresh(mode, feed_count=len(feed_paths))
+
+    alarm_cursor = _AlarmCursor(alarms_path)
+    records = 0
+    days_seen = 0
+
+    def cut(end: Dict[str, Any]) -> None:
+        job = builder.prepare_boundary(end, [])
+        if job is not None:
+            builder.commit(job)
+
+    if mode == MODE_SINGLE:
+        walker = _FeedWalker(feed_paths[0], builder)
+        while True:
+            day = walker.advance_one_day()
+            if day is None:
+                break
+            records = walker.records
+            days_seen += 1
+            if days_seen % segment_days == 0:
+                builder._alarm_rows.extend(alarm_cursor.take_through(day))
+                cut(
+                    {
+                        "records": walker.records,
+                        "alarm_bytes": alarm_cursor.position,
+                        "feed_bytes": walker.position,
+                    }
+                )
+        builder._alarm_rows.extend(alarm_cursor.take_through(None))
+        cut(
+            {
+                "records": walker.records,
+                "alarm_bytes": alarm_cursor.position,
+                "feed_bytes": walker.position,
+            }
+        )
+        records = walker.records
+        walker.close()
+    else:
+        fleet = _FleetWalker(feed_paths, builder)
+        while True:
+            day = fleet.advance_one_day()
+            if day is None:
+                break
+            records = fleet.records
+            days_seen += 1
+            if days_seen % segment_days == 0:
+                builder._alarm_rows.extend(alarm_cursor.take_through(day))
+                cut(
+                    {
+                        "records": fleet.records,
+                        "alarm_bytes": alarm_cursor.position,
+                        "feed_offsets": fleet.offsets(),
+                    }
+                )
+        builder._alarm_rows.extend(alarm_cursor.take_through(None))
+        cut(
+            {
+                "records": fleet.records,
+                "alarm_bytes": alarm_cursor.position,
+                "feed_offsets": fleet.offsets(),
+            }
+        )
+        records = fleet.records
+        fleet.close()
+    alarm_cursor.close()
+    return {
+        "records": records,
+        "days": days_seen,
+        "segments": builder.segments_written,
+        "mode": mode,
+    }
+
+
+class _AlarmCursor:
+    """Lockstep reader over the alarm log, consuming lines by day.
+
+    Alarm-log times are nondecreasing (the engine emits in feed order and
+    feed time never rewinds), so "every alarm with time <= D" is a prefix
+    of the file — which keeps the byte coordinate exact.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._handle = path.open("rb") if path.exists() else None
+        self.position = 0
+        self._held: Optional[AlarmRow] = None
+        self._held_bytes = 0
+
+    def take_through(self, day: Optional[float]) -> List[AlarmRow]:
+        """Rows with time <= ``day`` (``None`` = everything remaining)."""
+        rows: List[AlarmRow] = []
+        if self._handle is None:
+            return rows
+        while True:
+            if self._held is None:
+                line = self._handle.readline()
+                if not line or not line.endswith(b"\n"):
+                    break
+                self._held = alarm_row_from_line(line.decode("utf-8"))
+                self._held_bytes = len(line)
+            if day is not None and float(self._held[1][0]) > day:
+                break
+            rows.append(self._held)
+            self.position += self._held_bytes
+            self._held = None
+        return rows
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+
+class _FeedWalker:
+    """Single-feed cursor: apply records through the builder, day by day."""
+
+    def __init__(self, path: Path, builder: IndexBuilder) -> None:
+        self._path = path
+        self._handle = path.open("rb")
+        self._builder = builder
+        self.position = 0
+        self.records = 0
+
+    def advance_one_day(self) -> Optional[float]:
+        """Consume through the next tick; returns its day (None at EOF)."""
+        from repro.stream.feed import parse_feed_line
+
+        while True:
+            line = self._handle.readline()
+            if not line or not line.endswith(b"\n"):
+                return None
+            self.position += len(line)
+            record = parse_feed_line(line.decode("utf-8"))
+            if record is None:
+                continue
+            self.records += 1
+            self._builder.observe(record)
+            if record.is_tick:
+                return record.time
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class _FleetWalker:
+    """Multi-feed cursor mirroring the router's day-barrier interleave."""
+
+    def __init__(self, paths: Sequence[Path], builder: IndexBuilder) -> None:
+        from repro.query.track import _ReplayFeed
+
+        self._feeds = [_ReplayFeed(path, 0, None) for path in paths]
+        self._builder = builder
+        self.records = 0
+
+    def offsets(self) -> List[int]:
+        return [feed.position for feed in self._feeds]
+
+    def advance_one_day(self) -> Optional[float]:
+        from repro.stream.feed import OP_TICK, parse_feed_line
+
+        while True:
+            live = [feed for feed in self._feeds if not feed.done]
+            if not live:
+                return None
+            for feed in live:
+                if feed.pending_tick is not None:
+                    continue
+                while True:
+                    line = feed.handle.readline()
+                    if not line or not line.endswith(b"\n"):
+                        feed.done = True
+                        break
+                    feed.position += len(line)
+                    record = parse_feed_line(line.decode("utf-8"))
+                    if record is None:
+                        continue
+                    if record.is_tick:
+                        feed.pending_tick = record.time
+                        break
+                    self.records += 1
+                    self._builder.observe(record)
+            ticking = [
+                feed
+                for feed in self._feeds
+                if not feed.done and feed.pending_tick is not None
+            ]
+            if not ticking:
+                continue
+            days = sorted({feed.pending_tick for feed in ticking})
+            if len(days) != 1:
+                raise QueryError(
+                    f"vantage feeds disagree on the current day: {days}"
+                )
+            day = days[0]
+            assert day is not None
+            self.records += 1
+            self._builder.observe(FeedRecord(op=OP_TICK, time=day))
+            for feed in ticking:
+                feed.pending_tick = None
+            return day
+
+    def close(self) -> None:
+        for feed in self._feeds:
+            if not feed.handle.closed:
+                feed.handle.close()

@@ -1,0 +1,132 @@
+"""Segment-merging reader: the warm, serve-side view of the index.
+
+:class:`QueryIndex` loads the manifest, digest-checks every referenced
+segment, and folds them (oldest first) into one
+:class:`~repro.query.model.StoreState` — after which every answer is a
+pure in-memory function, which is where the >=10k point-queries/sec
+budget comes from.  Because segments are write-once and the manifest only
+ever *appends* to the segment list while ingest runs,
+:meth:`reload_if_changed` can refresh concurrently with a live stream:
+same generation → no-op; a manifest whose segment list extends the loaded
+one → fold just the new segments; anything else (a fresh run rebuilt the
+index) → full reload.  Readers never take locks against the writer — the
+atomic manifest replace is the only synchronisation point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.query.model import (
+    StoreState,
+    answers_doc,
+    daily_answer,
+    prefix_report,
+    stats_answer,
+    top_answer,
+)
+from repro.query.segments import load_manifest, load_segment, manifest_etag
+from repro.query.track import QueryError
+
+
+class QueryIndex:
+    """A read-only view over one index directory's manifest + segments."""
+
+    def __init__(
+        self,
+        index_dir: Union[str, Path],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.index_dir = Path(index_dir)
+        self._m_segments: Optional[Counter] = None
+        self._m_reloads: Optional[Counter] = None
+        if metrics is not None:
+            self._m_segments = metrics.counter("query.segments_loaded")
+            self._m_reloads = metrics.counter("query.reloads")
+        manifest = load_manifest(self.index_dir)
+        if manifest is None:
+            raise QueryError(
+                f"no index manifest in {self.index_dir}; build one with "
+                f"'repro query build' or stream with --index"
+            )
+        self._manifest = manifest
+        self._state = StoreState()
+        self._fold_entries(manifest["segments"])
+
+    def _fold_entries(self, entries: List[Dict[str, Any]]) -> None:
+        for entry in entries:
+            doc = load_segment(
+                self.index_dir / str(entry["name"]),
+                expect_digest=str(entry["digest"]),
+            )
+            self._state.fold_segment(doc)
+            if self._m_segments is not None:
+                self._m_segments.inc()
+        self._state.records = int(self._manifest["end"]["records"])
+
+    @property
+    def generation(self) -> int:
+        return int(self._manifest["generation"])
+
+    @property
+    def etag(self) -> str:
+        return manifest_etag(self._manifest)
+
+    @property
+    def records(self) -> int:
+        return self._state.records
+
+    @property
+    def state(self) -> StoreState:
+        return self._state
+
+    def reload_if_changed(self) -> bool:
+        """Refresh from disk; returns True when anything was reloaded.
+
+        Incremental when the new manifest's segment list is a pure
+        extension of the loaded one (the live-ingest steady state); a full
+        rebuild otherwise.
+        """
+        manifest = load_manifest(self.index_dir)
+        if manifest is None:
+            raise QueryError(
+                f"index manifest vanished from {self.index_dir} while serving"
+            )
+        if int(manifest["generation"]) == self.generation:
+            return False
+        old = self._manifest["segments"]
+        new = manifest["segments"]
+        extends = len(new) >= len(old) and all(
+            new[i]["name"] == old[i]["name"]
+            and new[i]["digest"] == old[i]["digest"]
+            for i in range(len(old))
+        )
+        self._manifest = manifest
+        if extends:
+            self._fold_entries(list(new[len(old):]))
+        else:
+            self._state = StoreState()
+            self._fold_entries(list(new))
+        if self._m_reloads is not None:
+            self._m_reloads.inc()
+        return True
+
+    # -- answers (pure delegation to the shared model) ------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return stats_answer(self._state)
+
+    def prefix(self, prefix: str) -> Dict[str, Any]:
+        return prefix_report(self._state, prefix)
+
+    def top(self, k: int, by: str = "alarms") -> List[Dict[str, Any]]:
+        return top_answer(self._state, k, by)
+
+    def daily(self, kind: str = "alarms") -> List[List[int]]:
+        return daily_answer(self._state, kind)
+
+    def answers(self, k: int = 10) -> Dict[str, Any]:
+        return answers_doc(self._state, k)

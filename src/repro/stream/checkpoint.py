@@ -114,6 +114,32 @@ class Checkpoint:
         """Content digest linking deltas to their base snapshot."""
         return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
 
+    def index_coordinates(self) -> Dict[str, Any]:
+        """This checkpoint's position in index-boundary terms.
+
+        The boundary hook the query subsystem (:mod:`repro.query`) shares
+        with the stream: how many records are folded in, how many alarm-log
+        bytes are durable, and where the feed cursor(s) stand — ``feed_bytes``
+        for a single-engine service, ``feed_offsets`` (one per vantage feed)
+        for the sharded router's composite state.  An index manifest is
+        valid for a chain exactly when its end coordinates are component-wise
+        at or behind these.
+        """
+        if "shard_count" in self.engine_state:  # router composite document
+            return {
+                "records": self.offset,
+                "alarm_bytes": self.alarm_bytes,
+                "feed_offsets": [
+                    int(offset)
+                    for offset in self.engine_state["feed_offsets"]
+                ],
+            }
+        return {
+            "records": self.offset,
+            "alarm_bytes": self.alarm_bytes,
+            "feed_bytes": self.byte_offset,
+        }
+
     @classmethod
     def from_json(cls, text: str) -> "Checkpoint":
         try:

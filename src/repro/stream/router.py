@@ -48,7 +48,17 @@ import signal
 import zlib
 from pathlib import Path
 from types import FrameType
-from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Union
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.fsio import fsync_parent_dir
 from repro.obs.manifest import ManifestRecord
@@ -70,6 +80,9 @@ from repro.stream.service import (
     _real_sleep,
     fault_hook_from_env,
 )
+
+if TYPE_CHECKING:  # runtime import is lazy: stream never *needs* query
+    from repro.query.builder import IndexBuilder
 
 #: Raw-byte markers in the canonical feed serialisation (sorted keys,
 #: compact separators — see FeedRecord.to_json_line).
@@ -111,16 +124,30 @@ def merged_daily_counts(shard_states: Sequence[Dict[str, Any]]) -> Dict[int, int
 # -- the shard worker --------------------------------------------------------
 
 
-def _shard_worker(conn: Any, window: float) -> None:
+def _shard_worker(conn: Any, window: float, index_enabled: bool = False) -> None:
     """One shard: an engine fed raw lines, answering barrier requests.
 
     Runs in a forked child.  The parent dying (even via ``SIGKILL`` /
     ``os._exit`` crash injection) closes the pipe, which surfaces here as
     ``EOFError``/``OSError`` — the worker exits, so crashes never strand
     shard processes.
+
+    With ``index_enabled`` the shard also runs a
+    :class:`~repro.query.track.OriginTracker` beside the engine and ships
+    the index events it produced back with each barrier reply (the third
+    tuple element) — the parent's :class:`~repro.query.builder.IndexBuilder`
+    adopts them in shard-index order.  A shard's per-prefix event order is
+    the parent's read order for that prefix, which is why a byte-range
+    replay reproduces the live-built index exactly.
     """
     engine = StreamEngine(window=window)
+    tracker = None
+    if index_enabled:
+        from repro.query.track import OriginTracker
+
+        tracker = OriginTracker()
     pending: List[str] = []
+    events: List[List[Any]] = []
     try:
         while True:
             message = conn.recv()
@@ -131,10 +158,20 @@ def _shard_worker(conn: Any, window: float) -> None:
                     if record is not None:
                         for alarm in engine.apply(record):
                             pending.append(alarm.to_json_line())
+                        if tracker is not None:
+                            event = tracker.apply(record)
+                            if event is not None:
+                                events.append(event)
             elif tag == "barrier":
                 day, kind = message[1], message[2]
                 if day is not None:
                     engine.apply(FeedRecord(op=OP_TICK, time=day))
+                    if tracker is not None:
+                        event = tracker.apply(
+                            FeedRecord(op=OP_TICK, time=day)
+                        )
+                        if event is not None:
+                            events.append(event)
                 payload: Optional[Dict[str, Any]] = None
                 if kind == "full":
                     payload = engine.snapshot_state()
@@ -143,9 +180,20 @@ def _shard_worker(conn: Any, window: float) -> None:
                 if kind is not None:
                     engine.mark_clean()
                 lines, pending = pending, []
-                conn.send((lines, payload))
+                shipped, events = events, []
+                conn.send((lines, payload, shipped))
             elif tag == "restore":
                 engine.restore_state(message[1])
+                if tracker is not None:
+                    from repro.query.track import OriginTracker
+
+                    tracker = OriginTracker.from_live(
+                        {
+                            prefix: [origin for origin, _ in pairs]
+                            for prefix, pairs in message[1]["origins"]
+                        }
+                    )
+                    events = []
                 conn.send(("ok",))
             elif tag == "stop":
                 return
@@ -211,6 +259,7 @@ class FeedRouter:
         clock: Optional[Callable[[], float]] = None,
         sleeper: Optional[Callable[[float], None]] = None,
         fault: Optional[FaultHook] = None,
+        index: Optional[Union[str, Path]] = None,
     ) -> None:
         if not feeds:
             raise RouterError("the router needs at least one feed")
@@ -235,6 +284,13 @@ class FeedRouter:
         self._fault: Optional[FaultHook] = (
             fault if fault is not None else fault_hook_from_env()
         )
+        self._builder: Optional["IndexBuilder"] = None
+        if index is not None:
+            from repro.query.builder import IndexBuilder as _IndexBuilder
+
+            self._builder = _IndexBuilder(
+                index, metrics=metrics, fault=self._fault
+            )
         self._chain: Optional[ChainWriter] = None
         if self.checkpoint_path is not None:
             self._chain = ChainWriter(
@@ -286,7 +342,7 @@ class FeedRouter:
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_shard_worker,
-                args=(child_conn, self.window),
+                args=(child_conn, self.window, self._builder is not None),
                 name=f"stream-shard-{index}",
                 daemon=True,
             )
@@ -325,9 +381,14 @@ class FeedRouter:
             shard.conn.send(("barrier", day, kind))
         payloads: List[Optional[Dict[str, Any]]] = []
         for shard in shards:
-            lines, payload = shard.conn.recv()
+            lines, payload, events = shard.conn.recv()
             self._pending.extend(lines)
             payloads.append(payload)
+            if self._builder is not None and events:
+                # Shard-index order, like the alarm lines: a prefix lives
+                # in exactly one shard, so per-prefix event order is
+                # already the parent's read order.
+                self._builder.ingest_events(events)
         if self._m_barriers is not None:
             self._m_barriers.inc()
         return payloads
@@ -400,6 +461,26 @@ class FeedRouter:
         self.checkpoints_written += 1
         if self._m_checkpoints is not None:
             self._m_checkpoints.inc()
+        self._commit_index(feeds, pending)
+
+    def _commit_index(
+        self, feeds: List[_RoutedFeed], pending: List[str]
+    ) -> None:
+        """Publish the index boundary — strictly after the chain write, so
+        the manifest never references records the chain hasn't made
+        durable."""
+        if self._builder is None:
+            return
+        job = self._builder.prepare_boundary(
+            {
+                "records": self._records_total,
+                "alarm_bytes": self._alarm_bytes,
+                "feed_offsets": [feed.byte_offset for feed in feeds],
+            },
+            pending,
+        )
+        if job is not None:
+            self._builder.commit(job)
 
     def _next_kind(self) -> str:
         if (
@@ -476,6 +557,14 @@ class FeedRouter:
         self._chain.resume(chain)
         self._boundaries_since_full = chain.seq
         self._chain_started = True
+        if self._builder is not None:
+            end = checkpoint.index_coordinates()
+            end["alarm_bytes"] = self._alarm_bytes
+            self._builder.resume(
+                feeds=list(self.feed_paths),
+                alarms=self.alarms_path,
+                end=end,
+            )
 
     # -- the run loop ----------------------------------------------------------
 
@@ -522,6 +611,12 @@ class FeedRouter:
                 fsync_parent_dir(self.alarms_path)
                 self._alarm_lines = 0
                 self._alarm_bytes = 0
+                if self._builder is not None:
+                    from repro.query.builder import MODE_ROUTER
+
+                    self._builder.start_fresh(
+                        MODE_ROUTER, feed_count=len(feeds)
+                    )
             applied = 0
             since_checkpoint = 0
             while True:
@@ -584,19 +679,26 @@ class FeedRouter:
                 began = self._clock()
                 self._write_checkpoint(feeds, "full", final)
                 self._checkpoint_seconds += self._clock() - began
-            elif self._pending:
+            elif self._pending or self._builder is not None:
                 pending, self._pending = self._pending, []
                 self._alarm_lines += len(pending)
                 self._alarm_bytes += sum(
                     len(line.encode("utf-8")) + 1 for line in pending
                 )
-                with self.alarms_path.open("a", encoding="utf-8") as handle:
-                    for line in pending:
-                        handle.write(line + "\n")
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                if pending:
+                    with self.alarms_path.open("a", encoding="utf-8") as handle:
+                        for line in pending:
+                            handle.write(line + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                self._commit_index(feeds, pending)
             wall = self._clock() - started
             daily = merged_daily_counts(states)
+            totals: Dict[str, int] = {}
+            for state in states:
+                for row in state["alarm_counts"]:
+                    kind_name = str(row[1])
+                    totals[kind_name] = totals.get(kind_name, 0) + int(row[5])
             return StreamSummary(
                 records=applied,
                 offset=self._records_total,
@@ -621,6 +723,8 @@ class FeedRouter:
                 events_per_sec=applied / wall if wall > 0 else 0.0,
                 checkpoint_seconds=self._checkpoint_seconds,
                 shards=self.shards,
+                alarm_totals=dict(sorted(totals.items())),
+                daily_series=list(daily.values()),
             )
         finally:
             self._stop_shards(shards)

@@ -43,10 +43,20 @@ import queue
 import signal
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from types import FrameType
-from typing import IO, Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.fsio import fsync_parent_dir
 from repro.obs.manifest import ManifestRecord
@@ -62,6 +72,9 @@ from repro.stream.checkpoint import (
 )
 from repro.stream.engine import StreamEngine
 from repro.stream.feed import FeedError, FeedRecord, parse_feed_line
+
+if TYPE_CHECKING:  # runtime import is lazy: stream never *needs* query
+    from repro.query.builder import IndexBuilder, IndexJob
 
 #: Environment hook for crash-injection in subprocess tests: a fault-point
 #: name, optionally ``:n`` to crash on the n-th hit (default first).
@@ -166,6 +179,8 @@ class StreamSummary:
     checkpoint_fulls: int = 0
     checkpoint_deltas: int = 0
     shards: int = 1
+    alarm_totals: Dict[str, int] = field(default_factory=dict)
+    daily_series: List[int] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict; timing lives under quarantined TIMING_KEYS names."""
@@ -175,12 +190,14 @@ class StreamSummary:
             "alarms_emitted": self.alarms_emitted,
             "alarm_duplicates": self.alarm_duplicates,
             "alarm_lines": self.alarm_lines,
+            "alarm_totals": dict(sorted(self.alarm_totals.items())),
             "checkpoints": self.checkpoints,
             "checkpoint_fulls": self.checkpoint_fulls,
             "checkpoint_deltas": self.checkpoint_deltas,
             "moas_active": self.moas_active,
             "state_prefixes": self.state_prefixes,
             "days_ticked": self.days_ticked,
+            "daily_series": list(self.daily_series),
             "stopped": self.stopped,
             "eof": self.eof,
             "shards": self.shards,
@@ -190,8 +207,16 @@ class StreamSummary:
 
 
 #: One boundary's durable work: alarm lines to append, then (optionally)
-#: one chain write — a full Checkpoint or a delta record's fields.
-_WriterTask = Tuple[List[str], Optional[str], Optional[Checkpoint], Dict[str, Any]]
+#: one chain write — a full Checkpoint or a delta record's fields — then
+#: (optionally) one prepared index segment+manifest publish, strictly last
+#: so the index commit point can never get ahead of the chain.
+_WriterTask = Tuple[
+    List[str],
+    Optional[str],
+    Optional[Checkpoint],
+    Dict[str, Any],
+    Optional["IndexJob"],
+]
 
 
 class _WriterPump:
@@ -266,6 +291,7 @@ class StreamService:
         sleeper: Optional[Callable[[float], None]] = None,
         async_io: bool = True,
         fault: Optional[FaultHook] = None,
+        index: Optional[Union[str, Path]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -292,6 +318,13 @@ class StreamService:
         self._fault: Optional[FaultHook] = (
             fault if fault is not None else fault_hook_from_env()
         )
+        self._builder: Optional["IndexBuilder"] = None
+        if index is not None:
+            from repro.query.builder import IndexBuilder as _IndexBuilder
+
+            self._builder = _IndexBuilder(
+                index, metrics=metrics, fault=self._fault
+            )
         self._chain: Optional[ChainWriter] = None
         if self.checkpoint_path is not None:
             self._chain = ChainWriter(
@@ -354,6 +387,8 @@ class StreamService:
                 fsync_parent_dir(self.alarms_path)
                 self._alarm_lines = 0
                 self._alarm_bytes = 0
+                if self._builder is not None:
+                    self._builder.start_fresh()
             applied = 0
             since_checkpoint = 0
             reached_eof = False
@@ -373,6 +408,8 @@ class StreamService:
                 for record in batch:
                     for alarm in self.engine.apply(record):
                         self._pending.append(alarm.to_json_line())
+                    if self._builder is not None:
+                        self._builder.observe(record)
                 applied += len(batch)
                 since_checkpoint += len(batch)
                 if self.throttle > 0.0:
@@ -402,6 +439,8 @@ class StreamService:
                 wall_seconds=wall,
                 events_per_sec=applied / wall if wall > 0 else 0.0,
                 checkpoint_seconds=self._checkpoint_seconds,
+                alarm_totals=self.engine.alarm_totals(),
+                daily_series=self.engine.daily_series(),
             )
         finally:
             try:
@@ -443,6 +482,15 @@ class StreamService:
         self._boundaries_since_full = chain.seq
         self._chain_started = True
         tailer.seek(checkpoint.byte_offset)
+        if self._builder is not None:
+            end = checkpoint.index_coordinates()
+            # The truncation above may have corrected v1-era byte
+            # accounting; the index must catch up to what is actually
+            # durable in *this* log file.
+            end["alarm_bytes"] = self._alarm_bytes
+            self._builder.resume(
+                feeds=[self.feed_path], alarms=self.alarms_path, end=end
+            )
 
     def _truncate_alarm_log(self, checkpoint: Checkpoint) -> None:
         """Roll the log back to the checkpoint's durable prefix.
@@ -542,7 +590,17 @@ class StreamService:
             self.checkpoints_written += 1
             if self._m_checkpoints is not None:
                 self._m_checkpoints.inc()
-        task: _WriterTask = (pending, kind, checkpoint, delta)
+        job: Optional["IndexJob"] = None
+        if self._builder is not None:
+            job = self._builder.prepare_boundary(
+                {
+                    "records": self.engine.offset,
+                    "alarm_bytes": self._alarm_bytes,
+                    "feed_bytes": tailer.byte_offset,
+                },
+                pending,
+            )
+        task: _WriterTask = (pending, kind, checkpoint, delta, job)
         if self._pump is not None:
             self._pump.submit(task)
         else:
@@ -551,7 +609,7 @@ class StreamService:
 
     def _execute_boundary(self, task: _WriterTask) -> None:
         """One boundary's durable work (writer thread, or inline when sync)."""
-        pending, kind, checkpoint, delta = task
+        pending, kind, checkpoint, delta, job = task
         if pending:
             if self._fault is not None:
                 self._fault("alarm-pre-append")
@@ -564,20 +622,25 @@ class StreamService:
                 os.fsync(handle.fileno())
             if self._fault is not None:
                 self._fault("alarm-post-fsync")
-        if kind is None:
-            return
-        assert self._chain is not None
-        if kind == "full":
-            assert checkpoint is not None
-            self._chain.write_full(checkpoint)
-        else:
-            self._chain.append_delta(
-                offset=delta["offset"],
-                byte_offset=delta["byte_offset"],
-                alarm_lines=delta["alarm_lines"],
-                alarm_bytes=delta["alarm_bytes"],
-                delta=delta["delta"],
-            )
+        if kind is not None:
+            assert self._chain is not None
+            if kind == "full":
+                assert checkpoint is not None
+                self._chain.write_full(checkpoint)
+            else:
+                self._chain.append_delta(
+                    offset=delta["offset"],
+                    byte_offset=delta["byte_offset"],
+                    alarm_lines=delta["alarm_lines"],
+                    alarm_bytes=delta["alarm_bytes"],
+                    delta=delta["delta"],
+                )
+        if job is not None:
+            # Strictly after the chain write: the manifest (the index's
+            # commit point) must never reference a boundary the chain has
+            # not made durable.
+            assert self._builder is not None
+            self._builder.commit(job)
 
     # -- attribution -------------------------------------------------------------
 

@@ -1,0 +1,18 @@
+"""R006 fixture: a query server reload loop that polls with time.sleep.
+
+The sanctioned pattern is an injectable sleeper (or, in the real server,
+no loop at all — the reader reloads lazily per request); a hard-coded
+``time.sleep`` poll blocks the serving thread and is untestable.
+"""
+
+import time
+
+
+class PollingReloader:
+    def __init__(self, index):
+        self.index = index
+
+    def watch(self):
+        while True:
+            self.index.reload_if_changed()
+            time.sleep(0.5)

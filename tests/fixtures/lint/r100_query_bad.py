@@ -1,0 +1,27 @@
+"""R100 fixture: wall-clock values reaching the query index's durable
+documents.
+
+Segments and manifests must be pure functions of the feed — a build
+timestamp poisons the digest and breaks the rebuild-is-bit-identical
+invariant, so the taint pass treats the writers as determinism sinks.
+"""
+
+import time
+
+from repro.query.segments import assemble_segment, write_manifest
+
+
+def built_stamp():
+    return time.time()
+
+
+def cut_segment(directory, seq, start, end, events, rows):
+    # Direct wall-clock argument into the segment document.
+    doc = assemble_segment(seq, start, dict(end, built=time.time()), events, rows)
+    return doc
+
+
+def publish(directory, manifest):
+    # Indirect: the taint flows through a helper before the sink sees it.
+    manifest = dict(manifest, stamp=built_stamp())
+    write_manifest(directory, manifest)

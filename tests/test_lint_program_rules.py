@@ -237,6 +237,49 @@ class TestR102Parity:
             assert only(lint_paths(paths), "R102") == []
 
 
+class TestQueryPackageCoverage:
+    """R006/R100 extended to the query subsystem's idioms."""
+
+    def test_server_polling_sleep_trips_r006(self):
+        violations = lint_file(FIXTURES / "r006_query_server_bad.py")
+        assert rules_hit(violations) == {"R006"}
+        assert len(violations) == 1
+
+    def test_injected_sleeper_reload_loop_is_clean(self):
+        src = (
+            "class Reloader:\n"
+            "    def watch(self, index, sleeper):\n"
+            "        while True:\n"
+            "            index.reload_if_changed()\n"
+            "            sleeper(0.5)\n"
+        )
+        assert lint_source(src, "reloader.py") == []
+
+    def test_wall_clock_into_segment_document_trips_r100(self):
+        violations = only(lint_file(FIXTURES / "r100_query_bad.py"), "R100")
+        assert any(
+            "assemble_segment" in v.message and "time.time" in v.message
+            for v in violations
+        ), [v.message for v in violations]
+
+    def test_chained_wall_clock_into_manifest_trips_r100(self):
+        violations = only(lint_file(FIXTURES / "r100_query_bad.py"), "R100")
+        assert any(
+            "write_manifest" in v.message and "built_stamp" in v.message
+            for v in violations
+        ), [v.message for v in violations]
+
+    def test_pure_segment_assembly_is_clean(self):
+        src = (
+            "from repro.query.segments import assemble_segment, write_manifest\n"
+            "def cut(seq, start, end, events, rows):\n"
+            "    return assemble_segment(seq, start, end, events, rows)\n"
+            "def publish(directory, manifest):\n"
+            "    write_manifest(directory, manifest)\n"
+        )
+        assert only(lint_source(src, "pure.py"), "R100") == []
+
+
 class TestRealTreeIsProgramClean:
     def test_program_rules_clean_on_src(self):
         violations = [

@@ -1,0 +1,119 @@
+"""Property test: segment merging is invisible in every answer.
+
+Random operation sequences, folded once as a flat event stream and once
+through ``assemble_segment``/``fold_segment`` with random segmentation
+points, must produce bit-identical ``answers_doc`` output.  This is the
+merge-correctness half of the index: any interleaving of boundary cuts
+yields the same served history as a single unsegmented pass.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import Prefix
+from repro.query.model import StoreState, answers_doc, canonical_json
+from repro.query.segments import assemble_segment
+from repro.query.track import OriginTracker
+from repro.stream.feed import FeedRecord
+
+PREFIXES = ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"]
+ORIGINS = [3, 7, 9, 8584]
+KINDS = ["inconsistent-lists", "origin-not-in-own-list"]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("A"),
+            st.sampled_from(PREFIXES),
+            st.sampled_from(ORIGINS),
+        ),
+        st.tuples(
+            st.just("W"),
+            st.sampled_from(PREFIXES),
+            st.sampled_from(ORIGINS),
+        ),
+        st.tuples(st.just("T")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def record_for(op, position):
+    """Time is the op's position, so every record time is distinct and
+    ticks land on distinct days."""
+    if op[0] == "T":
+        return FeedRecord(op="T", time=float(position))
+    return FeedRecord(
+        op=op[0], time=float(position),
+        prefix=Prefix.parse(op[1]), origin=op[2],
+    )
+
+
+def coords(position):
+    # Synthetic but monotonic coordinates; answers never look inside them
+    # beyond the final record count.
+    return {
+        "records": position,
+        "alarm_bytes": position * 10,
+        "feed_bytes": position * 100,
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequence=ops,
+    cut_seed=st.integers(min_value=0, max_value=2**30),
+    alarm_positions=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=59),
+            st.sampled_from(PREFIXES),
+            st.sampled_from(KINDS),
+        ),
+        max_size=10,
+    ),
+)
+def test_segmented_fold_equals_flat_fold(sequence, cut_seed, alarm_positions):
+    n = len(sequence)
+    rows = sorted(
+        (
+            (prefix, [pos + 0.25, kind, [3, 7], None, None])
+            for pos, prefix, kind in alarm_positions
+            if pos < n
+        ),
+        key=lambda item: item[1][0],
+    )
+
+    # Derive segmentation points from the seed: every position is a cut
+    # with probability 1/3, giving segments of wildly varying width
+    # (including empty ones, which assemble to None).
+    cuts = [pos for pos in range(1, n) if (cut_seed >> (pos % 30)) & 1 and pos % 3 != 0]
+    bounds = [0] + cuts + [n]
+
+    tracker = OriginTracker()
+    flat_events = []
+    segmented = StoreState()
+    seq = 0
+    for lo, hi in zip(bounds, bounds[1:]):
+        chunk_events = []
+        for position in range(lo, hi):
+            event = tracker.apply(record_for(sequence[position], position))
+            if event is not None:
+                chunk_events.append(event)
+                flat_events.append(event)
+        chunk_rows = [row for row in rows if lo <= row[1][0] < hi]
+        seq += 1
+        doc = assemble_segment(seq, coords(lo), coords(hi), chunk_events, chunk_rows)
+        if doc is not None:
+            segmented.fold_segment(doc)
+
+    flat = StoreState()
+    flat.fold_events(flat_events, rows)
+    flat.records = n
+    segmented.records = n
+
+    assert canonical_json(answers_doc(segmented)) == canonical_json(
+        answers_doc(flat)
+    )

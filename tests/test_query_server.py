@@ -1,0 +1,161 @@
+"""HTTP API tests: the looking-glass server against the model answers."""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.measurement.trace import FaultSpike, TraceConfig, TraceGenerator
+from repro.obs.metrics import MetricsRegistry
+from repro.query import QueryIndex, build_index, canonical_json
+from repro.query.model import daily_answer, prefix_report, stats_answer, top_answer
+from repro.query.server import make_server
+from repro.stream.feed import FeedWriter, snapshot_deltas
+from repro.stream.service import StreamService
+
+TRACE_CONFIG = TraceConfig(
+    days=40,
+    faults=(FaultSpike(day=10, faulty_as=8584, n_prefixes=30),),
+    n_background_prefixes=200,
+    include_background=True,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("queryhttp")
+    feed = root / "feed.jsonl"
+    generator = TraceGenerator(TRACE_CONFIG, random.Random(7))
+    with FeedWriter(feed) as writer:
+        writer.write_all(snapshot_deltas(generator.snapshots()))
+    alarms = root / "alarms.log"
+    StreamService(feed, alarms, None, checkpoint_every=500).run()
+    idx = root / "idx"
+    build_index([feed], alarms, idx, segment_days=10)
+    return feed, alarms, idx
+
+
+@pytest.fixture()
+def server(store):
+    _, _, idx = store
+    metrics = MetricsRegistry()
+    httpd = make_server(idx, port=0, metrics=metrics)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", httpd, metrics
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=10)
+        httpd.server_close()
+
+
+def get(base, path, headers=None):
+    request = urllib.request.Request(base + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestEndpoints:
+    def test_healthz(self, server, store):
+        base, httpd, _ = server
+        status, _, body = get(base, "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["generation"] == httpd.index.generation
+        assert doc["records"] == httpd.index.records
+
+    def test_stats_matches_model(self, server, store):
+        base, _, _ = server
+        _, _, idx = store
+        status, headers, body = get(base, "/v1/stats")
+        assert status == 200
+        state = QueryIndex(idx).state
+        assert body.decode() == canonical_json(stats_answer(state)) + "\n"
+        assert headers["Content-Type"] == "application/json"
+        assert int(headers["Content-Length"]) == len(body)
+
+    def test_prefix_found_and_missing(self, server, store):
+        base, _, _ = server
+        _, _, idx = store
+        state = QueryIndex(idx).state
+        target = sorted(state.prefixes)[0]
+        status, _, body = get(
+            base, "/v1/prefix?p=" + urllib.parse.quote(target)
+        )
+        assert status == 200
+        assert body.decode() == canonical_json(prefix_report(state, target)) + "\n"
+        status, _, body = get(base, "/v1/prefix?p=203.0.113.0/24")
+        assert status == 200
+        assert json.loads(body)["found"] is False
+
+    def test_top_and_daily_match_model(self, server, store):
+        base, _, _ = server
+        _, _, idx = store
+        state = QueryIndex(idx).state
+        for by in ("alarms", "transitions", "moas_days"):
+            status, _, body = get(base, f"/v1/top?k=3&by={by}")
+            assert status == 200
+            assert body.decode() == canonical_json(top_answer(state, 3, by)) + "\n"
+        for kind in ("alarms", "moas"):
+            status, _, body = get(base, f"/v1/daily?kind={kind}")
+            assert status == 200
+            assert body.decode() == canonical_json(daily_answer(state, kind)) + "\n"
+
+    def test_error_statuses(self, server):
+        base, _, _ = server
+        assert get(base, "/nope")[0] == 404
+        assert get(base, "/v1/prefix")[0] == 400  # missing ?p=
+        assert get(base, "/v1/top?by=bogus")[0] == 400
+        assert get(base, "/v1/top?k=0")[0] == 400
+        assert get(base, "/v1/daily?kind=bogus")[0] == 400
+
+    def test_etag_round_trip(self, server):
+        base, _, metrics = server
+        status, headers, _ = get(base, "/v1/stats")
+        assert status == 200
+        etag = headers["ETag"]
+        status, headers, body = get(
+            base, "/v1/stats", headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == etag
+        snapshot = metrics.snapshot()
+        assert snapshot["query.requests"] >= 2
+        assert snapshot["query.not_modified"] == 1
+
+
+class TestLiveReload:
+    def test_new_generation_served_without_restart(self, store, tmp_path):
+        feed, alarms, _ = store
+        idx = tmp_path / "idx"
+        build_index([feed], alarms, idx, segment_days=1000)
+        httpd = make_server(idx, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            _, headers_before, _ = get(base, "/v1/stats")
+            # Rebuild the index behind the running server with a finer
+            # cadence: new generation, same answers.
+            build_index([feed], alarms, idx, segment_days=5)
+            _, headers_after, body = get(base, "/v1/stats")
+            assert headers_after["ETag"] != headers_before["ETag"]
+            assert json.loads(body)["records"] == QueryIndex(idx).records
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=10)
+            httpd.server_close()
