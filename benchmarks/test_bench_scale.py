@@ -51,6 +51,18 @@ DEFAULT_SIZES = (63, 1000, 5000, 10000)
 #: benchmark was introduced; a different machine than later reruns).
 RECORDED_BASELINE_EPS = 38177.3
 
+#: events/sec per size recorded immediately before the GC-suspension fix
+#: in ``Simulator.run`` (automatic gen-2 collections scanned the whole
+#: O(topology) object graph O(events) times, a superlinear term that
+#: dragged throughput from ~32k ev/s at 63 ASes to ~17k at 5000).  Kept
+#: in the JSON record so the before/after comparison travels with it.
+RECORDED_PRE_GC_FIX_EPS = {
+    63: 31874.6,
+    1000: 23091.7,
+    5000: 17272.1,
+    10000: 13420.9,
+}
+
 BENCH_PREFIX = Prefix.parse("10.0.0.0/16")
 
 
@@ -102,6 +114,7 @@ def _converge_once(size: int) -> dict:
         else 0.0,
         "interner_entries": len(network.interner),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "pre_gc_fix_events_per_sec": RECORDED_PRE_GC_FIX_EPS.get(size),
     }
 
 

@@ -1,0 +1,658 @@
+"""One shard's slice of a sharded BGP network.
+
+:class:`ShardNetwork` mirrors :class:`~repro.bgp.network.Network` for the
+subset of speakers a shard owns: full :class:`ShardLink` objects between
+two local speakers, and a :class:`BoundaryLink` half for every peering
+whose other end lives on a different shard.  Boundary links are the *only*
+way messages cross shards: an outbound send appends a canonically-ordered
+record to the shard's :class:`ShardOutbox` mailbox, and inbound records —
+routed by the coordinator at a barrier — are enqueued as one simulator
+event each, carrying the order key minted on the sending shard.
+
+The module also owns the snapshot algebra that makes warm-start compose
+with sharding: :func:`merge_network_snapshots` folds per-shard captures
+into the exact format :class:`Network` produces, and
+:func:`split_network_snapshot` cuts a serial capture into per-shard
+slices — so one cached baseline serves serial and sharded runs alike.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.interning import RouteInterner
+from repro.bgp.policy import Policy
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.eventsim.sharded import OrderKey, ShardSimulator
+from repro.eventsim.simulator import RearmPlan, SimulationError, SnapshotError
+from repro.net.addresses import Prefix
+from repro.net.asn import ASN
+from repro.net.link import Link, LinkState, _Flight
+from repro.topology.asgraph import ASGraph
+
+PolicyFactory = Callable[[ASN], Optional[Policy]]
+
+#: One cross-shard message in flight:
+#: ``(link_key, sender, delivery_time, order_key, message)``.
+MailRecord = Tuple[Tuple[ASN, ASN], ASN, float, OrderKey, Any]
+
+
+class ShardOutbox:
+    """Per-destination-shard mailboxes accumulated between barriers.
+
+    Append order within one mailbox is exactly the shard's push order (the
+    order keys ascend), so a drained batch is already canonical — the
+    receiving side inserts records verbatim and the keys do the sorting.
+    """
+
+    def __init__(self) -> None:
+        self._by_dest: Dict[int, List[MailRecord]] = {}
+        self.messages_out = 0
+
+    def append(self, dest_shard: int, record: MailRecord) -> None:
+        self._by_dest.setdefault(dest_shard, []).append(record)
+        self.messages_out += 1
+
+    def is_empty(self) -> bool:
+        return not self._by_dest
+
+    def drain(self) -> Dict[int, List[MailRecord]]:
+        """Take every pending mailbox (the per-barrier flush)."""
+        drained = self._by_dest
+        self._by_dest = {}
+        return drained
+
+
+class ShardLink(Link):
+    """An intra-shard link with the stricter sharded coalescing rule.
+
+    The serial engine may coalesce consecutive same-direction sends from
+    *different* firings (its ``last_seq`` guard proves nothing local was
+    scheduled in between).  Under sharding that proof is too weak: an
+    event from another shard can hold a rank *between* the two firings and
+    would then rightfully sort between the batch members.  Batching here
+    is therefore only allowed within one firing with no intervening push —
+    local or outbox — which is exactly the window in which no remote key
+    can interleave.  ``account_extra_events`` keeps the event accounting
+    batching-invariant, so outcomes cannot tell the difference.
+    """
+
+    _SNAPSHOT_WAIVED = Link._SNAPSHOT_WAIVED | frozenset({"_flight_ctx"})
+
+    def __init__(
+        self, sim: ShardSimulator, a: ASN, b: ASN, delay: float = 0.01
+    ) -> None:
+        super().__init__(sim, a, b, delay=delay)
+        self.sim: ShardSimulator = sim
+        # Open-batch context: token -> (firing_token, push_count at open).
+        self._flight_ctx: Dict[int, Tuple[Tuple[int, int], int]] = {}
+
+    def _send_at(self, sender: Any, message: Any, epoch: int, time: float) -> None:
+        sim = self.sim
+        token = self._open.get(sender)
+        if token is not None:
+            flight = self._in_flight.get(token)
+            context = self._flight_ctx.get(token)
+            if (
+                flight is not None
+                and flight.time == time
+                and flight.epoch == epoch
+                and context == (sim.firing_token, sim.push_count)
+                and not flight.handle.cancelled
+            ):
+                flight.messages.append(message)
+                return
+        # Not coalescible: schedule a fresh batch (the push claims the next
+        # order key), then remember the context it was opened under.
+        token = self._flight_seq
+        self._flight_seq += 1
+        handle = sim.schedule_at(
+            time, partial(self._deliver, token), label=self._labels[sender]
+        )
+        self._in_flight[token] = _Flight(
+            sender, [message], epoch, time, handle, handle.sort_key[2]
+        )
+        self._open[sender] = token
+        self._flight_ctx[token] = (sim.firing_token, sim.push_count)
+
+    def _deliver(self, token: int) -> None:
+        self._flight_ctx.pop(token, None)
+        super()._deliver(token)
+
+
+class BoundaryLink:
+    """The local half of a peering whose other end lives on another shard.
+
+    Duck-types the :class:`~repro.net.link.Link` surface the BGP layer
+    touches — ``attach``/``send``/``other_end``/``endpoints``/``delay``/
+    ``state``/counters/``pending_events``/snapshot — but carries traffic
+    through the shard mailbox instead of the local event queue.  Sends are
+    stamped with the firing context's order key at send time; deliveries
+    are scheduled by :meth:`enqueue_inbound` when the coordinator routes
+    the record in, one simulator event per message (the serial engine's
+    batching credit keeps the event accounting aligned; see
+    :class:`ShardLink`).
+    """
+
+    # Wiring and topology identity, rebuilt at construction; the pending
+    # inbound count tracks live queue events the same way Link's in-flight
+    # map does and is regenerated by the delivery protocol.
+    _SNAPSHOT_WAIVED = frozenset(
+        {
+            "sim",
+            "a",
+            "b",
+            "delay",
+            "local_end",
+            "remote_end",
+            "dest_shard",
+            "key",
+            "outbox",
+            "_receiver",
+            "_label",
+            "_pending_inbound",
+            "_m_out",
+        }
+    )
+
+    def __init__(
+        self,
+        sim: ShardSimulator,
+        a: ASN,
+        b: ASN,
+        local_end: ASN,
+        dest_shard: int,
+        outbox: ShardOutbox,
+        delay: float = 0.01,
+    ) -> None:
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a!r} twice")
+        if delay <= 0:
+            # Positive delay is the lookahead the whole barrier design
+            # rests on: a zero-delay boundary link would deliver within
+            # the sending tick, which the rank exchange cannot order.
+            raise ValueError(f"link delay must be positive, got {delay!r}")
+        if local_end not in (a, b):
+            raise ValueError(f"{local_end!r} is not an endpoint")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.key: Tuple[ASN, ASN] = (a, b)
+        self.delay = float(delay)
+        self.local_end = local_end
+        self.remote_end = b if local_end == a else a
+        self.dest_shard = dest_shard
+        self.outbox = outbox
+        self.state = LinkState.UP
+        self._epoch = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self._receiver: Optional[Callable[[Any, Any], None]] = None
+        self._pending_inbound = 0
+        self._label = f"deliver {self.remote_end}->{self.local_end}"
+        metrics = sim.metrics
+        self._m_out = (
+            metrics.counter("shard.cross_messages_out")
+            if metrics is not None
+            else None
+        )
+
+    @property
+    def endpoints(self) -> Tuple[ASN, ASN]:
+        return (self.a, self.b)
+
+    def other_end(self, endpoint: ASN) -> ASN:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise ValueError(f"{endpoint!r} is not an endpoint of {self!r}")
+
+    def attach(self, endpoint: ASN, receiver: Callable[[Any, Any], None]) -> None:
+        """Register the local receiver; the remote end attaches on its own
+        shard's half."""
+        if endpoint != self.local_end:
+            raise ValueError(
+                f"{endpoint!r} is not the local end of {self!r}; the remote "
+                "half lives on shard-owned state there"
+            )
+        self._receiver = receiver
+
+    def send(self, sender: ASN, message: Any) -> bool:
+        """Append ``message`` to the outbound mailbox (the canonical — and
+        only — cross-shard delivery API)."""
+        if sender != self.local_end:
+            raise ValueError(
+                f"{sender!r} cannot send on {self!r}: only the local end "
+                f"{self.local_end!r} is owned by this shard"
+            )
+        if self.state is LinkState.DOWN:
+            self.messages_dropped += 1
+            return False
+        self.messages_sent += 1
+        if self._m_out is not None:
+            self._m_out.inc()
+        sim = self.sim
+        epoch, rank = sim.order_context
+        order_key: OrderKey = (epoch, rank, sim.next_push_index())
+        self.outbox.append(
+            self.dest_shard,
+            (self.key, sender, sim.now + self.delay, order_key, message),
+        )
+        return True
+
+    def enqueue_inbound(
+        self, sender: ASN, time: float, order_key: OrderKey, message: Any
+    ) -> None:
+        """Schedule a routed-in record for delivery under its carried key."""
+        self._pending_inbound += 1
+        self.sim.schedule_remote(
+            time,
+            order_key,
+            partial(self._deliver_inbound, sender, message),
+            label=self._label,
+        )
+
+    def _deliver_inbound(self, sender: ASN, message: Any) -> None:
+        self._pending_inbound -= 1
+        if self.state is LinkState.DOWN:
+            self.messages_dropped += 1
+            return
+        receiver = self._receiver
+        if receiver is None:
+            raise RuntimeError(
+                f"no receiver attached at {self.local_end!r} on {self!r}"
+            )
+        receiver(sender, message)
+
+    def fail(self) -> None:
+        raise SimulationError(
+            "failing a cross-shard link mid-run is not supported: both "
+            "halves would need a coordinated epoch bump (run fault "
+            "scenarios on the serial engine)"
+        )
+
+    def restore(self) -> None:
+        self.state = LinkState.UP
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Live inbound delivery events on this shard's queue."""
+        return self._pending_inbound
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        if self._pending_inbound:
+            raise SnapshotError(
+                f"{self!r} has {self._pending_inbound} inbound deliveries "
+                "in flight; sharded baselines may only be captured at "
+                "quiescence"
+            )
+        return {
+            "state": self.state.value,
+            "epoch": self._epoch,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "in_flight": [],
+        }
+
+    def restore_state(self, state: Dict[str, Any], rearm: RearmPlan) -> None:
+        if state["in_flight"]:
+            raise SnapshotError(
+                f"{self!r}: cannot restore in-flight cross-shard messages; "
+                "baselines are captured at quiescence"
+            )
+        self.state = LinkState(state["state"])
+        self._epoch = int(state["epoch"])
+        self.messages_sent = int(state["messages_sent"])
+        self.messages_dropped = int(state["messages_dropped"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BoundaryLink({self.a!r}<->{self.b!r}, local={self.local_end!r}, "
+            f"dest_shard={self.dest_shard})"
+        )
+
+
+class ShardNetwork:
+    """The slice of a simulated internetwork owned by one shard."""
+
+    # The graph, assignment, config and interner define *which* slice this
+    # is; the outbox is barrier-transient coordination state.
+    _SNAPSHOT_WAIVED = frozenset(
+        {"graph", "assignment", "shard_id", "config", "interner", "outbox",
+         "boundary"}
+    )
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        assignment: Dict[ASN, int],
+        shard_id: int,
+        sim: ShardSimulator,
+        config: Optional[SpeakerConfig] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        link_delay: float = 0.01,
+    ) -> None:
+        self.graph = graph
+        self.assignment = assignment
+        self.shard_id = shard_id
+        self.sim = sim
+        self.config = config or SpeakerConfig()
+        self.outbox = ShardOutbox()
+        # Process-local intern table: route objects never cross shards by
+        # reference, so each shard interns what its speakers hold.
+        self.interner = RouteInterner()
+        self.sim.add_reset_hook(self.interner.clear)
+
+        self.speakers: Dict[ASN, BGPSpeaker] = {}
+        for asn in graph.asns():
+            if assignment[asn] != shard_id:
+                continue
+            policy = policy_factory(asn) if policy_factory is not None else None
+            self.speakers[asn] = BGPSpeaker(
+                sim, asn, config=self.config, policy=policy,
+                interner=self.interner,
+            )
+
+        # Links touching at least one local speaker.  A link's key matches
+        # the serial Network's (the graph's edge tuple) so snapshot slices
+        # line up; boundary links additionally appear in ``boundary`` for
+        # inbound routing by key.
+        self.links: Dict[Tuple[ASN, ASN], Any] = {}
+        self.boundary: Dict[Tuple[ASN, ASN], BoundaryLink] = {}
+        for a, b in graph.edges():
+            local_a = a in self.speakers
+            local_b = b in self.speakers
+            if not (local_a or local_b):
+                continue
+            if local_a and local_b:
+                link: Any = ShardLink(sim, a, b, delay=link_delay)
+                self.speakers[a].add_peer(b, link)
+                self.speakers[b].add_peer(a, link)
+            else:
+                local_end = a if local_a else b
+                remote_end = b if local_a else a
+                link = BoundaryLink(
+                    sim,
+                    a,
+                    b,
+                    local_end=local_end,
+                    dest_shard=assignment[remote_end],
+                    outbox=self.outbox,
+                    delay=link_delay,
+                )
+                self.speakers[local_end].add_peer(remote_end, link)
+                self.boundary[(a, b)] = link
+            self.links[(a, b)] = link
+
+    # -- global setup ops ----------------------------------------------------
+
+    def establish_ops(self) -> None:
+        """Execute this shard's share of the global session-open sweep.
+
+        Every shard walks the *full* edge list so the global op index —
+        and with it the order keys of the OPENs — lines up with the serial
+        engine's push order; only the shard owning the initiating (lower)
+        endpoint actually acts.
+        """
+        for index, (a, b) in enumerate(self.graph.edges()):
+            self.sim.begin_op(index)
+            speaker = self.speakers.get(a)
+            if speaker is not None:
+                speaker.start_session(b)
+
+    def originate_ops(
+        self, origins: Sequence[ASN], prefix: Prefix, communities: Any = ()
+    ) -> None:
+        """Execute this shard's share of the genuine-origination sweep."""
+        for index, origin in enumerate(sorted(origins)):
+            self.sim.begin_op(index)
+            speaker = self.speakers.get(origin)
+            if speaker is not None:
+                speaker.originate(prefix, communities=communities)
+
+    def attack_ops(
+        self,
+        strategy: Any,
+        attackers: Sequence[ASN],
+        prefix: Prefix,
+        victim_origins: Any,
+    ) -> None:
+        """Execute this shard's share of the attack launches."""
+        for index, attacker in enumerate(sorted(attackers)):
+            self.sim.begin_op(index)
+            if attacker in self.speakers:
+                strategy.launch(self, attacker, prefix, victim_origins)
+
+    def check_established(self) -> None:
+        """Verify every session this shard initiated came up (both halves
+        check their own side, covering every edge globally)."""
+        unestablished = [
+            (a, b)
+            for a, b in self.graph.edges()
+            if a in self.speakers and not self.speakers[a].sessions[b].established
+        ]
+        if unestablished:
+            raise RuntimeError(f"sessions failed to establish: {unestablished}")
+
+    # -- routing -------------------------------------------------------------
+
+    def deliver_inbound(self, records: Sequence[MailRecord]) -> None:
+        """Enqueue coordinator-routed records on their boundary links."""
+        for link_key, sender, time, order_key, message in records:
+            self.boundary[link_key].enqueue_inbound(
+                sender, time, order_key, message
+            )
+
+    # -- convenience (the Network surface the harness layers use) -----------
+
+    def speaker(self, asn: ASN) -> BGPSpeaker:
+        try:
+            return self.speakers[asn]
+        except KeyError:
+            raise KeyError(f"AS{asn} is not owned by shard {self.shard_id}")
+
+    def link(self, a: ASN, b: ASN) -> Any:
+        key = (min(a, b), max(a, b))
+        try:
+            return self.links[key]
+        except KeyError:
+            raise KeyError(f"no link between AS{a} and AS{b} on this shard")
+
+    def originate(
+        self, asn: ASN, prefix: Prefix, communities: Any = ()
+    ) -> None:
+        self.speaker(asn).originate(prefix, communities=communities)
+
+    def best_origins(self, prefix: Prefix) -> Dict[ASN, Optional[ASN]]:
+        """Best-route origins for the speakers this shard owns."""
+        return {
+            asn: speaker.best_origin(prefix)
+            for asn, speaker in sorted(self.speakers.items())
+        }
+
+    def total_updates_sent(self) -> int:
+        return sum(s.updates_sent for s in self.speakers.values())
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture this shard's slice in the serial snapshot's shape."""
+        if not self.outbox.is_empty():
+            raise SnapshotError(
+                "outbox holds undelivered cross-shard messages; snapshots "
+                "are only taken at barrier quiescence"
+            )
+        expected = sum(
+            speaker.pending_events() for speaker in self.speakers.values()
+        ) + sum(link.pending_events() for link in self.links.values())
+        live = len(self.sim.queue)
+        if live != expected:
+            raise SnapshotError(
+                f"event queue holds {live} live event(s) but components "
+                f"account for {expected}; cannot snapshot foreign events"
+            )
+        return {
+            "sim": self.sim.snapshot_state(),
+            "speakers": {
+                asn: speaker.snapshot_state()
+                for asn, speaker in sorted(self.speakers.items())
+            },
+            "links": {
+                key: link.snapshot_state()
+                for key, link in sorted(self.links.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Overlay a per-shard slice (see :func:`split_network_snapshot`)."""
+        if set(state["speakers"]) != set(self.speakers):
+            raise SnapshotError(
+                "snapshot speaker set does not match this shard's slice"
+            )
+        if set(state["links"]) != set(self.links):
+            raise SnapshotError(
+                "snapshot link set does not match this shard's slice"
+            )
+        self.sim.restore_state(state["sim"])
+        rearm = RearmPlan()
+        for asn, speaker_state in state["speakers"].items():
+            self.speakers[asn].restore_state(speaker_state, rearm)
+        for key, link_state in state["links"].items():
+            self.links[key].restore_state(link_state, rearm)
+        rearm.execute()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardNetwork(shard={self.shard_id}, {len(self.speakers)} ASes, "
+            f"{len(self.links)} links)"
+        )
+
+
+# -- snapshot algebra ---------------------------------------------------------
+
+
+def merge_network_snapshots(
+    slices: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Fold per-shard captures into the serial ``Network`` snapshot format.
+
+    Speakers are disjoint across shards, so their union is the serial
+    speaker map.  A boundary link appears in exactly two slices (one half
+    each); the halves' message counters sum to the serial link's and their
+    state/epoch must agree.  The simulator record merges as: ``now`` is the
+    maximum (the globally last event fired on some shard), ``sequence`` the
+    maximum (sub-tick counters are compared per speaker only, so the merged
+    continuation just needs to stay above every captured value),
+    ``events_processed`` the sum, and RNG streams must be identical across
+    shards (the harness never draws during a run — a seed-consuming run is
+    uncacheable anyway, which :func:`snapshot_is_seed_free` enforces).
+    """
+    if not slices:
+        raise ValueError("need at least one shard slice")
+    sims = [part["sim"] for part in slices]
+    rng = sims[0]["rng_streams"]
+    for other in sims[1:]:
+        if other["rng_streams"] != rng:
+            raise SnapshotError(
+                "shard RNG streams diverged; cannot merge into one baseline"
+            )
+    speakers: Dict[ASN, Any] = {}
+    for part in slices:
+        for asn, state in part["speakers"].items():
+            if asn in speakers:
+                raise SnapshotError(f"AS{asn} captured by two shards")
+            speakers[asn] = state
+
+    links: Dict[Tuple[ASN, ASN], Any] = {}
+    for part in slices:
+        for key, state in part["links"].items():
+            held = links.get(key)
+            if held is None:
+                links[key] = dict(state)
+                continue
+            # Second half of a boundary link: counters sum, identity must
+            # agree, and neither half may carry in-flight messages.
+            if held["state"] != state["state"] or held["epoch"] != state["epoch"]:
+                raise SnapshotError(
+                    f"boundary link {key} halves disagree on state/epoch"
+                )
+            if held["in_flight"] or state["in_flight"]:
+                raise SnapshotError(
+                    f"boundary link {key} captured with in-flight messages"
+                )
+            held["messages_sent"] += state["messages_sent"]
+            held["messages_dropped"] += state["messages_dropped"]
+    return {
+        "sim": {
+            "now": max(sim["now"] for sim in sims),
+            "sequence": max(sim["sequence"] for sim in sims),
+            "events_processed": sum(sim["events_processed"] for sim in sims),
+            "rng_streams": rng,
+        },
+        "speakers": {asn: speakers[asn] for asn in sorted(speakers)},
+        "links": {key: links[key] for key in sorted(links)},
+    }
+
+
+def split_network_snapshot(
+    state: Dict[str, Any],
+    graph: ASGraph,
+    assignment: Dict[ASN, int],
+    shard_id: int,
+) -> Dict[str, Any]:
+    """Cut a serial-format snapshot into the slice one shard restores.
+
+    Exact inverse of :func:`merge_network_snapshots` for quiescent
+    captures: a boundary link's counters restore wholly into the half on
+    the shard owning the edge's first endpoint (the other half gets
+    zeros), so a later re-merge reproduces the serial totals.  The full
+    ``events_processed`` count rides on shard 0 for the same reason.
+    """
+    sim_state = state["sim"]
+    speakers = {
+        asn: speaker_state
+        for asn, speaker_state in state["speakers"].items()
+        if assignment[asn] == shard_id
+    }
+    links: Dict[Tuple[ASN, ASN], Any] = {}
+    for a, b in graph.edges():
+        key = (a, b)
+        link_state = state["links"][key]
+        shard_a = assignment[a]
+        shard_b = assignment[b]
+        if shard_a != shard_id and shard_b != shard_id:
+            continue
+        if shard_a == shard_b:
+            links[key] = link_state
+            continue
+        if link_state["in_flight"]:
+            raise SnapshotError(
+                f"boundary link {key} has in-flight messages; a serial "
+                "snapshot with pending cross-shard traffic cannot be "
+                "restored onto shards"
+            )
+        counters_here = shard_a == shard_id
+        links[key] = {
+            "state": link_state["state"],
+            "epoch": link_state["epoch"],
+            "messages_sent": link_state["messages_sent"] if counters_here else 0,
+            "messages_dropped": (
+                link_state["messages_dropped"] if counters_here else 0
+            ),
+            "in_flight": [],
+        }
+    return {
+        "sim": {
+            "now": sim_state["now"],
+            "sequence": sim_state["sequence"],
+            "events_processed": (
+                sim_state["events_processed"] if shard_id == 0 else 0
+            ),
+            "rng_streams": sim_state["rng_streams"],
+        },
+        "speakers": speakers,
+        "links": links,
+    }

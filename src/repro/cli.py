@@ -194,9 +194,15 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
         run_hijack_scenario,
         run_hijack_scenario_instrumented,
     )
-    from repro.topology.generators import generate_paper_topology
+    from repro.topology.generators import (
+        generate_paper_topology,
+        generate_scale_topology,
+    )
 
-    graph = generate_paper_topology(args.size, seed=args.seed)
+    if args.size <= 100:
+        graph = generate_paper_topology(args.size, seed=args.seed)
+    else:
+        graph = generate_scale_topology(args.size, seed=args.seed)
     streams = RandomStreams(args.seed)
     origins = place_origins(graph, args.origins, streams.stream("origins"))
     n_attackers = max(1, round(args.attackers * len(graph)))
@@ -223,17 +229,22 @@ def _cmd_hijack(args: argparse.Namespace) -> int:
     if args.manifest:
         # The single-record manifest path: spec + outcome + metrics.
         outcomes = execute_scenarios(
-            [scenario], manifest=args.manifest, warm_start=args.warm_start
+            [scenario],
+            manifest=args.manifest,
+            warm_start=args.warm_start,
+            shards=args.shards,
         )
         outcome = outcomes[0]
         print(f"manifest written: {args.manifest}")
     elif args.spans:
         run = run_hijack_scenario_instrumented(
-            scenario, warm_start=args.warm_start
+            scenario, warm_start=args.warm_start, shards=args.shards
         )
         outcome = run.outcome
     else:
-        outcome = run_hijack_scenario(scenario, warm_start=args.warm_start)
+        outcome = run_hijack_scenario(
+            scenario, warm_start=args.warm_start, shards=args.shards
+        )
     if args.spans:
         if args.manifest:
             # Manifest runs discard spans in the pool crossing; re-run
@@ -366,6 +377,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         manifest=args.manifest,
         warm_start=args.warm_start,
+        shards=args.shards,
     )
     from repro.experiments.reporting import format_sweep_table
 
@@ -700,7 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
     topology.set_defaults(func=_cmd_topology)
 
     hijack = sub.add_parser("hijack", help="run one hijack scenario")
-    hijack.add_argument("--size", type=int, default=46)
+    hijack.add_argument(
+        "--size", type=int, default=46,
+        help="topology size; <=100 uses the paper generator, larger sizes "
+        "the Internet-like scale generator (default 46)",
+    )
     hijack.add_argument("--origins", type=int, default=1)
     hijack.add_argument("--attackers", type=float, default=0.1,
                         help="attacker fraction of ASes")
@@ -721,6 +737,12 @@ def build_parser() -> argparse.ArgumentParser:
         "way (see docs/warmstart.md)",
     )
     hijack.add_argument("--seed", type=int, default=8)
+    hijack.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the run's speakers across N forked shard processes "
+        "(bit-identical to serial; pays off on multi-core machines for "
+        "large --size topologies; see docs/performance.md)",
+    )
     hijack.add_argument(
         "--manifest", default=None, metavar="PATH",
         help="write a one-record JSONL run manifest (spec, seed, outcome, "
@@ -792,6 +814,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="simultaneous",
         help="attack timing for every scenario of the sweep "
         "(post-convergence baselines are where --warm-start pays off)",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="intra-run sharding for every scenario; composes "
+        "multiplicatively with --workers (keep the product within the "
+        "machine's cores)",
     )
     sweep.add_argument(
         "--warm-start", default=None, metavar="MODE",

@@ -1,0 +1,467 @@
+"""Sharded deterministic simulation: the generic engine layer.
+
+A sharded run partitions speakers across N worker processes.  Each shard
+owns its speakers' event queue, RIBs, timers and intern table; cross-shard
+messages travel as batched mailbox entries exchanged at barriers.  The
+engine promises **bit-identity** with the serial simulator: same outcomes,
+same alarm-log order, same (masked) metric snapshots.
+
+The key idea is a bounded *order key* per event that reproduces the serial
+engine's global ``(time, priority, seq)`` total order without a global
+sequence counter:
+
+``order_key = (epoch, rank, push_index)``
+
+* ``epoch`` — a coordinator-assigned monotone counter, one per barrier
+  tick plus one per setup-ops phase;
+* ``rank`` — the *firing* event's global rank among all events due at its
+  tick (computed by a k-way merge of the shards' sorted due-key lists at
+  the barrier), or the global op index during a setup phase;
+* ``push_index`` — a per-shard monotone push counter, so pushes made by
+  one firing order among themselves.
+
+Because links have strictly positive delay and timers strictly positive
+durations, **no event ever schedules another event at its own tick** (the
+lookahead property: the minimum cross-shard link delay bounds how soon a
+message can become due).  Every event due at tick T therefore existed
+before T's barrier, so the rank exchange sees the complete tick and the
+serial seq order within a tick is exactly the lexicographic order of
+``(parent firing order, push index)`` — which is what the order key
+encodes.  Events across ticks order by time first, so the keys only ever
+break ties among same-tick events, where they are exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.eventsim.event import Event, EventHandle
+from repro.eventsim.simulator import SimulationError, Simulator
+from repro.obs.metrics import MetricsRegistry
+
+#: (epoch, firing rank within epoch, push index) — see module docstring.
+OrderKey = Tuple[int, int, int]
+
+#: (priority, order_key) — the within-tick part of an event's total order,
+#: reported at barriers for the rank exchange.
+DueKey = Tuple[int, OrderKey]
+
+
+def partition_speakers(
+    nodes: Sequence[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    n_shards: int,
+) -> Dict[Hashable, int]:
+    """Deterministic greedy edge-cut partition of ``nodes`` into shards.
+
+    METIS-lite: nodes are placed highest-degree first (ties broken by node
+    order), each onto the shard holding most of its already-placed
+    neighbours among the shards still under the size cap ``ceil(n/N)``
+    (ties: lowest shard index).  Capping keeps shards balanced so barrier
+    windows are not dominated by one oversized shard; neighbour affinity
+    keeps the edge cut — and with it the cross-shard mailbox traffic —
+    low.  Pure function of its inputs: every worker and every rerun
+    computes the identical assignment.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    ordered = sorted(nodes)
+    if not ordered:
+        return {}
+    adjacency: Dict[Hashable, List[Hashable]] = {node: [] for node in ordered}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    cap = -(-len(ordered) // n_shards)  # ceil
+    assignment: Dict[Hashable, int] = {}
+    sizes = [0] * n_shards
+    by_degree = sorted(ordered, key=lambda node: (-len(adjacency[node]), node))
+    for node in by_degree:
+        best_shard = -1
+        best_affinity = -1
+        for shard in range(n_shards):
+            if sizes[shard] >= cap:
+                continue
+            affinity = sum(
+                1 for peer in adjacency[node] if assignment.get(peer) == shard
+            )
+            if affinity > best_affinity:
+                best_affinity = affinity
+                best_shard = shard
+        assignment[node] = best_shard
+        sizes[best_shard] += 1
+    return assignment
+
+
+class KeyedEvent(Event):
+    """An event carrying the global order key of its creation point."""
+
+    __slots__ = ("order_key",)
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        order_key: OrderKey,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        super().__init__(time, action, priority=priority, label=label)
+        self.order_key = order_key
+
+
+class KeyedEventQueue:
+    """Event queue ordered by ``(time, priority, order_key)``.
+
+    The serial calendar queue orders same-tick events by insertion
+    sequence; a shard cannot, because remote events arriving at a barrier
+    must interleave with locally-pushed ones at their *global* positions.
+    This queue therefore sorts on the carried order key.  It implements
+    the same container contract as :class:`~repro.eventsim.queue.EventQueue`
+    (push / pop / pop_due / peek_time / note_cancelled / drain / clear /
+    ``last_seq`` / exact live ``len``), plus :meth:`due_keys` — the sorted
+    per-tick key report the barrier rank exchange consumes.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, OrderKey, KeyedEvent]] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    @property
+    def last_seq(self) -> int:
+        """The most recently assigned sequence number (-1 before any push)."""
+        return self._next_seq - 1
+
+    def push(self, event: Event) -> None:
+        """Insert an event; assigns its (shard-local) sequence number."""
+        if not isinstance(event, KeyedEvent):
+            raise TypeError("KeyedEventQueue only accepts KeyedEvent")
+        if event.seq is not None:
+            raise ValueError("event is already scheduled")
+        event.seq = self._next_seq
+        self._next_seq += 1
+        event.on_cancel = self.note_cancelled
+        heapq.heappush(
+            self._heap, (event.time, event.priority, event.order_key, event)
+        )
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event.on_cancel = None
+            return event
+        return None
+
+    def pop_due(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the head if it fires at or before ``until``."""
+        time = self.peek_time()
+        if time is None or (until is not None and time > until):
+            return None
+        return self.pop()
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def due_keys(self, time: float) -> List[DueKey]:
+        """Sorted ``(priority, order_key)`` of live events due at ``time``.
+
+        This is the shard's contribution to the barrier rank exchange.
+        O(queue size) per tick — a linear scan beats maintaining a
+        per-tick index because every tick is scanned exactly once.
+        """
+        keys = [
+            (event.priority, event.order_key)
+            for event_time, _, _, event in self._heap
+            if event_time == time and not event.cancelled
+        ]
+        keys.sort()
+        return keys
+
+    def note_cancelled(self) -> None:
+        """Adjust the live count after a held event was cancelled."""
+        if self._live > 0:
+            self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining live events in firing order, emptying the queue."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+    def clear(self) -> None:
+        for _, _, _, event in self._heap:
+            event.on_cancel = None
+        self._heap.clear()
+        self._live = 0
+
+
+class ShardSimulator(Simulator):
+    """One shard's simulator: serial semantics under external clocking.
+
+    Differences from the serial :class:`Simulator`:
+
+    * the queue is a :class:`KeyedEventQueue`, and every scheduled event is
+      stamped with the order key of the current *firing context* — either
+      the event being fired (``(epoch, rank, push)``) or the setup op in
+      progress (``(epoch, op_index, push)``);
+    * time advances via :meth:`process_tick` under coordinator control
+      instead of a free-running :meth:`run` loop;
+    * a push at the current tick while a tick is being processed raises —
+      that is the no-same-tick-children invariant the whole barrier design
+      rests on (positive link delays and timer durations guarantee it for
+      the BGP workload; this check turns a silent ordering bug into a
+      loud error).
+    """
+
+    # Firing-context counters and the remote-push flag are transient
+    # coordination state, reconstructed by the driver protocol; they are
+    # never part of a captured baseline.
+    _SNAPSHOT_WAIVED = Simulator._SNAPSHOT_WAIVED | frozenset(
+        {"shard_id", "_epoch", "_rank", "_push_count", "_in_tick", "_remote"}
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        seed: int = 0,
+        trace_categories: Optional[set] = None,
+        max_events: int = 5_000_000,
+        sanitize: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(
+            seed=seed,
+            trace_categories=trace_categories,
+            max_events=max_events,
+            sanitize=sanitize,
+            metrics=metrics,
+        )
+        self.shard_id = shard_id
+        self.queue: KeyedEventQueue = KeyedEventQueue()  # type: ignore[assignment]
+        self._epoch = 0
+        self._rank = 0
+        self._push_count = 0
+        self._in_tick = False
+        self._remote = False
+
+    # -- firing context ------------------------------------------------------
+
+    @property
+    def order_context(self) -> Tuple[int, int]:
+        """The ``(epoch, rank)`` of the firing (or op) in progress.
+
+        Alarm and trace records are tagged with this so the coordinator can
+        merge per-shard logs back into the exact serial order.
+        """
+        return (self._epoch, self._rank)
+
+    @property
+    def firing_token(self) -> Tuple[int, int]:
+        """Identity of the current firing, for batch-coalescing guards."""
+        return (self._epoch, self._rank)
+
+    @property
+    def push_count(self) -> int:
+        """Monotone count of pushes (local events and outbox appends)."""
+        return self._push_count
+
+    def next_push_index(self) -> int:
+        """Claim the next push slot in the current firing context.
+
+        Used for local pushes by :meth:`schedule_at` and for cross-shard
+        outbox appends by the boundary links — one shared counter, because
+        the serial engine assigned one shared sequence to both kinds.
+        """
+        index = self._push_count
+        self._push_count += 1
+        return index
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action``, stamped with the firing context's key."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, current time is {self.now:.6f}"
+            )
+        if self._in_tick and time <= self.now:
+            raise SimulationError(
+                f"shard {self.shard_id}: event scheduled at the current tick "
+                f"t={time:.6f} while processing it — same-tick children "
+                "break the barrier order (links need positive delay, "
+                "timers positive durations)"
+            )
+        key: OrderKey = (self._epoch, self._rank, self.next_push_index())
+        event = KeyedEvent(time, action, key, priority=priority, label=label)
+        self.queue.push(event)
+        return EventHandle(event)
+
+    def schedule_remote(
+        self,
+        time: float,
+        order_key: OrderKey,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Insert an inbound cross-shard event under its *carried* key.
+
+        The key was minted on the sending shard at send time; inserting it
+        verbatim is what lets remote deliveries interleave with local
+        events at their exact serial positions.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"remote event at t={time:.6f} is in the past "
+                f"(now={self.now:.6f}); barrier lookahead was violated"
+            )
+        event = KeyedEvent(time, action, order_key, priority=priority, label=label)
+        self.queue.push(event)
+        return EventHandle(event)
+
+    # -- coordinator-driven time ---------------------------------------------
+
+    def begin_ops(self, epoch: int, now: Optional[float] = None) -> None:
+        """Enter a setup-ops phase: context becomes ``(epoch, op_index)``.
+
+        ``now``, when given, aligns this shard's clock with the global
+        barrier time — a shard idle through the last ticks of a phase has
+        a stale local clock, and ops must schedule from the global one.
+        """
+        if now is not None:
+            if now < self.now:
+                raise SimulationError(
+                    f"cannot rewind shard clock from {self.now:.6f} to {now:.6f}"
+                )
+            self.now = now
+        self._epoch = epoch
+        self._rank = 0
+
+    def begin_op(self, op_index: int) -> None:
+        """Mark the start of global setup op ``op_index``."""
+        self._rank = op_index
+
+    def due_report(self, time: float) -> List[DueKey]:
+        """This shard's sorted due keys at ``time`` (rank-exchange input)."""
+        return self.queue.due_keys(time)
+
+    def process_tick(
+        self,
+        time: float,
+        epoch: int,
+        due: Sequence[DueKey],
+        ranks: Sequence[int],
+    ) -> int:
+        """Fire every event due at exactly ``time``; returns events fired.
+
+        ``due`` is the key list this shard reported for the tick and
+        ``ranks`` the coordinator's aligned global ranks.  Events cancelled
+        between report and pop are skipped by advancing the cursor — their
+        rank slots burn unused, which matches the serial engine, where a
+        cancelled event's sequence number is likewise never reused.
+        """
+        if self._running:
+            raise SimulationError("process_tick() is not reentrant")
+        if len(due) != len(ranks):
+            raise SimulationError(
+                f"rank exchange mismatch: {len(due)} due keys, {len(ranks)} ranks"
+            )
+        self._running = True
+        self._in_tick = True
+        self._epoch = epoch
+        started_at = self.events_processed
+        sample_stride = self.QUEUE_DEPTH_SAMPLE_INTERVAL
+        queue = self.queue
+        cursor = 0
+        try:
+            while True:
+                head = queue.peek_time()
+                if head is None or head != time:
+                    break
+                event = queue.pop()
+                assert event is not None and isinstance(event, KeyedEvent)
+                key: DueKey = (event.priority, event.order_key)
+                while cursor < len(due) and due[cursor] != key:
+                    cursor += 1
+                if cursor >= len(due):
+                    raise SimulationError(
+                        f"shard {self.shard_id}: event {event.label!r} with "
+                        f"key {key!r} missing from the tick's rank exchange"
+                    )
+                self._rank = ranks[cursor]
+                cursor += 1
+                self.now = event.time
+                event.fire()
+                self.events_processed += 1
+                if (
+                    self._m_queue_depth is not None
+                    and self.events_processed % sample_stride == 0
+                ):
+                    self._m_queue_depth.set(float(len(queue)))
+                if self.events_processed > self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "simulation is likely diverging"
+                    )
+        finally:
+            self._running = False
+            self._in_tick = False
+            processed = self.events_processed - started_at
+            if self._m_events is not None and processed:
+                self._m_events.inc(processed)
+                assert self._m_queue_depth is not None
+                self._m_queue_depth.set(float(len(queue)))
+        if time > self.now:
+            # The shard had only cancelled events at the tick: still keep
+            # the clock in step with the barrier.
+            self.now = time
+        return processed
+
+    def solo_ranks(self, due: Sequence[DueKey]) -> List[int]:
+        """Ranks for a tick this shard owns alone: its local order is the
+        global order."""
+        return list(range(len(due)))
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Free-running is a serial-engine affordance; shards are clocked
+        by the coordinator."""
+        raise SimulationError(
+            "ShardSimulator advances via process_tick(), not run()"
+        )

@@ -1,0 +1,38 @@
+"""R009 fixture: ordering hazards that break sharded bit-identity.
+
+Linted with a config whose ``sharded_modules`` patterns match this file.
+"""
+
+
+def dedupe_by_address(records):
+    # id() is process-local: two shards disagree about every address.
+    seen = []
+    for record in records:
+        if id(record) not in seen:
+            seen.append(id(record))
+    return seen
+
+
+def deliver_directly(speaker, peer, message):
+    # Hand-delivery skips the mailbox and therefore the order key.
+    speaker.handle_update(peer, message)
+
+
+def forward_wire(session, payload):
+    session.handle_wire(payload)
+
+
+def merge_mailboxes(shards):
+    pending = {shard.key for shard in shards}
+    # Reduction over a bare set inside a merge path: float accumulation
+    # order differs run to run.
+    total = sum(shard_cost(key) for key in pending)
+    while pending:
+        # Arbitrary-element pop inside a merge path.
+        key = pending.pop()
+        total += shard_cost(key)
+    return total
+
+
+def shard_cost(key):
+    return float(key)

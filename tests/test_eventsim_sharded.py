@@ -1,0 +1,183 @@
+"""Unit tests for the sharded engine layer (partition, queue, simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eventsim.sharded import (
+    KeyedEvent,
+    KeyedEventQueue,
+    ShardSimulator,
+    partition_speakers,
+)
+from repro.eventsim.simulator import SimulationError
+from repro.topology.generators import generate_paper_topology
+
+
+def _noop() -> None:
+    pass
+
+
+class TestPartition:
+    def test_deterministic_and_complete(self):
+        graph = generate_paper_topology(63, seed=8)
+        first = partition_speakers(graph.asns(), graph.edges(), 4)
+        second = partition_speakers(graph.asns(), graph.edges(), 4)
+        assert first == second
+        assert set(first) == set(graph.asns())
+        assert set(first.values()) <= {0, 1, 2, 3}
+
+    def test_balanced_within_cap(self):
+        graph = generate_paper_topology(63, seed=8)
+        for n_shards in (2, 3, 4, 7):
+            assignment = partition_speakers(
+                graph.asns(), graph.edges(), n_shards
+            )
+            sizes = [0] * n_shards
+            for shard in assignment.values():
+                sizes[shard] += 1
+            cap = -(-len(graph) // n_shards)
+            assert max(sizes) <= cap
+
+    def test_affinity_beats_round_robin(self):
+        """Neighbour-affinity placement must cut fewer edges than a
+        degree-ordered round-robin split of the same graph."""
+        graph = generate_paper_topology(63, seed=8)
+        edges = graph.edges()
+        assignment = partition_speakers(graph.asns(), edges, 2)
+        cut = sum(1 for a, b in edges if assignment[a] != assignment[b])
+        ordered = sorted(
+            graph.asns(), key=lambda asn: (-graph.degree(asn), asn)
+        )
+        round_robin = {asn: i % 2 for i, asn in enumerate(ordered)}
+        rr_cut = sum(1 for a, b in edges if round_robin[a] != round_robin[b])
+        assert cut < rr_cut
+
+    def test_single_shard_and_errors(self):
+        assert partition_speakers([1, 2, 3], [(1, 2)], 1) == {1: 0, 2: 0, 3: 0}
+        assert partition_speakers([], [], 2) == {}
+        with pytest.raises(ValueError):
+            partition_speakers([1], [], 0)
+
+
+class TestKeyedEventQueue:
+    def test_orders_by_time_priority_then_key(self):
+        queue = KeyedEventQueue()
+        # Insertion order deliberately scrambled relative to key order.
+        queue.push(KeyedEvent(2.0, _noop, (0, 0, 0), label="late"))
+        queue.push(KeyedEvent(1.0, _noop, (5, 1, 0), label="second"))
+        queue.push(KeyedEvent(1.0, _noop, (5, 0, 7), label="first"))
+        queue.push(KeyedEvent(1.0, _noop, (5, 0, 2), priority=-1, label="pri"))
+        order = [event.label for event in queue.drain()]
+        assert order == ["pri", "first", "second", "late"]
+
+    def test_due_keys_sorted_and_live_only(self):
+        queue = KeyedEventQueue()
+        queue.push(KeyedEvent(1.0, _noop, (0, 2, 0)))
+        cancelled = KeyedEvent(1.0, _noop, (0, 1, 0))
+        queue.push(cancelled)
+        queue.push(KeyedEvent(1.0, _noop, (0, 0, 3), priority=1))
+        queue.push(KeyedEvent(2.0, _noop, (0, 0, 0)))
+        cancelled.cancel()
+        assert queue.due_keys(1.0) == [(0, (0, 2, 0)), (1, (0, 0, 3))]
+        assert len(queue) == 3
+
+    def test_rejects_plain_events_and_double_push(self):
+        from repro.eventsim.event import Event
+
+        queue = KeyedEventQueue()
+        with pytest.raises(TypeError):
+            queue.push(Event(1.0, _noop))
+        event = KeyedEvent(1.0, _noop, (0, 0, 0))
+        queue.push(event)
+        with pytest.raises(ValueError):
+            queue.push(event)
+
+    def test_pop_due_respects_bound(self):
+        queue = KeyedEventQueue()
+        queue.push(KeyedEvent(5.0, _noop, (0, 0, 0)))
+        assert queue.pop_due(4.0) is None
+        assert queue.pop_due(5.0) is not None
+
+
+class TestShardSimulator:
+    def test_run_is_disabled(self):
+        sim = ShardSimulator(shard_id=0)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_schedule_stamps_firing_context(self):
+        sim = ShardSimulator(shard_id=0)
+        sim.begin_ops(epoch=3, now=0.0)
+        sim.begin_op(2)
+        handle_a = sim.schedule_at(1.0, _noop)
+        handle_b = sim.schedule_at(1.0, _noop)
+        assert sim.due_report(1.0) == [(0, (3, 2, 0)), (0, (3, 2, 1))]
+        assert not handle_a.cancelled and not handle_b.cancelled
+
+    def test_same_tick_child_raises_during_tick(self):
+        sim = ShardSimulator(shard_id=0)
+
+        def schedules_now() -> None:
+            sim.schedule_at(sim.now, _noop)
+
+        sim.begin_ops(epoch=1, now=0.0)
+        sim.schedule_at(1.0, schedules_now)
+        due = sim.due_report(1.0)
+        with pytest.raises(SimulationError, match="same-tick"):
+            sim.process_tick(1.0, epoch=2, due=due, ranks=[0])
+
+    def test_remote_in_the_past_raises(self):
+        sim = ShardSimulator(shard_id=0)
+        sim.begin_ops(epoch=1, now=5.0)
+        with pytest.raises(SimulationError, match="lookahead"):
+            sim.schedule_remote(4.0, (0, 0, 0), _noop)
+
+    def test_clock_rewind_raises(self):
+        sim = ShardSimulator(shard_id=0)
+        sim.begin_ops(epoch=1, now=5.0)
+        with pytest.raises(SimulationError, match="rewind"):
+            sim.begin_ops(epoch=2, now=4.0)
+
+    def test_process_tick_interleaves_remote_and_local(self):
+        """Remote events fire at their carried-key positions among local
+        ones, and children are stamped with the firing's global rank."""
+        sim = ShardSimulator(shard_id=0)
+        fired = []
+
+        def mark(name):
+            def action() -> None:
+                fired.append((name, sim.order_context))
+
+            return action
+
+        sim.begin_ops(epoch=1, now=0.0)
+        sim.schedule_at(1.0, mark("local"))  # key (1, 0, 0)
+        sim.schedule_remote(1.0, (0, 5, 2), mark("remote"))  # sorts first
+        due = sim.due_report(1.0)
+        assert due == [(0, (0, 5, 2)), (0, (1, 0, 0))]
+        # Coordinator-assigned global ranks: remote is rank 3, local rank 7.
+        processed = sim.process_tick(1.0, epoch=2, due=due, ranks=[3, 7])
+        assert processed == 2
+        assert fired == [("remote", (2, 3)), ("local", (2, 7))]
+
+    def test_cancelled_event_burns_its_rank_slot(self):
+        sim = ShardSimulator(shard_id=0)
+        fired = []
+        sim.begin_ops(epoch=1, now=0.0)
+        doomed = sim.schedule_at(1.0, lambda: fired.append("doomed"))
+        sim.schedule_at(1.0, lambda: fired.append("kept"))
+        due = sim.due_report(1.0)
+        doomed.cancel()
+        sim.process_tick(1.0, epoch=2, due=due, ranks=[0, 1])
+        assert fired == ["kept"]
+
+    def test_foreign_key_in_tick_raises(self):
+        sim = ShardSimulator(shard_id=0)
+        sim.begin_ops(epoch=1, now=0.0)
+        sim.schedule_at(1.0, _noop)
+        with pytest.raises(SimulationError, match="rank exchange"):
+            # Report claims a different key than the queued event's.
+            sim.process_tick(
+                1.0, epoch=2, due=[(0, (9, 9, 9))], ranks=[0]
+            )

@@ -22,6 +22,8 @@ SRC_ROOT = Path(repro.__file__).parent
 EXPECTED_SNAPSHOT_CLASSES = {
     "repro.bgp.damping.RouteFlapDamper",
     "repro.bgp.network.Network",
+    "repro.bgp.shardnet.BoundaryLink",
+    "repro.bgp.shardnet.ShardNetwork",
     "repro.bgp.rib.AdjRibIn",
     "repro.bgp.rib.AdjRibOut",
     "repro.bgp.rib.LocRib",

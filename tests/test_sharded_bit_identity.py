@@ -1,0 +1,134 @@
+"""Bit-identity pin: the sharded simulator equals the serial engine.
+
+The sharded runner partitions speakers across forked worker processes
+and advances them under a conservative barrier clock, so every firing
+still happens in the exact serial ``(time, priority, seq)`` order.  The
+contract is bit-identity, not statistical agreement: outcomes, alarm
+logs (content *and* order) and masked metrics must match the serial
+engine exactly, for any shard count, and warm-start baselines must be
+interchangeable between the two engines.
+
+The golden grid is shared with tests/test_perf_bit_identity.py — those
+values were captured from the pre-optimisation engine, so passing here
+chains sharded == serial == original.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    run_hijack_scenario,
+    run_hijack_scenario_instrumented,
+)
+from repro.experiments.sharded_run import masked_metrics, run_sharded
+from repro.warmstart.cache import WarmStartCache
+from tests.test_perf_bit_identity import GOLDEN, _scenario
+
+
+def _assert_matches_golden(outcome, expected) -> None:
+    assert sorted(outcome.poisoned) == expected["poisoned"]
+    assert outcome.n_remaining == expected["n_remaining"]
+    assert outcome.alarms == expected["alarms"]
+    assert outcome.routes_suppressed == expected["suppressed"]
+    assert len(outcome.capable) == expected["n_capable"]
+    assert outcome.events_processed == expected["events"]
+    assert outcome.updates_sent == expected["updates"]
+
+
+@pytest.mark.parametrize(
+    "size,deployment,timing", sorted(GOLDEN), ids=lambda value: str(value)
+)
+def test_two_shard_outcome_matches_golden_grid(size, deployment, timing):
+    outcome = run_hijack_scenario(
+        _scenario(size, deployment, timing), shards=2
+    )
+    _assert_matches_golden(outcome, GOLDEN[(size, deployment, timing)])
+
+
+@pytest.mark.parametrize("shards", [1, 3, 4])
+def test_other_shard_counts_match_golden(shards):
+    scenario = _scenario(63, "FULL", "SIMULTANEOUS")
+    outcome = run_hijack_scenario(scenario, shards=shards)
+    _assert_matches_golden(outcome, GOLDEN[(63, "FULL", "SIMULTANEOUS")])
+
+
+@pytest.mark.parametrize("timing", ["SIMULTANEOUS", "POST_CONVERGENCE"])
+def test_alarm_log_is_identical_including_order(timing):
+    scenario = _scenario(63, "FULL", timing)
+    serial = run_hijack_scenario_instrumented(scenario)
+    sharded = run_sharded(scenario, n_shards=2, instrumented=True)
+    assert sharded.outcome.alarms == serial.outcome.alarms
+    assert list(sharded.alarms) == list(serial.alarms)
+
+
+def test_masked_metrics_are_identical():
+    """Merged worker metrics equal serial metrics once the shard-local
+    instruments (queue depth, shard.*) are masked out."""
+    scenario = _scenario(63, "FULL", "SIMULTANEOUS")
+    serial = run_hijack_scenario_instrumented(scenario)
+    sharded = run_sharded(scenario, n_shards=2, instrumented=True)
+    assert sharded.metrics is not None and serial.metrics is not None
+    assert masked_metrics(sharded.metrics) == masked_metrics(serial.metrics)
+
+
+def test_sharded_repeat_run_is_bit_identical():
+    scenario = _scenario(63, "FULL", "SIMULTANEOUS")
+    first = run_sharded(scenario, n_shards=2)
+    second = run_sharded(scenario, n_shards=2)
+    assert first.outcome.masked_timing() == second.outcome.masked_timing()
+    assert list(first.alarms) == list(second.alarms)
+
+
+def test_shard_stats_account_for_the_topology():
+    scenario = _scenario(63, "FULL", "SIMULTANEOUS")
+    run = run_sharded(scenario, n_shards=2)
+    stats = run.stats
+    assert stats.n_shards == 2
+    assert sum(stats.shard_sizes) == 63
+    assert 0 < stats.cut_edges < stats.total_edges
+    assert stats.ticks >= stats.solo_ticks >= 0
+    assert stats.cross_messages > 0 and stats.cross_batches > 0
+    assert stats.max_batch_size >= 1
+    payload = stats.to_dict()
+    assert payload["mean_batch_size"] > 0
+
+
+class TestWarmStartInterchange:
+    """Baselines are engine-agnostic: either engine may capture, either
+    may consume, with bit-identical warm outcomes."""
+
+    def test_sharded_capture_sharded_hit(self):
+        cache = WarmStartCache()
+        scenario = _scenario(63, "FULL", "POST_CONVERGENCE")
+        cold = run_sharded(scenario, n_shards=2, warm_start=cache)
+        assert cold.warm_info["hit"] is False
+        warm = run_sharded(scenario, n_shards=2, warm_start=cache)
+        assert warm.warm_info["hit"] is True
+        assert warm.outcome.masked_timing() == cold.outcome.masked_timing()
+        assert list(warm.alarms) == list(cold.alarms)
+
+    def test_serial_consumes_sharded_baseline(self):
+        # ``instrumented`` is part of the baseline key, so both engines
+        # run instrumented to share the entry.
+        cache = WarmStartCache()
+        scenario = _scenario(63, "FULL", "POST_CONVERGENCE")
+        cold = run_sharded(
+            scenario, n_shards=2, warm_start=cache, instrumented=True
+        )
+        assert cold.warm_info["hit"] is False
+        warm = run_hijack_scenario_instrumented(scenario, warm_start=cache)
+        assert warm.warm_start["hit"] is True
+        assert warm.outcome.masked_timing() == cold.outcome.masked_timing()
+
+    def test_sharded_consumes_serial_baseline(self):
+        cache = WarmStartCache()
+        scenario = _scenario(63, "FULL", "POST_CONVERGENCE")
+        cold = run_hijack_scenario_instrumented(scenario, warm_start=cache)
+        assert cold.warm_start["hit"] is False
+        warm = run_sharded(
+            scenario, n_shards=3, warm_start=cache, instrumented=True
+        )
+        assert warm.warm_info["hit"] is True
+        assert warm.outcome.masked_timing() == cold.outcome.masked_timing()
+        assert list(warm.alarms) == list(cold.alarms)
